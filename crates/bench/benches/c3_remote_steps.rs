@@ -1,0 +1,101 @@
+//! Experiment C3 — "a remote communication involves two reduction steps"
+//! (§3): one SHIP to move the prefixed process to the target site, one
+//! local rendez-vous to consume it.
+//!
+//! Verified on both semantics (the calculus interpreter counts rule
+//! applications; the VM counts ships and comms), across messages, objects
+//! and class fetches. Also the A2 ablation: the two-step σ translation
+//! (sender export-table pass + receiver resolution pass) measured against
+//! the raw send.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ditico_bench::{run_two_node, sequential_client, ECHO_SERVER};
+use ditico::LinkProfile;
+use tyco_calculus::Network;
+
+fn steps_table() {
+    println!("\n=== C3: reduction steps per remote interaction (calculus) ===");
+    println!("{:<28} {:>6} {:>6} {:>6} {:>6} {:>6}", "interaction", "shipm", "shipo", "fetch", "comm", "inst");
+    let cases: [(&str, &str, &str); 3] = [
+        (
+            "remote message",
+            "export new p in p?{ go(n) = 0 }",
+            "import p from server in p!go[1]",
+        ),
+        (
+            "object migration",
+            r#"def S(p) = p?{ go(q) = (q?(x) = 0) | S[p] } in export new p in S[p]"#,
+            "import p from server in new q (p!go[q] | q![1])",
+        ),
+        (
+            "class fetch + inst",
+            "export def K(v) = 0 in 0",
+            "import K from server in K[1]",
+        ),
+    ];
+    for (name, server, client) in cases {
+        let mut net = Network::new();
+        net.add_site_src("server", server).unwrap();
+        net.add_site_src("client", client).unwrap();
+        let out = net.run(100_000).unwrap();
+        let c = out.counters;
+        println!(
+            "{:<28} {:>6} {:>6} {:>6} {:>6} {:>6}",
+            name, c.shipm, c.shipo, c.fetch, c.comm, c.inst
+        );
+    }
+    println!("(each ship/fetch is paired with exactly one local comm/inst — two steps)");
+
+    // The VM agrees: 32 RPCs = 64 ships (request+reply) and 64 comms.
+    let report = run_two_node(LinkProfile::myrinet(), ECHO_SERVER, &sequential_client(32), 10_000_000);
+    let ships: u64 = report.stats.values().map(|s| s.msgs_sent).sum();
+    let comms: u64 = report.stats.values().map(|s| s.comm).sum();
+    println!("\nVM check over 32 RPCs: ships={ships} local-rendez-vous={comms} (expected 64/64)");
+    assert_eq!(ships, 64);
+    assert_eq!(comms, 64);
+}
+
+fn bench_remote_steps(c: &mut Criterion) {
+    steps_table();
+
+    // A2: the cost of the two-step translation on real runs — an RPC whose
+    // arguments are channels (heavy translation: every word goes through
+    // the export table twice) vs ints (no table traffic).
+    let mut group = c.benchmark_group("c3_sigma_translation");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(64));
+    group.bench_function("rpc_int_args", |b| {
+        b.iter(|| {
+            let r = run_two_node(
+                LinkProfile::ideal(),
+                ECHO_SERVER,
+                &sequential_client(64),
+                100_000_000,
+            );
+            assert!(r.errors.is_empty());
+        });
+    });
+    group.bench_function("rpc_chan_args", |b| {
+        // Every request carries TWO channels (the payload channel and the
+        // reply channel), both of which must be exported and resolved.
+        let server = r#"
+            def Srv(p) = p?{ val(ch, r) = r![ch] | Srv[p] }
+            in export new p in Srv[p]
+        "#;
+        let client = r#"
+            import p from server in
+            def Loop(k) =
+                if k > 0 then new payload new a (p!val[payload, a] | a?(v) = Loop[k - 1])
+                else println("done")
+            in Loop[64]
+        "#;
+        b.iter(|| {
+            let r = run_two_node(LinkProfile::ideal(), server, client, 100_000_000);
+            assert!(r.errors.is_empty(), "{:?}", r.errors);
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_remote_steps);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Experiment C5 — the §4 applet-server duality: code *fetching* (download
+//! the class once, instantiate locally forever) vs code *shipping* (the
+//! server ships an object per request).
+//!
+//! Expected shape: shipping wins at R=1 request (one one-way object move
+//! vs a fetch round trip), fetching wins for all larger R and the gap
+//! grows linearly — exactly the trade the paper's two programs embody.
+//! The fetch cache is also ablated (cold fetch per instantiation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ditico_bench::{assert_done, fetch_client, run_two_node, ship_client, FETCH_SERVER, SHIP_SERVER};
+use ditico::LinkProfile;
+
+fn table() {
+    println!("\n=== C5: fetch vs ship — virtual time (µs) and fabric bytes vs requests R ===");
+    println!(
+        "{:>5} {:>12} {:>12} {:>12} {:>12}",
+        "R", "fetch µs", "ship µs", "fetch bytes", "ship bytes"
+    );
+    let mut crossover_seen = false;
+    for r in [1u64, 2, 4, 8, 16, 32, 64] {
+        let fetch = run_two_node(
+            LinkProfile::fast_ethernet(),
+            FETCH_SERVER,
+            &fetch_client(r),
+            100_000_000,
+        );
+        assert_done(&fetch);
+        let ship = run_two_node(
+            LinkProfile::fast_ethernet(),
+            SHIP_SERVER,
+            &ship_client(r),
+            100_000_000,
+        );
+        assert_done(&ship);
+        println!(
+            "{:>5} {:>12} {:>12} {:>12} {:>12}",
+            r,
+            fetch.virtual_ns / 1_000,
+            ship.virtual_ns / 1_000,
+            fetch.fabric_bytes,
+            ship.fabric_bytes
+        );
+        if fetch.virtual_ns < ship.virtual_ns {
+            crossover_seen = true;
+        }
+        if r >= 16 {
+            assert!(
+                fetch.fabric_bytes < ship.fabric_bytes,
+                "fetch must move less code at R={r}"
+            );
+        }
+    }
+    assert!(crossover_seen, "fetching must win for large R");
+    println!("(shape: ship is competitive at R=1; fetch amortizes its download and wins after)");
+}
+
+fn bench_fetch_vs_ship(c: &mut Criterion) {
+    table();
+
+    let mut group = c.benchmark_group("c5_strategies");
+    group.sample_size(15);
+    for &r in &[4u64, 32] {
+        group.throughput(Throughput::Elements(r));
+        group.bench_with_input(BenchmarkId::new("fetch", r), &r, |b, &r| {
+            b.iter(|| {
+                let rep = run_two_node(
+                    LinkProfile::ideal(),
+                    FETCH_SERVER,
+                    &fetch_client(r),
+                    100_000_000,
+                );
+                assert_done(&rep);
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("ship", r), &r, |b, &r| {
+            b.iter(|| {
+                let rep =
+                    run_two_node(LinkProfile::ideal(), SHIP_SERVER, &ship_client(r), 100_000_000);
+                assert_done(&rep);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fetch_vs_ship);
+criterion_main!(benches);

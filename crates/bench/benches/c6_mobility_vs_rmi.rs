@@ -1,0 +1,89 @@
+//! Experiment C6 — code mobility vs RMI-style remote references.
+//!
+//! §1 of the paper contrasts DiTyCO with DCOM/CORBA/Java-RMI, which "give
+//! the illusion of locality" while every method call crosses the network.
+//! Baseline: objects stay at the server and each `get` is a remote round
+//! trip. Mobility: the class is fetched once and objects live at the
+//! client, so calls are local.
+//!
+//! Expected crossover: RMI wins when an object is used once or twice
+//! (no code to move); mobility wins as calls-per-object grow, by roughly
+//! the round-trip-per-call factor.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ditico_bench::{
+    assert_done, mobility_client, rmi_client, run_two_node, MOBILITY_SERVER, RMI_SERVER,
+};
+use ditico::LinkProfile;
+
+fn table() {
+    println!("\n=== C6: mobility vs RMI — virtual time (µs), 4 objects x C calls each ===");
+    println!("{:>6} {:>12} {:>12} {:>10}", "C", "rmi µs", "mobility µs", "winner");
+    let objects = 4;
+    let mut mobility_won_late = false;
+    for calls in [1u64, 2, 4, 8, 16, 32] {
+        let rmi = run_two_node(
+            LinkProfile::fast_ethernet(),
+            RMI_SERVER,
+            &rmi_client(objects, calls),
+            200_000_000,
+        );
+        assert_done(&rmi);
+        let mobility = run_two_node(
+            LinkProfile::fast_ethernet(),
+            MOBILITY_SERVER,
+            &mobility_client(objects, calls),
+            200_000_000,
+        );
+        assert_done(&mobility);
+        let winner = if rmi.virtual_ns < mobility.virtual_ns { "rmi" } else { "mobility" };
+        println!(
+            "{:>6} {:>12} {:>12} {:>10}",
+            calls,
+            rmi.virtual_ns / 1_000,
+            mobility.virtual_ns / 1_000,
+            winner
+        );
+        if calls >= 8 && mobility.virtual_ns < rmi.virtual_ns {
+            mobility_won_late = true;
+        }
+    }
+    assert!(mobility_won_late, "mobility must win once calls-per-object grow");
+    println!("(the paper's case for mobility: move the code once, make the calls local)");
+}
+
+fn bench_mobility_vs_rmi(c: &mut Criterion) {
+    table();
+
+    let mut group = c.benchmark_group("c6_strategies");
+    group.sample_size(15);
+    for &calls in &[2u64, 16] {
+        group.throughput(Throughput::Elements(4 * calls));
+        group.bench_with_input(BenchmarkId::new("rmi", calls), &calls, |b, &calls| {
+            b.iter(|| {
+                let r = run_two_node(
+                    LinkProfile::ideal(),
+                    RMI_SERVER,
+                    &rmi_client(4, calls),
+                    200_000_000,
+                );
+                assert_done(&r);
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("mobility", calls), &calls, |b, &calls| {
+            b.iter(|| {
+                let r = run_two_node(
+                    LinkProfile::ideal(),
+                    MOBILITY_SERVER,
+                    &mobility_client(4, calls),
+                    200_000_000,
+                );
+                assert_done(&r);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mobility_vs_rmi);
+criterion_main!(benches);

@@ -1,0 +1,112 @@
+//! Experiment C7 — byte-code compactness and efficiency.
+//!
+//! §5 of the paper: the TyCOVM "design has proved to be quite compact and
+//! efficient when compared with related languages such as Pict, Oz and
+//! Join/JoCaml". We cannot re-run 2000-era Pict, so the comparator is this
+//! repository's own tree-walking interpreter of the calculus (the
+//! reference semantics): same programs, same observables, measured
+//! wall-clock — the VM's speedup quantifies what compiling to byte-code
+//! buys. Code sizes (instructions per program) are printed as the
+//! compactness metric.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ditico_bench::cell_churn;
+use tyco_calculus::Network;
+use tyco_syntax::parse_core;
+use tyco_vm::{compile, LoopbackPort, Machine};
+
+fn programs() -> Vec<(&'static str, String, u64)> {
+    vec![
+        ("cell_churn", cell_churn(300), 300),
+        (
+            "counter",
+            "def L(n) = if n > 0 then L[n - 1] else println(\"x\") in L[2000]".to_string(),
+            2000,
+        ),
+        (
+            "rpc_chain",
+            r#"
+            def Srv(s) = s?{ v(x, r) = r![x + 1] | Srv[s] }
+            and Loop(s, n) =
+                if n > 0 then new a (s!v[n, a] | a?(x) = Loop[s, n - 1]) else println("x")
+            in new s (Srv[s] | Loop[s, 300])
+            "#
+            .to_string(),
+            300,
+        ),
+        (
+            "fib_processes",
+            r#"
+            def Fib(n, r) =
+                if n < 2 then r![n]
+                else new a new b (Fib[n - 1, a] | Fib[n - 2, b]
+                                  | a?(x) = b?(y) = r![x + y])
+            in new out (Fib[15, out] | out?(v) = print(v))
+            "#
+            .to_string(),
+            1,
+        ),
+    ]
+}
+
+fn size_table() {
+    println!("\n=== C7: code-size (compactness) per program ===");
+    println!("{:<16} {:>12} {:>10} {:>10}", "program", "ast nodes", "blocks", "instrs");
+    for (name, src, _) in programs() {
+        let ast = parse_core(&src).unwrap();
+        let prog = compile(&ast).unwrap();
+        println!(
+            "{:<16} {:>12} {:>10} {:>10}",
+            name,
+            ast.size(),
+            prog.blocks.len(),
+            prog.instr_count()
+        );
+    }
+}
+
+fn bench_vm_vs_interp(c: &mut Criterion) {
+    size_table();
+
+    let mut group = c.benchmark_group("c7_vm_vs_interpreter");
+    group.sample_size(15);
+    for (name, src, elems) in programs() {
+        let ast = parse_core(&src).unwrap();
+        let prog = compile(&ast).unwrap();
+        group.throughput(Throughput::Elements(elems));
+        group.bench_with_input(BenchmarkId::new("vm", name), &prog, |b, prog| {
+            b.iter(|| {
+                let mut m = Machine::new(prog.clone(), LoopbackPort::new("main"));
+                m.run_to_quiescence(u64::MAX).expect("vm runs");
+                m.io.len()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("interpreter", name), &ast, |b, ast| {
+            b.iter(|| {
+                let mut net = Network::new();
+                net.add_site("main", ast.clone());
+                let out = net.run(u64::MAX).expect("interp runs");
+                assert!(out.quiescent);
+                out.outputs[0].len()
+            });
+        });
+    }
+    group.finish();
+
+    // Differential sanity inside the bench: identical observables.
+    for (name, src, _) in programs() {
+        let ast = parse_core(&src).unwrap();
+        let prog = compile(&ast).unwrap();
+        let mut m = Machine::new(prog, LoopbackPort::new("main"));
+        m.run_to_quiescence(u64::MAX).unwrap();
+        let mut vm_out = m.io.clone();
+        vm_out.sort();
+        let mut net = Network::new();
+        net.add_site("main", ast);
+        let out = net.run(u64::MAX).unwrap();
+        assert_eq!(vm_out, out.line_multiset(), "observable mismatch in {name}");
+    }
+}
+
+criterion_group!(benches, bench_vm_vs_interp);
+criterion_main!(benches);

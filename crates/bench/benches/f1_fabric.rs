@@ -1,0 +1,92 @@
+//! Experiment F1 (Fig. 1 — the hardware platform).
+//!
+//! The paper's platform is a 4-node cluster behind a 1 Gb/s Myrinet switch
+//! with a 100 Mb/s Fast Ethernet uplink. We reproduce the figure as a
+//! configuration and measure (a) the modelled transfer time of each link
+//! profile across message sizes — printed as a table — and (b) the real
+//! wall-clock cost of pushing packets through the fabric (Criterion).
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ditico_rt::{Fabric, FabricMode, LinkProfile};
+use tyco_vm::word::NodeId;
+
+fn virtual_time_table() {
+    println!("\n=== F1: modelled one-way transfer time (µs) per link profile ===");
+    println!("{:>10} {:>12} {:>12} {:>12}", "size (B)", "myrinet", "ethernet", "wan");
+    for size in [16usize, 256, 4096, 65536, 1 << 20] {
+        let m = LinkProfile::myrinet().transfer_ns(size) as f64 / 1e3;
+        let e = LinkProfile::fast_ethernet().transfer_ns(size) as f64 / 1e3;
+        let w = LinkProfile::wan().transfer_ns(size) as f64 / 1e3;
+        println!("{size:>10} {m:>12.1} {e:>12.1} {w:>12.1}");
+    }
+    println!(
+        "(shape check: latency dominates small messages — Myrinet ~8x faster; \
+         bandwidth dominates large ones — Myrinet ~10x faster)"
+    );
+}
+
+fn bench_fabric(c: &mut Criterion) {
+    virtual_time_table();
+
+    let mut group = c.benchmark_group("f1_fabric_send");
+    for &size in &[16usize, 1024, 65536] {
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("ideal_send_recv", size), &size, |b, &size| {
+            let fabric = Fabric::new(FabricMode::Ideal, LinkProfile::ideal());
+            let rx = fabric.register_node(NodeId(1));
+            let h = fabric.handle();
+            let payload = Bytes::from(vec![0u8; size]);
+            b.iter(|| {
+                h.send(NodeId(0), NodeId(1), payload.clone());
+                rx.try_recv().expect("delivered")
+            });
+        });
+        group.bench_with_input(
+            BenchmarkId::new("virtual_send_advance", size),
+            &size,
+            |b, &size| {
+                let fabric = Fabric::new(FabricMode::Virtual, LinkProfile::myrinet());
+                let rx = fabric.register_node(NodeId(1));
+                let h = fabric.handle();
+                let payload = Bytes::from(vec![0u8; size]);
+                b.iter(|| {
+                    h.send(NodeId(0), NodeId(1), payload.clone());
+                    let t = fabric.next_event_ns().expect("queued");
+                    fabric.advance_to(t);
+                    rx.try_recv().expect("delivered")
+                });
+            },
+        );
+    }
+    group.finish();
+
+    // All-to-all ping over the 4-node figure-1 topology in virtual time.
+    let mut group = c.benchmark_group("f1_four_node_all_to_all");
+    group.sample_size(20);
+    for (name, link) in
+        [("myrinet", LinkProfile::myrinet()), ("ethernet", LinkProfile::fast_ethernet())]
+    {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let fabric = Fabric::new(FabricMode::Virtual, link);
+                let rxs: Vec<_> = (0..4).map(|i| fabric.register_node(NodeId(i))).collect();
+                let h = fabric.handle();
+                for i in 0..4u32 {
+                    for j in 0..4u32 {
+                        if i != j {
+                            h.send(NodeId(i), NodeId(j), Bytes::from_static(&[0u8; 64]));
+                        }
+                    }
+                }
+                fabric.advance_to(u64::MAX / 2);
+                let delivered: usize = rxs.iter().map(|rx| rx.try_iter().count()).sum();
+                assert_eq!(delivered, 12);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fabric);
+criterion_main!(benches);

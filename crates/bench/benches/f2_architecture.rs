@@ -1,0 +1,87 @@
+//! Experiment F2 (Fig. 2 — the DiTyCO architecture).
+//!
+//! Nodes host pools of sites; the site-level communication topology is
+//! dynamic (export/import at run time) while the node topology is static.
+//! Workload: N nodes × M sites per node, every site imports a shared hub
+//! and a ring neighbour, producing mixed local/remote traffic. Measured:
+//! wall-clock of the deterministic scheduler (Criterion) and the
+//! local/remote traffic split (printed).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ditico::{Cluster, FabricMode, LinkProfile, RunLimits};
+use tyco_vm::word::NodeId;
+
+fn build_cluster(nodes: u32, sites_per_node: u32, pings: u64) -> Cluster {
+    let mut c = Cluster::new(FabricMode::Virtual, LinkProfile::myrinet(), 1);
+    let node_ids: Vec<NodeId> = (0..nodes).map(|_| c.add_node()).collect();
+    c.add_site_src(
+        node_ids[0],
+        "hub",
+        r#"
+        def Hub(self, n) = self?{ ping(r) = r![n] | Hub[self, n + 1] }
+        in export new hub in Hub[hub, 0]
+        "#,
+    )
+    .expect("hub compiles");
+    for node in 0..nodes {
+        for s in 0..sites_per_node {
+            let lexeme = format!("w{node}_{s}");
+            c.add_site_src(
+                node_ids[node as usize],
+                &lexeme,
+                &format!(
+                    r#"
+                    import hub from hub in
+                    def Loop(k) =
+                        if k > 0 then new a (hub!ping[a] | a?(v) = Loop[k - 1])
+                        else println("done")
+                    in Loop[{pings}]
+                    "#
+                ),
+            )
+            .expect("worker compiles");
+        }
+    }
+    c
+}
+
+fn bench_architecture(c: &mut Criterion) {
+    // Print the traffic split for the paper's 4x2 configuration.
+    {
+        let mut cluster = build_cluster(4, 2, 20);
+        let report = cluster.run_deterministic(RunLimits::default());
+        assert!(report.errors.is_empty());
+        let local: u64 = report.daemon_stats.iter().map(|d| d.local_deliveries).sum();
+        let remote: u64 = report.daemon_stats.iter().map(|d| d.remote_sends).sum();
+        println!("\n=== F2: 4 nodes x 2 sites, 8 workers x 20 pings to one hub ===");
+        println!(
+            "local (shared-memory) deliveries: {local}; remote (fabric) sends: {remote}; \
+             fabric bytes: {}",
+            report.fabric_bytes
+        );
+        println!("virtual completion time: {} µs", report.virtual_ns / 1_000);
+    }
+
+    let mut group = c.benchmark_group("f2_scheduler");
+    group.sample_size(10);
+    for &(nodes, sites) in &[(1u32, 8u32), (4, 2), (8, 1)] {
+        let total_pings = 8 * 20;
+        group.throughput(Throughput::Elements(total_pings));
+        group.bench_with_input(
+            BenchmarkId::new("deterministic_run", format!("{nodes}n_x_{sites}s")),
+            &(nodes, sites),
+            |b, &(nodes, sites)| {
+                b.iter(|| {
+                    let mut cluster = build_cluster(nodes, sites, 20);
+                    let report = cluster.run_deterministic(RunLimits::default());
+                    assert!(report.errors.is_empty());
+                    report.total_instrs
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_architecture);
+criterion_main!(benches);

@@ -1,0 +1,204 @@
+//! Experiment F3 (Fig. 3 — the site architecture: an extended TyCOVM).
+//!
+//! Microbenchmarks of the virtual machine's primitives: COMM reduction,
+//! INST, context switching, the export-table translation (ablation A1) and
+//! the byte codec that every remote interaction pays for.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ditico_bench::cell_churn;
+use tyco_vm::codec::{decode, encode, Packet};
+use tyco_vm::wire::WireWord;
+use tyco_vm::word::{NetRef, NodeId, SiteId, Word};
+use tyco_vm::{compile, LoopbackPort, Machine};
+
+fn machine_for(src: &str) -> Machine<LoopbackPort> {
+    Machine::from_source(src, LoopbackPort::new("main")).expect("compiles")
+}
+
+/// A port that resolves every import to a channel on a fictitious remote
+/// site and swallows all outbound traffic — isolates the sender-side cost
+/// of the SHIPM path.
+#[derive(Default)]
+struct BlackholePort;
+
+impl tyco_vm::NetPort for BlackholePort {
+    fn identity(&self) -> tyco_vm::Identity {
+        tyco_vm::Identity::default()
+    }
+    fn register(&mut self, _name: &str, _value: WireWord) {}
+    fn import(
+        &mut self,
+        _site: &str,
+        _name: &str,
+        _kind: tyco_vm::ImportKind,
+    ) -> tyco_vm::ImportReply {
+        tyco_vm::ImportReply::Ready(WireWord::Chan(NetRef {
+            heap_id: 0,
+            site: SiteId(999),
+            node: NodeId(999),
+        }))
+    }
+    fn send_msg(&mut self, _dest: NetRef, _label: &str, _args: Vec<WireWord>) {}
+    fn send_obj(&mut self, _dest: NetRef, _obj: tyco_vm::WireObj) {}
+    fn fetch(&mut self, class: NetRef) -> tyco_vm::FetchReplyNow {
+        tyco_vm::FetchReplyNow::Failed(format!("blackhole cannot fetch {class}"))
+    }
+    fn fetch_reply(&mut self, _to: tyco_vm::Identity, _req: u64, _group: tyco_vm::WireGroup, _index: u8) {}
+    fn poll(&mut self) -> Option<tyco_vm::Incoming> {
+        None
+    }
+}
+
+fn bench_reductions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f3_reductions");
+    // COMM: the cell-churn program performs 2 comms + 2 insts per
+    // iteration; normalize per transaction.
+    for &iters in &[100u64, 1000] {
+        group.throughput(Throughput::Elements(iters));
+        group.bench_with_input(
+            BenchmarkId::new("cell_transaction", iters),
+            &iters,
+            |b, &iters| {
+                let src = cell_churn(iters);
+                let prog = compile(&tyco_syntax::parse_core(&src).unwrap()).unwrap();
+                b.iter(|| {
+                    let mut m = Machine::new(prog.clone(), LoopbackPort::new("main"));
+                    m.run_to_quiescence(u64::MAX).expect("runs");
+                    assert_eq!(m.io.len(), 1);
+                    m.stats.comm
+                });
+            },
+        );
+    }
+    // INST: pure recursion, one instantiation per step.
+    group.throughput(Throughput::Elements(1000));
+    group.bench_function("instantiation_x1000", |b| {
+        let src = "def L(n) = if n > 0 then L[n - 1] else println(\"x\") in L[1000]";
+        let prog = compile(&tyco_syntax::parse_core(src).unwrap()).unwrap();
+        b.iter(|| {
+            let mut m = Machine::new(prog.clone(), LoopbackPort::new("main"));
+            m.run_to_quiescence(u64::MAX).expect("runs");
+            m.stats.inst
+        });
+    });
+    // Context switch: many tiny forked threads.
+    group.throughput(Throughput::Elements(512));
+    group.bench_function("fork_and_switch_x512", |b| {
+        let body = (0..512).map(|i| format!("print({i})")).collect::<Vec<_>>().join(" | ");
+        let prog = compile(&tyco_syntax::parse_core(&body).unwrap()).unwrap();
+        b.iter(|| {
+            let mut m = Machine::new(prog.clone(), LoopbackPort::new("main"));
+            m.run_to_quiescence(u64::MAX).expect("runs");
+            m.stats.threads
+        });
+    });
+    group.finish();
+}
+
+fn bench_dispatch_and_translation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f3_network_paths");
+    // Local vs network reference dispatch in trmsg: the same send, once on
+    // a local channel, once on a NetChan (which is packaged and queued).
+    group.bench_function("trmsg_local", |b| {
+        let src = r#"
+            def L(ch, n) = if n > 0 then (ch![n] | L[ch, n - 1]) else println("x")
+            in new sink (sink?{ } | 0) | new c L[c, 500]
+        "#;
+        let prog = compile(&tyco_syntax::parse_core(src).unwrap()).unwrap();
+        b.iter(|| {
+            let mut m = Machine::new(prog.clone(), LoopbackPort::new("main"));
+            m.run_to_quiescence(u64::MAX).expect("runs");
+        });
+    });
+    group.bench_function("trmsg_network_packaged", |b| {
+        // The channel resolves to a reference on a *different* site: every
+        // send takes the SHIPM path (translate, package, enqueue).
+        let src = r#"
+            import c from elsewhere in
+            def L(ch, n) = if n > 0 then (ch![n] | L[ch, n - 1]) else println("x")
+            in L[c, 500]
+        "#;
+        let prog = compile(&tyco_syntax::parse_core(src).unwrap()).unwrap();
+        b.iter(|| {
+            let mut m = Machine::new(prog.clone(), BlackholePort);
+            m.run_to_quiescence(u64::MAX).expect("runs");
+            assert_eq!(m.stats.msgs_sent, 500);
+        });
+    });
+
+    // A1 ablation: the export-table translation cost in isolation.
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("a1_outgoing_translation_chan", |b| {
+        let mut m = machine_for("new c (c![1] | c?(x) = 0)");
+        m.run_to_quiescence(u64::MAX).unwrap();
+        b.iter(|| m.outgoing(Word::Chan(0)));
+    });
+    group.bench_function("a1_outgoing_translation_int", |b| {
+        let mut m = machine_for("0");
+        b.iter(|| m.outgoing(Word::Int(42)));
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("f3_codec");
+    let msg = Packet::Msg {
+        dest: NetRef { heap_id: 3, site: SiteId(1), node: NodeId(1) },
+        label: "val".to_string(),
+        args: vec![
+            WireWord::Int(1),
+            WireWord::Str("payload".to_string()),
+            WireWord::Chan(NetRef { heap_id: 9, site: SiteId(0), node: NodeId(0) }),
+        ],
+    };
+    let bytes = encode(&msg);
+    group.throughput(Throughput::Bytes(bytes.len() as u64));
+    group.bench_function("encode_msg", |b| b.iter(|| encode(&msg)));
+    group.bench_function("decode_msg", |b| b.iter(|| decode(bytes.clone()).unwrap()));
+
+    // Mobility packet: a real object with code.
+    let prog = compile(
+        &tyco_syntax::parse_core(
+            "new x x?{ go(n) = if n > 0 then (print(n) | x!go[n - 1]) else println(\"d\") }",
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    let packed = tyco_vm::pack(&prog, &[0]);
+    let obj = Packet::Obj {
+        dest: NetRef { heap_id: 0, site: SiteId(1), node: NodeId(1) },
+        obj: tyco_vm::WireObj { code: packed.code.clone(), table: 0, captured: vec![] },
+    };
+    let obj_bytes = encode(&obj);
+    group.throughput(Throughput::Bytes(obj_bytes.len() as u64));
+    group.bench_function("encode_obj_with_code", |b| b.iter(|| encode(&obj)));
+    group.bench_function("decode_obj_with_code", |b| b.iter(|| decode(obj_bytes.clone()).unwrap()));
+    group.bench_function("link_obj_code", |b| {
+        b.iter(|| {
+            let mut dest = tyco_vm::Program::default();
+            tyco_vm::link(&mut dest, &packed.code)
+        });
+    });
+    group.finish();
+}
+
+fn bench_gc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f3_gc");
+    group.sample_size(20);
+    group.bench_function("mark_sweep_8k_live", |b| {
+        // Build a machine with a few thousand live channels, then GC.
+        let src = r#"
+            def Mk(n) = if n > 0 then new c ((c?(x) = print(x)) | Mk[n - 1]) else println("x")
+            in Mk[8000]
+        "#;
+        let prog = compile(&tyco_syntax::parse_core(src).unwrap()).unwrap();
+        b.iter(|| {
+            let mut m = Machine::new(prog.clone(), LoopbackPort::new("main"));
+            m.run_to_quiescence(u64::MAX).expect("runs");
+            m.gc();
+            m.live_channels()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_reductions, bench_dispatch_and_translation, bench_gc);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Experiments F4 + C4 (Fig. 4 — node architecture; the shared-memory
+//! optimization).
+//!
+//! *"Local interactions are optimized using shared memory. Remote
+//! interactions involve three steps"* (§5). Same program, two placements:
+//! client and server on the **same node** (packets move by reference, no
+//! codec, no fabric) vs **different nodes** (encode → fabric → decode).
+//! Measured: wall-clock per RPC (Criterion) and the modelled gap (printed).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ditico::{Cluster, FabricMode, LinkProfile, RunLimits};
+use ditico_bench::{sequential_client, ECHO_SERVER};
+
+fn run_placement(same_node: bool, rpcs: u64, mode: FabricMode) -> ditico::RunReport {
+    let mut c = Cluster::new(mode, LinkProfile::myrinet(), 1);
+    let n0 = c.add_node();
+    let n1 = if same_node { n0 } else { c.add_node() };
+    c.add_site_src(n0, "server", ECHO_SERVER).unwrap();
+    c.add_site_src(n1, "client", &sequential_client(rpcs)).unwrap();
+    c.run_deterministic(RunLimits::default())
+}
+
+fn bench_local_vs_remote(c: &mut Criterion) {
+    // Printed: modelled virtual-time gap.
+    {
+        let local = run_placement(true, 100, FabricMode::Virtual);
+        let remote = run_placement(false, 100, FabricMode::Virtual);
+        assert!(local.output("client").iter().any(|l| l == "done"));
+        assert!(remote.output("client").iter().any(|l| l == "done"));
+        println!("\n=== F4/C4: 100 sequential RPCs, same node vs different nodes ===");
+        println!(
+            "same node:  virtual {} µs, fabric packets {}, local deliveries {}",
+            local.virtual_ns / 1_000,
+            local.fabric_packets,
+            local.daemon_stats.iter().map(|d| d.local_deliveries).sum::<u64>()
+        );
+        println!(
+            "two nodes:  virtual {} µs, fabric packets {}, fabric bytes {}",
+            remote.virtual_ns / 1_000,
+            remote.fabric_packets,
+            remote.fabric_bytes
+        );
+        println!("(claim: the same-node path pays zero network time)");
+    }
+
+    // Criterion: real wall-clock including the codec on the remote path.
+    let mut group = c.benchmark_group("f4_placement");
+    group.sample_size(20);
+    for &rpcs in &[50u64, 200] {
+        group.throughput(Throughput::Elements(rpcs));
+        group.bench_with_input(BenchmarkId::new("same_node", rpcs), &rpcs, |b, &rpcs| {
+            b.iter(|| {
+                let r = run_placement(true, rpcs, FabricMode::Ideal);
+                assert!(r.errors.is_empty());
+                r.total_instrs
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("two_nodes", rpcs), &rpcs, |b, &rpcs| {
+            b.iter(|| {
+                let r = run_placement(false, rpcs, FabricMode::Ideal);
+                assert!(r.errors.is_empty());
+                r.total_instrs
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_local_vs_remote);
+criterion_main!(benches);

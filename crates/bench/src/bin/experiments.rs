@@ -1,0 +1,269 @@
+//! Regenerate every virtual-time table of the experiment suite in one run
+//! (the Criterion benches additionally measure wall-clock costs; this
+//! binary produces the deterministic, host-independent numbers recorded in
+//! EXPERIMENTS.md).
+//!
+//! ```sh
+//! cargo run --release -p ditico-bench --bin experiments
+//! ```
+
+use ditico::{Cluster, Env, FabricMode, LinkProfile, RunLimits, Topology};
+use ditico_bench::*;
+use tyco_calculus::Network;
+use tyco_vm::{compile, LoopbackPort, Machine, QueuePolicy};
+
+fn main() {
+    f1_link_profiles();
+    f2_architecture();
+    f4_local_vs_remote();
+    c1_granularity();
+    c2_latency_hiding();
+    c3_remote_steps();
+    c5_fetch_vs_ship();
+    c6_mobility_vs_rmi();
+    c7_code_size();
+    c8_failover();
+    println!("\nAll experiment tables regenerated.");
+}
+
+fn f1_link_profiles() {
+    println!("=== F1 (Fig. 1): modelled one-way transfer time (µs) per link profile ===");
+    println!("{:>10} {:>12} {:>12} {:>12}", "size (B)", "myrinet", "ethernet", "wan");
+    for size in [16usize, 256, 4096, 65536, 1 << 20] {
+        println!(
+            "{size:>10} {:>12.1} {:>12.1} {:>12.1}",
+            LinkProfile::myrinet().transfer_ns(size) as f64 / 1e3,
+            LinkProfile::fast_ethernet().transfer_ns(size) as f64 / 1e3,
+            LinkProfile::wan().transfer_ns(size) as f64 / 1e3
+        );
+    }
+}
+
+fn f2_architecture() {
+    println!("\n=== F2 (Fig. 2): 4 nodes x 2 sites, 8 workers x 20 pings to one hub ===");
+    let mut c = Cluster::new(FabricMode::Virtual, LinkProfile::myrinet(), 1);
+    let nodes: Vec<_> = (0..4).map(|_| c.add_node()).collect();
+    c.add_site_src(
+        nodes[0],
+        "hub",
+        "def Hub(self, n) = self?{ ping(r) = r![n] | Hub[self, n + 1] } in export new hub in Hub[hub, 0]",
+    )
+    .unwrap();
+    for (i, node) in nodes.iter().enumerate() {
+        for j in 0..2 {
+            if i == 0 && j == 0 {
+                continue;
+            }
+            c.add_site_src(
+                *node,
+                &format!("w{i}{j}"),
+                r#"
+                import hub from hub in
+                def Loop(k) = if k > 0 then new a (hub!ping[a] | a?(v) = Loop[k - 1]) else println("done")
+                in Loop[20]
+                "#,
+            )
+            .unwrap();
+        }
+    }
+    let report = c.run_deterministic(RunLimits::default());
+    assert!(report.errors.is_empty());
+    println!(
+        "local deliveries: {}; remote sends: {}; fabric bytes: {}; virtual time: {} µs",
+        report.daemon_stats.iter().map(|d| d.local_deliveries).sum::<u64>(),
+        report.daemon_stats.iter().map(|d| d.remote_sends).sum::<u64>(),
+        report.fabric_bytes,
+        report.virtual_ns / 1_000
+    );
+}
+
+fn f4_local_vs_remote() {
+    println!("\n=== F4/C4 (Fig. 4): 100 sequential RPCs, same node vs two nodes ===");
+    for same in [true, false] {
+        let mut c = Cluster::new(FabricMode::Virtual, LinkProfile::myrinet(), 1);
+        let n0 = c.add_node();
+        let n1 = if same { n0 } else { c.add_node() };
+        c.add_site_src(n0, "server", ECHO_SERVER).unwrap();
+        c.add_site_src(n1, "client", &sequential_client(100)).unwrap();
+        let r = c.run_deterministic(RunLimits::default());
+        println!(
+            "{}: virtual {} µs, fabric packets {}, fabric bytes {}",
+            if same { "same node " } else { "two nodes " },
+            r.virtual_ns / 1_000,
+            r.fabric_packets,
+            r.fabric_bytes
+        );
+    }
+}
+
+fn c1_granularity() {
+    println!("\n=== C1: byte-code instructions per thread ===");
+    println!("{:<20} {:>9} {:>7} {:>6} {:>6} {:>6}", "program", "threads", "mean", "min", "p90≤", "max");
+    let programs: Vec<(&str, String)> = vec![
+        ("cell_churn_200", cell_churn(200)),
+        (
+            "rpc_chain_100",
+            r#"
+            def Srv(s) = s?{ v(x, r) = r![x + 1] | Srv[s] }
+            and Loop(s, n) = if n > 0 then new a (s!v[n, a] | a?(x) = Loop[s, n - 1]) else println("x")
+            in new s (Srv[s] | Loop[s, 100])
+            "#
+            .to_string(),
+        ),
+        ("fanout_500", (0..500).map(|i| format!("print({i})")).collect::<Vec<_>>().join(" | ")),
+    ];
+    for (name, src) in &programs {
+        let prog = compile(&tyco_syntax::parse_core(src).unwrap()).unwrap();
+        let mut m = Machine::new(prog, LoopbackPort::new("main"));
+        m.run_to_quiescence(u64::MAX).unwrap();
+        let h = &m.stats.thread_len;
+        println!(
+            "{:<20} {:>9} {:>7.1} {:>6} {:>6} {:>6}",
+            name,
+            h.count,
+            h.mean(),
+            h.min,
+            h.percentile(0.9),
+            h.max
+        );
+    }
+}
+
+fn c2_latency_hiding() {
+    println!("\n=== C2: virtual time (µs) of 96 RPCs vs client concurrency ===");
+    println!("{:>18} {:>9} {:>9} {:>9} {:>9} {:>9}", "link \\ width", 1, 2, 4, 8, 16);
+    for (name, link) in [
+        ("myrinet (9µs)", LinkProfile::myrinet()),
+        ("ethernet (70µs)", LinkProfile::fast_ethernet()),
+        ("wan (20ms)", LinkProfile::wan()),
+    ] {
+        let mut row = format!("{name:>18}");
+        for width in [1u64, 2, 4, 8, 16] {
+            let mut built = Env::new(Topology {
+                nodes: 2,
+                mode: FabricMode::Virtual,
+                link,
+                ns_replicas: 1,
+            })
+            .site_on(0, "server", ECHO_SERVER)
+            .unwrap()
+            .site_on(1, "client", &pipelined_client(96, width))
+            .unwrap()
+            .build()
+            .unwrap();
+            built.cluster.set_queue_policy(QueuePolicy::Fifo);
+            let r = built.run_deterministic(RunLimits::default());
+            assert!(r.errors.is_empty());
+            row.push_str(&format!(" {:>9}", r.virtual_ns / 1_000));
+        }
+        println!("{row}");
+    }
+}
+
+fn c3_remote_steps() {
+    println!("\n=== C3: reduction steps per remote interaction (calculus counters) ===");
+    let cases: [(&str, &str, &str); 3] = [
+        ("remote message", "export new p in p?{ go(n) = 0 }", "import p from server in p!go[1]"),
+        (
+            "object migration",
+            "def S(p) = p?{ go(q) = (q?(x) = 0) | S[p] } in export new p in S[p]",
+            "import p from server in new q (p!go[q] | q![1])",
+        ),
+        ("class fetch", "export def K(v) = 0 in 0", "import K from server in K[1]"),
+    ];
+    println!("{:<20} {:>6} {:>6} {:>6} {:>6} {:>6}", "interaction", "shipm", "shipo", "fetch", "comm", "inst");
+    for (name, server, client) in cases {
+        let mut net = Network::new();
+        net.add_site_src("server", server).unwrap();
+        net.add_site_src("client", client).unwrap();
+        let out = net.run(100_000).unwrap();
+        let c = out.counters;
+        println!("{:<20} {:>6} {:>6} {:>6} {:>6} {:>6}", name, c.shipm, c.shipo, c.fetch, c.comm, c.inst);
+    }
+}
+
+fn c5_fetch_vs_ship() {
+    println!("\n=== C5: fetch vs ship (ethernet) — virtual µs and fabric bytes vs R ===");
+    println!("{:>5} {:>10} {:>10} {:>12} {:>12}", "R", "fetch µs", "ship µs", "fetch bytes", "ship bytes");
+    for r in [1u64, 2, 4, 8, 16, 32, 64] {
+        let fetch =
+            run_two_node(LinkProfile::fast_ethernet(), FETCH_SERVER, &fetch_client(r), 100_000_000);
+        let ship =
+            run_two_node(LinkProfile::fast_ethernet(), SHIP_SERVER, &ship_client(r), 100_000_000);
+        assert_done(&fetch);
+        assert_done(&ship);
+        println!(
+            "{:>5} {:>10} {:>10} {:>12} {:>12}",
+            r,
+            fetch.virtual_ns / 1_000,
+            ship.virtual_ns / 1_000,
+            fetch.fabric_bytes,
+            ship.fabric_bytes
+        );
+    }
+}
+
+fn c6_mobility_vs_rmi() {
+    println!("\n=== C6: mobility vs RMI (ethernet) — virtual µs, 4 objects x C calls ===");
+    println!("{:>6} {:>10} {:>12}", "C", "rmi µs", "mobility µs");
+    for calls in [1u64, 2, 4, 8, 16, 32] {
+        let rmi = run_two_node(
+            LinkProfile::fast_ethernet(),
+            RMI_SERVER,
+            &rmi_client(4, calls),
+            200_000_000,
+        );
+        let mobility = run_two_node(
+            LinkProfile::fast_ethernet(),
+            MOBILITY_SERVER,
+            &mobility_client(4, calls),
+            200_000_000,
+        );
+        assert_done(&rmi);
+        assert_done(&mobility);
+        println!("{:>6} {:>10} {:>12}", calls, rmi.virtual_ns / 1_000, mobility.virtual_ns / 1_000);
+    }
+}
+
+fn c7_code_size() {
+    println!("\n=== C7: code size (compactness) ===");
+    println!("{:<16} {:>10} {:>8} {:>8}", "program", "ast", "blocks", "instrs");
+    let programs: Vec<(&str, String)> = vec![
+        ("cell_churn", cell_churn(300)),
+        ("counter", "def L(n) = if n > 0 then L[n - 1] else println(\"x\") in L[2000]".to_string()),
+    ];
+    for (name, src) in &programs {
+        let ast = tyco_syntax::parse_core(src).unwrap();
+        let prog = compile(&ast).unwrap();
+        println!("{:<16} {:>10} {:>8} {:>8}", name, ast.size(), prog.blocks.len(), prog.instr_count());
+    }
+}
+
+fn c8_failover() {
+    println!("\n=== C8: name-service failover (virtual time) ===");
+    for replicas in [2usize, 3] {
+        let mut c = Cluster::new(FabricMode::Virtual, LinkProfile::myrinet(), replicas);
+        let nodes: Vec<_> = (0..replicas + 1).map(|_| c.add_node()).collect();
+        let worker = nodes[replicas];
+        c.heartbeat_every = Some(64);
+        c.stale_periods = 2;
+        c.add_site_src(
+            worker,
+            "server",
+            "def S(p) = p?{ v(x, r) = r![x] | S[p] } in export new p in S[p]",
+        )
+        .unwrap();
+        c.run_deterministic(RunLimits { max_instrs: 1_000_000, fuel_per_slice: 256 });
+        let before = c.virtual_ns();
+        c.kill_node(nodes[0]);
+        c.add_site_src(worker, "client", "import p from server in new a (p!v[1, a] | a?(x) = print(x))")
+            .unwrap();
+        let report = c.run_deterministic(RunLimits { max_instrs: 10_000_000, fuel_per_slice: 256 });
+        assert_eq!(report.output("client"), ["1".to_string()]);
+        println!(
+            "{replicas} replicas: recovery {} µs after kill; total register packets {}",
+            (report.virtual_ns - before) / 1_000,
+            report.fabric_packets
+        );
+    }
+}

@@ -1,0 +1,350 @@
+//! The DiTyCO environment: a declarative builder over the distributed
+//! runtime, with link-time interface checking and a reference semantics
+//! for differential testing.
+
+use crate::program::{Program, ProgramError};
+use ditico_rt::{Cluster, FabricMode, LinkProfile, RunLimits, RunReport};
+use std::collections::HashMap;
+use std::fmt;
+use tyco_calculus::{Network, Outcome, RtError, Scheduler};
+use tyco_types::infer::ImportKind;
+use tyco_vm::word::NodeId;
+
+/// Environment-level errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EnvError {
+    Program(String, ProgramError),
+    /// Link-time protocol mismatch between an importer and an exporter
+    /// (the dynamic half of the hybrid check, §7).
+    Interface { importer: String, exporter: String, name: String, expected: String, actual: String },
+    /// An import refers to a site that is never defined.
+    UnknownSite { importer: String, site: String },
+    /// An import names an identifier its exporter never exports (the
+    /// import would block forever).
+    MissingExport { importer: String, exporter: String, name: String },
+    Reference(String),
+}
+
+impl fmt::Display for EnvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EnvError::Program(site, e) => write!(f, "in site `{site}`: {e}"),
+            EnvError::Interface { importer, exporter, name, expected, actual } => write!(
+                f,
+                "interface mismatch: `{importer}` imports `{name}` from `{exporter}` expecting \
+                 `{expected}`, but it is exported as `{actual}`"
+            ),
+            EnvError::UnknownSite { importer, site } => {
+                write!(f, "site `{importer}` imports from unknown site `{site}`")
+            }
+            EnvError::MissingExport { importer, exporter, name } => write!(
+                f,
+                "site `{importer}` imports `{name}` from `{exporter}`, which never exports it \
+                 (the import would block forever)"
+            ),
+            EnvError::Reference(e) => write!(f, "reference semantics: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EnvError {}
+
+/// How sites are mapped onto nodes and how the fabric behaves.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    /// Number of nodes; sites are placed round-robin unless pinned.
+    pub nodes: usize,
+    pub mode: FabricMode,
+    pub link: LinkProfile,
+    pub ns_replicas: usize,
+}
+
+impl Default for Topology {
+    fn default() -> Self {
+        Topology {
+            nodes: 1,
+            mode: FabricMode::Ideal,
+            link: LinkProfile::ideal(),
+            ns_replicas: 1,
+        }
+    }
+}
+
+impl Topology {
+    /// The paper's hardware platform (Fig. 1): four nodes on a Myrinet
+    /// switch, deterministic virtual time.
+    pub fn paper_cluster() -> Topology {
+        Topology {
+            nodes: 4,
+            mode: FabricMode::Virtual,
+            link: LinkProfile::myrinet(),
+            ns_replicas: 1,
+        }
+    }
+}
+
+/// A site declaration queued in the builder.
+struct SiteDecl {
+    lexeme: String,
+    program: Program,
+    pin: Option<usize>,
+}
+
+/// The DiTyCO environment builder.
+pub struct Env {
+    topology: Topology,
+    sites: Vec<SiteDecl>,
+    /// Skip the link-time interface check (to demonstrate pure dynamic
+    /// checking at reduction time).
+    pub check_interfaces: bool,
+}
+
+impl Env {
+    pub fn new(topology: Topology) -> Env {
+        Env { topology, sites: Vec::new(), check_interfaces: true }
+    }
+
+    /// A single-node environment with an ideal fabric.
+    pub fn local() -> Env {
+        Env::new(Topology::default())
+    }
+
+    /// Declare a site from source (placed round-robin).
+    pub fn site(mut self, lexeme: &str, source: &str) -> Result<Env, EnvError> {
+        let program = Program::compile(source)
+            .map_err(|e| EnvError::Program(lexeme.to_string(), e))?;
+        self.sites.push(SiteDecl { lexeme: lexeme.to_string(), program, pin: None });
+        Ok(self)
+    }
+
+    /// Declare a site pinned to a specific node index.
+    pub fn site_on(mut self, node: usize, lexeme: &str, source: &str) -> Result<Env, EnvError> {
+        let program = Program::compile(source)
+            .map_err(|e| EnvError::Program(lexeme.to_string(), e))?;
+        self.sites.push(SiteDecl { lexeme: lexeme.to_string(), program, pin: Some(node) });
+        Ok(self)
+    }
+
+    /// Link-time interface check: every import expectation must be
+    /// compatible with the exporter's inferred interface (the paper's
+    /// hybrid static/dynamic type checking applied at deployment).
+    fn check_links(&self) -> Result<(), EnvError> {
+        if !self.check_interfaces {
+            return Ok(());
+        }
+        let by_lexeme: HashMap<&str, &SiteDecl> =
+            self.sites.iter().map(|s| (s.lexeme.as_str(), s)).collect();
+        for s in &self.sites {
+            for (site, name, kind) in &s.program.types.imports {
+                let Some(exporter) = by_lexeme.get(site.as_str()) else {
+                    return Err(EnvError::UnknownSite {
+                        importer: s.lexeme.clone(),
+                        site: site.clone(),
+                    });
+                };
+                // Exports are syntactically static (`export new` /
+                // `export def`), so an identifier absent from the
+                // exporter's interface can never appear: the import would
+                // block forever. Catch it at link time.
+                let exported = match kind {
+                    ImportKind::Name => exporter.program.types.exported_names.contains_key(name),
+                    ImportKind::Class => {
+                        exporter.program.types.exported_classes.contains_key(name)
+                    }
+                };
+                if !exported {
+                    return Err(EnvError::MissingExport {
+                        importer: s.lexeme.clone(),
+                        exporter: site.clone(),
+                        name: name.clone(),
+                    });
+                }
+                if *kind == ImportKind::Name {
+                    let expected =
+                        s.program.types.import_expectations.get(&(site.clone(), name.clone()));
+                    let actual = exporter.program.types.exported_names.get(name);
+                    if let (Some(exp), Some(act)) = (expected, actual) {
+                        if !tyco_types::compatible(exp, act) {
+                            return Err(EnvError::Interface {
+                                importer: s.lexeme.clone(),
+                                exporter: site.clone(),
+                                name: name.clone(),
+                                expected: exp.to_string(),
+                                actual: act.to_string(),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Materialize the cluster (nodes, daemons, sites).
+    pub fn build(self) -> Result<BuiltEnv, EnvError> {
+        self.check_links()?;
+        let mut cluster =
+            Cluster::new(self.topology.mode, self.topology.link, self.topology.ns_replicas);
+        let nodes: Vec<NodeId> = (0..self.topology.nodes.max(1)).map(|_| cluster.add_node()).collect();
+        let mut placements = Vec::new();
+        for (i, s) in self.sites.into_iter().enumerate() {
+            let node = nodes[s.pin.unwrap_or(i % nodes.len())];
+            cluster.add_site(node, &s.lexeme, s.program.code.clone());
+            placements.push((s.lexeme.clone(), node, s.program));
+        }
+        Ok(BuiltEnv { cluster, placements })
+    }
+
+    /// Build and run deterministically with default limits.
+    pub fn run(self) -> Result<RunReport, EnvError> {
+        Ok(self.build()?.run_deterministic(RunLimits::default()))
+    }
+
+    /// Run the same site programs on the calculus interpreter — the
+    /// reference semantics used for differential testing and as the
+    /// experiment-C7 baseline.
+    pub fn run_reference(&self, max_steps: u64) -> Result<Outcome, EnvError> {
+        self.run_reference_with(Scheduler::RoundRobin, max_steps)
+    }
+
+    pub fn run_reference_with(
+        &self,
+        scheduler: Scheduler,
+        max_steps: u64,
+    ) -> Result<Outcome, EnvError> {
+        let mut net = Network::new().with_scheduler(scheduler);
+        for s in &self.sites {
+            net.add_site(&s.lexeme, s.program.ast.clone());
+        }
+        net.run(max_steps).map_err(|e: RtError| EnvError::Reference(e.to_string()))
+    }
+
+    /// The declared site lexemes, in order.
+    pub fn lexemes(&self) -> Vec<String> {
+        self.sites.iter().map(|s| s.lexeme.clone()).collect()
+    }
+}
+
+/// A materialized environment ready to run.
+pub struct BuiltEnv {
+    pub cluster: Cluster,
+    /// (lexeme, node, program) for each site.
+    pub placements: Vec<(String, NodeId, Program)>,
+}
+
+impl BuiltEnv {
+    pub fn run_deterministic(&mut self, limits: RunLimits) -> RunReport {
+        self.cluster.run_deterministic(limits)
+    }
+
+    pub fn run_threaded(self, wall: std::time::Duration) -> RunReport {
+        self.cluster.run_threaded(wall)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_env_runs_cell() {
+        let report = Env::local()
+            .site(
+                "main",
+                r#"
+                def Cell(self, v) =
+                    self ? { read(r) = r![v] | Cell[self, v], write(u) = Cell[self, u] }
+                in new x (Cell[x, 9] | new z (x!read[z] | z?(w) = print(w)))
+                "#,
+            )
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(report.output("main"), ["9".to_string()]);
+    }
+
+    #[test]
+    fn paper_cluster_topology_places_sites() {
+        let built = Env::new(Topology::paper_cluster())
+            .site("a", "println(\"a\")")
+            .unwrap()
+            .site("b", "println(\"b\")")
+            .unwrap()
+            .build()
+            .unwrap();
+        assert_eq!(built.placements[0].1, NodeId(0));
+        assert_eq!(built.placements[1].1, NodeId(1));
+    }
+
+    #[test]
+    fn interface_check_rejects_protocol_mismatch() {
+        // Importer sends `go(int)`, exporter offers only `halt()`.
+        let err = Env::new(Topology { nodes: 2, ..Topology::default() })
+            .site("server", "export new p in p?{ halt() = 0 }")
+            .unwrap()
+            .site("client", "import p from server in p!go[1]")
+            .unwrap()
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, EnvError::Interface { .. }), "{err}");
+    }
+
+    #[test]
+    fn interface_check_accepts_compatible() {
+        let report = Env::new(Topology { nodes: 2, ..Topology::default() })
+            .site("server", "export new p in p?{ go(n) = print(n), halt() = 0 }")
+            .unwrap()
+            .site("client", "import p from server in p!go[1]")
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(report.output("server"), ["1".to_string()]);
+    }
+
+    #[test]
+    fn unknown_site_rejected_at_link_time() {
+        let err = Env::local()
+            .site("client", "import p from nowhere in p![1]")
+            .unwrap()
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, EnvError::UnknownSite { .. }), "{err}");
+    }
+
+    #[test]
+    fn dynamic_check_still_fires_when_static_disabled() {
+        let mut env = Env::new(Topology { nodes: 2, ..Topology::default() });
+        env.check_interfaces = false;
+        let report = env
+            .site("server", "export new p in p?{ halt() = 0 }")
+            .unwrap()
+            .site("client", "import p from server in p!go[1]")
+            .unwrap()
+            .run()
+            .unwrap();
+        // The protocol error shows up at reduction time on the server.
+        assert!(
+            report.errors.iter().any(|(s, e)| s == "server" && e.to_string().contains("go")),
+            "{:?}",
+            report.errors
+        );
+    }
+
+    #[test]
+    fn reference_semantics_agrees_on_cell() {
+        let env = Env::local()
+            .site(
+                "main",
+                "new x (x!go[2] | x?{ go(n) = print(n * 10) })",
+            )
+            .unwrap();
+        let reference = env.run_reference(100_000).unwrap();
+        let vm = env.run().unwrap();
+        assert_eq!(reference.line_multiset(), {
+            let mut v: Vec<String> =
+                vm.outputs.values().flat_map(|l| l.iter().cloned()).collect();
+            v.sort();
+            v
+        });
+    }
+}

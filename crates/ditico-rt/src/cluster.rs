@@ -1,0 +1,500 @@
+//! The cluster environment: nodes, sites, fabric and the two execution
+//! modes (deterministic virtual-time and threaded real-time).
+//!
+//! This is the programmatic face of Fig. 2 of the paper: a static IP
+//! topology of nodes, each running a pool of sites plus a TyCOd, with a
+//! name service hosted on the first node(s) and sites communicating
+//! point-to-point through the fabric. The TyCOi/TyCOsh user-level flow
+//! ("users submit new programs for execution in a node") corresponds to
+//! [`Cluster::add_site`].
+
+use crate::daemon::{Daemon, DaemonStats, TermCounters};
+use crate::fabric::{Fabric, FabricMode, LinkProfile};
+use crate::failure::FailureMonitor;
+use crate::site::{RtIncoming, RtPort, Site};
+use crate::termination::{Snapshot, TerminationDetector};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use tyco_vm::codec::Packet;
+use tyco_vm::stats::ExecStats;
+use tyco_vm::word::{Identity, NodeId, SiteId};
+use tyco_vm::{Program, VmError};
+
+/// One node: its daemon, its sites, and the shared outgoing queue end
+/// that new sites clone.
+struct NodeCell {
+    id: NodeId,
+    daemon: Daemon,
+    sites: Vec<Site>,
+    out_tx: Sender<(SiteId, Packet)>,
+    dead: bool,
+}
+
+/// Everything a finished run reports.
+#[derive(Debug, Default)]
+pub struct RunReport {
+    /// I/O-port lines per site lexeme.
+    pub outputs: HashMap<String, Vec<String>>,
+    /// VM statistics per site lexeme.
+    pub stats: HashMap<String, ExecStats>,
+    /// Runtime errors per site lexeme.
+    pub errors: Vec<(String, VmError)>,
+    /// Final virtual time (deterministic mode; 0 otherwise).
+    pub virtual_ns: u64,
+    /// Fabric traffic.
+    pub fabric_packets: u64,
+    pub fabric_bytes: u64,
+    /// Per-node daemon statistics.
+    pub daemon_stats: Vec<DaemonStats>,
+    /// True when the run ended with nothing runnable anywhere.
+    pub quiescent: bool,
+    /// Import requests still unresolved at the end.
+    pub blocked_imports: usize,
+    /// Probes the termination detector performed (threaded mode).
+    pub detector_probes: u64,
+    /// Total byte-code instructions executed across all sites.
+    pub total_instrs: u64,
+}
+
+impl RunReport {
+    /// Output lines of one site (empty slice if unknown).
+    pub fn output(&self, lexeme: &str) -> &[String] {
+        self.outputs.get(lexeme).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Summed VM statistics across sites.
+    pub fn total_comm(&self) -> u64 {
+        self.stats.values().map(|s| s.comm).sum()
+    }
+
+    pub fn total_shipped(&self) -> u64 {
+        self.stats.values().map(|s| s.msgs_sent + s.objs_sent + s.fetches).sum()
+    }
+}
+
+/// Limits for a deterministic run.
+#[derive(Debug, Clone, Copy)]
+pub struct RunLimits {
+    /// Stop after this many byte-code instructions (across all sites).
+    pub max_instrs: u64,
+    /// Instructions per site slice (context-switch granularity between
+    /// sites in the deterministic scheduler).
+    pub fuel_per_slice: u64,
+}
+
+impl Default for RunLimits {
+    fn default() -> Self {
+        RunLimits { max_instrs: 100_000_000, fuel_per_slice: 4096 }
+    }
+}
+
+/// A DiTyCO cluster.
+pub struct Cluster {
+    fabric: Fabric,
+    mode: FabricMode,
+    nodes: Vec<NodeCell>,
+    term: Arc<TermCounters>,
+    ns_replicas: usize,
+    ns_primary: Arc<AtomicUsize>,
+    site_lexemes: Vec<String>,
+    /// Heartbeat cadence in scheduler rounds (deterministic mode);
+    /// `None` disables heartbeats.
+    pub heartbeat_every: Option<u64>,
+    /// Staleness threshold for the failure monitor, in heartbeat periods.
+    pub stale_periods: u64,
+}
+
+impl Cluster {
+    /// A cluster with the given fabric mode and default link profile.
+    /// `ns_replicas` ≥ 1 name-service replicas are hosted on the first
+    /// nodes added.
+    pub fn new(mode: FabricMode, link: LinkProfile, ns_replicas: usize) -> Cluster {
+        Cluster {
+            fabric: Fabric::new(mode, link),
+            mode,
+            nodes: Vec::new(),
+            term: Arc::new(TermCounters::default()),
+            ns_replicas: ns_replicas.max(1),
+            ns_primary: Arc::new(AtomicUsize::new(0)),
+            site_lexemes: Vec::new(),
+            heartbeat_every: None,
+            stale_periods: 3,
+        }
+    }
+
+    /// A single-node, ideal-fabric cluster (functional testing).
+    pub fn local() -> Cluster {
+        let mut c = Cluster::new(FabricMode::Ideal, LinkProfile::ideal(), 1);
+        c.add_node();
+        c
+    }
+
+    /// Override one link's profile.
+    pub fn set_link(&self, a: NodeId, b: NodeId, profile: LinkProfile) {
+        self.fabric.set_link(a, b, profile);
+    }
+
+    /// Add a node (an "IP node" of Fig. 2) and its TyCOd.
+    pub fn add_node(&mut self) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        let (out_tx, out_rx) = unbounded();
+        let fabric_rx = self.fabric.register_node(id);
+        let ns_nodes: Vec<NodeId> = (0..self.ns_replicas as u32).map(NodeId).collect();
+        let hosts_ns = (id.0 as usize) < self.ns_replicas;
+        let daemon = Daemon::new(
+            id,
+            out_rx,
+            fabric_rx,
+            self.fabric.handle(),
+            ns_nodes,
+            self.ns_primary.clone(),
+            hosts_ns,
+            self.term.clone(),
+        );
+        self.nodes.push(NodeCell { id, daemon, sites: Vec::new(), out_tx, dead: false });
+        id
+    }
+
+    /// Create a site running `program` on `node`, under `lexeme`
+    /// (the TyCOsh "submit a program" operation).
+    pub fn add_site(&mut self, node: NodeId, lexeme: &str, program: Program) -> SiteId {
+        let site_id = SiteId(self.site_lexemes.len() as u32);
+        self.site_lexemes.push(lexeme.to_string());
+        let identity = Identity { site: site_id, node };
+        // Register the site in every name-service replica up front — the
+        // paper: "site names are registered in a Network Name Service"
+        // and "all sites know its location in advance".
+        for cell in self.nodes.iter_mut().take(self.ns_replicas) {
+            if let Some(ns) = &mut cell.daemon.ns {
+                ns.register_site(lexeme, identity);
+            }
+        }
+        let (in_tx, in_rx): (Sender<RtIncoming>, Receiver<RtIncoming>) = unbounded();
+        let cell = &mut self.nodes[node.0 as usize];
+        cell.daemon.attach_site(site_id, in_tx);
+        let port = RtPort::new(
+            identity,
+            lexeme.to_string(),
+            cell.out_tx.clone(),
+            in_rx,
+            self.term.clone(),
+        );
+        cell.sites.push(Site::new(lexeme, identity, program, port));
+        site_id
+    }
+
+    /// Compile source and add the site (convenience).
+    pub fn add_site_src(
+        &mut self,
+        node: NodeId,
+        lexeme: &str,
+        src: &str,
+    ) -> Result<SiteId, String> {
+        let ast = tyco_syntax::parse_core(src).map_err(|e| e.to_string())?;
+        let prog = tyco_vm::compile(&ast).map_err(|e| e.to_string())?;
+        Ok(self.add_site(node, lexeme, prog))
+    }
+
+    /// Set the run-queue policy of every site (ablation A3).
+    pub fn set_queue_policy(&mut self, policy: tyco_vm::QueuePolicy) {
+        for cell in &mut self.nodes {
+            for site in &mut cell.sites {
+                site.machine.queue_policy = policy;
+            }
+        }
+    }
+
+    /// Kill a node: its traffic is dropped and its daemon and sites stop
+    /// (failure injection for the §7 experiments).
+    pub fn kill_node(&mut self, node: NodeId) {
+        self.fabric.kill_node(node);
+        if let Some(cell) = self.nodes.get_mut(node.0 as usize) {
+            cell.dead = true;
+        }
+    }
+
+    /// The current name-service primary node.
+    pub fn ns_primary_node(&self) -> NodeId {
+        NodeId(self.ns_primary.load(Ordering::Relaxed) as u32 % self.ns_replicas.max(1) as u32)
+    }
+
+    /// One heartbeat round: beacons from live nodes, observation from a
+    /// live replica's view, and failover when the primary is suspected.
+    fn heartbeat_cycle(&mut self, monitor: &mut FailureMonitor, hb_round: u64) {
+        for cell in &mut self.nodes {
+            if !cell.dead {
+                cell.daemon.send_heartbeat();
+            }
+        }
+        if let Some(obs) = self.nodes.iter().take(self.ns_replicas).find(|c| !c.dead) {
+            let beats: Vec<(NodeId, u64)> =
+                obs.daemon.heartbeats.iter().map(|(n, s)| (*n, *s)).collect();
+            for (n, s) in beats {
+                monitor.observe(n, s, hb_round);
+            }
+        }
+        let primary = self.ns_primary_node();
+        if monitor.suspected(primary, hb_round) || self.nodes[primary.0 as usize].dead {
+            self.failover_to_next_live_replica();
+        }
+    }
+
+    fn failover_to_next_live_replica(&mut self) -> bool {
+        let cur = self.ns_primary.load(Ordering::Relaxed);
+        for step in 1..=self.ns_replicas {
+            let cand = (cur + step) % self.ns_replicas;
+            if !self.nodes[cand].dead {
+                self.ns_primary.store(cand, Ordering::Relaxed);
+                // Lost requests were parked at the dead primary; sites
+                // re-issue them against the new primary.
+                for cell in &mut self.nodes {
+                    if cell.dead {
+                        continue;
+                    }
+                    for site in &mut cell.sites {
+                        site.machine.port.resend_pending_imports();
+                    }
+                }
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Run deterministically: round-robin pumping of daemons and sites,
+    /// advancing the virtual clock when nothing is runnable.
+    pub fn run_deterministic(&mut self, limits: RunLimits) -> RunReport {
+        assert!(
+            self.mode != FabricMode::RealTime,
+            "deterministic runs require Ideal or Virtual fabric"
+        );
+        let mut round: u64 = 0;
+        let mut hb_round: u64 = 0;
+        let mut forced_hb: u64 = 0;
+        let mut monitor = FailureMonitor::new(self.stale_periods);
+        loop {
+            round += 1;
+            let mut progress = false;
+            // Heartbeats + failure detection (when enabled).
+            if let Some(every) = self.heartbeat_every {
+                if round.is_multiple_of(every) {
+                    hb_round += 1;
+                    self.heartbeat_cycle(&mut monitor, hb_round);
+                }
+            }
+            for cell in &mut self.nodes {
+                if !cell.dead {
+                    progress |= cell.daemon.pump();
+                }
+            }
+            let mut site_progress = false;
+            for cell in &mut self.nodes {
+                if cell.dead {
+                    continue;
+                }
+                for site in &mut cell.sites {
+                    site_progress |= site.pump(limits.fuel_per_slice);
+                }
+            }
+            progress |= site_progress;
+            if site_progress {
+                forced_hb = 0;
+            }
+            if !progress {
+                // Nothing runnable: advance virtual time to the next
+                // fabric event, if any.
+                if let Some(t) = self.fabric.next_event_ns() {
+                    self.fabric.advance_to(t);
+                    continue;
+                }
+                // Otherwise, when failure detection is on, keep the
+                // heartbeat protocol alive for a bounded number of idle
+                // cycles so a dead name-service primary is noticed and
+                // failover (which re-injects imports) can happen.
+                if self.heartbeat_every.is_some()
+                    && forced_hb < self.stale_periods + self.ns_replicas as u64 + 2
+                {
+                    forced_hb += 1;
+                    hb_round += 1;
+                    self.heartbeat_cycle(&mut monitor, hb_round);
+                    continue;
+                }
+                break;
+            }
+            let total: u64 =
+                self.nodes.iter().flat_map(|c| &c.sites).map(|s| s.machine.stats.instrs).sum();
+            if total > limits.max_instrs {
+                break;
+            }
+        }
+        self.report(0)
+    }
+
+    /// Run with real threads: one per site, one per daemon, plus the
+    /// fabric delivery thread and a termination-detector loop on the
+    /// caller's thread. Consumes the cluster and returns the report.
+    pub fn run_threaded(mut self, wall_limit: std::time::Duration) -> RunReport {
+        assert!(
+            self.mode != FabricMode::Virtual,
+            "threaded runs require Ideal or RealTime fabric"
+        );
+        self.fabric.start();
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut site_threads = Vec::new();
+        let mut daemon_threads = Vec::new();
+        let mut active_flags: Vec<Arc<AtomicBool>> = Vec::new();
+
+        for cell in self.nodes.drain(..) {
+            let NodeCell { daemon, sites, dead, .. } = cell;
+            if !dead {
+                let stop_d = stop.clone();
+                let mut daemon = daemon;
+                daemon_threads.push(std::thread::spawn(move || {
+                    let mut lull = 0u32;
+                    while !stop_d.load(Ordering::Relaxed) {
+                        if daemon.pump() {
+                            lull = 0;
+                        } else {
+                            lull += 1;
+                            if lull > 16 {
+                                std::thread::sleep(std::time::Duration::from_micros(100));
+                            } else {
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                    daemon
+                }));
+            }
+            for mut site in sites {
+                let flag = Arc::new(AtomicBool::new(true));
+                active_flags.push(flag.clone());
+                let stop_s = stop.clone();
+                site_threads.push(std::thread::spawn(move || {
+                    let mut lull = 0u32;
+                    while !stop_s.load(Ordering::Relaxed) {
+                        let ran = site.pump(8192);
+                        let active = ran
+                            || site.machine.runnable()
+                            || site.machine.port.inbox_len() > 0;
+                        flag.store(active, Ordering::Relaxed);
+                        if !ran {
+                            lull += 1;
+                            if lull > 16 {
+                                std::thread::sleep(std::time::Duration::from_micros(100));
+                            } else {
+                                std::thread::yield_now();
+                            }
+                        } else {
+                            lull = 0;
+                        }
+                    }
+                    site
+                }));
+            }
+        }
+
+        // Termination detection on the environment thread.
+        let mut detector = TerminationDetector::new();
+        let t0 = std::time::Instant::now();
+        let probes;
+        let detected;
+        loop {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            let any_active = active_flags.iter().any(|f| f.load(Ordering::Relaxed));
+            let snap = Snapshot::take(&self.term, any_active);
+            if detector.probe(snap) {
+                probes = detector.probes;
+                detected = true;
+                break;
+            }
+            if t0.elapsed() > wall_limit {
+                probes = detector.probes;
+                detected = false;
+                break;
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+
+        let mut report = RunReport { detector_probes: probes, ..Default::default() };
+        for h in site_threads {
+            let site = h.join().expect("site thread");
+            collect_site(&mut report, &site);
+        }
+        for h in daemon_threads {
+            let daemon = h.join().expect("daemon thread");
+            report.daemon_stats.push(daemon.stats);
+        }
+        report.fabric_packets = self.fabric.stats.packets.load(Ordering::Relaxed);
+        report.fabric_bytes = self.fabric.stats.bytes.load(Ordering::Relaxed);
+        // Quiescent iff the detector confirmed termination (as opposed to
+        // hitting the wall-clock limit).
+        report.quiescent = detected;
+        self.fabric.shutdown();
+        report
+    }
+
+    /// Direct access to a site's I/O output after a deterministic run.
+    pub fn output(&self, lexeme: &str) -> Vec<String> {
+        for cell in &self.nodes {
+            for site in &cell.sites {
+                if site.lexeme == lexeme {
+                    return site.machine.io.clone();
+                }
+            }
+        }
+        Vec::new()
+    }
+
+    /// A site's VM statistics after a deterministic run.
+    pub fn site_stats(&self, lexeme: &str) -> Option<ExecStats> {
+        for cell in &self.nodes {
+            for site in &cell.sites {
+                if site.lexeme == lexeme {
+                    return Some(site.machine.stats.clone());
+                }
+            }
+        }
+        None
+    }
+
+    /// Current virtual time (deterministic Virtual mode).
+    pub fn virtual_ns(&self) -> u64 {
+        self.fabric.now_ns()
+    }
+
+    fn report(&self, detector_probes: u64) -> RunReport {
+        let mut report = RunReport {
+            detector_probes,
+            virtual_ns: self.fabric.now_ns(),
+            fabric_packets: self.fabric.stats.packets.load(Ordering::Relaxed),
+            fabric_bytes: self.fabric.stats.bytes.load(Ordering::Relaxed),
+            ..Default::default()
+        };
+        let mut quiescent = true;
+        for cell in &self.nodes {
+            debug_assert_eq!(cell.id.0 as usize, report.daemon_stats.len());
+            report.daemon_stats.push(cell.daemon.stats);
+            for site in &cell.sites {
+                collect_site(&mut report, site);
+                if site.machine.runnable() {
+                    quiescent = false;
+                }
+            }
+        }
+        report.quiescent = quiescent;
+        report
+    }
+}
+
+fn collect_site(report: &mut RunReport, site: &Site) {
+    report.outputs.insert(site.lexeme.clone(), site.machine.io.clone());
+    report.stats.insert(site.lexeme.clone(), site.machine.stats.clone());
+    report.total_instrs += site.machine.stats.instrs;
+    report.blocked_imports += site.machine.port.pending_imports();
+    if let Some(e) = &site.error {
+        report.errors.push((site.lexeme.clone(), e.clone()));
+    }
+}

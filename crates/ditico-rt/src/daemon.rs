@@ -1,0 +1,270 @@
+//! TyCOd — the per-node communication daemon (§5, Fig. 4).
+//!
+//! *"The TyCOd daemon is responsible for all the data exchange between
+//! sites in the network. Interactions between sites may be local, when
+//! sites belong to the same node, or remote when the sites belong to
+//! different nodes. Local interactions are optimized using shared
+//! memory."*
+//!
+//! The remote path is the paper's 3-step protocol: (1) the site places a
+//! packaged process on its outgoing queue; (2) the local TyCOd reads the
+//! destination from the network reference and forwards the bytes through
+//! the fabric to the remote TyCOd; (3) the remote TyCOd places it on the
+//! destination site's incoming queue. The local path skips the fabric and
+//! the byte codec entirely — packets move by reference.
+//!
+//! The daemon also hosts (a replica of) the name service when configured
+//! to, and answers `export`/`import` traffic for its sites.
+
+use crate::nameservice::NameService;
+use crate::site::RtIncoming;
+use crate::fabric::FabricHandle;
+use bytes::Bytes;
+use crossbeam::channel::{Receiver, Sender};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use tyco_vm::codec::{self, Packet};
+use tyco_vm::port::Incoming;
+use tyco_vm::word::{NodeId, SiteId};
+
+/// Cluster-wide packet-conservation counters used by the termination
+/// detector (see [`crate::termination`]).
+#[derive(Debug, Default)]
+pub struct TermCounters {
+    /// Packets injected into the system (site sends + NS-generated replies).
+    pub injected: AtomicU64,
+    /// Packets fully consumed (handled by the NS, or drained by a site).
+    pub consumed: AtomicU64,
+}
+
+/// Per-daemon traffic statistics.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct DaemonStats {
+    /// Packets delivered through shared memory (same node).
+    pub local_deliveries: u64,
+    /// Packets serialized and pushed into the fabric.
+    pub remote_sends: u64,
+    /// Bytes serialized for remote sends.
+    pub bytes_out: u64,
+    /// Packets received from the fabric.
+    pub remote_recvs: u64,
+    /// Name-service operations handled locally.
+    pub ns_ops: u64,
+}
+
+/// The per-node communication daemon.
+pub struct Daemon {
+    pub node: NodeId,
+    /// Inboxes of local sites.
+    sites: HashMap<SiteId, Sender<RtIncoming>>,
+    /// Shared outgoing queue of all local sites.
+    from_sites: Receiver<(SiteId, Packet)>,
+    /// Inbound packets from other nodes.
+    from_fabric: Receiver<(NodeId, Bytes)>,
+    fabric: FabricHandle,
+    /// Nodes hosting name-service replicas (primary chosen by
+    /// `ns_primary`).
+    ns_nodes: Vec<NodeId>,
+    /// Index into `ns_nodes` of the current primary (shared for failover).
+    ns_primary: Arc<AtomicUsize>,
+    /// The local replica, when this node hosts one.
+    pub ns: Option<NameService>,
+    /// Liveness info gathered from heartbeats: node → latest sequence.
+    pub heartbeats: HashMap<NodeId, u64>,
+    pub stats: DaemonStats,
+    term: Arc<TermCounters>,
+    hb_seq: u64,
+}
+
+impl Daemon {
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        node: NodeId,
+        from_sites: Receiver<(SiteId, Packet)>,
+        from_fabric: Receiver<(NodeId, Bytes)>,
+        fabric: FabricHandle,
+        ns_nodes: Vec<NodeId>,
+        ns_primary: Arc<AtomicUsize>,
+        hosts_ns: bool,
+        term: Arc<TermCounters>,
+    ) -> Daemon {
+        Daemon {
+            node,
+            sites: HashMap::new(),
+            from_sites,
+            from_fabric,
+            fabric,
+            ns_nodes,
+            ns_primary,
+            ns: if hosts_ns { Some(NameService::new()) } else { None },
+            heartbeats: HashMap::new(),
+            stats: DaemonStats::default(),
+            term,
+            hb_seq: 0,
+        }
+    }
+
+    /// Attach a local site's inbox.
+    pub fn attach_site(&mut self, site: SiteId, inbox: Sender<RtIncoming>) {
+        self.sites.insert(site, inbox);
+    }
+
+    /// The node currently acting as name-service primary.
+    fn ns_primary_node(&self) -> NodeId {
+        let i = self.ns_primary.load(Ordering::Relaxed) % self.ns_nodes.len().max(1);
+        *self.ns_nodes.get(i).unwrap_or(&self.node)
+    }
+
+    /// Drain both queues once. Returns whether anything was processed.
+    pub fn pump(&mut self) -> bool {
+        let mut progress = false;
+        while let Ok((_, packet)) = self.from_sites.try_recv() {
+            progress = true;
+            self.route(packet);
+        }
+        while let Ok((_, bytes)) = self.from_fabric.try_recv() {
+            progress = true;
+            self.stats.remote_recvs += 1;
+            match codec::decode(bytes) {
+                Ok(packet) => self.deliver_local(packet),
+                Err(e) => {
+                    // A corrupt packet is dropped; the paper's system has
+                    // no recovery story either (future work).
+                    debug_assert!(false, "corrupt packet: {e}");
+                }
+            }
+        }
+        progress
+    }
+
+    /// Emit a liveness beacon to the name-service nodes.
+    pub fn send_heartbeat(&mut self) {
+        self.hb_seq += 1;
+        let seq = self.hb_seq;
+        for ns_node in self.ns_nodes.clone() {
+            let p = Packet::Heartbeat { node: self.node, seq };
+            self.term.injected.fetch_add(1, Ordering::Relaxed);
+            if ns_node == self.node {
+                self.deliver_local(p);
+            } else {
+                self.send_remote(ns_node, &p);
+            }
+        }
+    }
+
+    fn send_remote(&mut self, to: NodeId, p: &Packet) {
+        let bytes = codec::encode(p);
+        self.stats.remote_sends += 1;
+        self.stats.bytes_out += bytes.len() as u64;
+        self.fabric.send(self.node, to, bytes);
+    }
+
+    /// Route a packet by its destination, local or remote.
+    pub fn route(&mut self, p: Packet) {
+        let target: NodeId = match &p {
+            Packet::Msg { dest, .. } | Packet::Obj { dest, .. } => dest.node,
+            Packet::FetchReq { class, .. } => class.node,
+            Packet::FetchReply { to, .. } | Packet::NsImportReply { to, .. } => to.node,
+            Packet::NsRegister { .. } => {
+                // Registrations go to every replica so failover loses no
+                // exports. The broadcast fans one injected packet out into
+                // N consumed ones; account for the extra copies.
+                let extra = self.ns_nodes.len().saturating_sub(1) as u64;
+                self.term.injected.fetch_add(extra, Ordering::Relaxed);
+                for ns_node in self.ns_nodes.clone() {
+                    if ns_node == self.node {
+                        self.deliver_local(p.clone());
+                    } else {
+                        self.send_remote(ns_node, &p);
+                    }
+                }
+                return;
+            }
+            Packet::NsImport { .. } => self.ns_primary_node(),
+            Packet::Heartbeat { .. } | Packet::TermProbe { .. } | Packet::TermReport { .. } => {
+                self.ns_primary_node()
+            }
+        };
+        if target == self.node {
+            self.deliver_local(p);
+        } else {
+            self.send_remote(target, &p);
+        }
+    }
+
+    /// Deliver a packet whose destination is on this node (the
+    /// shared-memory path) or handle it in the local name service.
+    fn deliver_local(&mut self, p: Packet) {
+        match p {
+            Packet::Msg { dest, label, args } => {
+                self.deliver_to_site(dest.site, RtIncoming::Vm(Incoming::Msg { dest: dest.heap_id, label, args }));
+            }
+            Packet::Obj { dest, obj } => {
+                self.deliver_to_site(dest.site, RtIncoming::Vm(Incoming::Obj { dest: dest.heap_id, obj }));
+            }
+            Packet::FetchReq { class, req, reply_to } => {
+                self.deliver_to_site(
+                    class.site,
+                    RtIncoming::Vm(Incoming::FetchReq { dest: class.heap_id, req, reply_to }),
+                );
+            }
+            Packet::FetchReply { to, req, group, index } => {
+                self.deliver_to_site(to.site, RtIncoming::Vm(Incoming::FetchReply { req, group, index }));
+            }
+            Packet::NsImportReply { to, req, result } => {
+                self.deliver_to_site(to.site, RtIncoming::ImportResolved { req, result });
+            }
+            Packet::NsRegister { from_site, site_lexeme, name, value } => {
+                self.stats.ns_ops += 1;
+                self.term.consumed.fetch_add(1, Ordering::Relaxed);
+                if let Some(ns) = &mut self.ns {
+                    let replies = ns.handle_register(from_site, &site_lexeme, &name, value);
+                    for r in replies {
+                        self.term.injected.fetch_add(1, Ordering::Relaxed);
+                        self.route(r);
+                    }
+                }
+            }
+            Packet::NsImport { req, site, name, kind, reply_to } => {
+                self.stats.ns_ops += 1;
+                self.term.consumed.fetch_add(1, Ordering::Relaxed);
+                if let Some(ns) = &mut self.ns {
+                    if let Some(reply) = ns.handle_import(req, &site, &name, kind, reply_to) {
+                        self.term.injected.fetch_add(1, Ordering::Relaxed);
+                        self.route(reply);
+                    }
+                }
+            }
+            Packet::Heartbeat { node, seq } => {
+                self.term.consumed.fetch_add(1, Ordering::Relaxed);
+                let e = self.heartbeats.entry(node).or_insert(0);
+                *e = (*e).max(seq);
+            }
+            Packet::TermProbe { .. } | Packet::TermReport { .. } => {
+                // Termination detection runs at the environment level in
+                // this implementation; wire packets are accepted and
+                // ignored here.
+                self.term.consumed.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn deliver_to_site(&mut self, site: SiteId, item: RtIncoming) {
+        self.stats.local_deliveries += 1;
+        match self.sites.get(&site) {
+            Some(tx) => {
+                if tx.send(item).is_err() {
+                    // The site is gone (program exited); drop, like the
+                    // paper's freed sites.
+                    self.term.consumed.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            None => {
+                // Unknown site on this node: drop (can only happen after a
+                // site was destroyed).
+                self.term.consumed.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}

@@ -1,0 +1,412 @@
+//! The network fabric: the in-process stand-in for the paper's hardware
+//! platform (Fig. 1 — a 1 Gb/s Myrinet switch plus a 100 Mb/s Fast
+//! Ethernet uplink).
+//!
+//! Substitution note (see DESIGN.md §2): the paper's claims are about
+//! *relative* behaviour under different latency/bandwidth regimes, so the
+//! fabric models point-to-point links with configurable [`LinkProfile`]s
+//! and supports three delivery disciplines:
+//!
+//! * **Ideal** — immediate delivery (functional testing);
+//! * **Virtual** — discrete-event delivery against a virtual clock
+//!   (deterministic experiments: latency hiding, crossovers);
+//! * **RealTime** — a delivery thread that holds packets for the modelled
+//!   latency + serialization delay (threaded benchmarks).
+//!
+//! Packets are byte-encoded ([`tyco_vm::codec`]) before entering the
+//! fabric, so byte counts are real.
+
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::{Condvar, Mutex};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use tyco_vm::word::NodeId;
+
+/// Latency/bandwidth model of a point-to-point link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkProfile {
+    /// One-way latency in nanoseconds.
+    pub latency_ns: u64,
+    /// Bandwidth in bytes per second (`f64::INFINITY` for ideal).
+    pub bandwidth_bps: f64,
+}
+
+impl LinkProfile {
+    /// The paper's 1 Gb/s Myrinet switch: ~9 µs one-way latency.
+    pub fn myrinet() -> LinkProfile {
+        LinkProfile { latency_ns: 9_000, bandwidth_bps: 125_000_000.0 }
+    }
+
+    /// The paper's 100 Mb/s Fast Ethernet uplink: ~70 µs latency.
+    pub fn fast_ethernet() -> LinkProfile {
+        LinkProfile { latency_ns: 70_000, bandwidth_bps: 12_500_000.0 }
+    }
+
+    /// A wide-area link: 20 ms, 10 Mb/s.
+    pub fn wan() -> LinkProfile {
+        LinkProfile { latency_ns: 20_000_000, bandwidth_bps: 1_250_000.0 }
+    }
+
+    /// Zero-latency, infinite-bandwidth (functional testing).
+    pub fn ideal() -> LinkProfile {
+        LinkProfile { latency_ns: 0, bandwidth_bps: f64::INFINITY }
+    }
+
+    /// Total transfer time for a payload of `bytes`.
+    pub fn transfer_ns(&self, bytes: usize) -> u64 {
+        let ser = if self.bandwidth_bps.is_finite() {
+            (bytes as f64 / self.bandwidth_bps * 1e9) as u64
+        } else {
+            0
+        };
+        self.latency_ns + ser
+    }
+}
+
+/// Delivery discipline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FabricMode {
+    /// Deliver immediately on send.
+    Ideal,
+    /// Discrete-event queue against a virtual clock (deterministic).
+    Virtual,
+    /// Real wall-clock delays via a delivery thread.
+    RealTime,
+}
+
+/// Aggregate traffic counters.
+#[derive(Debug, Default)]
+pub struct FabricStats {
+    pub packets: AtomicU64,
+    pub bytes: AtomicU64,
+}
+
+struct Event {
+    due_ns: u64,
+    seq: u64,
+    from: NodeId,
+    to: NodeId,
+    payload: Bytes,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.due_ns == other.due_ns && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.due_ns, self.seq).cmp(&(other.due_ns, other.seq))
+    }
+}
+
+struct Shared {
+    mode: FabricMode,
+    default_link: LinkProfile,
+    links: HashMap<(NodeId, NodeId), LinkProfile>,
+    inboxes: HashMap<NodeId, Sender<(NodeId, Bytes)>>,
+    /// Virtual/RealTime pending deliveries (min-heap on due time).
+    pending: BinaryHeap<Reverse<Event>>,
+    seq: u64,
+    /// Virtual clock (ns). In RealTime mode, unused.
+    now_ns: u64,
+    /// Epoch for RealTime deadlines (shared by senders and the delivery
+    /// thread).
+    epoch: std::time::Instant,
+    /// Last scheduled arrival per directed link: links are FIFO (a later
+    /// small packet must not overtake an earlier large one), like the
+    /// point-to-point switch links of Fig. 1.
+    link_last: HashMap<(NodeId, NodeId), u64>,
+    /// Dead nodes drop all traffic (failure injection).
+    dead: Vec<NodeId>,
+}
+
+/// The network fabric connecting node daemons.
+pub struct Fabric {
+    shared: Arc<Mutex<Shared>>,
+    cond: Arc<Condvar>,
+    pub stats: Arc<FabricStats>,
+    stop: Arc<AtomicBool>,
+    delivery_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+/// A cloneable handle daemons use to send.
+#[derive(Clone)]
+pub struct FabricHandle {
+    shared: Arc<Mutex<Shared>>,
+    cond: Arc<Condvar>,
+    stats: Arc<FabricStats>,
+}
+
+impl Fabric {
+    pub fn new(mode: FabricMode, default_link: LinkProfile) -> Fabric {
+        Fabric {
+            shared: Arc::new(Mutex::new(Shared {
+                mode,
+                default_link,
+                links: HashMap::new(),
+                inboxes: HashMap::new(),
+                pending: BinaryHeap::new(),
+                seq: 0,
+                now_ns: 0,
+                epoch: std::time::Instant::now(),
+                link_last: HashMap::new(),
+                dead: Vec::new(),
+            })),
+            cond: Arc::new(Condvar::new()),
+            stats: Arc::new(FabricStats::default()),
+            stop: Arc::new(AtomicBool::new(false)),
+            delivery_thread: None,
+        }
+    }
+
+    /// Override the profile of one directed link.
+    pub fn set_link(&self, a: NodeId, b: NodeId, profile: LinkProfile) {
+        let mut s = self.shared.lock();
+        s.links.insert((a, b), profile);
+        s.links.insert((b, a), profile);
+    }
+
+    /// Register a node; returns its inbound packet queue.
+    pub fn register_node(&self, node: NodeId) -> Receiver<(NodeId, Bytes)> {
+        let (tx, rx) = unbounded();
+        self.shared.lock().inboxes.insert(node, tx);
+        rx
+    }
+
+    /// A sending handle for daemons.
+    pub fn handle(&self) -> FabricHandle {
+        FabricHandle {
+            shared: self.shared.clone(),
+            cond: self.cond.clone(),
+            stats: self.stats.clone(),
+        }
+    }
+
+    /// Mark a node dead: all traffic to/from it is dropped (failure
+    /// injection for the §7 future-work experiments).
+    pub fn kill_node(&self, node: NodeId) {
+        self.shared.lock().dead.push(node);
+    }
+
+    /// Virtual mode: the due time of the earliest pending event.
+    pub fn next_event_ns(&self) -> Option<u64> {
+        self.shared.lock().pending.peek().map(|Reverse(e)| e.due_ns)
+    }
+
+    /// Virtual mode: current virtual time.
+    pub fn now_ns(&self) -> u64 {
+        self.shared.lock().now_ns
+    }
+
+    /// Virtual mode: advance the clock and deliver everything due.
+    /// Returns the number of packets delivered.
+    pub fn advance_to(&self, t_ns: u64) -> usize {
+        let mut s = self.shared.lock();
+        s.now_ns = s.now_ns.max(t_ns);
+        let mut delivered = 0;
+        while let Some(Reverse(e)) = s.pending.peek() {
+            if e.due_ns > s.now_ns {
+                break;
+            }
+            let Reverse(e) = s.pending.pop().expect("peeked");
+            if !s.dead.contains(&e.to) {
+                if let Some(tx) = s.inboxes.get(&e.to) {
+                    let _ = tx.send((e.from, e.payload));
+                    delivered += 1;
+                }
+            }
+        }
+        delivered
+    }
+
+    /// Start the RealTime delivery thread (no-op for other modes).
+    pub fn start(&mut self) {
+        let is_rt = self.shared.lock().mode == FabricMode::RealTime;
+        if !is_rt || self.delivery_thread.is_some() {
+            return;
+        }
+        let shared = self.shared.clone();
+        let cond = self.cond.clone();
+        let stop = self.stop.clone();
+        self.delivery_thread = Some(std::thread::spawn(move || {
+            loop {
+                let mut s = shared.lock();
+                if stop.load(Ordering::Relaxed) {
+                    return;
+                }
+                let now = s.epoch.elapsed().as_nanos() as u64;
+                // Deliver everything due.
+                while let Some(Reverse(e)) = s.pending.peek() {
+                    if e.due_ns > now {
+                        break;
+                    }
+                    let Reverse(e) = s.pending.pop().expect("peeked");
+                    if !s.dead.contains(&e.to) {
+                        if let Some(tx) = s.inboxes.get(&e.to) {
+                            let _ = tx.send((e.from, e.payload));
+                        }
+                    }
+                }
+                match s.pending.peek() {
+                    Some(Reverse(e)) => {
+                        let wait = std::time::Duration::from_nanos(e.due_ns.saturating_sub(now));
+                        cond.wait_for(&mut s, wait.min(std::time::Duration::from_millis(10)));
+                    }
+                    None => {
+                        cond.wait_for(&mut s, std::time::Duration::from_millis(10));
+                    }
+                }
+            }
+        }));
+    }
+
+    /// Stop the delivery thread.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        self.cond.notify_all();
+        if let Some(h) = self.delivery_thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Fabric {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl FabricHandle {
+    /// Send a payload from one node to another, applying the link model.
+    pub fn send(&self, from: NodeId, to: NodeId, payload: Bytes) {
+        self.stats.packets.fetch_add(1, Ordering::Relaxed);
+        self.stats.bytes.fetch_add(payload.len() as u64, Ordering::Relaxed);
+        let mut s = self.shared.lock();
+        if s.dead.contains(&from) || s.dead.contains(&to) {
+            return;
+        }
+        let profile = s.links.get(&(from, to)).copied().unwrap_or(s.default_link);
+        match s.mode {
+            FabricMode::Ideal => {
+                if let Some(tx) = s.inboxes.get(&to) {
+                    let _ = tx.send((from, payload));
+                }
+            }
+            FabricMode::Virtual => {
+                let raw = s.now_ns + profile.transfer_ns(payload.len());
+                let last = s.link_last.get(&(from, to)).copied().unwrap_or(0);
+                let due = raw.max(last.saturating_add(1));
+                s.link_last.insert((from, to), due);
+                s.seq += 1;
+                let seq = s.seq;
+                s.pending.push(Reverse(Event { due_ns: due, seq, from, to, payload }));
+            }
+            FabricMode::RealTime => {
+                // Deadlines are absolute against the fabric-wide epoch.
+                let now = s.epoch.elapsed().as_nanos() as u64;
+                let raw = now + profile.transfer_ns(payload.len());
+                let last = s.link_last.get(&(from, to)).copied().unwrap_or(0);
+                let due = raw.max(last.saturating_add(1));
+                s.link_last.insert((from, to), due);
+                s.seq += 1;
+                let seq = s.seq;
+                s.pending.push(Reverse(Event { due_ns: due, seq, from, to, payload }));
+                drop(s);
+                self.cond.notify_all();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn ideal_mode_delivers_immediately() {
+        let f = Fabric::new(FabricMode::Ideal, LinkProfile::ideal());
+        let rx = f.register_node(n(1));
+        f.handle().send(n(0), n(1), Bytes::from_static(b"hi"));
+        let (from, payload) = rx.try_recv().expect("delivered");
+        assert_eq!(from, n(0));
+        assert_eq!(&payload[..], b"hi");
+        assert_eq!(f.stats.packets.load(Ordering::Relaxed), 1);
+        assert_eq!(f.stats.bytes.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn virtual_mode_orders_by_latency() {
+        let f = Fabric::new(FabricMode::Virtual, LinkProfile::myrinet());
+        f.set_link(n(0), n(2), LinkProfile::wan());
+        let rx1 = f.register_node(n(1));
+        let rx2 = f.register_node(n(2));
+        let h = f.handle();
+        h.send(n(0), n(2), Bytes::from_static(b"slow"));
+        h.send(n(0), n(1), Bytes::from_static(b"fast"));
+        // Nothing delivered until the clock advances.
+        assert!(rx1.try_recv().is_err());
+        // Advance past Myrinet latency but before WAN latency.
+        assert_eq!(f.advance_to(1_000_000), 1);
+        assert!(rx1.try_recv().is_ok());
+        assert!(rx2.try_recv().is_err());
+        // Advance past WAN latency.
+        f.advance_to(100_000_000);
+        assert!(rx2.try_recv().is_ok());
+    }
+
+    #[test]
+    fn virtual_bandwidth_delays_large_payloads() {
+        let f = Fabric::new(FabricMode::Virtual, LinkProfile::fast_ethernet());
+        let rx = f.register_node(n(1));
+        let h = f.handle();
+        h.send(n(0), n(1), Bytes::from(vec![0u8; 125_000])); // 10 ms at 100 Mb/s
+        assert!(f.next_event_ns().unwrap() > 9_000_000, "{:?}", f.next_event_ns());
+        f.advance_to(20_000_000);
+        assert!(rx.try_recv().is_ok());
+    }
+
+    #[test]
+    fn dead_nodes_drop_traffic() {
+        let f = Fabric::new(FabricMode::Ideal, LinkProfile::ideal());
+        let rx = f.register_node(n(1));
+        f.kill_node(n(1));
+        f.handle().send(n(0), n(1), Bytes::from_static(b"lost"));
+        assert!(rx.try_recv().is_err());
+    }
+
+    #[test]
+    fn realtime_mode_delivers_after_delay() {
+        let mut f = Fabric::new(FabricMode::RealTime, LinkProfile::ideal());
+        let rx = f.register_node(n(1));
+        f.start();
+        f.handle().send(n(0), n(1), Bytes::from_static(b"rt"));
+        let got = rx.recv_timeout(std::time::Duration::from_secs(2));
+        assert!(got.is_ok());
+        f.shutdown();
+    }
+
+    #[test]
+    fn profiles_transfer_times() {
+        let m = LinkProfile::myrinet();
+        let e = LinkProfile::fast_ethernet();
+        // Latency dominates small messages; Myrinet is ~8x faster.
+        assert!(m.transfer_ns(64) * 5 < e.transfer_ns(64));
+        // Bandwidth dominates large ones.
+        assert!(m.transfer_ns(1_000_000) * 5 < e.transfer_ns(1_000_000));
+        assert_eq!(LinkProfile::ideal().transfer_ns(1 << 20), 0);
+    }
+}

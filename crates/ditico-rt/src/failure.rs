@@ -1,0 +1,106 @@
+//! Failure detection and name-service failover (§7, future work: *"We
+//! want to be able to detect site failures, reconfigure the computation
+//! topology …"*; §5: a distributed name service is "a fundamental
+//! development for reasons of both redundancy (for failure recovery) and
+//! performance").
+//!
+//! Every node's TyCOd emits [`Packet::Heartbeat`](tyco_vm::codec::Packet::Heartbeat) beacons to the
+//! name-service replica nodes. The [`FailureMonitor`] tracks the latest
+//! sequence number observed per node; a node whose sequence has not
+//! advanced for `stale_rounds` observation rounds is *suspected*. When the
+//! suspected node hosts the current name-service primary, the environment
+//! advances the shared primary index to the next live replica and asks
+//! every site to re-issue its in-flight imports (requests parked at the
+//! dead primary are lost; re-execution is idempotent because replicas
+//! share the registration stream).
+
+use std::collections::HashMap;
+use tyco_vm::word::NodeId;
+
+/// Heartbeat bookkeeping: who was heard from, and when.
+#[derive(Debug, Default)]
+pub struct FailureMonitor {
+    /// node → (latest sequence, round in which it first appeared).
+    last: HashMap<NodeId, (u64, u64)>,
+    /// Rounds without progress before a node is suspected.
+    pub stale_rounds: u64,
+}
+
+impl FailureMonitor {
+    pub fn new(stale_rounds: u64) -> FailureMonitor {
+        FailureMonitor { last: HashMap::new(), stale_rounds }
+    }
+
+    /// Record the latest heartbeat sequence observed for `node` during
+    /// observation round `round`.
+    pub fn observe(&mut self, node: NodeId, seq: u64, round: u64) {
+        match self.last.get_mut(&node) {
+            Some((s, r)) => {
+                if seq > *s {
+                    *s = seq;
+                    *r = round;
+                }
+            }
+            None => {
+                self.last.insert(node, (seq, round));
+            }
+        }
+    }
+
+    /// Is `node` suspected dead as of `round`?
+    pub fn suspected(&self, node: NodeId, round: u64) -> bool {
+        match self.last.get(&node) {
+            Some((_, last_round)) => round.saturating_sub(*last_round) > self.stale_rounds,
+            // Never heard from: suspected only after the grace window.
+            None => round > self.stale_rounds,
+        }
+    }
+
+    /// All currently suspected nodes among `known`.
+    pub fn suspects(&self, known: &[NodeId], round: u64) -> Vec<NodeId> {
+        known.iter().copied().filter(|n| self.suspected(*n, round)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn fresh_heartbeats_keep_node_alive() {
+        let mut m = FailureMonitor::new(3);
+        m.observe(n(0), 1, 0);
+        m.observe(n(0), 2, 2);
+        assert!(!m.suspected(n(0), 5));
+        assert!(m.suspected(n(0), 6));
+    }
+
+    #[test]
+    fn stale_sequence_leads_to_suspicion() {
+        let mut m = FailureMonitor::new(2);
+        m.observe(n(1), 7, 0);
+        // Same sequence re-observed later does not refresh liveness.
+        m.observe(n(1), 7, 10);
+        assert!(m.suspected(n(1), 10));
+    }
+
+    #[test]
+    fn unknown_node_gets_grace_window() {
+        let m = FailureMonitor::new(4);
+        assert!(!m.suspected(n(2), 4));
+        assert!(m.suspected(n(2), 5));
+    }
+
+    #[test]
+    fn suspects_filters() {
+        let mut m = FailureMonitor::new(1);
+        m.observe(n(0), 5, 9);
+        m.observe(n(1), 5, 0);
+        let known = [n(0), n(1)];
+        assert_eq!(m.suspects(&known, 10), vec![n(1)]);
+    }
+}

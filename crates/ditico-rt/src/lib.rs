@@ -1,0 +1,36 @@
+//! # ditico-rt
+//!
+//! The DiTyCO distributed runtime (§5 of the paper): sites, nodes and
+//! networks.
+//!
+//! * [`site`] — sites as extended TyCO virtual machines with
+//!   incoming/outgoing queues ([`site::RtPort`] implements the VM's
+//!   network port);
+//! * [`daemon`] — TyCOd, the per-node communication daemon: shared-memory
+//!   local delivery, byte-encoded remote forwarding, name-service hosting;
+//! * [`nameservice`] — the Network Name Service (SiteTable + IdTable),
+//!   with blocking lookups;
+//! * [`fabric`] — the simulated interconnect (Myrinet / Fast Ethernet /
+//!   WAN link profiles; ideal, virtual-time and real-time delivery);
+//! * [`cluster`] — the environment tying it together, with deterministic
+//!   and threaded execution;
+//! * [`termination`] — Mattern-style four-counter termination detection
+//!   (§7 future work);
+//! * [`failure`] — heartbeat failure detection and name-service failover
+//!   over replicas (§5/§7 future work).
+
+pub mod cluster;
+pub mod daemon;
+pub mod fabric;
+pub mod failure;
+pub mod nameservice;
+pub mod site;
+pub mod termination;
+
+pub use cluster::{Cluster, RunLimits, RunReport};
+pub use daemon::{Daemon, DaemonStats, TermCounters};
+pub use fabric::{Fabric, FabricHandle, FabricMode, FabricStats, LinkProfile};
+pub use failure::FailureMonitor;
+pub use nameservice::NameService;
+pub use site::{RtIncoming, RtPort, Site};
+pub use termination::{Snapshot, TerminationDetector};

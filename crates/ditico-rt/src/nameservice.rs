@@ -1,0 +1,211 @@
+//! The Network Name Service (§5, "NETWORKS").
+//!
+//! Conceptually two tables, exactly as in the paper:
+//!
+//! ```text
+//! SiteTable: SiteName → SiteId × IpAddress
+//! IdTable:   SiteName × IdName → HeapId
+//! ```
+//!
+//! (Our `IdTable` stores the full network reference — heap id, site id,
+//! node — because that is what the paper composes out of the two tables
+//! when answering a lookup.)
+//!
+//! The service is a pure state machine driven by [`Packet`]s, so it can be
+//! hosted by any node's daemon, replicated (see [`crate::failure`]) and
+//! unit-tested in isolation. Lookups for identifiers not yet exported are
+//! parked and answered when the export arrives — this is what makes
+//! `import` block until the corresponding `export` executes.
+
+use std::collections::HashMap;
+use tyco_vm::codec::Packet;
+use tyco_vm::program::ImportKind;
+use tyco_vm::wire::WireWord;
+use tyco_vm::word::{Identity, SiteId};
+
+/// The name-service state.
+#[derive(Debug, Default, Clone)]
+pub struct NameService {
+    /// `SiteTable`: site lexeme → (site id, node).
+    site_table: HashMap<String, Identity>,
+    /// `IdTable`: (site lexeme, identifier) → exported value.
+    id_table: HashMap<(String, String), WireWord>,
+    /// Lookups waiting for an export: (req, site, name, kind, reply_to).
+    pending: Vec<(u64, String, String, ImportKind, Identity)>,
+}
+
+/// Kind-check an exported value against the requested import kind.
+fn kind_ok(kind: ImportKind, w: &WireWord) -> bool {
+    matches!(
+        (kind, w),
+        (ImportKind::Name, WireWord::Chan(_)) | (ImportKind::Class, WireWord::Class(_))
+    )
+}
+
+impl NameService {
+    pub fn new() -> NameService {
+        NameService::default()
+    }
+
+    /// Register a site (done by the environment when the site is created;
+    /// the paper: "site names are registered in a Network Name Service").
+    pub fn register_site(&mut self, lexeme: &str, identity: Identity) {
+        self.site_table.insert(lexeme.to_string(), identity);
+    }
+
+    /// Where a site lives.
+    pub fn lookup_site(&self, lexeme: &str) -> Option<Identity> {
+        self.site_table.get(lexeme).copied()
+    }
+
+    /// Number of exported identifiers (diagnostics).
+    pub fn exported_count(&self) -> usize {
+        self.id_table.len()
+    }
+
+    /// Pending (blocked) lookups.
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Handle an `export` registration. Returns reply packets for every
+    /// parked lookup this export satisfies.
+    pub fn handle_register(
+        &mut self,
+        _from_site: SiteId,
+        site_lexeme: &str,
+        name: &str,
+        value: WireWord,
+    ) -> Vec<Packet> {
+        self.id_table.insert((site_lexeme.to_string(), name.to_string()), value.clone());
+        let mut replies = Vec::new();
+        let mut keep = Vec::new();
+        for (req, s, n, kind, reply_to) in self.pending.drain(..) {
+            if s == site_lexeme && n == name {
+                let result = if kind_ok(kind, &value) {
+                    Ok(value.clone())
+                } else {
+                    Err(format!("`{s}.{n}` exported with the wrong kind"))
+                };
+                replies.push(Packet::NsImportReply { to: reply_to, req, result });
+            } else {
+                keep.push((req, s, n, kind, reply_to));
+            }
+        }
+        self.pending = keep;
+        replies
+    }
+
+    /// Handle an `import` lookup. Returns the reply packet when the
+    /// identifier is known (or known-bad); parks the request otherwise.
+    pub fn handle_import(
+        &mut self,
+        req: u64,
+        site: &str,
+        name: &str,
+        kind: ImportKind,
+        reply_to: Identity,
+    ) -> Option<Packet> {
+        // Unknown site lexeme is a permanent error (sites are registered
+        // at creation, before any program runs).
+        if !self.site_table.contains_key(site) {
+            return Some(Packet::NsImportReply {
+                to: reply_to,
+                req,
+                result: Err(format!("unknown site `{site}`")),
+            });
+        }
+        match self.id_table.get(&(site.to_string(), name.to_string())) {
+            Some(w) => {
+                let result = if kind_ok(kind, w) {
+                    Ok(w.clone())
+                } else {
+                    Err(format!("`{site}.{name}` has the wrong kind"))
+                };
+                Some(Packet::NsImportReply { to: reply_to, req, result })
+            }
+            None => {
+                self.pending.push((req, site.to_string(), name.to_string(), kind, reply_to));
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tyco_vm::word::{NetRef, NodeId};
+
+    fn ident(s: u32, n: u32) -> Identity {
+        Identity { site: SiteId(s), node: NodeId(n) }
+    }
+
+    fn chan(h: u64) -> WireWord {
+        WireWord::Chan(NetRef { heap_id: h, site: SiteId(0), node: NodeId(0) })
+    }
+
+    #[test]
+    fn lookup_after_register() {
+        let mut ns = NameService::new();
+        ns.register_site("server", ident(0, 0));
+        assert!(ns
+            .handle_register(SiteId(0), "server", "p", chan(7))
+            .is_empty());
+        let reply = ns.handle_import(1, "server", "p", ImportKind::Name, ident(1, 1)).unwrap();
+        match reply {
+            Packet::NsImportReply { req: 1, result: Ok(WireWord::Chan(r)), .. } => {
+                assert_eq!(r.heap_id, 7);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lookup_blocks_until_register() {
+        let mut ns = NameService::new();
+        ns.register_site("server", ident(0, 0));
+        assert!(ns.handle_import(1, "server", "p", ImportKind::Name, ident(1, 1)).is_none());
+        assert_eq!(ns.pending_count(), 1);
+        let replies = ns.handle_register(SiteId(0), "server", "p", chan(3));
+        assert_eq!(replies.len(), 1);
+        assert_eq!(ns.pending_count(), 0);
+        match &replies[0] {
+            Packet::NsImportReply { req: 1, result: Ok(_), to } => {
+                assert_eq!(*to, ident(1, 1));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_site_is_permanent_error() {
+        let mut ns = NameService::new();
+        let reply = ns.handle_import(1, "mars", "p", ImportKind::Name, ident(1, 1)).unwrap();
+        assert!(matches!(reply, Packet::NsImportReply { result: Err(_), .. }));
+    }
+
+    #[test]
+    fn kind_mismatch_is_error() {
+        let mut ns = NameService::new();
+        ns.register_site("server", ident(0, 0));
+        ns.handle_register(SiteId(0), "server", "p", chan(0));
+        let reply = ns.handle_import(1, "server", "p", ImportKind::Class, ident(1, 1)).unwrap();
+        assert!(matches!(reply, Packet::NsImportReply { result: Err(_), .. }));
+        // And the parked-then-registered path checks kinds too.
+        assert!(ns.handle_import(2, "server", "k", ImportKind::Class, ident(1, 1)).is_none());
+        let replies = ns.handle_register(SiteId(0), "server", "k", chan(1));
+        assert!(matches!(&replies[0], Packet::NsImportReply { result: Err(_), .. }));
+    }
+
+    #[test]
+    fn multiple_waiters_all_answered() {
+        let mut ns = NameService::new();
+        ns.register_site("s", ident(0, 0));
+        for req in 0..5 {
+            assert!(ns.handle_import(req, "s", "x", ImportKind::Name, ident(req as u32, 0)).is_none());
+        }
+        let replies = ns.handle_register(SiteId(0), "s", "x", chan(9));
+        assert_eq!(replies.len(), 5);
+    }
+}

@@ -1,0 +1,211 @@
+//! Sites: the basic sequential units of the implementation (§5, Fig. 3).
+//!
+//! A site is an extended TyCO virtual machine plus its incoming/outgoing
+//! queues. The [`RtPort`] implements the VM's [`NetPort`] by translating
+//! port operations into [`Packet`]s on the outgoing queue (towards the
+//! node's TyCOd daemon) and by draining the incoming queue the daemon
+//! fills.
+
+use crate::daemon::TermCounters;
+use crossbeam::channel::{Receiver, Sender};
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use tyco_vm::codec::Packet;
+use tyco_vm::port::{FetchReplyNow, ImportReply, Incoming, NetPort};
+use tyco_vm::program::ImportKind;
+use tyco_vm::wire::{WireGroup, WireObj, WireWord};
+use tyco_vm::word::{Identity, NetRef, SiteId};
+use tyco_vm::{Machine, Program, SliceStatus, VmError};
+
+/// What the daemon puts on a site's incoming queue.
+#[derive(Debug)]
+pub enum RtIncoming {
+    /// Plain VM traffic (messages, objects, fetch requests/replies).
+    Vm(Incoming),
+    /// A name-service reply for one of this site's import requests.
+    ImportResolved { req: u64, result: Result<WireWord, String> },
+}
+
+/// The queue-backed [`NetPort`] of a site.
+pub struct RtPort {
+    identity: Identity,
+    lexeme: String,
+    out: Sender<(SiteId, Packet)>,
+    inbox: Receiver<RtIncoming>,
+    /// Resolved imports: (site, name, kind) → value; filled when replies
+    /// arrive so re-executed `import` instructions answer `Ready`.
+    cache: HashMap<(String, String, ImportKind), WireWord>,
+    /// In-flight import requests: req → key.
+    pending: HashMap<u64, (String, String, ImportKind)>,
+    next_req: u64,
+    term: Arc<TermCounters>,
+}
+
+impl RtPort {
+    pub fn new(
+        identity: Identity,
+        lexeme: String,
+        out: Sender<(SiteId, Packet)>,
+        inbox: Receiver<RtIncoming>,
+        term: Arc<TermCounters>,
+    ) -> RtPort {
+        RtPort {
+            identity,
+            lexeme,
+            out,
+            inbox,
+            cache: HashMap::new(),
+            pending: HashMap::new(),
+            next_req: 0,
+            term,
+        }
+    }
+
+    fn send(&self, p: Packet) {
+        self.term.injected.fetch_add(1, Ordering::Relaxed);
+        // A failed send means the daemon is gone (node shut down); the
+        // packet is dropped, which is the behaviour of a dead node.
+        if self.out.send((self.identity.site, p)).is_err() {
+            self.term.consumed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Re-issue every in-flight import request (called after a
+    /// name-service failover: requests parked at the dead primary are
+    /// lost).
+    pub fn resend_pending_imports(&mut self) {
+        let pending: Vec<(u64, (String, String, ImportKind))> =
+            self.pending.iter().map(|(k, v)| (*k, v.clone())).collect();
+        for (req, (site, name, kind)) in pending {
+            self.send(Packet::NsImport {
+                req,
+                site,
+                name,
+                kind,
+                reply_to: self.identity,
+            });
+        }
+    }
+
+    /// Number of in-flight import requests.
+    pub fn pending_imports(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Items waiting in the incoming queue (activity signal for the
+    /// termination detector).
+    pub fn inbox_len(&self) -> usize {
+        self.inbox.len()
+    }
+}
+
+impl NetPort for RtPort {
+    fn identity(&self) -> Identity {
+        self.identity
+    }
+
+    fn register(&mut self, name: &str, value: WireWord) {
+        self.send(Packet::NsRegister {
+            from_site: self.identity.site,
+            site_lexeme: self.lexeme.clone(),
+            name: name.to_string(),
+            value,
+        });
+    }
+
+    fn import(&mut self, site: &str, name: &str, kind: ImportKind) -> ImportReply {
+        let key = (site.to_string(), name.to_string(), kind);
+        if let Some(w) = self.cache.get(&key) {
+            return ImportReply::Ready(w.clone());
+        }
+        self.next_req += 1;
+        let req = self.next_req;
+        self.pending.insert(req, key);
+        self.send(Packet::NsImport {
+            req,
+            site: site.to_string(),
+            name: name.to_string(),
+            kind,
+            reply_to: self.identity,
+        });
+        ImportReply::Pending(req)
+    }
+
+    fn send_msg(&mut self, dest: NetRef, label: &str, args: Vec<WireWord>) {
+        self.send(Packet::Msg { dest, label: label.to_string(), args });
+    }
+
+    fn send_obj(&mut self, dest: NetRef, obj: WireObj) {
+        self.send(Packet::Obj { dest, obj });
+    }
+
+    fn fetch(&mut self, class: NetRef) -> FetchReplyNow {
+        self.next_req += 1;
+        let req = self.next_req;
+        self.send(Packet::FetchReq { class, req, reply_to: self.identity });
+        FetchReplyNow::Pending(req)
+    }
+
+    fn fetch_reply(&mut self, to: Identity, req: u64, group: WireGroup, index: u8) {
+        self.send(Packet::FetchReply { to, req, group, index });
+    }
+
+    fn poll(&mut self) -> Option<Incoming> {
+        match self.inbox.try_recv() {
+            Ok(RtIncoming::Vm(i)) => {
+                self.term.consumed.fetch_add(1, Ordering::Relaxed);
+                Some(i)
+            }
+            Ok(RtIncoming::ImportResolved { req, result }) => {
+                self.term.consumed.fetch_add(1, Ordering::Relaxed);
+                let key = self.pending.remove(&req);
+                match result {
+                    Ok(w) => {
+                        if let Some(key) = key {
+                            self.cache.insert(key, w);
+                        }
+                        Some(Incoming::ImportReady { req })
+                    }
+                    Err(reason) => Some(Incoming::ImportFailed { req, reason }),
+                }
+            }
+            Err(_) => None,
+        }
+    }
+}
+
+/// A site: lexeme + identity + its virtual machine.
+pub struct Site {
+    pub lexeme: String,
+    pub identity: Identity,
+    pub machine: Machine<RtPort>,
+    /// Set when the site's program raised a runtime error.
+    pub error: Option<VmError>,
+}
+
+impl Site {
+    pub fn new(lexeme: &str, identity: Identity, program: Program, port: RtPort) -> Site {
+        Site { lexeme: lexeme.to_string(), identity, machine: Machine::new(program, port), error: None }
+    }
+
+    /// Pump the site once: drain incoming, run a bounded slice.
+    /// Returns whether any instruction ran (progress).
+    pub fn pump(&mut self, fuel: u64) -> bool {
+        if self.error.is_some() {
+            return false;
+        }
+        match self.machine.run_slice(fuel) {
+            Ok(SliceStatus { instrs, .. }) => instrs > 0,
+            Err(e) => {
+                self.error = Some(e);
+                false
+            }
+        }
+    }
+
+    /// Is the site idle (nothing runnable)?
+    pub fn idle(&self) -> bool {
+        !self.machine.runnable()
+    }
+}

@@ -1,0 +1,127 @@
+//! Termination detection (§7, future work: *"we need to introduce
+//! fault-tolerance and termination detection into the system … to try to
+//! terminate computations cleanly"*).
+//!
+//! We implement Mattern's four-counter scheme adapted to the DiTyCO
+//! architecture. The environment keeps two global packet counters
+//! ([`crate::daemon::TermCounters`]): `injected` (every packet a site or
+//! the name service puts into the system) and `consumed` (every packet
+//! drained by a site or handled by the name service). The detector takes
+//! repeated snapshots of `(injected, consumed, any_site_active)`:
+//! computation has terminated when two *consecutive* snapshots are equal,
+//! balanced (`injected == consumed`) and inactive — the first snapshot
+//! plays the role of Mattern's first wave, the second confirms that no
+//! message was in flight between the waves.
+
+use crate::daemon::TermCounters;
+use std::sync::atomic::Ordering;
+
+/// One snapshot of global activity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Snapshot {
+    pub injected: u64,
+    pub consumed: u64,
+    pub any_active: bool,
+}
+
+impl Snapshot {
+    /// Take a snapshot from the shared counters plus a site-activity scan.
+    pub fn take(counters: &TermCounters, any_active: bool) -> Snapshot {
+        // Read consumed before injected: overshooting `injected` can only
+        // make the balance check fail (safe direction).
+        let consumed = counters.consumed.load(Ordering::SeqCst);
+        let injected = counters.injected.load(Ordering::SeqCst);
+        Snapshot { injected, consumed, any_active }
+    }
+
+    /// Is the system balanced and idle in this snapshot?
+    pub fn quiet(&self) -> bool {
+        !self.any_active && self.injected == self.consumed
+    }
+}
+
+/// The two-wave (four-counter) termination detector.
+#[derive(Debug, Default)]
+pub struct TerminationDetector {
+    prev: Option<Snapshot>,
+    /// Number of probes performed (reported in experiment C8).
+    pub probes: u64,
+}
+
+impl TerminationDetector {
+    pub fn new() -> TerminationDetector {
+        TerminationDetector::default()
+    }
+
+    /// Feed a snapshot; returns `true` when termination is detected.
+    ///
+    /// Safety: only answers `true` when two consecutive snapshots are
+    /// quiet and identical, which implies no packet was produced, consumed
+    /// or in flight between them.
+    pub fn probe(&mut self, snap: Snapshot) -> bool {
+        self.probes += 1;
+        let done = snap.quiet() && self.prev == Some(snap);
+        self.prev = Some(snap);
+        done
+    }
+
+    /// Forget history (e.g. after a failover re-injection).
+    pub fn reset(&mut self) {
+        self.prev = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(i: u64, c: u64, a: bool) -> Snapshot {
+        Snapshot { injected: i, consumed: c, any_active: a }
+    }
+
+    #[test]
+    fn needs_two_identical_quiet_snapshots() {
+        let mut d = TerminationDetector::new();
+        assert!(!d.probe(snap(5, 5, false)), "first quiet snapshot is not enough");
+        assert!(d.probe(snap(5, 5, false)), "second identical quiet snapshot confirms");
+    }
+
+    #[test]
+    fn activity_between_waves_resets() {
+        let mut d = TerminationDetector::new();
+        assert!(!d.probe(snap(5, 5, false)));
+        // A message was sent and consumed between probes: counters moved.
+        assert!(!d.probe(snap(6, 6, false)));
+        assert!(d.probe(snap(6, 6, false)));
+    }
+
+    #[test]
+    fn never_fires_while_unbalanced_or_active() {
+        let mut d = TerminationDetector::new();
+        assert!(!d.probe(snap(5, 4, false)));
+        assert!(!d.probe(snap(5, 4, false)), "in-flight packet blocks detection");
+        assert!(!d.probe(snap(5, 5, true)));
+        assert!(!d.probe(snap(5, 5, true)), "active site blocks detection");
+    }
+
+    #[test]
+    fn reset_discards_history() {
+        let mut d = TerminationDetector::new();
+        assert!(!d.probe(snap(5, 5, false)));
+        d.reset();
+        assert!(!d.probe(snap(5, 5, false)), "reset forces a fresh first wave");
+        assert!(d.probe(snap(5, 5, false)));
+    }
+
+    #[test]
+    fn snapshot_take_reads_counters() {
+        let c = TermCounters::default();
+        c.injected.fetch_add(3, Ordering::SeqCst);
+        c.consumed.fetch_add(3, Ordering::SeqCst);
+        let s = Snapshot::take(&c, false);
+        assert!(s.quiet());
+        c.injected.fetch_add(1, Ordering::SeqCst);
+        let s = Snapshot::take(&c, false);
+        assert!(!s.quiet());
+    }
+}

@@ -1,0 +1,90 @@
+//! Reduction-rule accounting for the calculus interpreter.
+//!
+//! Every axiom of the semantics (§2–§3 of the paper) has a counter, so
+//! tests and benchmarks can assert structural claims such as *"a remote
+//! communication involves two reduction steps"* (one SHIP, one local
+//! rendez-vous — experiment C3 in DESIGN.md).
+
+use std::fmt;
+
+/// Which reduction rule fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rule {
+    /// Local message/object rendez-vous (COMMUNICATION).
+    Comm,
+    /// Class instantiation (INSTANTIATION).
+    Inst,
+    /// Remote message shipped to the site of its prefix (SHIPM).
+    ShipM,
+    /// Object migrated to the site of its prefix (SHIPO).
+    ShipO,
+    /// Class definitions downloaded from their defining site (FETCH).
+    Fetch,
+    /// Builtin step (`if`, `print`) — implementation extension.
+    Builtin,
+}
+
+/// Counters for each rule plus scheduling statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counters {
+    pub comm: u64,
+    pub inst: u64,
+    pub shipm: u64,
+    pub shipo: u64,
+    pub fetch: u64,
+    pub builtin: u64,
+    /// Decomposition steps (Par/New/Def/export/import handling) that are
+    /// structural-congruence work, not reductions.
+    pub structural: u64,
+}
+
+impl Counters {
+    pub fn record(&mut self, rule: Rule) {
+        match rule {
+            Rule::Comm => self.comm += 1,
+            Rule::Inst => self.inst += 1,
+            Rule::ShipM => self.shipm += 1,
+            Rule::ShipO => self.shipo += 1,
+            Rule::Fetch => self.fetch += 1,
+            Rule::Builtin => self.builtin += 1,
+        }
+    }
+
+    /// Total reduction steps (excluding structural work).
+    pub fn reductions(&self) -> u64 {
+        self.comm + self.inst + self.shipm + self.shipo + self.fetch + self.builtin
+    }
+
+    /// Steps that crossed a site boundary.
+    pub fn remote_steps(&self) -> u64 {
+        self.shipm + self.shipo + self.fetch
+    }
+}
+
+impl fmt::Display for Counters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "comm={} inst={} shipm={} shipo={} fetch={} builtin={} structural={}",
+            self.comm, self.inst, self.shipm, self.shipo, self.fetch, self.builtin, self.structural
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_totals() {
+        let mut c = Counters::default();
+        c.record(Rule::Comm);
+        c.record(Rule::ShipM);
+        c.record(Rule::ShipM);
+        c.record(Rule::Fetch);
+        assert_eq!(c.reductions(), 4);
+        assert_eq!(c.remote_steps(), 3);
+        assert_eq!(c.comm, 1);
+        assert_eq!(c.shipm, 2);
+    }
+}

@@ -1,0 +1,139 @@
+//! Runtime values and environments of the calculus interpreter.
+
+use std::fmt;
+use std::rc::Rc;
+
+/// A site identifier (dense index into the network's site table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SiteId(pub u32);
+
+/// A channel: globally identified by the site that allocated it plus a
+/// per-network unique id. This is the semantic counterpart of the located
+/// name `s.x` after scope extrusion to the network level (rules NEW/EXN).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ChanId {
+    pub site: SiteId,
+    pub uid: u64,
+}
+
+/// A first-class runtime value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Val {
+    Unit,
+    Int(i64),
+    Bool(bool),
+    Str(Rc<str>),
+    Float(f64),
+    Chan(ChanId),
+}
+
+impl Val {
+    /// Render as the I/O port does (used by `print`).
+    pub fn display(&self) -> String {
+        match self {
+            Val::Unit => "unit".to_string(),
+            Val::Int(i) => i.to_string(),
+            Val::Bool(b) => b.to_string(),
+            Val::Str(s) => s.to_string(),
+            Val::Float(x) => format!("{x:?}"),
+            Val::Chan(c) => format!("#{}:{}", c.site.0, c.uid),
+        }
+    }
+}
+
+impl fmt::Display for Val {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.display())
+    }
+}
+
+/// A binding: a value or a class (index into the network's class-group
+/// arena plus the class name within the group).
+#[derive(Debug, Clone)]
+pub enum Binding {
+    Val(Val),
+    Class { group: usize, name: String },
+}
+
+/// A persistent environment (linked list of frames; cloning is O(1)).
+#[derive(Debug, Clone, Default)]
+pub struct Env(Option<Rc<Frame>>);
+
+#[derive(Debug)]
+struct Frame {
+    name: String,
+    binding: Binding,
+    parent: Env,
+}
+
+impl Env {
+    pub fn empty() -> Env {
+        Env(None)
+    }
+
+    /// Extend with one binding (returns a new environment).
+    pub fn bind(&self, name: impl Into<String>, binding: Binding) -> Env {
+        Env(Some(Rc::new(Frame { name: name.into(), binding, parent: self.clone() })))
+    }
+
+    /// Look up the innermost binding for `name`.
+    pub fn lookup(&self, name: &str) -> Option<&Binding> {
+        let mut cur = self;
+        while let Some(frame) = &cur.0 {
+            if frame.name == name {
+                return Some(&frame.binding);
+            }
+            cur = &frame.parent;
+        }
+        None
+    }
+
+    /// Depth of the environment chain (diagnostics).
+    pub fn depth(&self) -> usize {
+        let mut n = 0;
+        let mut cur = self;
+        while let Some(frame) = &cur.0 {
+            n += 1;
+            cur = &frame.parent;
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_shadowing() {
+        let e = Env::empty()
+            .bind("x", Binding::Val(Val::Int(1)))
+            .bind("y", Binding::Val(Val::Int(2)))
+            .bind("x", Binding::Val(Val::Int(3)));
+        match e.lookup("x") {
+            Some(Binding::Val(Val::Int(3))) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(e.lookup("z").is_none());
+        assert_eq!(e.depth(), 3);
+    }
+
+    #[test]
+    fn env_clone_shares_tail() {
+        let base = Env::empty().bind("x", Binding::Val(Val::Int(1)));
+        let a = base.bind("y", Binding::Val(Val::Int(2)));
+        let b = base.bind("y", Binding::Val(Val::Int(3)));
+        match (a.lookup("y"), b.lookup("y")) {
+            (Some(Binding::Val(Val::Int(2))), Some(Binding::Val(Val::Int(3)))) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn val_display() {
+        assert_eq!(Val::Int(-3).display(), "-3");
+        assert_eq!(Val::Str("hi".into()).display(), "hi");
+        assert_eq!(Val::Chan(ChanId { site: SiteId(1), uid: 4 }).display(), "#1:4");
+        assert_eq!(Val::Float(2.5).display(), "2.5");
+    }
+}

@@ -1,0 +1,127 @@
+//! Property tests for the formal layer: structural-congruence laws of the
+//! network syntax and the σ-translation laws of §3.
+
+use proptest::prelude::*;
+use tyco_calculus::network_syntax::{normalize, Net};
+use tyco_calculus::sigma::sigma_proc;
+use tyco_syntax::arbitrary::{arb_closed_program, arb_proc};
+use tyco_syntax::pretty::pretty;
+
+fn arb_site_name() -> impl Strategy<Value = String> {
+    proptest::sample::select(vec!["s", "t", "u"]).prop_map(str::to_string)
+}
+
+fn arb_net() -> impl Strategy<Value = Net> {
+    let leaf = prop_oneof![
+        Just(Net::Nil),
+        (arb_site_name(), arb_closed_program()).prop_map(|(s, p)| Net::Site(s, p)),
+    ];
+    leaf.prop_recursive(3, 12, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Net::par(a, b)),
+            (arb_site_name(), proptest::sample::select(vec!["x", "y"]), inner.clone()).prop_map(
+                |(site, name, body)| Net::New {
+                    site,
+                    name: name.to_string(),
+                    body: Box::new(body)
+                }
+            ),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// ‖ is a commutative monoid with unit 0 under ≡ (Nil + monoid laws).
+    #[test]
+    fn par_monoid_laws(a in arb_net(), b in arb_net(), c in arb_net()) {
+        let ab_c = Net::par(Net::par(a.clone(), b.clone()), c.clone());
+        let a_bc = Net::par(a.clone(), Net::par(b.clone(), c.clone()));
+        prop_assert_eq!(normalize(&ab_c), normalize(&a_bc), "associativity");
+        let ab = Net::par(a.clone(), b.clone());
+        let ba = Net::par(b, a.clone());
+        prop_assert_eq!(normalize(&ab), normalize(&ba), "commutativity");
+        let a0 = Net::par(a.clone(), Net::Nil);
+        prop_assert_eq!(normalize(&a0), normalize(&a), "unit");
+    }
+
+    /// Normalization is idempotent on the site decomposition: gathering a
+    /// site's components back into one located process re-normalizes to
+    /// the same canonical form (rule Split used in both directions).
+    #[test]
+    fn split_round_trip(n in arb_net()) {
+        let canon = normalize(&n);
+        // Rebuild `s[P1 | … | Pk]` per site from the canonical components.
+        let mut rebuilt = Net::Nil;
+        for (site, comps) in &canon.sites {
+            let procs: Vec<_> = comps
+                .iter()
+                .map(|src| tyco_syntax::parse_core(src).expect("canonical form re-parses"))
+                .collect();
+            rebuilt = Net::par(
+                rebuilt,
+                Net::Site(site.clone(), tyco_syntax::ast::Proc::par(procs)),
+            );
+        }
+        // Restrictions must be re-attached for names to stay alive.
+        for (site, name) in canon.restrictions.iter().rev() {
+            rebuilt = Net::New { site: site.clone(), name: name.clone(), body: Box::new(rebuilt) };
+        }
+        let again = normalize(&rebuilt);
+        prop_assert_eq!(canon.sites, again.sites);
+    }
+
+    /// σ_{s→r} ∘ σ_{r→s} = id on processes whose free located names are at
+    /// r or s only (the generator produces plain names, so this holds).
+    #[test]
+    fn sigma_involution(p in arb_proc()) {
+        let there = sigma_proc(&p, "r", "s");
+        let back = sigma_proc(&there, "s", "r");
+        prop_assert_eq!(pretty(&back), pretty(&p));
+    }
+
+    /// σ preserves the program's binding structure: bound names are
+    /// untouched, so free-name *count* at plain position maps exactly to
+    /// located occurrences.
+    #[test]
+    fn sigma_translates_exactly_free_names(p in arb_proc()) {
+        let free_before = p.free_names();
+        let there = sigma_proc(&p, "r", "s");
+        // After translating away, no plain free names may remain.
+        prop_assert!(there.free_names().is_empty(),
+            "plain frees remain: {:?} of {}", there.free_names(), pretty(&p));
+        // And translating back restores them.
+        let back = sigma_proc(&there, "s", "r");
+        prop_assert_eq!(back.free_names(), free_before);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Structural congruence is observationally sound: composing a site's
+    /// components in any order (Split both ways + monoid laws) yields the
+    /// same printed multiset under the reduction semantics.
+    #[test]
+    fn congruent_nets_have_equal_observables(
+        parts in proptest::collection::vec(arb_closed_program(), 1..4)
+    ) {
+        use tyco_calculus::Network;
+        use tyco_syntax::ast::Proc;
+
+        let forward = Proc::par(parts.clone());
+        let mut reversed_parts = parts.clone();
+        reversed_parts.reverse();
+        let reversed = Proc::par(reversed_parts);
+
+        let run = |p: Proc| {
+            let mut net = Network::new();
+            net.add_site("main", p);
+            let out = net.run(10_000_000).expect("reduces");
+            prop_assert!(out.quiescent);
+            Ok(out.line_multiset())
+        };
+        prop_assert_eq!(run(forward)?, run(reversed)?);
+    }
+}

@@ -1,0 +1,282 @@
+//! End-to-end tests of the calculus interpreter on the paper's examples,
+//! including the structural claims about reduction steps.
+
+use tyco_calculus::{Network, Scheduler};
+
+fn run_single(src: &str) -> tyco_calculus::Outcome {
+    let mut net = Network::new();
+    net.add_site_src("main", src).expect("parse");
+    net.run(100_000).expect("run")
+}
+
+#[test]
+fn polymorphic_cell_from_paper_section_2() {
+    // Cell read via a reply channel; the reader prints 9.
+    let out = run_single(
+        r#"
+        def Cell(self, v) =
+            self ? {
+                read(r)  = r![v] | Cell[self, v],
+                write(u) = Cell[self, u]
+            }
+        in new x (
+            Cell[x, 9]
+          | new z (x!read[z] | z?(w) = print(w))
+        )
+        "#,
+    );
+    assert_eq!(out.outputs[0], vec!["9".to_string()]);
+    // Interaction: 2 instantiations (initial + recursive) and 2 comms
+    // (read request, reply).
+    assert_eq!(out.counters.comm, 2);
+    assert_eq!(out.counters.inst, 2);
+    assert_eq!(out.counters.remote_steps(), 0);
+    assert!(out.quiescent);
+}
+
+#[test]
+fn cell_write_then_read() {
+    let out = run_single(
+        r#"
+        def Cell(self, v) =
+            self ? {
+                read(r)  = r![v] | Cell[self, v],
+                write(u) = Cell[self, u]
+            }
+        in new x (
+            Cell[x, 1]
+          | x!write[42]
+          | new z (x!read[z] | z?(w) = print(w))
+        )
+        "#,
+    );
+    // Round-robin FIFO delivers write before read (both queued on x).
+    assert_eq!(out.outputs[0], vec!["42".to_string()]);
+}
+
+#[test]
+fn rpc_example_from_paper_section_3() {
+    // Client at site s invokes procedure p at site r; the paper's trace has
+    // exactly two SHIPM steps (request and reply) and two local comms.
+    let mut net = Network::new();
+    net.add_site_src("r", "export new p in p?{ val(x, r) = r![x * 10] }").unwrap();
+    net.add_site_src(
+        "s",
+        "import p from r in new a (p!val[4, a] | a?(y) = print(y))",
+    )
+    .unwrap();
+    let out = net.run(100_000).expect("run");
+    let s = net.site_id("s").unwrap();
+    assert_eq!(net.output(s), &["40".to_string()]);
+    assert_eq!(out.counters.shipm, 2, "request + reply each ship once");
+    assert_eq!(out.counters.comm, 2, "one rendez-vous per ship");
+    assert_eq!(out.counters.shipo, 0);
+    assert!(out.quiescent);
+}
+
+#[test]
+fn remote_communication_is_two_steps() {
+    // C3: a single remote message = 1 SHIPM + 1 COMM, nothing else.
+    let mut net = Network::new();
+    net.add_site_src("server", "export new p in p?{ go(n) = print(n) }").unwrap();
+    net.add_site_src("client", "import p from server in p!go[7]").unwrap();
+    let out = net.run(10_000).unwrap();
+    assert_eq!(out.counters.shipm, 1);
+    assert_eq!(out.counters.comm, 1);
+    assert_eq!(out.counters.reductions(), 2 + out.counters.builtin);
+    let server = net.site_id("server").unwrap();
+    assert_eq!(net.output(server), &["7".to_string()]);
+}
+
+#[test]
+fn applet_server_code_fetching() {
+    // §4, first applet-server program: the client *fetches* the class.
+    let mut net = Network::new();
+    net.add_site_src(
+        "server",
+        r#"export def Applet(v) = println("applet runs with", v) in 0"#,
+    )
+    .unwrap();
+    net.add_site_src("client", "import Applet from server in Applet[5]").unwrap();
+    let out = net.run(10_000).unwrap();
+    let client = net.site_id("client").unwrap();
+    // The applet body runs AT THE CLIENT (code moved, not the data).
+    assert_eq!(net.output(client), &["applet runs with 5".to_string()]);
+    assert_eq!(out.counters.fetch, 1);
+    assert_eq!(out.counters.inst, 1);
+    assert_eq!(out.counters.shipo, 0);
+}
+
+#[test]
+fn applet_server_code_shipping() {
+    // §4, second applet-server program: the server *ships* an object to a
+    // client-allocated name.
+    let mut net = Network::new();
+    net.add_site_src(
+        "server",
+        r#"
+        def AppletServer(self) =
+            self ? {
+                applet(p) = (p?(x) = println("shipped applet got", x)) | AppletServer[self]
+            }
+        in export new appletserver in AppletServer[appletserver]
+        "#,
+    )
+    .unwrap();
+    net.add_site_src(
+        "client",
+        r#"
+        import appletserver from server in
+        new p (appletserver!applet[p] | p![11])
+        "#,
+    )
+    .unwrap();
+    let out = net.run(10_000).unwrap();
+    let client = net.site_id("client").unwrap();
+    assert_eq!(net.output(client), &["shipped applet got 11".to_string()]);
+    // The request ships to the server, the applet object ships back.
+    assert_eq!(out.counters.shipm, 1);
+    assert_eq!(out.counters.shipo, 1);
+}
+
+#[test]
+fn seti_example_from_paper_section_4() {
+    // The Install/Go loop fetched by the client; bounded by the step limit
+    // (the paper's program runs "forever"), so we check the outputs grow at
+    // the client and the fetch happened once.
+    let mut net = Network::new();
+    net.add_site_src(
+        "seti",
+        r#"
+        new database (
+            export def Install() = println("installed") | Go[]
+            and Go() = let data = database!newChunk[] in (println(data) | Go[])
+            in database ? {
+                newChunk(replyTo) = replyTo![17] | database ? { newChunk(r) = r![18] }
+            }
+        )
+        "#,
+    )
+    .unwrap();
+    net.add_site_src("client", "import Install from seti in Install[]").unwrap();
+    let out = net.run(500).unwrap();
+    let client = net.site_id("client").unwrap();
+    let lines = net.output(client);
+    assert!(lines.first().map(String::as_str) == Some("installed"), "{lines:?}");
+    assert!(lines.contains(&"17".to_string()), "{lines:?}");
+    assert_eq!(out.counters.fetch, 1, "Install (and Go with it) downloaded once");
+    // The Go loop runs at the client; each chunk request ships to seti.
+    assert!(out.counters.shipm >= 1);
+}
+
+#[test]
+fn fetched_class_recursion_is_local() {
+    // Once fetched, recursive instantiation must NOT fetch again.
+    let mut net = Network::new();
+    net.add_site_src(
+        "server",
+        "export def Loop(n) = if n > 0 then print(n) | Loop[n - 1] else println(\"done\") in 0",
+    )
+    .unwrap();
+    net.add_site_src("client", "import Loop from server in Loop[3]").unwrap();
+    let out = net.run(10_000).unwrap();
+    let client = net.site_id("client").unwrap();
+    assert_eq!(
+        net.output(client),
+        &["3".to_string(), "2".to_string(), "1".to_string(), "done".to_string()]
+    );
+    assert_eq!(out.counters.fetch, 1, "exactly one download");
+    assert_eq!(out.counters.inst, 4, "all instantiations local after fetch");
+}
+
+#[test]
+fn import_blocks_until_export() {
+    // Client imports before the server registers: it must park, then run.
+    let mut net = Network::new();
+    // Client is added FIRST so round-robin reaches it before the server
+    // has exported.
+    net.add_site_src("client", "import p from server in p!go[1]").unwrap();
+    net.add_site_src("server", "export new p in p?{ go(n) = print(n * 2) }").unwrap();
+    let out = net.run(10_000).unwrap();
+    assert!(out.quiescent);
+    assert_eq!(out.blocked, 0);
+    let server = net.site_id("server").unwrap();
+    assert_eq!(net.output(server), &["2".to_string()]);
+}
+
+#[test]
+fn unresolved_import_reports_blocked() {
+    let mut net = Network::new();
+    net.add_site_src("client", "import p from server in p!go[1]").unwrap();
+    net.add_site_src("server", "0").unwrap();
+    let out = net.run(10_000).unwrap();
+    assert!(out.quiescent);
+    assert_eq!(out.blocked, 1);
+}
+
+#[test]
+fn protocol_error_is_dynamic() {
+    // A label the object does not offer — the dynamic check fires.
+    let mut net = Network::new();
+    net.add_site_src("main", "new x (x!bad[] | x?{ good() = 0 })").unwrap();
+    let err = net.run(10_000).unwrap_err();
+    assert!(matches!(err, tyco_calculus::RtError::NoMethod { .. }), "{err}");
+}
+
+#[test]
+fn random_scheduler_same_observables() {
+    let src = r#"
+        def Cell(self, v) =
+            self ? { read(r) = r![v] | Cell[self, v], write(u) = Cell[self, u] }
+        in new x (
+            Cell[x, 9]
+          | new z (x!read[z] | z?(w) = print(w))
+        )
+    "#;
+    let mut reference: Option<Vec<String>> = None;
+    for seed in 0..10u64 {
+        let mut net = Network::new().with_scheduler(Scheduler::Random(seed));
+        net.add_site_src("main", src).unwrap();
+        let out = net.run(100_000).unwrap();
+        let lines = out.line_multiset();
+        match &reference {
+            None => reference = Some(lines),
+            Some(r) => assert_eq!(&lines, r, "seed {seed} diverged"),
+        }
+    }
+}
+
+#[test]
+fn messages_preserve_fifo_per_channel() {
+    let out = run_single(
+        r#"
+        new x (
+            x![1] | x![2] | x![3]
+          | x?(a) = (print(a) | x?(b) = (print(b) | x?(c) = print(c)))
+        )
+        "#,
+    );
+    assert_eq!(out.outputs[0], vec!["1".to_string(), "2".to_string(), "3".to_string()]);
+}
+
+#[test]
+fn step_limit_reports_non_quiescent() {
+    let out = run_single("def Spin() = Spin[] in Spin[]");
+    // 100k steps spent spinning.
+    assert!(!run_is_quiescent(&out));
+    fn run_is_quiescent(o: &tyco_calculus::Outcome) -> bool {
+        o.quiescent
+    }
+}
+
+#[test]
+fn located_identifiers_work_directly() {
+    // Pretty-printed translated programs use s.x directly.
+    let mut net = Network::new();
+    net.add_site_src("server", "export new p in p?{ go(n) = print(n + 1) }").unwrap();
+    net.add_site_src("client", "server.p!go[41]").unwrap();
+    let out = net.run(10_000).unwrap();
+    let server = net.site_id("server").unwrap();
+    assert_eq!(net.output(server), &["42".to_string()]);
+    assert_eq!(out.counters.shipm, 1);
+}

@@ -1,0 +1,203 @@
+//! Desugaring pass.
+//!
+//! The parser already normalizes `x![ẽ]` and `x?(ỹ)=P` to the explicit
+//! `val`-labelled forms; the only remaining sugar is the synchronous-call
+//! form from §4 of the paper:
+//!
+//! ```text
+//! let z = a!l[ẽ] in P   ⇒   new r in (a!l[ẽ, r] | r?{ val(z) = P })
+//! ```
+//!
+//! where `r` is fresh: it must not occur free in `P`, in the arguments, or
+//! equal the subject of the call.
+
+use crate::ast::*;
+use crate::pos::Span;
+use std::collections::BTreeSet;
+
+/// Eliminate all `let` sugar from a process, recursively.
+pub fn desugar(p: Proc) -> Proc {
+    match p {
+        Proc::Nil => Proc::Nil,
+        Proc::Par(ps) => Proc::par(ps.into_iter().map(desugar)),
+        Proc::New { binders, body, span } => {
+            Proc::New { binders, body: Box::new(desugar(*body)), span }
+        }
+        Proc::ExportNew { binders, body, span } => {
+            Proc::ExportNew { binders, body: Box::new(desugar(*body)), span }
+        }
+        Proc::Msg { .. } | Proc::Print { .. } => p,
+        Proc::Obj { target, methods, span } => Proc::Obj {
+            target,
+            methods: methods
+                .into_iter()
+                .map(|m| Method { body: desugar(m.body), ..m })
+                .collect(),
+            span,
+        },
+        Proc::Inst { .. } => p,
+        Proc::Def { defs, body, span } => Proc::Def {
+            defs: defs.into_iter().map(|d| ClassDef { body: desugar(d.body), ..d }).collect(),
+            body: Box::new(desugar(*body)),
+            span,
+        },
+        Proc::ExportDef { defs, body, span } => Proc::ExportDef {
+            defs: defs.into_iter().map(|d| ClassDef { body: desugar(d.body), ..d }).collect(),
+            body: Box::new(desugar(*body)),
+            span,
+        },
+        Proc::ImportName { name, site, body, span } => {
+            Proc::ImportName { name, site, body: Box::new(desugar(*body)), span }
+        }
+        Proc::ImportClass { class, site, body, span } => {
+            Proc::ImportClass { class, site, body: Box::new(desugar(*body)), span }
+        }
+        Proc::If { cond, then_branch, else_branch, span } => Proc::If {
+            cond,
+            then_branch: Box::new(desugar(*then_branch)),
+            else_branch: Box::new(desugar(*else_branch)),
+            span,
+        },
+        Proc::Let { binder, target, label, mut args, body, span } => {
+            let body = desugar(*body);
+            // Compute the set of names the fresh reply channel must avoid.
+            let mut avoid: BTreeSet<Ident> = body.free_names();
+            avoid.insert(binder.clone());
+            for a in &args {
+                a.free_names_into(&mut avoid);
+            }
+            if let NameRef::Plain(x) = &target {
+                avoid.insert(x.clone());
+            }
+            let reply = fresh_name("reply", &avoid);
+            args.push(Expr::Name(NameRef::Plain(reply.clone())));
+            let call = Proc::Msg { target, label, args, span };
+            let receiver = Proc::Obj {
+                target: NameRef::Plain(reply.clone()),
+                methods: vec![Method {
+                    label: VAL_LABEL.to_string(),
+                    params: vec![binder],
+                    body,
+                    span: Span::synthetic(),
+                }],
+                span: Span::synthetic(),
+            };
+            Proc::New {
+                binders: vec![reply],
+                body: Box::new(Proc::par([call, receiver])),
+                span,
+            }
+        }
+    }
+}
+
+/// Produce an identifier based on `base` that is not in `avoid`.
+pub fn fresh_name(base: &str, avoid: &BTreeSet<Ident>) -> Ident {
+    if !avoid.contains(base) {
+        return base.to_string();
+    }
+    for n in 0u64.. {
+        let candidate = format!("{base}'{n}");
+        if !avoid.contains(&candidate) {
+            return candidate;
+        }
+    }
+    unreachable!("u64 exhausted while generating fresh names")
+}
+
+/// True when the process contains no remaining sugar.
+pub fn is_core(p: &Proc) -> bool {
+    match p {
+        Proc::Nil | Proc::Msg { .. } | Proc::Inst { .. } | Proc::Print { .. } => true,
+        Proc::Par(ps) => ps.iter().all(is_core),
+        Proc::New { body, .. }
+        | Proc::ExportNew { body, .. }
+        | Proc::ImportName { body, .. }
+        | Proc::ImportClass { body, .. } => is_core(body),
+        Proc::Obj { methods, .. } => methods.iter().all(|m| is_core(&m.body)),
+        Proc::Def { defs, body, .. } | Proc::ExportDef { defs, body, .. } => {
+            defs.iter().all(|d| is_core(&d.body)) && is_core(body)
+        }
+        Proc::If { then_branch, else_branch, .. } => is_core(then_branch) && is_core(else_branch),
+        Proc::Let { .. } => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+    use crate::pretty::pretty;
+
+    #[test]
+    fn let_becomes_new_par() {
+        let p = parse_program("let data = db!chunk[1] in print(data)").unwrap();
+        let d = desugar(p);
+        assert!(is_core(&d));
+        match &d {
+            Proc::New { binders, body, .. } => {
+                assert_eq!(binders.len(), 1);
+                match &**body {
+                    Proc::Par(ps) => {
+                        assert_eq!(ps.len(), 2);
+                        match &ps[0] {
+                            Proc::Msg { label, args, .. } => {
+                                assert_eq!(label, "chunk");
+                                // Original arg plus the appended reply name.
+                                assert_eq!(args.len(), 2);
+                                assert_eq!(
+                                    args[1],
+                                    Expr::Name(NameRef::Plain(binders[0].clone()))
+                                );
+                            }
+                            other => panic!("unexpected: {other:?}"),
+                        }
+                        assert!(matches!(&ps[1], Proc::Obj { .. }));
+                    }
+                    other => panic!("unexpected: {other:?}"),
+                }
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fresh_name_avoids_collisions() {
+        let p = parse_program("let v = reply!get[] in print(v, reply)").unwrap();
+        let d = desugar(p);
+        match &d {
+            Proc::New { binders, .. } => {
+                assert_ne!(binders[0], "reply");
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        // The desugared form still re-parses.
+        let printed = pretty(&d);
+        assert_eq!(pretty(&parse_program(&printed).unwrap()), printed);
+    }
+
+    #[test]
+    fn nested_lets() {
+        let p = parse_program("let a = x!f[] in let b = y!g[a] in print(a + b)").unwrap();
+        let d = desugar(p);
+        assert!(is_core(&d));
+    }
+
+    #[test]
+    fn desugar_is_identity_on_core() {
+        let src = "def C(s) = s?{ m(r) = r![1] } in new x C[x] | x!m[x]";
+        let p = parse_program(src).unwrap();
+        assert!(is_core(&p));
+        assert_eq!(desugar(p.clone()), p);
+    }
+
+    #[test]
+    fn fresh_name_generator() {
+        let mut avoid = BTreeSet::new();
+        assert_eq!(fresh_name("r", &avoid), "r");
+        avoid.insert("r".to_string());
+        assert_eq!(fresh_name("r", &avoid), "r'0");
+        avoid.insert("r'0".to_string());
+        assert_eq!(fresh_name("r", &avoid), "r'1");
+    }
+}

@@ -1,0 +1,359 @@
+//! Hand-written lexer for the DiTyCO concrete syntax.
+//!
+//! Comments: `//` to end of line and nestable `/* … */`.
+
+use crate::pos::{Pos, Span};
+use crate::token::Tok;
+use std::fmt;
+
+/// A token with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    pub tok: Tok,
+    pub span: Span,
+}
+
+/// A lexical error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    pub message: String,
+    pub pos: Pos,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenize `src` completely; the final token is always [`Tok::Eof`].
+pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    chars: std::iter::Peekable<std::str::CharIndices<'a>>,
+    pos: Pos,
+    out: Vec<Spanned>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer { src, chars: src.char_indices().peekable(), pos: Pos::start(), out: Vec::new() }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().map(|&(_, c)| c)
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let (i, c) = self.chars.next()?;
+        self.pos.offset = (i + c.len_utf8()) as u32;
+        if c == '\n' {
+            self.pos.line += 1;
+            self.pos.col = 1;
+        } else {
+            self.pos.col += 1;
+        }
+        Some(c)
+    }
+
+    fn err(&self, message: impl Into<String>) -> LexError {
+        LexError { message: message.into(), pos: self.pos }
+    }
+
+    fn emit(&mut self, tok: Tok, start: Pos) {
+        self.out.push(Spanned { tok, span: Span::new(start, self.pos) });
+    }
+
+    fn run(mut self) -> Result<Vec<Spanned>, LexError> {
+        loop {
+            self.skip_trivia()?;
+            let start = self.pos;
+            let Some(c) = self.peek() else {
+                self.emit(Tok::Eof, start);
+                return Ok(self.out);
+            };
+            match c {
+                'a'..='z' | 'A'..='Z' | '_' => self.ident(start),
+                '0'..='9' => self.number(start)?,
+                '"' => self.string(start)?,
+                _ => self.symbol(start)?,
+            }
+        }
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), LexError> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some('/') => {
+                    // Look ahead two characters without consuming on mismatch.
+                    let rest = &self.src[self.pos.offset as usize..];
+                    if rest.starts_with("//") {
+                        while let Some(c) = self.peek() {
+                            if c == '\n' {
+                                break;
+                            }
+                            self.bump();
+                        }
+                    } else if rest.starts_with("/*") {
+                        self.bump();
+                        self.bump();
+                        let mut depth = 1usize;
+                        loop {
+                            let rest = &self.src[self.pos.offset as usize..];
+                            if rest.starts_with("/*") {
+                                self.bump();
+                                self.bump();
+                                depth += 1;
+                            } else if rest.starts_with("*/") {
+                                self.bump();
+                                self.bump();
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            } else if self.bump().is_none() {
+                                return Err(self.err("unterminated block comment"));
+                            }
+                        }
+                    } else {
+                        return Ok(());
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn ident(&mut self, start: Pos) {
+        let begin = self.pos.offset as usize;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == '_' || c == '\'' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let lexeme = &self.src[begin..self.pos.offset as usize];
+        let tok = match Tok::keyword(lexeme) {
+            Some(kw) => kw,
+            None => {
+                let first = lexeme.chars().next().expect("nonempty ident");
+                if first.is_ascii_uppercase() {
+                    Tok::UpperId(lexeme.to_string())
+                } else {
+                    Tok::LowerId(lexeme.to_string())
+                }
+            }
+        };
+        self.emit(tok, start);
+    }
+
+    fn number(&mut self, start: Pos) -> Result<(), LexError> {
+        let begin = self.pos.offset as usize;
+        while matches!(self.peek(), Some('0'..='9')) {
+            self.bump();
+        }
+        // A float has a '.' followed by a digit (so `1.x` stays Int Dot Id —
+        // though names never follow ints in practice).
+        let mut is_float = false;
+        let rest = &self.src[self.pos.offset as usize..];
+        let mut rc = rest.chars();
+        if rc.next() == Some('.') && matches!(rc.next(), Some('0'..='9')) {
+            is_float = true;
+            self.bump(); // '.'
+            while matches!(self.peek(), Some('0'..='9')) {
+                self.bump();
+            }
+        }
+        let lexeme = &self.src[begin..self.pos.offset as usize];
+        if is_float {
+            let x: f64 =
+                lexeme.parse().map_err(|e| self.err(format!("bad float literal: {e}")))?;
+            self.emit(Tok::Float(x), start);
+        } else {
+            let i: i64 = lexeme.parse().map_err(|e| self.err(format!("bad int literal: {e}")))?;
+            self.emit(Tok::Int(i), start);
+        }
+        Ok(())
+    }
+
+    fn string(&mut self, start: Pos) -> Result<(), LexError> {
+        self.bump(); // opening quote
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated string literal")),
+                Some('"') => break,
+                Some('\\') => match self.bump() {
+                    Some('n') => s.push('\n'),
+                    Some('t') => s.push('\t'),
+                    Some('\\') => s.push('\\'),
+                    Some('"') => s.push('"'),
+                    Some(other) => {
+                        return Err(self.err(format!("unknown escape `\\{other}`")));
+                    }
+                    None => return Err(self.err("unterminated string literal")),
+                },
+                Some(c) => s.push(c),
+            }
+        }
+        self.emit(Tok::Str(s), start);
+        Ok(())
+    }
+
+    fn symbol(&mut self, start: Pos) -> Result<(), LexError> {
+        let c = self.bump().expect("peeked");
+        let two = |this: &mut Self, second: char, yes: Tok, no: Tok| {
+            if this.peek() == Some(second) {
+                this.bump();
+                yes
+            } else {
+                no
+            }
+        };
+        let tok = match c {
+            '!' => two(self, '=', Tok::NotEq, Tok::Bang),
+            '?' => Tok::Query,
+            '[' => Tok::LBracket,
+            ']' => Tok::RBracket,
+            '(' => Tok::LParen,
+            ')' => Tok::RParen,
+            '{' => Tok::LBrace,
+            '}' => Tok::RBrace,
+            '=' => two(self, '=', Tok::EqEq, Tok::Assign),
+            ',' => Tok::Comma,
+            '|' => two(self, '|', Tok::OrOr, Tok::Bar),
+            '.' => Tok::Dot,
+            '+' => Tok::Plus,
+            '-' => Tok::Minus,
+            '*' => Tok::StarOp,
+            '/' => Tok::Slash,
+            '%' => Tok::Percent,
+            '^' => Tok::Caret,
+            '<' => two(self, '=', Tok::Le, Tok::Lt),
+            '>' => two(self, '=', Tok::Ge, Tok::Gt),
+            '&' => {
+                if self.peek() == Some('&') {
+                    self.bump();
+                    Tok::AndAnd
+                } else {
+                    return Err(self.err("expected `&&`"));
+                }
+            }
+            other => return Err(self.err(format!("unexpected character `{other}`"))),
+        };
+        self.emit(tok, start);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).expect("lex ok").into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn lexes_message_form() {
+        assert_eq!(
+            toks("x!read[r]"),
+            vec![
+                Tok::LowerId("x".into()),
+                Tok::Bang,
+                Tok::LowerId("read".into()),
+                Tok::LBracket,
+                Tok::LowerId("r".into()),
+                Tok::RBracket,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_and_classvars() {
+        assert_eq!(
+            toks("def Cell and new in"),
+            vec![Tok::KwDef, Tok::UpperId("Cell".into()), Tok::KwAnd, Tok::KwNew, Tok::KwIn, Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(toks("x // trailing\n/* multi \n /* nested */ line */ y"), vec![
+            Tok::LowerId("x".into()),
+            Tok::LowerId("y".into()),
+            Tok::Eof
+        ]);
+    }
+
+    #[test]
+    fn numbers_and_floats() {
+        assert_eq!(toks("42 3.25 0"), vec![Tok::Int(42), Tok::Float(3.25), Tok::Int(0), Tok::Eof]);
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(toks(r#""a\nb\"c""#), vec![Tok::Str("a\nb\"c".into()), Tok::Eof]);
+    }
+
+    #[test]
+    fn operators_two_char() {
+        assert_eq!(
+            toks("== != <= >= && || | = < >"),
+            vec![
+                Tok::EqEq,
+                Tok::NotEq,
+                Tok::Le,
+                Tok::Ge,
+                Tok::AndAnd,
+                Tok::OrOr,
+                Tok::Bar,
+                Tok::Assign,
+                Tok::Lt,
+                Tok::Gt,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn spans_track_lines() {
+        let ts = lex("x\n  y").unwrap();
+        assert_eq!(ts[0].span.start.line, 1);
+        assert_eq!(ts[1].span.start.line, 2);
+        assert_eq!(ts[1].span.start.col, 3);
+    }
+
+    #[test]
+    fn error_on_unterminated_string() {
+        assert!(lex("\"abc").is_err());
+    }
+
+    #[test]
+    fn error_on_bad_char() {
+        assert!(lex("x # y").is_err());
+    }
+
+    #[test]
+    fn located_name_tokens() {
+        assert_eq!(
+            toks("server.applet"),
+            vec![Tok::LowerId("server".into()), Tok::Dot, Tok::LowerId("applet".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn primes_in_identifiers() {
+        assert_eq!(toks("x' x''"), vec![Tok::LowerId("x'".into()), Tok::LowerId("x''".into()), Tok::Eof]);
+    }
+}

@@ -1,0 +1,120 @@
+//! Source positions and spans used by the lexer, parser and error reporting.
+
+use std::fmt;
+
+/// A position in a source file: 1-based line and column plus byte offset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Pos {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number (in characters).
+    pub col: u32,
+    /// 0-based byte offset into the source text.
+    pub offset: u32,
+}
+
+impl Pos {
+    /// The position of the first character of a source text.
+    pub const fn start() -> Self {
+        Pos { line: 1, col: 1, offset: 0 }
+    }
+}
+
+impl Default for Pos {
+    fn default() -> Self {
+        Pos::start()
+    }
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// A half-open region of source text, `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    pub start: Pos,
+    pub end: Pos,
+}
+
+impl Span {
+    pub const fn new(start: Pos, end: Pos) -> Self {
+        Span { start, end }
+    }
+
+    /// A synthetic span for generated code (all-zero).
+    pub const fn synthetic() -> Self {
+        Span { start: Pos { line: 0, col: 0, offset: 0 }, end: Pos { line: 0, col: 0, offset: 0 } }
+    }
+
+    /// True when this span was synthesized by a desugaring pass rather than
+    /// read from source text.
+    pub fn is_synthetic(&self) -> bool {
+        self.start.line == 0
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn merge(self, other: Span) -> Span {
+        if self.is_synthetic() {
+            return other;
+        }
+        if other.is_synthetic() {
+            return self;
+        }
+        Span {
+            start: if self.start <= other.start { self.start } else { other.start },
+            end: if self.end >= other.end { self.end } else { other.end },
+        }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_synthetic() {
+            write!(f, "<generated>")
+        } else {
+            write!(f, "{}", self.start)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_orders_positions() {
+        let a = Span::new(
+            Pos { line: 1, col: 1, offset: 0 },
+            Pos { line: 1, col: 5, offset: 4 },
+        );
+        let b = Span::new(
+            Pos { line: 2, col: 1, offset: 10 },
+            Pos { line: 2, col: 3, offset: 12 },
+        );
+        let m = a.merge(b);
+        assert_eq!(m.start, a.start);
+        assert_eq!(m.end, b.end);
+        // Merging is commutative.
+        assert_eq!(b.merge(a), m);
+    }
+
+    #[test]
+    fn synthetic_is_identity_for_merge() {
+        let a = Span::new(
+            Pos { line: 3, col: 2, offset: 20 },
+            Pos { line: 3, col: 9, offset: 27 },
+        );
+        assert_eq!(Span::synthetic().merge(a), a);
+        assert_eq!(a.merge(Span::synthetic()), a);
+    }
+
+    #[test]
+    fn display_forms() {
+        let p = Pos { line: 7, col: 12, offset: 99 };
+        assert_eq!(p.to_string(), "7:12");
+        assert_eq!(Span::synthetic().to_string(), "<generated>");
+    }
+}

@@ -1,0 +1,49 @@
+//! Property tests: the canonical printer and the parser are mutually
+//! inverse on desugared terms, and desugaring is idempotent.
+
+use proptest::prelude::*;
+use tyco_syntax::arbitrary::{arb_closed_program, arb_expr, arb_proc};
+use tyco_syntax::desugar::{desugar, is_core};
+use tyco_syntax::parser::{parse_expr, parse_program};
+use tyco_syntax::pretty::{pretty, pretty_expr};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// parse ∘ pretty = id on generated (desugared) processes, up to spans —
+    /// compared by printing both sides.
+    #[test]
+    fn proc_print_parse_roundtrip(p in arb_proc()) {
+        let printed = pretty(&p);
+        let reparsed = parse_program(&printed)
+            .unwrap_or_else(|e| panic!("reparse failed for {printed:?}: {e}"));
+        prop_assert_eq!(pretty(&reparsed), printed);
+    }
+
+    #[test]
+    fn expr_print_parse_roundtrip(e in arb_expr()) {
+        let printed = pretty_expr(&e);
+        let reparsed = parse_expr(&printed)
+            .unwrap_or_else(|err| panic!("reparse failed for {printed:?}: {err}"));
+        prop_assert_eq!(pretty_expr(&reparsed), printed);
+    }
+
+    /// Desugaring always yields core syntax and is idempotent.
+    #[test]
+    fn desugar_idempotent(p in arb_proc()) {
+        let d = desugar(p);
+        prop_assert!(is_core(&d));
+        prop_assert_eq!(desugar(d.clone()), d);
+    }
+
+    /// Generated closed programs really are closed.
+    #[test]
+    fn closed_programs_are_closed(p in arb_closed_program()) {
+        prop_assert!(p.free_names().is_empty(), "free names: {:?}", p.free_names());
+        prop_assert!(p.free_classes().is_empty(), "free classes: {:?}", p.free_classes());
+        // And they print/parse stably too.
+        let printed = pretty(&p);
+        let reparsed = parse_program(&printed).unwrap();
+        prop_assert_eq!(pretty(&reparsed), printed);
+    }
+}

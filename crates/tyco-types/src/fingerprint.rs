@@ -1,0 +1,232 @@
+//! Type fingerprints for the dynamic half of DiTyCO's hybrid type checking.
+//!
+//! §7 of the paper: *"We have developed a type checking scheme that ensures
+//! that no type mismatch or protocol errors occur in remote interactions.
+//! The scheme combines both static and dynamic type checking."*
+//!
+//! Statically, each site checks its own program ([`crate::infer`]). At link
+//! time (when an `import` instruction resolves an identifier through the
+//! name service) the importer's *expected* protocol — inferred from local
+//! usage — is checked against the exporter's *actual* protocol. Because a
+//! message send only constrains the labels it uses, the expectation can be
+//! an open row; the check is therefore a structural *compatibility* test
+//! rather than fingerprint equality. Fingerprints (stable 64-bit hashes of
+//! canonicalized types) are used when exact protocol identity is required,
+//! e.g. for cached fetched classes.
+
+use crate::types::*;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Render a type to a canonical string with variables α-renamed in first
+/// occurrence order, so structurally equal types print identically.
+pub fn canonical(t: &Type) -> String {
+    let mut cx = Canon::default();
+    let mut out = String::new();
+    cx.write(t, &mut out);
+    out
+}
+
+#[derive(Default)]
+struct Canon {
+    tvs: HashMap<TvId, usize>,
+    rvs: HashMap<RvId, usize>,
+}
+
+impl Canon {
+    fn write(&mut self, t: &Type, out: &mut String) {
+        match t {
+            Type::Var(v) => {
+                let n = self.tvs.len();
+                let id = *self.tvs.entry(*v).or_insert(n);
+                let _ = write!(out, "t{id}");
+            }
+            Type::Unit => out.push_str("unit"),
+            Type::Int => out.push_str("int"),
+            Type::Bool => out.push_str("bool"),
+            Type::Str => out.push_str("string"),
+            Type::Float => out.push_str("float"),
+            Type::Chan(row) => {
+                out.push_str("^{");
+                // BTreeMap keeps labels sorted, so iteration is canonical.
+                for (i, (l, args)) in row.fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "{l}(");
+                    for (j, a) in args.iter().enumerate() {
+                        if j > 0 {
+                            out.push(',');
+                        }
+                        self.write(a, out);
+                    }
+                    out.push(')');
+                }
+                if let Some(r) = row.rest {
+                    let n = self.rvs.len();
+                    let id = *self.rvs.entry(r).or_insert(n);
+                    let _ = write!(out, "|r{id}");
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// A stable 64-bit fingerprint of a (zonked) type. FNV-1a over the
+/// canonical rendering; hardware-independent, suitable for the wire.
+pub fn fingerprint(t: &Type) -> u64 {
+    fnv1a(canonical(t).as_bytes())
+}
+
+/// FNV-1a hash (public for reuse on other wire-level identities).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Is the importer's `expected` protocol consistent with the exporter's
+/// `actual` one?
+///
+/// This is a best-effort *evidence-based* check (the paper's scheme is
+/// hybrid: anything the link-time check cannot rule out is still guarded
+/// by the dynamic check at reduction time):
+///
+/// * type variables on either side are wildcards;
+/// * labels known to both sides must agree in arity and (recursively) in
+///   argument compatibility;
+/// * a label known to one side but absent from the other is a mismatch
+///   only when the other side's row is *closed* — an open row means that
+///   side simply has no evidence about the label.
+///
+/// Channels occur both co- and contravariantly (a reply channel sent as an
+/// argument is *written* by the exporter and *read* by the importer), so
+/// the relation is deliberately symmetric in open/closed treatment.
+pub fn compatible(expected: &Type, actual: &Type) -> bool {
+    match (expected, actual) {
+        (Type::Var(_), _) | (_, Type::Var(_)) => true,
+        (Type::Unit, Type::Unit)
+        | (Type::Int, Type::Int)
+        | (Type::Bool, Type::Bool)
+        | (Type::Str, Type::Str)
+        | (Type::Float, Type::Float) => true,
+        (Type::Chan(exp), Type::Chan(act)) => {
+            for (l, eargs) in &exp.fields {
+                match act.fields.get(l) {
+                    None => {
+                        if act.rest.is_none() {
+                            return false;
+                        }
+                    }
+                    Some(aargs) => {
+                        if eargs.len() != aargs.len() {
+                            return false;
+                        }
+                        if !eargs.iter().zip(aargs).all(|(e, a)| compatible(e, a)) {
+                            return false;
+                        }
+                    }
+                }
+            }
+            // Labels only the exporter mentions: fine unless the importer
+            // committed to an exact protocol (closed row) AND the exporter
+            // is also committed (closed) — then the sets must match.
+            if exp.rest.is_none() && act.rest.is_none() {
+                return exp.fields.len() == act.fields.len();
+            }
+            if exp.rest.is_none() {
+                // Expected closed, actual open: the actual's *known*
+                // labels must all be offered by the expected protocol.
+                return act.fields.keys().all(|l| exp.fields.contains_key(l));
+            }
+            true
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chan(fields: Vec<(&str, Vec<Type>)>, rest: Option<RvId>) -> Type {
+        Type::Chan(Row {
+            fields: fields.into_iter().map(|(l, a)| (l.to_string(), a)).collect(),
+            rest,
+        })
+    }
+
+    #[test]
+    fn canonical_is_alpha_invariant() {
+        let a = chan(vec![("l", vec![Type::Var(TvId(7))])], Some(RvId(3)));
+        let b = chan(vec![("l", vec![Type::Var(TvId(0))])], Some(RvId(9)));
+        assert_eq!(canonical(&a), canonical(&b));
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_protocols() {
+        let a = chan(vec![("read", vec![Type::Int])], None);
+        let b = chan(vec![("read", vec![Type::Bool])], None);
+        let c = chan(vec![("write", vec![Type::Int])], None);
+        assert_ne!(fingerprint(&a), fingerprint(&b));
+        assert_ne!(fingerprint(&a), fingerprint(&c));
+    }
+
+    #[test]
+    fn open_expectation_is_satisfied_by_superset() {
+        let expected = chan(vec![("go", vec![Type::Int])], Some(RvId(0)));
+        let actual = chan(vec![("go", vec![Type::Int]), ("stop", vec![])], None);
+        assert!(compatible(&expected, &actual));
+    }
+
+    #[test]
+    fn open_expectation_rejects_wrong_args() {
+        let expected = chan(vec![("go", vec![Type::Int])], Some(RvId(0)));
+        let actual = chan(vec![("go", vec![Type::Bool])], None);
+        assert!(!compatible(&expected, &actual));
+        let actual2 = chan(vec![("go", vec![Type::Int, Type::Int])], None);
+        assert!(!compatible(&expected, &actual2));
+    }
+
+    #[test]
+    fn open_expectation_rejects_missing_label_on_closed_actual() {
+        let expected = chan(vec![("go", vec![])], Some(RvId(0)));
+        let actual = chan(vec![("halt", vec![])], None);
+        assert!(!compatible(&expected, &actual));
+    }
+
+    #[test]
+    fn closed_expectation_requires_exact_match() {
+        let expected = chan(vec![("a", vec![]), ("b", vec![])], None);
+        let exact = chan(vec![("a", vec![]), ("b", vec![])], None);
+        let wider = chan(vec![("a", vec![]), ("b", vec![]), ("c", vec![])], None);
+        assert!(compatible(&expected, &exact));
+        assert!(!compatible(&expected, &wider));
+        // Closed expected vs OPEN actual that only mentions offered
+        // labels: consistent (no evidence of mismatch).
+        let open_subset = chan(vec![("a", vec![])], Some(RvId(0)));
+        assert!(compatible(&expected, &open_subset));
+        // Closed expected vs open actual mentioning an unoffered label:
+        // evidenced mismatch.
+        let open_extra = chan(vec![("z", vec![])], Some(RvId(0)));
+        assert!(!compatible(&expected, &open_extra));
+    }
+
+    #[test]
+    fn vars_are_wildcards() {
+        let expected = chan(vec![("m", vec![Type::Var(TvId(0))])], Some(RvId(0)));
+        let actual = chan(vec![("m", vec![Type::val_chan(vec![Type::Int])])], None);
+        assert!(compatible(&expected, &actual));
+    }
+
+    #[test]
+    fn fnv_known_vector() {
+        // FNV-1a of empty input is the offset basis.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+    }
+}

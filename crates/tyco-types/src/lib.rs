@@ -1,0 +1,26 @@
+//! # tyco-types
+//!
+//! The Damas–Milner polymorphic type system of TyCO (§2 of the paper) with
+//! row-typed channels, plus the dynamic-check machinery for remote
+//! interactions (§7: "combines both static and dynamic type checking").
+//!
+//! * [`types`] — the type language: base types, channel rows, schemes.
+//! * [`unify`] — unification with open rows and level-based generalization.
+//! * [`infer`] — inference over DiTyCO processes; produces a
+//!   [`infer::TypeSummary`] with the site's exported interface and its
+//!   expectations about imported identifiers.
+//! * [`fingerprint()`] — canonical type hashes and the link-time
+//!   compatibility check.
+
+pub mod fingerprint;
+pub mod infer;
+pub mod types;
+pub mod unify;
+
+pub use fingerprint::{canonical, compatible, fingerprint};
+pub use infer::{check, ImportKind, TypeSummary};
+pub use types::{Label, Row, RvId, Scheme, TvId, Type};
+pub use unify::{TypeError, Unifier};
+
+/// The distinguished label introduced by the `x![ẽ]` / `x?(ỹ)=P` sugar.
+pub const VAL: &str = tyco_syntax::VAL_LABEL;

@@ -1,0 +1,198 @@
+//! The type language of TyCO.
+//!
+//! Channel types are records of method signatures (§2 of the paper: TyCO
+//! "features a (Damas-Milner) polymorphic type-system"). A channel that
+//! carries methods `l1 … lk` has type `^{ l1: (T̃1), …, lk: (T̃k) }`. Rows can
+//! be *open* (ending in a row variable, produced by message sends which only
+//! constrain one label) or *closed* (produced by objects, which offer an
+//! exact method collection).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A type variable identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TvId(pub u32);
+
+/// A row variable identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RvId(pub u32);
+
+/// Method label.
+pub type Label = String;
+
+/// A TyCO type.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Type {
+    /// A unification variable.
+    Var(TvId),
+    /// Builtin base types.
+    Unit,
+    Int,
+    Bool,
+    Str,
+    Float,
+    /// A channel type: a row of method signatures.
+    Chan(Row),
+}
+
+/// A row of method signatures; `rest` is `Some` for open rows.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Row {
+    pub fields: BTreeMap<Label, Vec<Type>>,
+    pub rest: Option<RvId>,
+}
+
+impl Row {
+    /// A closed row with the given fields.
+    pub fn closed(fields: impl IntoIterator<Item = (Label, Vec<Type>)>) -> Row {
+        Row { fields: fields.into_iter().collect(), rest: None }
+    }
+
+    /// An open row with the given fields and tail variable.
+    pub fn open(fields: impl IntoIterator<Item = (Label, Vec<Type>)>, rest: RvId) -> Row {
+        Row { fields: fields.into_iter().collect(), rest: Some(rest) }
+    }
+
+    pub fn is_closed(&self) -> bool {
+        self.rest.is_none()
+    }
+}
+
+impl Type {
+    /// Convenience: a channel carrying a single `val(T̃)` method (closed).
+    pub fn val_chan(args: Vec<Type>) -> Type {
+        Type::Chan(Row::closed([(crate::VAL.to_string(), args)]))
+    }
+
+    /// Collect the free type variables and row variables of the type.
+    pub fn free_vars(&self, tvs: &mut Vec<TvId>, rvs: &mut Vec<RvId>) {
+        match self {
+            Type::Var(v) => {
+                if !tvs.contains(v) {
+                    tvs.push(*v);
+                }
+            }
+            Type::Unit | Type::Int | Type::Bool | Type::Str | Type::Float => {}
+            Type::Chan(row) => {
+                for args in row.fields.values() {
+                    for t in args {
+                        t.free_vars(tvs, rvs);
+                    }
+                }
+                if let Some(r) = row.rest {
+                    if !rvs.contains(&r) {
+                        rvs.push(r);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Var(TvId(n)) => write!(f, "'t{n}"),
+            Type::Unit => write!(f, "unit"),
+            Type::Int => write!(f, "int"),
+            Type::Bool => write!(f, "bool"),
+            Type::Str => write!(f, "string"),
+            Type::Float => write!(f, "float"),
+            Type::Chan(row) => {
+                write!(f, "^{{")?;
+                let mut first = true;
+                for (l, args) in &row.fields {
+                    if !first {
+                        write!(f, ", ")?;
+                    }
+                    first = false;
+                    write!(f, "{l}(")?;
+                    for (i, t) in args.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{t}")?;
+                    }
+                    write!(f, ")")?;
+                }
+                if let Some(RvId(r)) = row.rest {
+                    if !first {
+                        write!(f, " ")?;
+                    }
+                    write!(f, "| 'r{r}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+/// A type scheme `∀ ᾱ ρ̄ . T̃` for class variables (classes are processes
+/// parameterized on a sequence of names, so their "type" is the sequence of
+/// parameter types).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scheme {
+    pub tvars: Vec<TvId>,
+    pub rvars: Vec<RvId>,
+    pub params: Vec<Type>,
+}
+
+impl Scheme {
+    /// A monomorphic scheme (no quantified variables).
+    pub fn mono(params: Vec<Type>) -> Scheme {
+        Scheme { tvars: Vec::new(), rvars: Vec::new(), params }
+    }
+}
+
+impl fmt::Display for Scheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.tvars.is_empty() || !self.rvars.is_empty() {
+            write!(f, "forall")?;
+            for TvId(v) in &self.tvars {
+                write!(f, " 't{v}")?;
+            }
+            for RvId(v) in &self.rvars {
+                write!(f, " 'r{v}")?;
+            }
+            write!(f, ". ")?;
+        }
+        write!(f, "(")?;
+        for (i, t) in self.params.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        let t = Type::Chan(Row::closed([
+            ("read".to_string(), vec![Type::val_chan(vec![Type::Int])]),
+            ("write".to_string(), vec![Type::Int]),
+        ]));
+        assert_eq!(t.to_string(), "^{read(^{val(int)}), write(int)}");
+        let open = Type::Chan(Row::open([("l".to_string(), vec![])], RvId(3)));
+        assert_eq!(open.to_string(), "^{l() | 'r3}");
+    }
+
+    #[test]
+    fn free_vars_are_deduplicated() {
+        let t = Type::Chan(Row::open(
+            [("l".to_string(), vec![Type::Var(TvId(1)), Type::Var(TvId(1))])],
+            RvId(2),
+        ));
+        let mut tvs = Vec::new();
+        let mut rvs = Vec::new();
+        t.free_vars(&mut tvs, &mut rvs);
+        assert_eq!(tvs, vec![TvId(1)]);
+        assert_eq!(rvs, vec![RvId(2)]);
+    }
+}

@@ -1,0 +1,106 @@
+//! Property tests for the type system: inference is syntax-directed and
+//! stable, the canonical fingerprint is α-invariant, and compatibility is
+//! reflexive on inferred interfaces.
+
+use proptest::prelude::*;
+use tyco_syntax::arbitrary::arb_closed_program;
+use tyco_syntax::parse_core;
+use tyco_syntax::pretty::pretty;
+use tyco_types::{canonical, check, compatible, fingerprint};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Generated closed programs always type-check (they are built over a
+    /// single monomorphic protocol).
+    #[test]
+    fn generated_programs_typecheck(p in arb_closed_program()) {
+        prop_assert!(check(&p).is_ok(), "{}", pretty(&p));
+    }
+
+    /// Inference is stable under printing and re-parsing: the same program
+    /// text yields the same exported interface (canonicalized).
+    #[test]
+    fn inference_stable_under_roundtrip(p in arb_closed_program()) {
+        let s1 = check(&p).unwrap();
+        let reparsed = parse_core(&pretty(&p)).unwrap();
+        let s2 = check(&reparsed).unwrap();
+        let canon = |s: &tyco_types::TypeSummary| -> Vec<(String, String, u64)> {
+            s.exported_names
+                .iter()
+                .map(|(k, t)| (k.clone(), canonical(t), fingerprint(t)))
+                .collect()
+        };
+        prop_assert_eq!(canon(&s1), canon(&s2));
+    }
+
+    /// Every inferred export interface is compatible with itself.
+    #[test]
+    fn compatibility_is_reflexive_on_interfaces(p in arb_closed_program()) {
+        let s = check(&p).unwrap();
+        for t in s.exported_names.values() {
+            prop_assert!(compatible(t, t), "{}", t);
+        }
+        for t in s.import_expectations.values() {
+            prop_assert!(compatible(t, t), "{}", t);
+        }
+    }
+}
+
+/// Polymorphism corner cases beyond the unit tests.
+#[test]
+fn polymorphic_corner_cases() {
+    // A class polymorphic in TWO independent positions.
+    assert!(check(&parse_core(
+        "def Pair(a, b) = (a?(x) = 0) | (b?(y) = 0) in new p new q (Pair[p, q] | p![1] | q![true])"
+    ).unwrap()).is_ok());
+
+    // Nested defs: the inner class generalizes independently of the outer.
+    assert!(check(&parse_core(
+        r#"
+        def Outer(o) =
+            def Inner(i) = i?(x) = print(x)
+            in new a new b (Inner[a] | Inner[b] | a![1] | b!["s"] | o![])
+        in new done (Outer[done] | done?() = 0)
+        "#
+    ).unwrap()).is_ok());
+
+    // Monomorphism inside one instantiation: the SAME inner channel cannot
+    // be both int and bool.
+    assert!(check(&parse_core(
+        "def K(c) = c![1] | c![true] in new x K[x]"
+    ).unwrap()).is_err());
+
+    // A class used at two types must not leak constraints between uses.
+    assert!(check(&parse_core(
+        r#"
+        def Send(c, v) = c![v]
+        in new i new b (Send[i, 1] | Send[b, true] | i?(x) = print(x + 1) | b?(y) = print(not y))
+        "#
+    ).unwrap()).is_ok());
+
+    // Recursive polymorphic class keeps its parameter type abstract.
+    assert!(check(&parse_core(
+        "def Pump(c, v) = c![v] | Pump[c, v] in new x new y (Pump[x, 1] | Pump[y, \"s\"])"
+    ).unwrap()).is_ok());
+
+    // But recursion cannot change the type at which it recurses
+    // (monomorphic recursion, standard Damas–Milner).
+    assert!(check(&parse_core(
+        "def Bad(v) = Bad[1] | Bad[true] in Bad[0]"
+    ).unwrap()).is_err());
+}
+
+#[test]
+fn row_polymorphism_via_messages() {
+    // A sender only constrains the labels it uses: two senders with
+    // different labels to the same channel are fine if the receiver offers
+    // both…
+    assert!(check(&parse_core(
+        "new c (c!a[1] | c!b[true] | c?{ a(x) = print(x), b(y) = print(y) })"
+    ).unwrap()).is_ok());
+    // …and a type error if it offers only one.
+    assert!(check(&parse_core(
+        "new c (c!a[1] | c!b[true] | c?{ a(x) = print(x) })"
+    ).unwrap()).is_err());
+}

@@ -1,0 +1,900 @@
+//! Hardware-independent byte encoding of packets and mobile byte-code.
+//!
+//! §1 of the paper: *"we provide inter-platform support in heterogeneous
+//! networks by using emulated byte-code for implementation technology"*.
+//! Everything that crosses a node boundary is serialized with this codec:
+//! shipped messages and objects, fetched class groups, and the name-service
+//! protocol. All integers are little-endian; strings are length-prefixed
+//! UTF-8; floats are IEEE-754 bit patterns.
+
+use crate::program::{Block, ImportKind, Instr};
+use crate::wire::{WireCode, WireGroup, WireObj, WireWord};
+use crate::word::{Identity, NetRef, NodeId, SiteId};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fmt;
+use tyco_syntax::ast::{BinOp, UnOp};
+
+/// A decoding failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CodecError(pub String);
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "codec error: {}", self.0)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+type R<T> = Result<T, CodecError>;
+
+fn err<T>(msg: impl Into<String>) -> R<T> {
+    Err(CodecError(msg.into()))
+}
+
+/// Everything a TyCOd daemon routes between nodes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Packet {
+    /// A shipped asynchronous message (SHIPM).
+    Msg { dest: NetRef, label: String, args: Vec<WireWord> },
+    /// A migrating object (SHIPO).
+    Obj { dest: NetRef, obj: WireObj },
+    /// Request for the byte-code of an exported class (FETCH, step 1).
+    FetchReq { class: NetRef, req: u64, reply_to: Identity },
+    /// The packaged byte-code (FETCH, step 2).
+    FetchReply { to: Identity, req: u64, group: WireGroup, index: u8 },
+    /// Name-service registration of an exported identifier.
+    NsRegister { from_site: SiteId, site_lexeme: String, name: String, value: WireWord },
+    /// Name-service lookup.
+    NsImport { req: u64, site: String, name: String, kind: ImportKind, reply_to: Identity },
+    /// Name-service answer.
+    NsImportReply { to: Identity, req: u64, result: Result<WireWord, String> },
+    /// Node liveness beacon (failure detection, §7 future work).
+    Heartbeat { node: NodeId, seq: u64 },
+    /// Termination-detection probe (coordinator → nodes).
+    TermProbe { round: u64 },
+    /// Termination-detection report (node → coordinator).
+    TermReport { node: NodeId, round: u64, sent: u64, recv: u64, active: bool },
+}
+
+// -- primitive writers -------------------------------------------------------
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_str(buf: &mut Bytes) -> R<String> {
+    if buf.remaining() < 4 {
+        return err("truncated string length");
+    }
+    let n = buf.get_u32_le() as usize;
+    if buf.remaining() < n {
+        return err("truncated string body");
+    }
+    let raw = buf.copy_to_bytes(n);
+    String::from_utf8(raw.to_vec()).map_err(|e| CodecError(format!("bad utf8: {e}")))
+}
+
+fn put_netref(buf: &mut BytesMut, r: &NetRef) {
+    buf.put_u64_le(r.heap_id);
+    buf.put_u32_le(r.site.0);
+    buf.put_u32_le(r.node.0);
+}
+
+fn get_netref(buf: &mut Bytes) -> R<NetRef> {
+    if buf.remaining() < 16 {
+        return err("truncated netref");
+    }
+    Ok(NetRef {
+        heap_id: buf.get_u64_le(),
+        site: SiteId(buf.get_u32_le()),
+        node: NodeId(buf.get_u32_le()),
+    })
+}
+
+fn put_identity(buf: &mut BytesMut, i: &Identity) {
+    buf.put_u32_le(i.site.0);
+    buf.put_u32_le(i.node.0);
+}
+
+fn get_identity(buf: &mut Bytes) -> R<Identity> {
+    if buf.remaining() < 8 {
+        return err("truncated identity");
+    }
+    Ok(Identity { site: SiteId(buf.get_u32_le()), node: NodeId(buf.get_u32_le()) })
+}
+
+// -- wire words ---------------------------------------------------------------
+
+fn put_word(buf: &mut BytesMut, w: &WireWord) {
+    match w {
+        WireWord::Unit => buf.put_u8(0),
+        WireWord::Int(i) => {
+            buf.put_u8(1);
+            buf.put_i64_le(*i);
+        }
+        WireWord::Bool(b) => {
+            buf.put_u8(2);
+            buf.put_u8(*b as u8);
+        }
+        WireWord::Float(x) => {
+            buf.put_u8(3);
+            buf.put_u64_le(x.to_bits());
+        }
+        WireWord::Str(s) => {
+            buf.put_u8(4);
+            put_str(buf, s);
+        }
+        WireWord::Chan(r) => {
+            buf.put_u8(5);
+            put_netref(buf, r);
+        }
+        WireWord::Class(r) => {
+            buf.put_u8(6);
+            put_netref(buf, r);
+        }
+    }
+}
+
+fn get_word(buf: &mut Bytes) -> R<WireWord> {
+    if !buf.has_remaining() {
+        return err("truncated word tag");
+    }
+    Ok(match buf.get_u8() {
+        0 => WireWord::Unit,
+        1 => {
+            if buf.remaining() < 8 {
+                return err("truncated int");
+            }
+            WireWord::Int(buf.get_i64_le())
+        }
+        2 => {
+            if !buf.has_remaining() {
+                return err("truncated bool");
+            }
+            WireWord::Bool(buf.get_u8() != 0)
+        }
+        3 => {
+            if buf.remaining() < 8 {
+                return err("truncated float");
+            }
+            WireWord::Float(f64::from_bits(buf.get_u64_le()))
+        }
+        4 => WireWord::Str(get_str(buf)?),
+        5 => WireWord::Chan(get_netref(buf)?),
+        6 => WireWord::Class(get_netref(buf)?),
+        t => return err(format!("bad word tag {t}")),
+    })
+}
+
+fn put_words(buf: &mut BytesMut, ws: &[WireWord]) {
+    buf.put_u32_le(ws.len() as u32);
+    for w in ws {
+        put_word(buf, w);
+    }
+}
+
+fn get_words(buf: &mut Bytes) -> R<Vec<WireWord>> {
+    if buf.remaining() < 4 {
+        return err("truncated word list");
+    }
+    let n = buf.get_u32_le() as usize;
+    let mut out = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        out.push(get_word(buf)?);
+    }
+    Ok(out)
+}
+
+// -- instructions ----------------------------------------------------------------
+
+fn binop_code(op: BinOp) -> u8 {
+    match op {
+        BinOp::Add => 0,
+        BinOp::Sub => 1,
+        BinOp::Mul => 2,
+        BinOp::Div => 3,
+        BinOp::Mod => 4,
+        BinOp::Eq => 5,
+        BinOp::Ne => 6,
+        BinOp::Lt => 7,
+        BinOp::Le => 8,
+        BinOp::Gt => 9,
+        BinOp::Ge => 10,
+        BinOp::And => 11,
+        BinOp::Or => 12,
+        BinOp::Concat => 13,
+    }
+}
+
+fn binop_from(code: u8) -> R<BinOp> {
+    Ok(match code {
+        0 => BinOp::Add,
+        1 => BinOp::Sub,
+        2 => BinOp::Mul,
+        3 => BinOp::Div,
+        4 => BinOp::Mod,
+        5 => BinOp::Eq,
+        6 => BinOp::Ne,
+        7 => BinOp::Lt,
+        8 => BinOp::Le,
+        9 => BinOp::Gt,
+        10 => BinOp::Ge,
+        11 => BinOp::And,
+        12 => BinOp::Or,
+        13 => BinOp::Concat,
+        other => return err(format!("bad binop {other}")),
+    })
+}
+
+fn put_instr(buf: &mut BytesMut, ins: &Instr) {
+    match ins {
+        Instr::PushLocal(s) => {
+            buf.put_u8(0);
+            buf.put_u16_le(*s);
+        }
+        Instr::PushInt(i) => {
+            buf.put_u8(1);
+            buf.put_i64_le(*i);
+        }
+        Instr::PushBool(b) => {
+            buf.put_u8(2);
+            buf.put_u8(*b as u8);
+        }
+        Instr::PushFloat(x) => {
+            buf.put_u8(3);
+            buf.put_u64_le(x.to_bits());
+        }
+        Instr::PushStr(s) => {
+            buf.put_u8(4);
+            buf.put_u32_le(*s);
+        }
+        Instr::PushUnit => buf.put_u8(5),
+        Instr::PushSibling(i) => {
+            buf.put_u8(6);
+            buf.put_u8(*i);
+        }
+        Instr::Store(s) => {
+            buf.put_u8(7);
+            buf.put_u16_le(*s);
+        }
+        Instr::Bin(op) => {
+            buf.put_u8(8);
+            buf.put_u8(binop_code(*op));
+        }
+        Instr::Un(op) => {
+            buf.put_u8(9);
+            buf.put_u8(matches!(op, UnOp::Not) as u8);
+        }
+        Instr::Jump(t) => {
+            buf.put_u8(10);
+            buf.put_u32_le(*t);
+        }
+        Instr::JumpIfFalse(t) => {
+            buf.put_u8(11);
+            buf.put_u32_le(*t);
+        }
+        Instr::Halt => buf.put_u8(12),
+        Instr::NewChan(s) => {
+            buf.put_u8(13);
+            buf.put_u16_le(*s);
+        }
+        Instr::Fork { block, nfree } => {
+            buf.put_u8(14);
+            buf.put_u32_le(*block);
+            buf.put_u16_le(*nfree);
+        }
+        Instr::TrMsg { label, argc } => {
+            buf.put_u8(15);
+            buf.put_u32_le(*label);
+            buf.put_u8(*argc);
+        }
+        Instr::TrObj { table, nfree } => {
+            buf.put_u8(16);
+            buf.put_u32_le(*table);
+            buf.put_u16_le(*nfree);
+        }
+        Instr::InstOf { argc } => {
+            buf.put_u8(17);
+            buf.put_u8(*argc);
+        }
+        Instr::MkGroup { table, dst, count, nfree } => {
+            buf.put_u8(18);
+            buf.put_u32_le(*table);
+            buf.put_u16_le(*dst);
+            buf.put_u8(*count);
+            buf.put_u16_le(*nfree);
+        }
+        Instr::ExportName { slot, name } => {
+            buf.put_u8(19);
+            buf.put_u16_le(*slot);
+            buf.put_u32_le(*name);
+        }
+        Instr::ExportClass { slot, name } => {
+            buf.put_u8(20);
+            buf.put_u16_le(*slot);
+            buf.put_u32_le(*name);
+        }
+        Instr::Import { dst, site, name, kind } => {
+            buf.put_u8(21);
+            buf.put_u16_le(*dst);
+            buf.put_u32_le(*site);
+            buf.put_u32_le(*name);
+            buf.put_u8(matches!(kind, ImportKind::Class) as u8);
+        }
+        Instr::Print { argc, newline } => {
+            buf.put_u8(22);
+            buf.put_u8(*argc);
+            buf.put_u8(*newline as u8);
+        }
+    }
+}
+
+fn get_instr(buf: &mut Bytes) -> R<Instr> {
+    if !buf.has_remaining() {
+        return err("truncated instruction");
+    }
+    macro_rules! need {
+        ($n:expr) => {
+            if buf.remaining() < $n {
+                return err("truncated operand");
+            }
+        };
+    }
+    Ok(match buf.get_u8() {
+        0 => {
+            need!(2);
+            Instr::PushLocal(buf.get_u16_le())
+        }
+        1 => {
+            need!(8);
+            Instr::PushInt(buf.get_i64_le())
+        }
+        2 => {
+            need!(1);
+            Instr::PushBool(buf.get_u8() != 0)
+        }
+        3 => {
+            need!(8);
+            Instr::PushFloat(f64::from_bits(buf.get_u64_le()))
+        }
+        4 => {
+            need!(4);
+            Instr::PushStr(buf.get_u32_le())
+        }
+        5 => Instr::PushUnit,
+        6 => {
+            need!(1);
+            Instr::PushSibling(buf.get_u8())
+        }
+        7 => {
+            need!(2);
+            Instr::Store(buf.get_u16_le())
+        }
+        8 => {
+            need!(1);
+            Instr::Bin(binop_from(buf.get_u8())?)
+        }
+        9 => {
+            need!(1);
+            Instr::Un(if buf.get_u8() != 0 { UnOp::Not } else { UnOp::Neg })
+        }
+        10 => {
+            need!(4);
+            Instr::Jump(buf.get_u32_le())
+        }
+        11 => {
+            need!(4);
+            Instr::JumpIfFalse(buf.get_u32_le())
+        }
+        12 => Instr::Halt,
+        13 => {
+            need!(2);
+            Instr::NewChan(buf.get_u16_le())
+        }
+        14 => {
+            need!(6);
+            Instr::Fork { block: buf.get_u32_le(), nfree: buf.get_u16_le() }
+        }
+        15 => {
+            need!(5);
+            Instr::TrMsg { label: buf.get_u32_le(), argc: buf.get_u8() }
+        }
+        16 => {
+            need!(6);
+            Instr::TrObj { table: buf.get_u32_le(), nfree: buf.get_u16_le() }
+        }
+        17 => {
+            need!(1);
+            Instr::InstOf { argc: buf.get_u8() }
+        }
+        18 => {
+            need!(9);
+            Instr::MkGroup {
+                table: buf.get_u32_le(),
+                dst: buf.get_u16_le(),
+                count: buf.get_u8(),
+                nfree: buf.get_u16_le(),
+            }
+        }
+        19 => {
+            need!(6);
+            Instr::ExportName { slot: buf.get_u16_le(), name: buf.get_u32_le() }
+        }
+        20 => {
+            need!(6);
+            Instr::ExportClass { slot: buf.get_u16_le(), name: buf.get_u32_le() }
+        }
+        21 => {
+            need!(11);
+            Instr::Import {
+                dst: buf.get_u16_le(),
+                site: buf.get_u32_le(),
+                name: buf.get_u32_le(),
+                kind: if buf.get_u8() != 0 { ImportKind::Class } else { ImportKind::Name },
+            }
+        }
+        22 => {
+            need!(2);
+            Instr::Print { argc: buf.get_u8(), newline: buf.get_u8() != 0 }
+        }
+        t => return err(format!("bad opcode {t}")),
+    })
+}
+
+// -- code bundles -------------------------------------------------------------------
+
+pub(crate) fn put_code(buf: &mut BytesMut, code: &WireCode) {
+    buf.put_u32_le(code.blocks.len() as u32);
+    for b in &code.blocks {
+        put_str(buf, &b.name);
+        buf.put_u16_le(b.nfree);
+        buf.put_u16_le(b.nparams);
+        buf.put_u16_le(b.nlocals);
+        buf.put_u8(b.is_class_body as u8);
+        buf.put_u32_le(b.code.len() as u32);
+        for ins in &b.code {
+            put_instr(buf, ins);
+        }
+    }
+    buf.put_u32_le(code.tables.len() as u32);
+    for t in &code.tables {
+        buf.put_u32_le(t.len() as u32);
+        for (l, b) in t {
+            buf.put_u32_le(*l);
+            buf.put_u32_le(*b);
+        }
+    }
+    buf.put_u32_le(code.labels.len() as u32);
+    for l in &code.labels {
+        put_str(buf, l);
+    }
+    buf.put_u32_le(code.strings.len() as u32);
+    for s in &code.strings {
+        put_str(buf, s);
+    }
+}
+
+pub(crate) fn get_code(buf: &mut Bytes) -> R<WireCode> {
+    macro_rules! count {
+        () => {{
+            if buf.remaining() < 4 {
+                return err("truncated count");
+            }
+            buf.get_u32_le() as usize
+        }};
+    }
+    let nblocks = count!();
+    let mut blocks = Vec::with_capacity(nblocks.min(4096));
+    for _ in 0..nblocks {
+        let name = get_str(buf)?;
+        if buf.remaining() < 7 {
+            return err("truncated block header");
+        }
+        let nfree = buf.get_u16_le();
+        let nparams = buf.get_u16_le();
+        let nlocals = buf.get_u16_le();
+        let is_class_body = buf.get_u8() != 0;
+        let ninstrs = count!();
+        let mut code = Vec::with_capacity(ninstrs.min(65536));
+        for _ in 0..ninstrs {
+            code.push(get_instr(buf)?);
+        }
+        blocks.push(Block { name, nfree, nparams, nlocals, is_class_body, code });
+    }
+    let ntables = count!();
+    let mut tables = Vec::with_capacity(ntables.min(4096));
+    for _ in 0..ntables {
+        let n = count!();
+        let mut t = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            if buf.remaining() < 8 {
+                return err("truncated table entry");
+            }
+            t.push((buf.get_u32_le(), buf.get_u32_le()));
+        }
+        tables.push(t);
+    }
+    let nlabels = count!();
+    let mut labels = Vec::with_capacity(nlabels.min(4096));
+    for _ in 0..nlabels {
+        labels.push(get_str(buf)?);
+    }
+    let nstrings = count!();
+    let mut strings = Vec::with_capacity(nstrings.min(4096));
+    for _ in 0..nstrings {
+        strings.push(get_str(buf)?);
+    }
+    Ok(WireCode { blocks, tables, labels, strings })
+}
+
+// -- packets -------------------------------------------------------------------------
+
+/// Encode a packet to bytes.
+pub fn encode(p: &Packet) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64);
+    match p {
+        Packet::Msg { dest, label, args } => {
+            buf.put_u8(0);
+            put_netref(&mut buf, dest);
+            put_str(&mut buf, label);
+            put_words(&mut buf, args);
+        }
+        Packet::Obj { dest, obj } => {
+            buf.put_u8(1);
+            put_netref(&mut buf, dest);
+            put_code(&mut buf, &obj.code);
+            buf.put_u32_le(obj.table);
+            put_words(&mut buf, &obj.captured);
+        }
+        Packet::FetchReq { class, req, reply_to } => {
+            buf.put_u8(2);
+            put_netref(&mut buf, class);
+            buf.put_u64_le(*req);
+            put_identity(&mut buf, reply_to);
+        }
+        Packet::FetchReply { to, req, group, index } => {
+            buf.put_u8(3);
+            put_identity(&mut buf, to);
+            buf.put_u64_le(*req);
+            put_code(&mut buf, &group.code);
+            buf.put_u32_le(group.table);
+            put_words(&mut buf, &group.captured);
+            buf.put_u8(*index);
+        }
+        Packet::NsRegister { from_site, site_lexeme, name, value } => {
+            buf.put_u8(4);
+            buf.put_u32_le(from_site.0);
+            put_str(&mut buf, site_lexeme);
+            put_str(&mut buf, name);
+            put_word(&mut buf, value);
+        }
+        Packet::NsImport { req, site, name, kind, reply_to } => {
+            buf.put_u8(5);
+            buf.put_u64_le(*req);
+            put_str(&mut buf, site);
+            put_str(&mut buf, name);
+            buf.put_u8(matches!(kind, ImportKind::Class) as u8);
+            put_identity(&mut buf, reply_to);
+        }
+        Packet::NsImportReply { to, req, result } => {
+            buf.put_u8(6);
+            put_identity(&mut buf, to);
+            buf.put_u64_le(*req);
+            match result {
+                Ok(w) => {
+                    buf.put_u8(1);
+                    put_word(&mut buf, w);
+                }
+                Err(e) => {
+                    buf.put_u8(0);
+                    put_str(&mut buf, e);
+                }
+            }
+        }
+        Packet::Heartbeat { node, seq } => {
+            buf.put_u8(7);
+            buf.put_u32_le(node.0);
+            buf.put_u64_le(*seq);
+        }
+        Packet::TermProbe { round } => {
+            buf.put_u8(8);
+            buf.put_u64_le(*round);
+        }
+        Packet::TermReport { node, round, sent, recv, active } => {
+            buf.put_u8(9);
+            buf.put_u32_le(node.0);
+            buf.put_u64_le(*round);
+            buf.put_u64_le(*sent);
+            buf.put_u64_le(*recv);
+            buf.put_u8(*active as u8);
+        }
+    }
+    buf.freeze()
+}
+
+/// Decode a packet from bytes.
+pub fn decode(mut buf: Bytes) -> R<Packet> {
+    if !buf.has_remaining() {
+        return err("empty packet");
+    }
+    let tag = buf.get_u8();
+    let p = match tag {
+        0 => Packet::Msg {
+            dest: get_netref(&mut buf)?,
+            label: get_str(&mut buf)?,
+            args: get_words(&mut buf)?,
+        },
+        1 => {
+            let dest = get_netref(&mut buf)?;
+            let code = get_code(&mut buf)?;
+            if buf.remaining() < 4 {
+                return err("truncated obj table");
+            }
+            let table = buf.get_u32_le();
+            let captured = get_words(&mut buf)?;
+            Packet::Obj { dest, obj: WireObj { code, table, captured } }
+        }
+        2 => {
+            let class = get_netref(&mut buf)?;
+            if buf.remaining() < 8 {
+                return err("truncated req");
+            }
+            let req = buf.get_u64_le();
+            let reply_to = get_identity(&mut buf)?;
+            Packet::FetchReq { class, req, reply_to }
+        }
+        3 => {
+            let to = get_identity(&mut buf)?;
+            if buf.remaining() < 8 {
+                return err("truncated req");
+            }
+            let req = buf.get_u64_le();
+            let code = get_code(&mut buf)?;
+            if buf.remaining() < 4 {
+                return err("truncated group table");
+            }
+            let table = buf.get_u32_le();
+            let captured = get_words(&mut buf)?;
+            if !buf.has_remaining() {
+                return err("truncated index");
+            }
+            let index = buf.get_u8();
+            Packet::FetchReply { to, req, group: WireGroup { code, table, captured }, index }
+        }
+        4 => {
+            if buf.remaining() < 4 {
+                return err("truncated site id");
+            }
+            let from_site = SiteId(buf.get_u32_le());
+            let site_lexeme = get_str(&mut buf)?;
+            let name = get_str(&mut buf)?;
+            let value = get_word(&mut buf)?;
+            Packet::NsRegister { from_site, site_lexeme, name, value }
+        }
+        5 => {
+            if buf.remaining() < 8 {
+                return err("truncated req");
+            }
+            let req = buf.get_u64_le();
+            let site = get_str(&mut buf)?;
+            let name = get_str(&mut buf)?;
+            if !buf.has_remaining() {
+                return err("truncated kind");
+            }
+            let kind = if buf.get_u8() != 0 { ImportKind::Class } else { ImportKind::Name };
+            let reply_to = get_identity(&mut buf)?;
+            Packet::NsImport { req, site, name, kind, reply_to }
+        }
+        6 => {
+            let to = get_identity(&mut buf)?;
+            if buf.remaining() < 9 {
+                return err("truncated reply");
+            }
+            let req = buf.get_u64_le();
+            let ok = buf.get_u8() != 0;
+            let result = if ok { Ok(get_word(&mut buf)?) } else { Err(get_str(&mut buf)?) };
+            Packet::NsImportReply { to, req, result }
+        }
+        7 => {
+            if buf.remaining() < 12 {
+                return err("truncated heartbeat");
+            }
+            Packet::Heartbeat { node: NodeId(buf.get_u32_le()), seq: buf.get_u64_le() }
+        }
+        8 => {
+            if buf.remaining() < 8 {
+                return err("truncated probe");
+            }
+            Packet::TermProbe { round: buf.get_u64_le() }
+        }
+        9 => {
+            if buf.remaining() < 29 {
+                return err("truncated report");
+            }
+            Packet::TermReport {
+                node: NodeId(buf.get_u32_le()),
+                round: buf.get_u64_le(),
+                sent: buf.get_u64_le(),
+                recv: buf.get_u64_le(),
+                active: buf.get_u8() != 0,
+            }
+        }
+        t => return err(format!("bad packet tag {t}")),
+    };
+    if buf.has_remaining() {
+        return err(format!("{} trailing bytes", buf.remaining()));
+    }
+    Ok(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile;
+    use crate::wire;
+    use tyco_syntax::parse_core;
+
+    fn roundtrip(p: Packet) {
+        let bytes = encode(&p);
+        let q = decode(bytes).expect("decode");
+        assert_eq!(p, q);
+    }
+
+    fn nref(h: u64) -> NetRef {
+        NetRef { heap_id: h, site: SiteId(3), node: NodeId(1) }
+    }
+
+    #[test]
+    fn msg_roundtrip() {
+        roundtrip(Packet::Msg {
+            dest: nref(42),
+            label: "read".into(),
+            args: vec![
+                WireWord::Int(-7),
+                WireWord::Bool(true),
+                WireWord::Str("héllo".into()),
+                WireWord::Float(2.5),
+                WireWord::Unit,
+                WireWord::Chan(nref(9)),
+                WireWord::Class(nref(10)),
+            ],
+        });
+    }
+
+    #[test]
+    fn obj_with_real_code_roundtrip() {
+        let prog = compile(
+            &parse_core(
+                r#"new x x?{ go(n) = if n > 0 then (print(n) | x!go[n - 1]) else println("done") }"#,
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let packed = wire::pack(&prog, &[0]);
+        roundtrip(Packet::Obj {
+            dest: nref(1),
+            obj: WireObj {
+                code: packed.code.clone(),
+                table: 0,
+                captured: vec![WireWord::Chan(nref(5))],
+            },
+        });
+    }
+
+    #[test]
+    fn fetch_roundtrips() {
+        roundtrip(Packet::FetchReq {
+            class: nref(2),
+            req: 77,
+            reply_to: Identity { site: SiteId(1), node: NodeId(0) },
+        });
+        let prog = compile(&parse_core("def K(a) = print(a) in K[1]").unwrap()).unwrap();
+        let packed = wire::pack(&prog, &[0]);
+        roundtrip(Packet::FetchReply {
+            to: Identity { site: SiteId(1), node: NodeId(0) },
+            req: 77,
+            group: WireGroup { code: packed.code, table: 0, captured: vec![] },
+            index: 0,
+        });
+    }
+
+    #[test]
+    fn nameservice_roundtrips() {
+        roundtrip(Packet::NsRegister {
+            from_site: SiteId(2),
+            site_lexeme: "server".into(),
+            name: "appletserver".into(),
+            value: WireWord::Chan(nref(0)),
+        });
+        roundtrip(Packet::NsImport {
+            req: 5,
+            site: "server".into(),
+            name: "p".into(),
+            kind: ImportKind::Class,
+            reply_to: Identity { site: SiteId(9), node: NodeId(2) },
+        });
+        roundtrip(Packet::NsImportReply {
+            to: Identity { site: SiteId(9), node: NodeId(2) },
+            req: 5,
+            result: Ok(WireWord::Class(nref(3))),
+        });
+        roundtrip(Packet::NsImportReply {
+            to: Identity { site: SiteId(9), node: NodeId(2) },
+            req: 6,
+            result: Err("no such identifier".into()),
+        });
+    }
+
+    #[test]
+    fn control_packets_roundtrip() {
+        roundtrip(Packet::Heartbeat { node: NodeId(4), seq: 123 });
+        roundtrip(Packet::TermProbe { round: 2 });
+        roundtrip(Packet::TermReport {
+            node: NodeId(1),
+            round: 2,
+            sent: 100,
+            recv: 99,
+            active: false,
+        });
+    }
+
+    #[test]
+    fn all_instructions_roundtrip() {
+        let instrs = vec![
+            Instr::PushLocal(7),
+            Instr::PushInt(-1),
+            Instr::PushBool(true),
+            Instr::PushFloat(1.5),
+            Instr::PushStr(3),
+            Instr::PushUnit,
+            Instr::PushSibling(2),
+            Instr::Store(1),
+            Instr::Bin(BinOp::Concat),
+            Instr::Un(UnOp::Not),
+            Instr::Un(UnOp::Neg),
+            Instr::Jump(9),
+            Instr::JumpIfFalse(4),
+            Instr::Halt,
+            Instr::NewChan(2),
+            Instr::Fork { block: 1, nfree: 2 },
+            Instr::TrMsg { label: 0, argc: 3 },
+            Instr::TrObj { table: 1, nfree: 0 },
+            Instr::InstOf { argc: 2 },
+            Instr::MkGroup { table: 0, dst: 4, count: 2, nfree: 1 },
+            Instr::ExportName { slot: 0, name: 1 },
+            Instr::ExportClass { slot: 1, name: 2 },
+            Instr::Import { dst: 3, site: 0, name: 1, kind: ImportKind::Class },
+            Instr::Print { argc: 2, newline: true },
+        ];
+        let code = WireCode {
+            blocks: vec![Block {
+                name: "all".into(),
+                nfree: 1,
+                nparams: 2,
+                nlocals: 3,
+                is_class_body: true,
+                code: instrs,
+            }],
+            tables: vec![vec![(0, 0)]],
+            labels: vec!["go".into()],
+            strings: vec!["s".into()],
+        };
+        roundtrip(Packet::Obj {
+            dest: nref(0),
+            obj: WireObj { code, table: 0, captured: vec![] },
+        });
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(decode(Bytes::from_static(b"")).is_err());
+        assert!(decode(Bytes::from_static(b"\xff")).is_err());
+        assert!(decode(Bytes::from_static(b"\x00\x01")).is_err());
+        // Trailing bytes are an error too.
+        let mut ok = encode(&Packet::TermProbe { round: 1 }).to_vec();
+        ok.push(0);
+        assert!(decode(Bytes::from(ok)).is_err());
+    }
+}

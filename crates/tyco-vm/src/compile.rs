@@ -1,0 +1,690 @@
+//! Compiler from (desugared) DiTyCO source to TyCO virtual-machine
+//! byte-code.
+//!
+//! The translation preserves the nested structure of the source program as
+//! a tree of blocks (§5 of the paper): every method body, class body and
+//! forked parallel component becomes its own block, so the "byte-code
+//! blocks that have to be moved between sites" can be selected in O(1)
+//! and shipped with their transitive closure.
+//!
+//! Frame layout of a block (slot indices):
+//!
+//! ```text
+//! [self-class]? [captured…] [params…] [locals…]
+//!  only for        nfree      nparams
+//!  class bodies
+//! ```
+
+use crate::program::*;
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+use tyco_syntax::ast::*;
+
+/// A compilation failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompileError {
+    /// A plain identifier is not in scope.
+    Unbound(String),
+    /// More than 255 arguments in a message/instantiation.
+    TooManyArgs(usize),
+    /// Frame exceeded 65535 slots.
+    FrameOverflow(String),
+    /// More than 255 classes in one `def` group.
+    GroupTooLarge(usize),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Unbound(x) => write!(f, "unbound identifier `{x}`"),
+            CompileError::TooManyArgs(n) => write!(f, "too many arguments ({n} > 255)"),
+            CompileError::FrameOverflow(b) => write!(f, "frame overflow in block `{b}`"),
+            CompileError::GroupTooLarge(n) => write!(f, "def group too large ({n} > 255)"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Compile a desugared process into a program.
+pub fn compile(p: &Proc) -> Result<Program, CompileError> {
+    let core = if tyco_syntax::desugar::is_core(p) {
+        None
+    } else {
+        Some(tyco_syntax::desugar::desugar(p.clone()))
+    };
+    let p = core.as_ref().unwrap_or(p);
+    let mut c = Compiler::default();
+    let mut cx = BlockCx::new("entry", 0, 0, false);
+    c.proc_(p, &mut cx)?;
+    cx.emit(Instr::Halt);
+    let entry = c.finish_block(cx);
+    let mut prog = c.prog;
+    prog.entry = entry;
+    Ok(prog)
+}
+
+/// Where an in-scope identifier lives.
+#[derive(Debug, Clone, Copy)]
+enum Storage {
+    Slot(u16),
+    /// Class `index` of the group whose class word sits in frame slot 0.
+    Sibling(u8),
+}
+
+struct BlockCx {
+    name: String,
+    code: Vec<Instr>,
+    nfree: u16,
+    nparams: u16,
+    is_class_body: bool,
+    next_slot: u32,
+}
+
+impl BlockCx {
+    fn new(name: &str, nfree: u16, nparams: u16, is_class_body: bool) -> BlockCx {
+        let base = (is_class_body as u32) + nfree as u32 + nparams as u32;
+        BlockCx { name: name.to_string(), code: Vec::new(), nfree, nparams, is_class_body, next_slot: base }
+    }
+
+    fn emit(&mut self, i: Instr) {
+        self.code.push(i);
+    }
+
+    fn alloc(&mut self) -> Result<u16, CompileError> {
+        let s = self.next_slot;
+        self.next_slot += 1;
+        u16::try_from(s).map_err(|_| CompileError::FrameOverflow(self.name.clone()))
+    }
+}
+
+#[derive(Default)]
+struct Compiler {
+    prog: Program,
+    scope: HashMap<String, Vec<Storage>>,
+}
+
+impl Compiler {
+    fn bind(&mut self, x: &str, s: Storage) {
+        self.scope.entry(x.to_string()).or_default().push(s);
+    }
+
+    fn unbind(&mut self, x: &str) {
+        if let Some(v) = self.scope.get_mut(x) {
+            v.pop();
+            if v.is_empty() {
+                self.scope.remove(x);
+            }
+        }
+    }
+
+    fn lookup(&self, x: &str) -> Option<Storage> {
+        self.scope.get(x).and_then(|v| v.last()).copied()
+    }
+
+    fn finish_block(&mut self, cx: BlockCx) -> BlockId {
+        let base = (cx.is_class_body as u32) + cx.nfree as u32 + cx.nparams as u32;
+        let id = self.prog.blocks.len() as BlockId;
+        self.prog.blocks.push(Block {
+            name: cx.name,
+            nfree: cx.nfree,
+            nparams: cx.nparams,
+            nlocals: (cx.next_slot - base) as u16,
+            is_class_body: cx.is_class_body,
+            code: cx.code,
+        });
+        id
+    }
+
+    // -- identifier access -------------------------------------------------
+
+    /// Emit a push of the word for an in-scope identifier.
+    fn push_ident(&mut self, x: &str, cx: &mut BlockCx) -> Result<(), CompileError> {
+        match self.lookup(x) {
+            Some(Storage::Slot(s)) => {
+                cx.emit(Instr::PushLocal(s));
+                Ok(())
+            }
+            Some(Storage::Sibling(i)) => {
+                cx.emit(Instr::PushSibling(i));
+                Ok(())
+            }
+            None => Err(CompileError::Unbound(x.to_string())),
+        }
+    }
+
+    /// Push the channel word for a name reference. A located reference is
+    /// resolved through the name service into a scratch slot first.
+    fn push_name(&mut self, r: &NameRef, cx: &mut BlockCx) -> Result<(), CompileError> {
+        match r {
+            NameRef::Plain(x) => self.push_ident(x, cx),
+            NameRef::Located(site, x) => {
+                let dst = cx.alloc()?;
+                let site = self.prog.strings.intern(site);
+                let name = self.prog.strings.intern(x);
+                cx.emit(Instr::Import { dst, site, name, kind: ImportKind::Name });
+                cx.emit(Instr::PushLocal(dst));
+                Ok(())
+            }
+        }
+    }
+
+    // -- expressions ---------------------------------------------------------
+
+    fn expr(&mut self, e: &Expr, cx: &mut BlockCx) -> Result<(), CompileError> {
+        match e {
+            Expr::Name(r) => self.push_name(r, cx),
+            Expr::Lit(Lit::Unit) => {
+                cx.emit(Instr::PushUnit);
+                Ok(())
+            }
+            Expr::Lit(Lit::Int(i)) => {
+                cx.emit(Instr::PushInt(*i));
+                Ok(())
+            }
+            Expr::Lit(Lit::Bool(b)) => {
+                cx.emit(Instr::PushBool(*b));
+                Ok(())
+            }
+            Expr::Lit(Lit::Float(x)) => {
+                cx.emit(Instr::PushFloat(*x));
+                Ok(())
+            }
+            Expr::Lit(Lit::Str(s)) => {
+                let id = self.prog.strings.intern(s);
+                cx.emit(Instr::PushStr(id));
+                Ok(())
+            }
+            Expr::Bin(op, a, b) => {
+                self.expr(a, cx)?;
+                self.expr(b, cx)?;
+                cx.emit(Instr::Bin(*op));
+                Ok(())
+            }
+            Expr::Un(op, a) => {
+                self.expr(a, cx)?;
+                cx.emit(Instr::Un(*op));
+                Ok(())
+            }
+        }
+    }
+
+    // -- captures -------------------------------------------------------------
+
+    /// The ordered capture list for a closure body: every free identifier
+    /// (name or class) that is currently in scope.
+    fn captures_for(&self, free_names: &BTreeSet<String>, free_classes: &BTreeSet<String>) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for x in free_names.iter().chain(free_classes.iter()) {
+            if self.lookup(x).is_some() && !out.contains(x) {
+                out.push(x.clone());
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// Emit pushes for each captured identifier (in order).
+    fn push_captures(&mut self, captured: &[String], cx: &mut BlockCx) -> Result<(), CompileError> {
+        for x in captured {
+            self.push_ident(x, cx)?;
+        }
+        Ok(())
+    }
+
+    /// Compile `body` into a fresh block whose frame starts with the given
+    /// captures and params.
+    fn closure_block(
+        &mut self,
+        name: &str,
+        captured: &[String],
+        params: &[String],
+        is_class_body: bool,
+        siblings: Option<&[String]>,
+        body: &Proc,
+    ) -> Result<BlockId, CompileError> {
+        let mut cx = BlockCx::new(name, captured.len() as u16, params.len() as u16, is_class_body);
+        let base = is_class_body as u16;
+        // Rebind scope for the inner block.
+        let mut bound: Vec<String> = Vec::new();
+        if let Some(sib) = siblings {
+            for (i, s) in sib.iter().enumerate() {
+                self.bind(s, Storage::Sibling(i as u8));
+                bound.push(s.clone());
+            }
+        }
+        for (i, x) in captured.iter().enumerate() {
+            self.bind(x, Storage::Slot(base + i as u16));
+            bound.push(x.clone());
+        }
+        for (j, x) in params.iter().enumerate() {
+            self.bind(x, Storage::Slot(base + captured.len() as u16 + j as u16));
+            bound.push(x.clone());
+        }
+        let r = self.proc_(body, &mut cx);
+        for x in bound.iter().rev() {
+            self.unbind(x);
+        }
+        r?;
+        cx.emit(Instr::Halt);
+        Ok(self.finish_block(cx))
+    }
+
+    // -- processes --------------------------------------------------------------
+
+    fn proc_(&mut self, p: &Proc, cx: &mut BlockCx) -> Result<(), CompileError> {
+        match p {
+            Proc::Nil => Ok(()),
+            Proc::Par(ps) => {
+                // Fork all but the first component; compile the first
+                // inline (it continues on the current thread).
+                for q in &ps[1..] {
+                    let fnames = q.free_names();
+                    let fclasses = q.free_classes();
+                    let captured = self.captures_for(&fnames, &fclasses);
+                    let block =
+                        self.closure_block("fork", &captured, &[], false, None, q)?;
+                    self.push_captures(&captured, cx)?;
+                    cx.emit(Instr::Fork { block, nfree: captured.len() as u16 });
+                }
+                if let Some(first) = ps.first() {
+                    self.proc_(first, cx)?;
+                }
+                Ok(())
+            }
+            Proc::New { binders, body, .. } => {
+                let mut bound = Vec::new();
+                for b in binders {
+                    let s = cx.alloc()?;
+                    cx.emit(Instr::NewChan(s));
+                    self.bind(b, Storage::Slot(s));
+                    bound.push(b.clone());
+                }
+                let r = self.proc_(body, cx);
+                for b in bound.iter().rev() {
+                    self.unbind(b);
+                }
+                r
+            }
+            Proc::ExportNew { binders, body, .. } => {
+                let mut bound = Vec::new();
+                for b in binders {
+                    let s = cx.alloc()?;
+                    cx.emit(Instr::NewChan(s));
+                    let name = self.prog.strings.intern(b);
+                    cx.emit(Instr::ExportName { slot: s, name });
+                    self.bind(b, Storage::Slot(s));
+                    bound.push(b.clone());
+                }
+                let r = self.proc_(body, cx);
+                for b in bound.iter().rev() {
+                    self.unbind(b);
+                }
+                r
+            }
+            Proc::Msg { target, label, args, .. } => {
+                if args.len() > u8::MAX as usize {
+                    return Err(CompileError::TooManyArgs(args.len()));
+                }
+                for a in args {
+                    self.expr(a, cx)?;
+                }
+                self.push_name(target, cx)?;
+                let label = self.prog.labels.intern(label);
+                cx.emit(Instr::TrMsg { label, argc: args.len() as u8 });
+                Ok(())
+            }
+            Proc::Obj { target, methods, .. } => {
+                // Shared captured environment across all methods.
+                let mut fnames = BTreeSet::new();
+                let mut fclasses = BTreeSet::new();
+                for m in methods {
+                    let mut names = m.body.free_names();
+                    for param in &m.params {
+                        names.remove(param);
+                    }
+                    fnames.extend(names);
+                    fclasses.extend(m.body.free_classes());
+                }
+                let captured = self.captures_for(&fnames, &fclasses);
+                let mut entries = Vec::with_capacity(methods.len());
+                for m in methods {
+                    let bname = format!("{}.{}", target.ident(), m.label);
+                    let block = self.closure_block(&bname, &captured, &m.params, false, None, &m.body)?;
+                    let label = self.prog.labels.intern(&m.label);
+                    entries.push((label, block));
+                }
+                entries.sort_unstable_by_key(|e| e.0);
+                let table = self.prog.tables.len() as TableId;
+                self.prog.tables.push(MethodTable { entries });
+                self.push_captures(&captured, cx)?;
+                self.push_name(target, cx)?;
+                cx.emit(Instr::TrObj { table, nfree: captured.len() as u16 });
+                Ok(())
+            }
+            Proc::Inst { class, args, .. } => {
+                if args.len() > u8::MAX as usize {
+                    return Err(CompileError::TooManyArgs(args.len()));
+                }
+                for a in args {
+                    self.expr(a, cx)?;
+                }
+                match class {
+                    ClassRef::Plain(x) => self.push_ident(x, cx)?,
+                    ClassRef::Located(site, x) => {
+                        let dst = cx.alloc()?;
+                        let site = self.prog.strings.intern(site);
+                        let name = self.prog.strings.intern(x);
+                        cx.emit(Instr::Import { dst, site, name, kind: ImportKind::Class });
+                        cx.emit(Instr::PushLocal(dst));
+                    }
+                }
+                cx.emit(Instr::InstOf { argc: args.len() as u8 });
+                Ok(())
+            }
+            Proc::Def { defs, body, .. } | Proc::ExportDef { defs, body, .. } => {
+                if defs.len() > u8::MAX as usize {
+                    return Err(CompileError::GroupTooLarge(defs.len()));
+                }
+                let export = matches!(p, Proc::ExportDef { .. });
+                let class_names: Vec<String> = defs.iter().map(|d| d.name.clone()).collect();
+                // Group-shared captures: free idents of all bodies, minus
+                // params and the group's own class names.
+                let mut fnames = BTreeSet::new();
+                let mut fclasses = BTreeSet::new();
+                for d in defs {
+                    let mut names = d.body.free_names();
+                    for param in &d.params {
+                        names.remove(param);
+                    }
+                    fnames.extend(names);
+                    let mut classes = d.body.free_classes();
+                    for cn in &class_names {
+                        classes.remove(cn);
+                    }
+                    fclasses.extend(classes);
+                }
+                let captured = self.captures_for(&fnames, &fclasses);
+                // Compile each class body with siblings visible.
+                let mut entries = Vec::with_capacity(defs.len());
+                for d in defs {
+                    let block = self.closure_block(
+                        &d.name,
+                        &captured,
+                        &d.params,
+                        true,
+                        Some(&class_names),
+                        &d.body,
+                    )?;
+                    let label = self.prog.labels.intern(&d.name);
+                    entries.push((label, block));
+                }
+                // Group tables are indexed positionally (def order).
+                let table = self.prog.tables.len() as TableId;
+                self.prog.tables.push(MethodTable { entries });
+                // Allocate consecutive slots for the class words.
+                let dst = cx.alloc()?;
+                for _ in 1..defs.len() {
+                    cx.alloc()?;
+                }
+                self.push_captures(&captured, cx)?;
+                cx.emit(Instr::MkGroup {
+                    table,
+                    dst,
+                    count: defs.len() as u8,
+                    nfree: captured.len() as u16,
+                });
+                let mut bound = Vec::new();
+                for (i, d) in defs.iter().enumerate() {
+                    let slot = dst + i as u16;
+                    if export {
+                        let name = self.prog.strings.intern(&d.name);
+                        cx.emit(Instr::ExportClass { slot, name });
+                    }
+                    self.bind(&d.name, Storage::Slot(slot));
+                    bound.push(d.name.clone());
+                }
+                let r = self.proc_(body, cx);
+                for b in bound.iter().rev() {
+                    self.unbind(b);
+                }
+                r
+            }
+            Proc::ImportName { name, site, body, .. } => {
+                let dst = cx.alloc()?;
+                let site_id = self.prog.strings.intern(site);
+                let name_id = self.prog.strings.intern(name);
+                cx.emit(Instr::Import { dst, site: site_id, name: name_id, kind: ImportKind::Name });
+                self.bind(name, Storage::Slot(dst));
+                let r = self.proc_(body, cx);
+                self.unbind(name);
+                r
+            }
+            Proc::ImportClass { class, site, body, .. } => {
+                let dst = cx.alloc()?;
+                let site_id = self.prog.strings.intern(site);
+                let name_id = self.prog.strings.intern(class);
+                cx.emit(Instr::Import {
+                    dst,
+                    site: site_id,
+                    name: name_id,
+                    kind: ImportKind::Class,
+                });
+                self.bind(class, Storage::Slot(dst));
+                let r = self.proc_(body, cx);
+                self.unbind(class);
+                r
+            }
+            Proc::If { cond, then_branch, else_branch, .. } => {
+                self.expr(cond, cx)?;
+                let jif = cx.code.len();
+                cx.emit(Instr::JumpIfFalse(0)); // patched below
+                self.proc_(then_branch, cx)?;
+                let jend = cx.code.len();
+                cx.emit(Instr::Jump(0)); // patched below
+                let else_at = cx.code.len() as u32;
+                cx.code[jif] = Instr::JumpIfFalse(else_at);
+                self.proc_(else_branch, cx)?;
+                let end_at = cx.code.len() as u32;
+                cx.code[jend] = Instr::Jump(end_at);
+                Ok(())
+            }
+            Proc::Print { args, newline, .. } => {
+                if args.len() > u8::MAX as usize {
+                    return Err(CompileError::TooManyArgs(args.len()));
+                }
+                for a in args {
+                    self.expr(a, cx)?;
+                }
+                cx.emit(Instr::Print { argc: args.len() as u8, newline: *newline });
+                Ok(())
+            }
+            Proc::Let { .. } => {
+                let d = tyco_syntax::desugar::desugar(p.clone());
+                self.proc_(&d, cx)
+            }
+        }
+    }
+}
+
+/// Human-readable disassembly (the "intermediate virtual machine assembly"
+/// of §5, reconstructed from byte-code).
+pub fn disassemble(prog: &Program) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for (i, b) in prog.blocks.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "block {i} \"{}\" free={} params={} locals={}{}{}",
+            b.name,
+            b.nfree,
+            b.nparams,
+            b.nlocals,
+            if b.is_class_body { " class" } else { "" },
+            if i as u32 == prog.entry { " entry" } else { "" },
+        );
+        for (pc, ins) in b.code.iter().enumerate() {
+            let rendered = match ins {
+                Instr::TrMsg { label, argc } => {
+                    format!("trmsg {} argc={argc}", prog.labels.get(*label))
+                }
+                Instr::PushStr(s) => format!("pushstr {:?}", prog.strings.get(*s)),
+                Instr::ExportName { slot, name } => {
+                    format!("exportname slot={slot} {:?}", prog.strings.get(*name))
+                }
+                Instr::ExportClass { slot, name } => {
+                    format!("exportclass slot={slot} {:?}", prog.strings.get(*name))
+                }
+                Instr::Import { dst, site, name, kind } => format!(
+                    "import dst={dst} {}.{} ({kind:?})",
+                    prog.strings.get(*site),
+                    prog.strings.get(*name)
+                ),
+                other => format!("{other:?}").to_lowercase(),
+            };
+            let _ = writeln!(out, "  {pc:4}: {rendered}");
+        }
+    }
+    for (i, t) in prog.tables.iter().enumerate() {
+        let entries: Vec<String> = t
+            .entries
+            .iter()
+            .map(|(l, b)| format!("{}→{}", prog.labels.get(*l), b))
+            .collect();
+        let _ = writeln!(out, "table {i}: {}", entries.join(", "));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tyco_syntax::parse_core;
+
+    fn comp(src: &str) -> Program {
+        compile(&parse_core(src).unwrap()).unwrap_or_else(|e| panic!("compile {src:?}: {e}"))
+    }
+
+    #[test]
+    fn compiles_message() {
+        let p = comp("new x x!go[1, true]");
+        let entry = &p.blocks[p.entry as usize];
+        assert!(entry.code.iter().any(|i| matches!(i, Instr::NewChan(_))));
+        assert!(entry.code.iter().any(|i| matches!(i, Instr::TrMsg { argc: 2, .. })));
+    }
+
+    #[test]
+    fn object_methods_get_blocks_and_table() {
+        let p = comp("new x x?{ read(r) = r![1], write(u) = 0 }");
+        assert_eq!(p.tables.len(), 1);
+        assert_eq!(p.tables[0].entries.len(), 2);
+        // entry + 2 method blocks
+        assert_eq!(p.blocks.len(), 3);
+    }
+
+    #[test]
+    fn object_captures_enclosing_names() {
+        let p = comp("new v new x x?{ get(r) = r![v] }");
+        // The method block must have one captured slot for v.
+        let method = p.blocks.iter().find(|b| b.name.contains("get")).unwrap();
+        assert_eq!(method.nfree, 1);
+        assert_eq!(method.nparams, 1);
+    }
+
+    #[test]
+    fn par_forks_all_but_first() {
+        let p = comp("new x (x![1] | x![2] | x![3])");
+        let entry = &p.blocks[p.entry as usize];
+        let forks = entry.code.iter().filter(|i| matches!(i, Instr::Fork { .. })).count();
+        assert_eq!(forks, 2);
+    }
+
+    #[test]
+    fn def_group_compiles_with_siblings() {
+        let p = comp("def X(a) = Y[a] and Y(b) = print(b) in X[1]");
+        let entry = &p.blocks[p.entry as usize];
+        assert!(entry
+            .code
+            .iter()
+            .any(|i| matches!(i, Instr::MkGroup { count: 2, .. })));
+        // X's body instantiates sibling Y via PushSibling.
+        let xb = p.blocks.iter().find(|b| b.name == "X").unwrap();
+        assert!(xb.is_class_body);
+        assert!(xb.code.iter().any(|i| matches!(i, Instr::PushSibling(1))));
+    }
+
+    #[test]
+    fn recursive_class_self_sibling() {
+        let p = comp("def Loop(n) = Loop[n] in Loop[0]");
+        let lb = p.blocks.iter().find(|b| b.name == "Loop").unwrap();
+        assert!(lb.code.iter().any(|i| matches!(i, Instr::PushSibling(0))));
+    }
+
+    #[test]
+    fn unbound_name_fails() {
+        let e = compile(&parse_core("x![1]").unwrap()).unwrap_err();
+        assert_eq!(e, CompileError::Unbound("x".to_string()));
+    }
+
+    #[test]
+    fn if_branches_patch_jumps() {
+        let p = comp("if 1 < 2 then print(1) else print(2)");
+        let entry = &p.blocks[p.entry as usize];
+        let jif = entry
+            .code
+            .iter()
+            .find_map(|i| match i {
+                Instr::JumpIfFalse(t) => Some(*t),
+                _ => None,
+            })
+            .expect("has JumpIfFalse");
+        // The else target must be inside the block and after the then code.
+        assert!((jif as usize) < entry.code.len());
+        let jmp = entry
+            .code
+            .iter()
+            .find_map(|i| match i {
+                Instr::Jump(t) => Some(*t),
+                _ => None,
+            })
+            .expect("has Jump");
+        assert!(jmp >= jif);
+    }
+
+    #[test]
+    fn import_and_export_instructions() {
+        let p = comp("export new srv in import q from other in (srv?{ go() = 0 } | q![1])");
+        let entry = &p.blocks[p.entry as usize];
+        assert!(entry.code.iter().any(|i| matches!(i, Instr::ExportName { .. })));
+        assert!(entry
+            .code
+            .iter()
+            .any(|i| matches!(i, Instr::Import { kind: ImportKind::Name, .. })));
+    }
+
+    #[test]
+    fn located_refs_compile_to_imports() {
+        let p = comp("server.p!go[1] | server.Applet[2]");
+        let all: Vec<&Instr> = p.blocks.iter().flat_map(|b| b.code.iter()).collect();
+        assert!(all
+            .iter()
+            .any(|i| matches!(i, Instr::Import { kind: ImportKind::Name, .. })));
+        assert!(all
+            .iter()
+            .any(|i| matches!(i, Instr::Import { kind: ImportKind::Class, .. })));
+    }
+
+    #[test]
+    fn disassembly_mentions_labels() {
+        let p = comp("new x (x!ping[] | x?{ ping() = println(\"pong\") })");
+        let d = disassemble(&p);
+        assert!(d.contains("trmsg ping"), "{d}");
+        assert!(d.contains("entry"), "{d}");
+    }
+
+    #[test]
+    fn let_sugar_compiles() {
+        let p = comp("new db (db?{ get(r) = r![1] } | let v = db!get[] in print(v))");
+        assert!(p.instr_count() > 0);
+    }
+}

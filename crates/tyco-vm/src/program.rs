@@ -1,0 +1,306 @@
+//! Program representation: byte-code blocks, method tables and interned
+//! symbol pools.
+//!
+//! §5 of the paper: *"Programs are compiled into an intermediate virtual
+//! machine assembly. This in turn is compiled into hardware independent
+//! byte-code. … The nested structure of the source program is preserved in
+//! the final byte-code. This allows the efficient dynamic selection of
+//! byte-code blocks that have to be moved between sites."*
+//!
+//! A **block** is the unit of code selection and mobility: each method
+//! body, class body and forked parallel component compiles to its own
+//! block. Shipping an object or fetching a class serializes the transitive
+//! closure of the blocks it references (see [`crate::wire`]).
+
+use std::collections::HashMap;
+use tyco_syntax::ast::{BinOp, UnOp};
+
+/// Index of a block in [`Program::blocks`].
+pub type BlockId = u32;
+/// Index of a method table in [`Program::tables`].
+pub type TableId = u32;
+/// Interned method label.
+pub type LabelId = u32;
+/// Interned string literal.
+pub type StrId = u32;
+
+/// Import kind operand for the `Import` instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ImportKind {
+    Name,
+    Class,
+}
+
+/// The TyCO virtual machine instruction set.
+///
+/// All value traffic goes through the per-thread operand stack; frames are
+/// addressed by slot. `TrMsg` / `TrObj` / `InstOf` are the three
+/// communication instructions of the original TyCOVM, re-implemented per
+/// §5 to dispatch on local vs. network references.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Instr {
+    // -- operand stack -----------------------------------------------------
+    /// Push frame slot.
+    PushLocal(u16),
+    PushInt(i64),
+    PushBool(bool),
+    PushFloat(f64),
+    PushStr(StrId),
+    PushUnit,
+    /// Push the class word for sibling `index` of the current class frame
+    /// (frame slot 0 holds the executing class's own class word).
+    PushSibling(u8),
+    /// Pop into frame slot.
+    Store(u16),
+    /// Binary builtin: pops rhs then lhs, pushes result.
+    Bin(BinOp),
+    /// Unary builtin.
+    Un(UnOp),
+
+    // -- control -----------------------------------------------------------
+    /// Unconditional jump to absolute instruction index within the block.
+    Jump(u32),
+    /// Pop a bool; jump when false.
+    JumpIfFalse(u32),
+    /// Finish the thread.
+    Halt,
+
+    // -- processes ---------------------------------------------------------
+    /// Allocate a fresh channel into a frame slot (`new`).
+    NewChan(u16),
+    /// Spawn a parallel component: pops `nfree` captured words (last pushed
+    /// = slot 0 of the new frame... see compiler), enqueues a thread for
+    /// `block`.
+    Fork { block: BlockId, nfree: u16 },
+    /// Try-reduce a message: pops the channel word, then `argc` argument
+    /// words. Local channel ⇒ COMM-or-enqueue; network reference ⇒ package
+    /// and ship (SHIPM).
+    TrMsg { label: LabelId, argc: u8 },
+    /// Try-reduce an object: pops the channel word, then `nfree` captured
+    /// words. Local ⇒ COMM-or-enqueue; network ⇒ migrate (SHIPO).
+    TrObj { table: TableId, nfree: u16 },
+    /// Instantiate: pops the class word, then `argc` arguments. Local class
+    /// ⇒ INST; network class ⇒ FETCH then INST.
+    InstOf { argc: u8 },
+    /// Create a (possibly mutually recursive) class group: pops `nfree`
+    /// captured words; stores the `count` class words into consecutive
+    /// frame slots starting at `dst`.
+    MkGroup { table: TableId, dst: u16, count: u8, nfree: u16 },
+
+    // -- network (the two new instructions of §5) ---------------------------
+    /// Register the channel in frame slot `slot` with the network name
+    /// service under `name`.
+    ExportName { slot: u16, name: StrId },
+    /// Register the class in frame slot `slot` under `name`.
+    ExportClass { slot: u16, name: StrId },
+    /// Resolve `name` at `site` through the name service into slot `dst`.
+    /// May suspend the thread until the reply arrives.
+    Import { dst: u16, site: StrId, name: StrId, kind: ImportKind },
+
+    // -- I/O port ------------------------------------------------------------
+    /// Pop `argc` words, write them (space-joined) to the site's I/O port.
+    Print { argc: u8, newline: bool },
+}
+
+/// A compiled code block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    /// Diagnostic name (`"Cell.read"`, `"fork@3"`, …).
+    pub name: String,
+    /// Captured environment size (filled by Fork/TrObj/InstOf spawn).
+    pub nfree: u16,
+    /// Parameter count (method or class arguments).
+    pub nparams: u16,
+    /// Additional local slots.
+    pub nlocals: u16,
+    /// True for class bodies: frame slot 0 holds the class's own class
+    /// word (captured/params shift up by one).
+    pub is_class_body: bool,
+    pub code: Vec<Instr>,
+}
+
+impl Block {
+    /// Total frame size in words.
+    pub fn frame_size(&self) -> usize {
+        (self.is_class_body as usize)
+            + self.nfree as usize
+            + self.nparams as usize
+            + self.nlocals as usize
+    }
+}
+
+/// A method table: association of label → block. Object tables are looked
+/// up by label; class-group tables are indexed positionally (def order).
+/// Tables are a handful of entries, so lookup is a linear scan — no
+/// ordering invariant to maintain across re-interning (linking, assembly).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MethodTable {
+    pub entries: Vec<(LabelId, BlockId)>,
+}
+
+impl MethodTable {
+    pub fn lookup(&self, label: LabelId) -> Option<BlockId> {
+        self.entries.iter().find(|e| e.0 == label).map(|e| e.1)
+    }
+}
+
+/// An interned symbol pool (labels, strings).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Pool {
+    items: Vec<String>,
+    index: HashMap<String, u32>,
+}
+
+impl Pool {
+    pub fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&i) = self.index.get(s) {
+            return i;
+        }
+        let i = self.items.len() as u32;
+        self.items.push(s.to_string());
+        self.index.insert(s.to_string(), i);
+        i
+    }
+
+    pub fn get(&self, i: u32) -> &str {
+        &self.items[i as usize]
+    }
+
+    pub fn find(&self, s: &str) -> Option<u32> {
+        self.index.get(s).copied()
+    }
+
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// A complete compiled program (a site's program area).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Program {
+    pub blocks: Vec<Block>,
+    pub tables: Vec<MethodTable>,
+    pub labels: Pool,
+    pub strings: Pool,
+    /// The block where execution starts (nfree = nparams = 0).
+    pub entry: BlockId,
+}
+
+impl Program {
+    /// Number of instructions across all blocks (code-size metric for
+    /// experiment C7's compactness comparison).
+    pub fn instr_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.code.len()).sum()
+    }
+
+    /// The block ids directly referenced by a block's code.
+    pub fn direct_refs(&self, block: BlockId) -> (Vec<BlockId>, Vec<TableId>) {
+        let mut blocks = Vec::new();
+        let mut tables = Vec::new();
+        for ins in &self.blocks[block as usize].code {
+            match ins {
+                Instr::Fork { block, .. } => blocks.push(*block),
+                Instr::TrObj { table, .. } | Instr::MkGroup { table, .. } => tables.push(*table),
+                _ => {}
+            }
+        }
+        (blocks, tables)
+    }
+
+    /// Transitive closure of blocks and tables reachable from `roots`
+    /// (the unit shipped by SHIPO/FETCH).
+    pub fn closure(&self, root_blocks: &[BlockId], root_tables: &[TableId]) -> Closure {
+        let mut blocks: Vec<BlockId> = Vec::new();
+        let mut tables: Vec<TableId> = Vec::new();
+        let mut stack_b: Vec<BlockId> = root_blocks.to_vec();
+        let mut stack_t: Vec<TableId> = root_tables.to_vec();
+        while !stack_b.is_empty() || !stack_t.is_empty() {
+            while let Some(b) = stack_b.pop() {
+                if blocks.contains(&b) {
+                    continue;
+                }
+                blocks.push(b);
+                let (bs, ts) = self.direct_refs(b);
+                stack_b.extend(bs);
+                stack_t.extend(ts);
+            }
+            while let Some(t) = stack_t.pop() {
+                if tables.contains(&t) {
+                    continue;
+                }
+                tables.push(t);
+                for (_, b) in &self.tables[t as usize].entries {
+                    stack_b.push(*b);
+                }
+            }
+        }
+        blocks.sort_unstable();
+        tables.sort_unstable();
+        Closure { blocks, tables }
+    }
+}
+
+/// The reachable code of a mobility unit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Closure {
+    pub blocks: Vec<BlockId>,
+    pub tables: Vec<TableId>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block(name: &str, code: Vec<Instr>) -> Block {
+        Block { name: name.into(), nfree: 0, nparams: 0, nlocals: 0, is_class_body: false, code }
+    }
+
+    #[test]
+    fn pool_interning_is_idempotent() {
+        let mut p = Pool::default();
+        let a = p.intern("read");
+        let b = p.intern("write");
+        assert_ne!(a, b);
+        assert_eq!(p.intern("read"), a);
+        assert_eq!(p.get(a), "read");
+        assert_eq!(p.find("write"), Some(b));
+        assert_eq!(p.find("absent"), None);
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn method_table_lookup() {
+        let t = MethodTable { entries: vec![(0, 10), (2, 11), (5, 12)] };
+        assert_eq!(t.lookup(2), Some(11));
+        assert_eq!(t.lookup(3), None);
+    }
+
+    #[test]
+    fn closure_follows_forks_and_tables() {
+        let mut prog = Program::default();
+        // b0 forks b1; b1 uses table t0 which points at b2; b2 is a leaf.
+        prog.blocks.push(block("b0", vec![Instr::Fork { block: 1, nfree: 0 }, Instr::Halt]));
+        prog.blocks.push(block("b1", vec![Instr::TrObj { table: 0, nfree: 0 }, Instr::Halt]));
+        prog.blocks.push(block("b2", vec![Instr::Halt]));
+        prog.blocks.push(block("b3", vec![Instr::Halt])); // unreachable
+        prog.tables.push(MethodTable { entries: vec![(0, 2)] });
+        let c = prog.closure(&[0], &[]);
+        assert_eq!(c.blocks, vec![0, 1, 2]);
+        assert_eq!(c.tables, vec![0]);
+    }
+
+    #[test]
+    fn frame_size_accounts_for_class_slot() {
+        let mut b = block("k", vec![]);
+        b.nfree = 2;
+        b.nparams = 1;
+        b.nlocals = 3;
+        assert_eq!(b.frame_size(), 6);
+        b.is_class_body = true;
+        assert_eq!(b.frame_size(), 7);
+    }
+}

@@ -1,0 +1,348 @@
+//! Wire representation of mobile code and values, with packaging
+//! (transitive block closure) and dynamic linking (relocation into the
+//! receiving site's program area).
+//!
+//! §5 of the paper: *"The byte-code for the object and the bindings for the
+//! free variables (after having been translated) are packaged into a buffer
+//! and placed on the outgoing-queue addressed to the remote site"* (SHIPO);
+//! *"the reply message with the packaged byte-code is received … The code
+//! is then dynamically linked to the local program and the reduction
+//! proceeds locally"* (FETCH).
+//!
+//! All identifiers inside a packet are *packet-relative*: block and table
+//! ids index the packet's own vectors, and labels/strings are carried
+//! symbolically so heterogeneous sites can re-intern them.
+
+use crate::program::*;
+use crate::word::NetRef;
+use std::collections::HashMap;
+
+/// A value on the wire (hardware-independent).
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireWord {
+    Unit,
+    Int(i64),
+    Bool(bool),
+    Float(f64),
+    Str(String),
+    /// A channel, always as a network reference (senders translate local
+    /// references through their export table before shipping).
+    Chan(NetRef),
+    /// A class, always as a network reference.
+    Class(NetRef),
+}
+
+/// A self-contained bundle of byte-code: blocks, method tables and symbol
+/// pools, all packet-relative.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct WireCode {
+    pub blocks: Vec<Block>,
+    /// Each table is a vec of (label index into `labels`, packet block id).
+    pub tables: Vec<Vec<(u32, u32)>>,
+    pub labels: Vec<String>,
+    pub strings: Vec<String>,
+}
+
+impl WireCode {
+    /// Approximate payload size in bytes (used for bandwidth accounting
+    /// before actual encoding).
+    pub fn approx_size(&self) -> usize {
+        self.blocks.iter().map(|b| b.code.len() * 6 + b.name.len() + 8).sum::<usize>()
+            + self.tables.iter().map(|t| t.len() * 8).sum::<usize>()
+            + self.labels.iter().map(|s| s.len() + 4).sum::<usize>()
+            + self.strings.iter().map(|s| s.len() + 4).sum::<usize>()
+    }
+}
+
+/// A migrating object: its method table (packet-relative), the closed code
+/// and the translated captured environment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireObj {
+    pub code: WireCode,
+    pub table: u32,
+    pub captured: Vec<WireWord>,
+}
+
+/// A downloaded class group (FETCH payload).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireGroup {
+    pub code: WireCode,
+    pub table: u32,
+    pub captured: Vec<WireWord>,
+}
+
+/// Result of packaging: the wire code plus the mapping from program ids to
+/// packet ids (callers need it to translate the root table reference).
+pub struct Packed {
+    pub code: WireCode,
+    pub table_map: HashMap<TableId, u32>,
+}
+
+/// Package the transitive closure of `root_tables` from `prog`.
+pub fn pack(prog: &Program, root_tables: &[TableId]) -> Packed {
+    let closure = prog.closure(&[], root_tables);
+    let mut block_map: HashMap<BlockId, u32> = HashMap::new();
+    for (i, b) in closure.blocks.iter().enumerate() {
+        block_map.insert(*b, i as u32);
+    }
+    let mut table_map: HashMap<TableId, u32> = HashMap::new();
+    for (i, t) in closure.tables.iter().enumerate() {
+        table_map.insert(*t, i as u32);
+    }
+    let mut labels: Vec<String> = Vec::new();
+    let mut label_map: HashMap<LabelId, u32> = HashMap::new();
+    let mut strings: Vec<String> = Vec::new();
+    let mut string_map: HashMap<StrId, u32> = HashMap::new();
+
+    let remap_label = |labels: &mut Vec<String>,
+                           label_map: &mut HashMap<LabelId, u32>,
+                           l: LabelId|
+     -> u32 {
+        *label_map.entry(l).or_insert_with(|| {
+            labels.push(prog.labels.get(l).to_string());
+            (labels.len() - 1) as u32
+        })
+    };
+    let remap_string = |strings: &mut Vec<String>,
+                            string_map: &mut HashMap<StrId, u32>,
+                            s: StrId|
+     -> u32 {
+        *string_map.entry(s).or_insert_with(|| {
+            strings.push(prog.strings.get(s).to_string());
+            (strings.len() - 1) as u32
+        })
+    };
+
+    let mut blocks = Vec::with_capacity(closure.blocks.len());
+    for &bid in &closure.blocks {
+        let src = &prog.blocks[bid as usize];
+        let code = src
+            .code
+            .iter()
+            .map(|ins| match ins {
+                Instr::Fork { block, nfree } => {
+                    Instr::Fork { block: block_map[block], nfree: *nfree }
+                }
+                Instr::TrMsg { label, argc } => Instr::TrMsg {
+                    label: remap_label(&mut labels, &mut label_map, *label),
+                    argc: *argc,
+                },
+                Instr::TrObj { table, nfree } => {
+                    Instr::TrObj { table: table_map[table], nfree: *nfree }
+                }
+                Instr::MkGroup { table, dst, count, nfree } => Instr::MkGroup {
+                    table: table_map[table],
+                    dst: *dst,
+                    count: *count,
+                    nfree: *nfree,
+                },
+                Instr::PushStr(s) => {
+                    Instr::PushStr(remap_string(&mut strings, &mut string_map, *s))
+                }
+                Instr::ExportName { slot, name } => Instr::ExportName {
+                    slot: *slot,
+                    name: remap_string(&mut strings, &mut string_map, *name),
+                },
+                Instr::ExportClass { slot, name } => Instr::ExportClass {
+                    slot: *slot,
+                    name: remap_string(&mut strings, &mut string_map, *name),
+                },
+                Instr::Import { dst, site, name, kind } => Instr::Import {
+                    dst: *dst,
+                    site: remap_string(&mut strings, &mut string_map, *site),
+                    name: remap_string(&mut strings, &mut string_map, *name),
+                    kind: *kind,
+                },
+                other => other.clone(),
+            })
+            .collect();
+        blocks.push(Block {
+            name: src.name.clone(),
+            nfree: src.nfree,
+            nparams: src.nparams,
+            nlocals: src.nlocals,
+            is_class_body: src.is_class_body,
+            code,
+        });
+    }
+
+    let tables = closure
+        .tables
+        .iter()
+        .map(|&tid| {
+            prog.tables[tid as usize]
+                .entries
+                .iter()
+                .map(|(l, b)| (remap_label(&mut labels, &mut label_map, *l), block_map[b]))
+                .collect()
+        })
+        .collect();
+
+    Packed { code: WireCode { blocks, tables, labels, strings }, table_map }
+}
+
+/// The relocation produced by linking a packet into a program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkMap {
+    pub blocks: Vec<BlockId>,
+    pub tables: Vec<TableId>,
+}
+
+/// Dynamically link wire code into a program area: append blocks and
+/// tables, re-intern symbols, and rewrite packet-relative ids.
+pub fn link(prog: &mut Program, code: &WireCode) -> LinkMap {
+    let label_ids: Vec<LabelId> = code.labels.iter().map(|l| prog.labels.intern(l)).collect();
+    let string_ids: Vec<StrId> = code.strings.iter().map(|s| prog.strings.intern(s)).collect();
+    let base_block = prog.blocks.len() as BlockId;
+    let block_ids: Vec<BlockId> =
+        (0..code.blocks.len() as u32).map(|i| base_block + i).collect();
+    let base_table = prog.tables.len() as TableId;
+    let table_ids: Vec<TableId> =
+        (0..code.tables.len() as u32).map(|i| base_table + i).collect();
+
+    for b in &code.blocks {
+        let rewritten = b
+            .code
+            .iter()
+            .map(|ins| match ins {
+                Instr::Fork { block, nfree } => {
+                    Instr::Fork { block: block_ids[*block as usize], nfree: *nfree }
+                }
+                Instr::TrMsg { label, argc } => {
+                    Instr::TrMsg { label: label_ids[*label as usize], argc: *argc }
+                }
+                Instr::TrObj { table, nfree } => {
+                    Instr::TrObj { table: table_ids[*table as usize], nfree: *nfree }
+                }
+                Instr::MkGroup { table, dst, count, nfree } => Instr::MkGroup {
+                    table: table_ids[*table as usize],
+                    dst: *dst,
+                    count: *count,
+                    nfree: *nfree,
+                },
+                Instr::PushStr(s) => Instr::PushStr(string_ids[*s as usize]),
+                Instr::ExportName { slot, name } => {
+                    Instr::ExportName { slot: *slot, name: string_ids[*name as usize] }
+                }
+                Instr::ExportClass { slot, name } => {
+                    Instr::ExportClass { slot: *slot, name: string_ids[*name as usize] }
+                }
+                Instr::Import { dst, site, name, kind } => Instr::Import {
+                    dst: *dst,
+                    site: string_ids[*site as usize],
+                    name: string_ids[*name as usize],
+                    kind: *kind,
+                },
+                other => other.clone(),
+            })
+            .collect();
+        prog.blocks.push(Block {
+            name: format!("{}'", b.name),
+            nfree: b.nfree,
+            nparams: b.nparams,
+            nlocals: b.nlocals,
+            is_class_body: b.is_class_body,
+            code: rewritten,
+        });
+    }
+    for t in &code.tables {
+        let mut entries: Vec<(LabelId, BlockId)> = t
+            .iter()
+            .map(|(l, b)| (label_ids[*l as usize], block_ids[*b as usize]))
+            .collect();
+        entries.sort_unstable_by_key(|e| e.0);
+        prog.tables.push(MethodTable { entries });
+    }
+
+    LinkMap { blocks: block_ids, tables: table_ids }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile;
+    use tyco_syntax::parse_core;
+
+    fn prog(src: &str) -> Program {
+        compile(&parse_core(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn pack_then_link_preserves_structure() {
+        // An object whose method forks and sends: exercises every remapped
+        // instruction family.
+        let p = prog(
+            r#"new x x?{ go(n) = (print(n) | x!go[n - 1] | x?{ go(m) = println("deep", m) }) }"#,
+        );
+        assert_eq!(p.tables.len(), 2);
+        let packed = pack(&p, &[0, 1]);
+        // The packet must contain both tables and all reachable blocks.
+        assert_eq!(packed.code.tables.len(), 2);
+        assert!(!packed.code.blocks.is_empty());
+        assert!(packed.code.labels.iter().any(|l| l == "go"));
+        assert!(packed.code.strings.iter().any(|s| s == "deep"));
+
+        // Link into an empty destination program.
+        let mut dest = Program::default();
+        let lm = link(&mut dest, &packed.code);
+        assert_eq!(dest.blocks.len(), packed.code.blocks.len());
+        assert_eq!(dest.tables.len(), 2);
+        // Every table entry's block id is in range.
+        for t in &dest.tables {
+            for (_, b) in &t.entries {
+                assert!((*b as usize) < dest.blocks.len());
+            }
+        }
+        // LinkMap covers everything.
+        assert_eq!(lm.blocks.len(), dest.blocks.len());
+    }
+
+    #[test]
+    fn packet_ids_are_dense_and_self_contained() {
+        let p = prog("new x (x?{ a() = 0, b(u) = print(u) } | x!a[])");
+        let packed = pack(&p, &[0]);
+        for b in &packed.code.blocks {
+            for ins in &b.code {
+                match ins {
+                    Instr::Fork { block, .. } => {
+                        assert!((*block as usize) < packed.code.blocks.len());
+                    }
+                    Instr::TrMsg { label, .. } => {
+                        assert!((*label as usize) < packed.code.labels.len());
+                    }
+                    Instr::TrObj { table, .. } | Instr::MkGroup { table, .. } => {
+                        assert!((*table as usize) < packed.code.tables.len());
+                    }
+                    Instr::PushStr(s) => {
+                        assert!((*s as usize) < packed.code.strings.len());
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn linking_twice_appends_disjoint_copies() {
+        let p = prog("new x x?{ ping() = println(\"pong\") }");
+        let packed = pack(&p, &[0]);
+        let mut dest = Program::default();
+        let lm1 = link(&mut dest, &packed.code);
+        let lm2 = link(&mut dest, &packed.code);
+        assert_ne!(lm1.blocks, lm2.blocks);
+        assert_eq!(dest.blocks.len(), 2 * packed.code.blocks.len());
+        // Interned symbols are shared, not duplicated.
+        assert_eq!(dest.labels.len(), packed.code.labels.len());
+    }
+
+    #[test]
+    fn class_group_packs_with_recursion() {
+        let p = prog("def Loop(n) = if n > 0 then Loop[n - 1] else println(\"done\") in Loop[3]");
+        // Find the group table (positional, with Loop's body).
+        let packed = pack(&p, &[0]);
+        assert_eq!(packed.code.tables.len(), 1);
+        let loop_block = &packed.code.blocks[packed.code.tables[0][0].1 as usize];
+        assert!(loop_block.is_class_body);
+        assert!(loop_block.code.iter().any(|i| matches!(i, Instr::PushSibling(0))));
+    }
+}

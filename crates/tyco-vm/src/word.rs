@@ -1,0 +1,137 @@
+//! Machine words: the tagged values held in VM registers, frames, channel
+//! queues and the operand stack.
+//!
+//! §5 of the paper: *"Variables may now hold, besides local references,
+//! network references. A local reference is a pointer to the heap of the
+//! local site. A network reference … has a hardware independent
+//! representation that keeps information on the remote variable, its site,
+//! and IP address: `(HeapId, SiteId, IpAddress)`."*
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A node address — the implementation's stand-in for the paper's
+/// `IpAddress` (nodes are simulated in-process; see `ditico-rt::fabric`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(pub u32);
+
+/// A site identifier, unique network-wide (assigned by the name service).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SiteId(pub u32);
+
+/// The network identity of a site: which node it runs on and its id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Identity {
+    pub site: SiteId,
+    pub node: NodeId,
+}
+
+/// A hardware-independent network reference: `(HeapId, SiteId, IpAddress)`.
+///
+/// `heap_id` indexes the *export table* of the owning site, never its raw
+/// heap (raw pointers/indices stay private to a site).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NetRef {
+    pub heap_id: u64,
+    pub site: SiteId,
+    pub node: NodeId,
+}
+
+impl fmt::Display for NetRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{}:{}:{}", self.node.0, self.site.0, self.heap_id)
+    }
+}
+
+/// A local heap reference to a channel.
+pub type ChanRef = u32;
+
+/// A reference to a class: a class-group heap object plus the index of the
+/// class within the group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ClassRefW {
+    pub group: u32,
+    pub index: u8,
+}
+
+/// A tagged machine word.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Word {
+    Unit,
+    Int(i64),
+    Bool(bool),
+    Float(f64),
+    Str(Arc<str>),
+    /// Local channel reference (pointer into this site's heap).
+    Chan(ChanRef),
+    /// Network reference to a channel on another site.
+    NetChan(NetRef),
+    /// Local class value.
+    Class(ClassRefW),
+    /// Network reference to a class defined at another site.
+    NetClass(NetRef),
+}
+
+impl Word {
+    /// Render as the I/O port does (matches
+    /// `tyco_calculus::Val::display` for base values, so differential
+    /// tests can compare outputs verbatim).
+    pub fn display(&self) -> String {
+        match self {
+            Word::Unit => "unit".to_string(),
+            Word::Int(i) => i.to_string(),
+            Word::Bool(b) => b.to_string(),
+            Word::Float(x) => format!("{x:?}"),
+            Word::Str(s) => s.to_string(),
+            Word::Chan(c) => format!("#chan{c}"),
+            Word::NetChan(r) => format!("#chan{r}"),
+            Word::Class(c) => format!("#class{}:{}", c.group, c.index),
+            Word::NetClass(r) => format!("#class{r}"),
+        }
+    }
+
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Word::Unit => "unit",
+            Word::Int(_) => "int",
+            Word::Bool(_) => "bool",
+            Word::Float(_) => "float",
+            Word::Str(_) => "string",
+            Word::Chan(_) | Word::NetChan(_) => "channel",
+            Word::Class(_) | Word::NetClass(_) => "class",
+        }
+    }
+}
+
+impl fmt::Display for Word {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.display())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_is_small() {
+        // Words sit in frames, queues and stacks by the million; keep them
+        // at most 3 machine words (tag + payload).
+        assert!(std::mem::size_of::<Word>() <= 24, "{}", std::mem::size_of::<Word>());
+    }
+
+    #[test]
+    fn netref_display() {
+        let r = NetRef { heap_id: 7, site: SiteId(2), node: NodeId(1) };
+        assert_eq!(r.to_string(), "@1:2:7");
+    }
+
+    #[test]
+    fn display_matches_calculus_for_base_values() {
+        assert_eq!(Word::Int(-3).display(), "-3");
+        assert_eq!(Word::Bool(true).display(), "true");
+        assert_eq!(Word::Float(2.5).display(), "2.5");
+        assert_eq!(Word::Str("hi".into()).display(), "hi");
+        assert_eq!(Word::Unit.display(), "unit");
+    }
+}

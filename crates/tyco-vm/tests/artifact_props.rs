@@ -1,0 +1,76 @@
+//! Property tests over the compiled-artifact pipeline: for arbitrary
+//! generated programs, the assembly and image representations round-trip
+//! and execute identically to the directly compiled program.
+
+use proptest::prelude::*;
+use tyco_syntax::arbitrary::arb_closed_program;
+use tyco_vm::{compile, emit_asm, image_from_bytes, image_to_bytes, parse_asm, LoopbackPort, Machine, Program};
+
+fn run(prog: Program) -> Vec<String> {
+    let mut m = Machine::new(prog, LoopbackPort::new("main"));
+    m.run_to_quiescence(10_000_000).expect("runs");
+    let mut io = m.io;
+    io.sort();
+    io
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// parse_asm ∘ emit_asm preserves execution.
+    #[test]
+    fn assembly_round_trip_preserves_behaviour(p in arb_closed_program()) {
+        let prog = compile(&p).expect("compiles");
+        let text = emit_asm(&prog);
+        let back = parse_asm(&text).expect("assembles");
+        // The re-assembled program emits the same assembly (fixpoint)…
+        prop_assert_eq!(emit_asm(&back), text);
+        // …and runs identically.
+        prop_assert_eq!(run(back), run(prog));
+    }
+
+    /// image_from_bytes ∘ image_to_bytes = id, exactly.
+    #[test]
+    fn image_round_trip_is_identity(p in arb_closed_program()) {
+        let prog = compile(&p).expect("compiles");
+        let back = image_from_bytes(image_to_bytes(&prog)).expect("loads");
+        prop_assert_eq!(&back, &prog);
+    }
+
+    /// Shipping every method table of a program through pack → link into a
+    /// fresh program area yields callable code (the mobility pipeline never
+    /// corrupts blocks).
+    #[test]
+    fn pack_link_is_well_formed(p in arb_closed_program()) {
+        let prog = compile(&p).expect("compiles");
+        if prog.tables.is_empty() {
+            return Ok(());
+        }
+        let roots: Vec<u32> = (0..prog.tables.len() as u32).collect();
+        let packed = tyco_vm::pack(&prog, &roots);
+        let mut dest = Program::default();
+        let lm = tyco_vm::link(&mut dest, &packed.code);
+        // Every linked table entry points at a real block with a method
+        // frame that can be built.
+        for &t in &lm.tables {
+            for (_, b) in &dest.tables[t as usize].entries {
+                let blk = &dest.blocks[*b as usize];
+                prop_assert!(blk.frame_size() >= blk.nparams as usize);
+            }
+        }
+        // Jump targets stay inside their blocks.
+        for b in &dest.blocks {
+            for ins in &b.code {
+                match ins {
+                    tyco_vm::Instr::Jump(t) | tyco_vm::Instr::JumpIfFalse(t) => {
+                        prop_assert!((*t as usize) <= b.code.len());
+                    }
+                    tyco_vm::Instr::Fork { block, .. } => {
+                        prop_assert!((*block as usize) < dest.blocks.len());
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+}

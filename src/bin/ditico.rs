@@ -1,0 +1,283 @@
+//! The `ditico` command-line tool: compile, inspect and run DiTyCO
+//! programs.
+//!
+//! ```text
+//! ditico check   <file.dity>              type-check a program
+//! ditico compile <file.dity> -o out.tyco  compile to a byte-code image
+//! ditico asm     <file.dity>              show the VM assembly
+//! ditico disasm  <file.tyco>              disassemble an image
+//! ditico run     <file.dity|file.tyco>    run a single site to quiescence
+//! ditico net     <spec.net>               run a network description
+//! ditico shell                            interactive TyCOsh
+//! ```
+//!
+//! A network description (for `ditico net`) is a line-oriented file:
+//!
+//! ```text
+//! topology nodes=2 fabric=virtual link=myrinet
+//! site server server.dity
+//! site client client.dity
+//! ```
+
+use ditico::{Env, FabricMode, LinkProfile, Program, Shell, Topology};
+use std::io::BufRead as _;
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("check") => cmd_check(&args[1..]),
+        Some("compile") => cmd_compile(&args[1..]),
+        Some("asm") => cmd_asm(&args[1..]),
+        Some("disasm") => cmd_disasm(&args[1..]),
+        Some("run") => cmd_run(&args[1..]),
+        Some("net") => cmd_net(&args[1..]),
+        Some("shell") => cmd_shell(),
+        Some("help") | None => {
+            print_usage();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}` (try `ditico help`)")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("ditico: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    println!(
+        "usage: ditico <command>\n\
+         \n\
+         commands:\n\
+         \x20 check   <file.dity>              type-check a program\n\
+         \x20 compile <file.dity> -o out.tyco  compile to a byte-code image\n\
+         \x20 asm     <file.dity>              show the VM assembly\n\
+         \x20 disasm  <file.tyco>              disassemble an image\n\
+         \x20 run     <file.dity|file.tyco>    run a single site to quiescence\n\
+         \x20 net     <spec.net>               run a network description\n\
+         \x20 shell                            interactive TyCOsh"
+    );
+}
+
+fn read(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))
+}
+
+fn compile_file(path: &str) -> Result<Program, String> {
+    Program::compile(&read(path)?).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_check(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("usage: ditico check <file.dity>")?;
+    let p = compile_file(path)?;
+    println!("{path}: ok ({} byte-code instructions)", p.instr_count());
+    if !p.types.exported_names.is_empty() || !p.types.exported_classes.is_empty() {
+        println!("exported interface:");
+        for (name, t) in &p.types.exported_names {
+            println!("  {name} : {t}");
+        }
+        for (name, s) in &p.types.exported_classes {
+            println!("  {name} : {s}");
+        }
+    }
+    for (site, name, kind) in &p.types.imports {
+        println!("imports {name} ({kind:?}) from {site}");
+    }
+    Ok(())
+}
+
+fn cmd_compile(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("usage: ditico compile <file.dity> [-o out.tyco]")?;
+    let out = match args.get(1).map(String::as_str) {
+        Some("-o") => args.get(2).cloned().ok_or("missing output after -o")?,
+        _ => {
+            let stem = Path::new(path).file_stem().and_then(|s| s.to_str()).unwrap_or("out");
+            format!("{stem}.tyco")
+        }
+    };
+    let p = compile_file(path)?;
+    let bytes = tyco_vm::image_to_bytes(&p.code);
+    std::fs::write(&out, &bytes).map_err(|e| format!("cannot write `{out}`: {e}"))?;
+    println!("{out}: {} bytes ({} instructions)", bytes.len(), p.instr_count());
+    Ok(())
+}
+
+fn cmd_asm(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("usage: ditico asm <file.dity>")?;
+    let p = compile_file(path)?;
+    print!("{}", tyco_vm::emit_asm(&p.code));
+    Ok(())
+}
+
+fn cmd_disasm(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("usage: ditico disasm <file.tyco>")?;
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let prog = tyco_vm::image_from_bytes(bytes.into()).map_err(|e| e.to_string())?;
+    print!("{}", tyco_vm::emit_asm(&prog));
+    Ok(())
+}
+
+fn load_program(path: &str, unchecked: bool) -> Result<tyco_vm::Program, String> {
+    if path.ends_with(".tyco") {
+        let bytes = std::fs::read(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+        tyco_vm::image_from_bytes(bytes.into()).map_err(|e| e.to_string())
+    } else if unchecked {
+        // Skip the static type check: the dynamic checks at reduction time
+        // take over (useful with --trace to watch them fire).
+        Ok(Program::compile_unchecked(&read(path)?).map_err(|e| format!("{path}: {e}"))?.code)
+    } else {
+        Ok(compile_file(path)?.code)
+    }
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let path = args
+        .first()
+        .ok_or("usage: ditico run <file.dity|file.tyco> [--stats] [--trace] [--unchecked]")?;
+    let prog = load_program(path, args.iter().any(|a| a == "--unchecked"))?;
+    let mut m = tyco_vm::Machine::new(prog, tyco_vm::LoopbackPort::new("main"));
+    let tracing = args.iter().any(|a| a == "--trace");
+    if tracing {
+        m.set_trace(64);
+    }
+    let result = m.run_to_quiescence(u64::MAX);
+    for line in &m.io {
+        println!("{line}");
+    }
+    if args.iter().any(|a| a == "--stats") {
+        eprintln!("{}", m.stats);
+    }
+    match result {
+        Ok(_) => Ok(()),
+        Err(e) => {
+            if tracing {
+                eprintln!("last instructions before the error:\n{}", m.render_trace());
+            }
+            Err(e.to_string())
+        }
+    }
+}
+
+fn cmd_net(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("usage: ditico net <spec.net>")?;
+    let spec = read(path)?;
+    let dir = Path::new(path).parent().unwrap_or(Path::new("."));
+    let mut topology = Topology::default();
+    let mut sites: Vec<(String, String)> = Vec::new();
+    for (i, raw) in spec.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut words = line.split_whitespace();
+        match words.next() {
+            Some("topology") => {
+                for kv in words {
+                    let (k, v) = kv
+                        .split_once('=')
+                        .ok_or_else(|| format!("{path}:{}: expected key=value", i + 1))?;
+                    match k {
+                        "nodes" => {
+                            topology.nodes =
+                                v.parse().map_err(|e| format!("{path}:{}: {e}", i + 1))?;
+                        }
+                        "fabric" => {
+                            topology.mode = match v {
+                                "ideal" => FabricMode::Ideal,
+                                "virtual" => FabricMode::Virtual,
+                                "realtime" => FabricMode::RealTime,
+                                other => {
+                                    return Err(format!("{path}:{}: bad fabric `{other}`", i + 1));
+                                }
+                            };
+                        }
+                        "link" => {
+                            topology.link = match v {
+                                "ideal" => LinkProfile::ideal(),
+                                "myrinet" => LinkProfile::myrinet(),
+                                "ethernet" => LinkProfile::fast_ethernet(),
+                                "wan" => LinkProfile::wan(),
+                                other => {
+                                    return Err(format!("{path}:{}: bad link `{other}`", i + 1));
+                                }
+                            };
+                        }
+                        "replicas" => {
+                            topology.ns_replicas =
+                                v.parse().map_err(|e| format!("{path}:{}: {e}", i + 1))?;
+                        }
+                        other => return Err(format!("{path}:{}: unknown key `{other}`", i + 1)),
+                    }
+                }
+            }
+            Some("site") => {
+                let lexeme = words
+                    .next()
+                    .ok_or_else(|| format!("{path}:{}: site needs a lexeme", i + 1))?;
+                let file = words
+                    .next()
+                    .ok_or_else(|| format!("{path}:{}: site needs a program file", i + 1))?;
+                let src = read(dir.join(file).to_str().unwrap_or(file))?;
+                sites.push((lexeme.to_string(), src));
+            }
+            Some(other) => return Err(format!("{path}:{}: unknown directive `{other}`", i + 1)),
+            None => {}
+        }
+    }
+    let mut env = Env::new(topology);
+    for (lexeme, src) in &sites {
+        env = env.site(lexeme, src).map_err(|e| e.to_string())?;
+    }
+    let report = env.run().map_err(|e| e.to_string())?;
+    let mut lexemes: Vec<&String> = report.outputs.keys().collect();
+    lexemes.sort();
+    for lexeme in lexemes {
+        for line in &report.outputs[lexeme] {
+            println!("[{lexeme}] {line}");
+        }
+    }
+    for (site, err) in &report.errors {
+        eprintln!("[{site}] error: {err}");
+    }
+    eprintln!(
+        "-- {} instrs, {} fabric packets ({} bytes), virtual {} µs{}",
+        report.total_instrs,
+        report.fabric_packets,
+        report.fabric_bytes,
+        report.virtual_ns / 1_000,
+        if report.quiescent { "" } else { " (instruction limit hit)" }
+    );
+    if !report.errors.is_empty() {
+        return Err(format!("{} site(s) failed", report.errors.len()));
+    }
+    Ok(())
+}
+
+fn cmd_shell() -> Result<(), String> {
+    let mut shell = Shell::new();
+    let stdin = std::io::stdin();
+    let mut lock = stdin.lock();
+    let mut line = String::new();
+    println!("TyCOsh — type `help` for commands, ctrl-D to exit.");
+    loop {
+        line.clear();
+        match lock.read_line(&mut line) {
+            Ok(0) => return Ok(()),
+            Ok(_) => {
+                if matches!(line.trim(), "exit" | "quit") {
+                    return Ok(());
+                }
+                let reply = shell.exec(&line);
+                if !reply.is_empty() {
+                    println!("{reply}");
+                }
+            }
+            Err(e) => return Err(format!("read error: {e}")),
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! End-to-end tests of the `ditico` command-line tool: compile → image →
+//! run → disassemble → network files, through the real binary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn ditico() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_ditico"))
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ditico-cli-{name}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mk tmpdir");
+    dir
+}
+
+fn write(dir: &std::path::Path, name: &str, content: &str) -> PathBuf {
+    let p = dir.join(name);
+    std::fs::write(&p, content).expect("write");
+    p
+}
+
+const CELL: &str = r#"
+def Cell(self, v) =
+    self ? { read(r) = r![v] | Cell[self, v], write(u) = Cell[self, u] }
+in new x (Cell[x, 9] | new z (x!read[z] | z?(w) = print(w)))
+"#;
+
+#[test]
+fn check_run_compile_roundtrip() {
+    let dir = tmpdir("roundtrip");
+    let src = write(&dir, "cell.dity", CELL);
+
+    let out = ditico().arg("check").arg(&src).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("ok ("));
+
+    let out = ditico().arg("run").arg(&src).output().unwrap();
+    assert!(out.status.success());
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "9");
+
+    let img = dir.join("cell.tyco");
+    let out = ditico().args(["compile", src.to_str().unwrap(), "-o", img.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(img.exists());
+
+    // The image runs identically.
+    let out = ditico().arg("run").arg(&img).output().unwrap();
+    assert!(out.status.success());
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "9");
+
+    // And disassembles to assembly mentioning the class blocks.
+    let out = ditico().arg("disasm").arg(&img).output().unwrap();
+    assert!(out.status.success());
+    let asm = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(asm.contains(".entry"), "{asm}");
+    assert!(asm.contains("trmsg read"), "{asm}");
+}
+
+#[test]
+fn asm_output_reassembles() {
+    let dir = tmpdir("asm");
+    let src = write(&dir, "p.dity", "print(40 + 2)");
+    let out = ditico().arg("asm").arg(&src).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    let prog = tyco_vm::parse_asm(&text).expect("asm output reassembles");
+    let mut m = tyco_vm::Machine::new(prog, tyco_vm::LoopbackPort::new("main"));
+    m.run_to_quiescence(10_000).unwrap();
+    assert_eq!(m.io, vec!["42".to_string()]);
+}
+
+#[test]
+fn net_spec_runs_two_sites() {
+    let dir = tmpdir("net");
+    write(&dir, "server.dity", "def S(p) = p?{ val(x, r) = r![x + 1] | S[p] } in export new p in S[p]");
+    write(&dir, "client.dity", "import p from server in let y = p!val[41] in print(y)");
+    let spec = write(
+        &dir,
+        "demo.net",
+        "# demo\ntopology nodes=2 fabric=virtual link=myrinet\nsite server server.dity\nsite client client.dity\n",
+    );
+    let out = ditico().arg("net").arg(&spec).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("[client] 42"), "{stdout}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("fabric packets"), "{stderr}");
+}
+
+#[test]
+fn type_errors_fail_with_message() {
+    let dir = tmpdir("typeerr");
+    let src = write(&dir, "bad.dity", "new x (x![1] | x![true])");
+    let out = ditico().arg("check").arg(&src).output().unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("type error"), "{stderr}");
+}
+
+#[test]
+fn unknown_command_and_usage() {
+    let out = ditico().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    let out = ditico().arg("help").output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("usage"));
+}
+
+#[test]
+fn shell_subcommand_batch() {
+    use std::io::Write as _;
+    let mut child = ditico()
+        .arg("shell")
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(b"site m println(\"from shell\")\nrun\noutput m\nexit\n")
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("from shell"));
+}

@@ -1,0 +1,108 @@
+//! Smoke tests: every example binary must run to completion and produce
+//! its expected headline output.
+
+use std::process::Command;
+
+fn run_example(name: &str, args: &[&str]) -> (String, String) {
+    // Examples are built by the test harness's workspace; invoke via cargo
+    // to reuse the build cache.
+    let out = Command::new(env!("CARGO"))
+        .args(["run", "--quiet", "--example", name, "--"])
+        .args(args)
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .unwrap_or_else(|e| panic!("failed to run example {name}: {e}"));
+    assert!(
+        out.status.success(),
+        "example {name} failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (
+        String::from_utf8_lossy(&out.stdout).to_string(),
+        String::from_utf8_lossy(&out.stderr).to_string(),
+    )
+}
+
+#[test]
+fn quickstart() {
+    let (stdout, _) = run_example("quickstart", &["--stats"]);
+    assert!(stdout.contains("int cell holds 9"), "{stdout}");
+    assert!(stdout.contains("bool cell holds false"), "{stdout}");
+    assert!(stdout.contains("granularity"), "{stdout}");
+    let (disasm, _) = run_example("quickstart", &["--disasm"]);
+    assert!(disasm.contains("byte-code"), "{disasm}");
+}
+
+#[test]
+fn rpc() {
+    let (stdout, _) = run_example("rpc", &[]);
+    assert!(stdout.contains("12 squared remotely is 144"), "{stdout}");
+    assert!(stdout.contains("client shipped 1 message"), "{stdout}");
+}
+
+#[test]
+fn applet_server_both_modes() {
+    let (stdout, _) = run_example("applet_server", &[]);
+    assert!(stdout.contains("applet1 computes 11"), "{stdout}");
+    assert!(stdout.contains("shipped applet1 got 7"), "{stdout}");
+}
+
+#[test]
+fn seti_two_workers() {
+    let (stdout, _) = run_example("seti", &["2"]);
+    assert!(stdout.contains("served 2 class download(s)"), "{stdout}");
+}
+
+#[test]
+fn ring_small() {
+    let (stdout, _) = run_example("ring", &["3", "30"]);
+    assert!(stdout.contains("token died here after 30 hops"), "{stdout}");
+    assert!(stdout.contains("hops shipped over the fabric: 30"), "{stdout}");
+}
+
+#[test]
+fn cluster_sim_orders_links() {
+    let (stdout, _) = run_example("cluster_sim", &[]);
+    // The table rows must appear, and Myrinet must beat Ethernet.
+    let time_of = |needle: &str| -> u64 {
+        let line = stdout.lines().find(|l| l.starts_with(needle)).unwrap_or_else(|| {
+            panic!("missing row {needle} in\n{stdout}");
+        });
+        line.split_whitespace()
+            .nth(2)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("bad row: {line}"))
+    };
+    assert!(time_of("myrinet") < time_of("ethernet"));
+    assert!(time_of("ethernet") < time_of("wan"));
+}
+
+#[test]
+fn tycosh_piped() {
+    use std::io::Write as _;
+    let mut child = Command::new(env!("CARGO"))
+        .args(["run", "--quiet", "--example", "tycosh"])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .env("TYCOSH_BATCH", "1")
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(b"site m println(\"piped\")\nrun\noutput m\n")
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("piped"));
+}
+
+#[test]
+fn mapreduce_sums_squares() {
+    let (stdout, _) = run_example("mapreduce", &["3", "20"]);
+    // sum of squares 1..=20 = 2870
+    assert!(stdout.contains("total 2870"), "{stdout}");
+    assert!(stdout.contains("3 workers fetched"), "{stdout}");
+}
