@@ -35,7 +35,11 @@ fn run_width(link: LinkProfile, width: u64, policy: QueuePolicy) -> u64 {
     built.cluster.set_queue_policy(policy);
     let report = built.run_deterministic(RunLimits::default());
     assert!(report.errors.is_empty(), "{:?}", report.errors);
-    let chains = report.output("client").iter().filter(|l| l.starts_with("chain")).count();
+    let chains = report
+        .output("client")
+        .iter()
+        .filter(|l| l.starts_with("chain"))
+        .count();
     assert_eq!(chains as u64, width, "all chains completed");
     report.virtual_ns
 }

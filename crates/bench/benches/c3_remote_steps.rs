@@ -9,13 +9,16 @@
 //! the raw send.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use ditico_bench::{run_two_node, sequential_client, ECHO_SERVER};
 use ditico::LinkProfile;
+use ditico_bench::{run_two_node, sequential_client, ECHO_SERVER};
 use tyco_calculus::Network;
 
 fn steps_table() {
     println!("\n=== C3: reduction steps per remote interaction (calculus) ===");
-    println!("{:<28} {:>6} {:>6} {:>6} {:>6} {:>6}", "interaction", "shipm", "shipo", "fetch", "comm", "inst");
+    println!(
+        "{:<28} {:>6} {:>6} {:>6} {:>6} {:>6}",
+        "interaction", "shipm", "shipo", "fetch", "comm", "inst"
+    );
     let cases: [(&str, &str, &str); 3] = [
         (
             "remote message",
@@ -47,7 +50,12 @@ fn steps_table() {
     println!("(each ship/fetch is paired with exactly one local comm/inst — two steps)");
 
     // The VM agrees: 32 RPCs = 64 ships (request+reply) and 64 comms.
-    let report = run_two_node(LinkProfile::myrinet(), ECHO_SERVER, &sequential_client(32), 10_000_000);
+    let report = run_two_node(
+        LinkProfile::myrinet(),
+        ECHO_SERVER,
+        &sequential_client(32),
+        10_000_000,
+    );
     let ships: u64 = report.stats.values().map(|s| s.msgs_sent).sum();
     let comms: u64 = report.stats.values().map(|s| s.comm).sum();
     println!("\nVM check over 32 RPCs: ships={ships} local-rendez-vous={comms} (expected 64/64)");

@@ -8,8 +8,10 @@
 //! The fetch cache is also ablated (cold fetch per instantiation).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use ditico_bench::{assert_done, fetch_client, run_two_node, ship_client, FETCH_SERVER, SHIP_SERVER};
 use ditico::LinkProfile;
+use ditico_bench::{
+    assert_done, fetch_client, run_two_node, ship_client, FETCH_SERVER, SHIP_SERVER,
+};
 
 fn table() {
     println!("\n=== C5: fetch vs ship — virtual time (µs) and fabric bytes vs requests R ===");
@@ -75,8 +77,12 @@ fn bench_fetch_vs_ship(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("ship", r), &r, |b, &r| {
             b.iter(|| {
-                let rep =
-                    run_two_node(LinkProfile::ideal(), SHIP_SERVER, &ship_client(r), 100_000_000);
+                let rep = run_two_node(
+                    LinkProfile::ideal(),
+                    SHIP_SERVER,
+                    &ship_client(r),
+                    100_000_000,
+                );
                 assert_done(&rep);
             });
         });

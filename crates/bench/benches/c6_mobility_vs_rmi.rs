@@ -11,14 +11,17 @@
 //! the round-trip-per-call factor.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ditico::LinkProfile;
 use ditico_bench::{
     assert_done, mobility_client, rmi_client, run_two_node, MOBILITY_SERVER, RMI_SERVER,
 };
-use ditico::LinkProfile;
 
 fn table() {
     println!("\n=== C6: mobility vs RMI — virtual time (µs), 4 objects x C calls each ===");
-    println!("{:>6} {:>12} {:>12} {:>10}", "C", "rmi µs", "mobility µs", "winner");
+    println!(
+        "{:>6} {:>12} {:>12} {:>10}",
+        "C", "rmi µs", "mobility µs", "winner"
+    );
     let objects = 4;
     let mut mobility_won_late = false;
     for calls in [1u64, 2, 4, 8, 16, 32] {
@@ -36,7 +39,11 @@ fn table() {
             200_000_000,
         );
         assert_done(&mobility);
-        let winner = if rmi.virtual_ns < mobility.virtual_ns { "rmi" } else { "mobility" };
+        let winner = if rmi.virtual_ns < mobility.virtual_ns {
+            "rmi"
+        } else {
+            "mobility"
+        };
         println!(
             "{:>6} {:>12} {:>12} {:>10}",
             calls,
@@ -48,7 +55,10 @@ fn table() {
             mobility_won_late = true;
         }
     }
-    assert!(mobility_won_late, "mobility must win once calls-per-object grow");
+    assert!(
+        mobility_won_late,
+        "mobility must win once calls-per-object grow"
+    );
     println!("(the paper's case for mobility: move the code once, make the calls local)");
 }
 

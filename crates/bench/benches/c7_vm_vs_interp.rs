@@ -51,7 +51,10 @@ fn programs() -> Vec<(&'static str, String, u64)> {
 
 fn size_table() {
     println!("\n=== C7: code-size (compactness) per program ===");
-    println!("{:<16} {:>12} {:>10} {:>10}", "program", "ast nodes", "blocks", "instrs");
+    println!(
+        "{:<16} {:>12} {:>10} {:>10}",
+        "program", "ast nodes", "blocks", "instrs"
+    );
     for (name, src, _) in programs() {
         let ast = parse_core(&src).unwrap();
         let prog = compile(&ast).unwrap();

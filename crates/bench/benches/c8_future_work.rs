@@ -27,14 +27,28 @@ fn failover_table() {
         )
         .unwrap();
         // Let the export replicate everywhere.
-        c.run_deterministic(RunLimits { max_instrs: 1_000_000, fuel_per_slice: 256 });
+        c.run_deterministic(RunLimits {
+            max_instrs: 1_000_000,
+            fuel_per_slice: 256,
+        });
         let before = c.virtual_ns();
         // Kill the primary, then submit a client that needs the NS.
         c.kill_node(nodes[0]);
-        c.add_site_src(worker, "client", "import p from server in new a (p!v[1, a] | a?(x) = print(x))")
-            .unwrap();
-        let report = c.run_deterministic(RunLimits { max_instrs: 10_000_000, fuel_per_slice: 256 });
-        assert_eq!(report.output("client"), ["1".to_string()], "import survived failover");
+        c.add_site_src(
+            worker,
+            "client",
+            "import p from server in new a (p!v[1, a] | a?(x) = print(x))",
+        )
+        .unwrap();
+        let report = c.run_deterministic(RunLimits {
+            max_instrs: 10_000_000,
+            fuel_per_slice: 256,
+        });
+        assert_eq!(
+            report.output("client"),
+            ["1".to_string()],
+            "import survived failover"
+        );
         println!(
             "{} replicas: recovery completed {} µs of virtual time after the kill; \
              register broadcast cost: {} packets total",
@@ -51,8 +65,12 @@ fn detection_overhead() {
     let mut c = Cluster::new(FabricMode::Ideal, LinkProfile::ideal(), 1);
     let n0 = c.add_node();
     let n1 = c.add_node();
-    c.add_site_src(n0, "server", "def S(p) = p?{ v(x, r) = r![x + 1] | S[p] } in export new p in S[p]")
-        .unwrap();
+    c.add_site_src(
+        n0,
+        "server",
+        "def S(p) = p?{ v(x, r) = r![x + 1] | S[p] } in export new p in S[p]",
+    )
+    .unwrap();
     c.add_site_src(
         n1,
         "client",
@@ -102,7 +120,8 @@ fn bench_future_work(c: &mut Criterion) {
                     src.push_str(&format!("export new e{i} in "));
                 }
                 src.push_str("println(\"x\")");
-                c.add_site_src(*nodes.last().unwrap(), "exporter", &src).unwrap();
+                c.add_site_src(*nodes.last().unwrap(), "exporter", &src)
+                    .unwrap();
                 let report = c.run_deterministic(RunLimits::default());
                 assert!(report.errors.is_empty());
             });

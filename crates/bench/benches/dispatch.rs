@@ -1,0 +1,106 @@
+//! Hot-path micro-benchmarks backing `BENCH_dispatch.json`.
+//!
+//! Three Criterion groups cover the layers the zero-allocation work
+//! targets: raw VM dispatch (instructions retired running the cell-churn
+//! program), packet codec encode/decode (the per-message serialization
+//! cost on the fabric path), and batched fabric sends (one lock + one
+//! wakeup amortized over a whole backlog). The end-to-end numbers live in
+//! the `dispatch` binary (`cargo run --release -p ditico-bench --bin
+//! dispatch`); these isolate each stage so a regression is attributable.
+
+use bytes::{Bytes, BytesMut};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ditico_bench::cell_churn;
+use ditico_rt::{Fabric, FabricMode, LinkProfile};
+use tyco_vm::codec::{self, Packet};
+use tyco_vm::wire::WireWord;
+use tyco_vm::word::{NetRef, NodeId, SiteId};
+use tyco_vm::{compile, LoopbackPort, Machine};
+
+/// Cell transactions per VM-dispatch iteration (small: Criterion repeats).
+const CHURN_ITERS: u64 = 2_000;
+
+fn bench_vm_dispatch(c: &mut Criterion) {
+    let prog = compile(&tyco_syntax::parse_core(&cell_churn(CHURN_ITERS)).expect("parses"))
+        .expect("compiles");
+    // Count instructions once so throughput is reported per-instruction.
+    let mut probe = Machine::new(prog.clone(), LoopbackPort::new("probe"));
+    probe.run_to_quiescence(u64::MAX).expect("runs");
+    let instrs = probe.stats.instrs;
+
+    let mut group = c.benchmark_group("dispatch_vm");
+    group.throughput(Throughput::Elements(instrs));
+    group.bench_function("cell_churn", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(prog.clone(), LoopbackPort::new("main"));
+            m.run_to_quiescence(u64::MAX).expect("runs");
+            m.stats.instrs
+        });
+    });
+    group.finish();
+}
+
+fn sample_msg() -> Packet {
+    Packet::Msg {
+        dest: NetRef {
+            heap_id: 7,
+            site: SiteId(3),
+            node: NodeId(1),
+        },
+        label: "ping".into(),
+        args: vec![WireWord::Int(42), WireWord::Str("payload".into())],
+    }
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let pkt = sample_msg();
+    let encoded = codec::encode(&pkt);
+
+    let mut group = c.benchmark_group("dispatch_codec");
+    group.throughput(Throughput::Bytes(encoded.len() as u64));
+    // Reused buffer: the daemon's batch-encode path (`encode_into` into a
+    // shared `BytesMut`), versus allocating per packet.
+    group.bench_function("encode_into_reused", |b| {
+        let mut buf = BytesMut::with_capacity(256);
+        b.iter(|| {
+            buf.clear();
+            codec::encode_into(&pkt, &mut buf);
+            buf.len()
+        });
+    });
+    group.bench_function("encode_fresh", |b| {
+        b.iter(|| codec::encode(&pkt).len());
+    });
+    group.bench_function("decode", |b| {
+        b.iter(|| codec::decode(encoded.clone()).expect("decodes"));
+    });
+    group.finish();
+}
+
+fn bench_fabric_batch(c: &mut Criterion) {
+    let payload = codec::encode(&sample_msg());
+    let mut group = c.benchmark_group("dispatch_fabric");
+    for &batch in &[1usize, 64, 1024] {
+        group.throughput(Throughput::Elements(batch as u64));
+        group.bench_with_input(
+            BenchmarkId::new("send_batch", batch),
+            &batch,
+            |b, &batch| {
+                let fabric = Fabric::new(FabricMode::Ideal, LinkProfile::ideal());
+                let rx = fabric.register_node(NodeId(1));
+                let h = fabric.handle();
+                let mut scratch: Vec<Bytes> = Vec::with_capacity(batch);
+                b.iter(|| {
+                    scratch.extend(std::iter::repeat_n(payload.clone(), batch));
+                    h.send_batch(NodeId(0), NodeId(1), &mut scratch);
+                    let got = rx.try_iter().count();
+                    assert_eq!(got, batch);
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_vm_dispatch, bench_codec, bench_fabric_batch);
+criterion_main!(benches);

@@ -13,7 +13,10 @@ use tyco_vm::word::NodeId;
 
 fn virtual_time_table() {
     println!("\n=== F1: modelled one-way transfer time (µs) per link profile ===");
-    println!("{:>10} {:>12} {:>12} {:>12}", "size (B)", "myrinet", "ethernet", "wan");
+    println!(
+        "{:>10} {:>12} {:>12} {:>12}",
+        "size (B)", "myrinet", "ethernet", "wan"
+    );
     for size in [16usize, 256, 4096, 65536, 1 << 20] {
         let m = LinkProfile::myrinet().transfer_ns(size) as f64 / 1e3;
         let e = LinkProfile::fast_ethernet().transfer_ns(size) as f64 / 1e3;
@@ -32,16 +35,20 @@ fn bench_fabric(c: &mut Criterion) {
     let mut group = c.benchmark_group("f1_fabric_send");
     for &size in &[16usize, 1024, 65536] {
         group.throughput(Throughput::Bytes(size as u64));
-        group.bench_with_input(BenchmarkId::new("ideal_send_recv", size), &size, |b, &size| {
-            let fabric = Fabric::new(FabricMode::Ideal, LinkProfile::ideal());
-            let rx = fabric.register_node(NodeId(1));
-            let h = fabric.handle();
-            let payload = Bytes::from(vec![0u8; size]);
-            b.iter(|| {
-                h.send(NodeId(0), NodeId(1), payload.clone());
-                rx.try_recv().expect("delivered")
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("ideal_send_recv", size),
+            &size,
+            |b, &size| {
+                let fabric = Fabric::new(FabricMode::Ideal, LinkProfile::ideal());
+                let rx = fabric.register_node(NodeId(1));
+                let h = fabric.handle();
+                let payload = Bytes::from(vec![0u8; size]);
+                b.iter(|| {
+                    h.send(NodeId(0), NodeId(1), payload.clone());
+                    rx.try_recv().expect("delivered")
+                });
+            },
+        );
         group.bench_with_input(
             BenchmarkId::new("virtual_send_advance", size),
             &size,
@@ -64,9 +71,10 @@ fn bench_fabric(c: &mut Criterion) {
     // All-to-all ping over the 4-node figure-1 topology in virtual time.
     let mut group = c.benchmark_group("f1_four_node_all_to_all");
     group.sample_size(20);
-    for (name, link) in
-        [("myrinet", LinkProfile::myrinet()), ("ethernet", LinkProfile::fast_ethernet())]
-    {
+    for (name, link) in [
+        ("myrinet", LinkProfile::myrinet()),
+        ("ethernet", LinkProfile::fast_ethernet()),
+    ] {
         group.bench_function(name, |b| {
             b.iter(|| {
                 let fabric = Fabric::new(FabricMode::Virtual, link);

@@ -43,7 +43,14 @@ impl tyco_vm::NetPort for BlackholePort {
     fn fetch(&mut self, class: NetRef) -> tyco_vm::FetchReplyNow {
         tyco_vm::FetchReplyNow::Failed(format!("blackhole cannot fetch {class}"))
     }
-    fn fetch_reply(&mut self, _to: tyco_vm::Identity, _req: u64, _group: tyco_vm::WireGroup, _index: u8) {}
+    fn fetch_reply(
+        &mut self,
+        _to: tyco_vm::Identity,
+        _req: u64,
+        _group: tyco_vm::WireGroup,
+        _index: u8,
+    ) {
+    }
     fn poll(&mut self) -> Option<tyco_vm::Incoming> {
         None
     }
@@ -84,7 +91,10 @@ fn bench_reductions(c: &mut Criterion) {
     // Context switch: many tiny forked threads.
     group.throughput(Throughput::Elements(512));
     group.bench_function("fork_and_switch_x512", |b| {
-        let body = (0..512).map(|i| format!("print({i})")).collect::<Vec<_>>().join(" | ");
+        let body = (0..512)
+            .map(|i| format!("print({i})"))
+            .collect::<Vec<_>>()
+            .join(" | ");
         let prog = compile(&tyco_syntax::parse_core(&body).unwrap()).unwrap();
         b.iter(|| {
             let mut m = Machine::new(prog.clone(), LoopbackPort::new("main"));
@@ -141,12 +151,20 @@ fn bench_dispatch_and_translation(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("f3_codec");
     let msg = Packet::Msg {
-        dest: NetRef { heap_id: 3, site: SiteId(1), node: NodeId(1) },
+        dest: NetRef {
+            heap_id: 3,
+            site: SiteId(1),
+            node: NodeId(1),
+        },
         label: "val".to_string(),
         args: vec![
             WireWord::Int(1),
             WireWord::Str("payload".to_string()),
-            WireWord::Chan(NetRef { heap_id: 9, site: SiteId(0), node: NodeId(0) }),
+            WireWord::Chan(NetRef {
+                heap_id: 9,
+                site: SiteId(0),
+                node: NodeId(0),
+            }),
         ],
     };
     let bytes = encode(&msg);
@@ -164,13 +182,23 @@ fn bench_dispatch_and_translation(c: &mut Criterion) {
     .unwrap();
     let packed = tyco_vm::pack(&prog, &[0]);
     let obj = Packet::Obj {
-        dest: NetRef { heap_id: 0, site: SiteId(1), node: NodeId(1) },
-        obj: tyco_vm::WireObj { code: packed.code.clone(), table: 0, captured: vec![] },
+        dest: NetRef {
+            heap_id: 0,
+            site: SiteId(1),
+            node: NodeId(1),
+        },
+        obj: tyco_vm::WireObj {
+            code: packed.code.clone(),
+            table: 0,
+            captured: vec![],
+        },
     };
     let obj_bytes = encode(&obj);
     group.throughput(Throughput::Bytes(obj_bytes.len() as u64));
     group.bench_function("encode_obj_with_code", |b| b.iter(|| encode(&obj)));
-    group.bench_function("decode_obj_with_code", |b| b.iter(|| decode(obj_bytes.clone()).unwrap()));
+    group.bench_function("decode_obj_with_code", |b| {
+        b.iter(|| decode(obj_bytes.clone()).unwrap())
+    });
     group.bench_function("link_obj_code", |b| {
         b.iter(|| {
             let mut dest = tyco_vm::Program::default();
@@ -200,5 +228,10 @@ fn bench_gc(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_reductions, bench_dispatch_and_translation, bench_gc);
+criterion_group!(
+    benches,
+    bench_reductions,
+    bench_dispatch_and_translation,
+    bench_gc
+);
 criterion_main!(benches);

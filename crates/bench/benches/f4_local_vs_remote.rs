@@ -16,7 +16,8 @@ fn run_placement(same_node: bool, rpcs: u64, mode: FabricMode) -> ditico::RunRep
     let n0 = c.add_node();
     let n1 = if same_node { n0 } else { c.add_node() };
     c.add_site_src(n0, "server", ECHO_SERVER).unwrap();
-    c.add_site_src(n1, "client", &sequential_client(rpcs)).unwrap();
+    c.add_site_src(n1, "client", &sequential_client(rpcs))
+        .unwrap();
     c.run_deterministic(RunLimits::default())
 }
 
@@ -32,7 +33,11 @@ fn bench_local_vs_remote(c: &mut Criterion) {
             "same node:  virtual {} µs, fabric packets {}, local deliveries {}",
             local.virtual_ns / 1_000,
             local.fabric_packets,
-            local.daemon_stats.iter().map(|d| d.local_deliveries).sum::<u64>()
+            local
+                .daemon_stats
+                .iter()
+                .map(|d| d.local_deliveries)
+                .sum::<u64>()
         );
         println!(
             "two nodes:  virtual {} µs, fabric packets {}, fabric bytes {}",

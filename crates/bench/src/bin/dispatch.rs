@@ -1,0 +1,228 @@
+//! Hot-path throughput harness: single-site VM dispatch (instrs/sec) and
+//! cross-site fabric messaging (messages/sec), recorded to
+//! `BENCH_dispatch.json`.
+//!
+//! ```sh
+//! cargo run --release -p ditico-bench --bin dispatch -- --record current
+//! ```
+//!
+//! `--record baseline` stores the measurements under the `baseline` key,
+//! `--record current` (the default) under `current`; whichever section the
+//! file already holds is preserved, and when both are present the speedup
+//! ratios are recomputed. The workloads are fixed-size and deterministic so
+//! baseline and current runs measure the same work.
+
+use std::time::{Duration, Instant};
+
+use ditico::{Cluster, FabricMode, LinkProfile};
+use ditico_bench::cell_churn;
+use tyco_vm::{compile, LoopbackPort, Machine};
+
+/// Cell transactions for the single-site dispatch workload.
+const CHURN_ITERS: u64 = 500_000;
+/// Same shape, but shuttling string payloads (exercises `PushStr`).
+const STR_ITERS: u64 = 350_000;
+/// Repetitions per single-site workload; best run is recorded.
+const REPS: usize = 3;
+/// Messages streamed to the hub per cross-site client.
+const MSGS_PER_CLIENT: u64 = 96_000;
+/// Flow-control window: after every `BURST` pings the client waits for a
+/// sync ack, bounding in-flight traffic without idling the wires.
+const BURST: u64 = 1_000;
+/// Client sites per worker node.
+const CLIENTS_PER_NODE: usize = 2;
+/// Worker nodes (plus one hub node).
+const WORKER_NODES: usize = 3;
+/// Hard cap on the threaded run.
+const WALL_LIMIT: Duration = Duration::from_secs(60);
+
+fn str_churn(iters: u64) -> String {
+    format!(
+        r#"
+        def Cell(self, v) =
+            self ? {{ read(r) = r![v] | Cell[self, v], write(u) = Cell[self, u] }}
+        and Driver(cell, n) =
+            if n > 0 then
+                (cell!write["the-quick-brown-fox"] |
+                 new z (cell!read[z] | z?(w) = Driver[cell, n - 1]))
+            else println("finished")
+        in new x (Cell[x, "seed"] | Driver[x, {iters}])
+        "#
+    )
+}
+
+/// Best-of-`REPS` wall-clock execution of a single-site program; returns
+/// (instructions, best elapsed).
+fn time_single_site(src: &str) -> (u64, Duration) {
+    let prog = compile(&tyco_syntax::parse_core(src).expect("parses")).expect("compiles");
+    let mut best = Duration::MAX;
+    let mut instrs = 0;
+    for _ in 0..REPS {
+        let mut m = Machine::new(prog.clone(), LoopbackPort::new("main"));
+        let start = Instant::now();
+        m.run_to_quiescence(u64::MAX).expect("runs");
+        let elapsed = start.elapsed();
+        instrs = m.stats.instrs;
+        if elapsed < best {
+            best = elapsed;
+        }
+    }
+    (instrs, best)
+}
+
+fn measure_instrs_per_sec() -> f64 {
+    let (i1, t1) = time_single_site(&cell_churn(CHURN_ITERS));
+    let (i2, t2) = time_single_site(&str_churn(STR_ITERS));
+    let total = (i1 + i2) as f64;
+    let secs = t1.as_secs_f64() + t2.as_secs_f64();
+    println!(
+        "single-site: {} instrs in {:.3}s (cell {:.3}s + str {:.3}s) -> {:.0} instrs/sec",
+        i1 + i2,
+        secs,
+        t1.as_secs_f64(),
+        t2.as_secs_f64(),
+        total / secs
+    );
+    total / secs
+}
+
+/// Threaded cluster: one hub node draining a message stream, `WORKER_NODES`
+/// nodes of `CLIENTS_PER_NODE` sites each pushing `MSGS_PER_CLIENT` pings
+/// in `BURST`-sized windows closed by a sync round-trip.
+fn measure_msgs_per_sec() -> f64 {
+    let mut c = Cluster::new(FabricMode::Ideal, LinkProfile::ideal(), 1);
+    let hub_node = c.add_node();
+    c.add_site_src(
+        hub_node,
+        "hub",
+        "def Hub(self) = self?{ ping(x) = Hub[self], sync(r) = (r![0] | Hub[self]) } \
+         in export new hub in Hub[hub]",
+    )
+    .expect("hub compiles");
+    let bursts = MSGS_PER_CLIENT / BURST;
+    for n in 0..WORKER_NODES {
+        let node = c.add_node();
+        for s in 0..CLIENTS_PER_NODE {
+            c.add_site_src(
+                node,
+                &format!("w{n}{s}"),
+                &format!(
+                    r#"
+                    import hub from hub in
+                    def Outer(m) =
+                        if m > 0 then new a (Burst[{BURST}, a] | a?(v) = Outer[m - 1])
+                        else println("done")
+                    and Burst(k, a) =
+                        if k > 0 then (hub!ping[k] | Burst[k - 1, a])
+                        else hub!sync[a]
+                    in Outer[{bursts}]
+                    "#
+                ),
+            )
+            .expect("client compiles");
+        }
+    }
+    let start = Instant::now();
+    let report = c.run_threaded(WALL_LIMIT);
+    let elapsed = start.elapsed();
+    assert!(report.errors.is_empty(), "{:?}", report.errors);
+    let clients = (WORKER_NODES * CLIENTS_PER_NODE) as u64;
+    let expected = clients * (MSGS_PER_CLIENT + 2 * (MSGS_PER_CLIENT / BURST));
+    assert!(
+        report.fabric_packets >= expected,
+        "run ended early: {} of {expected} packets carried",
+        report.fabric_packets
+    );
+    let done = report
+        .outputs
+        .iter()
+        .filter(|(site, lines)| site.starts_with('w') && lines.iter().any(|l| l == "done"))
+        .count();
+    println!(
+        "cross-site: {} fabric packets in {:.3}s ({} of {} clients finished) -> {:.0} msgs/sec",
+        report.fabric_packets,
+        elapsed.as_secs_f64(),
+        done,
+        WORKER_NODES * CLIENTS_PER_NODE,
+        report.fabric_packets as f64 / elapsed.as_secs_f64()
+    );
+    report.fabric_packets as f64 / elapsed.as_secs_f64()
+}
+
+/// Extract `"key": <number>` from the given JSON section, if present.
+fn extract(json: &str, section: &str, key: &str) -> Option<f64> {
+    let sec = json.find(&format!("\"{section}\""))?;
+    let body = &json[sec..];
+    let open = body.find('{')?;
+    let close = body[open..].find('}')? + open;
+    let body = &body[open..close];
+    let k = body.find(&format!("\"{key}\""))?;
+    let rest = &body[k..];
+    let colon = rest.find(':')?;
+    let num: String = rest[colon + 1..]
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e' || *c == '+')
+        .collect();
+    num.parse().ok()
+}
+
+fn section(label: &str, vals: Option<(f64, f64)>) -> String {
+    match vals {
+        Some((ips, mps)) => format!(
+            "  \"{label}\": {{\n    \"instrs_per_sec\": {ips:.0},\n    \"messages_per_sec\": {mps:.0}\n  }}"
+        ),
+        None => format!("  \"{label}\": null"),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let record = match args.iter().position(|a| a == "--record") {
+        Some(i) => args.get(i + 1).cloned().unwrap_or_else(|| "current".into()),
+        None => "current".into(),
+    };
+    assert!(
+        record == "baseline" || record == "current",
+        "--record must be 'baseline' or 'current'"
+    );
+    let path = "BENCH_dispatch.json";
+
+    let ips = measure_instrs_per_sec();
+    let mps = measure_msgs_per_sec();
+
+    // Preserve the other section from an existing file.
+    let existing = std::fs::read_to_string(path).unwrap_or_default();
+    let other = if record == "baseline" {
+        "current"
+    } else {
+        "baseline"
+    };
+    let other_vals = extract(&existing, other, "instrs_per_sec").zip(extract(
+        &existing,
+        other,
+        "messages_per_sec",
+    ));
+
+    let (base, cur) = if record == "baseline" {
+        (Some((ips, mps)), other_vals)
+    } else {
+        (other_vals, Some((ips, mps)))
+    };
+    let speedup = match (base, cur) {
+        (Some((bi, bm)), Some((ci, cm))) => format!(
+            "  \"speedup\": {{\n    \"instrs_per_sec\": {:.2},\n    \"messages_per_sec\": {:.2}\n  }}",
+            ci / bi,
+            cm / bm
+        ),
+        _ => "  \"speedup\": null".to_string(),
+    };
+    let json = format!(
+        "{{\n  \"bench\": \"dispatch\",\n  \"workload\": {{\n    \"single_site\": \"cell_churn({CHURN_ITERS}) + str_churn({STR_ITERS}), best of {REPS}\",\n    \"cross_site\": \"{WORKER_NODES} nodes x {CLIENTS_PER_NODE} sites streaming {MSGS_PER_CLIENT} msgs (sync every {BURST}) to one hub, ideal fabric, threaded\"\n  }},\n{},\n{},\n{}\n}}\n",
+        section("baseline", base),
+        section("current", cur),
+        speedup
+    );
+    std::fs::write(path, &json).expect("write BENCH_dispatch.json");
+    println!("recorded '{record}' in {path}");
+}

@@ -28,7 +28,10 @@ fn main() {
 
 fn f1_link_profiles() {
     println!("=== F1 (Fig. 1): modelled one-way transfer time (µs) per link profile ===");
-    println!("{:>10} {:>12} {:>12} {:>12}", "size (B)", "myrinet", "ethernet", "wan");
+    println!(
+        "{:>10} {:>12} {:>12} {:>12}",
+        "size (B)", "myrinet", "ethernet", "wan"
+    );
     for size in [16usize, 256, 4096, 65536, 1 << 20] {
         println!(
             "{size:>10} {:>12.1} {:>12.1} {:>12.1}",
@@ -70,8 +73,16 @@ fn f2_architecture() {
     assert!(report.errors.is_empty());
     println!(
         "local deliveries: {}; remote sends: {}; fabric bytes: {}; virtual time: {} µs",
-        report.daemon_stats.iter().map(|d| d.local_deliveries).sum::<u64>(),
-        report.daemon_stats.iter().map(|d| d.remote_sends).sum::<u64>(),
+        report
+            .daemon_stats
+            .iter()
+            .map(|d| d.local_deliveries)
+            .sum::<u64>(),
+        report
+            .daemon_stats
+            .iter()
+            .map(|d| d.remote_sends)
+            .sum::<u64>(),
         report.fabric_bytes,
         report.virtual_ns / 1_000
     );
@@ -84,7 +95,8 @@ fn f4_local_vs_remote() {
         let n0 = c.add_node();
         let n1 = if same { n0 } else { c.add_node() };
         c.add_site_src(n0, "server", ECHO_SERVER).unwrap();
-        c.add_site_src(n1, "client", &sequential_client(100)).unwrap();
+        c.add_site_src(n1, "client", &sequential_client(100))
+            .unwrap();
         let r = c.run_deterministic(RunLimits::default());
         println!(
             "{}: virtual {} µs, fabric packets {}, fabric bytes {}",
@@ -98,7 +110,10 @@ fn f4_local_vs_remote() {
 
 fn c1_granularity() {
     println!("\n=== C1: byte-code instructions per thread ===");
-    println!("{:<20} {:>9} {:>7} {:>6} {:>6} {:>6}", "program", "threads", "mean", "min", "p90≤", "max");
+    println!(
+        "{:<20} {:>9} {:>7} {:>6} {:>6} {:>6}",
+        "program", "threads", "mean", "min", "p90≤", "max"
+    );
     let programs: Vec<(&str, String)> = vec![
         ("cell_churn_200", cell_churn(200)),
         (
@@ -131,7 +146,10 @@ fn c1_granularity() {
 
 fn c2_latency_hiding() {
     println!("\n=== C2: virtual time (µs) of 96 RPCs vs client concurrency ===");
-    println!("{:>18} {:>9} {:>9} {:>9} {:>9} {:>9}", "link \\ width", 1, 2, 4, 8, 16);
+    println!(
+        "{:>18} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "link \\ width", 1, 2, 4, 8, 16
+    );
     for (name, link) in [
         ("myrinet (9µs)", LinkProfile::myrinet()),
         ("ethernet (70µs)", LinkProfile::fast_ethernet()),
@@ -163,33 +181,58 @@ fn c2_latency_hiding() {
 fn c3_remote_steps() {
     println!("\n=== C3: reduction steps per remote interaction (calculus counters) ===");
     let cases: [(&str, &str, &str); 3] = [
-        ("remote message", "export new p in p?{ go(n) = 0 }", "import p from server in p!go[1]"),
+        (
+            "remote message",
+            "export new p in p?{ go(n) = 0 }",
+            "import p from server in p!go[1]",
+        ),
         (
             "object migration",
             "def S(p) = p?{ go(q) = (q?(x) = 0) | S[p] } in export new p in S[p]",
             "import p from server in new q (p!go[q] | q![1])",
         ),
-        ("class fetch", "export def K(v) = 0 in 0", "import K from server in K[1]"),
+        (
+            "class fetch",
+            "export def K(v) = 0 in 0",
+            "import K from server in K[1]",
+        ),
     ];
-    println!("{:<20} {:>6} {:>6} {:>6} {:>6} {:>6}", "interaction", "shipm", "shipo", "fetch", "comm", "inst");
+    println!(
+        "{:<20} {:>6} {:>6} {:>6} {:>6} {:>6}",
+        "interaction", "shipm", "shipo", "fetch", "comm", "inst"
+    );
     for (name, server, client) in cases {
         let mut net = Network::new();
         net.add_site_src("server", server).unwrap();
         net.add_site_src("client", client).unwrap();
         let out = net.run(100_000).unwrap();
         let c = out.counters;
-        println!("{:<20} {:>6} {:>6} {:>6} {:>6} {:>6}", name, c.shipm, c.shipo, c.fetch, c.comm, c.inst);
+        println!(
+            "{:<20} {:>6} {:>6} {:>6} {:>6} {:>6}",
+            name, c.shipm, c.shipo, c.fetch, c.comm, c.inst
+        );
     }
 }
 
 fn c5_fetch_vs_ship() {
     println!("\n=== C5: fetch vs ship (ethernet) — virtual µs and fabric bytes vs R ===");
-    println!("{:>5} {:>10} {:>10} {:>12} {:>12}", "R", "fetch µs", "ship µs", "fetch bytes", "ship bytes");
+    println!(
+        "{:>5} {:>10} {:>10} {:>12} {:>12}",
+        "R", "fetch µs", "ship µs", "fetch bytes", "ship bytes"
+    );
     for r in [1u64, 2, 4, 8, 16, 32, 64] {
-        let fetch =
-            run_two_node(LinkProfile::fast_ethernet(), FETCH_SERVER, &fetch_client(r), 100_000_000);
-        let ship =
-            run_two_node(LinkProfile::fast_ethernet(), SHIP_SERVER, &ship_client(r), 100_000_000);
+        let fetch = run_two_node(
+            LinkProfile::fast_ethernet(),
+            FETCH_SERVER,
+            &fetch_client(r),
+            100_000_000,
+        );
+        let ship = run_two_node(
+            LinkProfile::fast_ethernet(),
+            SHIP_SERVER,
+            &ship_client(r),
+            100_000_000,
+        );
         assert_done(&fetch);
         assert_done(&ship);
         println!(
@@ -221,21 +264,38 @@ fn c6_mobility_vs_rmi() {
         );
         assert_done(&rmi);
         assert_done(&mobility);
-        println!("{:>6} {:>10} {:>12}", calls, rmi.virtual_ns / 1_000, mobility.virtual_ns / 1_000);
+        println!(
+            "{:>6} {:>10} {:>12}",
+            calls,
+            rmi.virtual_ns / 1_000,
+            mobility.virtual_ns / 1_000
+        );
     }
 }
 
 fn c7_code_size() {
     println!("\n=== C7: code size (compactness) ===");
-    println!("{:<16} {:>10} {:>8} {:>8}", "program", "ast", "blocks", "instrs");
+    println!(
+        "{:<16} {:>10} {:>8} {:>8}",
+        "program", "ast", "blocks", "instrs"
+    );
     let programs: Vec<(&str, String)> = vec![
         ("cell_churn", cell_churn(300)),
-        ("counter", "def L(n) = if n > 0 then L[n - 1] else println(\"x\") in L[2000]".to_string()),
+        (
+            "counter",
+            "def L(n) = if n > 0 then L[n - 1] else println(\"x\") in L[2000]".to_string(),
+        ),
     ];
     for (name, src) in &programs {
         let ast = tyco_syntax::parse_core(src).unwrap();
         let prog = compile(&ast).unwrap();
-        println!("{:<16} {:>10} {:>8} {:>8}", name, ast.size(), prog.blocks.len(), prog.instr_count());
+        println!(
+            "{:<16} {:>10} {:>8} {:>8}",
+            name,
+            ast.size(),
+            prog.blocks.len(),
+            prog.instr_count()
+        );
     }
 }
 
@@ -253,12 +313,22 @@ fn c8_failover() {
             "def S(p) = p?{ v(x, r) = r![x] | S[p] } in export new p in S[p]",
         )
         .unwrap();
-        c.run_deterministic(RunLimits { max_instrs: 1_000_000, fuel_per_slice: 256 });
+        c.run_deterministic(RunLimits {
+            max_instrs: 1_000_000,
+            fuel_per_slice: 256,
+        });
         let before = c.virtual_ns();
         c.kill_node(nodes[0]);
-        c.add_site_src(worker, "client", "import p from server in new a (p!v[1, a] | a?(x) = print(x))")
-            .unwrap();
-        let report = c.run_deterministic(RunLimits { max_instrs: 10_000_000, fuel_per_slice: 256 });
+        c.add_site_src(
+            worker,
+            "client",
+            "import p from server in new a (p!v[1, a] | a?(x) = print(x))",
+        )
+        .unwrap();
+        let report = c.run_deterministic(RunLimits {
+            max_instrs: 10_000_000,
+            fuel_per_slice: 256,
+        });
         assert_eq!(report.output("client"), ["1".to_string()]);
         println!(
             "{replicas} replicas: recovery {} µs after kill; total register packets {}",

@@ -52,12 +52,7 @@ pub fn pipelined_client(n: u64, width: u64) -> String {
 }
 
 /// Run a two-node client/server topology in virtual time.
-pub fn run_two_node(
-    link: LinkProfile,
-    server: &str,
-    client: &str,
-    max_instrs: u64,
-) -> RunReport {
+pub fn run_two_node(link: LinkProfile, server: &str, client: &str, max_instrs: u64) -> RunReport {
     let mut built = Env::new(Topology {
         nodes: 2,
         mode: FabricMode::Virtual,
@@ -70,7 +65,10 @@ pub fn run_two_node(
     .expect("client compiles")
     .build()
     .expect("links check");
-    built.run_deterministic(RunLimits { max_instrs, fuel_per_slice: 2048 })
+    built.run_deterministic(RunLimits {
+        max_instrs,
+        fuel_per_slice: 2048,
+    })
 }
 
 /// A compute-heavy single-site program: `iters` local cell transactions.
@@ -190,17 +188,47 @@ mod tests {
 
     #[test]
     fn workloads_run() {
-        let r = run_two_node(LinkProfile::myrinet(), ECHO_SERVER, &sequential_client(5), 10_000_000);
+        let r = run_two_node(
+            LinkProfile::myrinet(),
+            ECHO_SERVER,
+            &sequential_client(5),
+            10_000_000,
+        );
         assert_done(&r);
-        let r = run_two_node(LinkProfile::myrinet(), ECHO_SERVER, &pipelined_client(8, 4), 10_000_000);
+        let r = run_two_node(
+            LinkProfile::myrinet(),
+            ECHO_SERVER,
+            &pipelined_client(8, 4),
+            10_000_000,
+        );
         assert!(r.errors.is_empty());
-        let r = run_two_node(LinkProfile::myrinet(), FETCH_SERVER, &fetch_client(4), 10_000_000);
+        let r = run_two_node(
+            LinkProfile::myrinet(),
+            FETCH_SERVER,
+            &fetch_client(4),
+            10_000_000,
+        );
         assert_done(&r);
-        let r = run_two_node(LinkProfile::myrinet(), SHIP_SERVER, &ship_client(4), 10_000_000);
+        let r = run_two_node(
+            LinkProfile::myrinet(),
+            SHIP_SERVER,
+            &ship_client(4),
+            10_000_000,
+        );
         assert_done(&r);
-        let r = run_two_node(LinkProfile::myrinet(), RMI_SERVER, &rmi_client(2, 3), 10_000_000);
+        let r = run_two_node(
+            LinkProfile::myrinet(),
+            RMI_SERVER,
+            &rmi_client(2, 3),
+            10_000_000,
+        );
         assert_done(&r);
-        let r = run_two_node(LinkProfile::myrinet(), MOBILITY_SERVER, &mobility_client(2, 3), 10_000_000);
+        let r = run_two_node(
+            LinkProfile::myrinet(),
+            MOBILITY_SERVER,
+            &mobility_client(2, 3),
+            10_000_000,
+        );
         assert_done(&r);
     }
 }

@@ -16,12 +16,25 @@ pub enum EnvError {
     Program(String, ProgramError),
     /// Link-time protocol mismatch between an importer and an exporter
     /// (the dynamic half of the hybrid check, §7).
-    Interface { importer: String, exporter: String, name: String, expected: String, actual: String },
+    Interface {
+        importer: String,
+        exporter: String,
+        name: String,
+        expected: String,
+        actual: String,
+    },
     /// An import refers to a site that is never defined.
-    UnknownSite { importer: String, site: String },
+    UnknownSite {
+        importer: String,
+        site: String,
+    },
     /// An import names an identifier its exporter never exports (the
     /// import would block forever).
-    MissingExport { importer: String, exporter: String, name: String },
+    MissingExport {
+        importer: String,
+        exporter: String,
+        name: String,
+    },
     Reference(String),
 }
 
@@ -29,7 +42,13 @@ impl fmt::Display for EnvError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EnvError::Program(site, e) => write!(f, "in site `{site}`: {e}"),
-            EnvError::Interface { importer, exporter, name, expected, actual } => write!(
+            EnvError::Interface {
+                importer,
+                exporter,
+                name,
+                expected,
+                actual,
+            } => write!(
                 f,
                 "interface mismatch: `{importer}` imports `{name}` from `{exporter}` expecting \
                  `{expected}`, but it is exported as `{actual}`"
@@ -37,7 +56,11 @@ impl fmt::Display for EnvError {
             EnvError::UnknownSite { importer, site } => {
                 write!(f, "site `{importer}` imports from unknown site `{site}`")
             }
-            EnvError::MissingExport { importer, exporter, name } => write!(
+            EnvError::MissingExport {
+                importer,
+                exporter,
+                name,
+            } => write!(
                 f,
                 "site `{importer}` imports `{name}` from `{exporter}`, which never exports it \
                  (the import would block forever)"
@@ -101,7 +124,11 @@ pub struct Env {
 
 impl Env {
     pub fn new(topology: Topology) -> Env {
-        Env { topology, sites: Vec::new(), check_interfaces: true }
+        Env {
+            topology,
+            sites: Vec::new(),
+            check_interfaces: true,
+        }
     }
 
     /// A single-node environment with an ideal fabric.
@@ -111,17 +138,25 @@ impl Env {
 
     /// Declare a site from source (placed round-robin).
     pub fn site(mut self, lexeme: &str, source: &str) -> Result<Env, EnvError> {
-        let program = Program::compile(source)
-            .map_err(|e| EnvError::Program(lexeme.to_string(), e))?;
-        self.sites.push(SiteDecl { lexeme: lexeme.to_string(), program, pin: None });
+        let program =
+            Program::compile(source).map_err(|e| EnvError::Program(lexeme.to_string(), e))?;
+        self.sites.push(SiteDecl {
+            lexeme: lexeme.to_string(),
+            program,
+            pin: None,
+        });
         Ok(self)
     }
 
     /// Declare a site pinned to a specific node index.
     pub fn site_on(mut self, node: usize, lexeme: &str, source: &str) -> Result<Env, EnvError> {
-        let program = Program::compile(source)
-            .map_err(|e| EnvError::Program(lexeme.to_string(), e))?;
-        self.sites.push(SiteDecl { lexeme: lexeme.to_string(), program, pin: Some(node) });
+        let program =
+            Program::compile(source).map_err(|e| EnvError::Program(lexeme.to_string(), e))?;
+        self.sites.push(SiteDecl {
+            lexeme: lexeme.to_string(),
+            program,
+            pin: Some(node),
+        });
         Ok(self)
     }
 
@@ -148,9 +183,7 @@ impl Env {
                 // block forever. Catch it at link time.
                 let exported = match kind {
                     ImportKind::Name => exporter.program.types.exported_names.contains_key(name),
-                    ImportKind::Class => {
-                        exporter.program.types.exported_classes.contains_key(name)
-                    }
+                    ImportKind::Class => exporter.program.types.exported_classes.contains_key(name),
                 };
                 if !exported {
                     return Err(EnvError::MissingExport {
@@ -160,8 +193,11 @@ impl Env {
                     });
                 }
                 if *kind == ImportKind::Name {
-                    let expected =
-                        s.program.types.import_expectations.get(&(site.clone(), name.clone()));
+                    let expected = s
+                        .program
+                        .types
+                        .import_expectations
+                        .get(&(site.clone(), name.clone()));
                     let actual = exporter.program.types.exported_names.get(name);
                     if let (Some(exp), Some(act)) = (expected, actual) {
                         if !tyco_types::compatible(exp, act) {
@@ -183,16 +219,24 @@ impl Env {
     /// Materialize the cluster (nodes, daemons, sites).
     pub fn build(self) -> Result<BuiltEnv, EnvError> {
         self.check_links()?;
-        let mut cluster =
-            Cluster::new(self.topology.mode, self.topology.link, self.topology.ns_replicas);
-        let nodes: Vec<NodeId> = (0..self.topology.nodes.max(1)).map(|_| cluster.add_node()).collect();
+        let mut cluster = Cluster::new(
+            self.topology.mode,
+            self.topology.link,
+            self.topology.ns_replicas,
+        );
+        let nodes: Vec<NodeId> = (0..self.topology.nodes.max(1))
+            .map(|_| cluster.add_node())
+            .collect();
         let mut placements = Vec::new();
         for (i, s) in self.sites.into_iter().enumerate() {
             let node = nodes[s.pin.unwrap_or(i % nodes.len())];
             cluster.add_site(node, &s.lexeme, s.program.code.clone());
             placements.push((s.lexeme.clone(), node, s.program));
         }
-        Ok(BuiltEnv { cluster, placements })
+        Ok(BuiltEnv {
+            cluster,
+            placements,
+        })
     }
 
     /// Build and run deterministically with default limits.
@@ -216,7 +260,8 @@ impl Env {
         for s in &self.sites {
             net.add_site(&s.lexeme, s.program.ast.clone());
         }
-        net.run(max_steps).map_err(|e: RtError| EnvError::Reference(e.to_string()))
+        net.run(max_steps)
+            .map_err(|e: RtError| EnvError::Reference(e.to_string()))
     }
 
     /// The declared site lexemes, in order.
@@ -279,25 +324,34 @@ mod tests {
     #[test]
     fn interface_check_rejects_protocol_mismatch() {
         // Importer sends `go(int)`, exporter offers only `halt()`.
-        let err = Env::new(Topology { nodes: 2, ..Topology::default() })
-            .site("server", "export new p in p?{ halt() = 0 }")
-            .unwrap()
-            .site("client", "import p from server in p!go[1]")
-            .unwrap()
-            .run()
-            .unwrap_err();
+        let err = Env::new(Topology {
+            nodes: 2,
+            ..Topology::default()
+        })
+        .site("server", "export new p in p?{ halt() = 0 }")
+        .unwrap()
+        .site("client", "import p from server in p!go[1]")
+        .unwrap()
+        .run()
+        .unwrap_err();
         assert!(matches!(err, EnvError::Interface { .. }), "{err}");
     }
 
     #[test]
     fn interface_check_accepts_compatible() {
-        let report = Env::new(Topology { nodes: 2, ..Topology::default() })
-            .site("server", "export new p in p?{ go(n) = print(n), halt() = 0 }")
-            .unwrap()
-            .site("client", "import p from server in p!go[1]")
-            .unwrap()
-            .run()
-            .unwrap();
+        let report = Env::new(Topology {
+            nodes: 2,
+            ..Topology::default()
+        })
+        .site(
+            "server",
+            "export new p in p?{ go(n) = print(n), halt() = 0 }",
+        )
+        .unwrap()
+        .site("client", "import p from server in p!go[1]")
+        .unwrap()
+        .run()
+        .unwrap();
         assert_eq!(report.output("server"), ["1".to_string()]);
     }
 
@@ -313,7 +367,10 @@ mod tests {
 
     #[test]
     fn dynamic_check_still_fires_when_static_disabled() {
-        let mut env = Env::new(Topology { nodes: 2, ..Topology::default() });
+        let mut env = Env::new(Topology {
+            nodes: 2,
+            ..Topology::default()
+        });
         env.check_interfaces = false;
         let report = env
             .site("server", "export new p in p?{ halt() = 0 }")
@@ -324,7 +381,10 @@ mod tests {
             .unwrap();
         // The protocol error shows up at reduction time on the server.
         assert!(
-            report.errors.iter().any(|(s, e)| s == "server" && e.to_string().contains("go")),
+            report
+                .errors
+                .iter()
+                .any(|(s, e)| s == "server" && e.to_string().contains("go")),
             "{:?}",
             report.errors
         );
@@ -333,16 +393,16 @@ mod tests {
     #[test]
     fn reference_semantics_agrees_on_cell() {
         let env = Env::local()
-            .site(
-                "main",
-                "new x (x!go[2] | x?{ go(n) = print(n * 10) })",
-            )
+            .site("main", "new x (x!go[2] | x?{ go(n) = print(n * 10) })")
             .unwrap();
         let reference = env.run_reference(100_000).unwrap();
         let vm = env.run().unwrap();
         assert_eq!(reference.line_multiset(), {
-            let mut v: Vec<String> =
-                vm.outputs.values().flat_map(|l| l.iter().cloned()).collect();
+            let mut v: Vec<String> = vm
+                .outputs
+                .values()
+                .flat_map(|l| l.iter().cloned())
+                .collect();
             v.sort();
             v
         });

@@ -43,18 +43,30 @@ pub struct Program {
 impl Program {
     /// Parse, desugar, type-check and compile.
     pub fn compile(source: &str) -> Result<Program, ProgramError> {
-        let ast = tyco_syntax::parse_core(source).map_err(|e| ProgramError::Parse(e.to_string()))?;
+        let ast =
+            tyco_syntax::parse_core(source).map_err(|e| ProgramError::Parse(e.to_string()))?;
         let types = tyco_types::check(&ast).map_err(|e| ProgramError::Type(e.to_string()))?;
         let code = tyco_vm::compile(&ast).map_err(|e| ProgramError::Compile(e.to_string()))?;
-        Ok(Program { source: source.to_string(), ast, types, code })
+        Ok(Program {
+            source: source.to_string(),
+            ast,
+            types,
+            code,
+        })
     }
 
     /// Compile without the static type check (used to demonstrate the
     /// dynamic checks catching what the static checker would have).
     pub fn compile_unchecked(source: &str) -> Result<Program, ProgramError> {
-        let ast = tyco_syntax::parse_core(source).map_err(|e| ProgramError::Parse(e.to_string()))?;
+        let ast =
+            tyco_syntax::parse_core(source).map_err(|e| ProgramError::Parse(e.to_string()))?;
         let code = tyco_vm::compile(&ast).map_err(|e| ProgramError::Compile(e.to_string()))?;
-        Ok(Program { source: source.to_string(), ast, types: TypeSummary::default(), code })
+        Ok(Program {
+            source: source.to_string(),
+            ast,
+            types: TypeSummary::default(),
+            code,
+        })
     }
 
     /// The canonical (desugared) form of the program.
@@ -94,7 +106,10 @@ mod tests {
 
     #[test]
     fn surfaces_each_error_stage() {
-        assert!(matches!(Program::compile("def ("), Err(ProgramError::Parse(_))));
+        assert!(matches!(
+            Program::compile("def ("),
+            Err(ProgramError::Parse(_))
+        ));
         assert!(matches!(
             Program::compile("new x (x![1] | x![true])"),
             Err(ProgramError::Type(_))

@@ -35,7 +35,11 @@ impl Default for Shell {
 
 impl Shell {
     pub fn new() -> Shell {
-        Shell { topology: Topology::default(), sites: Vec::new(), last_report: None }
+        Shell {
+            topology: Topology::default(),
+            sites: Vec::new(),
+            last_report: None,
+        }
     }
 
     /// Execute one command line; returns the text to show the user.
@@ -109,8 +113,12 @@ impl Shell {
         // Validate eagerly so errors point at the submission.
         match crate::Program::compile(src.trim()) {
             Ok(p) => {
-                self.sites.push((lexeme.to_string(), src.trim().to_string()));
-                format!("site `{lexeme}` submitted ({} byte-code instructions)", p.instr_count())
+                self.sites
+                    .push((lexeme.to_string(), src.trim().to_string()));
+                format!(
+                    "site `{lexeme}` submitted ({} byte-code instructions)",
+                    p.instr_count()
+                )
             }
             Err(e) => format!("site `{lexeme}` rejected: {e}"),
         }
@@ -140,7 +148,11 @@ impl Shell {
             Ok(report) => {
                 let summary = format!(
                     "ran to {}: {} instrs, {} fabric packets ({} bytes), virtual time {} µs{}",
-                    if report.quiescent { "quiescence" } else { "limit" },
+                    if report.quiescent {
+                        "quiescence"
+                    } else {
+                        "limit"
+                    },
                     report.total_instrs,
                     report.fabric_packets,
                     report.fabric_bytes,
@@ -194,7 +206,9 @@ mod tests {
     #[test]
     fn shell_session_end_to_end() {
         let mut sh = Shell::new();
-        assert!(sh.exec("topology nodes=2 fabric=virtual link=myrinet").contains("2 node"));
+        assert!(sh
+            .exec("topology nodes=2 fabric=virtual link=myrinet")
+            .contains("2 node"));
         assert!(sh
             .exec("site server def Srv(s) = s?{ val(x, r) = r![x + 1] | Srv[s] } in export new p in Srv[p]")
             .contains("submitted"));

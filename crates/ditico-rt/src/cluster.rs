@@ -70,7 +70,10 @@ impl RunReport {
     }
 
     pub fn total_shipped(&self) -> u64 {
-        self.stats.values().map(|s| s.msgs_sent + s.objs_sent + s.fetches).sum()
+        self.stats
+            .values()
+            .map(|s| s.msgs_sent + s.objs_sent + s.fetches)
+            .sum()
     }
 }
 
@@ -86,7 +89,10 @@ pub struct RunLimits {
 
 impl Default for RunLimits {
     fn default() -> Self {
-        RunLimits { max_instrs: 100_000_000, fuel_per_slice: 4096 }
+        RunLimits {
+            max_instrs: 100_000_000,
+            fuel_per_slice: 4096,
+        }
     }
 }
 
@@ -153,7 +159,15 @@ impl Cluster {
             hosts_ns,
             self.term.clone(),
         );
-        self.nodes.push(NodeCell { id, daemon, sites: Vec::new(), out_tx, dead: false });
+        // Deliveries into this node's fabric inbox wake its daemon thread.
+        self.fabric.set_waker(id, daemon.waker().clone());
+        self.nodes.push(NodeCell {
+            id,
+            daemon,
+            sites: Vec::new(),
+            out_tx,
+            dead: false,
+        });
         id
     }
 
@@ -162,7 +176,10 @@ impl Cluster {
     pub fn add_site(&mut self, node: NodeId, lexeme: &str, program: Program) -> SiteId {
         let site_id = SiteId(self.site_lexemes.len() as u32);
         self.site_lexemes.push(lexeme.to_string());
-        let identity = Identity { site: site_id, node };
+        let identity = Identity {
+            site: site_id,
+            node,
+        };
         // Register the site in every name-service replica up front — the
         // paper: "site names are registered in a Network Name Service"
         // and "all sites know its location in advance".
@@ -173,15 +190,17 @@ impl Cluster {
         }
         let (in_tx, in_rx): (Sender<RtIncoming>, Receiver<RtIncoming>) = unbounded();
         let cell = &mut self.nodes[node.0 as usize];
-        cell.daemon.attach_site(site_id, in_tx);
         let port = RtPort::new(
             identity,
             lexeme.to_string(),
             cell.out_tx.clone(),
             in_rx,
+            cell.daemon.waker().clone(),
             self.term.clone(),
         );
-        cell.sites.push(Site::new(lexeme, identity, program, port));
+        let site = Site::new(lexeme, identity, program, port);
+        cell.daemon.attach_site(site_id, in_tx, site.waker.clone());
+        cell.sites.push(site);
         site_id
     }
 
@@ -229,8 +248,12 @@ impl Cluster {
             }
         }
         if let Some(obs) = self.nodes.iter().take(self.ns_replicas).find(|c| !c.dead) {
-            let beats: Vec<(NodeId, u64)> =
-                obs.daemon.heartbeats.iter().map(|(n, s)| (*n, *s)).collect();
+            let beats: Vec<(NodeId, u64)> = obs
+                .daemon
+                .heartbeats
+                .iter()
+                .map(|(n, s)| (*n, *s))
+                .collect();
             for (n, s) in beats {
                 monitor.observe(n, s, hb_round);
             }
@@ -323,8 +346,12 @@ impl Cluster {
                 }
                 break;
             }
-            let total: u64 =
-                self.nodes.iter().flat_map(|c| &c.sites).map(|s| s.machine.stats.instrs).sum();
+            let total: u64 = self
+                .nodes
+                .iter()
+                .flat_map(|c| &c.sites)
+                .map(|s| s.machine.stats.instrs)
+                .sum();
             if total > limits.max_instrs {
                 break;
             }
@@ -347,19 +374,32 @@ impl Cluster {
         let mut active_flags: Vec<Arc<AtomicBool>> = Vec::new();
 
         for cell in self.nodes.drain(..) {
-            let NodeCell { daemon, sites, dead, .. } = cell;
+            let NodeCell {
+                daemon,
+                sites,
+                dead,
+                ..
+            } = cell;
             if !dead {
                 let stop_d = stop.clone();
                 let mut daemon = daemon;
                 daemon_threads.push(std::thread::spawn(move || {
+                    // Spin-then-park: while traffic flows, an empty pump
+                    // yields (cheap handoff on few cores); a sustained
+                    // lull parks on the daemon's waker — sites and the
+                    // fabric notify it when they hand it work, so an idle
+                    // daemon costs no scheduler quanta. The timeout only
+                    // bounds stop-flag latency.
                     let mut lull = 0u32;
                     while !stop_d.load(Ordering::Relaxed) {
                         if daemon.pump() {
                             lull = 0;
                         } else {
                             lull += 1;
-                            if lull > 16 {
-                                std::thread::sleep(std::time::Duration::from_micros(100));
+                            if lull > 2 {
+                                daemon
+                                    .waker()
+                                    .wait_timeout(std::time::Duration::from_millis(1));
                             } else {
                                 std::thread::yield_now();
                             }
@@ -373,22 +413,32 @@ impl Cluster {
                 active_flags.push(flag.clone());
                 let stop_s = stop.clone();
                 site_threads.push(std::thread::spawn(move || {
+                    let waker = site.waker.clone();
                     let mut lull = 0u32;
                     while !stop_s.load(Ordering::Relaxed) {
+                        // Conservatively active for the whole pump: a slice
+                        // consumes messages before reacting to them, and if
+                        // this thread is descheduled in between, a stale
+                        // `false` here would let the detector see balanced
+                        // counters with no activity — a false termination.
+                        flag.store(true, Ordering::SeqCst);
                         let ran = site.pump(8192);
-                        let active = ran
-                            || site.machine.runnable()
-                            || site.machine.port.inbox_len() > 0;
+                        let active =
+                            ran || site.machine.runnable() || site.machine.port.inbox_len() > 0;
                         flag.store(active, Ordering::Relaxed);
-                        if !ran {
+                        if ran {
+                            lull = 0;
+                        } else {
                             lull += 1;
-                            if lull > 16 {
-                                std::thread::sleep(std::time::Duration::from_micros(100));
+                            if lull > 2 && !active {
+                                // A sustained lull with nothing runnable
+                                // and an empty inbox: park until the
+                                // daemon delivers (it notifies the waker)
+                                // or the stop-latency timeout fires.
+                                waker.wait_timeout(std::time::Duration::from_millis(1));
                             } else {
                                 std::thread::yield_now();
                             }
-                        } else {
-                            lull = 0;
                         }
                     }
                     site
@@ -418,7 +468,10 @@ impl Cluster {
         }
         stop.store(true, Ordering::Relaxed);
 
-        let mut report = RunReport { detector_probes: probes, ..Default::default() };
+        let mut report = RunReport {
+            detector_probes: probes,
+            ..Default::default()
+        };
         for h in site_threads {
             let site = h.join().expect("site thread");
             collect_site(&mut report, &site);
@@ -490,8 +543,12 @@ impl Cluster {
 }
 
 fn collect_site(report: &mut RunReport, site: &Site) {
-    report.outputs.insert(site.lexeme.clone(), site.machine.io.clone());
-    report.stats.insert(site.lexeme.clone(), site.machine.stats.clone());
+    report
+        .outputs
+        .insert(site.lexeme.clone(), site.machine.io.clone());
+    report
+        .stats
+        .insert(site.lexeme.clone(), site.machine.stats.clone());
     report.total_instrs += site.machine.stats.instrs;
     report.blocked_imports += site.machine.port.pending_imports();
     if let Some(e) = &site.error {

@@ -16,10 +16,11 @@
 //! The daemon also hosts (a replica of) the name service when configured
 //! to, and answers `export`/`import` traffic for its sites.
 
+use crate::fabric::FabricHandle;
 use crate::nameservice::NameService;
 use crate::site::RtIncoming;
-use crate::fabric::FabricHandle;
-use bytes::Bytes;
+use crate::wake::Notify;
+use bytes::{Bytes, BytesMut};
 use crossbeam::channel::{Receiver, Sender};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -45,6 +46,9 @@ pub struct DaemonStats {
     pub local_deliveries: u64,
     /// Packets serialized and pushed into the fabric.
     pub remote_sends: u64,
+    /// Fabric flushes those packets went out in; mean batch occupancy is
+    /// `remote_sends / remote_batches`.
+    pub remote_batches: u64,
     /// Bytes serialized for remote sends.
     pub bytes_out: u64,
     /// Packets received from the fabric.
@@ -53,16 +57,40 @@ pub struct DaemonStats {
     pub ns_ops: u64,
 }
 
+/// An outgoing batch for one destination node: packets are encoded
+/// back-to-back into one buffer, frozen once per flush, and handed to the
+/// fabric as zero-copy slice views — one allocation per batch instead of
+/// one per packet.
+#[derive(Default)]
+struct OutBuf {
+    buf: BytesMut,
+    /// End offset of each encoded packet in `buf`.
+    ends: Vec<usize>,
+    /// Reusable scratch for the per-packet slice views.
+    ready: Vec<Bytes>,
+}
+
 /// The per-node communication daemon.
 pub struct Daemon {
     pub node: NodeId,
-    /// Inboxes of local sites.
-    sites: HashMap<SiteId, Sender<RtIncoming>>,
+    /// Inboxes of local sites, plus the waker of each site's thread.
+    sites: HashMap<SiteId, (Sender<RtIncoming>, Arc<Notify>)>,
     /// Shared outgoing queue of all local sites.
     from_sites: Receiver<(SiteId, Packet)>,
     /// Inbound packets from other nodes.
     from_fabric: Receiver<(NodeId, Bytes)>,
     fabric: FabricHandle,
+    /// Outgoing bytes per destination node, flushed to the fabric once
+    /// per pump (per-link FIFO; buffers keep their allocation).
+    out_bufs: HashMap<NodeId, OutBuf>,
+    /// Local deliveries per site, flushed to each site inbox once per
+    /// pump (one inbox lock + one wakeup per site per pump).
+    site_bufs: HashMap<SiteId, Vec<RtIncoming>>,
+    /// Reusable drain buffers for the two inbound queues.
+    scratch_pkts: Vec<(SiteId, Packet)>,
+    scratch_bytes: Vec<(NodeId, Bytes)>,
+    /// This daemon's own thread wakeup: sites and the fabric notify it.
+    waker: Arc<Notify>,
     /// Nodes hosting name-service replicas (primary chosen by
     /// `ns_primary`).
     ns_nodes: Vec<NodeId>,
@@ -95,9 +123,18 @@ impl Daemon {
             from_sites,
             from_fabric,
             fabric,
+            out_bufs: HashMap::new(),
+            site_bufs: HashMap::new(),
+            scratch_pkts: Vec::new(),
+            scratch_bytes: Vec::new(),
+            waker: Arc::new(Notify::new()),
             ns_nodes,
             ns_primary,
-            ns: if hosts_ns { Some(NameService::new()) } else { None },
+            ns: if hosts_ns {
+                Some(NameService::new())
+            } else {
+                None
+            },
             heartbeats: HashMap::new(),
             stats: DaemonStats::default(),
             term,
@@ -105,9 +142,15 @@ impl Daemon {
         }
     }
 
-    /// Attach a local site's inbox.
-    pub fn attach_site(&mut self, site: SiteId, inbox: Sender<RtIncoming>) {
-        self.sites.insert(site, inbox);
+    /// Attach a local site's inbox and the waker of its thread.
+    pub fn attach_site(&mut self, site: SiteId, inbox: Sender<RtIncoming>, waker: Arc<Notify>) {
+        self.sites.insert(site, (inbox, waker));
+    }
+
+    /// This daemon thread's wakeup (sites and the fabric notify it when
+    /// they hand it work).
+    pub fn waker(&self) -> &Arc<Notify> {
+        &self.waker
     }
 
     /// The node currently acting as name-service primary.
@@ -116,26 +159,87 @@ impl Daemon {
         *self.ns_nodes.get(i).unwrap_or(&self.node)
     }
 
-    /// Drain both queues once. Returns whether anything was processed.
+    /// Drain both queues once (each backlog moves under a single queue
+    /// lock), then flush the per-site and per-destination outgoing
+    /// batches. Returns whether anything was processed.
     pub fn pump(&mut self) -> bool {
         let mut progress = false;
-        while let Ok((_, packet)) = self.from_sites.try_recv() {
+        let mut pkts = std::mem::take(&mut self.scratch_pkts);
+        if self.from_sites.drain_into(&mut pkts) > 0 {
             progress = true;
-            self.route(packet);
+            for (_, packet) in pkts.drain(..) {
+                self.route(packet);
+            }
         }
-        while let Ok((_, bytes)) = self.from_fabric.try_recv() {
+        self.scratch_pkts = pkts;
+        let mut raw = std::mem::take(&mut self.scratch_bytes);
+        if self.from_fabric.drain_into(&mut raw) > 0 {
             progress = true;
-            self.stats.remote_recvs += 1;
-            match codec::decode(bytes) {
-                Ok(packet) => self.deliver_local(packet),
-                Err(e) => {
-                    // A corrupt packet is dropped; the paper's system has
-                    // no recovery story either (future work).
-                    debug_assert!(false, "corrupt packet: {e}");
+            for (_, bytes) in raw.drain(..) {
+                self.stats.remote_recvs += 1;
+                match codec::decode(bytes) {
+                    Ok(packet) => self.deliver_local(packet),
+                    Err(e) => {
+                        // A corrupt packet is dropped; the paper's system
+                        // has no recovery story either (future work).
+                        debug_assert!(false, "corrupt packet: {e}");
+                    }
                 }
             }
         }
+        self.scratch_bytes = raw;
+        self.flush_local();
+        self.flush_remote();
         progress
+    }
+
+    /// Hand each site its buffered backlog: one inbox lock and one wakeup
+    /// per site per pump, order per site preserved.
+    fn flush_local(&mut self) {
+        for (site, buf) in self.site_bufs.iter_mut() {
+            if buf.is_empty() {
+                continue;
+            }
+            let n = buf.len() as u64;
+            match self.sites.get(site) {
+                Some((tx, waker)) => match tx.send_iter(buf.drain(..)) {
+                    Ok(_) => waker.notify(),
+                    // The site is gone (program exited); drop, like the
+                    // paper's freed sites.
+                    Err(_) => {
+                        self.term.consumed.fetch_add(n, Ordering::Relaxed);
+                    }
+                },
+                None => {
+                    // Unknown site on this node: drop (can only happen
+                    // after a site was destroyed).
+                    buf.clear();
+                    self.term.consumed.fetch_add(n, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// Hand every buffered per-destination backlog to the fabric in one
+    /// batched send each (per-link FIFO preserved; see
+    /// [`FabricHandle::send_batch`]). The batch's encodings share one
+    /// frozen allocation; each packet is a slice view into it.
+    fn flush_remote(&mut self) {
+        let node = self.node;
+        for (to, ob) in self.out_bufs.iter_mut() {
+            if ob.ends.is_empty() {
+                continue;
+            }
+            let frozen = std::mem::take(&mut ob.buf).freeze();
+            let mut start = 0;
+            for &end in &ob.ends {
+                ob.ready.push(frozen.slice(start..end));
+                start = end;
+            }
+            ob.ends.clear();
+            self.stats.remote_batches += 1;
+            self.fabric.send_batch(node, *to, &mut ob.ready);
+        }
     }
 
     /// Emit a liveness beacon to the name-service nodes.
@@ -143,7 +247,10 @@ impl Daemon {
         self.hb_seq += 1;
         let seq = self.hb_seq;
         for ns_node in self.ns_nodes.clone() {
-            let p = Packet::Heartbeat { node: self.node, seq };
+            let p = Packet::Heartbeat {
+                node: self.node,
+                seq,
+            };
             self.term.injected.fetch_add(1, Ordering::Relaxed);
             if ns_node == self.node {
                 self.deliver_local(p);
@@ -151,13 +258,18 @@ impl Daemon {
                 self.send_remote(ns_node, &p);
             }
         }
+        // Heartbeats are emitted outside the pump loop (scheduler rounds);
+        // don't leave them sitting in the batch buffers.
+        self.flush_remote();
     }
 
     fn send_remote(&mut self, to: NodeId, p: &Packet) {
-        let bytes = codec::encode(p);
+        let ob = self.out_bufs.entry(to).or_default();
+        let start = ob.buf.len();
+        codec::encode_into(p, &mut ob.buf);
+        ob.ends.push(ob.buf.len());
         self.stats.remote_sends += 1;
-        self.stats.bytes_out += bytes.len() as u64;
-        self.fabric.send(self.node, to, bytes);
+        self.stats.bytes_out += (ob.buf.len() - start) as u64;
     }
 
     /// Route a packet by its destination, local or remote.
@@ -198,26 +310,59 @@ impl Daemon {
     fn deliver_local(&mut self, p: Packet) {
         match p {
             Packet::Msg { dest, label, args } => {
-                self.deliver_to_site(dest.site, RtIncoming::Vm(Incoming::Msg { dest: dest.heap_id, label, args }));
-            }
-            Packet::Obj { dest, obj } => {
-                self.deliver_to_site(dest.site, RtIncoming::Vm(Incoming::Obj { dest: dest.heap_id, obj }));
-            }
-            Packet::FetchReq { class, req, reply_to } => {
                 self.deliver_to_site(
-                    class.site,
-                    RtIncoming::Vm(Incoming::FetchReq { dest: class.heap_id, req, reply_to }),
+                    dest.site,
+                    RtIncoming::Vm(Incoming::Msg {
+                        dest: dest.heap_id,
+                        label,
+                        args,
+                    }),
                 );
             }
-            Packet::FetchReply { to, req, group, index } => {
-                self.deliver_to_site(to.site, RtIncoming::Vm(Incoming::FetchReply { req, group, index }));
+            Packet::Obj { dest, obj } => {
+                self.deliver_to_site(
+                    dest.site,
+                    RtIncoming::Vm(Incoming::Obj {
+                        dest: dest.heap_id,
+                        obj,
+                    }),
+                );
+            }
+            Packet::FetchReq {
+                class,
+                req,
+                reply_to,
+            } => {
+                self.deliver_to_site(
+                    class.site,
+                    RtIncoming::Vm(Incoming::FetchReq {
+                        dest: class.heap_id,
+                        req,
+                        reply_to,
+                    }),
+                );
+            }
+            Packet::FetchReply {
+                to,
+                req,
+                group,
+                index,
+            } => {
+                self.deliver_to_site(
+                    to.site,
+                    RtIncoming::Vm(Incoming::FetchReply { req, group, index }),
+                );
             }
             Packet::NsImportReply { to, req, result } => {
                 self.deliver_to_site(to.site, RtIncoming::ImportResolved { req, result });
             }
-            Packet::NsRegister { from_site, site_lexeme, name, value } => {
+            Packet::NsRegister {
+                from_site,
+                site_lexeme,
+                name,
+                value,
+            } => {
                 self.stats.ns_ops += 1;
-                self.term.consumed.fetch_add(1, Ordering::Relaxed);
                 if let Some(ns) = &mut self.ns {
                     let replies = ns.handle_register(from_site, &site_lexeme, &name, value);
                     for r in replies {
@@ -225,16 +370,27 @@ impl Daemon {
                         self.route(r);
                     }
                 }
-            }
-            Packet::NsImport { req, site, name, kind, reply_to } => {
-                self.stats.ns_ops += 1;
+                // Consume the request only after its replies are injected:
+                // the opposite order has a window where the counters look
+                // balanced while a reply is still pending, which could
+                // falsely satisfy the termination detector.
                 self.term.consumed.fetch_add(1, Ordering::Relaxed);
+            }
+            Packet::NsImport {
+                req,
+                site,
+                name,
+                kind,
+                reply_to,
+            } => {
+                self.stats.ns_ops += 1;
                 if let Some(ns) = &mut self.ns {
                     if let Some(reply) = ns.handle_import(req, &site, &name, kind, reply_to) {
                         self.term.injected.fetch_add(1, Ordering::Relaxed);
                         self.route(reply);
                     }
                 }
+                self.term.consumed.fetch_add(1, Ordering::Relaxed);
             }
             Packet::Heartbeat { node, seq } => {
                 self.term.consumed.fetch_add(1, Ordering::Relaxed);
@@ -252,19 +408,6 @@ impl Daemon {
 
     fn deliver_to_site(&mut self, site: SiteId, item: RtIncoming) {
         self.stats.local_deliveries += 1;
-        match self.sites.get(&site) {
-            Some(tx) => {
-                if tx.send(item).is_err() {
-                    // The site is gone (program exited); drop, like the
-                    // paper's freed sites.
-                    self.term.consumed.fetch_add(1, Ordering::Relaxed);
-                }
-            }
-            None => {
-                // Unknown site on this node: drop (can only happen after a
-                // site was destroyed).
-                self.term.consumed.fetch_add(1, Ordering::Relaxed);
-            }
-        }
+        self.site_bufs.entry(site).or_default().push(item);
     }
 }

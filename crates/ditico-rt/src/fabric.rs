@@ -15,10 +15,23 @@
 //!
 //! Packets are byte-encoded ([`tyco_vm::codec`]) before entering the
 //! fabric, so byte counts are real.
+//!
+//! ## Sharding (the hot path)
+//!
+//! Per-destination delivery state (inbox sender, dead flag, daemon waker)
+//! lives in a read-mostly routing table separate from the event-queue
+//! state. An Ideal-mode [`FabricHandle::send`] therefore takes a shared
+//! read lock plus one channel lock — it never serializes against other
+//! links or against the Virtual/RealTime event heap. Senders can also
+//! batch: [`FabricHandle::send_batch`] moves a whole per-link backlog
+//! under a single routing lookup, one stats update and one inbox lock,
+//! preserving per-link FIFO order (the batch is drained in send order
+//! into a FIFO channel).
 
+use crate::wake::Notify;
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::{Condvar, Mutex};
+use parking_lot::{Condvar, Mutex, RwLock};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -37,22 +50,34 @@ pub struct LinkProfile {
 impl LinkProfile {
     /// The paper's 1 Gb/s Myrinet switch: ~9 µs one-way latency.
     pub fn myrinet() -> LinkProfile {
-        LinkProfile { latency_ns: 9_000, bandwidth_bps: 125_000_000.0 }
+        LinkProfile {
+            latency_ns: 9_000,
+            bandwidth_bps: 125_000_000.0,
+        }
     }
 
     /// The paper's 100 Mb/s Fast Ethernet uplink: ~70 µs latency.
     pub fn fast_ethernet() -> LinkProfile {
-        LinkProfile { latency_ns: 70_000, bandwidth_bps: 12_500_000.0 }
+        LinkProfile {
+            latency_ns: 70_000,
+            bandwidth_bps: 12_500_000.0,
+        }
     }
 
     /// A wide-area link: 20 ms, 10 Mb/s.
     pub fn wan() -> LinkProfile {
-        LinkProfile { latency_ns: 20_000_000, bandwidth_bps: 1_250_000.0 }
+        LinkProfile {
+            latency_ns: 20_000_000,
+            bandwidth_bps: 1_250_000.0,
+        }
     }
 
     /// Zero-latency, infinite-bandwidth (functional testing).
     pub fn ideal() -> LinkProfile {
-        LinkProfile { latency_ns: 0, bandwidth_bps: f64::INFINITY }
+        LinkProfile {
+            latency_ns: 0,
+            bandwidth_bps: f64::INFINITY,
+        }
     }
 
     /// Total transfer time for a payload of `bytes`.
@@ -77,11 +102,20 @@ pub enum FabricMode {
     RealTime,
 }
 
-/// Aggregate traffic counters.
+/// Aggregate traffic counters. Packets/bytes count only traffic accepted
+/// by the fabric — sends dropped because an endpoint is dead are NOT
+/// counted, so partition experiments don't over-report traffic.
 #[derive(Debug, Default)]
 pub struct FabricStats {
     pub packets: AtomicU64,
     pub bytes: AtomicU64,
+    /// Send operations (single sends + batch flushes) that hit the fabric.
+    pub sends: AtomicU64,
+    /// Batch flushes ([`FabricHandle::send_batch`]) among those sends.
+    pub batches: AtomicU64,
+    /// Packets carried by those batches; mean batch occupancy is
+    /// `batched_packets / batches`.
+    pub batched_packets: AtomicU64,
 }
 
 struct Event {
@@ -109,11 +143,25 @@ impl Ord for Event {
     }
 }
 
+/// Per-destination delivery state: the shard of the old global table that
+/// a sender actually needs. Lives in a read-mostly `RwLock` map — sends
+/// only read it; registration and failure injection write it.
+struct Route {
+    /// Inbound queue of the node's daemon (`None` for nodes that were
+    /// killed before ever registering).
+    tx: Option<Sender<(NodeId, Bytes)>>,
+    /// Dead nodes drop all traffic (failure injection).
+    dead: bool,
+    /// Parked daemon thread to wake on delivery (threaded runs).
+    waker: Option<Arc<Notify>>,
+}
+
+/// Event-queue state shared by Virtual/RealTime scheduling. Ideal-mode
+/// sends never touch this lock.
 struct Shared {
     mode: FabricMode,
     default_link: LinkProfile,
     links: HashMap<(NodeId, NodeId), LinkProfile>,
-    inboxes: HashMap<NodeId, Sender<(NodeId, Bytes)>>,
     /// Virtual/RealTime pending deliveries (min-heap on due time).
     pending: BinaryHeap<Reverse<Event>>,
     seq: u64,
@@ -126,13 +174,58 @@ struct Shared {
     /// small packet must not overtake an earlier large one), like the
     /// point-to-point switch links of Fig. 1.
     link_last: HashMap<(NodeId, NodeId), u64>,
-    /// Dead nodes drop all traffic (failure injection).
-    dead: Vec<NodeId>,
 }
+
+impl Shared {
+    /// Queue one payload on the (from, to) link, keeping per-link FIFO by
+    /// forcing due times to be strictly monotone along the link.
+    fn schedule(&mut self, from: NodeId, to: NodeId, payload: Bytes) {
+        let now = match self.mode {
+            FabricMode::Virtual => self.now_ns,
+            _ => self.epoch.elapsed().as_nanos() as u64,
+        };
+        let profile = self
+            .links
+            .get(&(from, to))
+            .copied()
+            .unwrap_or(self.default_link);
+        let raw = now + profile.transfer_ns(payload.len());
+        let last = self.link_last.get(&(from, to)).copied().unwrap_or(0);
+        let due = raw.max(last.saturating_add(1));
+        self.link_last.insert((from, to), due);
+        self.seq += 1;
+        let seq = self.seq;
+        self.pending.push(Reverse(Event {
+            due_ns: due,
+            seq,
+            from,
+            to,
+            payload,
+        }));
+    }
+
+    /// Pop everything due at or before `now` (delivery happens outside
+    /// this lock, through the routing table).
+    fn pop_due(&mut self, now: u64) -> Vec<Event> {
+        let mut due = Vec::new();
+        while let Some(Reverse(e)) = self.pending.peek() {
+            if e.due_ns > now {
+                break;
+            }
+            let Reverse(e) = self.pending.pop().expect("peeked");
+            due.push(e);
+        }
+        due
+    }
+}
+
+type Routes = Arc<RwLock<HashMap<NodeId, Route>>>;
 
 /// The network fabric connecting node daemons.
 pub struct Fabric {
+    mode: FabricMode,
     shared: Arc<Mutex<Shared>>,
+    routes: Routes,
     cond: Arc<Condvar>,
     pub stats: Arc<FabricStats>,
     stop: Arc<AtomicBool>,
@@ -142,7 +235,9 @@ pub struct Fabric {
 /// A cloneable handle daemons use to send.
 #[derive(Clone)]
 pub struct FabricHandle {
+    mode: FabricMode,
     shared: Arc<Mutex<Shared>>,
+    routes: Routes,
     cond: Arc<Condvar>,
     stats: Arc<FabricStats>,
 }
@@ -150,18 +245,18 @@ pub struct FabricHandle {
 impl Fabric {
     pub fn new(mode: FabricMode, default_link: LinkProfile) -> Fabric {
         Fabric {
+            mode,
             shared: Arc::new(Mutex::new(Shared {
                 mode,
                 default_link,
                 links: HashMap::new(),
-                inboxes: HashMap::new(),
                 pending: BinaryHeap::new(),
                 seq: 0,
                 now_ns: 0,
                 epoch: std::time::Instant::now(),
                 link_last: HashMap::new(),
-                dead: Vec::new(),
             })),
+            routes: Arc::new(RwLock::new(HashMap::new())),
             cond: Arc::new(Condvar::new()),
             stats: Arc::new(FabricStats::default()),
             stop: Arc::new(AtomicBool::new(false)),
@@ -179,14 +274,34 @@ impl Fabric {
     /// Register a node; returns its inbound packet queue.
     pub fn register_node(&self, node: NodeId) -> Receiver<(NodeId, Bytes)> {
         let (tx, rx) = unbounded();
-        self.shared.lock().inboxes.insert(node, tx);
+        let mut routes = self.routes.write();
+        let route = routes.entry(node).or_insert(Route {
+            tx: None,
+            dead: false,
+            waker: None,
+        });
+        route.tx = Some(tx);
         rx
+    }
+
+    /// Attach the waker of the node's daemon thread: deliveries into the
+    /// node's inbox notify it, so a parked daemon wakes without polling.
+    pub fn set_waker(&self, node: NodeId, waker: Arc<Notify>) {
+        let mut routes = self.routes.write();
+        let route = routes.entry(node).or_insert(Route {
+            tx: None,
+            dead: false,
+            waker: None,
+        });
+        route.waker = Some(waker);
     }
 
     /// A sending handle for daemons.
     pub fn handle(&self) -> FabricHandle {
         FabricHandle {
+            mode: self.mode,
             shared: self.shared.clone(),
+            routes: self.routes.clone(),
             cond: self.cond.clone(),
             stats: self.stats.clone(),
         }
@@ -195,7 +310,15 @@ impl Fabric {
     /// Mark a node dead: all traffic to/from it is dropped (failure
     /// injection for the §7 future-work experiments).
     pub fn kill_node(&self, node: NodeId) {
-        self.shared.lock().dead.push(node);
+        let mut routes = self.routes.write();
+        routes
+            .entry(node)
+            .or_insert(Route {
+                tx: None,
+                dead: false,
+                waker: None,
+            })
+            .dead = true;
     }
 
     /// Virtual mode: the due time of the earliest pending event.
@@ -211,62 +334,46 @@ impl Fabric {
     /// Virtual mode: advance the clock and deliver everything due.
     /// Returns the number of packets delivered.
     pub fn advance_to(&self, t_ns: u64) -> usize {
-        let mut s = self.shared.lock();
-        s.now_ns = s.now_ns.max(t_ns);
-        let mut delivered = 0;
-        while let Some(Reverse(e)) = s.pending.peek() {
-            if e.due_ns > s.now_ns {
-                break;
-            }
-            let Reverse(e) = s.pending.pop().expect("peeked");
-            if !s.dead.contains(&e.to) {
-                if let Some(tx) = s.inboxes.get(&e.to) {
-                    let _ = tx.send((e.from, e.payload));
-                    delivered += 1;
-                }
-            }
-        }
-        delivered
+        let due = {
+            let mut s = self.shared.lock();
+            s.now_ns = s.now_ns.max(t_ns);
+            let now = s.now_ns;
+            s.pop_due(now)
+        };
+        deliver(&self.routes, due)
     }
 
     /// Start the RealTime delivery thread (no-op for other modes).
     pub fn start(&mut self) {
-        let is_rt = self.shared.lock().mode == FabricMode::RealTime;
-        if !is_rt || self.delivery_thread.is_some() {
+        if self.mode != FabricMode::RealTime || self.delivery_thread.is_some() {
             return;
         }
         let shared = self.shared.clone();
+        let routes = self.routes.clone();
         let cond = self.cond.clone();
         let stop = self.stop.clone();
-        self.delivery_thread = Some(std::thread::spawn(move || {
-            loop {
+        self.delivery_thread = Some(std::thread::spawn(move || loop {
+            let due = {
                 let mut s = shared.lock();
                 if stop.load(Ordering::Relaxed) {
                     return;
                 }
                 let now = s.epoch.elapsed().as_nanos() as u64;
-                // Deliver everything due.
-                while let Some(Reverse(e)) = s.pending.peek() {
-                    if e.due_ns > now {
-                        break;
-                    }
-                    let Reverse(e) = s.pending.pop().expect("peeked");
-                    if !s.dead.contains(&e.to) {
-                        if let Some(tx) = s.inboxes.get(&e.to) {
-                            let _ = tx.send((e.from, e.payload));
+                let due = s.pop_due(now);
+                if due.is_empty() {
+                    let wait = match s.pending.peek() {
+                        Some(Reverse(e)) => {
+                            std::time::Duration::from_nanos(e.due_ns.saturating_sub(now))
+                                .min(std::time::Duration::from_millis(10))
                         }
-                    }
+                        None => std::time::Duration::from_millis(10),
+                    };
+                    cond.wait_for(&mut s, wait);
+                    continue;
                 }
-                match s.pending.peek() {
-                    Some(Reverse(e)) => {
-                        let wait = std::time::Duration::from_nanos(e.due_ns.saturating_sub(now));
-                        cond.wait_for(&mut s, wait.min(std::time::Duration::from_millis(10)));
-                    }
-                    None => {
-                        cond.wait_for(&mut s, std::time::Duration::from_millis(10));
-                    }
-                }
-            }
+                due
+            };
+            deliver(&routes, due);
         }));
     }
 
@@ -280,6 +387,32 @@ impl Fabric {
     }
 }
 
+/// Deliver a drained batch of due events through the routing table
+/// (called with no fabric lock held). Dead or unregistered destinations
+/// drop their packets. Returns the number delivered.
+fn deliver(routes: &Routes, due: Vec<Event>) -> usize {
+    if due.is_empty() {
+        return 0;
+    }
+    let routes = routes.read();
+    let mut delivered = 0;
+    for e in due {
+        if let Some(r) = routes.get(&e.to) {
+            if r.dead {
+                continue;
+            }
+            if let Some(tx) = &r.tx {
+                let _ = tx.send((e.from, e.payload));
+                delivered += 1;
+            }
+            if let Some(w) = &r.waker {
+                w.notify();
+            }
+        }
+    }
+    delivered
+}
+
 impl Drop for Fabric {
     fn drop(&mut self) {
         self.shutdown();
@@ -287,42 +420,91 @@ impl Drop for Fabric {
 }
 
 impl FabricHandle {
+    /// Is either endpoint dead? (Unregistered nodes count as alive: tests
+    /// send from synthetic nodes that never register.)
+    fn endpoint_dead(&self, from: NodeId, to: NodeId) -> bool {
+        let routes = self.routes.read();
+        routes.get(&from).is_some_and(|r| r.dead) || routes.get(&to).is_some_and(|r| r.dead)
+    }
+
     /// Send a payload from one node to another, applying the link model.
     pub fn send(&self, from: NodeId, to: NodeId, payload: Bytes) {
-        self.stats.packets.fetch_add(1, Ordering::Relaxed);
-        self.stats.bytes.fetch_add(payload.len() as u64, Ordering::Relaxed);
-        let mut s = self.shared.lock();
-        if s.dead.contains(&from) || s.dead.contains(&to) {
+        // Dead-endpoint traffic is dropped BEFORE it is counted: the stats
+        // must reflect traffic the fabric carried, not what dead nodes
+        // attempted.
+        {
+            let routes = self.routes.read();
+            let from_dead = routes.get(&from).is_some_and(|r| r.dead);
+            let to_route = routes.get(&to);
+            if from_dead || to_route.is_some_and(|r| r.dead) {
+                return;
+            }
+            self.stats.packets.fetch_add(1, Ordering::Relaxed);
+            self.stats
+                .bytes
+                .fetch_add(payload.len() as u64, Ordering::Relaxed);
+            self.stats.sends.fetch_add(1, Ordering::Relaxed);
+            if self.mode == FabricMode::Ideal {
+                if let Some(r) = to_route {
+                    if let Some(tx) = &r.tx {
+                        let _ = tx.send((from, payload));
+                    }
+                    if let Some(w) = &r.waker {
+                        w.notify();
+                    }
+                }
+                return;
+            }
+        }
+        // Virtual/RealTime: queue on the event heap (routes lock released
+        // first; the two locks are never held together).
+        self.shared.lock().schedule(from, to, payload);
+        if self.mode == FabricMode::RealTime {
+            self.cond.notify_all();
+        }
+    }
+
+    /// Send a whole per-link backlog in one operation, draining `batch`
+    /// (its allocation is kept for reuse). Per-link FIFO order is
+    /// preserved: packets enter the destination inbox (Ideal) or the
+    /// event heap (Virtual/RealTime) in `batch` order, under one lock.
+    pub fn send_batch(&self, from: NodeId, to: NodeId, batch: &mut Vec<Bytes>) {
+        if batch.is_empty() {
             return;
         }
-        let profile = s.links.get(&(from, to)).copied().unwrap_or(s.default_link);
-        match s.mode {
+        if self.endpoint_dead(from, to) {
+            batch.clear();
+            return;
+        }
+        let n = batch.len() as u64;
+        let total: u64 = batch.iter().map(|b| b.len() as u64).sum();
+        self.stats.packets.fetch_add(n, Ordering::Relaxed);
+        self.stats.bytes.fetch_add(total, Ordering::Relaxed);
+        self.stats.sends.fetch_add(1, Ordering::Relaxed);
+        self.stats.batches.fetch_add(1, Ordering::Relaxed);
+        self.stats.batched_packets.fetch_add(n, Ordering::Relaxed);
+        match self.mode {
             FabricMode::Ideal => {
-                if let Some(tx) = s.inboxes.get(&to) {
-                    let _ = tx.send((from, payload));
+                let routes = self.routes.read();
+                if let Some(r) = routes.get(&to) {
+                    if let Some(tx) = &r.tx {
+                        let _ = tx.send_iter(batch.drain(..).map(|p| (from, p)));
+                    }
+                    if let Some(w) = &r.waker {
+                        w.notify();
+                    }
                 }
+                batch.clear();
             }
-            FabricMode::Virtual => {
-                let raw = s.now_ns + profile.transfer_ns(payload.len());
-                let last = s.link_last.get(&(from, to)).copied().unwrap_or(0);
-                let due = raw.max(last.saturating_add(1));
-                s.link_last.insert((from, to), due);
-                s.seq += 1;
-                let seq = s.seq;
-                s.pending.push(Reverse(Event { due_ns: due, seq, from, to, payload }));
-            }
-            FabricMode::RealTime => {
-                // Deadlines are absolute against the fabric-wide epoch.
-                let now = s.epoch.elapsed().as_nanos() as u64;
-                let raw = now + profile.transfer_ns(payload.len());
-                let last = s.link_last.get(&(from, to)).copied().unwrap_or(0);
-                let due = raw.max(last.saturating_add(1));
-                s.link_last.insert((from, to), due);
-                s.seq += 1;
-                let seq = s.seq;
-                s.pending.push(Reverse(Event { due_ns: due, seq, from, to, payload }));
+            _ => {
+                let mut s = self.shared.lock();
+                for payload in batch.drain(..) {
+                    s.schedule(from, to, payload);
+                }
                 drop(s);
-                self.cond.notify_all();
+                if self.mode == FabricMode::RealTime {
+                    self.cond.notify_all();
+                }
             }
         }
     }
@@ -374,18 +556,54 @@ mod tests {
         let rx = f.register_node(n(1));
         let h = f.handle();
         h.send(n(0), n(1), Bytes::from(vec![0u8; 125_000])); // 10 ms at 100 Mb/s
-        assert!(f.next_event_ns().unwrap() > 9_000_000, "{:?}", f.next_event_ns());
+        assert!(
+            f.next_event_ns().unwrap() > 9_000_000,
+            "{:?}",
+            f.next_event_ns()
+        );
         f.advance_to(20_000_000);
         assert!(rx.try_recv().is_ok());
     }
 
     #[test]
-    fn dead_nodes_drop_traffic() {
+    fn dead_nodes_drop_traffic_without_counting_it() {
         let f = Fabric::new(FabricMode::Ideal, LinkProfile::ideal());
         let rx = f.register_node(n(1));
         f.kill_node(n(1));
         f.handle().send(n(0), n(1), Bytes::from_static(b"lost"));
+        let mut batch = vec![Bytes::from_static(b"also lost")];
+        f.handle().send_batch(n(0), n(1), &mut batch);
         assert!(rx.try_recv().is_err());
+        // Dropped traffic is not counted (it was never carried).
+        assert_eq!(f.stats.packets.load(Ordering::Relaxed), 0);
+        assert_eq!(f.stats.bytes.load(Ordering::Relaxed), 0);
+        assert!(batch.is_empty(), "dropped batches are still drained");
+    }
+
+    #[test]
+    fn dead_sources_drop_traffic_too() {
+        let f = Fabric::new(FabricMode::Ideal, LinkProfile::ideal());
+        let rx = f.register_node(n(1));
+        f.kill_node(n(0)); // n(0) never registered: killed by upsert
+        f.handle().send(n(0), n(1), Bytes::from_static(b"lost"));
+        assert!(rx.try_recv().is_err());
+        assert_eq!(f.stats.packets.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn batched_send_preserves_order_and_counts_occupancy() {
+        let f = Fabric::new(FabricMode::Ideal, LinkProfile::ideal());
+        let rx = f.register_node(n(1));
+        let h = f.handle();
+        let mut batch: Vec<Bytes> = (0u8..5).map(|i| Bytes::from(vec![i])).collect();
+        h.send_batch(n(0), n(1), &mut batch);
+        assert!(batch.is_empty(), "batch is drained (allocation reusable)");
+        let got: Vec<u8> = rx.try_iter().map(|(_, b)| b[0]).collect();
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+        assert_eq!(f.stats.packets.load(Ordering::Relaxed), 5);
+        assert_eq!(f.stats.batches.load(Ordering::Relaxed), 1);
+        assert_eq!(f.stats.batched_packets.load(Ordering::Relaxed), 5);
+        assert_eq!(f.stats.sends.load(Ordering::Relaxed), 1);
     }
 
     #[test]

@@ -28,7 +28,10 @@ pub struct FailureMonitor {
 
 impl FailureMonitor {
     pub fn new(stale_rounds: u64) -> FailureMonitor {
-        FailureMonitor { last: HashMap::new(), stale_rounds }
+        FailureMonitor {
+            last: HashMap::new(),
+            stale_rounds,
+        }
     }
 
     /// Record the latest heartbeat sequence observed for `node` during
@@ -58,7 +61,11 @@ impl FailureMonitor {
 
     /// All currently suspected nodes among `known`.
     pub fn suspects(&self, known: &[NodeId], round: u64) -> Vec<NodeId> {
-        known.iter().copied().filter(|n| self.suspected(*n, round)).collect()
+        known
+            .iter()
+            .copied()
+            .filter(|n| self.suspected(*n, round))
+            .collect()
     }
 }
 

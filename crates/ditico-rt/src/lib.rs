@@ -26,6 +26,7 @@ pub mod failure;
 pub mod nameservice;
 pub mod site;
 pub mod termination;
+pub mod wake;
 
 pub use cluster::{Cluster, RunLimits, RunReport};
 pub use daemon::{Daemon, DaemonStats, TermCounters};
@@ -34,3 +35,4 @@ pub use failure::FailureMonitor;
 pub use nameservice::NameService;
 pub use site::{RtIncoming, RtPort, Site};
 pub use termination::{Snapshot, TerminationDetector};
+pub use wake::Notify;

@@ -77,7 +77,8 @@ impl NameService {
         name: &str,
         value: WireWord,
     ) -> Vec<Packet> {
-        self.id_table.insert((site_lexeme.to_string(), name.to_string()), value.clone());
+        self.id_table
+            .insert((site_lexeme.to_string(), name.to_string()), value.clone());
         let mut replies = Vec::new();
         let mut keep = Vec::new();
         for (req, s, n, kind, reply_to) in self.pending.drain(..) {
@@ -87,7 +88,11 @@ impl NameService {
                 } else {
                     Err(format!("`{s}.{n}` exported with the wrong kind"))
                 };
-                replies.push(Packet::NsImportReply { to: reply_to, req, result });
+                replies.push(Packet::NsImportReply {
+                    to: reply_to,
+                    req,
+                    result,
+                });
             } else {
                 keep.push((req, s, n, kind, reply_to));
             }
@@ -122,10 +127,15 @@ impl NameService {
                 } else {
                     Err(format!("`{site}.{name}` has the wrong kind"))
                 };
-                Some(Packet::NsImportReply { to: reply_to, req, result })
+                Some(Packet::NsImportReply {
+                    to: reply_to,
+                    req,
+                    result,
+                })
             }
             None => {
-                self.pending.push((req, site.to_string(), name.to_string(), kind, reply_to));
+                self.pending
+                    .push((req, site.to_string(), name.to_string(), kind, reply_to));
                 None
             }
         }
@@ -138,11 +148,18 @@ mod tests {
     use tyco_vm::word::{NetRef, NodeId};
 
     fn ident(s: u32, n: u32) -> Identity {
-        Identity { site: SiteId(s), node: NodeId(n) }
+        Identity {
+            site: SiteId(s),
+            node: NodeId(n),
+        }
     }
 
     fn chan(h: u64) -> WireWord {
-        WireWord::Chan(NetRef { heap_id: h, site: SiteId(0), node: NodeId(0) })
+        WireWord::Chan(NetRef {
+            heap_id: h,
+            site: SiteId(0),
+            node: NodeId(0),
+        })
     }
 
     #[test]
@@ -152,9 +169,15 @@ mod tests {
         assert!(ns
             .handle_register(SiteId(0), "server", "p", chan(7))
             .is_empty());
-        let reply = ns.handle_import(1, "server", "p", ImportKind::Name, ident(1, 1)).unwrap();
+        let reply = ns
+            .handle_import(1, "server", "p", ImportKind::Name, ident(1, 1))
+            .unwrap();
         match reply {
-            Packet::NsImportReply { req: 1, result: Ok(WireWord::Chan(r)), .. } => {
+            Packet::NsImportReply {
+                req: 1,
+                result: Ok(WireWord::Chan(r)),
+                ..
+            } => {
                 assert_eq!(r.heap_id, 7);
             }
             other => panic!("unexpected {other:?}"),
@@ -165,13 +188,19 @@ mod tests {
     fn lookup_blocks_until_register() {
         let mut ns = NameService::new();
         ns.register_site("server", ident(0, 0));
-        assert!(ns.handle_import(1, "server", "p", ImportKind::Name, ident(1, 1)).is_none());
+        assert!(ns
+            .handle_import(1, "server", "p", ImportKind::Name, ident(1, 1))
+            .is_none());
         assert_eq!(ns.pending_count(), 1);
         let replies = ns.handle_register(SiteId(0), "server", "p", chan(3));
         assert_eq!(replies.len(), 1);
         assert_eq!(ns.pending_count(), 0);
         match &replies[0] {
-            Packet::NsImportReply { req: 1, result: Ok(_), to } => {
+            Packet::NsImportReply {
+                req: 1,
+                result: Ok(_),
+                to,
+            } => {
                 assert_eq!(*to, ident(1, 1));
             }
             other => panic!("unexpected {other:?}"),
@@ -181,8 +210,13 @@ mod tests {
     #[test]
     fn unknown_site_is_permanent_error() {
         let mut ns = NameService::new();
-        let reply = ns.handle_import(1, "mars", "p", ImportKind::Name, ident(1, 1)).unwrap();
-        assert!(matches!(reply, Packet::NsImportReply { result: Err(_), .. }));
+        let reply = ns
+            .handle_import(1, "mars", "p", ImportKind::Name, ident(1, 1))
+            .unwrap();
+        assert!(matches!(
+            reply,
+            Packet::NsImportReply { result: Err(_), .. }
+        ));
     }
 
     #[test]
@@ -190,12 +224,22 @@ mod tests {
         let mut ns = NameService::new();
         ns.register_site("server", ident(0, 0));
         ns.handle_register(SiteId(0), "server", "p", chan(0));
-        let reply = ns.handle_import(1, "server", "p", ImportKind::Class, ident(1, 1)).unwrap();
-        assert!(matches!(reply, Packet::NsImportReply { result: Err(_), .. }));
+        let reply = ns
+            .handle_import(1, "server", "p", ImportKind::Class, ident(1, 1))
+            .unwrap();
+        assert!(matches!(
+            reply,
+            Packet::NsImportReply { result: Err(_), .. }
+        ));
         // And the parked-then-registered path checks kinds too.
-        assert!(ns.handle_import(2, "server", "k", ImportKind::Class, ident(1, 1)).is_none());
+        assert!(ns
+            .handle_import(2, "server", "k", ImportKind::Class, ident(1, 1))
+            .is_none());
         let replies = ns.handle_register(SiteId(0), "server", "k", chan(1));
-        assert!(matches!(&replies[0], Packet::NsImportReply { result: Err(_), .. }));
+        assert!(matches!(
+            &replies[0],
+            Packet::NsImportReply { result: Err(_), .. }
+        ));
     }
 
     #[test]
@@ -203,7 +247,9 @@ mod tests {
         let mut ns = NameService::new();
         ns.register_site("s", ident(0, 0));
         for req in 0..5 {
-            assert!(ns.handle_import(req, "s", "x", ImportKind::Name, ident(req as u32, 0)).is_none());
+            assert!(ns
+                .handle_import(req, "s", "x", ImportKind::Name, ident(req as u32, 0))
+                .is_none());
         }
         let replies = ns.handle_register(SiteId(0), "s", "x", chan(9));
         assert_eq!(replies.len(), 5);

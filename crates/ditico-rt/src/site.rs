@@ -7,8 +7,9 @@
 //! fills.
 
 use crate::daemon::TermCounters;
+use crate::wake::Notify;
 use crossbeam::channel::{Receiver, Sender};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use tyco_vm::codec::Packet;
@@ -24,7 +25,10 @@ pub enum RtIncoming {
     /// Plain VM traffic (messages, objects, fetch requests/replies).
     Vm(Incoming),
     /// A name-service reply for one of this site's import requests.
-    ImportResolved { req: u64, result: Result<WireWord, String> },
+    ImportResolved {
+        req: u64,
+        result: Result<WireWord, String>,
+    },
 }
 
 /// The queue-backed [`NetPort`] of a site.
@@ -33,6 +37,15 @@ pub struct RtPort {
     lexeme: String,
     out: Sender<(SiteId, Packet)>,
     inbox: Receiver<RtIncoming>,
+    /// Incoming batch buffer: `poll` refills it from the inbox with one
+    /// queue lock per backlog instead of one per item.
+    pending_in: VecDeque<RtIncoming>,
+    /// Outgoing batch buffer: port operations append here; [`flush`]
+    /// pushes the whole backlog to the daemon under one queue lock, once
+    /// per pump slice. FIFO order is that of the port calls.
+    outgoing: Vec<Packet>,
+    /// The daemon thread to wake when a flush hands it packets.
+    daemon_waker: Arc<Notify>,
     /// Resolved imports: (site, name, kind) → value; filled when replies
     /// arrive so re-executed `import` instructions answer `Ready`.
     cache: HashMap<(String, String, ImportKind), WireWord>,
@@ -48,6 +61,7 @@ impl RtPort {
         lexeme: String,
         out: Sender<(SiteId, Packet)>,
         inbox: Receiver<RtIncoming>,
+        daemon_waker: Arc<Notify>,
         term: Arc<TermCounters>,
     ) -> RtPort {
         RtPort {
@@ -55,6 +69,9 @@ impl RtPort {
             lexeme,
             out,
             inbox,
+            pending_in: VecDeque::new(),
+            outgoing: Vec::new(),
+            daemon_waker,
             cache: HashMap::new(),
             pending: HashMap::new(),
             next_req: 0,
@@ -62,12 +79,30 @@ impl RtPort {
         }
     }
 
-    fn send(&self, p: Packet) {
+    fn send(&mut self, p: Packet) {
         self.term.injected.fetch_add(1, Ordering::Relaxed);
-        // A failed send means the daemon is gone (node shut down); the
-        // packet is dropped, which is the behaviour of a dead node.
-        if self.out.send((self.identity.site, p)).is_err() {
-            self.term.consumed.fetch_add(1, Ordering::Relaxed);
+        self.outgoing.push(p);
+    }
+
+    /// Flush the outgoing batch to the daemon: one queue lock for the
+    /// whole backlog, then one wakeup. Called at the end of every
+    /// [`Site::pump`] slice (and after import re-issue).
+    pub fn flush(&mut self) {
+        if self.outgoing.is_empty() {
+            return;
+        }
+        let n = self.outgoing.len() as u64;
+        let site = self.identity.site;
+        match self
+            .out
+            .send_iter(self.outgoing.drain(..).map(|p| (site, p)))
+        {
+            Ok(_) => self.daemon_waker.notify(),
+            // A failed send means the daemon is gone (node shut down); the
+            // packets are dropped, which is the behaviour of a dead node.
+            Err(_) => {
+                self.term.consumed.fetch_add(n, Ordering::Relaxed);
+            }
         }
     }
 
@@ -86,6 +121,9 @@ impl RtPort {
                 reply_to: self.identity,
             });
         }
+        // Failover recovery happens outside the pump loop; hand the
+        // re-issued lookups to the daemon right away.
+        self.flush();
     }
 
     /// Number of in-flight import requests.
@@ -96,7 +134,7 @@ impl RtPort {
     /// Items waiting in the incoming queue (activity signal for the
     /// termination detector).
     pub fn inbox_len(&self) -> usize {
-        self.inbox.len()
+        self.pending_in.len() + self.inbox.len()
     }
 }
 
@@ -133,7 +171,11 @@ impl NetPort for RtPort {
     }
 
     fn send_msg(&mut self, dest: NetRef, label: &str, args: Vec<WireWord>) {
-        self.send(Packet::Msg { dest, label: label.to_string(), args });
+        self.send(Packet::Msg {
+            dest,
+            label: label.to_string(),
+            args,
+        });
     }
 
     fn send_obj(&mut self, dest: NetRef, obj: WireObj) {
@@ -143,21 +185,33 @@ impl NetPort for RtPort {
     fn fetch(&mut self, class: NetRef) -> FetchReplyNow {
         self.next_req += 1;
         let req = self.next_req;
-        self.send(Packet::FetchReq { class, req, reply_to: self.identity });
+        self.send(Packet::FetchReq {
+            class,
+            req,
+            reply_to: self.identity,
+        });
         FetchReplyNow::Pending(req)
     }
 
     fn fetch_reply(&mut self, to: Identity, req: u64, group: WireGroup, index: u8) {
-        self.send(Packet::FetchReply { to, req, group, index });
+        self.send(Packet::FetchReply {
+            to,
+            req,
+            group,
+            index,
+        });
     }
 
     fn poll(&mut self) -> Option<Incoming> {
-        match self.inbox.try_recv() {
-            Ok(RtIncoming::Vm(i)) => {
+        if self.pending_in.is_empty() && self.inbox.drain_into(&mut self.pending_in) == 0 {
+            return None;
+        }
+        match self.pending_in.pop_front()? {
+            RtIncoming::Vm(i) => {
                 self.term.consumed.fetch_add(1, Ordering::Relaxed);
                 Some(i)
             }
-            Ok(RtIncoming::ImportResolved { req, result }) => {
+            RtIncoming::ImportResolved { req, result } => {
                 self.term.consumed.fetch_add(1, Ordering::Relaxed);
                 let key = self.pending.remove(&req);
                 match result {
@@ -170,7 +224,6 @@ impl NetPort for RtPort {
                     Err(reason) => Some(Incoming::ImportFailed { req, reason }),
                 }
             }
-            Err(_) => None,
         }
     }
 }
@@ -180,28 +233,40 @@ pub struct Site {
     pub lexeme: String,
     pub identity: Identity,
     pub machine: Machine<RtPort>,
+    /// Wakeup for this site's thread: the daemon notifies it on inbox
+    /// delivery so the thread can park instead of poll.
+    pub waker: Arc<Notify>,
     /// Set when the site's program raised a runtime error.
     pub error: Option<VmError>,
 }
 
 impl Site {
     pub fn new(lexeme: &str, identity: Identity, program: Program, port: RtPort) -> Site {
-        Site { lexeme: lexeme.to_string(), identity, machine: Machine::new(program, port), error: None }
+        Site {
+            lexeme: lexeme.to_string(),
+            identity,
+            machine: Machine::new(program, port),
+            waker: Arc::new(Notify::new()),
+            error: None,
+        }
     }
 
-    /// Pump the site once: drain incoming, run a bounded slice.
+    /// Pump the site once: drain incoming, run a bounded slice, then
+    /// flush the outgoing batch to the daemon in one operation.
     /// Returns whether any instruction ran (progress).
     pub fn pump(&mut self, fuel: u64) -> bool {
         if self.error.is_some() {
             return false;
         }
-        match self.machine.run_slice(fuel) {
+        let ran = match self.machine.run_slice(fuel) {
             Ok(SliceStatus { instrs, .. }) => instrs > 0,
             Err(e) => {
                 self.error = Some(e);
                 false
             }
-        }
+        };
+        self.machine.port.flush();
+        ran
     }
 
     /// Is the site idle (nothing runnable)?

@@ -31,7 +31,11 @@ impl Snapshot {
         // make the balance check fail (safe direction).
         let consumed = counters.consumed.load(Ordering::SeqCst);
         let injected = counters.injected.load(Ordering::SeqCst);
-        Snapshot { injected, consumed, any_active }
+        Snapshot {
+            injected,
+            consumed,
+            any_active,
+        }
     }
 
     /// Is the system balanced and idle in this snapshot?
@@ -76,14 +80,24 @@ mod tests {
     use super::*;
 
     fn snap(i: u64, c: u64, a: bool) -> Snapshot {
-        Snapshot { injected: i, consumed: c, any_active: a }
+        Snapshot {
+            injected: i,
+            consumed: c,
+            any_active: a,
+        }
     }
 
     #[test]
     fn needs_two_identical_quiet_snapshots() {
         let mut d = TerminationDetector::new();
-        assert!(!d.probe(snap(5, 5, false)), "first quiet snapshot is not enough");
-        assert!(d.probe(snap(5, 5, false)), "second identical quiet snapshot confirms");
+        assert!(
+            !d.probe(snap(5, 5, false)),
+            "first quiet snapshot is not enough"
+        );
+        assert!(
+            d.probe(snap(5, 5, false)),
+            "second identical quiet snapshot confirms"
+        );
     }
 
     #[test]
@@ -99,7 +113,10 @@ mod tests {
     fn never_fires_while_unbalanced_or_active() {
         let mut d = TerminationDetector::new();
         assert!(!d.probe(snap(5, 4, false)));
-        assert!(!d.probe(snap(5, 4, false)), "in-flight packet blocks detection");
+        assert!(
+            !d.probe(snap(5, 4, false)),
+            "in-flight packet blocks detection"
+        );
         assert!(!d.probe(snap(5, 5, true)));
         assert!(!d.probe(snap(5, 5, true)), "active site blocks detection");
     }
@@ -109,7 +126,10 @@ mod tests {
         let mut d = TerminationDetector::new();
         assert!(!d.probe(snap(5, 5, false)));
         d.reset();
-        assert!(!d.probe(snap(5, 5, false)), "reset forces a fresh first wave");
+        assert!(
+            !d.probe(snap(5, 5, false)),
+            "reset forces a fresh first wave"
+        );
         assert!(d.probe(snap(5, 5, false)));
     }
 

@@ -16,9 +16,18 @@ fn two_node_cluster(mode: FabricMode, link: LinkProfile) -> (Cluster, NodeId, No
 #[test]
 fn remote_rpc_across_nodes_deterministic() {
     let (mut c, n0, n1) = two_node_cluster(FabricMode::Virtual, LinkProfile::myrinet());
-    c.add_site_src(n0, "server", "def Srv(s) = s?{ val(x, r) = r![x * 2] | Srv[s] } in export new p in Srv[p]").unwrap();
-    c.add_site_src(n1, "client", "import p from server in new a (p!val[21, a] | a?(y) = print(y))")
-        .unwrap();
+    c.add_site_src(
+        n0,
+        "server",
+        "def Srv(s) = s?{ val(x, r) = r![x * 2] | Srv[s] } in export new p in Srv[p]",
+    )
+    .unwrap();
+    c.add_site_src(
+        n1,
+        "client",
+        "import p from server in new a (p!val[21, a] | a?(y) = print(y))",
+    )
+    .unwrap();
     let report = c.run_deterministic(RunLimits::default());
     assert!(report.errors.is_empty(), "{:?}", report.errors);
     assert_eq!(report.output("client"), ["42".to_string()]);
@@ -34,9 +43,18 @@ fn remote_rpc_across_nodes_deterministic() {
 fn same_node_sites_use_shared_memory_path() {
     let mut c = Cluster::new(FabricMode::Virtual, LinkProfile::myrinet(), 1);
     let n0 = c.add_node();
-    c.add_site_src(n0, "server", "def Srv(s) = s?{ val(x, r) = r![x * 2] | Srv[s] } in export new p in Srv[p]").unwrap();
-    c.add_site_src(n0, "client", "import p from server in new a (p!val[21, a] | a?(y) = print(y))")
-        .unwrap();
+    c.add_site_src(
+        n0,
+        "server",
+        "def Srv(s) = s?{ val(x, r) = r![x * 2] | Srv[s] } in export new p in Srv[p]",
+    )
+    .unwrap();
+    c.add_site_src(
+        n0,
+        "client",
+        "import p from server in new a (p!val[21, a] | a?(y) = print(y))",
+    )
+    .unwrap();
     let report = c.run_deterministic(RunLimits::default());
     assert_eq!(report.output("client"), ["42".to_string()]);
     // Everything stayed on-node: zero fabric packets, zero virtual time.
@@ -48,8 +66,14 @@ fn same_node_sites_use_shared_memory_path() {
 #[test]
 fn applet_fetch_across_nodes() {
     let (mut c, n0, n1) = two_node_cluster(FabricMode::Virtual, LinkProfile::fast_ethernet());
-    c.add_site_src(n0, "server", r#"export def Applet(v) = println("applet", v) in 0"#).unwrap();
-    c.add_site_src(n1, "client", "import Applet from server in Applet[5]").unwrap();
+    c.add_site_src(
+        n0,
+        "server",
+        r#"export def Applet(v) = println("applet", v) in 0"#,
+    )
+    .unwrap();
+    c.add_site_src(n1, "client", "import Applet from server in Applet[5]")
+        .unwrap();
     let report = c.run_deterministic(RunLimits::default());
     assert!(report.errors.is_empty(), "{:?}", report.errors);
     assert_eq!(report.output("client"), ["applet 5".to_string()]);
@@ -134,7 +158,12 @@ fn four_node_cluster_like_figure_1() {
 fn deterministic_runs_are_reproducible() {
     let run = || {
         let (mut c, n0, n1) = two_node_cluster(FabricMode::Virtual, LinkProfile::myrinet());
-        c.add_site_src(n0, "server", "def Srv(s) = s?{ val(x, r) = r![x + 1] | Srv[s] } in export new p in Srv[p]").unwrap();
+        c.add_site_src(
+            n0,
+            "server",
+            "def Srv(s) = s?{ val(x, r) = r![x + 1] | Srv[s] } in export new p in Srv[p]",
+        )
+        .unwrap();
         c.add_site_src(
             n1,
             "client",
@@ -147,7 +176,11 @@ fn deterministic_runs_are_reproducible() {
         )
         .unwrap();
         let report = c.run_deterministic(RunLimits::default());
-        (report.output("client").to_vec(), report.virtual_ns, report.fabric_packets)
+        (
+            report.output("client").to_vec(),
+            report.virtual_ns,
+            report.fabric_packets,
+        )
     };
     let a = run();
     let b = run();
@@ -159,7 +192,12 @@ fn deterministic_runs_are_reproducible() {
 fn slower_links_cost_more_virtual_time() {
     let time_for = |link: LinkProfile| {
         let (mut c, n0, n1) = two_node_cluster(FabricMode::Virtual, link);
-        c.add_site_src(n0, "server", "def Srv(s) = s?{ val(x, r) = r![x] | Srv[s] } in export new p in Srv[p]").unwrap();
+        c.add_site_src(
+            n0,
+            "server",
+            "def Srv(s) = s?{ val(x, r) = r![x] | Srv[s] } in export new p in Srv[p]",
+        )
+        .unwrap();
         c.add_site_src(
             n1,
             "client",
@@ -178,26 +216,46 @@ fn slower_links_cost_more_virtual_time() {
     let myrinet = time_for(LinkProfile::myrinet());
     let ethernet = time_for(LinkProfile::fast_ethernet());
     let wan = time_for(LinkProfile::wan());
-    assert!(myrinet < ethernet, "myrinet {myrinet} vs ethernet {ethernet}");
+    assert!(
+        myrinet < ethernet,
+        "myrinet {myrinet} vs ethernet {ethernet}"
+    );
     assert!(ethernet < wan, "ethernet {ethernet} vs wan {wan}");
 }
 
 #[test]
 fn threaded_mode_runs_rpc() {
     let (mut c, n0, n1) = two_node_cluster(FabricMode::Ideal, LinkProfile::ideal());
-    c.add_site_src(n0, "server", "def Srv(s) = s?{ val(x, r) = r![x * 2] | Srv[s] } in export new p in Srv[p]").unwrap();
-    c.add_site_src(n1, "client", "import p from server in new a (p!val[21, a] | a?(y) = print(y))")
-        .unwrap();
+    c.add_site_src(
+        n0,
+        "server",
+        "def Srv(s) = s?{ val(x, r) = r![x * 2] | Srv[s] } in export new p in Srv[p]",
+    )
+    .unwrap();
+    c.add_site_src(
+        n1,
+        "client",
+        "import p from server in new a (p!val[21, a] | a?(y) = print(y))",
+    )
+    .unwrap();
     let report = c.run_threaded(std::time::Duration::from_secs(20));
     assert!(report.errors.is_empty(), "{:?}", report.errors);
     assert_eq!(report.output("client"), ["42".to_string()]);
-    assert!(report.detector_probes >= 2, "termination needs two quiet probes");
+    assert!(
+        report.detector_probes >= 2,
+        "termination needs two quiet probes"
+    );
 }
 
 #[test]
 fn threaded_mode_with_realtime_latency() {
     let (mut c, n0, n1) = two_node_cluster(FabricMode::RealTime, LinkProfile::myrinet());
-    c.add_site_src(n0, "server", "def Srv(s) = s?{ val(x, r) = r![x + 1] | Srv[s] } in export new p in Srv[p]").unwrap();
+    c.add_site_src(
+        n0,
+        "server",
+        "def Srv(s) = s?{ val(x, r) = r![x + 1] | Srv[s] } in export new p in Srv[p]",
+    )
+    .unwrap();
     c.add_site_src(
         n1,
         "client",
@@ -226,16 +284,31 @@ fn nameservice_failover_with_replicas() {
     let _ = n1;
     c.heartbeat_every = Some(64);
     c.stale_periods = 2;
-    c.add_site_src(n2, "server", "def Srv(s) = s?{ val(x, r) = r![x * 3] | Srv[s] } in export new p in Srv[p]").unwrap();
+    c.add_site_src(
+        n2,
+        "server",
+        "def Srv(s) = s?{ val(x, r) = r![x * 3] | Srv[s] } in export new p in Srv[p]",
+    )
+    .unwrap();
     // First run: let the export register at both replicas.
-    c.run_deterministic(RunLimits { max_instrs: 10_000_000, fuel_per_slice: 256 });
+    c.run_deterministic(RunLimits {
+        max_instrs: 10_000_000,
+        fuel_per_slice: 256,
+    });
     // Kill the primary; its daemon stops and traffic to it is dropped.
     c.kill_node(n0);
     assert_eq!(c.ns_primary_node(), n0);
     // Now submit a client whose import must survive the failover.
-    c.add_site_src(n2, "client", "import p from server in new a (p!val[14, a] | a?(y) = print(y))")
-        .unwrap();
-    let report = c.run_deterministic(RunLimits { max_instrs: 50_000_000, fuel_per_slice: 256 });
+    c.add_site_src(
+        n2,
+        "client",
+        "import p from server in new a (p!val[14, a] | a?(y) = print(y))",
+    )
+    .unwrap();
+    let report = c.run_deterministic(RunLimits {
+        max_instrs: 50_000_000,
+        fuel_per_slice: 256,
+    });
     assert_ne!(c.ns_primary_node(), n0, "failover must have happened");
     assert_eq!(report.output("client"), ["42".to_string()]);
 }
@@ -254,7 +327,8 @@ fn dead_node_loses_its_sites_but_others_continue() {
 #[test]
 fn blocked_import_reported() {
     let (mut c, n0, _n1) = two_node_cluster(FabricMode::Virtual, LinkProfile::myrinet());
-    c.add_site_src(n0, "client", "import ghost from client in ghost![1]").unwrap();
+    c.add_site_src(n0, "client", "import ghost from client in ghost![1]")
+        .unwrap();
     let report = c.run_deterministic(RunLimits::default());
     // `client` site exists, but never exports `ghost`: import parks forever.
     assert_eq!(report.blocked_imports, 1);
@@ -266,20 +340,25 @@ fn wrong_kind_import_is_error() {
     let (mut c, n0, n1) = two_node_cluster(FabricMode::Virtual, LinkProfile::myrinet());
     c.add_site_src(n0, "server", "export new p in 0").unwrap();
     // Import p as a CLASS — the name service must reject it.
-    c.add_site_src(n1, "client", "import P from server in P[1]").unwrap();
+    c.add_site_src(n1, "client", "import P from server in P[1]")
+        .unwrap();
     let report = c.run_deterministic(RunLimits::default());
     // P (class) ≠ p (name): unknown identifier stays blocked rather than
     // erroring... so use matching case with wrong kind instead:
     let _ = report;
     let (mut c2, m0, m1) = two_node_cluster(FabricMode::Virtual, LinkProfile::myrinet());
-    c2.add_site_src(m0, "server", "export def Applet(v) = print(v) in 0").unwrap();
-    c2.add_site_src(m1, "client", "import applet from server in applet![1]").unwrap();
+    c2.add_site_src(m0, "server", "export def Applet(v) = print(v) in 0")
+        .unwrap();
+    c2.add_site_src(m1, "client", "import applet from server in applet![1]")
+        .unwrap();
     let _ = c2.run_deterministic(RunLimits::default());
     // lower-case `applet` was never exported (class was exported as
     // `Applet`): blocked, not crashed. Now the true kind-mismatch:
     let (mut c3, k0, k1) = two_node_cluster(FabricMode::Virtual, LinkProfile::myrinet());
-    c3.add_site_src(k0, "server", "export def Thing(v) = print(v) in 0").unwrap();
-    c3.add_site_src(k1, "client", "import Thing from server in Thing[1]").unwrap();
+    c3.add_site_src(k0, "server", "export def Thing(v) = print(v) in 0")
+        .unwrap();
+    c3.add_site_src(k1, "client", "import Thing from server in Thing[1]")
+        .unwrap();
     let ok = c3.run_deterministic(RunLimits::default());
     assert!(ok.errors.is_empty());
     // The fetched class instantiates AT THE CLIENT.
@@ -301,9 +380,13 @@ fn seti_runs_distributed() {
         "#,
     )
     .unwrap();
-    c.add_site_src(n1, "client", "import Install from seti in Install[]").unwrap();
+    c.add_site_src(n1, "client", "import Install from seti in Install[]")
+        .unwrap();
     // Bounded: the Go loop never ends.
-    let report = c.run_deterministic(RunLimits { max_instrs: 200_000, fuel_per_slice: 512 });
+    let report = c.run_deterministic(RunLimits {
+        max_instrs: 200_000,
+        fuel_per_slice: 512,
+    });
     let client = report.output("client");
     assert_eq!(client.first().map(String::as_str), Some("installed"));
     assert!(client.contains(&"17".to_string()), "{client:?}");

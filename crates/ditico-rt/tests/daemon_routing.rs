@@ -41,20 +41,42 @@ fn rig() -> Rig {
         term.clone(),
     );
     if let Some(ns) = &mut daemon.ns {
-        ns.register_site("local", Identity { site: SiteId(0), node: NodeId(0) });
-        ns.register_site("far", Identity { site: SiteId(7), node: NodeId(1) });
+        ns.register_site(
+            "local",
+            Identity {
+                site: SiteId(0),
+                node: NodeId(0),
+            },
+        );
+        ns.register_site(
+            "far",
+            Identity {
+                site: SiteId(7),
+                node: NodeId(1),
+            },
+        );
     }
     let (in_tx, site_rx) = unbounded();
-    daemon.attach_site(SiteId(0), in_tx);
+    daemon.attach_site(SiteId(0), in_tx, Arc::new(ditico_rt::wake::Notify::new()));
     // Keep the fabric alive for the rig's lifetime by leaking it (tests
     // are short-lived); shutting it down would close the channels.
     std::mem::forget(fabric);
-    Rig { daemon, site_rx, fabric_rx_other, to_daemon: out_tx, term }
+    Rig {
+        daemon,
+        site_rx,
+        fabric_rx_other,
+        to_daemon: out_tx,
+        term,
+    }
 }
 
 fn msg_to(site: u32, node: u32) -> Packet {
     Packet::Msg {
-        dest: NetRef { heap_id: 5, site: SiteId(site), node: NodeId(node) },
+        dest: NetRef {
+            heap_id: 5,
+            site: SiteId(site),
+            node: NodeId(node),
+        },
         label: "go".into(),
         args: vec![WireWord::Int(1)],
     }
@@ -95,7 +117,11 @@ fn remote_destination_is_encoded_and_forwarded() {
 #[test]
 fn ns_register_then_import_answers_locally() {
     let mut r = rig();
-    let value = WireWord::Chan(NetRef { heap_id: 1, site: SiteId(0), node: NodeId(0) });
+    let value = WireWord::Chan(NetRef {
+        heap_id: 1,
+        site: SiteId(0),
+        node: NodeId(0),
+    });
     r.to_daemon
         .send((
             SiteId(0),
@@ -115,13 +141,19 @@ fn ns_register_then_import_answers_locally() {
                 site: "local".into(),
                 name: "p".into(),
                 kind: tyco_vm::ImportKind::Name,
-                reply_to: Identity { site: SiteId(0), node: NodeId(0) },
+                reply_to: Identity {
+                    site: SiteId(0),
+                    node: NodeId(0),
+                },
             },
         ))
         .unwrap();
     assert!(r.daemon.pump());
     match r.site_rx.try_recv().expect("reply") {
-        RtIncoming::ImportResolved { req: 9, result: Ok(w) } => assert_eq!(w, value),
+        RtIncoming::ImportResolved {
+            req: 9,
+            result: Ok(w),
+        } => assert_eq!(w, value),
         other => panic!("unexpected {other:?}"),
     }
     assert_eq!(r.daemon.stats.ns_ops, 2);
@@ -141,7 +173,11 @@ fn conservation_accounting_balances() {
                 from_site: SiteId(0),
                 site_lexeme: "local".into(),
                 name: "q".into(),
-                value: WireWord::Chan(NetRef { heap_id: 2, site: SiteId(0), node: NodeId(0) }),
+                value: WireWord::Chan(NetRef {
+                    heap_id: 2,
+                    site: SiteId(0),
+                    node: NodeId(0),
+                }),
             },
         ))
         .unwrap();
@@ -153,7 +189,10 @@ fn conservation_accounting_balances() {
                 site: "local".into(),
                 name: "q".into(),
                 kind: tyco_vm::ImportKind::Name,
-                reply_to: Identity { site: SiteId(0), node: NodeId(0) },
+                reply_to: Identity {
+                    site: SiteId(0),
+                    node: NodeId(0),
+                },
             },
         ))
         .unwrap();
@@ -185,5 +224,9 @@ fn unknown_local_site_drops_and_consumes() {
     r.to_daemon.send((SiteId(0), msg_to(42, 0))).unwrap(); // site 42: nobody
     r.daemon.pump();
     assert!(r.site_rx.try_recv().is_err());
-    assert_eq!(r.term.consumed.load(Ordering::SeqCst), before + 1, "dropped = consumed");
+    assert_eq!(
+        r.term.consumed.load(Ordering::SeqCst),
+        before + 1,
+        "dropped = consumed"
+    );
 }

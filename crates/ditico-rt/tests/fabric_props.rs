@@ -85,4 +85,40 @@ proptest! {
         let received: Vec<u8> = rx.try_iter().map(|(_, b)| b[0]).collect();
         prop_assert_eq!(received, (0..sizes.len() as u8).collect::<Vec<_>>());
     }
+
+    /// Per-link FIFO survives batched flushing: interleaving single
+    /// `send`s with `send_batch` flushes of arbitrary sizes on the same
+    /// directed link must preserve the overall send order. This is the
+    /// ordering contract the daemon's per-destination outgoing buffers
+    /// rely on — a whole pump's worth of packets goes out as one batch,
+    /// racing with nothing on that link.
+    #[test]
+    fn fifo_across_batched_flushes(
+        profile in arb_profile(),
+        // Each entry is one flush: 0 = single send, n>0 = batch of n.
+        flushes in proptest::collection::vec(0usize..8, 2..24),
+    ) {
+        let fabric = Fabric::new(FabricMode::Virtual, profile);
+        let rx = fabric.register_node(NodeId(1));
+        let h = fabric.handle();
+        let mut seq: u8 = 0;
+        for batch_len in &flushes {
+            if *batch_len == 0 {
+                h.send(NodeId(0), NodeId(1), Bytes::from(vec![seq]));
+                seq += 1;
+            } else {
+                let mut batch: Vec<Bytes> = (0..*batch_len)
+                    .map(|i| Bytes::from(vec![seq + i as u8]))
+                    .collect();
+                seq += *batch_len as u8;
+                h.send_batch(NodeId(0), NodeId(1), &mut batch);
+                prop_assert!(batch.is_empty(), "send_batch drains its input");
+            }
+        }
+        while let Some(t) = fabric.next_event_ns() {
+            fabric.advance_to(t);
+        }
+        let received: Vec<u8> = rx.try_iter().map(|(_, b)| b[0]).collect();
+        prop_assert_eq!(received, (0..seq).collect::<Vec<_>>());
+    }
 }

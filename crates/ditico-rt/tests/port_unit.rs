@@ -4,6 +4,7 @@
 use crossbeam::channel::unbounded;
 use ditico_rt::daemon::TermCounters;
 use ditico_rt::site::{RtIncoming, RtPort};
+use ditico_rt::wake::Notify;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use tyco_vm::codec::Packet;
@@ -24,25 +25,47 @@ fn rig() -> Rig {
     let (in_tx, in_rx) = unbounded();
     let term = Arc::new(TermCounters::default());
     let port = RtPort::new(
-        Identity { site: SiteId(3), node: NodeId(1) },
+        Identity {
+            site: SiteId(3),
+            node: NodeId(1),
+        },
         "me".to_string(),
         out_tx,
         in_rx,
+        Arc::new(Notify::new()),
         term.clone(),
     );
-    Rig { port, out_rx, in_tx, term }
+    Rig {
+        port,
+        out_rx,
+        in_tx,
+        term,
+    }
 }
 
 fn some_ref() -> NetRef {
-    NetRef { heap_id: 4, site: SiteId(0), node: NodeId(0) }
+    NetRef {
+        heap_id: 4,
+        site: SiteId(0),
+        node: NodeId(0),
+    }
 }
 
 #[test]
 fn register_emits_ns_packet_with_lexeme() {
     let mut r = rig();
     r.port.register("p", WireWord::Chan(some_ref()));
+    r.port.flush();
     match r.out_rx.try_recv().unwrap() {
-        (SiteId(3), Packet::NsRegister { from_site, site_lexeme, name, .. }) => {
+        (
+            SiteId(3),
+            Packet::NsRegister {
+                from_site,
+                site_lexeme,
+                name,
+                ..
+            },
+        ) => {
             assert_eq!(from_site, SiteId(3));
             assert_eq!(site_lexeme, "me");
             assert_eq!(name, "p");
@@ -61,12 +84,21 @@ fn import_pends_then_caches_then_ready() {
         ImportReply::Pending(req) => req,
         other => panic!("unexpected {other:?}"),
     };
-    assert!(matches!(r.out_rx.try_recv().unwrap().1, Packet::NsImport { .. }));
+    r.port.flush();
+    assert!(matches!(
+        r.out_rx.try_recv().unwrap().1,
+        Packet::NsImport { .. }
+    ));
     assert_eq!(r.port.pending_imports(), 1);
 
     // The resolution arrives; poll surfaces ImportReady and fills the cache.
     let value = WireWord::Chan(some_ref());
-    r.in_tx.send(RtIncoming::ImportResolved { req, result: Ok(value.clone()) }).unwrap();
+    r.in_tx
+        .send(RtIncoming::ImportResolved {
+            req,
+            result: Ok(value.clone()),
+        })
+        .unwrap();
     assert_eq!(r.port.inbox_len(), 1);
     match r.port.poll() {
         Some(Incoming::ImportReady { req: got }) => assert_eq!(got, req),
@@ -79,10 +111,14 @@ fn import_pends_then_caches_then_ready() {
         ImportReply::Ready(w) => assert_eq!(w, value),
         other => panic!("unexpected {other:?}"),
     }
+    r.port.flush();
     assert!(r.out_rx.try_recv().is_err());
     // The cache is kind-sensitive: a CLASS import of the same name asks
     // the name service again.
-    assert!(matches!(r.port.import("srv", "p", ImportKind::Class), ImportReply::Pending(_)));
+    assert!(matches!(
+        r.port.import("srv", "p", ImportKind::Class),
+        ImportReply::Pending(_)
+    ));
 }
 
 #[test]
@@ -92,7 +128,10 @@ fn failed_import_surfaces_reason() {
         panic!("expected pending");
     };
     r.in_tx
-        .send(RtIncoming::ImportResolved { req, result: Err("no such identifier".into()) })
+        .send(RtIncoming::ImportResolved {
+            req,
+            result: Err("no such identifier".into()),
+        })
         .unwrap();
     match r.port.poll() {
         Some(Incoming::ImportFailed { req: got, reason }) => {
@@ -108,6 +147,7 @@ fn resend_pending_reissues_lookups_after_failover() {
     let mut r = rig();
     let _ = r.port.import("srv", "a", ImportKind::Name);
     let _ = r.port.import("srv", "b", ImportKind::Class);
+    r.port.flush();
     // Drain the two original lookups.
     assert_eq!(r.out_rx.try_iter().count(), 2);
     r.port.resend_pending_imports();
@@ -116,16 +156,29 @@ fn resend_pending_reissues_lookups_after_failover() {
     for p in reissued {
         assert!(matches!(p, Packet::NsImport { .. }));
     }
-    assert_eq!(r.port.pending_imports(), 2, "pending set unchanged by resend");
+    assert_eq!(
+        r.port.pending_imports(),
+        2,
+        "pending set unchanged by resend"
+    );
 }
 
 #[test]
 fn ship_operations_produce_correctly_addressed_packets() {
     let mut r = rig();
-    let dest = NetRef { heap_id: 8, site: SiteId(5), node: NodeId(2) };
+    let dest = NetRef {
+        heap_id: 8,
+        site: SiteId(5),
+        node: NodeId(2),
+    };
     r.port.send_msg(dest, "go", vec![WireWord::Int(1)]);
+    r.port.flush();
     match r.out_rx.try_recv().unwrap().1 {
-        Packet::Msg { dest: d, label, args } => {
+        Packet::Msg {
+            dest: d,
+            label,
+            args,
+        } => {
             assert_eq!(d, dest);
             assert_eq!(label, "go");
             assert_eq!(args, vec![WireWord::Int(1)]);
@@ -136,8 +189,11 @@ fn ship_operations_produce_correctly_addressed_packets() {
         tyco_vm::FetchReplyNow::Pending(_) => {}
         other => panic!("unexpected {other:?}"),
     }
+    r.port.flush();
     match r.out_rx.try_recv().unwrap().1 {
-        Packet::FetchReq { class, reply_to, .. } => {
+        Packet::FetchReq {
+            class, reply_to, ..
+        } => {
             assert_eq!(class, dest);
             assert_eq!(reply_to, r.port.identity());
         }
@@ -149,12 +205,20 @@ fn ship_operations_produce_correctly_addressed_packets() {
 fn conservation_counts_poll_and_send() {
     let mut r = rig();
     r.port.send_msg(some_ref(), "x", vec![]);
+    r.port.flush();
     assert_eq!(r.term.injected.load(Ordering::SeqCst), 1);
     r.in_tx
-        .send(RtIncoming::Vm(Incoming::Msg { dest: 0, label: "x".into(), args: vec![] }))
+        .send(RtIncoming::Vm(Incoming::Msg {
+            dest: 0,
+            label: "x".into(),
+            args: vec![],
+        }))
         .unwrap();
     assert!(r.port.poll().is_some());
     assert_eq!(r.term.consumed.load(Ordering::SeqCst), 1);
-    assert!(r.port.poll().is_none(), "empty inbox polls None without counting");
+    assert!(
+        r.port.poll().is_none(),
+        "empty inbox polls None without counting"
+    );
     assert_eq!(r.term.consumed.load(Ordering::SeqCst), 1);
 }

@@ -1,0 +1,120 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Provides a deterministic, seedable `StdRng` (splitmix64 core) and the
+//! `Rng::gen_range` / `SeedableRng::seed_from_u64` entry points the
+//! workspace uses. Not cryptographic; stream differs from upstream rand,
+//! which is fine — all users seed explicitly and only need reproducible
+//! uniform choices.
+
+pub mod rngs {
+    /// Deterministic 64-bit generator (splitmix64).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        pub(crate) state: u64,
+    }
+
+    impl StdRng {
+        pub(crate) fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for rngs::StdRng {
+    fn seed_from_u64(seed: u64) -> rngs::StdRng {
+        rngs::StdRng { state: seed }
+    }
+}
+
+mod private {
+    pub trait RngCore {
+        fn next_u64(&mut self) -> u64;
+    }
+}
+
+impl private::RngCore for rngs::StdRng {
+    fn next_u64(&mut self) -> u64 {
+        rngs::StdRng::next_u64(self)
+    }
+}
+
+/// Uniform sampling over half-open / inclusive integer ranges and f64.
+pub trait SampleRange<T> {
+    fn sample(self, next: &mut dyn FnMut() -> u64) -> T;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample(self, next: &mut dyn FnMut() -> u64) -> $t {
+                assert!(self.start < self.end, "empty range in gen_range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = ((next)() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample(self, next: &mut dyn FnMut() -> u64) -> $t {
+                let (lo, hi) = self.into_inner();
+                assert!(lo <= hi, "empty range in gen_range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = ((next)() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for std::ops::Range<f64> {
+    fn sample(self, next: &mut dyn FnMut() -> u64) -> f64 {
+        let unit = ((next)() >> 11) as f64 / (1u64 << 53) as f64;
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+pub trait Rng: private::RngCore {
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        let mut next = || self.next_u64();
+        range.sample(&mut next)
+    }
+
+    #[allow(clippy::wrong_self_convention)]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+impl<R: private::RngCore> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_and_in_bounds() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = a.gen_range(0..17usize);
+            let y = b.gen_range(0..17usize);
+            assert_eq!(x, y);
+            assert!(x < 17);
+        }
+        let f = a.gen_range(1.0e6f64..1.0e9);
+        assert!((1.0e6..1.0e9).contains(&f));
+        let s = a.gen_range(-5i64..=5);
+        assert!((-5..=5).contains(&s));
+    }
+}

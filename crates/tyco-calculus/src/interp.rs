@@ -43,9 +43,15 @@ pub enum RtError {
     NotAChannel(String),
     NotAClass(String),
     /// Protocol error: message label not offered by the receiving object.
-    NoMethod { label: String },
+    NoMethod {
+        label: String,
+    },
     /// Method/class arity mismatch discovered at reduction time.
-    Arity { what: String, expected: usize, found: usize },
+    Arity {
+        what: String,
+        expected: usize,
+        found: usize,
+    },
     /// Builtin applied to operands of the wrong shape.
     BadOperands(String),
     /// An exported identifier was re-exported under the same key.
@@ -61,7 +67,11 @@ impl fmt::Display for RtError {
             RtError::NotAChannel(x) => write!(f, "`{x}` is not a channel"),
             RtError::NotAClass(x) => write!(f, "`{x}` is not a class"),
             RtError::NoMethod { label } => write!(f, "protocol error: no method `{label}`"),
-            RtError::Arity { what, expected, found } => {
+            RtError::Arity {
+                what,
+                expected,
+                found,
+            } => {
                 write!(f, "{what} expects {expected} argument(s), got {found}")
             }
             RtError::BadOperands(op) => write!(f, "bad operands for `{op}`"),
@@ -100,11 +110,19 @@ enum Work {
     /// A process term under an environment.
     Proc(Rc<Proc>, Env),
     /// A message that arrived from another site (post-SHIPM).
-    DeliverMsg { chan: ChanId, label: String, args: Vec<Val> },
+    DeliverMsg {
+        chan: ChanId,
+        label: String,
+        args: Vec<Val>,
+    },
     /// An object that migrated from another site (post-SHIPO).
     DeliverObj { chan: ChanId, obj: ObjClosure },
     /// An instantiation whose arguments are already evaluated.
-    Inst { group: usize, class: String, args: Vec<Val> },
+    Inst {
+        group: usize,
+        class: String,
+        args: Vec<Val>,
+    },
 }
 
 struct SiteState {
@@ -168,8 +186,11 @@ impl Outcome {
     /// Sorted multiset of all printed lines (site-insensitive observable
     /// used by the differential tests).
     pub fn line_multiset(&self) -> Vec<String> {
-        let mut v: Vec<String> =
-            self.outputs.iter().flat_map(|ls| ls.iter().cloned()).collect();
+        let mut v: Vec<String> = self
+            .outputs
+            .iter()
+            .flat_map(|ls| ls.iter().cloned())
+            .collect();
         v.sort();
         v
     }
@@ -233,7 +254,11 @@ impl Network {
     }
 
     /// Parse, desugar and register a site program.
-    pub fn add_site_src(&mut self, name: &str, src: &str) -> Result<SiteId, tyco_syntax::ParseError> {
+    pub fn add_site_src(
+        &mut self,
+        name: &str,
+        src: &str,
+    ) -> Result<SiteId, tyco_syntax::ParseError> {
         Ok(self.add_site(name, tyco_syntax::parse_core(src)?))
     }
 
@@ -258,7 +283,9 @@ impl Network {
     fn alloc_chan(&mut self, site: SiteId) -> ChanId {
         let uid = self.next_chan;
         self.next_chan += 1;
-        self.sites[site.0 as usize].channels.insert(uid, ChanState::Empty);
+        self.sites[site.0 as usize]
+            .channels
+            .insert(uid, ChanState::Empty);
         ChanId { site, uid }
     }
 
@@ -275,8 +302,9 @@ impl Network {
             let nsites = self.sites.len();
             let chosen = match &mut rng {
                 Some(rng) => {
-                    let runnable: Vec<usize> =
-                        (0..nsites).filter(|&i| !self.sites[i].queue.is_empty()).collect();
+                    let runnable: Vec<usize> = (0..nsites)
+                        .filter(|&i| !self.sites[i].queue.is_empty())
+                        .collect();
                     if runnable.is_empty() {
                         None
                     } else {
@@ -396,7 +424,10 @@ impl Network {
                 for d in defs {
                     genv = genv.bind(
                         d.name.clone(),
-                        Binding::Class { group: group_idx, name: d.name.clone() },
+                        Binding::Class {
+                            group: group_idx,
+                            name: d.name.clone(),
+                        },
                     );
                 }
                 let defs_map: HashMap<String, ClassClause> = defs
@@ -411,7 +442,11 @@ impl Network {
                         )
                     })
                     .collect();
-                self.groups.push(ClassGroup { site: sid, defs: Rc::new(defs_map), env: genv.clone() });
+                self.groups.push(ClassGroup {
+                    site: sid,
+                    defs: Rc::new(defs_map),
+                    env: genv.clone(),
+                });
                 if export {
                     for d in defs {
                         let key = (sid, d.name.clone());
@@ -420,7 +455,10 @@ impl Network {
                         }
                         self.exports.insert(
                             key,
-                            ExportEntry::Class { group: group_idx, name: d.name.clone() },
+                            ExportEntry::Class {
+                                group: group_idx,
+                                name: d.name.clone(),
+                            },
                         );
                     }
                     self.unpark_all();
@@ -428,7 +466,9 @@ impl Network {
                 self.push(sid, Work::Proc(Rc::new((**body).clone()), genv));
                 Ok(())
             }
-            Proc::ImportName { name, site, body, .. } => {
+            Proc::ImportName {
+                name, site, body, ..
+            } => {
                 let remote = self.resolve_site(site)?;
                 match self.exports.get(&(remote, name.clone())) {
                     Some(ExportEntry::Name(v)) => {
@@ -444,14 +484,19 @@ impl Network {
                     }
                 }
             }
-            Proc::ImportClass { class, site, body, .. } => {
+            Proc::ImportClass {
+                class, site, body, ..
+            } => {
                 let remote = self.resolve_site(site)?;
                 match self.exports.get(&(remote, class.clone())) {
                     Some(ExportEntry::Class { group, name }) => {
                         self.counters.structural += 1;
                         let env = env.bind(
                             class.clone(),
-                            Binding::Class { group: *group, name: name.clone() },
+                            Binding::Class {
+                                group: *group,
+                                name: name.clone(),
+                            },
                         );
                         self.push(sid, Work::Proc(Rc::new((**body).clone()), env));
                         Ok(())
@@ -463,7 +508,12 @@ impl Network {
                     }
                 }
             }
-            Proc::Msg { target, label, args, .. } => {
+            Proc::Msg {
+                target,
+                label,
+                args,
+                ..
+            } => {
                 let tv = match self.eval_name(target, &env) {
                     Ok(v) => v,
                     Err(EvalErr::Stall) => {
@@ -493,11 +543,20 @@ impl Network {
                     // SHIPM: the message moves to the site its prefix is
                     // lexically bound to.
                     self.counters.record(Rule::ShipM);
-                    self.push(chan.site, Work::DeliverMsg { chan, label: label.clone(), args: argv });
+                    self.push(
+                        chan.site,
+                        Work::DeliverMsg {
+                            chan,
+                            label: label.clone(),
+                            args: argv,
+                        },
+                    );
                     Ok(())
                 }
             }
-            Proc::Obj { target, methods, .. } => {
+            Proc::Obj {
+                target, methods, ..
+            } => {
                 let tv = match self.eval_name(target, &env) {
                     Ok(v) => v,
                     Err(EvalErr::Stall) => {
@@ -510,7 +569,10 @@ impl Network {
                     Val::Chan(c) => c,
                     _ => return Err(RtError::NotAChannel(target.to_string())),
                 };
-                let obj = ObjClosure { methods: Rc::new(methods.clone()), env };
+                let obj = ObjClosure {
+                    methods: Rc::new(methods.clone()),
+                    env,
+                };
                 if chan.site == sid {
                     self.comm_obj(sid, chan, obj)
                 } else {
@@ -542,7 +604,9 @@ impl Network {
                         let remote = self.resolve_site(s)?;
                         match self.exports.get(&(remote, x.clone())) {
                             Some(ExportEntry::Class { group, name }) => (*group, name.clone()),
-                            Some(ExportEntry::Name(_)) => return Err(RtError::NotAClass(x.clone())),
+                            Some(ExportEntry::Name(_)) => {
+                                return Err(RtError::NotAClass(x.clone()))
+                            }
                             None => {
                                 self.park(sid, Work::Proc(p.clone(), env));
                                 return Ok(());
@@ -561,11 +625,23 @@ impl Network {
                     if !was_cached {
                         self.counters.record(Rule::Fetch);
                     }
-                    self.push(sid, Work::Inst { group: local, class: cname, args: argv });
+                    self.push(
+                        sid,
+                        Work::Inst {
+                            group: local,
+                            class: cname,
+                            args: argv,
+                        },
+                    );
                     Ok(())
                 }
             }
-            Proc::If { cond, then_branch, else_branch, .. } => {
+            Proc::If {
+                cond,
+                then_branch,
+                else_branch,
+                ..
+            } => {
                 let c = match self.eval_expr(cond, &env) {
                     Ok(v) => v,
                     Err(EvalErr::Stall) => {
@@ -685,7 +761,9 @@ impl Network {
             .methods
             .iter()
             .find(|m| m.label == label)
-            .ok_or_else(|| RtError::NoMethod { label: label.to_string() })?;
+            .ok_or_else(|| RtError::NoMethod {
+                label: label.to_string(),
+            })?;
         if m.params.len() != args.len() {
             return Err(RtError::Arity {
                 what: format!("method `{label}`"),
@@ -712,7 +790,10 @@ impl Network {
     ) -> Result<(), RtError> {
         let g = &self.groups[group];
         debug_assert_eq!(g.site, sid, "instantiate must run at the group's site");
-        let clause = g.defs.get(class).ok_or_else(|| RtError::UnboundClass(class.to_string()))?;
+        let clause = g
+            .defs
+            .get(class)
+            .ok_or_else(|| RtError::UnboundClass(class.to_string()))?;
         if clause.params.len() != args.len() {
             return Err(RtError::Arity {
                 what: format!("class `{class}`"),
@@ -743,10 +824,20 @@ impl Network {
         let src = &self.groups[group];
         let mut env = src.env.clone();
         for name in src.defs.keys() {
-            env = env.bind(name.clone(), Binding::Class { group: local_idx, name: name.clone() });
+            env = env.bind(
+                name.clone(),
+                Binding::Class {
+                    group: local_idx,
+                    name: name.clone(),
+                },
+            );
         }
         let defs = src.defs.clone();
-        self.groups.push(ClassGroup { site: sid, defs, env });
+        self.groups.push(ClassGroup {
+            site: sid,
+            defs,
+            env,
+        });
         if self.cache_fetched_classes {
             self.fetch_cache.insert((sid, group), local_idx);
         }
@@ -754,21 +845,25 @@ impl Network {
     }
 
     fn resolve_site(&self, name: &str) -> Result<SiteId, RtError> {
-        self.site_ids.get(name).copied().ok_or_else(|| RtError::UnknownSite(name.to_string()))
+        self.site_ids
+            .get(name)
+            .copied()
+            .ok_or_else(|| RtError::UnknownSite(name.to_string()))
     }
 
     fn eval_name(&self, r: &NameRef, env: &Env) -> Result<Val, EvalErr> {
         match r {
             NameRef::Plain(x) => match env.lookup(x) {
                 Some(Binding::Val(v)) => Ok(v.clone()),
-                Some(Binding::Class { .. }) => {
-                    Err(EvalErr::Rt(RtError::NotAChannel(x.clone())))
-                }
+                Some(Binding::Class { .. }) => Err(EvalErr::Rt(RtError::NotAChannel(x.clone()))),
                 None => Err(EvalErr::Rt(RtError::UnboundName(x.clone()))),
             },
             NameRef::Located(s, x) => {
-                let remote =
-                    self.site_ids.get(s).copied().ok_or(EvalErr::Rt(RtError::UnknownSite(s.clone())))?;
+                let remote = self
+                    .site_ids
+                    .get(s)
+                    .copied()
+                    .ok_or(EvalErr::Rt(RtError::UnknownSite(s.clone())))?;
                 match self.exports.get(&(remote, x.clone())) {
                     Some(ExportEntry::Name(v)) => Ok(v.clone()),
                     Some(ExportEntry::Class { .. }) => {
@@ -887,14 +982,26 @@ mod tests {
     fn eval_binop_division_guards() {
         assert!(eval_binop(BinOp::Div, Val::Int(1), Val::Int(0)).is_err());
         assert!(eval_binop(BinOp::Mod, Val::Int(1), Val::Int(0)).is_err());
-        assert_eq!(eval_binop(BinOp::Div, Val::Int(7), Val::Int(2)), Ok(Val::Int(3)));
+        assert_eq!(
+            eval_binop(BinOp::Div, Val::Int(7), Val::Int(2)),
+            Ok(Val::Int(3))
+        );
     }
 
     #[test]
     fn eval_binop_equality_on_channels() {
-        let c1 = Val::Chan(ChanId { site: SiteId(0), uid: 1 });
-        let c2 = Val::Chan(ChanId { site: SiteId(0), uid: 2 });
-        assert_eq!(eval_binop(BinOp::Eq, c1.clone(), c1.clone()), Ok(Val::Bool(true)));
+        let c1 = Val::Chan(ChanId {
+            site: SiteId(0),
+            uid: 1,
+        });
+        let c2 = Val::Chan(ChanId {
+            site: SiteId(0),
+            uid: 2,
+        });
+        assert_eq!(
+            eval_binop(BinOp::Eq, c1.clone(), c1.clone()),
+            Ok(Val::Bool(true))
+        );
         assert_eq!(eval_binop(BinOp::Eq, c1, c2), Ok(Val::Bool(false)));
     }
 
@@ -904,8 +1011,10 @@ mod tests {
         let run = |cache: bool| {
             let mut net = Network::new();
             net.cache_fetched_classes = cache;
-            net.add_site_src("server", "export def K(v) = print(v) in 0").unwrap();
-            net.add_site_src("client", "import K from server in (K[1] | K[2] | K[3])").unwrap();
+            net.add_site_src("server", "export def K(v) = print(v) in 0")
+                .unwrap();
+            net.add_site_src("client", "import K from server in (K[1] | K[2] | K[3])")
+                .unwrap();
             let out = net.run(100_000).unwrap();
             out.counters.fetch
         };
@@ -926,7 +1035,8 @@ mod tests {
     #[test]
     fn duplicate_export_is_an_error() {
         let mut net = Network::new();
-        net.add_site_src("main", "export new p in export new p in 0").unwrap();
+        net.add_site_src("main", "export new p in export new p in 0")
+            .unwrap();
         let err = net.run(10_000).unwrap_err();
         assert!(matches!(err, RtError::DuplicateExport(_)), "{err}");
     }
@@ -946,7 +1056,8 @@ mod tests {
     #[test]
     fn step_limit_is_respected() {
         let mut net = Network::new();
-        net.add_site_src("main", "def Spin() = Spin[] in Spin[]").unwrap();
+        net.add_site_src("main", "def Spin() = Spin[] in Spin[]")
+            .unwrap();
         let out = net.run(500).unwrap();
         assert_eq!(out.steps, 500);
         assert!(!out.quiescent);

@@ -38,9 +38,17 @@ pub enum Net {
     /// `N1 ‖ N2`.
     Par(Box<Net>, Box<Net>),
     /// `new s.x N`.
-    New { site: String, name: String, body: Box<Net> },
+    New {
+        site: String,
+        name: String,
+        body: Box<Net>,
+    },
     /// `def s.D in N`.
-    Def { site: String, defs: Vec<ClassDef>, body: Box<Net> },
+    Def {
+        site: String,
+        defs: Vec<ClassDef>,
+        body: Box<Net>,
+    },
 }
 
 impl Net {
@@ -214,7 +222,11 @@ impl Norm {
             .collect();
         let mut defs = defs;
         defs.sort();
-        CanonNet { restrictions, defs, sites }
+        CanonNet {
+            restrictions,
+            defs,
+            sites,
+        }
     }
 }
 
@@ -348,7 +360,9 @@ fn collect_located(p: &Proc, out: &mut std::collections::BTreeSet<(String, Strin
             }
             args.iter().for_each(|a| expr(a, out));
         }
-        Proc::Obj { target, methods, .. } => {
+        Proc::Obj {
+            target, methods, ..
+        } => {
             if let NameRef::Located(s, x) = target {
                 out.insert((s.clone(), x.clone()));
             }
@@ -359,13 +373,20 @@ fn collect_located(p: &Proc, out: &mut std::collections::BTreeSet<(String, Strin
             defs.iter().for_each(|d| collect_located(&d.body, out));
             collect_located(body, out);
         }
-        Proc::If { cond, then_branch, else_branch, .. } => {
+        Proc::If {
+            cond,
+            then_branch,
+            else_branch,
+            ..
+        } => {
             expr(cond, out);
             collect_located(then_branch, out);
             collect_located(else_branch, out);
         }
         Proc::Print { args, .. } => args.iter().for_each(|a| expr(a, out)),
-        Proc::Let { target, args, body, .. } => {
+        Proc::Let {
+            target, args, body, ..
+        } => {
             if let NameRef::Located(s, x) = target {
                 out.insert((s.clone(), x.clone()));
             }
@@ -408,27 +429,52 @@ fn rename_proc(p: &Proc, from: &str, to: &str) -> Proc {
         match p {
             Proc::Nil => Proc::Nil,
             Proc::Par(ps) => Proc::Par(ps.iter().map(|q| walk(q, from, to, bound)).collect()),
-            Proc::New { binders, body, span } => {
+            Proc::New {
+                binders,
+                body,
+                span,
+            } => {
                 let n = bound.len();
                 bound.extend(binders.iter().cloned());
                 let body = Box::new(walk(body, from, to, bound));
                 bound.truncate(n);
-                Proc::New { binders: binders.clone(), body, span: *span }
+                Proc::New {
+                    binders: binders.clone(),
+                    body,
+                    span: *span,
+                }
             }
-            Proc::ExportNew { binders, body, span } => {
+            Proc::ExportNew {
+                binders,
+                body,
+                span,
+            } => {
                 let n = bound.len();
                 bound.extend(binders.iter().cloned());
                 let body = Box::new(walk(body, from, to, bound));
                 bound.truncate(n);
-                Proc::ExportNew { binders: binders.clone(), body, span: *span }
+                Proc::ExportNew {
+                    binders: binders.clone(),
+                    body,
+                    span: *span,
+                }
             }
-            Proc::Msg { target, label, args, span } => Proc::Msg {
+            Proc::Msg {
+                target,
+                label,
+                args,
+                span,
+            } => Proc::Msg {
                 target: nref(target, from, to, bound),
                 label: label.clone(),
                 args: args.iter().map(|a| expr(a, from, to, bound)).collect(),
                 span: *span,
             },
-            Proc::Obj { target, methods, span } => Proc::Obj {
+            Proc::Obj {
+                target,
+                methods,
+                span,
+            } => Proc::Obj {
                 target: nref(target, from, to, bound),
                 methods: methods
                     .iter()
@@ -437,7 +483,12 @@ fn rename_proc(p: &Proc, from: &str, to: &str) -> Proc {
                         bound.extend(m.params.iter().cloned());
                         let body = walk(&m.body, from, to, bound);
                         bound.truncate(n);
-                        Method { label: m.label.clone(), params: m.params.clone(), body, span: m.span }
+                        Method {
+                            label: m.label.clone(),
+                            params: m.params.clone(),
+                            body,
+                            span: m.span,
+                        }
                     })
                     .collect(),
                 span: *span,
@@ -455,7 +506,12 @@ fn rename_proc(p: &Proc, from: &str, to: &str) -> Proc {
                         bound.extend(d.params.iter().cloned());
                         let b = walk(&d.body, from, to, bound);
                         bound.truncate(n);
-                        ClassDef { name: d.name.clone(), params: d.params.clone(), body: b, span: d.span }
+                        ClassDef {
+                            name: d.name.clone(),
+                            params: d.params.clone(),
+                            body: b,
+                            span: d.span,
+                        }
                     })
                     .collect(),
                 body: Box::new(walk(body, from, to, bound)),
@@ -469,44 +525,87 @@ fn rename_proc(p: &Proc, from: &str, to: &str) -> Proc {
                         bound.extend(d.params.iter().cloned());
                         let b = walk(&d.body, from, to, bound);
                         bound.truncate(n);
-                        ClassDef { name: d.name.clone(), params: d.params.clone(), body: b, span: d.span }
+                        ClassDef {
+                            name: d.name.clone(),
+                            params: d.params.clone(),
+                            body: b,
+                            span: d.span,
+                        }
                     })
                     .collect(),
                 body: Box::new(walk(body, from, to, bound)),
                 span: *span,
             },
-            Proc::ImportName { name, site, body, span } => {
+            Proc::ImportName {
+                name,
+                site,
+                body,
+                span,
+            } => {
                 let n = bound.len();
                 bound.push(name.clone());
                 let body = Box::new(walk(body, from, to, bound));
                 bound.truncate(n);
-                Proc::ImportName { name: name.clone(), site: site.clone(), body, span: *span }
+                Proc::ImportName {
+                    name: name.clone(),
+                    site: site.clone(),
+                    body,
+                    span: *span,
+                }
             }
-            Proc::ImportClass { class, site, body, span } => Proc::ImportClass {
+            Proc::ImportClass {
+                class,
+                site,
+                body,
+                span,
+            } => Proc::ImportClass {
                 class: class.clone(),
                 site: site.clone(),
                 body: Box::new(walk(body, from, to, bound)),
                 span: *span,
             },
-            Proc::If { cond, then_branch, else_branch, span } => Proc::If {
+            Proc::If {
+                cond,
+                then_branch,
+                else_branch,
+                span,
+            } => Proc::If {
                 cond: expr(cond, from, to, bound),
                 then_branch: Box::new(walk(then_branch, from, to, bound)),
                 else_branch: Box::new(walk(else_branch, from, to, bound)),
                 span: *span,
             },
-            Proc::Print { args, newline, span } => Proc::Print {
+            Proc::Print {
+                args,
+                newline,
+                span,
+            } => Proc::Print {
                 args: args.iter().map(|a| expr(a, from, to, bound)).collect(),
                 newline: *newline,
                 span: *span,
             },
-            Proc::Let { binder, target, label, args, body, span } => {
+            Proc::Let {
+                binder,
+                target,
+                label,
+                args,
+                body,
+                span,
+            } => {
                 let target = nref(target, from, to, bound);
                 let args = args.iter().map(|a| expr(a, from, to, bound)).collect();
                 let n = bound.len();
                 bound.push(binder.clone());
                 let body = Box::new(walk(body, from, to, bound));
                 bound.truncate(n);
-                Proc::Let { binder: binder.clone(), target, label: label.clone(), args, body, span: *span }
+                Proc::Let {
+                    binder: binder.clone(),
+                    target,
+                    label: label.clone(),
+                    args,
+                    body,
+                    span: *span,
+                }
             }
         }
     }
@@ -518,10 +617,12 @@ fn rename_proc(p: &Proc, from: &str, to: &str) -> Proc {
 fn rename_net(net: &Net, site: &str, from: &str, to: &str) -> Net {
     match net {
         Net::Nil => Net::Nil,
-        Net::Par(a, b) => {
-            Net::par(rename_net(a, site, from, to), rename_net(b, site, from, to))
-        }
-        Net::New { site: s2, name, body } => {
+        Net::Par(a, b) => Net::par(rename_net(a, site, from, to), rename_net(b, site, from, to)),
+        Net::New {
+            site: s2,
+            name,
+            body,
+        } => {
             if s2 == site && name == from {
                 // Shadowed: stop.
                 net.clone()
@@ -533,7 +634,11 @@ fn rename_net(net: &Net, site: &str, from: &str, to: &str) -> Net {
                 }
             }
         }
-        Net::Def { site: s2, defs, body } => Net::Def {
+        Net::Def {
+            site: s2,
+            defs,
+            body,
+        } => Net::Def {
             site: s2.clone(),
             defs: defs.clone(),
             body: Box::new(rename_net(body, site, from, to)),

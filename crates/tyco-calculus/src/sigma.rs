@@ -68,37 +68,56 @@ fn sigma_expr(e: &Expr, from: &str, to: &str, bound: &[String]) -> Expr {
     }
 }
 
-fn sigma_rec(
-    p: &Proc,
-    from: &str,
-    to: &str,
-    bn: &mut Vec<String>,
-    bc: &mut Vec<String>,
-) -> Proc {
+fn sigma_rec(p: &Proc, from: &str, to: &str, bn: &mut Vec<String>, bc: &mut Vec<String>) -> Proc {
     match p {
         Proc::Nil => Proc::Nil,
         Proc::Par(ps) => Proc::Par(ps.iter().map(|q| sigma_rec(q, from, to, bn, bc)).collect()),
-        Proc::New { binders, body, span } => {
+        Proc::New {
+            binders,
+            body,
+            span,
+        } => {
             let n = bn.len();
             bn.extend(binders.iter().cloned());
             let body = Box::new(sigma_rec(body, from, to, bn, bc));
             bn.truncate(n);
-            Proc::New { binders: binders.clone(), body, span: *span }
+            Proc::New {
+                binders: binders.clone(),
+                body,
+                span: *span,
+            }
         }
-        Proc::ExportNew { binders, body, span } => {
+        Proc::ExportNew {
+            binders,
+            body,
+            span,
+        } => {
             let n = bn.len();
             bn.extend(binders.iter().cloned());
             let body = Box::new(sigma_rec(body, from, to, bn, bc));
             bn.truncate(n);
-            Proc::ExportNew { binders: binders.clone(), body, span: *span }
+            Proc::ExportNew {
+                binders: binders.clone(),
+                body,
+                span: *span,
+            }
         }
-        Proc::Msg { target, label, args, span } => Proc::Msg {
+        Proc::Msg {
+            target,
+            label,
+            args,
+            span,
+        } => Proc::Msg {
             target: sigma_name_in(target, from, to, bn),
             label: label.clone(),
             args: args.iter().map(|a| sigma_expr(a, from, to, bn)).collect(),
             span: *span,
         },
-        Proc::Obj { target, methods, span } => Proc::Obj {
+        Proc::Obj {
+            target,
+            methods,
+            span,
+        } => Proc::Obj {
             target: sigma_name_in(target, from, to, bn),
             methods: methods
                 .iter()
@@ -107,7 +126,12 @@ fn sigma_rec(
                     bn.extend(m.params.iter().cloned());
                     let body = sigma_rec(&m.body, from, to, bn, bc);
                     bn.truncate(n);
-                    Method { label: m.label.clone(), params: m.params.clone(), body, span: m.span }
+                    Method {
+                        label: m.label.clone(),
+                        params: m.params.clone(),
+                        body,
+                        span: m.span,
+                    }
                 })
                 .collect(),
             span: *span,
@@ -133,50 +157,106 @@ fn sigma_rec(
                     bn.extend(d.params.iter().cloned());
                     let body = sigma_rec(&d.body, from, to, bn, bc);
                     bn.truncate(n);
-                    ClassDef { name: d.name.clone(), params: d.params.clone(), body, span: d.span }
+                    ClassDef {
+                        name: d.name.clone(),
+                        params: d.params.clone(),
+                        body,
+                        span: d.span,
+                    }
                 })
                 .collect();
             let body2 = Box::new(sigma_rec(body, from, to, bn, bc));
             bc.truncate(c);
             if matches!(p, Proc::ExportDef { .. }) {
-                Proc::ExportDef { defs: defs2, body: body2, span: *span }
+                Proc::ExportDef {
+                    defs: defs2,
+                    body: body2,
+                    span: *span,
+                }
             } else {
-                Proc::Def { defs: defs2, body: body2, span: *span }
+                Proc::Def {
+                    defs: defs2,
+                    body: body2,
+                    span: *span,
+                }
             }
         }
-        Proc::ImportName { name, site, body, span } => {
+        Proc::ImportName {
+            name,
+            site,
+            body,
+            span,
+        } => {
             let n = bn.len();
             bn.push(name.clone());
             let body = Box::new(sigma_rec(body, from, to, bn, bc));
             bn.truncate(n);
-            Proc::ImportName { name: name.clone(), site: site.clone(), body, span: *span }
+            Proc::ImportName {
+                name: name.clone(),
+                site: site.clone(),
+                body,
+                span: *span,
+            }
         }
-        Proc::ImportClass { class, site, body, span } => {
+        Proc::ImportClass {
+            class,
+            site,
+            body,
+            span,
+        } => {
             let c = bc.len();
             bc.push(class.clone());
             let body = Box::new(sigma_rec(body, from, to, bn, bc));
             bc.truncate(c);
-            Proc::ImportClass { class: class.clone(), site: site.clone(), body, span: *span }
+            Proc::ImportClass {
+                class: class.clone(),
+                site: site.clone(),
+                body,
+                span: *span,
+            }
         }
-        Proc::If { cond, then_branch, else_branch, span } => Proc::If {
+        Proc::If {
+            cond,
+            then_branch,
+            else_branch,
+            span,
+        } => Proc::If {
             cond: sigma_expr(cond, from, to, bn),
             then_branch: Box::new(sigma_rec(then_branch, from, to, bn, bc)),
             else_branch: Box::new(sigma_rec(else_branch, from, to, bn, bc)),
             span: *span,
         },
-        Proc::Print { args, newline, span } => Proc::Print {
+        Proc::Print {
+            args,
+            newline,
+            span,
+        } => Proc::Print {
             args: args.iter().map(|a| sigma_expr(a, from, to, bn)).collect(),
             newline: *newline,
             span: *span,
         },
-        Proc::Let { binder, target, label, args, body, span } => {
+        Proc::Let {
+            binder,
+            target,
+            label,
+            args,
+            body,
+            span,
+        } => {
             let target = sigma_name_in(target, from, to, bn);
             let args = args.iter().map(|a| sigma_expr(a, from, to, bn)).collect();
             let n = bn.len();
             bn.push(binder.clone());
             let body = Box::new(sigma_rec(body, from, to, bn, bc));
             bn.truncate(n);
-            Proc::Let { binder: binder.clone(), target, label: label.clone(), args, body, span: *span }
+            Proc::Let {
+                binder: binder.clone(),
+                target,
+                label: label.clone(),
+                args,
+                body,
+                span: *span,
+            }
         }
     }
 }
@@ -209,14 +289,20 @@ mod tests {
     #[test]
     fn bound_names_untouched() {
         assert_eq!(sig("new x in x![y]", "r", "s"), "new x in x!val[r.y]");
-        assert_eq!(sig("a?{ m(p) = p![q] }", "r", "s"), "r.a?{m(p) = p!val[r.q]}");
+        assert_eq!(
+            sig("a?{ m(p) = p![q] }", "r", "s"),
+            "r.a?{m(p) = p!val[r.q]}"
+        );
     }
 
     #[test]
     fn classes_translate_like_names() {
         assert_eq!(sig("X[v]", "r", "s"), "r.X[r.v]");
         assert_eq!(sig("s.X[1]", "r", "s"), "X[1]");
-        assert_eq!(sig("def X(a) = X[a] in X[b]", "r", "s"), "def X(a) = X[a] in X[r.b]");
+        assert_eq!(
+            sig("def X(a) = X[a] in X[b]", "r", "s"),
+            "def X(a) = X[a] in X[r.b]"
+        );
     }
 
     #[test]

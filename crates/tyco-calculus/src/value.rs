@@ -73,7 +73,11 @@ impl Env {
 
     /// Extend with one binding (returns a new environment).
     pub fn bind(&self, name: impl Into<String>, binding: Binding) -> Env {
-        Env(Some(Rc::new(Frame { name: name.into(), binding, parent: self.clone() })))
+        Env(Some(Rc::new(Frame {
+            name: name.into(),
+            binding,
+            parent: self.clone(),
+        })))
     }
 
     /// Look up the innermost binding for `name`.
@@ -133,7 +137,14 @@ mod tests {
     fn val_display() {
         assert_eq!(Val::Int(-3).display(), "-3");
         assert_eq!(Val::Str("hi".into()).display(), "hi");
-        assert_eq!(Val::Chan(ChanId { site: SiteId(1), uid: 4 }).display(), "#1:4");
+        assert_eq!(
+            Val::Chan(ChanId {
+                site: SiteId(1),
+                uid: 4
+            })
+            .display(),
+            "#1:4"
+        );
         assert_eq!(Val::Float(2.5).display(), "2.5");
     }
 }

@@ -19,13 +19,16 @@ fn arb_net() -> impl Strategy<Value = Net> {
     leaf.prop_recursive(3, 12, 2, |inner| {
         prop_oneof![
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Net::par(a, b)),
-            (arb_site_name(), proptest::sample::select(vec!["x", "y"]), inner.clone()).prop_map(
-                |(site, name, body)| Net::New {
+            (
+                arb_site_name(),
+                proptest::sample::select(vec!["x", "y"]),
+                inner.clone()
+            )
+                .prop_map(|(site, name, body)| Net::New {
                     site,
                     name: name.to_string(),
                     body: Box::new(body)
-                }
-            ),
+                }),
         ]
     })
 }

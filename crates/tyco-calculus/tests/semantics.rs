@@ -59,7 +59,8 @@ fn rpc_example_from_paper_section_3() {
     // Client at site s invokes procedure p at site r; the paper's trace has
     // exactly two SHIPM steps (request and reply) and two local comms.
     let mut net = Network::new();
-    net.add_site_src("r", "export new p in p?{ val(x, r) = r![x * 10] }").unwrap();
+    net.add_site_src("r", "export new p in p?{ val(x, r) = r![x * 10] }")
+        .unwrap();
     net.add_site_src(
         "s",
         "import p from r in new a (p!val[4, a] | a?(y) = print(y))",
@@ -78,8 +79,10 @@ fn rpc_example_from_paper_section_3() {
 fn remote_communication_is_two_steps() {
     // C3: a single remote message = 1 SHIPM + 1 COMM, nothing else.
     let mut net = Network::new();
-    net.add_site_src("server", "export new p in p?{ go(n) = print(n) }").unwrap();
-    net.add_site_src("client", "import p from server in p!go[7]").unwrap();
+    net.add_site_src("server", "export new p in p?{ go(n) = print(n) }")
+        .unwrap();
+    net.add_site_src("client", "import p from server in p!go[7]")
+        .unwrap();
     let out = net.run(10_000).unwrap();
     assert_eq!(out.counters.shipm, 1);
     assert_eq!(out.counters.comm, 1);
@@ -97,7 +100,8 @@ fn applet_server_code_fetching() {
         r#"export def Applet(v) = println("applet runs with", v) in 0"#,
     )
     .unwrap();
-    net.add_site_src("client", "import Applet from server in Applet[5]").unwrap();
+    net.add_site_src("client", "import Applet from server in Applet[5]")
+        .unwrap();
     let out = net.run(10_000).unwrap();
     let client = net.site_id("client").unwrap();
     // The applet body runs AT THE CLIENT (code moved, not the data).
@@ -158,13 +162,20 @@ fn seti_example_from_paper_section_4() {
         "#,
     )
     .unwrap();
-    net.add_site_src("client", "import Install from seti in Install[]").unwrap();
+    net.add_site_src("client", "import Install from seti in Install[]")
+        .unwrap();
     let out = net.run(500).unwrap();
     let client = net.site_id("client").unwrap();
     let lines = net.output(client);
-    assert!(lines.first().map(String::as_str) == Some("installed"), "{lines:?}");
+    assert!(
+        lines.first().map(String::as_str) == Some("installed"),
+        "{lines:?}"
+    );
     assert!(lines.contains(&"17".to_string()), "{lines:?}");
-    assert_eq!(out.counters.fetch, 1, "Install (and Go with it) downloaded once");
+    assert_eq!(
+        out.counters.fetch, 1,
+        "Install (and Go with it) downloaded once"
+    );
     // The Go loop runs at the client; each chunk request ships to seti.
     assert!(out.counters.shipm >= 1);
 }
@@ -178,12 +189,18 @@ fn fetched_class_recursion_is_local() {
         "export def Loop(n) = if n > 0 then print(n) | Loop[n - 1] else println(\"done\") in 0",
     )
     .unwrap();
-    net.add_site_src("client", "import Loop from server in Loop[3]").unwrap();
+    net.add_site_src("client", "import Loop from server in Loop[3]")
+        .unwrap();
     let out = net.run(10_000).unwrap();
     let client = net.site_id("client").unwrap();
     assert_eq!(
         net.output(client),
-        &["3".to_string(), "2".to_string(), "1".to_string(), "done".to_string()]
+        &[
+            "3".to_string(),
+            "2".to_string(),
+            "1".to_string(),
+            "done".to_string()
+        ]
     );
     assert_eq!(out.counters.fetch, 1, "exactly one download");
     assert_eq!(out.counters.inst, 4, "all instantiations local after fetch");
@@ -195,8 +212,10 @@ fn import_blocks_until_export() {
     let mut net = Network::new();
     // Client is added FIRST so round-robin reaches it before the server
     // has exported.
-    net.add_site_src("client", "import p from server in p!go[1]").unwrap();
-    net.add_site_src("server", "export new p in p?{ go(n) = print(n * 2) }").unwrap();
+    net.add_site_src("client", "import p from server in p!go[1]")
+        .unwrap();
+    net.add_site_src("server", "export new p in p?{ go(n) = print(n * 2) }")
+        .unwrap();
     let out = net.run(10_000).unwrap();
     assert!(out.quiescent);
     assert_eq!(out.blocked, 0);
@@ -207,7 +226,8 @@ fn import_blocks_until_export() {
 #[test]
 fn unresolved_import_reports_blocked() {
     let mut net = Network::new();
-    net.add_site_src("client", "import p from server in p!go[1]").unwrap();
+    net.add_site_src("client", "import p from server in p!go[1]")
+        .unwrap();
     net.add_site_src("server", "0").unwrap();
     let out = net.run(10_000).unwrap();
     assert!(out.quiescent);
@@ -218,9 +238,13 @@ fn unresolved_import_reports_blocked() {
 fn protocol_error_is_dynamic() {
     // A label the object does not offer — the dynamic check fires.
     let mut net = Network::new();
-    net.add_site_src("main", "new x (x!bad[] | x?{ good() = 0 })").unwrap();
+    net.add_site_src("main", "new x (x!bad[] | x?{ good() = 0 })")
+        .unwrap();
     let err = net.run(10_000).unwrap_err();
-    assert!(matches!(err, tyco_calculus::RtError::NoMethod { .. }), "{err}");
+    assert!(
+        matches!(err, tyco_calculus::RtError::NoMethod { .. }),
+        "{err}"
+    );
 }
 
 #[test]
@@ -256,7 +280,10 @@ fn messages_preserve_fifo_per_channel() {
         )
         "#,
     );
-    assert_eq!(out.outputs[0], vec!["1".to_string(), "2".to_string(), "3".to_string()]);
+    assert_eq!(
+        out.outputs[0],
+        vec!["1".to_string(), "2".to_string(), "3".to_string()]
+    );
 }
 
 #[test]
@@ -273,7 +300,8 @@ fn step_limit_reports_non_quiescent() {
 fn located_identifiers_work_directly() {
     // Pretty-printed translated programs use s.x directly.
     let mut net = Network::new();
-    net.add_site_src("server", "export new p in p?{ go(n) = print(n + 1) }").unwrap();
+    net.add_site_src("server", "export new p in p?{ go(n) = print(n + 1) }")
+        .unwrap();
     net.add_site_src("client", "server.p!go[41]").unwrap();
     let out = net.run(10_000).unwrap();
     let server = net.site_id("server").unwrap();

@@ -52,8 +52,11 @@ pub fn arb_expr() -> impl Strategy<Value = Expr> {
     ];
     leaf.prop_recursive(3, 16, 2, |inner| {
         prop_oneof![
-            (arb_binop(), inner.clone(), inner.clone())
-                .prop_map(|(op, a, b)| Expr::Bin(op, Box::new(a), Box::new(b))),
+            (arb_binop(), inner.clone(), inner.clone()).prop_map(|(op, a, b)| Expr::Bin(
+                op,
+                Box::new(a),
+                Box::new(b)
+            )),
             inner
                 .clone()
                 .prop_filter("no neg of literal", |e| !matches!(e, Expr::Lit(_)))
@@ -91,19 +94,33 @@ fn sp() -> Span {
 pub fn arb_proc() -> impl Strategy<Value = Proc> {
     let leaf = prop_oneof![
         Just(Proc::Nil),
-        (arb_name(), arb_label(), proptest::collection::vec(arb_expr(), 0..3)).prop_map(
-            |(x, l, args)| Proc::Msg {
+        (
+            arb_name(),
+            arb_label(),
+            proptest::collection::vec(arb_expr(), 0..3)
+        )
+            .prop_map(|(x, l, args)| Proc::Msg {
                 target: NameRef::Plain(x),
                 label: l,
                 args,
                 span: sp()
+            }),
+        (
+            arb_class_name(),
+            proptest::collection::vec(arb_expr(), 0..3)
+        )
+            .prop_map(|(c, args)| Proc::Inst {
+                class: ClassRef::Plain(c),
+                args,
+                span: sp()
+            }),
+        (proptest::collection::vec(arb_expr(), 0..3), any::<bool>()).prop_map(|(args, newline)| {
+            Proc::Print {
+                args,
+                newline,
+                span: sp(),
             }
-        ),
-        (arb_class_name(), proptest::collection::vec(arb_expr(), 0..3)).prop_map(
-            |(c, args)| Proc::Inst { class: ClassRef::Plain(c), args, span: sp() }
-        ),
-        (proptest::collection::vec(arb_expr(), 0..3), any::<bool>())
-            .prop_map(|(args, newline)| Proc::Print { args, newline, span: sp() }),
+        }),
     ];
     leaf.prop_recursive(4, 48, 4, |inner| {
         prop_oneof![
@@ -112,7 +129,11 @@ pub fn arb_proc() -> impl Strategy<Value = Proc> {
                 |(binders, body)| {
                     let mut binders = binders;
                     binders.dedup();
-                    Proc::New { binders, body: Box::new(body), span: sp() }
+                    Proc::New {
+                        binders,
+                        body: Box::new(body),
+                        span: sp(),
+                    }
                 }
             ),
             (arb_name(), arb_methods(inner.clone())).prop_map(|(x, methods)| Proc::Obj {
@@ -126,10 +147,20 @@ pub fn arb_proc() -> impl Strategy<Value = Proc> {
                 span: sp()
             }),
             (arb_name(), arb_name(), inner.clone()).prop_map(|(n, s, body)| {
-                Proc::ImportName { name: n, site: s, body: Box::new(body), span: sp() }
+                Proc::ImportName {
+                    name: n,
+                    site: s,
+                    body: Box::new(body),
+                    span: sp(),
+                }
             }),
             (arb_class_name(), arb_name(), inner.clone()).prop_map(|(c, s, body)| {
-                Proc::ImportClass { class: c, site: s, body: Box::new(body), span: sp() }
+                Proc::ImportClass {
+                    class: c,
+                    site: s,
+                    body: Box::new(body),
+                    span: sp(),
+                }
             }),
             (arb_expr(), inner.clone(), inner.clone()).prop_map(|(c, t, e)| Proc::If {
                 cond: c,
@@ -143,7 +174,11 @@ pub fn arb_proc() -> impl Strategy<Value = Proc> {
 
 fn arb_methods(body: impl Strategy<Value = Proc> + Clone) -> impl Strategy<Value = Vec<Method>> {
     proptest::collection::vec(
-        (arb_label(), proptest::collection::vec(arb_name(), 0..3), body),
+        (
+            arb_label(),
+            proptest::collection::vec(arb_name(), 0..3),
+            body,
+        ),
         0..3,
     )
     .prop_map(|ms| {
@@ -152,7 +187,12 @@ fn arb_methods(body: impl Strategy<Value = Proc> + Clone) -> impl Strategy<Value
             .filter(|(l, _, _)| seen.insert(l.clone()))
             .map(|(label, mut params, body)| {
                 params.dedup();
-                Method { label, params, body, span: sp() }
+                Method {
+                    label,
+                    params,
+                    body,
+                    span: sp(),
+                }
             })
             .collect()
     })
@@ -160,7 +200,11 @@ fn arb_methods(body: impl Strategy<Value = Proc> + Clone) -> impl Strategy<Value
 
 fn arb_defs(body: impl Strategy<Value = Proc> + Clone) -> impl Strategy<Value = Vec<ClassDef>> {
     proptest::collection::vec(
-        (arb_class_name(), proptest::collection::vec(arb_name(), 0..3), body),
+        (
+            arb_class_name(),
+            proptest::collection::vec(arb_name(), 0..3),
+            body,
+        ),
         1..3,
     )
     .prop_map(|ds| {
@@ -169,7 +213,12 @@ fn arb_defs(body: impl Strategy<Value = Proc> + Clone) -> impl Strategy<Value = 
             .filter(|(n, _, _)| seen.insert(n.clone()))
             .map(|(name, mut params, body)| {
                 params.dedup();
-                ClassDef { name, params, body, span: sp() }
+                ClassDef {
+                    name,
+                    params,
+                    body,
+                    span: sp(),
+                }
             })
             .collect()
     })
@@ -193,13 +242,22 @@ pub enum Skel {
     Par(Vec<Skel>),
     /// `new c (c!val[v] | c?(m) = [print(m + bias) |] <then>)` — a fresh
     /// channel per node: exactly one sender, one receiver.
-    Comm { value: i64, print_param: bool, bias: i64, then: Box<Skel> },
+    Comm {
+        value: i64,
+        print_param: bool,
+        bias: i64,
+        then: Box<Skel>,
+    },
     /// Print an *enclosing* receiver's parameter, `hops` binders up
     /// (exercises deep closure capture); degrades to a constant print when
     /// there is no enclosing parameter.
     UseOuter { hops: u8, add: i64 },
     /// `if <cond> then <t> else <e>` with a constant condition.
-    If { cond: bool, then: Box<Skel>, els: Box<Skel> },
+    If {
+        cond: bool,
+        then: Box<Skel>,
+        els: Box<Skel>,
+    },
     /// Instantiate generated class `K<i mod nclasses>` (a constant print of
     /// `p + 1000*(i+1)`); degrades to a print when no classes exist.
     Inst { class: u8, value: i64 },
@@ -268,7 +326,11 @@ pub fn build_skel(skel: &Skel, nclasses: usize) -> Proc {
 
 fn build(skel: &Skel, nclasses: usize, counter: &mut u32, params: &mut Vec<String>) -> Proc {
     match skel {
-        Skel::Print(v) => Proc::Print { args: vec![Expr::int(*v)], newline: true, span: sp() },
+        Skel::Print(v) => Proc::Print {
+            args: vec![Expr::int(*v)],
+            newline: true,
+            span: sp(),
+        },
         Skel::PrintExpr(a, b, op) => {
             let op = match op % 5 {
                 0 => BinOp::Add,
@@ -278,7 +340,11 @@ fn build(skel: &Skel, nclasses: usize, counter: &mut u32, params: &mut Vec<Strin
                 _ => BinOp::Mod,
             };
             Proc::Print {
-                args: vec![Expr::Bin(op, Box::new(Expr::int(*a)), Box::new(Expr::int(*b)))],
+                args: vec![Expr::Bin(
+                    op,
+                    Box::new(Expr::int(*a)),
+                    Box::new(Expr::int(*b)),
+                )],
                 newline: true,
                 span: sp(),
             }
@@ -286,7 +352,12 @@ fn build(skel: &Skel, nclasses: usize, counter: &mut u32, params: &mut Vec<Strin
         Skel::Par(children) => {
             Proc::par(children.iter().map(|c| build(c, nclasses, counter, params)))
         }
-        Skel::Comm { value, print_param, bias, then } => {
+        Skel::Comm {
+            value,
+            print_param,
+            bias,
+            then,
+        } => {
             let chan = format!("c{}", *counter);
             let param = format!("m{}", *counter);
             *counter += 1;
@@ -330,9 +401,15 @@ fn build(skel: &Skel, nclasses: usize, counter: &mut u32, params: &mut Vec<Strin
         }
         Skel::UseOuter { hops, add } => {
             if params.is_empty() {
-                return Proc::Print { args: vec![Expr::int(*add)], newline: true, span: sp() };
+                return Proc::Print {
+                    args: vec![Expr::int(*add)],
+                    newline: true,
+                    span: sp(),
+                };
             }
-            let idx = params.len().saturating_sub(1 + *hops as usize % params.len());
+            let idx = params
+                .len()
+                .saturating_sub(1 + *hops as usize % params.len());
             Proc::Print {
                 args: vec![Expr::Bin(
                     BinOp::Add,
@@ -351,7 +428,11 @@ fn build(skel: &Skel, nclasses: usize, counter: &mut u32, params: &mut Vec<Strin
         },
         Skel::Inst { class, value } => {
             if nclasses == 0 {
-                return Proc::Print { args: vec![Expr::int(*value)], newline: true, span: sp() };
+                return Proc::Print {
+                    args: vec![Expr::int(*value)],
+                    newline: true,
+                    span: sp(),
+                };
             }
             Proc::Inst {
                 class: ClassRef::Plain(format!("K{}", *class as usize % nclasses)),
@@ -385,7 +466,11 @@ fn build(skel: &Skel, nclasses: usize, counter: &mut u32, params: &mut Vec<Strin
                     span: sp(),
                 }
             };
-            Proc::New { binders: vec![chan], body: Box::new(side), span: sp() }
+            Proc::New {
+                binders: vec![chan],
+                body: Box::new(side),
+                span: sp(),
+            }
         }
     }
 }

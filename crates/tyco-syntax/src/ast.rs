@@ -266,27 +266,75 @@ pub enum Proc {
     /// `P | Q` — concurrent composition (flattened n-ary).
     Par(Vec<Proc>),
     /// `new x1 … xn in P` — channel declaration.
-    New { binders: Vec<Ident>, body: Box<Proc>, span: Span },
+    New {
+        binders: Vec<Ident>,
+        body: Box<Proc>,
+        span: Span,
+    },
     /// `x!l[e1,…,en]` — asynchronous message.
-    Msg { target: NameRef, label: Ident, args: Vec<Expr>, span: Span },
+    Msg {
+        target: NameRef,
+        label: Ident,
+        args: Vec<Expr>,
+        span: Span,
+    },
     /// `x?{…}` — object offering a collection of methods.
-    Obj { target: NameRef, methods: Vec<Method>, span: Span },
+    Obj {
+        target: NameRef,
+        methods: Vec<Method>,
+        span: Span,
+    },
     /// `X[e1,…,en]` — instantiation of a class.
-    Inst { class: ClassRef, args: Vec<Expr>, span: Span },
+    Inst {
+        class: ClassRef,
+        args: Vec<Expr>,
+        span: Span,
+    },
     /// `def X1(x̃)=P1 and … in P`.
-    Def { defs: Vec<ClassDef>, body: Box<Proc>, span: Span },
+    Def {
+        defs: Vec<ClassDef>,
+        body: Box<Proc>,
+        span: Span,
+    },
     /// `export new x1 … xn in P` — declare names and publish them.
-    ExportNew { binders: Vec<Ident>, body: Box<Proc>, span: Span },
+    ExportNew {
+        binders: Vec<Ident>,
+        body: Box<Proc>,
+        span: Span,
+    },
     /// `export def D in P` — define classes and publish them.
-    ExportDef { defs: Vec<ClassDef>, body: Box<Proc>, span: Span },
+    ExportDef {
+        defs: Vec<ClassDef>,
+        body: Box<Proc>,
+        span: Span,
+    },
     /// `import x from s in P` — bind a remote name (code-shipping semantics).
-    ImportName { name: Ident, site: Ident, body: Box<Proc>, span: Span },
+    ImportName {
+        name: Ident,
+        site: Ident,
+        body: Box<Proc>,
+        span: Span,
+    },
     /// `import X from s in P` — bind a remote class (code-fetching semantics).
-    ImportClass { class: Ident, site: Ident, body: Box<Proc>, span: Span },
+    ImportClass {
+        class: Ident,
+        site: Ident,
+        body: Box<Proc>,
+        span: Span,
+    },
     /// `if e then P else Q` — builtin conditional (implementation extension).
-    If { cond: Expr, then_branch: Box<Proc>, else_branch: Box<Proc>, span: Span },
+    If {
+        cond: Expr,
+        then_branch: Box<Proc>,
+        else_branch: Box<Proc>,
+        span: Span,
+    },
     /// `print(ẽ)` / `println(ẽ)` — write to the site's I/O port.
-    Print { args: Vec<Expr>, newline: bool, span: Span },
+    Print {
+        args: Vec<Expr>,
+        newline: bool,
+        span: Span,
+    },
     /// `let z = a!l[ẽ] in P` — synchronous-call sugar (§4 of the paper);
     /// eliminated by [`crate::desugar::desugar`].
     Let {
@@ -369,7 +417,9 @@ impl Proc {
                     a.free_names_into(out);
                 }
             }
-            Proc::Obj { target, methods, .. } => {
+            Proc::Obj {
+                target, methods, ..
+            } => {
                 if let NameRef::Plain(x) = target {
                     out.insert(x.clone());
                 }
@@ -406,7 +456,12 @@ impl Proc {
                 out.extend(inner);
             }
             Proc::ImportClass { body, .. } => body.free_names_into(out),
-            Proc::If { cond, then_branch, else_branch, .. } => {
+            Proc::If {
+                cond,
+                then_branch,
+                else_branch,
+                ..
+            } => {
                 cond.free_names_into(out);
                 then_branch.free_names_into(out);
                 else_branch.free_names_into(out);
@@ -416,7 +471,13 @@ impl Proc {
                     a.free_names_into(out);
                 }
             }
-            Proc::Let { binder, target, args, body, .. } => {
+            Proc::Let {
+                binder,
+                target,
+                args,
+                body,
+                ..
+            } => {
                 if let NameRef::Plain(x) = target {
                     out.insert(x.clone());
                 }
@@ -476,7 +537,11 @@ impl Proc {
                 inner.remove(class);
                 out.extend(inner);
             }
-            Proc::If { then_branch, else_branch, .. } => {
+            Proc::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
                 then_branch.free_classes_into(out);
                 else_branch.free_classes_into(out);
             }
@@ -494,15 +559,15 @@ impl Proc {
             | Proc::ImportName { body, .. }
             | Proc::ImportClass { body, .. } => 1 + body.size(),
             Proc::Msg { .. } | Proc::Inst { .. } | Proc::Print { .. } => 1,
-            Proc::Obj { methods, .. } => {
-                1 + methods.iter().map(|m| m.body.size()).sum::<usize>()
-            }
+            Proc::Obj { methods, .. } => 1 + methods.iter().map(|m| m.body.size()).sum::<usize>(),
             Proc::Def { defs, body, .. } | Proc::ExportDef { defs, body, .. } => {
                 1 + defs.iter().map(|d| d.body.size()).sum::<usize>() + body.size()
             }
-            Proc::If { then_branch, else_branch, .. } => {
-                1 + then_branch.size() + else_branch.size()
-            }
+            Proc::If {
+                then_branch,
+                else_branch,
+                ..
+            } => 1 + then_branch.size() + else_branch.size(),
             Proc::Let { body, .. } => 1 + body.size(),
         }
     }
@@ -523,7 +588,12 @@ mod tests {
 
     #[test]
     fn par_flattens_and_drops_nil() {
-        let p = Proc::par([Proc::Nil, msg("a"), Proc::par([msg("b"), Proc::Nil]), Proc::Nil]);
+        let p = Proc::par([
+            Proc::Nil,
+            msg("a"),
+            Proc::par([msg("b"), Proc::Nil]),
+            Proc::Nil,
+        ]);
         match &p {
             Proc::Par(ps) => assert_eq!(ps.len(), 2),
             other => panic!("expected Par, got {other:?}"),
@@ -559,7 +629,10 @@ mod tests {
             span: Span::synthetic(),
         };
         let fns = p.free_names();
-        assert_eq!(fns.into_iter().collect::<Vec<_>>(), vec!["b".to_string(), "x".to_string()]);
+        assert_eq!(
+            fns.into_iter().collect::<Vec<_>>(),
+            vec!["b".to_string(), "x".to_string()]
+        );
     }
 
     #[test]
@@ -572,8 +645,18 @@ mod tests {
         };
         let p = Proc::Def {
             defs: vec![
-                ClassDef { name: "X".into(), params: vec![], body: inst("Y"), span: Span::synthetic() },
-                ClassDef { name: "Y".into(), params: vec![], body: inst("X"), span: Span::synthetic() },
+                ClassDef {
+                    name: "X".into(),
+                    params: vec![],
+                    body: inst("Y"),
+                    span: Span::synthetic(),
+                },
+                ClassDef {
+                    name: "Y".into(),
+                    params: vec![],
+                    body: inst("X"),
+                    span: Span::synthetic(),
+                },
             ],
             body: Box::new(inst("Z")),
             span: Span::synthetic(),

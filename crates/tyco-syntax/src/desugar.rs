@@ -20,45 +20,104 @@ pub fn desugar(p: Proc) -> Proc {
     match p {
         Proc::Nil => Proc::Nil,
         Proc::Par(ps) => Proc::par(ps.into_iter().map(desugar)),
-        Proc::New { binders, body, span } => {
-            Proc::New { binders, body: Box::new(desugar(*body)), span }
-        }
-        Proc::ExportNew { binders, body, span } => {
-            Proc::ExportNew { binders, body: Box::new(desugar(*body)), span }
-        }
+        Proc::New {
+            binders,
+            body,
+            span,
+        } => Proc::New {
+            binders,
+            body: Box::new(desugar(*body)),
+            span,
+        },
+        Proc::ExportNew {
+            binders,
+            body,
+            span,
+        } => Proc::ExportNew {
+            binders,
+            body: Box::new(desugar(*body)),
+            span,
+        },
         Proc::Msg { .. } | Proc::Print { .. } => p,
-        Proc::Obj { target, methods, span } => Proc::Obj {
+        Proc::Obj {
+            target,
+            methods,
+            span,
+        } => Proc::Obj {
             target,
             methods: methods
                 .into_iter()
-                .map(|m| Method { body: desugar(m.body), ..m })
+                .map(|m| Method {
+                    body: desugar(m.body),
+                    ..m
+                })
                 .collect(),
             span,
         },
         Proc::Inst { .. } => p,
         Proc::Def { defs, body, span } => Proc::Def {
-            defs: defs.into_iter().map(|d| ClassDef { body: desugar(d.body), ..d }).collect(),
+            defs: defs
+                .into_iter()
+                .map(|d| ClassDef {
+                    body: desugar(d.body),
+                    ..d
+                })
+                .collect(),
             body: Box::new(desugar(*body)),
             span,
         },
         Proc::ExportDef { defs, body, span } => Proc::ExportDef {
-            defs: defs.into_iter().map(|d| ClassDef { body: desugar(d.body), ..d }).collect(),
+            defs: defs
+                .into_iter()
+                .map(|d| ClassDef {
+                    body: desugar(d.body),
+                    ..d
+                })
+                .collect(),
             body: Box::new(desugar(*body)),
             span,
         },
-        Proc::ImportName { name, site, body, span } => {
-            Proc::ImportName { name, site, body: Box::new(desugar(*body)), span }
-        }
-        Proc::ImportClass { class, site, body, span } => {
-            Proc::ImportClass { class, site, body: Box::new(desugar(*body)), span }
-        }
-        Proc::If { cond, then_branch, else_branch, span } => Proc::If {
+        Proc::ImportName {
+            name,
+            site,
+            body,
+            span,
+        } => Proc::ImportName {
+            name,
+            site,
+            body: Box::new(desugar(*body)),
+            span,
+        },
+        Proc::ImportClass {
+            class,
+            site,
+            body,
+            span,
+        } => Proc::ImportClass {
+            class,
+            site,
+            body: Box::new(desugar(*body)),
+            span,
+        },
+        Proc::If {
+            cond,
+            then_branch,
+            else_branch,
+            span,
+        } => Proc::If {
             cond,
             then_branch: Box::new(desugar(*then_branch)),
             else_branch: Box::new(desugar(*else_branch)),
             span,
         },
-        Proc::Let { binder, target, label, mut args, body, span } => {
+        Proc::Let {
+            binder,
+            target,
+            label,
+            mut args,
+            body,
+            span,
+        } => {
             let body = desugar(*body);
             // Compute the set of names the fresh reply channel must avoid.
             let mut avoid: BTreeSet<Ident> = body.free_names();
@@ -71,7 +130,12 @@ pub fn desugar(p: Proc) -> Proc {
             }
             let reply = fresh_name("reply", &avoid);
             args.push(Expr::Name(NameRef::Plain(reply.clone())));
-            let call = Proc::Msg { target, label, args, span };
+            let call = Proc::Msg {
+                target,
+                label,
+                args,
+                span,
+            };
             let receiver = Proc::Obj {
                 target: NameRef::Plain(reply.clone()),
                 methods: vec![Method {
@@ -118,7 +182,11 @@ pub fn is_core(p: &Proc) -> bool {
         Proc::Def { defs, body, .. } | Proc::ExportDef { defs, body, .. } => {
             defs.iter().all(|d| is_core(&d.body)) && is_core(body)
         }
-        Proc::If { then_branch, else_branch, .. } => is_core(then_branch) && is_core(else_branch),
+        Proc::If {
+            then_branch,
+            else_branch,
+            ..
+        } => is_core(then_branch) && is_core(else_branch),
         Proc::Let { .. } => false,
     }
 }
@@ -145,10 +213,7 @@ mod tests {
                                 assert_eq!(label, "chunk");
                                 // Original arg plus the appended reply name.
                                 assert_eq!(args.len(), 2);
-                                assert_eq!(
-                                    args[1],
-                                    Expr::Name(NameRef::Plain(binders[0].clone()))
-                                );
+                                assert_eq!(args[1], Expr::Name(NameRef::Plain(binders[0].clone())));
                             }
                             other => panic!("unexpected: {other:?}"),
                         }

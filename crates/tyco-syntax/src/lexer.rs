@@ -42,7 +42,12 @@ struct Lexer<'a> {
 
 impl<'a> Lexer<'a> {
     fn new(src: &'a str) -> Self {
-        Lexer { src, chars: src.char_indices().peekable(), pos: Pos::start(), out: Vec::new() }
+        Lexer {
+            src,
+            chars: src.char_indices().peekable(),
+            pos: Pos::start(),
+            out: Vec::new(),
+        }
     }
 
     fn peek(&mut self) -> Option<char> {
@@ -62,11 +67,17 @@ impl<'a> Lexer<'a> {
     }
 
     fn err(&self, message: impl Into<String>) -> LexError {
-        LexError { message: message.into(), pos: self.pos }
+        LexError {
+            message: message.into(),
+            pos: self.pos,
+        }
     }
 
     fn emit(&mut self, tok: Tok, start: Pos) {
-        self.out.push(Spanned { tok, span: Span::new(start, self.pos) });
+        self.out.push(Spanned {
+            tok,
+            span: Span::new(start, self.pos),
+        });
     }
 
     fn run(mut self) -> Result<Vec<Spanned>, LexError> {
@@ -175,11 +186,14 @@ impl<'a> Lexer<'a> {
         }
         let lexeme = &self.src[begin..self.pos.offset as usize];
         if is_float {
-            let x: f64 =
-                lexeme.parse().map_err(|e| self.err(format!("bad float literal: {e}")))?;
+            let x: f64 = lexeme
+                .parse()
+                .map_err(|e| self.err(format!("bad float literal: {e}")))?;
             self.emit(Tok::Float(x), start);
         } else {
-            let i: i64 = lexeme.parse().map_err(|e| self.err(format!("bad int literal: {e}")))?;
+            let i: i64 = lexeme
+                .parse()
+                .map_err(|e| self.err(format!("bad int literal: {e}")))?;
             self.emit(Tok::Int(i), start);
         }
         Ok(())
@@ -260,7 +274,11 @@ mod tests {
     use super::*;
 
     fn toks(src: &str) -> Vec<Tok> {
-        lex(src).expect("lex ok").into_iter().map(|s| s.tok).collect()
+        lex(src)
+            .expect("lex ok")
+            .into_iter()
+            .map(|s| s.tok)
+            .collect()
     }
 
     #[test]
@@ -283,27 +301,39 @@ mod tests {
     fn keywords_and_classvars() {
         assert_eq!(
             toks("def Cell and new in"),
-            vec![Tok::KwDef, Tok::UpperId("Cell".into()), Tok::KwAnd, Tok::KwNew, Tok::KwIn, Tok::Eof]
+            vec![
+                Tok::KwDef,
+                Tok::UpperId("Cell".into()),
+                Tok::KwAnd,
+                Tok::KwNew,
+                Tok::KwIn,
+                Tok::Eof
+            ]
         );
     }
 
     #[test]
     fn comments_are_skipped() {
-        assert_eq!(toks("x // trailing\n/* multi \n /* nested */ line */ y"), vec![
-            Tok::LowerId("x".into()),
-            Tok::LowerId("y".into()),
-            Tok::Eof
-        ]);
+        assert_eq!(
+            toks("x // trailing\n/* multi \n /* nested */ line */ y"),
+            vec![Tok::LowerId("x".into()), Tok::LowerId("y".into()), Tok::Eof]
+        );
     }
 
     #[test]
     fn numbers_and_floats() {
-        assert_eq!(toks("42 3.25 0"), vec![Tok::Int(42), Tok::Float(3.25), Tok::Int(0), Tok::Eof]);
+        assert_eq!(
+            toks("42 3.25 0"),
+            vec![Tok::Int(42), Tok::Float(3.25), Tok::Int(0), Tok::Eof]
+        );
     }
 
     #[test]
     fn string_escapes() {
-        assert_eq!(toks(r#""a\nb\"c""#), vec![Tok::Str("a\nb\"c".into()), Tok::Eof]);
+        assert_eq!(
+            toks(r#""a\nb\"c""#),
+            vec![Tok::Str("a\nb\"c".into()), Tok::Eof]
+        );
     }
 
     #[test]
@@ -348,12 +378,24 @@ mod tests {
     fn located_name_tokens() {
         assert_eq!(
             toks("server.applet"),
-            vec![Tok::LowerId("server".into()), Tok::Dot, Tok::LowerId("applet".into()), Tok::Eof]
+            vec![
+                Tok::LowerId("server".into()),
+                Tok::Dot,
+                Tok::LowerId("applet".into()),
+                Tok::Eof
+            ]
         );
     }
 
     #[test]
     fn primes_in_identifiers() {
-        assert_eq!(toks("x' x''"), vec![Tok::LowerId("x'".into()), Tok::LowerId("x''".into()), Tok::Eof]);
+        assert_eq!(
+            toks("x' x''"),
+            vec![
+                Tok::LowerId("x'".into()),
+                Tok::LowerId("x''".into()),
+                Tok::Eof
+            ]
+        );
     }
 }

@@ -30,7 +30,9 @@ pub mod token;
 #[cfg(feature = "arbitrary")]
 pub mod arbitrary;
 
-pub use ast::{BinOp, ClassDef, ClassRef, Expr, Ident, Lit, Method, NameRef, Proc, UnOp, VAL_LABEL};
+pub use ast::{
+    BinOp, ClassDef, ClassRef, Expr, Ident, Lit, Method, NameRef, Proc, UnOp, VAL_LABEL,
+};
 pub use parser::{parse_expr, parse_program, ParseError};
 pub use pos::{Pos, Span};
 

@@ -34,7 +34,10 @@ impl std::error::Error for ParseError {}
 
 impl From<LexError> for ParseError {
     fn from(e: LexError) -> Self {
-        ParseError { message: e.message, span: Span::new(e.pos, e.pos) }
+        ParseError {
+            message: e.message,
+            span: Span::new(e.pos, e.pos),
+        }
     }
 }
 
@@ -88,14 +91,21 @@ impl Parser {
     }
 
     fn err(&self, message: impl Into<String>) -> ParseError {
-        ParseError { message: message.into(), span: self.span() }
+        ParseError {
+            message: message.into(),
+            span: self.span(),
+        }
     }
 
     fn expect(&mut self, tok: Tok) -> Result<Span, ParseError> {
         if *self.cur() == tok {
             Ok(self.bump().span)
         } else {
-            Err(self.err(format!("expected {}, found {}", tok.describe(), self.cur().describe())))
+            Err(self.err(format!(
+                "expected {}, found {}",
+                tok.describe(),
+                self.cur().describe()
+            )))
         }
     }
 
@@ -103,7 +113,10 @@ impl Parser {
         if *self.cur() == Tok::Eof {
             Ok(())
         } else {
-            Err(self.err(format!("expected end of input, found {}", self.cur().describe())))
+            Err(self.err(format!(
+                "expected end of input, found {}",
+                self.cur().describe()
+            )))
         }
     }
 
@@ -190,7 +203,12 @@ impl Parser {
                 self.expect(Tok::KwElse)?;
                 let else_branch = Box::new(self.parse_par()?);
                 let span = Span::new(start, self.pos());
-                Ok(Proc::If { cond, then_branch, else_branch, span })
+                Ok(Proc::If {
+                    cond,
+                    then_branch,
+                    else_branch,
+                    span,
+                })
             }
             Tok::KwPrint | Tok::KwPrintln => {
                 let newline = *self.cur() == Tok::KwPrintln;
@@ -198,7 +216,11 @@ impl Parser {
                 self.expect(Tok::LParen)?;
                 let args = self.parse_expr_list(Tok::RParen)?;
                 let span = Span::new(start, self.pos());
-                Ok(Proc::Print { args, newline, span })
+                Ok(Proc::Print {
+                    args,
+                    newline,
+                    span,
+                })
             }
             Tok::KwLet => {
                 self.bump();
@@ -212,7 +234,14 @@ impl Parser {
                 self.expect(Tok::KwIn)?;
                 let body = Box::new(self.parse_par()?);
                 let span = Span::new(start, self.pos());
-                Ok(Proc::Let { binder, target, label, args, body, span })
+                Ok(Proc::Let {
+                    binder,
+                    target,
+                    label,
+                    args,
+                    body,
+                    span,
+                })
             }
             Tok::UpperId(_) => self.parse_inst(None, start),
             Tok::LowerId(_) => self.parse_named_prefix(start),
@@ -260,13 +289,24 @@ impl Parser {
                 _ => break,
             }
         }
-        let body =
-            Box::new(if explicit_in { self.parse_par()? } else { self.parse_prefix()? });
+        let body = Box::new(if explicit_in {
+            self.parse_par()?
+        } else {
+            self.parse_prefix()?
+        });
         let span = Span::new(start, self.pos());
         Ok(if export {
-            Proc::ExportNew { binders, body, span }
+            Proc::ExportNew {
+                binders,
+                body,
+                span,
+            }
         } else {
-            Proc::New { binders, body, span }
+            Proc::New {
+                binders,
+                body,
+                span,
+            }
         })
     }
 
@@ -280,7 +320,12 @@ impl Parser {
             let params = self.parse_param_list(Tok::RParen)?;
             self.expect(Tok::Assign)?;
             let body = self.parse_par()?;
-            defs.push(ClassDef { name, params, body, span: Span::new(dstart, self.pos()) });
+            defs.push(ClassDef {
+                name,
+                params,
+                body,
+                span: Span::new(dstart, self.pos()),
+            });
             if *self.cur() == Tok::KwAnd {
                 self.bump();
             } else {
@@ -307,7 +352,12 @@ impl Parser {
                 self.expect(Tok::KwIn)?;
                 let body = Box::new(self.parse_par()?);
                 let span = Span::new(start, self.pos());
-                Ok(Proc::ImportName { name, site, body, span })
+                Ok(Proc::ImportName {
+                    name,
+                    site,
+                    body,
+                    span,
+                })
             }
             Tok::UpperId(class) => {
                 self.bump();
@@ -316,7 +366,12 @@ impl Parser {
                 self.expect(Tok::KwIn)?;
                 let body = Box::new(self.parse_par()?);
                 let span = Span::new(start, self.pos());
-                Ok(Proc::ImportClass { class, site, body, span })
+                Ok(Proc::ImportClass {
+                    class,
+                    site,
+                    body,
+                    span,
+                })
             }
             other => Err(self.err(format!(
                 "expected a name or class variable after `import`, found {}",
@@ -356,7 +411,12 @@ impl Parser {
                 self.bump();
                 let (label, args) = self.parse_msg_tail()?;
                 let span = Span::new(start, self.pos());
-                Ok(Proc::Msg { target, label, args, span })
+                Ok(Proc::Msg {
+                    target,
+                    label,
+                    args,
+                    span,
+                })
             }
             Tok::Query => {
                 self.bump();
@@ -414,7 +474,11 @@ impl Parser {
                 }
                 self.expect(Tok::RBrace)?;
                 let span = Span::new(start, self.pos());
-                Ok(Proc::Obj { target, methods, span })
+                Ok(Proc::Obj {
+                    target,
+                    methods,
+                    span,
+                })
             }
             Tok::LParen => {
                 self.bump();
@@ -424,7 +488,12 @@ impl Parser {
                 let span = Span::new(start, self.pos());
                 Ok(Proc::Obj {
                     target,
-                    methods: vec![Method { label: VAL_LABEL.to_string(), params, body, span }],
+                    methods: vec![Method {
+                        label: VAL_LABEL.to_string(),
+                        params,
+                        body,
+                        span,
+                    }],
                     span,
                 })
             }
@@ -591,7 +660,10 @@ impl Parser {
                 let r = self.parse_name_ref()?;
                 Ok(Expr::Name(r))
             }
-            other => Err(self.err(format!("expected an expression, found {}", other.describe()))),
+            other => Err(self.err(format!(
+                "expected an expression, found {}",
+                other.describe()
+            ))),
         }
     }
 }
@@ -613,7 +685,12 @@ mod tests {
     #[test]
     fn parses_message_with_label() {
         match p("x!read[r, 1 + 2]") {
-            Proc::Msg { target, label, args, .. } => {
+            Proc::Msg {
+                target,
+                label,
+                args,
+                ..
+            } => {
                 assert_eq!(target, NameRef::Plain("x".into()));
                 assert_eq!(label, "read");
                 assert_eq!(args.len(), 2);
@@ -755,7 +832,13 @@ mod tests {
         }
         match p("new a s.x?(y) = a![y]") {
             Proc::New { body, .. } => {
-                assert!(matches!(*body, Proc::Obj { target: NameRef::Located(..), .. }));
+                assert!(matches!(
+                    *body,
+                    Proc::Obj {
+                        target: NameRef::Located(..),
+                        ..
+                    }
+                ));
             }
             other => panic!("unexpected: {other:?}"),
         }
@@ -765,7 +848,13 @@ mod tests {
     fn parses_let_sugar() {
         let src = "let data = database!newChunk[] in print(data)";
         match p(src) {
-            Proc::Let { binder, target, label, args, .. } => {
+            Proc::Let {
+                binder,
+                target,
+                label,
+                args,
+                ..
+            } => {
                 assert_eq!(binder, "data");
                 assert_eq!(target, NameRef::Plain("database".into()));
                 assert_eq!(label, "newChunk");

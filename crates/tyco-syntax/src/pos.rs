@@ -16,7 +16,11 @@ pub struct Pos {
 impl Pos {
     /// The position of the first character of a source text.
     pub const fn start() -> Self {
-        Pos { line: 1, col: 1, offset: 0 }
+        Pos {
+            line: 1,
+            col: 1,
+            offset: 0,
+        }
     }
 }
 
@@ -46,7 +50,18 @@ impl Span {
 
     /// A synthetic span for generated code (all-zero).
     pub const fn synthetic() -> Self {
-        Span { start: Pos { line: 0, col: 0, offset: 0 }, end: Pos { line: 0, col: 0, offset: 0 } }
+        Span {
+            start: Pos {
+                line: 0,
+                col: 0,
+                offset: 0,
+            },
+            end: Pos {
+                line: 0,
+                col: 0,
+                offset: 0,
+            },
+        }
     }
 
     /// True when this span was synthesized by a desugaring pass rather than
@@ -64,8 +79,16 @@ impl Span {
             return self;
         }
         Span {
-            start: if self.start <= other.start { self.start } else { other.start },
-            end: if self.end >= other.end { self.end } else { other.end },
+            start: if self.start <= other.start {
+                self.start
+            } else {
+                other.start
+            },
+            end: if self.end >= other.end {
+                self.end
+            } else {
+                other.end
+            },
         }
     }
 }
@@ -87,12 +110,28 @@ mod tests {
     #[test]
     fn merge_orders_positions() {
         let a = Span::new(
-            Pos { line: 1, col: 1, offset: 0 },
-            Pos { line: 1, col: 5, offset: 4 },
+            Pos {
+                line: 1,
+                col: 1,
+                offset: 0,
+            },
+            Pos {
+                line: 1,
+                col: 5,
+                offset: 4,
+            },
         );
         let b = Span::new(
-            Pos { line: 2, col: 1, offset: 10 },
-            Pos { line: 2, col: 3, offset: 12 },
+            Pos {
+                line: 2,
+                col: 1,
+                offset: 10,
+            },
+            Pos {
+                line: 2,
+                col: 3,
+                offset: 12,
+            },
         );
         let m = a.merge(b);
         assert_eq!(m.start, a.start);
@@ -104,8 +143,16 @@ mod tests {
     #[test]
     fn synthetic_is_identity_for_merge() {
         let a = Span::new(
-            Pos { line: 3, col: 2, offset: 20 },
-            Pos { line: 3, col: 9, offset: 27 },
+            Pos {
+                line: 3,
+                col: 2,
+                offset: 20,
+            },
+            Pos {
+                line: 3,
+                col: 9,
+                offset: 27,
+            },
         );
         assert_eq!(Span::synthetic().merge(a), a);
         assert_eq!(a.merge(Span::synthetic()), a);
@@ -113,7 +160,11 @@ mod tests {
 
     #[test]
     fn display_forms() {
-        let p = Pos { line: 7, col: 12, offset: 99 };
+        let p = Pos {
+            line: 7,
+            col: 12,
+            offset: 99,
+        };
         assert_eq!(p.to_string(), "7:12");
         assert_eq!(Span::synthetic().to_string(), "<generated>");
     }

@@ -75,11 +75,18 @@ fn write_proc(out: &mut String, p: &Proc) {
             out.push_str(" in ");
             write_proc(out, body);
         }
-        Proc::Msg { target, label, args, .. } => {
+        Proc::Msg {
+            target,
+            label,
+            args,
+            ..
+        } => {
             let _ = write!(out, "{target}!{label}");
             write_args(out, args);
         }
-        Proc::Obj { target, methods, .. } => {
+        Proc::Obj {
+            target, methods, ..
+        } => {
             let _ = write!(out, "{target}?{{");
             for (i, m) in methods.iter().enumerate() {
                 if i > 0 {
@@ -125,15 +132,24 @@ fn write_proc(out: &mut String, p: &Proc) {
             out.push_str(" in ");
             write_proc(out, body);
         }
-        Proc::ImportName { name, site, body, .. } => {
+        Proc::ImportName {
+            name, site, body, ..
+        } => {
             let _ = write!(out, "import {name} from {site} in ");
             write_proc(out, body);
         }
-        Proc::ImportClass { class, site, body, .. } => {
+        Proc::ImportClass {
+            class, site, body, ..
+        } => {
             let _ = write!(out, "import {class} from {site} in ");
             write_proc(out, body);
         }
-        Proc::If { cond, then_branch, else_branch, .. } => {
+        Proc::If {
+            cond,
+            then_branch,
+            else_branch,
+            ..
+        } => {
             out.push_str("if ");
             write_expr(out, cond, 0);
             out.push_str(" then ");
@@ -155,7 +171,14 @@ fn write_proc(out: &mut String, p: &Proc) {
             }
             out.push(')');
         }
-        Proc::Let { binder, target, label, args, body, .. } => {
+        Proc::Let {
+            binder,
+            target,
+            label,
+            args,
+            body,
+            ..
+        } => {
             let _ = write!(out, "let {binder} = {target}!{label}");
             write_args(out, args);
             out.push_str(" in ");
@@ -265,7 +288,9 @@ mod tests {
         roundtrip("x![1, true, \"hi\"]");
         roundtrip("new x in x![1] | y![2]");
         roundtrip("x?{ read(r) = r![v], write(u) = 0 }");
-        roundtrip("def Cell(self, v) = self?{ read(r) = r![v] | Cell[self, v] } in new x Cell[x, 9]");
+        roundtrip(
+            "def Cell(self, v) = self?{ read(r) = r![v] | Cell[self, v] } in new x Cell[x, 9]",
+        );
         roundtrip("export new a in import b from s in a![s.x]");
         roundtrip("import Applet from server in Applet[v]");
         roundtrip("if 1 < 2 then print(1) else println(\"no\")");

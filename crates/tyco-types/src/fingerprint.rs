@@ -155,7 +155,10 @@ mod tests {
 
     fn chan(fields: Vec<(&str, Vec<Type>)>, rest: Option<RvId>) -> Type {
         Type::Chan(Row {
-            fields: fields.into_iter().map(|(l, a)| (l.to_string(), a)).collect(),
+            fields: fields
+                .into_iter()
+                .map(|(l, a)| (l.to_string(), a))
+                .collect(),
             rest,
         })
     }

@@ -208,15 +208,24 @@ impl Checker {
                 }
                 r
             }
-            Proc::Msg { target, label, args, .. } => {
+            Proc::Msg {
+                target,
+                label,
+                args,
+                ..
+            } => {
                 let chan = self.name_type(target)?;
-                let arg_types: Vec<Type> =
-                    args.iter().map(|a| self.infer_expr(a)).collect::<Result<_, _>>()?;
+                let arg_types: Vec<Type> = args
+                    .iter()
+                    .map(|a| self.infer_expr(a))
+                    .collect::<Result<_, _>>()?;
                 let row = self.u.fresh_row();
                 let want = Type::Chan(Row::open([(label.clone(), arg_types)], row));
                 self.u.unify(&chan, &want)
             }
-            Proc::Obj { target, methods, .. } => {
+            Proc::Obj {
+                target, methods, ..
+            } => {
                 let chan = self.name_type(target)?;
                 let mut fields = BTreeMap::new();
                 for m in methods {
@@ -240,8 +249,10 @@ impl Checker {
                 self.u.unify(&chan, &Type::Chan(Row { fields, rest: None }))
             }
             Proc::Inst { class, args, .. } => {
-                let arg_types: Vec<Type> =
-                    args.iter().map(|a| self.infer_expr(a)).collect::<Result<_, _>>()?;
+                let arg_types: Vec<Type> = args
+                    .iter()
+                    .map(|a| self.infer_expr(a))
+                    .collect::<Result<_, _>>()?;
                 match class {
                     ClassRef::Plain(x) => {
                         let sig = self
@@ -283,7 +294,10 @@ impl Checker {
                 let mono: Vec<(String, Vec<Type>)> = defs
                     .iter()
                     .map(|d| {
-                        (d.name.clone(), d.params.iter().map(|_| self.u.fresh()).collect())
+                        (
+                            d.name.clone(),
+                            d.params.iter().map(|_| self.u.fresh()).collect(),
+                        )
                     })
                     .collect();
                 // Bind all classes monomorphically for mutual recursion.
@@ -313,7 +327,9 @@ impl Checker {
                 for (n, params) in &mono {
                     let scheme = self.u.generalize(params);
                     if export {
-                        self.summary.exported_classes.insert(n.clone(), scheme.clone());
+                        self.summary
+                            .exported_classes
+                            .insert(n.clone(), scheme.clone());
                     }
                     self.bind_class(n, ClassSig::Known(scheme));
                 }
@@ -323,8 +339,12 @@ impl Checker {
                 }
                 r
             }
-            Proc::ImportName { name, site, body, .. } => {
-                self.summary.imports.push((site.clone(), name.clone(), ImportKind::Name));
+            Proc::ImportName {
+                name, site, body, ..
+            } => {
+                self.summary
+                    .imports
+                    .push((site.clone(), name.clone(), ImportKind::Name));
                 let t = self.u.fresh_chan();
                 self.bind_name(name, t.clone());
                 let r = self.infer_proc(body);
@@ -335,8 +355,12 @@ impl Checker {
                     .insert((site.clone(), name.clone()), t);
                 r
             }
-            Proc::ImportClass { class, site, body, .. } => {
-                self.summary.imports.push((site.clone(), class.clone(), ImportKind::Class));
+            Proc::ImportClass {
+                class, site, body, ..
+            } => {
+                self.summary
+                    .imports
+                    .push((site.clone(), class.clone(), ImportKind::Class));
                 let slot = self.flexible.len();
                 self.flexible.push(None);
                 self.bind_class(class, ClassSig::Flexible(slot));
@@ -344,7 +368,12 @@ impl Checker {
                 self.unbind_class(class);
                 r
             }
-            Proc::If { cond, then_branch, else_branch, .. } => {
+            Proc::If {
+                cond,
+                then_branch,
+                else_branch,
+                ..
+            } => {
                 let t = self.infer_expr(cond)?;
                 self.u.unify(&t, &Type::Bool)?;
                 self.infer_proc(then_branch)?;
@@ -399,7 +428,10 @@ impl Checker {
                 Type::Int | Type::Float => {}
                 Type::Var(_) => self.u.unify(&t, &Type::Int)?,
                 other => {
-                    return Err(TypeError::Mismatch(other.to_string(), "int or float".to_string()));
+                    return Err(TypeError::Mismatch(
+                        other.to_string(),
+                        "int or float".to_string(),
+                    ));
                 }
             }
         }
@@ -569,7 +601,10 @@ mod tests {
     #[test]
     fn import_expectation_recorded() {
         let s = ok("import p from server in p!go[1]");
-        let t = s.import_expectations.get(&("server".to_string(), "p".to_string())).unwrap();
+        let t = s
+            .import_expectations
+            .get(&("server".to_string(), "p".to_string()))
+            .unwrap();
         assert!(t.to_string().contains("go"));
         assert_eq!(s.imports.len(), 1);
     }

@@ -46,12 +46,18 @@ pub struct Row {
 impl Row {
     /// A closed row with the given fields.
     pub fn closed(fields: impl IntoIterator<Item = (Label, Vec<Type>)>) -> Row {
-        Row { fields: fields.into_iter().collect(), rest: None }
+        Row {
+            fields: fields.into_iter().collect(),
+            rest: None,
+        }
     }
 
     /// An open row with the given fields and tail variable.
     pub fn open(fields: impl IntoIterator<Item = (Label, Vec<Type>)>, rest: RvId) -> Row {
-        Row { fields: fields.into_iter().collect(), rest: Some(rest) }
+        Row {
+            fields: fields.into_iter().collect(),
+            rest: Some(rest),
+        }
     }
 
     pub fn is_closed(&self) -> bool {
@@ -141,7 +147,11 @@ pub struct Scheme {
 impl Scheme {
     /// A monomorphic scheme (no quantified variables).
     pub fn mono(params: Vec<Type>) -> Scheme {
-        Scheme { tvars: Vec::new(), rvars: Vec::new(), params }
+        Scheme {
+            tvars: Vec::new(),
+            rvars: Vec::new(),
+            params,
+        }
     }
 }
 
@@ -186,7 +196,10 @@ mod tests {
     #[test]
     fn free_vars_are_deduplicated() {
         let t = Type::Chan(Row::open(
-            [("l".to_string(), vec![Type::Var(TvId(1)), Type::Var(TvId(1))])],
+            [(
+                "l".to_string(),
+                vec![Type::Var(TvId(1)), Type::Var(TvId(1))],
+            )],
             RvId(2),
         ));
         let mut tvs = Vec::new();

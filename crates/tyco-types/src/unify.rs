@@ -10,13 +10,21 @@ pub enum TypeError {
     /// Two types cannot be made equal.
     Mismatch(String, String),
     /// A method was invoked with the wrong number of arguments.
-    Arity { label: Label, expected: usize, found: usize },
+    Arity {
+        label: Label,
+        expected: usize,
+        found: usize,
+    },
     /// A message selects a label the channel's (closed) type does not offer.
     MissingLabel { label: Label, chan: String },
     /// Infinite type (e.g. a channel sent over itself).
     Occurs(String),
     /// A class was instantiated with the wrong number of arguments.
-    ClassArity { class: String, expected: usize, found: usize },
+    ClassArity {
+        class: String,
+        expected: usize,
+        found: usize,
+    },
     /// An identifier is unbound.
     Unbound(String),
 }
@@ -25,7 +33,11 @@ impl fmt::Display for TypeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TypeError::Mismatch(a, b) => write!(f, "type mismatch: `{a}` vs `{b}`"),
-            TypeError::Arity { label, expected, found } => write!(
+            TypeError::Arity {
+                label,
+                expected,
+                found,
+            } => write!(
                 f,
                 "method `{label}` expects {expected} argument(s) but got {found}"
             ),
@@ -33,7 +45,11 @@ impl fmt::Display for TypeError {
                 write!(f, "channel of type `{chan}` has no method `{label}`")
             }
             TypeError::Occurs(t) => write!(f, "infinite type arising from `{t}`"),
-            TypeError::ClassArity { class, expected, found } => write!(
+            TypeError::ClassArity {
+                class,
+                expected,
+                found,
+            } => write!(
                 f,
                 "class `{class}` expects {expected} argument(s) but got {found}"
             ),
@@ -153,7 +169,10 @@ impl Unifier {
         if row.rest == Some(v) {
             return true;
         }
-        row.fields.values().flatten().any(|t| self.row_occurs_in_type(v, t))
+        row.fields
+            .values()
+            .flatten()
+            .any(|t| self.row_occurs_in_type(v, t))
     }
 
     fn row_occurs_in_type(&self, v: RvId, t: &Type) -> bool {
@@ -207,9 +226,10 @@ impl Unifier {
             | (Type::Str, Type::Str)
             | (Type::Float, Type::Float) => Ok(()),
             (Type::Chan(r1), Type::Chan(r2)) => self.unify_rows(&r1, &r2),
-            (a, b) => {
-                Err(TypeError::Mismatch(self.zonk(&a).to_string(), self.zonk(&b).to_string()))
-            }
+            (a, b) => Err(TypeError::Mismatch(
+                self.zonk(&a).to_string(),
+                self.zonk(&b).to_string(),
+            )),
         }
     }
 
@@ -330,18 +350,34 @@ impl Unifier {
         for t in &params {
             t.free_vars(&mut tvs, &mut rvs);
         }
-        let tvars: Vec<TvId> = tvs.into_iter().filter(|v| self.tv_lvl(*v) > self.level).collect();
-        let rvars: Vec<RvId> = rvs.into_iter().filter(|v| self.rv_lvl(*v) > self.level).collect();
-        Scheme { tvars, rvars, params }
+        let tvars: Vec<TvId> = tvs
+            .into_iter()
+            .filter(|v| self.tv_lvl(*v) > self.level)
+            .collect();
+        let rvars: Vec<RvId> = rvs
+            .into_iter()
+            .filter(|v| self.rv_lvl(*v) > self.level)
+            .collect();
+        Scheme {
+            tvars,
+            rvars,
+            params,
+        }
     }
 
     /// Instantiate a scheme with fresh variables at the current level.
     pub fn instantiate(&mut self, scheme: &Scheme) -> Vec<Type> {
-        let tmap: HashMap<TvId, Type> =
-            scheme.tvars.iter().map(|v| (*v, self.fresh())).collect();
-        let rmap: HashMap<RvId, RvId> =
-            scheme.rvars.iter().map(|v| (*v, self.fresh_row())).collect();
-        scheme.params.iter().map(|t| self.subst_type(t, &tmap, &rmap)).collect()
+        let tmap: HashMap<TvId, Type> = scheme.tvars.iter().map(|v| (*v, self.fresh())).collect();
+        let rmap: HashMap<RvId, RvId> = scheme
+            .rvars
+            .iter()
+            .map(|v| (*v, self.fresh_row()))
+            .collect();
+        scheme
+            .params
+            .iter()
+            .map(|t| self.subst_type(t, &tmap, &rmap))
+            .collect()
     }
 
     fn subst_type(&self, t: &Type, tmap: &HashMap<TvId, Type>, rmap: &HashMap<RvId, RvId>) -> Type {
@@ -354,7 +390,12 @@ impl Unifier {
                         .fields
                         .iter()
                         .map(|(l, args)| {
-                            (l.clone(), args.iter().map(|a| self.subst_type(a, tmap, rmap)).collect())
+                            (
+                                l.clone(),
+                                args.iter()
+                                    .map(|a| self.subst_type(a, tmap, rmap))
+                                    .collect(),
+                            )
                         })
                         .collect(),
                     rest: row.rest.map(|r| rmap.get(&r).copied().unwrap_or(r)),

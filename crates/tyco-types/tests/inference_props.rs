@@ -56,39 +56,47 @@ fn polymorphic_corner_cases() {
     ).unwrap()).is_ok());
 
     // Nested defs: the inner class generalizes independently of the outer.
-    assert!(check(&parse_core(
-        r#"
+    assert!(check(
+        &parse_core(
+            r#"
         def Outer(o) =
             def Inner(i) = i?(x) = print(x)
             in new a new b (Inner[a] | Inner[b] | a![1] | b!["s"] | o![])
         in new done (Outer[done] | done?() = 0)
         "#
-    ).unwrap()).is_ok());
+        )
+        .unwrap()
+    )
+    .is_ok());
 
     // Monomorphism inside one instantiation: the SAME inner channel cannot
     // be both int and bool.
-    assert!(check(&parse_core(
-        "def K(c) = c![1] | c![true] in new x K[x]"
-    ).unwrap()).is_err());
+    assert!(check(&parse_core("def K(c) = c![1] | c![true] in new x K[x]").unwrap()).is_err());
 
     // A class used at two types must not leak constraints between uses.
-    assert!(check(&parse_core(
-        r#"
+    assert!(check(
+        &parse_core(
+            r#"
         def Send(c, v) = c![v]
         in new i new b (Send[i, 1] | Send[b, true] | i?(x) = print(x + 1) | b?(y) = print(not y))
         "#
-    ).unwrap()).is_ok());
+        )
+        .unwrap()
+    )
+    .is_ok());
 
     // Recursive polymorphic class keeps its parameter type abstract.
-    assert!(check(&parse_core(
-        "def Pump(c, v) = c![v] | Pump[c, v] in new x new y (Pump[x, 1] | Pump[y, \"s\"])"
-    ).unwrap()).is_ok());
+    assert!(check(
+        &parse_core(
+            "def Pump(c, v) = c![v] | Pump[c, v] in new x new y (Pump[x, 1] | Pump[y, \"s\"])"
+        )
+        .unwrap()
+    )
+    .is_ok());
 
     // But recursion cannot change the type at which it recurses
     // (monomorphic recursion, standard Damas–Milner).
-    assert!(check(&parse_core(
-        "def Bad(v) = Bad[1] | Bad[true] in Bad[0]"
-    ).unwrap()).is_err());
+    assert!(check(&parse_core("def Bad(v) = Bad[1] | Bad[true] in Bad[0]").unwrap()).is_err());
 }
 
 #[test]
@@ -96,11 +104,12 @@ fn row_polymorphism_via_messages() {
     // A sender only constrains the labels it uses: two senders with
     // different labels to the same channel are fine if the receiver offers
     // both…
-    assert!(check(&parse_core(
-        "new c (c!a[1] | c!b[true] | c?{ a(x) = print(x), b(y) = print(y) })"
-    ).unwrap()).is_ok());
+    assert!(check(
+        &parse_core("new c (c!a[1] | c!b[true] | c?{ a(x) = print(x), b(y) = print(y) })").unwrap()
+    )
+    .is_ok());
     // …and a type error if it offers only one.
-    assert!(check(&parse_core(
-        "new c (c!a[1] | c!b[true] | c?{ a(x) = print(x) })"
-    ).unwrap()).is_err());
+    assert!(
+        check(&parse_core("new c (c!a[1] | c!b[true] | c?{ a(x) = print(x) })").unwrap()).is_err()
+    );
 }

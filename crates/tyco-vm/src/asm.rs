@@ -98,7 +98,7 @@ pub fn emit(prog: &Program) -> String {
             b.nlocals,
             if b.is_class_body { " class" } else { "" },
         );
-        for ins in &b.code {
+        for ins in b.code.iter() {
             let line = match ins {
                 Instr::PushLocal(s) => format!("pushlocal {s}"),
                 Instr::PushInt(i) => format!("pushint {i}"),
@@ -121,7 +121,12 @@ pub fn emit(prog: &Program) -> String {
                 }
                 Instr::TrObj { table, nfree } => format!("trobj {table} {nfree}"),
                 Instr::InstOf { argc } => format!("instof {argc}"),
-                Instr::MkGroup { table, dst, count, nfree } => {
+                Instr::MkGroup {
+                    table,
+                    dst,
+                    count,
+                    nfree,
+                } => {
                     format!("mkgroup {table} {dst} {count} {nfree}")
                 }
                 Instr::ExportName { slot, name } => {
@@ -130,7 +135,12 @@ pub fn emit(prog: &Program) -> String {
                 Instr::ExportClass { slot, name } => {
                     format!("exportclass {slot} {}", escape_str(prog.strings.get(*name)))
                 }
-                Instr::Import { dst, site, name, kind } => format!(
+                Instr::Import {
+                    dst,
+                    site,
+                    name,
+                    kind,
+                } => format!(
                     "import {dst} {} {} {}",
                     escape_str(prog.strings.get(*site)),
                     escape_str(prog.strings.get(*name)),
@@ -164,17 +174,17 @@ struct LineCx<'a> {
 
 impl<'a> LineCx<'a> {
     fn err<T>(&self, msg: impl Into<String>) -> Result<T, AsmError> {
-        Err(AsmError { line: self.line_no, message: msg.into() })
+        Err(AsmError {
+            line: self.line_no,
+            message: msg.into(),
+        })
     }
 
     fn arg(&self, i: usize) -> Result<&'a str, AsmError> {
-        self.words
-            .get(i)
-            .copied()
-            .ok_or_else(|| AsmError {
-                line: self.line_no,
-                message: format!("missing operand {i} in `{}`", self.src.trim()),
-            })
+        self.words.get(i).copied().ok_or_else(|| AsmError {
+            line: self.line_no,
+            message: format!("missing operand {i} in `{}`", self.src.trim()),
+        })
     }
 
     fn num<T: std::str::FromStr>(&self, i: usize) -> Result<T, AsmError> {
@@ -224,11 +234,16 @@ fn split_words(line: &str) -> Vec<&str> {
 
 /// Unquote a string operand using the lexer's escape rules.
 fn unquote(line_no: usize, w: &str) -> Result<String, AsmError> {
-    let toks = tyco_syntax::lexer::lex(w)
-        .map_err(|e| AsmError { line: line_no, message: format!("bad string operand: {e}") })?;
+    let toks = tyco_syntax::lexer::lex(w).map_err(|e| AsmError {
+        line: line_no,
+        message: format!("bad string operand: {e}"),
+    })?;
     match toks.first().map(|t| &t.tok) {
         Some(tyco_syntax::token::Tok::Str(s)) => Ok(s.clone()),
-        _ => Err(AsmError { line: line_no, message: format!("expected string, got `{w}`") }),
+        _ => Err(AsmError {
+            line: line_no,
+            message: format!("expected string, got `{w}`"),
+        }),
     }
 }
 
@@ -242,6 +257,18 @@ pub fn parse(src: &str) -> Result<Program, AsmError> {
         Table(usize),
     }
     let mut section = Section::None;
+    // Instructions of the block currently being assembled; sealed into the
+    // block's shared code slice when the next section starts (or at EOF).
+    let mut pending: Vec<Instr> = Vec::new();
+    fn seal(prog: &mut Program, pending: &mut Vec<Instr>) {
+        if !pending.is_empty() {
+            let block = prog
+                .blocks
+                .last_mut()
+                .expect("pending code implies a block");
+            block.code = std::mem::take(pending).into();
+        }
+    }
 
     for (idx, raw) in src.lines().enumerate() {
         let line_no = idx + 1;
@@ -250,14 +277,20 @@ pub fn parse(src: &str) -> Result<Program, AsmError> {
             continue;
         }
         let words = split_words(line);
-        let cx = LineCx { line_no, words, src: raw };
+        let cx = LineCx {
+            line_no,
+            words,
+            src: raw,
+        };
         let head = cx.arg(0)?;
         match head {
             ".entry" => {
+                seal(&mut prog, &mut pending);
                 prog.entry = cx.num(1)?;
                 section = Section::None;
             }
             ".block" => {
+                seal(&mut prog, &mut pending);
                 let id: usize = cx.num(1)?;
                 if id != prog.blocks.len() {
                     return cx.err(format!(
@@ -298,11 +331,12 @@ pub fn parse(src: &str) -> Result<Program, AsmError> {
                     nparams,
                     nlocals,
                     is_class_body,
-                    code: Vec::new(),
+                    code: Vec::new().into(),
                 });
                 section = Section::Block;
             }
             ".table" => {
+                seal(&mut prog, &mut pending);
                 let id: usize = cx.num(1)?;
                 if id != prog.tables.len() {
                     return cx.err(format!(
@@ -326,11 +360,12 @@ pub fn parse(src: &str) -> Result<Program, AsmError> {
                 }
                 Section::Block => {
                     let ins = parse_instr(&cx, &mut prog)?;
-                    prog.blocks.last_mut().expect("in block section").code.push(ins);
+                    pending.push(ins);
                 }
             },
         }
     }
+    seal(&mut prog, &mut pending);
     // Method tables must be sorted for lookup; group tables are positional
     // but emitted in def order, which `emit` preserves — only re-sort when
     // already sorted-by-label input is expected. We preserve input order to
@@ -358,13 +393,10 @@ fn parse_instr(cx: &LineCx<'_>, prog: &mut Program) -> Result<Instr, AsmError> {
         "store" => Instr::Store(cx.num(1)?),
         "bin" => {
             let name = cx.arg(1)?;
-            Instr::Bin(
-                binop_by_name(name)
-                    .ok_or_else(|| AsmError {
-                        line: cx.line_no,
-                        message: format!("unknown binop `{name}`"),
-                    })?,
-            )
+            Instr::Bin(binop_by_name(name).ok_or_else(|| AsmError {
+                line: cx.line_no,
+                message: format!("unknown binop `{name}`"),
+            })?)
         }
         "un" => match cx.arg(1)? {
             "neg" => Instr::Un(UnOp::Neg),
@@ -375,12 +407,21 @@ fn parse_instr(cx: &LineCx<'_>, prog: &mut Program) -> Result<Instr, AsmError> {
         "jumpiffalse" => Instr::JumpIfFalse(cx.num(1)?),
         "halt" => Instr::Halt,
         "newchan" => Instr::NewChan(cx.num(1)?),
-        "fork" => Instr::Fork { block: cx.num(1)?, nfree: cx.num(2)? },
+        "fork" => Instr::Fork {
+            block: cx.num(1)?,
+            nfree: cx.num(2)?,
+        },
         "trmsg" => {
             let label = prog.labels.intern(cx.arg(1)?);
-            Instr::TrMsg { label, argc: cx.num(2)? }
+            Instr::TrMsg {
+                label,
+                argc: cx.num(2)?,
+            }
         }
-        "trobj" => Instr::TrObj { table: cx.num(1)?, nfree: cx.num(2)? },
+        "trobj" => Instr::TrObj {
+            table: cx.num(1)?,
+            nfree: cx.num(2)?,
+        },
         "instof" => Instr::InstOf { argc: cx.num(1)? },
         "mkgroup" => Instr::MkGroup {
             table: cx.num(1)?,
@@ -391,12 +432,18 @@ fn parse_instr(cx: &LineCx<'_>, prog: &mut Program) -> Result<Instr, AsmError> {
         "exportname" => {
             let slot = cx.num(1)?;
             let name = unquote(cx.line_no, cx.arg(2)?)?;
-            Instr::ExportName { slot, name: prog.strings.intern(&name) }
+            Instr::ExportName {
+                slot,
+                name: prog.strings.intern(&name),
+            }
         }
         "exportclass" => {
             let slot = cx.num(1)?;
             let name = unquote(cx.line_no, cx.arg(2)?)?;
-            Instr::ExportClass { slot, name: prog.strings.intern(&name) }
+            Instr::ExportClass {
+                slot,
+                name: prog.strings.intern(&name),
+            }
         }
         "import" => {
             let dst = cx.num(1)?;
@@ -499,7 +546,7 @@ mod tests {
     }
 
     #[test]
-    fn comments_and_blank_lines_are_ignored()  {
+    fn comments_and_blank_lines_are_ignored() {
         let text = "\n; leading comment\n.entry 0\n.block 0 \"e\" free=0 params=0 locals=0\n    pushunit ; trailing\n    print 1 nl\n    halt\n";
         let prog = parse(text).unwrap();
         let mut m = Machine::new(prog, LoopbackPort::new("main"));

@@ -36,25 +36,59 @@ fn err<T>(msg: impl Into<String>) -> R<T> {
 #[derive(Debug, Clone, PartialEq)]
 pub enum Packet {
     /// A shipped asynchronous message (SHIPM).
-    Msg { dest: NetRef, label: String, args: Vec<WireWord> },
+    Msg {
+        dest: NetRef,
+        label: String,
+        args: Vec<WireWord>,
+    },
     /// A migrating object (SHIPO).
     Obj { dest: NetRef, obj: WireObj },
     /// Request for the byte-code of an exported class (FETCH, step 1).
-    FetchReq { class: NetRef, req: u64, reply_to: Identity },
+    FetchReq {
+        class: NetRef,
+        req: u64,
+        reply_to: Identity,
+    },
     /// The packaged byte-code (FETCH, step 2).
-    FetchReply { to: Identity, req: u64, group: WireGroup, index: u8 },
+    FetchReply {
+        to: Identity,
+        req: u64,
+        group: WireGroup,
+        index: u8,
+    },
     /// Name-service registration of an exported identifier.
-    NsRegister { from_site: SiteId, site_lexeme: String, name: String, value: WireWord },
+    NsRegister {
+        from_site: SiteId,
+        site_lexeme: String,
+        name: String,
+        value: WireWord,
+    },
     /// Name-service lookup.
-    NsImport { req: u64, site: String, name: String, kind: ImportKind, reply_to: Identity },
+    NsImport {
+        req: u64,
+        site: String,
+        name: String,
+        kind: ImportKind,
+        reply_to: Identity,
+    },
     /// Name-service answer.
-    NsImportReply { to: Identity, req: u64, result: Result<WireWord, String> },
+    NsImportReply {
+        to: Identity,
+        req: u64,
+        result: Result<WireWord, String>,
+    },
     /// Node liveness beacon (failure detection, §7 future work).
     Heartbeat { node: NodeId, seq: u64 },
     /// Termination-detection probe (coordinator → nodes).
     TermProbe { round: u64 },
     /// Termination-detection report (node → coordinator).
-    TermReport { node: NodeId, round: u64, sent: u64, recv: u64, active: bool },
+    TermReport {
+        node: NodeId,
+        round: u64,
+        sent: u64,
+        recv: u64,
+        active: bool,
+    },
 }
 
 // -- primitive writers -------------------------------------------------------
@@ -72,8 +106,11 @@ fn get_str(buf: &mut Bytes) -> R<String> {
     if buf.remaining() < n {
         return err("truncated string body");
     }
-    let raw = buf.copy_to_bytes(n);
-    String::from_utf8(raw.to_vec()).map_err(|e| CodecError(format!("bad utf8: {e}")))
+    let s = std::str::from_utf8(&buf.chunk()[..n])
+        .map_err(|e| CodecError(format!("bad utf8: {e}")))?
+        .to_owned();
+    buf.advance(n);
+    Ok(s)
 }
 
 fn put_netref(buf: &mut BytesMut, r: &NetRef) {
@@ -102,7 +139,10 @@ fn get_identity(buf: &mut Bytes) -> R<Identity> {
     if buf.remaining() < 8 {
         return err("truncated identity");
     }
-    Ok(Identity { site: SiteId(buf.get_u32_le()), node: NodeId(buf.get_u32_le()) })
+    Ok(Identity {
+        site: SiteId(buf.get_u32_le()),
+        node: NodeId(buf.get_u32_le()),
+    })
 }
 
 // -- wire words ---------------------------------------------------------------
@@ -299,7 +339,12 @@ fn put_instr(buf: &mut BytesMut, ins: &Instr) {
             buf.put_u8(17);
             buf.put_u8(*argc);
         }
-        Instr::MkGroup { table, dst, count, nfree } => {
+        Instr::MkGroup {
+            table,
+            dst,
+            count,
+            nfree,
+        } => {
             buf.put_u8(18);
             buf.put_u32_le(*table);
             buf.put_u16_le(*dst);
@@ -316,7 +361,12 @@ fn put_instr(buf: &mut BytesMut, ins: &Instr) {
             buf.put_u16_le(*slot);
             buf.put_u32_le(*name);
         }
-        Instr::Import { dst, site, name, kind } => {
+        Instr::Import {
+            dst,
+            site,
+            name,
+            kind,
+        } => {
             buf.put_u8(21);
             buf.put_u16_le(*dst);
             buf.put_u32_le(*site);
@@ -378,7 +428,11 @@ fn get_instr(buf: &mut Bytes) -> R<Instr> {
         }
         9 => {
             need!(1);
-            Instr::Un(if buf.get_u8() != 0 { UnOp::Not } else { UnOp::Neg })
+            Instr::Un(if buf.get_u8() != 0 {
+                UnOp::Not
+            } else {
+                UnOp::Neg
+            })
         }
         10 => {
             need!(4);
@@ -395,15 +449,24 @@ fn get_instr(buf: &mut Bytes) -> R<Instr> {
         }
         14 => {
             need!(6);
-            Instr::Fork { block: buf.get_u32_le(), nfree: buf.get_u16_le() }
+            Instr::Fork {
+                block: buf.get_u32_le(),
+                nfree: buf.get_u16_le(),
+            }
         }
         15 => {
             need!(5);
-            Instr::TrMsg { label: buf.get_u32_le(), argc: buf.get_u8() }
+            Instr::TrMsg {
+                label: buf.get_u32_le(),
+                argc: buf.get_u8(),
+            }
         }
         16 => {
             need!(6);
-            Instr::TrObj { table: buf.get_u32_le(), nfree: buf.get_u16_le() }
+            Instr::TrObj {
+                table: buf.get_u32_le(),
+                nfree: buf.get_u16_le(),
+            }
         }
         17 => {
             need!(1);
@@ -420,11 +483,17 @@ fn get_instr(buf: &mut Bytes) -> R<Instr> {
         }
         19 => {
             need!(6);
-            Instr::ExportName { slot: buf.get_u16_le(), name: buf.get_u32_le() }
+            Instr::ExportName {
+                slot: buf.get_u16_le(),
+                name: buf.get_u32_le(),
+            }
         }
         20 => {
             need!(6);
-            Instr::ExportClass { slot: buf.get_u16_le(), name: buf.get_u32_le() }
+            Instr::ExportClass {
+                slot: buf.get_u16_le(),
+                name: buf.get_u32_le(),
+            }
         }
         21 => {
             need!(11);
@@ -432,12 +501,19 @@ fn get_instr(buf: &mut Bytes) -> R<Instr> {
                 dst: buf.get_u16_le(),
                 site: buf.get_u32_le(),
                 name: buf.get_u32_le(),
-                kind: if buf.get_u8() != 0 { ImportKind::Class } else { ImportKind::Name },
+                kind: if buf.get_u8() != 0 {
+                    ImportKind::Class
+                } else {
+                    ImportKind::Name
+                },
             }
         }
         22 => {
             need!(2);
-            Instr::Print { argc: buf.get_u8(), newline: buf.get_u8() != 0 }
+            Instr::Print {
+                argc: buf.get_u8(),
+                newline: buf.get_u8() != 0,
+            }
         }
         t => return err(format!("bad opcode {t}")),
     })
@@ -454,7 +530,7 @@ pub(crate) fn put_code(buf: &mut BytesMut, code: &WireCode) {
         buf.put_u16_le(b.nlocals);
         buf.put_u8(b.is_class_body as u8);
         buf.put_u32_le(b.code.len() as u32);
-        for ins in &b.code {
+        for ins in b.code.iter() {
             put_instr(buf, ins);
         }
     }
@@ -501,7 +577,14 @@ pub(crate) fn get_code(buf: &mut Bytes) -> R<WireCode> {
         for _ in 0..ninstrs {
             code.push(get_instr(buf)?);
         }
-        blocks.push(Block { name, nfree, nparams, nlocals, is_class_body, code });
+        blocks.push(Block {
+            name,
+            nfree,
+            nparams,
+            nlocals,
+            is_class_body,
+            code: code.into(),
+        });
     }
     let ntables = count!();
     let mut tables = Vec::with_capacity(ntables.min(4096));
@@ -526,7 +609,12 @@ pub(crate) fn get_code(buf: &mut Bytes) -> R<WireCode> {
     for _ in 0..nstrings {
         strings.push(get_str(buf)?);
     }
-    Ok(WireCode { blocks, tables, labels, strings })
+    Ok(WireCode {
+        blocks,
+        tables,
+        labels,
+        strings,
+    })
 }
 
 // -- packets -------------------------------------------------------------------------
@@ -534,62 +622,90 @@ pub(crate) fn get_code(buf: &mut Bytes) -> R<WireCode> {
 /// Encode a packet to bytes.
 pub fn encode(p: &Packet) -> Bytes {
     let mut buf = BytesMut::with_capacity(64);
+    encode_into(p, &mut buf);
+    buf.freeze()
+}
+
+/// Append a packet's encoding to an existing buffer. Batching many
+/// packets into one buffer (then freezing once and slicing) costs one
+/// allocation per batch instead of one per packet.
+pub fn encode_into(p: &Packet, buf: &mut BytesMut) {
     match p {
         Packet::Msg { dest, label, args } => {
             buf.put_u8(0);
-            put_netref(&mut buf, dest);
-            put_str(&mut buf, label);
-            put_words(&mut buf, args);
+            put_netref(buf, dest);
+            put_str(buf, label);
+            put_words(buf, args);
         }
         Packet::Obj { dest, obj } => {
             buf.put_u8(1);
-            put_netref(&mut buf, dest);
-            put_code(&mut buf, &obj.code);
+            put_netref(buf, dest);
+            put_code(buf, &obj.code);
             buf.put_u32_le(obj.table);
-            put_words(&mut buf, &obj.captured);
+            put_words(buf, &obj.captured);
         }
-        Packet::FetchReq { class, req, reply_to } => {
+        Packet::FetchReq {
+            class,
+            req,
+            reply_to,
+        } => {
             buf.put_u8(2);
-            put_netref(&mut buf, class);
+            put_netref(buf, class);
             buf.put_u64_le(*req);
-            put_identity(&mut buf, reply_to);
+            put_identity(buf, reply_to);
         }
-        Packet::FetchReply { to, req, group, index } => {
+        Packet::FetchReply {
+            to,
+            req,
+            group,
+            index,
+        } => {
             buf.put_u8(3);
-            put_identity(&mut buf, to);
+            put_identity(buf, to);
             buf.put_u64_le(*req);
-            put_code(&mut buf, &group.code);
+            put_code(buf, &group.code);
             buf.put_u32_le(group.table);
-            put_words(&mut buf, &group.captured);
+            put_words(buf, &group.captured);
             buf.put_u8(*index);
         }
-        Packet::NsRegister { from_site, site_lexeme, name, value } => {
+        Packet::NsRegister {
+            from_site,
+            site_lexeme,
+            name,
+            value,
+        } => {
             buf.put_u8(4);
             buf.put_u32_le(from_site.0);
-            put_str(&mut buf, site_lexeme);
-            put_str(&mut buf, name);
-            put_word(&mut buf, value);
+            put_str(buf, site_lexeme);
+            put_str(buf, name);
+            put_word(buf, value);
         }
-        Packet::NsImport { req, site, name, kind, reply_to } => {
+        Packet::NsImport {
+            req,
+            site,
+            name,
+            kind,
+            reply_to,
+        } => {
             buf.put_u8(5);
             buf.put_u64_le(*req);
-            put_str(&mut buf, site);
-            put_str(&mut buf, name);
+            put_str(buf, site);
+            put_str(buf, name);
             buf.put_u8(matches!(kind, ImportKind::Class) as u8);
-            put_identity(&mut buf, reply_to);
+            put_identity(buf, reply_to);
         }
         Packet::NsImportReply { to, req, result } => {
             buf.put_u8(6);
-            put_identity(&mut buf, to);
+            put_identity(buf, to);
             buf.put_u64_le(*req);
             match result {
                 Ok(w) => {
                     buf.put_u8(1);
-                    put_word(&mut buf, w);
+                    put_word(buf, w);
                 }
                 Err(e) => {
                     buf.put_u8(0);
-                    put_str(&mut buf, e);
+                    put_str(buf, e);
                 }
             }
         }
@@ -602,7 +718,13 @@ pub fn encode(p: &Packet) -> Bytes {
             buf.put_u8(8);
             buf.put_u64_le(*round);
         }
-        Packet::TermReport { node, round, sent, recv, active } => {
+        Packet::TermReport {
+            node,
+            round,
+            sent,
+            recv,
+            active,
+        } => {
             buf.put_u8(9);
             buf.put_u32_le(node.0);
             buf.put_u64_le(*round);
@@ -611,7 +733,6 @@ pub fn encode(p: &Packet) -> Bytes {
             buf.put_u8(*active as u8);
         }
     }
-    buf.freeze()
 }
 
 /// Decode a packet from bytes.
@@ -634,7 +755,14 @@ pub fn decode(mut buf: Bytes) -> R<Packet> {
             }
             let table = buf.get_u32_le();
             let captured = get_words(&mut buf)?;
-            Packet::Obj { dest, obj: WireObj { code, table, captured } }
+            Packet::Obj {
+                dest,
+                obj: WireObj {
+                    code,
+                    table,
+                    captured,
+                },
+            }
         }
         2 => {
             let class = get_netref(&mut buf)?;
@@ -643,7 +771,11 @@ pub fn decode(mut buf: Bytes) -> R<Packet> {
             }
             let req = buf.get_u64_le();
             let reply_to = get_identity(&mut buf)?;
-            Packet::FetchReq { class, req, reply_to }
+            Packet::FetchReq {
+                class,
+                req,
+                reply_to,
+            }
         }
         3 => {
             let to = get_identity(&mut buf)?;
@@ -661,7 +793,16 @@ pub fn decode(mut buf: Bytes) -> R<Packet> {
                 return err("truncated index");
             }
             let index = buf.get_u8();
-            Packet::FetchReply { to, req, group: WireGroup { code, table, captured }, index }
+            Packet::FetchReply {
+                to,
+                req,
+                group: WireGroup {
+                    code,
+                    table,
+                    captured,
+                },
+                index,
+            }
         }
         4 => {
             if buf.remaining() < 4 {
@@ -671,7 +812,12 @@ pub fn decode(mut buf: Bytes) -> R<Packet> {
             let site_lexeme = get_str(&mut buf)?;
             let name = get_str(&mut buf)?;
             let value = get_word(&mut buf)?;
-            Packet::NsRegister { from_site, site_lexeme, name, value }
+            Packet::NsRegister {
+                from_site,
+                site_lexeme,
+                name,
+                value,
+            }
         }
         5 => {
             if buf.remaining() < 8 {
@@ -683,9 +829,19 @@ pub fn decode(mut buf: Bytes) -> R<Packet> {
             if !buf.has_remaining() {
                 return err("truncated kind");
             }
-            let kind = if buf.get_u8() != 0 { ImportKind::Class } else { ImportKind::Name };
+            let kind = if buf.get_u8() != 0 {
+                ImportKind::Class
+            } else {
+                ImportKind::Name
+            };
             let reply_to = get_identity(&mut buf)?;
-            Packet::NsImport { req, site, name, kind, reply_to }
+            Packet::NsImport {
+                req,
+                site,
+                name,
+                kind,
+                reply_to,
+            }
         }
         6 => {
             let to = get_identity(&mut buf)?;
@@ -694,20 +850,29 @@ pub fn decode(mut buf: Bytes) -> R<Packet> {
             }
             let req = buf.get_u64_le();
             let ok = buf.get_u8() != 0;
-            let result = if ok { Ok(get_word(&mut buf)?) } else { Err(get_str(&mut buf)?) };
+            let result = if ok {
+                Ok(get_word(&mut buf)?)
+            } else {
+                Err(get_str(&mut buf)?)
+            };
             Packet::NsImportReply { to, req, result }
         }
         7 => {
             if buf.remaining() < 12 {
                 return err("truncated heartbeat");
             }
-            Packet::Heartbeat { node: NodeId(buf.get_u32_le()), seq: buf.get_u64_le() }
+            Packet::Heartbeat {
+                node: NodeId(buf.get_u32_le()),
+                seq: buf.get_u64_le(),
+            }
         }
         8 => {
             if buf.remaining() < 8 {
                 return err("truncated probe");
             }
-            Packet::TermProbe { round: buf.get_u64_le() }
+            Packet::TermProbe {
+                round: buf.get_u64_le(),
+            }
         }
         9 => {
             if buf.remaining() < 29 {
@@ -743,7 +908,11 @@ mod tests {
     }
 
     fn nref(h: u64) -> NetRef {
-        NetRef { heap_id: h, site: SiteId(3), node: NodeId(1) }
+        NetRef {
+            heap_id: h,
+            site: SiteId(3),
+            node: NodeId(1),
+        }
     }
 
     #[test]
@@ -788,14 +957,24 @@ mod tests {
         roundtrip(Packet::FetchReq {
             class: nref(2),
             req: 77,
-            reply_to: Identity { site: SiteId(1), node: NodeId(0) },
+            reply_to: Identity {
+                site: SiteId(1),
+                node: NodeId(0),
+            },
         });
         let prog = compile(&parse_core("def K(a) = print(a) in K[1]").unwrap()).unwrap();
         let packed = wire::pack(&prog, &[0]);
         roundtrip(Packet::FetchReply {
-            to: Identity { site: SiteId(1), node: NodeId(0) },
+            to: Identity {
+                site: SiteId(1),
+                node: NodeId(0),
+            },
             req: 77,
-            group: WireGroup { code: packed.code, table: 0, captured: vec![] },
+            group: WireGroup {
+                code: packed.code,
+                table: 0,
+                captured: vec![],
+            },
             index: 0,
         });
     }
@@ -813,15 +992,24 @@ mod tests {
             site: "server".into(),
             name: "p".into(),
             kind: ImportKind::Class,
-            reply_to: Identity { site: SiteId(9), node: NodeId(2) },
+            reply_to: Identity {
+                site: SiteId(9),
+                node: NodeId(2),
+            },
         });
         roundtrip(Packet::NsImportReply {
-            to: Identity { site: SiteId(9), node: NodeId(2) },
+            to: Identity {
+                site: SiteId(9),
+                node: NodeId(2),
+            },
             req: 5,
             result: Ok(WireWord::Class(nref(3))),
         });
         roundtrip(Packet::NsImportReply {
-            to: Identity { site: SiteId(9), node: NodeId(2) },
+            to: Identity {
+                site: SiteId(9),
+                node: NodeId(2),
+            },
             req: 6,
             result: Err("no such identifier".into()),
         });
@@ -829,7 +1017,10 @@ mod tests {
 
     #[test]
     fn control_packets_roundtrip() {
-        roundtrip(Packet::Heartbeat { node: NodeId(4), seq: 123 });
+        roundtrip(Packet::Heartbeat {
+            node: NodeId(4),
+            seq: 123,
+        });
         roundtrip(Packet::TermProbe { round: 2 });
         roundtrip(Packet::TermReport {
             node: NodeId(1),
@@ -862,11 +1053,24 @@ mod tests {
             Instr::TrMsg { label: 0, argc: 3 },
             Instr::TrObj { table: 1, nfree: 0 },
             Instr::InstOf { argc: 2 },
-            Instr::MkGroup { table: 0, dst: 4, count: 2, nfree: 1 },
+            Instr::MkGroup {
+                table: 0,
+                dst: 4,
+                count: 2,
+                nfree: 1,
+            },
             Instr::ExportName { slot: 0, name: 1 },
             Instr::ExportClass { slot: 1, name: 2 },
-            Instr::Import { dst: 3, site: 0, name: 1, kind: ImportKind::Class },
-            Instr::Print { argc: 2, newline: true },
+            Instr::Import {
+                dst: 3,
+                site: 0,
+                name: 1,
+                kind: ImportKind::Class,
+            },
+            Instr::Print {
+                argc: 2,
+                newline: true,
+            },
         ];
         let code = WireCode {
             blocks: vec![Block {
@@ -875,7 +1079,7 @@ mod tests {
                 nparams: 2,
                 nlocals: 3,
                 is_class_body: true,
-                code: instrs,
+                code: instrs.into(),
             }],
             tables: vec![vec![(0, 0)]],
             labels: vec!["go".into()],
@@ -883,7 +1087,11 @@ mod tests {
         };
         roundtrip(Packet::Obj {
             dest: nref(0),
-            obj: WireObj { code, table: 0, captured: vec![] },
+            obj: WireObj {
+                code,
+                table: 0,
+                captured: vec![],
+            },
         });
     }
 

@@ -84,7 +84,14 @@ struct BlockCx {
 impl BlockCx {
     fn new(name: &str, nfree: u16, nparams: u16, is_class_body: bool) -> BlockCx {
         let base = (is_class_body as u32) + nfree as u32 + nparams as u32;
-        BlockCx { name: name.to_string(), code: Vec::new(), nfree, nparams, is_class_body, next_slot: base }
+        BlockCx {
+            name: name.to_string(),
+            code: Vec::new(),
+            nfree,
+            nparams,
+            is_class_body,
+            next_slot: base,
+        }
     }
 
     fn emit(&mut self, i: Instr) {
@@ -131,7 +138,7 @@ impl Compiler {
             nparams: cx.nparams,
             nlocals: (cx.next_slot - base) as u16,
             is_class_body: cx.is_class_body,
-            code: cx.code,
+            code: cx.code.into(),
         });
         id
     }
@@ -162,7 +169,12 @@ impl Compiler {
                 let dst = cx.alloc()?;
                 let site = self.prog.strings.intern(site);
                 let name = self.prog.strings.intern(x);
-                cx.emit(Instr::Import { dst, site, name, kind: ImportKind::Name });
+                cx.emit(Instr::Import {
+                    dst,
+                    site,
+                    name,
+                    kind: ImportKind::Name,
+                });
                 cx.emit(Instr::PushLocal(dst));
                 Ok(())
             }
@@ -213,7 +225,11 @@ impl Compiler {
 
     /// The ordered capture list for a closure body: every free identifier
     /// (name or class) that is currently in scope.
-    fn captures_for(&self, free_names: &BTreeSet<String>, free_classes: &BTreeSet<String>) -> Vec<String> {
+    fn captures_for(
+        &self,
+        free_names: &BTreeSet<String>,
+        free_classes: &BTreeSet<String>,
+    ) -> Vec<String> {
         let mut out: Vec<String> = Vec::new();
         for x in free_names.iter().chain(free_classes.iter()) {
             if self.lookup(x).is_some() && !out.contains(x) {
@@ -243,7 +259,12 @@ impl Compiler {
         siblings: Option<&[String]>,
         body: &Proc,
     ) -> Result<BlockId, CompileError> {
-        let mut cx = BlockCx::new(name, captured.len() as u16, params.len() as u16, is_class_body);
+        let mut cx = BlockCx::new(
+            name,
+            captured.len() as u16,
+            params.len() as u16,
+            is_class_body,
+        );
         let base = is_class_body as u16;
         // Rebind scope for the inner block.
         let mut bound: Vec<String> = Vec::new();
@@ -282,10 +303,12 @@ impl Compiler {
                     let fnames = q.free_names();
                     let fclasses = q.free_classes();
                     let captured = self.captures_for(&fnames, &fclasses);
-                    let block =
-                        self.closure_block("fork", &captured, &[], false, None, q)?;
+                    let block = self.closure_block("fork", &captured, &[], false, None, q)?;
                     self.push_captures(&captured, cx)?;
-                    cx.emit(Instr::Fork { block, nfree: captured.len() as u16 });
+                    cx.emit(Instr::Fork {
+                        block,
+                        nfree: captured.len() as u16,
+                    });
                 }
                 if let Some(first) = ps.first() {
                     self.proc_(first, cx)?;
@@ -322,7 +345,12 @@ impl Compiler {
                 }
                 r
             }
-            Proc::Msg { target, label, args, .. } => {
+            Proc::Msg {
+                target,
+                label,
+                args,
+                ..
+            } => {
                 if args.len() > u8::MAX as usize {
                     return Err(CompileError::TooManyArgs(args.len()));
                 }
@@ -331,10 +359,15 @@ impl Compiler {
                 }
                 self.push_name(target, cx)?;
                 let label = self.prog.labels.intern(label);
-                cx.emit(Instr::TrMsg { label, argc: args.len() as u8 });
+                cx.emit(Instr::TrMsg {
+                    label,
+                    argc: args.len() as u8,
+                });
                 Ok(())
             }
-            Proc::Obj { target, methods, .. } => {
+            Proc::Obj {
+                target, methods, ..
+            } => {
                 // Shared captured environment across all methods.
                 let mut fnames = BTreeSet::new();
                 let mut fclasses = BTreeSet::new();
@@ -350,7 +383,8 @@ impl Compiler {
                 let mut entries = Vec::with_capacity(methods.len());
                 for m in methods {
                     let bname = format!("{}.{}", target.ident(), m.label);
-                    let block = self.closure_block(&bname, &captured, &m.params, false, None, &m.body)?;
+                    let block =
+                        self.closure_block(&bname, &captured, &m.params, false, None, &m.body)?;
                     let label = self.prog.labels.intern(&m.label);
                     entries.push((label, block));
                 }
@@ -359,7 +393,10 @@ impl Compiler {
                 self.prog.tables.push(MethodTable { entries });
                 self.push_captures(&captured, cx)?;
                 self.push_name(target, cx)?;
-                cx.emit(Instr::TrObj { table, nfree: captured.len() as u16 });
+                cx.emit(Instr::TrObj {
+                    table,
+                    nfree: captured.len() as u16,
+                });
                 Ok(())
             }
             Proc::Inst { class, args, .. } => {
@@ -375,11 +412,18 @@ impl Compiler {
                         let dst = cx.alloc()?;
                         let site = self.prog.strings.intern(site);
                         let name = self.prog.strings.intern(x);
-                        cx.emit(Instr::Import { dst, site, name, kind: ImportKind::Class });
+                        cx.emit(Instr::Import {
+                            dst,
+                            site,
+                            name,
+                            kind: ImportKind::Class,
+                        });
                         cx.emit(Instr::PushLocal(dst));
                     }
                 }
-                cx.emit(Instr::InstOf { argc: args.len() as u8 });
+                cx.emit(Instr::InstOf {
+                    argc: args.len() as u8,
+                });
                 Ok(())
             }
             Proc::Def { defs, body, .. } | Proc::ExportDef { defs, body, .. } => {
@@ -450,17 +494,26 @@ impl Compiler {
                 }
                 r
             }
-            Proc::ImportName { name, site, body, .. } => {
+            Proc::ImportName {
+                name, site, body, ..
+            } => {
                 let dst = cx.alloc()?;
                 let site_id = self.prog.strings.intern(site);
                 let name_id = self.prog.strings.intern(name);
-                cx.emit(Instr::Import { dst, site: site_id, name: name_id, kind: ImportKind::Name });
+                cx.emit(Instr::Import {
+                    dst,
+                    site: site_id,
+                    name: name_id,
+                    kind: ImportKind::Name,
+                });
                 self.bind(name, Storage::Slot(dst));
                 let r = self.proc_(body, cx);
                 self.unbind(name);
                 r
             }
-            Proc::ImportClass { class, site, body, .. } => {
+            Proc::ImportClass {
+                class, site, body, ..
+            } => {
                 let dst = cx.alloc()?;
                 let site_id = self.prog.strings.intern(site);
                 let name_id = self.prog.strings.intern(class);
@@ -475,7 +528,12 @@ impl Compiler {
                 self.unbind(class);
                 r
             }
-            Proc::If { cond, then_branch, else_branch, .. } => {
+            Proc::If {
+                cond,
+                then_branch,
+                else_branch,
+                ..
+            } => {
                 self.expr(cond, cx)?;
                 let jif = cx.code.len();
                 cx.emit(Instr::JumpIfFalse(0)); // patched below
@@ -496,7 +554,10 @@ impl Compiler {
                 for a in args {
                     self.expr(a, cx)?;
                 }
-                cx.emit(Instr::Print { argc: args.len() as u8, newline: *newline });
+                cx.emit(Instr::Print {
+                    argc: args.len() as u8,
+                    newline: *newline,
+                });
                 Ok(())
             }
             Proc::Let { .. } => {
@@ -535,7 +596,12 @@ pub fn disassemble(prog: &Program) -> String {
                 Instr::ExportClass { slot, name } => {
                     format!("exportclass slot={slot} {:?}", prog.strings.get(*name))
                 }
-                Instr::Import { dst, site, name, kind } => format!(
+                Instr::Import {
+                    dst,
+                    site,
+                    name,
+                    kind,
+                } => format!(
                     "import dst={dst} {}.{} ({kind:?})",
                     prog.strings.get(*site),
                     prog.strings.get(*name)
@@ -570,7 +636,10 @@ mod tests {
         let p = comp("new x x!go[1, true]");
         let entry = &p.blocks[p.entry as usize];
         assert!(entry.code.iter().any(|i| matches!(i, Instr::NewChan(_))));
-        assert!(entry.code.iter().any(|i| matches!(i, Instr::TrMsg { argc: 2, .. })));
+        assert!(entry
+            .code
+            .iter()
+            .any(|i| matches!(i, Instr::TrMsg { argc: 2, .. })));
     }
 
     #[test]
@@ -595,7 +664,11 @@ mod tests {
     fn par_forks_all_but_first() {
         let p = comp("new x (x![1] | x![2] | x![3])");
         let entry = &p.blocks[p.entry as usize];
-        let forks = entry.code.iter().filter(|i| matches!(i, Instr::Fork { .. })).count();
+        let forks = entry
+            .code
+            .iter()
+            .filter(|i| matches!(i, Instr::Fork { .. }))
+            .count();
         assert_eq!(forks, 2);
     }
 
@@ -655,23 +728,37 @@ mod tests {
     fn import_and_export_instructions() {
         let p = comp("export new srv in import q from other in (srv?{ go() = 0 } | q![1])");
         let entry = &p.blocks[p.entry as usize];
-        assert!(entry.code.iter().any(|i| matches!(i, Instr::ExportName { .. })));
         assert!(entry
             .code
             .iter()
-            .any(|i| matches!(i, Instr::Import { kind: ImportKind::Name, .. })));
+            .any(|i| matches!(i, Instr::ExportName { .. })));
+        assert!(entry.code.iter().any(|i| matches!(
+            i,
+            Instr::Import {
+                kind: ImportKind::Name,
+                ..
+            }
+        )));
     }
 
     #[test]
     fn located_refs_compile_to_imports() {
         let p = comp("server.p!go[1] | server.Applet[2]");
         let all: Vec<&Instr> = p.blocks.iter().flat_map(|b| b.code.iter()).collect();
-        assert!(all
-            .iter()
-            .any(|i| matches!(i, Instr::Import { kind: ImportKind::Name, .. })));
-        assert!(all
-            .iter()
-            .any(|i| matches!(i, Instr::Import { kind: ImportKind::Class, .. })));
+        assert!(all.iter().any(|i| matches!(
+            i,
+            Instr::Import {
+                kind: ImportKind::Name,
+                ..
+            }
+        )));
+        assert!(all.iter().any(|i| matches!(
+            i,
+            Instr::Import {
+                kind: ImportKind::Class,
+                ..
+            }
+        )));
     }
 
     #[test]

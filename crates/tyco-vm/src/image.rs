@@ -25,8 +25,12 @@ pub fn to_bytes(prog: &Program) -> Bytes {
             .iter()
             .map(|t| t.entries.iter().map(|(l, b)| (*l, *b)).collect())
             .collect(),
-        labels: (0..prog.labels.len() as u32).map(|i| prog.labels.get(i).to_string()).collect(),
-        strings: (0..prog.strings.len() as u32).map(|i| prog.strings.get(i).to_string()).collect(),
+        labels: (0..prog.labels.len() as u32)
+            .map(|i| prog.labels.get(i).to_string())
+            .collect(),
+        strings: (0..prog.strings.len() as u32)
+            .map(|i| prog.strings.get(i).to_string())
+            .collect(),
     };
     let mut buf = BytesMut::with_capacity(256);
     buf.put_slice(MAGIC);
@@ -55,7 +59,10 @@ pub fn from_bytes(mut bytes: Bytes) -> Result<Program, CodecError> {
     if bytes.has_remaining() {
         return Err(CodecError(format!("{} trailing bytes", bytes.remaining())));
     }
-    let mut prog = Program { entry, ..Program::default() };
+    let mut prog = Program {
+        entry,
+        ..Program::default()
+    };
     // Re-intern pools in order: ids are preserved because the emitting side
     // wrote them densely in order.
     for l in &code.labels {
@@ -68,10 +75,15 @@ pub fn from_bytes(mut bytes: Bytes) -> Result<Program, CodecError> {
     prog.tables = code
         .tables
         .into_iter()
-        .map(|t| MethodTable { entries: t.into_iter().collect() })
+        .map(|t| MethodTable {
+            entries: t.into_iter().collect(),
+        })
         .collect();
     if (prog.entry as usize) >= prog.blocks.len() && !prog.blocks.is_empty() {
-        return Err(CodecError(format!("entry block {} out of range", prog.entry)));
+        return Err(CodecError(format!(
+            "entry block {} out of range",
+            prog.entry
+        )));
     }
     Ok(prog)
 }
@@ -107,9 +119,8 @@ mod tests {
 
     #[test]
     fn loaded_image_runs() {
-        let prog = program(
-            "def L(n) = if n > 0 then print(n) | L[n - 1] else println(\"off\") in L[3]",
-        );
+        let prog =
+            program("def L(n) = if n > 0 then print(n) | L[n - 1] else println(\"off\") in L[3]");
         let back = from_bytes(to_bytes(&prog)).unwrap();
         let mut m = Machine::new(back, LoopbackPort::new("main"));
         m.run_to_quiescence(100_000).unwrap();

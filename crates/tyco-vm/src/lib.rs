@@ -33,7 +33,9 @@ pub use compile::{compile, disassemble, CompileError};
 pub use image::{from_bytes as image_from_bytes, to_bytes as image_to_bytes};
 pub use machine::{binop, unop, Machine, QueuePolicy, SliceStatus, VmError};
 pub use port::{FetchReplyNow, ImportReply, Incoming, LoopbackPort, NetPort};
-pub use program::{Block, BlockId, ImportKind, Instr, LabelId, MethodTable, Pool, Program, StrId, TableId};
+pub use program::{
+    Block, BlockId, ImportKind, Instr, LabelId, MethodTable, Pool, Program, StrId, TableId,
+};
 pub use stats::{ExecStats, Histogram};
 pub use wire::{link, pack, LinkMap, Packed, WireCode, WireGroup, WireObj, WireWord};
 pub use word::{ChanRef, ClassRefW, Identity, NetRef, NodeId, SiteId, Word};

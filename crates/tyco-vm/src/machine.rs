@@ -33,8 +33,14 @@ use tyco_syntax::ast::{BinOp, UnOp};
 pub enum VmError {
     NotAChannel(String),
     NotAClass(String),
-    NoMethod { label: String },
-    Arity { what: String, expected: usize, found: usize },
+    NoMethod {
+        label: String,
+    },
+    Arity {
+        what: String,
+        expected: usize,
+        found: usize,
+    },
     BadOperands(String),
     ImportFailed(String),
     /// A network reference's heap id is unknown to the export table.
@@ -50,7 +56,11 @@ impl fmt::Display for VmError {
             VmError::NotAChannel(w) => write!(f, "not a channel: {w}"),
             VmError::NotAClass(w) => write!(f, "not a class: {w}"),
             VmError::NoMethod { label } => write!(f, "protocol error: no method `{label}`"),
-            VmError::Arity { what, expected, found } => {
+            VmError::Arity {
+                what,
+                expected,
+                found,
+            } => {
                 write!(f, "{what} expects {expected} argument(s), got {found}")
             }
             VmError::BadOperands(op) => write!(f, "bad operands for `{op}`"),
@@ -78,19 +88,21 @@ pub struct ObjFrame {
     pub captured: Vec<Word>,
 }
 
-/// Channel state: pending messages or pending objects, never both.
+/// Channel state: a queue of pending messages *or* pending objects — the
+/// reduction rules keep at most one of the two non-empty. Both queues stay
+/// allocated for the life of the heap slot (and slots are recycled through
+/// the free list), so parking on a busy channel costs no allocation in
+/// steady state.
 #[derive(Debug, Clone, Default)]
-pub enum ChanState {
-    #[default]
-    Empty,
-    Msgs(VecDeque<MsgFrame>),
-    Objs(VecDeque<ObjFrame>),
+pub struct ChanState {
+    msgs: VecDeque<MsgFrame>,
+    objs: VecDeque<ObjFrame>,
 }
 
-#[derive(Debug, Clone)]
-enum ChanSlot {
-    Free,
-    Used(ChanState),
+#[derive(Debug, Clone, Default)]
+struct ChanSlot {
+    used: bool,
+    state: ChanState,
 }
 
 /// A class group heap object: the shared captured environment of a `def`.
@@ -218,6 +230,34 @@ pub struct Machine<P: NetPort> {
     /// Instruction trace ring buffer capacity; 0 disables tracing.
     trace_cap: usize,
     trace: VecDeque<(BlockId, u32)>,
+    /// Recycled `Vec<Word>` buffers (frames, stacks, argument vectors):
+    /// spawning a thread in steady state reuses a retired allocation
+    /// instead of hitting the allocator.
+    vec_pool: Vec<Vec<Word>>,
+}
+
+/// Retired word-vector buffers kept for reuse beyond this count are freed.
+const VEC_POOL_CAP: usize = 1024;
+
+/// Move `src[at..]` onto the end of `dst`, leaving `src` truncated to
+/// `at`. Semantically identical to `dst.extend(src.drain(at..))` but a
+/// single bulk copy, the same way `Vec::append` moves its elements — the
+/// generic extend path costs a non-inlined call plus per-element writes,
+/// which dominates the COMM hot path where 1–3 words move per reduction.
+#[inline]
+fn move_tail(src: &mut Vec<Word>, at: usize, dst: &mut Vec<Word>) {
+    let n = src.len() - at;
+    dst.reserve(n);
+    // SAFETY: `src` and `dst` are distinct vectors (two `&mut`), `src[at..]`
+    // holds `n` initialized words, and `dst` has capacity for them after the
+    // reserve. Truncating `src` first means the words are owned by exactly
+    // one vector at every observable point; the bit-copy is a move, and
+    // moved-from storage in `src` is never dropped or read.
+    unsafe {
+        src.set_len(at);
+        std::ptr::copy_nonoverlapping(src.as_ptr().add(at), dst.as_mut_ptr().add(dst.len()), n);
+        dst.set_len(dst.len() + n);
+    }
 }
 
 impl<P: NetPort> Machine<P> {
@@ -242,6 +282,7 @@ impl<P: NetPort> Machine<P> {
             queue_policy: QueuePolicy::Fifo,
             trace_cap: 0,
             trace: VecDeque::new(),
+            vec_pool: Vec::new(),
         };
         let entry = m.program.entry;
         m.spawn(entry, Vec::new());
@@ -342,29 +383,63 @@ impl<P: NetPort> Machine<P> {
 
     // -- threads -------------------------------------------------------------
 
+    /// An empty word buffer, reusing a retired frame/stack when available.
+    fn take_vec(&mut self) -> Vec<Word> {
+        self.vec_pool.pop().unwrap_or_default()
+    }
+
+    /// Retire a word buffer into the pool (its contents are dropped).
+    fn recycle(&mut self, mut v: Vec<Word>) {
+        if v.capacity() > 0 && self.vec_pool.len() < VEC_POOL_CAP {
+            v.clear();
+            self.vec_pool.push(v);
+        }
+    }
+
     fn spawn(&mut self, block: BlockId, prefix: Vec<Word>) {
         let size = self.program.blocks[block as usize].frame_size();
         let mut frame = prefix;
         debug_assert!(frame.len() <= size, "frame prefix exceeds block frame");
-        frame.resize(size, Word::Unit);
-        self.run_queue.push_back(Thread { block, pc: 0, frame, stack: Vec::new(), ticks: 0 });
+        if frame.len() < size {
+            frame.resize(size, Word::Unit);
+        }
+        let stack = self.take_vec();
+        self.run_queue.push_back(Thread {
+            block,
+            pc: 0,
+            frame,
+            stack,
+            ticks: 0,
+        });
     }
 
     fn exec_thread(&mut self, mut t: Thread) -> Result<ThreadExit, VmError> {
+        // A thread never leaves its block (jumps are intra-block), so pin
+        // the code slice once — one refcount bump for the whole slice
+        // instead of a bounds-checked block lookup per instruction. Linking
+        // mobile code appends *new* blocks; this one is immutable.
+        let code = self.program.blocks[t.block as usize].code.clone();
+        // `stats.instrs` is settled from the tick delta at the exits below
+        // rather than bumped per instruction, keeping the counter out of
+        // the dispatch loop. (A thread that errors loses its last slice's
+        // ticks — the machine is dead at that point.)
+        let ticks_in = t.ticks;
         loop {
-            let code = &self.program.blocks[t.block as usize].code;
-            if t.pc as usize >= code.len() {
+            // Single bounds check per dispatch: `get` both fetches and
+            // detects falling off the end of the block.
+            let Some(&ins) = code.get(t.pc as usize) else {
+                self.stats.instrs += t.ticks - ticks_in;
                 self.stats.thread_len.record(t.ticks);
+                self.recycle(t.frame);
+                self.recycle(t.stack);
                 return Ok(ThreadExit::Halted);
-            }
-            let ins = code[t.pc as usize].clone();
+            };
             if self.trace_cap > 0 {
                 if self.trace.len() == self.trace_cap {
                     self.trace.pop_front();
                 }
                 self.trace.push_back((t.block, t.pc));
             }
-            self.stats.instrs += 1;
             t.ticks += 1;
             t.pc += 1;
             match ins {
@@ -374,11 +449,14 @@ impl<P: NetPort> Machine<P> {
                 Instr::PushFloat(x) => t.stack.push(Word::Float(x)),
                 Instr::PushUnit => t.stack.push(Word::Unit),
                 Instr::PushStr(s) => {
-                    t.stack.push(Word::Str(self.program.strings.get(s).into()));
+                    t.stack.push(Word::Str(self.program.strings.get_arc(s)));
                 }
                 Instr::PushSibling(i) => match t.frame.first() {
                     Some(Word::Class(cr)) => {
-                        t.stack.push(Word::Class(ClassRefW { group: cr.group, index: i }));
+                        t.stack.push(Word::Class(ClassRefW {
+                            group: cr.group,
+                            index: i,
+                        }));
                     }
                     _ => return Err(VmError::CorruptClassFrame),
                 },
@@ -404,7 +482,10 @@ impl<P: NetPort> Machine<P> {
                     }
                 }
                 Instr::Halt => {
+                    self.stats.instrs += t.ticks - ticks_in;
                     self.stats.thread_len.record(t.ticks);
+                    self.recycle(t.frame);
+                    self.recycle(t.stack);
                     return Ok(ThreadExit::Halted);
                 }
                 Instr::NewChan(s) => {
@@ -413,28 +494,28 @@ impl<P: NetPort> Machine<P> {
                 }
                 Instr::Fork { block, nfree } => {
                     let at = t.stack.len() - nfree as usize;
-                    let captured: Vec<Word> = t.stack.drain(at..).collect();
+                    let mut captured = self.take_vec();
+                    move_tail(&mut t.stack, at, &mut captured);
                     self.spawn(block, captured);
                 }
                 Instr::TrMsg { label, argc } => {
                     let chan = t.stack.pop().ok_or(VmError::StackUnderflow)?;
                     let at = t.stack.len() - argc as usize;
-                    let args: Vec<Word> = t.stack.drain(at..).collect();
                     match chan {
-                        Word::Chan(c) => self.local_msg(c, label, args)?,
+                        Word::Chan(c) => self.local_msg_stack(c, label, &mut t.stack, at)?,
                         Word::NetChan(r) if r.site == self.port.identity().site => {
                             let c = self
                                 .exports
                                 .resolve_chan(r.heap_id)
                                 .ok_or(VmError::BadHeapId(r.heap_id))?;
-                            self.local_msg(c, label, args)?;
+                            self.local_msg_stack(c, label, &mut t.stack, at)?;
                         }
                         Word::NetChan(r) => {
                             // SHIPM: package and place on the outgoing queue.
                             self.stats.msgs_sent += 1;
                             let label_str = self.program.labels.get(label).to_string();
                             let wire_args: Vec<WireWord> =
-                                args.into_iter().map(|w| self.outgoing(w)).collect();
+                                t.stack.drain(at..).map(|w| self.outgoing(w)).collect();
                             self.port.send_msg(r, &label_str, wire_args);
                         }
                         other => return Err(VmError::NotAChannel(other.display())),
@@ -443,15 +524,14 @@ impl<P: NetPort> Machine<P> {
                 Instr::TrObj { table, nfree } => {
                     let chan = t.stack.pop().ok_or(VmError::StackUnderflow)?;
                     let at = t.stack.len() - nfree as usize;
-                    let captured: Vec<Word> = t.stack.drain(at..).collect();
                     match chan {
-                        Word::Chan(c) => self.local_obj(c, table, captured)?,
+                        Word::Chan(c) => self.local_obj_stack(c, table, &mut t.stack, at)?,
                         Word::NetChan(r) if r.site == self.port.identity().site => {
                             let c = self
                                 .exports
                                 .resolve_chan(r.heap_id)
                                 .ok_or(VmError::BadHeapId(r.heap_id))?;
-                            self.local_obj(c, table, captured)?;
+                            self.local_obj_stack(c, table, &mut t.stack, at)?;
                         }
                         Word::NetChan(r) => {
                             // SHIPO: the object (code + translated free
@@ -459,7 +539,7 @@ impl<P: NetPort> Machine<P> {
                             self.stats.objs_sent += 1;
                             let packed = self.pack_table(table);
                             let wire_captured: Vec<WireWord> =
-                                captured.into_iter().map(|w| self.outgoing(w)).collect();
+                                t.stack.drain(at..).map(|w| self.outgoing(w)).collect();
                             let obj = WireObj {
                                 code: packed.code.clone(),
                                 table: packed.table_map[&table],
@@ -475,8 +555,7 @@ impl<P: NetPort> Machine<P> {
                     match class {
                         Word::Class(cr) => {
                             let at = t.stack.len() - argc as usize;
-                            let args: Vec<Word> = t.stack.drain(at..).collect();
-                            self.instantiate(cr, args)?;
+                            self.instantiate_stack(cr, &mut t.stack, at)?;
                         }
                         Word::NetClass(r) if r.site == self.port.identity().site => {
                             let cr = self
@@ -484,16 +563,14 @@ impl<P: NetPort> Machine<P> {
                                 .resolve_class(r.heap_id)
                                 .ok_or(VmError::BadHeapId(r.heap_id))?;
                             let at = t.stack.len() - argc as usize;
-                            let args: Vec<Word> = t.stack.drain(at..).collect();
-                            self.instantiate(cr, args)?;
+                            self.instantiate_stack(cr, &mut t.stack, at)?;
                         }
                         Word::NetClass(r) => {
                             if let Some(&cr) = self.fetch_cache.get(&r) {
                                 // Previously downloaded and linked.
                                 self.stats.fetch_cache_hits += 1;
                                 let at = t.stack.len() - argc as usize;
-                                let args: Vec<Word> = t.stack.drain(at..).collect();
-                                self.instantiate(cr, args)?;
+                                self.instantiate_stack(cr, &mut t.stack, at)?;
                             } else {
                                 match self.port.fetch(r) {
                                     FetchReplyNow::Ready(group, index) => {
@@ -501,8 +578,7 @@ impl<P: NetPort> Machine<P> {
                                         let cr = self.link_group(&group, index)?;
                                         self.fetch_cache.insert(r, cr);
                                         let at = t.stack.len() - argc as usize;
-                                        let args: Vec<Word> = t.stack.drain(at..).collect();
-                                        self.instantiate(cr, args)?;
+                                        self.instantiate_stack(cr, &mut t.stack, at)?;
                                     }
                                     FetchReplyNow::Pending(req) => {
                                         // Suspend: restore the stack and
@@ -513,6 +589,7 @@ impl<P: NetPort> Machine<P> {
                                         self.stats.fetches += 1;
                                         t.stack.push(Word::NetClass(r));
                                         t.pc -= 1;
+                                        self.stats.instrs += t.ticks - ticks_in;
                                         self.pending_fetch.insert(req, r);
                                         self.parked.insert(req, t);
                                         return Ok(ThreadExit::Parked);
@@ -526,7 +603,12 @@ impl<P: NetPort> Machine<P> {
                         other => return Err(VmError::NotAClass(other.display())),
                     }
                 }
-                Instr::MkGroup { table, dst, count, nfree } => {
+                Instr::MkGroup {
+                    table,
+                    dst,
+                    count,
+                    nfree,
+                } => {
                     let at = t.stack.len() - nfree as usize;
                     let captured: Vec<Word> = t.stack.drain(at..).collect();
                     let group = self.groups.len() as u32;
@@ -545,7 +627,11 @@ impl<P: NetPort> Machine<P> {
                     let name_str = self.program.strings.get(name).to_string();
                     self.port.register(
                         &name_str,
-                        WireWord::Chan(NetRef { heap_id, site: ident.site, node: ident.node }),
+                        WireWord::Chan(NetRef {
+                            heap_id,
+                            site: ident.site,
+                            node: ident.node,
+                        }),
                     );
                 }
                 Instr::ExportClass { slot, name } => {
@@ -557,10 +643,19 @@ impl<P: NetPort> Machine<P> {
                     let name_str = self.program.strings.get(name).to_string();
                     self.port.register(
                         &name_str,
-                        WireWord::Class(NetRef { heap_id, site: ident.site, node: ident.node }),
+                        WireWord::Class(NetRef {
+                            heap_id,
+                            site: ident.site,
+                            node: ident.node,
+                        }),
                     );
                 }
-                Instr::Import { dst, site, name, kind } => {
+                Instr::Import {
+                    dst,
+                    site,
+                    name,
+                    kind,
+                } => {
                     self.stats.imports += 1;
                     let site_str = self.program.strings.get(site).to_string();
                     let name_str = self.program.strings.get(name).to_string();
@@ -570,6 +665,7 @@ impl<P: NetPort> Machine<P> {
                         }
                         ImportReply::Pending(req) => {
                             t.pc -= 1;
+                            self.stats.instrs += t.ticks - ticks_in;
                             self.parked.insert(req, t);
                             return Ok(ThreadExit::Parked);
                         }
@@ -578,8 +674,7 @@ impl<P: NetPort> Machine<P> {
                 }
                 Instr::Print { argc, newline: _ } => {
                     let at = t.stack.len() - argc as usize;
-                    let parts: Vec<String> =
-                        t.stack.drain(at..).map(|w| w.display()).collect();
+                    let parts: Vec<String> = t.stack.drain(at..).map(|w| w.display()).collect();
                     self.io.push(parts.join(" "));
                 }
             }
@@ -592,108 +687,195 @@ impl<P: NetPort> Machine<P> {
         self.stats.chans_allocated += 1;
         self.live_chans += 1;
         if let Some(c) = self.free_chans.pop() {
-            self.channels[c as usize] = ChanSlot::Used(ChanState::Empty);
+            // The previous tenant's queues are empty but still allocated.
+            let slot = &mut self.channels[c as usize];
+            debug_assert!(!slot.used, "free list entry in use");
+            slot.used = true;
             c
         } else {
-            self.channels.push(ChanSlot::Used(ChanState::Empty));
+            self.channels.push(ChanSlot {
+                used: true,
+                state: ChanState::default(),
+            });
             (self.channels.len() - 1) as u32
         }
     }
 
     fn chan_mut(&mut self, c: ChanRef) -> &mut ChanState {
-        match &mut self.channels[c as usize] {
-            ChanSlot::Used(s) => s,
-            ChanSlot::Free => unreachable!("dangling channel reference {c}"),
-        }
+        let slot = &mut self.channels[c as usize];
+        debug_assert!(slot.used, "dangling channel reference {c}");
+        &mut slot.state
     }
 
-    /// Local `trmsg` (COMM or enqueue).
+    /// Local `trmsg` from the operand stack: on COMM the method fires with
+    /// its arguments moved straight from the stack into the new frame — no
+    /// intermediate argument buffer. Only a message that has to wait is
+    /// copied out into a (pooled) vector.
+    fn local_msg_stack(
+        &mut self,
+        c: ChanRef,
+        label: LabelId,
+        stack: &mut Vec<Word>,
+        at: usize,
+    ) -> Result<(), VmError> {
+        if let Some(obj) = self.chan_mut(c).objs.pop_front() {
+            return self.fire_method_stack(obj, label, stack, at);
+        }
+        let mut args = self.take_vec();
+        move_tail(stack, at, &mut args);
+        self.chan_mut(c).msgs.push_back(MsgFrame { label, args });
+        Ok(())
+    }
+
+    /// Local `trobj` from the operand stack: on COMM the frame is built
+    /// directly from the stacked captures plus the waiting message's
+    /// arguments; otherwise the captures move into a (pooled) vector.
+    fn local_obj_stack(
+        &mut self,
+        c: ChanRef,
+        table: TableId,
+        stack: &mut Vec<Word>,
+        at: usize,
+    ) -> Result<(), VmError> {
+        if let Some(msg) = self.chan_mut(c).msgs.pop_front() {
+            let mut frame = self.take_vec();
+            move_tail(stack, at, &mut frame);
+            return self.fire_method_frame(table, msg.label, frame, msg.args);
+        }
+        let mut captured = self.take_vec();
+        move_tail(stack, at, &mut captured);
+        self.chan_mut(c)
+            .objs
+            .push_back(ObjFrame { table, captured });
+        Ok(())
+    }
+
+    /// Local `trmsg` with an owned argument buffer (COMM or enqueue).
     fn local_msg(&mut self, c: ChanRef, label: LabelId, args: Vec<Word>) -> Result<(), VmError> {
-        let state = self.chan_mut(c);
-        match state {
-            ChanState::Objs(q) => {
-                let obj = q.pop_front().expect("Objs nonempty");
-                if q.is_empty() {
-                    *state = ChanState::Empty;
-                }
-                self.fire_method(obj, label, args)
-            }
-            ChanState::Msgs(q) => {
-                q.push_back(MsgFrame { label, args });
-                Ok(())
-            }
-            ChanState::Empty => {
-                let mut q = VecDeque::with_capacity(1);
-                q.push_back(MsgFrame { label, args });
-                *state = ChanState::Msgs(q);
+        match self.chan_mut(c).objs.pop_front() {
+            Some(obj) => self.fire_method(obj, label, args),
+            None => {
+                self.chan_mut(c).msgs.push_back(MsgFrame { label, args });
                 Ok(())
             }
         }
     }
 
-    /// Local `trobj` (COMM or enqueue).
-    fn local_obj(&mut self, c: ChanRef, table: TableId, captured: Vec<Word>) -> Result<(), VmError> {
-        let state = self.chan_mut(c);
-        match state {
-            ChanState::Msgs(q) => {
-                let msg = q.pop_front().expect("Msgs nonempty");
-                if q.is_empty() {
-                    *state = ChanState::Empty;
-                }
-                self.fire_method(ObjFrame { table, captured }, msg.label, msg.args)
-            }
-            ChanState::Objs(q) => {
-                q.push_back(ObjFrame { table, captured });
-                Ok(())
-            }
-            ChanState::Empty => {
-                let mut q = VecDeque::with_capacity(1);
-                q.push_back(ObjFrame { table, captured });
-                *state = ChanState::Objs(q);
+    /// Local `trobj` with an owned capture buffer (COMM or enqueue).
+    fn local_obj(
+        &mut self,
+        c: ChanRef,
+        table: TableId,
+        captured: Vec<Word>,
+    ) -> Result<(), VmError> {
+        match self.chan_mut(c).msgs.pop_front() {
+            Some(msg) => self.fire_method_frame(table, msg.label, captured, msg.args),
+            None => {
+                self.chan_mut(c)
+                    .objs
+                    .push_back(ObjFrame { table, captured });
                 Ok(())
             }
         }
     }
 
-    fn fire_method(&mut self, obj: ObjFrame, label: LabelId, args: Vec<Word>) -> Result<(), VmError> {
-        let block = self.program.tables[obj.table as usize].lookup(label).ok_or_else(|| {
-            VmError::NoMethod { label: self.program.labels.get(label).to_string() }
-        })?;
-        let b = &self.program.blocks[block as usize];
-        if b.nparams as usize != args.len() {
-            return Err(VmError::Arity {
-                what: format!("method `{}`", self.program.labels.get(label)),
-                expected: b.nparams as usize,
-                found: args.len(),
-            });
-        }
+    /// Fire a method whose arguments are the top `len - at` stack words:
+    /// they move straight into the new thread's frame.
+    fn fire_method_stack(
+        &mut self,
+        obj: ObjFrame,
+        label: LabelId,
+        stack: &mut Vec<Word>,
+        at: usize,
+    ) -> Result<(), VmError> {
+        let block = self.method_block(obj.table, label, stack.len() - at)?;
         self.stats.comm += 1;
         let mut frame = obj.captured;
-        frame.extend(args);
+        move_tail(stack, at, &mut frame);
         self.spawn(block, frame);
         Ok(())
     }
 
-    /// Local `instof` (INST).
-    fn instantiate(&mut self, cr: ClassRefW, args: Vec<Word>) -> Result<(), VmError> {
+    /// Fire a method: `frame` already holds the captured environment; the
+    /// (pooled) argument buffer is appended wholesale and recycled.
+    fn fire_method_frame(
+        &mut self,
+        table: TableId,
+        label: LabelId,
+        mut frame: Vec<Word>,
+        mut args: Vec<Word>,
+    ) -> Result<(), VmError> {
+        let block = self.method_block(table, label, args.len())?;
+        self.stats.comm += 1;
+        frame.append(&mut args);
+        self.recycle(args);
+        self.spawn(block, frame);
+        Ok(())
+    }
+
+    /// Resolve `label` in `table` and check the argument count.
+    fn method_block(
+        &self,
+        table: TableId,
+        label: LabelId,
+        found: usize,
+    ) -> Result<BlockId, VmError> {
+        let block = self.program.tables[table as usize]
+            .lookup(label)
+            .ok_or_else(|| VmError::NoMethod {
+                label: self.program.labels.get(label).to_string(),
+            })?;
+        let b = &self.program.blocks[block as usize];
+        if b.nparams as usize != found {
+            return Err(VmError::Arity {
+                what: format!("method `{}`", self.program.labels.get(label)),
+                expected: b.nparams as usize,
+                found,
+            });
+        }
+        Ok(block)
+    }
+
+    fn fire_method(
+        &mut self,
+        obj: ObjFrame,
+        label: LabelId,
+        args: Vec<Word>,
+    ) -> Result<(), VmError> {
+        self.fire_method_frame(obj.table, label, obj.captured, args)
+    }
+
+    /// Local `instof` (INST) with the arguments taken from the top
+    /// `len - at` words of the operand stack.
+    fn instantiate_stack(
+        &mut self,
+        cr: ClassRefW,
+        stack: &mut Vec<Word>,
+        at: usize,
+    ) -> Result<(), VmError> {
+        let mut frame = self.take_vec();
         let g = &self.groups[cr.group as usize];
         let entries = &self.program.tables[g.table as usize].entries;
         let Some(&(label, block)) = entries.get(cr.index as usize) else {
-            return Err(VmError::NotAClass(format!("group {} index {}", cr.group, cr.index)));
+            return Err(VmError::NotAClass(format!(
+                "group {} index {}",
+                cr.group, cr.index
+            )));
         };
         let b = &self.program.blocks[block as usize];
-        if b.nparams as usize != args.len() {
+        let found = stack.len() - at;
+        if b.nparams as usize != found {
             return Err(VmError::Arity {
                 what: format!("class `{}`", self.program.labels.get(label)),
                 expected: b.nparams as usize,
-                found: args.len(),
+                found,
             });
         }
         self.stats.inst += 1;
-        let mut frame = Vec::with_capacity(b.frame_size());
+        frame.reserve(b.frame_size());
         frame.push(Word::Class(cr));
         frame.extend(g.captured.iter().cloned());
-        frame.extend(args);
+        move_tail(stack, at, &mut frame);
         self.spawn(block, frame);
         Ok(())
     }
@@ -757,12 +939,16 @@ impl<P: NetPort> Machine<P> {
             WireWord::Bool(b) => Word::Bool(b),
             WireWord::Float(x) => Word::Float(x),
             WireWord::Str(s) => Word::Str(s.into()),
-            WireWord::Chan(r) if r.site == me => {
-                Word::Chan(self.exports.resolve_chan(r.heap_id).ok_or(VmError::BadHeapId(r.heap_id))?)
-            }
+            WireWord::Chan(r) if r.site == me => Word::Chan(
+                self.exports
+                    .resolve_chan(r.heap_id)
+                    .ok_or(VmError::BadHeapId(r.heap_id))?,
+            ),
             WireWord::Chan(r) => Word::NetChan(r),
             WireWord::Class(r) if r.site == me => Word::Class(
-                self.exports.resolve_class(r.heap_id).ok_or(VmError::BadHeapId(r.heap_id))?,
+                self.exports
+                    .resolve_class(r.heap_id)
+                    .ok_or(VmError::BadHeapId(r.heap_id))?,
             ),
             WireWord::Class(r) => Word::NetClass(r),
         })
@@ -775,7 +961,10 @@ impl<P: NetPort> Machine<P> {
             match item {
                 Incoming::Msg { dest, label, args } => {
                     self.stats.msgs_recv += 1;
-                    let c = self.exports.resolve_chan(dest).ok_or(VmError::BadHeapId(dest))?;
+                    let c = self
+                        .exports
+                        .resolve_chan(dest)
+                        .ok_or(VmError::BadHeapId(dest))?;
                     let label = self.program.labels.intern(&label);
                     let words: Vec<Word> = args
                         .into_iter()
@@ -785,7 +974,10 @@ impl<P: NetPort> Machine<P> {
                 }
                 Incoming::Obj { dest, obj } => {
                     self.stats.objs_recv += 1;
-                    let c = self.exports.resolve_chan(dest).ok_or(VmError::BadHeapId(dest))?;
+                    let c = self
+                        .exports
+                        .resolve_chan(dest)
+                        .ok_or(VmError::BadHeapId(dest))?;
                     let lm = wire::link(&mut self.program, &obj.code);
                     let table = lm.tables[obj.table as usize];
                     let captured: Vec<Word> = obj
@@ -795,9 +987,16 @@ impl<P: NetPort> Machine<P> {
                         .collect::<Result<_, _>>()?;
                     self.local_obj(c, table, captured)?;
                 }
-                Incoming::FetchReq { dest, req, reply_to } => {
+                Incoming::FetchReq {
+                    dest,
+                    req,
+                    reply_to,
+                } => {
                     self.stats.fetches_served += 1;
-                    let cr = self.exports.resolve_class(dest).ok_or(VmError::BadHeapId(dest))?;
+                    let cr = self
+                        .exports
+                        .resolve_class(dest)
+                        .ok_or(VmError::BadHeapId(dest))?;
                     let g = &self.groups[cr.group as usize];
                     let table = g.table;
                     let captured = g.captured.clone();
@@ -870,25 +1069,19 @@ impl<P: NetPort> Machine<P> {
                 continue;
             }
             marked[i] = true;
-            if let ChanSlot::Used(state) = &self.channels[i] {
-                match state {
-                    ChanState::Empty => {}
-                    ChanState::Msgs(q) => {
-                        for m in q {
-                            for w in &m.args {
-                                if let Word::Chan(c2) = w {
-                                    work.push(*c2);
-                                }
-                            }
+            let slot = &self.channels[i];
+            if slot.used {
+                for m in &slot.state.msgs {
+                    for w in &m.args {
+                        if let Word::Chan(c2) = w {
+                            work.push(*c2);
                         }
                     }
-                    ChanState::Objs(q) => {
-                        for o in q {
-                            for w in &o.captured {
-                                if let Word::Chan(c2) = w {
-                                    work.push(*c2);
-                                }
-                            }
+                }
+                for o in &slot.state.objs {
+                    for w in &o.captured {
+                        if let Word::Chan(c2) = w {
+                            work.push(*c2);
                         }
                     }
                 }
@@ -896,13 +1089,15 @@ impl<P: NetPort> Machine<P> {
         }
 
         for (i, slot) in self.channels.iter_mut().enumerate() {
-            if !marked[i] {
-                if let ChanSlot::Used(_) = slot {
-                    *slot = ChanSlot::Free;
-                    self.free_chans.push(i as u32);
-                    self.live_chans -= 1;
-                    self.stats.chans_collected += 1;
-                }
+            if !marked[i] && slot.used {
+                // Drop unreachable queue contents but keep the queue
+                // allocations for the slot's next tenant.
+                slot.used = false;
+                slot.state.msgs.clear();
+                slot.state.objs.clear();
+                self.free_chans.push(i as u32);
+                self.live_chans -= 1;
+                self.stats.chans_collected += 1;
             }
         }
         // Adaptive threshold: at least 4096, else twice the surviving set.
@@ -992,6 +1187,24 @@ mod tests {
     }
 
     #[test]
+    fn stale_export_id_in_delivered_msg_is_bad_heap_id() {
+        // A message addressed to a heap id this site never exported (e.g.
+        // a peer holding a reference from a previous incarnation) must
+        // surface as a protocol error, not a silent drop or a panic.
+        let mut m = machine("new x (x![1] | x?(v) = 0)");
+        m.run_to_quiescence(10_000).unwrap();
+        m.port.inject(Incoming::Msg {
+            dest: 777,
+            label: "ping".into(),
+            args: vec![WireWord::Int(1)],
+        });
+        assert!(matches!(
+            m.run_to_quiescence(10_000),
+            Err(VmError::BadHeapId(777))
+        ));
+    }
+
+    #[test]
     fn outgoing_incoming_translation_roundtrip() {
         let mut m = machine("new x (x![1] | x?(v) = 0)");
         m.run_to_quiescence(10_000).unwrap();
@@ -1004,13 +1217,21 @@ mod tests {
         }
         assert_eq!(m.incoming_word(w).unwrap(), Word::Chan(0));
         // Foreign references pass through untranslated.
-        let foreign = NetRef { heap_id: 7, site: SiteId(42), node: NodeId(42) };
+        let foreign = NetRef {
+            heap_id: 7,
+            site: SiteId(42),
+            node: NodeId(42),
+        };
         assert_eq!(
             m.incoming_word(WireWord::Chan(foreign)).unwrap(),
             Word::NetChan(foreign)
         );
         // Unknown heap ids are protocol errors.
-        let bogus = NetRef { heap_id: 1234, site: m.port.identity().site, node: NodeId(0) };
+        let bogus = NetRef {
+            heap_id: 1234,
+            site: m.port.identity().site,
+            node: NodeId(0),
+        };
         assert!(matches!(
             m.incoming_word(WireWord::Chan(bogus)),
             Err(VmError::BadHeapId(1234))
@@ -1072,7 +1293,12 @@ mod tests {
         assert!(binop(BinOp::Concat, Word::Int(1), Word::Str("x".into())).is_err());
         assert!(binop(BinOp::Lt, Word::Str("a".into()), Word::Str("b".into())).is_err());
         assert_eq!(
-            binop(BinOp::Concat, Word::Str("ab".into()), Word::Str("cd".into())).unwrap(),
+            binop(
+                BinOp::Concat,
+                Word::Str("ab".into()),
+                Word::Str("cd".into())
+            )
+            .unwrap(),
             Word::Str("abcd".into())
         );
         assert_eq!(

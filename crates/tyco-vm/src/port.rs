@@ -36,13 +36,25 @@ pub enum FetchReplyNow {
 pub enum Incoming {
     /// A shipped message (post-SHIPM): deliver to the channel exported
     /// under `dest` in this site's export table.
-    Msg { dest: u64, label: String, args: Vec<WireWord> },
+    Msg {
+        dest: u64,
+        label: String,
+        args: Vec<WireWord>,
+    },
     /// A migrated object (post-SHIPO).
     Obj { dest: u64, obj: WireObj },
     /// Another site asks for the class group exported under `dest`.
-    FetchReq { dest: u64, req: u64, reply_to: Identity },
+    FetchReq {
+        dest: u64,
+        req: u64,
+        reply_to: Identity,
+    },
     /// The byte-code for a previously requested class arrived.
-    FetchReply { req: u64, group: WireGroup, index: u8 },
+    FetchReply {
+        req: u64,
+        group: WireGroup,
+        index: u8,
+    },
     /// A pending import resolved; re-execute the suspended instruction
     /// (the port now answers `Ready`).
     ImportReady { req: u64 },
@@ -99,7 +111,10 @@ pub struct LoopbackPort {
 
 impl LoopbackPort {
     pub fn new(site_lexeme: &str) -> LoopbackPort {
-        LoopbackPort { site_lexeme: site_lexeme.to_string(), ..Default::default() }
+        LoopbackPort {
+            site_lexeme: site_lexeme.to_string(),
+            ..Default::default()
+        }
     }
 
     /// Inject an incoming item (tests).

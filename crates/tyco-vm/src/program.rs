@@ -13,6 +13,7 @@
 //! closure of the blocks it references (see [`crate::wire`]).
 
 use std::collections::HashMap;
+use std::sync::Arc;
 use tyco_syntax::ast::{BinOp, UnOp};
 
 /// Index of a block in [`Program::blocks`].
@@ -37,7 +38,7 @@ pub enum ImportKind {
 /// addressed by slot. `TrMsg` / `TrObj` / `InstOf` are the three
 /// communication instructions of the original TyCOVM, re-implemented per
 /// §5 to dispatch on local vs. network references.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Instr {
     // -- operand stack -----------------------------------------------------
     /// Push frame slot.
@@ -71,35 +72,65 @@ pub enum Instr {
     /// Spawn a parallel component: pops `nfree` captured words (last pushed
     /// = slot 0 of the new frame... see compiler), enqueues a thread for
     /// `block`.
-    Fork { block: BlockId, nfree: u16 },
+    Fork {
+        block: BlockId,
+        nfree: u16,
+    },
     /// Try-reduce a message: pops the channel word, then `argc` argument
     /// words. Local channel ⇒ COMM-or-enqueue; network reference ⇒ package
     /// and ship (SHIPM).
-    TrMsg { label: LabelId, argc: u8 },
+    TrMsg {
+        label: LabelId,
+        argc: u8,
+    },
     /// Try-reduce an object: pops the channel word, then `nfree` captured
     /// words. Local ⇒ COMM-or-enqueue; network ⇒ migrate (SHIPO).
-    TrObj { table: TableId, nfree: u16 },
+    TrObj {
+        table: TableId,
+        nfree: u16,
+    },
     /// Instantiate: pops the class word, then `argc` arguments. Local class
     /// ⇒ INST; network class ⇒ FETCH then INST.
-    InstOf { argc: u8 },
+    InstOf {
+        argc: u8,
+    },
     /// Create a (possibly mutually recursive) class group: pops `nfree`
     /// captured words; stores the `count` class words into consecutive
     /// frame slots starting at `dst`.
-    MkGroup { table: TableId, dst: u16, count: u8, nfree: u16 },
+    MkGroup {
+        table: TableId,
+        dst: u16,
+        count: u8,
+        nfree: u16,
+    },
 
     // -- network (the two new instructions of §5) ---------------------------
     /// Register the channel in frame slot `slot` with the network name
     /// service under `name`.
-    ExportName { slot: u16, name: StrId },
+    ExportName {
+        slot: u16,
+        name: StrId,
+    },
     /// Register the class in frame slot `slot` under `name`.
-    ExportClass { slot: u16, name: StrId },
+    ExportClass {
+        slot: u16,
+        name: StrId,
+    },
     /// Resolve `name` at `site` through the name service into slot `dst`.
     /// May suspend the thread until the reply arrives.
-    Import { dst: u16, site: StrId, name: StrId, kind: ImportKind },
+    Import {
+        dst: u16,
+        site: StrId,
+        name: StrId,
+        kind: ImportKind,
+    },
 
     // -- I/O port ------------------------------------------------------------
     /// Pop `argc` words, write them (space-joined) to the site's I/O port.
-    Print { argc: u8, newline: bool },
+    Print {
+        argc: u8,
+        newline: bool,
+    },
 }
 
 /// A compiled code block.
@@ -116,7 +147,10 @@ pub struct Block {
     /// True for class bodies: frame slot 0 holds the class's own class
     /// word (captured/params shift up by one).
     pub is_class_body: bool,
-    pub code: Vec<Instr>,
+    /// Shared so the interpreter can pin the executing block's code for a
+    /// whole thread slice with one refcount bump (blocks are immutable
+    /// once built), and so cloning a `Program` never copies byte-code.
+    pub code: Arc<[Instr]>,
 }
 
 impl Block {
@@ -144,11 +178,13 @@ impl MethodTable {
     }
 }
 
-/// An interned symbol pool (labels, strings).
+/// An interned symbol pool (labels, strings). Entries are refcounted so
+/// the hot path (`PushStr`) can hand out a [`Word::Str`] with a refcount
+/// bump instead of allocating a fresh string per execution.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Pool {
-    items: Vec<String>,
-    index: HashMap<String, u32>,
+    items: Vec<Arc<str>>,
+    index: HashMap<Arc<str>, u32>,
 }
 
 impl Pool {
@@ -157,13 +193,19 @@ impl Pool {
             return i;
         }
         let i = self.items.len() as u32;
-        self.items.push(s.to_string());
-        self.index.insert(s.to_string(), i);
+        let entry: Arc<str> = Arc::from(s);
+        self.items.push(entry.clone());
+        self.index.insert(entry, i);
         i
     }
 
     pub fn get(&self, i: u32) -> &str {
         &self.items[i as usize]
+    }
+
+    /// The interned entry itself — cloning is a refcount bump.
+    pub fn get_arc(&self, i: u32) -> Arc<str> {
+        self.items[i as usize].clone()
     }
 
     pub fn find(&self, s: &str) -> Option<u32> {
@@ -201,7 +243,7 @@ impl Program {
     pub fn direct_refs(&self, block: BlockId) -> (Vec<BlockId>, Vec<TableId>) {
         let mut blocks = Vec::new();
         let mut tables = Vec::new();
-        for ins in &self.blocks[block as usize].code {
+        for ins in self.blocks[block as usize].code.iter() {
             match ins {
                 Instr::Fork { block, .. } => blocks.push(*block),
                 Instr::TrObj { table, .. } | Instr::MkGroup { table, .. } => tables.push(*table),
@@ -256,7 +298,14 @@ mod tests {
     use super::*;
 
     fn block(name: &str, code: Vec<Instr>) -> Block {
-        Block { name: name.into(), nfree: 0, nparams: 0, nlocals: 0, is_class_body: false, code }
+        Block {
+            name: name.into(),
+            nfree: 0,
+            nparams: 0,
+            nlocals: 0,
+            is_class_body: false,
+            code: code.into(),
+        }
     }
 
     #[test]
@@ -274,7 +323,9 @@ mod tests {
 
     #[test]
     fn method_table_lookup() {
-        let t = MethodTable { entries: vec![(0, 10), (2, 11), (5, 12)] };
+        let t = MethodTable {
+            entries: vec![(0, 10), (2, 11), (5, 12)],
+        };
         assert_eq!(t.lookup(2), Some(11));
         assert_eq!(t.lookup(3), None);
     }
@@ -283,11 +334,19 @@ mod tests {
     fn closure_follows_forks_and_tables() {
         let mut prog = Program::default();
         // b0 forks b1; b1 uses table t0 which points at b2; b2 is a leaf.
-        prog.blocks.push(block("b0", vec![Instr::Fork { block: 1, nfree: 0 }, Instr::Halt]));
-        prog.blocks.push(block("b1", vec![Instr::TrObj { table: 0, nfree: 0 }, Instr::Halt]));
+        prog.blocks.push(block(
+            "b0",
+            vec![Instr::Fork { block: 1, nfree: 0 }, Instr::Halt],
+        ));
+        prog.blocks.push(block(
+            "b1",
+            vec![Instr::TrObj { table: 0, nfree: 0 }, Instr::Halt],
+        ));
         prog.blocks.push(block("b2", vec![Instr::Halt]));
         prog.blocks.push(block("b3", vec![Instr::Halt])); // unreachable
-        prog.tables.push(MethodTable { entries: vec![(0, 2)] });
+        prog.tables.push(MethodTable {
+            entries: vec![(0, 2)],
+        });
         let c = prog.closure(&[0], &[]);
         assert_eq!(c.blocks, vec![0, 1, 2]);
         assert_eq!(c.tables, vec![0]);

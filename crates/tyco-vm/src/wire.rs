@@ -47,7 +47,10 @@ impl WireCode {
     /// Approximate payload size in bytes (used for bandwidth accounting
     /// before actual encoding).
     pub fn approx_size(&self) -> usize {
-        self.blocks.iter().map(|b| b.code.len() * 6 + b.name.len() + 8).sum::<usize>()
+        self.blocks
+            .iter()
+            .map(|b| b.code.len() * 6 + b.name.len() + 8)
+            .sum::<usize>()
             + self.tables.iter().map(|t| t.len() * 8).sum::<usize>()
             + self.labels.iter().map(|s| s.len() + 4).sum::<usize>()
             + self.strings.iter().map(|s| s.len() + 4).sum::<usize>()
@@ -94,24 +97,20 @@ pub fn pack(prog: &Program, root_tables: &[TableId]) -> Packed {
     let mut strings: Vec<String> = Vec::new();
     let mut string_map: HashMap<StrId, u32> = HashMap::new();
 
-    let remap_label = |labels: &mut Vec<String>,
-                           label_map: &mut HashMap<LabelId, u32>,
-                           l: LabelId|
-     -> u32 {
-        *label_map.entry(l).or_insert_with(|| {
-            labels.push(prog.labels.get(l).to_string());
-            (labels.len() - 1) as u32
-        })
-    };
-    let remap_string = |strings: &mut Vec<String>,
-                            string_map: &mut HashMap<StrId, u32>,
-                            s: StrId|
-     -> u32 {
-        *string_map.entry(s).or_insert_with(|| {
-            strings.push(prog.strings.get(s).to_string());
-            (strings.len() - 1) as u32
-        })
-    };
+    let remap_label =
+        |labels: &mut Vec<String>, label_map: &mut HashMap<LabelId, u32>, l: LabelId| -> u32 {
+            *label_map.entry(l).or_insert_with(|| {
+                labels.push(prog.labels.get(l).to_string());
+                (labels.len() - 1) as u32
+            })
+        };
+    let remap_string =
+        |strings: &mut Vec<String>, string_map: &mut HashMap<StrId, u32>, s: StrId| -> u32 {
+            *string_map.entry(s).or_insert_with(|| {
+                strings.push(prog.strings.get(s).to_string());
+                (strings.len() - 1) as u32
+            })
+        };
 
     let mut blocks = Vec::with_capacity(closure.blocks.len());
     for &bid in &closure.blocks {
@@ -120,17 +119,24 @@ pub fn pack(prog: &Program, root_tables: &[TableId]) -> Packed {
             .code
             .iter()
             .map(|ins| match ins {
-                Instr::Fork { block, nfree } => {
-                    Instr::Fork { block: block_map[block], nfree: *nfree }
-                }
+                Instr::Fork { block, nfree } => Instr::Fork {
+                    block: block_map[block],
+                    nfree: *nfree,
+                },
                 Instr::TrMsg { label, argc } => Instr::TrMsg {
                     label: remap_label(&mut labels, &mut label_map, *label),
                     argc: *argc,
                 },
-                Instr::TrObj { table, nfree } => {
-                    Instr::TrObj { table: table_map[table], nfree: *nfree }
-                }
-                Instr::MkGroup { table, dst, count, nfree } => Instr::MkGroup {
+                Instr::TrObj { table, nfree } => Instr::TrObj {
+                    table: table_map[table],
+                    nfree: *nfree,
+                },
+                Instr::MkGroup {
+                    table,
+                    dst,
+                    count,
+                    nfree,
+                } => Instr::MkGroup {
                     table: table_map[table],
                     dst: *dst,
                     count: *count,
@@ -147,13 +153,18 @@ pub fn pack(prog: &Program, root_tables: &[TableId]) -> Packed {
                     slot: *slot,
                     name: remap_string(&mut strings, &mut string_map, *name),
                 },
-                Instr::Import { dst, site, name, kind } => Instr::Import {
+                Instr::Import {
+                    dst,
+                    site,
+                    name,
+                    kind,
+                } => Instr::Import {
                     dst: *dst,
                     site: remap_string(&mut strings, &mut string_map, *site),
                     name: remap_string(&mut strings, &mut string_map, *name),
                     kind: *kind,
                 },
-                other => other.clone(),
+                other => *other,
             })
             .collect();
         blocks.push(Block {
@@ -178,7 +189,15 @@ pub fn pack(prog: &Program, root_tables: &[TableId]) -> Packed {
         })
         .collect();
 
-    Packed { code: WireCode { blocks, tables, labels, strings }, table_map }
+    Packed {
+        code: WireCode {
+            blocks,
+            tables,
+            labels,
+            strings,
+        },
+        table_map,
+    }
 }
 
 /// The relocation produced by linking a packet into a program.
@@ -192,48 +211,69 @@ pub struct LinkMap {
 /// tables, re-intern symbols, and rewrite packet-relative ids.
 pub fn link(prog: &mut Program, code: &WireCode) -> LinkMap {
     let label_ids: Vec<LabelId> = code.labels.iter().map(|l| prog.labels.intern(l)).collect();
-    let string_ids: Vec<StrId> = code.strings.iter().map(|s| prog.strings.intern(s)).collect();
+    let string_ids: Vec<StrId> = code
+        .strings
+        .iter()
+        .map(|s| prog.strings.intern(s))
+        .collect();
     let base_block = prog.blocks.len() as BlockId;
-    let block_ids: Vec<BlockId> =
-        (0..code.blocks.len() as u32).map(|i| base_block + i).collect();
+    let block_ids: Vec<BlockId> = (0..code.blocks.len() as u32)
+        .map(|i| base_block + i)
+        .collect();
     let base_table = prog.tables.len() as TableId;
-    let table_ids: Vec<TableId> =
-        (0..code.tables.len() as u32).map(|i| base_table + i).collect();
+    let table_ids: Vec<TableId> = (0..code.tables.len() as u32)
+        .map(|i| base_table + i)
+        .collect();
 
     for b in &code.blocks {
         let rewritten = b
             .code
             .iter()
             .map(|ins| match ins {
-                Instr::Fork { block, nfree } => {
-                    Instr::Fork { block: block_ids[*block as usize], nfree: *nfree }
-                }
-                Instr::TrMsg { label, argc } => {
-                    Instr::TrMsg { label: label_ids[*label as usize], argc: *argc }
-                }
-                Instr::TrObj { table, nfree } => {
-                    Instr::TrObj { table: table_ids[*table as usize], nfree: *nfree }
-                }
-                Instr::MkGroup { table, dst, count, nfree } => Instr::MkGroup {
+                Instr::Fork { block, nfree } => Instr::Fork {
+                    block: block_ids[*block as usize],
+                    nfree: *nfree,
+                },
+                Instr::TrMsg { label, argc } => Instr::TrMsg {
+                    label: label_ids[*label as usize],
+                    argc: *argc,
+                },
+                Instr::TrObj { table, nfree } => Instr::TrObj {
+                    table: table_ids[*table as usize],
+                    nfree: *nfree,
+                },
+                Instr::MkGroup {
+                    table,
+                    dst,
+                    count,
+                    nfree,
+                } => Instr::MkGroup {
                     table: table_ids[*table as usize],
                     dst: *dst,
                     count: *count,
                     nfree: *nfree,
                 },
                 Instr::PushStr(s) => Instr::PushStr(string_ids[*s as usize]),
-                Instr::ExportName { slot, name } => {
-                    Instr::ExportName { slot: *slot, name: string_ids[*name as usize] }
-                }
-                Instr::ExportClass { slot, name } => {
-                    Instr::ExportClass { slot: *slot, name: string_ids[*name as usize] }
-                }
-                Instr::Import { dst, site, name, kind } => Instr::Import {
+                Instr::ExportName { slot, name } => Instr::ExportName {
+                    slot: *slot,
+                    name: string_ids[*name as usize],
+                },
+                Instr::ExportClass { slot, name } => Instr::ExportClass {
+                    slot: *slot,
+                    name: string_ids[*name as usize],
+                },
+                Instr::Import {
+                    dst,
+                    site,
+                    name,
+                    kind,
+                } => Instr::Import {
                     dst: *dst,
                     site: string_ids[*site as usize],
                     name: string_ids[*name as usize],
                     kind: *kind,
                 },
-                other => other.clone(),
+                other => *other,
             })
             .collect();
         prog.blocks.push(Block {
@@ -254,7 +294,10 @@ pub fn link(prog: &mut Program, code: &WireCode) -> LinkMap {
         prog.tables.push(MethodTable { entries });
     }
 
-    LinkMap { blocks: block_ids, tables: table_ids }
+    LinkMap {
+        blocks: block_ids,
+        tables: table_ids,
+    }
 }
 
 #[cfg(test)]
@@ -302,7 +345,7 @@ mod tests {
         let p = prog("new x (x?{ a() = 0, b(u) = print(u) } | x!a[])");
         let packed = pack(&p, &[0]);
         for b in &packed.code.blocks {
-            for ins in &b.code {
+            for ins in b.code.iter() {
                 match ins {
                     Instr::Fork { block, .. } => {
                         assert!((*block as usize) < packed.code.blocks.len());
@@ -343,6 +386,9 @@ mod tests {
         assert_eq!(packed.code.tables.len(), 1);
         let loop_block = &packed.code.blocks[packed.code.tables[0][0].1 as usize];
         assert!(loop_block.is_class_body);
-        assert!(loop_block.code.iter().any(|i| matches!(i, Instr::PushSibling(0))));
+        assert!(loop_block
+            .code
+            .iter()
+            .any(|i| matches!(i, Instr::PushSibling(0))));
     }
 }

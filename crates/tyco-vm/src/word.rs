@@ -117,12 +117,20 @@ mod tests {
     fn word_is_small() {
         // Words sit in frames, queues and stacks by the million; keep them
         // at most 3 machine words (tag + payload).
-        assert!(std::mem::size_of::<Word>() <= 24, "{}", std::mem::size_of::<Word>());
+        assert!(
+            std::mem::size_of::<Word>() <= 24,
+            "{}",
+            std::mem::size_of::<Word>()
+        );
     }
 
     #[test]
     fn netref_display() {
-        let r = NetRef { heap_id: 7, site: SiteId(2), node: NodeId(1) };
+        let r = NetRef {
+            heap_id: 7,
+            site: SiteId(2),
+            node: NodeId(1),
+        };
         assert_eq!(r.to_string(), "@1:2:7");
     }
 

@@ -4,7 +4,9 @@
 
 use proptest::prelude::*;
 use tyco_syntax::arbitrary::arb_closed_program;
-use tyco_vm::{compile, emit_asm, image_from_bytes, image_to_bytes, parse_asm, LoopbackPort, Machine, Program};
+use tyco_vm::{
+    compile, emit_asm, image_from_bytes, image_to_bytes, parse_asm, LoopbackPort, Machine, Program,
+};
 
 fn run(prog: Program) -> Vec<String> {
     let mut m = Machine::new(prog, LoopbackPort::new("main"));
@@ -60,7 +62,7 @@ proptest! {
         }
         // Jump targets stay inside their blocks.
         for b in &dest.blocks {
-            for ins in &b.code {
+            for ins in b.code.iter() {
                 match ins {
                     tyco_vm::Instr::Jump(t) | tyco_vm::Instr::JumpIfFalse(t) => {
                         prop_assert!((*t as usize) <= b.code.len());

@@ -87,7 +87,11 @@ fn fine_grained_threads() {
         in Ring[50]
     "#);
     assert_eq!(m.io, vec!["done"]);
-    assert!(m.stats.thread_len.mean() < 64.0, "mean {}", m.stats.thread_len.mean());
+    assert!(
+        m.stats.thread_len.mean() < 64.0,
+        "mean {}",
+        m.stats.thread_len.mean()
+    );
     assert!(m.stats.threads > 100);
 }
 
@@ -170,7 +174,8 @@ impl NetPort for EtherPort {
 
     fn register(&mut self, name: &str, value: WireWord) {
         let mut e = self.ether.borrow_mut();
-        e.registry.insert((self.lexeme.clone(), name.to_string()), value);
+        e.registry
+            .insert((self.lexeme.clone(), name.to_string()), value);
         // Wake pending imports that now resolve.
         let ready: Vec<(u64, SiteId)> = e
             .pending
@@ -178,9 +183,13 @@ impl NetPort for EtherPort {
             .filter(|(_, s, n, _, _)| s == &self.lexeme && n == name)
             .map(|(req, _, _, _, from)| (*req, *from))
             .collect();
-        e.pending.retain(|(_, s, n, _, _)| !(s == &self.lexeme && n == name));
+        e.pending
+            .retain(|(_, s, n, _, _)| !(s == &self.lexeme && n == name));
         for (req, from) in ready {
-            e.queues.entry(from).or_default().push_back(Incoming::ImportReady { req });
+            e.queues
+                .entry(from)
+                .or_default()
+                .push_back(Incoming::ImportReady { req });
         }
     }
 
@@ -191,16 +200,22 @@ impl NetPort for EtherPort {
         }
         e.next_req += 1;
         let req = e.next_req;
-        e.pending.push((req, site.to_string(), name.to_string(), kind, self.me.site));
+        e.pending
+            .push((req, site.to_string(), name.to_string(), kind, self.me.site));
         ImportReply::Pending(req)
     }
 
     fn send_msg(&mut self, dest: NetRef, label: &str, args: Vec<WireWord>) {
-        self.ether.borrow_mut().queues.entry(dest.site).or_default().push_back(Incoming::Msg {
-            dest: dest.heap_id,
-            label: label.to_string(),
-            args,
-        });
+        self.ether
+            .borrow_mut()
+            .queues
+            .entry(dest.site)
+            .or_default()
+            .push_back(Incoming::Msg {
+                dest: dest.heap_id,
+                label: label.to_string(),
+                args,
+            });
     }
 
     fn send_obj(&mut self, dest: NetRef, obj: WireObj) {
@@ -209,18 +224,24 @@ impl NetPort for EtherPort {
             .queues
             .entry(dest.site)
             .or_default()
-            .push_back(Incoming::Obj { dest: dest.heap_id, obj });
+            .push_back(Incoming::Obj {
+                dest: dest.heap_id,
+                obj,
+            });
     }
 
     fn fetch(&mut self, class: NetRef) -> FetchReplyNow {
         let mut e = self.ether.borrow_mut();
         e.next_req += 1;
         let req = e.next_req;
-        e.queues.entry(class.site).or_default().push_back(Incoming::FetchReq {
-            dest: class.heap_id,
-            req,
-            reply_to: self.me,
-        });
+        e.queues
+            .entry(class.site)
+            .or_default()
+            .push_back(Incoming::FetchReq {
+                dest: class.heap_id,
+                req,
+                reply_to: self.me,
+            });
         FetchReplyNow::Pending(req)
     }
 
@@ -234,19 +255,30 @@ impl NetPort for EtherPort {
     }
 
     fn poll(&mut self) -> Option<Incoming> {
-        self.ether.borrow_mut().queues.entry(self.me.site).or_default().pop_front()
+        self.ether
+            .borrow_mut()
+            .queues
+            .entry(self.me.site)
+            .or_default()
+            .pop_front()
     }
 }
 
 fn duo(server_src: &str, client_src: &str) -> (Machine<EtherPort>, Machine<EtherPort>) {
     let ether = Rc::new(RefCell::new(Ether::default()));
     let server_port = EtherPort {
-        me: Identity { site: SiteId(0), node: Default::default() },
+        me: Identity {
+            site: SiteId(0),
+            node: Default::default(),
+        },
         lexeme: "server".to_string(),
         ether: ether.clone(),
     };
     let client_port = EtherPort {
-        me: Identity { site: SiteId(1), node: Default::default() },
+        me: Identity {
+            site: SiteId(1),
+            node: Default::default(),
+        },
         lexeme: "client".to_string(),
         ether,
     };
@@ -358,12 +390,18 @@ fn import_blocks_then_resumes() {
 fn seti_pattern_install_go_loop() {
     let ether = Rc::new(RefCell::new(Ether::default()));
     let seti_port = EtherPort {
-        me: Identity { site: SiteId(0), node: Default::default() },
+        me: Identity {
+            site: SiteId(0),
+            node: Default::default(),
+        },
         lexeme: "seti".to_string(),
         ether: ether.clone(),
     };
     let client_port = EtherPort {
-        me: Identity { site: SiteId(1), node: Default::default() },
+        me: Identity {
+            site: SiteId(1),
+            node: Default::default(),
+        },
         lexeme: "client".to_string(),
         ether,
     };
@@ -405,8 +443,15 @@ fn trace_buffer_records_last_instructions() {
     assert!(matches!(err, tyco_vm::VmError::NoMethod { .. }));
     let trace = m.render_trace();
     let lines: Vec<&str> = trace.lines().collect();
-    assert_eq!(lines.len(), 4, "ring buffer holds exactly its capacity:\n{trace}");
-    assert!(trace.contains("TrObj") || trace.contains("TrMsg"), "{trace}");
+    assert_eq!(
+        lines.len(),
+        4,
+        "ring buffer holds exactly its capacity:\n{trace}"
+    );
+    assert!(
+        trace.contains("TrObj") || trace.contains("TrMsg"),
+        "{trace}"
+    );
     // Disabling clears it.
     m.set_trace(0);
     assert!(m.render_trace().is_empty());

@@ -14,7 +14,12 @@
 use ditico::{Env, FabricMode, LinkProfile, Topology};
 
 fn topology() -> Topology {
-    Topology { nodes: 2, mode: FabricMode::Virtual, link: LinkProfile::myrinet(), ns_replicas: 1 }
+    Topology {
+        nodes: 2,
+        mode: FabricMode::Virtual,
+        link: LinkProfile::myrinet(),
+        ns_replicas: 1,
+    }
 }
 
 fn run_fetch() {
@@ -47,7 +52,10 @@ fn run_fetch() {
         "  downloads (FETCH): {}; cache hits: {}; local instantiations: {}",
         c.fetches, c.fetch_cache_hits, c.inst
     );
-    println!("  => the applets ran AT THE CLIENT; the server did {} instantiations", report.stats["server"].inst);
+    println!(
+        "  => the applets ran AT THE CLIENT; the server did {} instantiations",
+        report.stats["server"].inst
+    );
 }
 
 fn run_ship() {

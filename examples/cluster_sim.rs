@@ -60,7 +60,10 @@ fn build(link: LinkProfile) -> Env {
 
 fn main() {
     println!("Fig. 1 platform: 4 nodes x 2 sites, 7 workers x 25 RPCs to one coordinator\n");
-    println!("{:<16} {:>14} {:>12} {:>12}", "link", "virtual time", "packets", "bytes");
+    println!(
+        "{:<16} {:>14} {:>12} {:>12}",
+        "link", "virtual time", "packets", "bytes"
+    );
     for (name, link) in [
         ("ideal", LinkProfile::ideal()),
         ("myrinet 1Gb/s", LinkProfile::myrinet()),

@@ -15,8 +15,14 @@
 use ditico::{Env, FabricMode, LinkProfile, Topology};
 
 fn main() {
-    let workers: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(3);
-    let items: i64 = std::env::args().nth(2).and_then(|a| a.parse().ok()).unwrap_or(30);
+    let workers: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(3);
+    let items: i64 = std::env::args()
+        .nth(2)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(30);
 
     // Expected result: sum of squares 1..=items.
     let expected: i64 = (1..=items).map(|i| i * i).sum();

@@ -14,8 +14,14 @@
 use ditico::{Env, FabricMode, LinkProfile, Topology};
 
 fn main() {
-    let sites: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(4);
-    let hops: u64 = std::env::args().nth(2).and_then(|a| a.parse().ok()).unwrap_or(100);
+    let sites: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(4);
+    let hops: u64 = std::env::args()
+        .nth(2)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(100);
 
     let mut env = Env::new(Topology {
         nodes: sites,
@@ -32,7 +38,11 @@ fn main() {
         let my_slot = format!("slot{i}");
         let next_slot = format!("slot{}", (i + 1) % sites);
         // Site 0 additionally injects the initial token.
-        let inject = if i == 0 { format!("| {my_slot}!token[{hops}]") } else { String::new() };
+        let inject = if i == 0 {
+            format!("| {my_slot}!token[{hops}]")
+        } else {
+            String::new()
+        };
         let src = format!(
             r#"
             export new {my_slot} in

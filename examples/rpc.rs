@@ -46,8 +46,14 @@ fn main() {
     let client = &report.stats["s"];
     let server = &report.stats["r"];
     println!();
-    println!("client shipped {} message(s) (SHIPM: the invocation)", client.msgs_sent);
-    println!("server shipped {} message(s) (SHIPM: the reply)", server.msgs_sent);
+    println!(
+        "client shipped {} message(s) (SHIPM: the invocation)",
+        client.msgs_sent
+    );
+    println!(
+        "server shipped {} message(s) (SHIPM: the reply)",
+        server.msgs_sent
+    );
     println!(
         "local rendez-vous reductions: server {} + client {} (one per shipped message)",
         server.comm, client.comm

@@ -11,7 +11,10 @@
 use ditico::{Env, FabricMode, LinkProfile, RunLimits, Topology};
 
 fn main() {
-    let workers: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(1);
+    let workers: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(1);
 
     let mut env = Env::new(Topology {
         nodes: workers + 1,
@@ -40,13 +43,20 @@ fn main() {
 
     for w in 0..workers {
         env = env
-            .site_on(w + 1, &format!("worker{w}"), "import Install from seti in Install[]")
+            .site_on(
+                w + 1,
+                &format!("worker{w}"),
+                "import Install from seti in Install[]",
+            )
             .expect("worker compiles");
     }
 
     // The Go loop runs forever; bound the run.
     let mut built = env.build().expect("links check");
-    let report = built.run_deterministic(RunLimits { max_instrs: 400_000, fuel_per_slice: 512 });
+    let report = built.run_deterministic(RunLimits {
+        max_instrs: 400_000,
+        fuel_per_slice: 512,
+    });
 
     for w in 0..workers {
         let lexeme = format!("worker{w}");
@@ -60,7 +70,10 @@ fn main() {
     }
     let seti = &report.stats["seti"];
     println!();
-    println!("SETI site served {} class download(s) — one per worker", seti.fetches_served);
+    println!(
+        "SETI site served {} class download(s) — one per worker",
+        seti.fetches_served
+    );
     println!(
         "chunks served: {} (each one SHIPM request + SHIPM reply over the fabric)",
         seti.comm

@@ -92,18 +92,27 @@ fn cmd_check(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_compile(args: &[String]) -> Result<(), String> {
-    let path = args.first().ok_or("usage: ditico compile <file.dity> [-o out.tyco]")?;
+    let path = args
+        .first()
+        .ok_or("usage: ditico compile <file.dity> [-o out.tyco]")?;
     let out = match args.get(1).map(String::as_str) {
         Some("-o") => args.get(2).cloned().ok_or("missing output after -o")?,
         _ => {
-            let stem = Path::new(path).file_stem().and_then(|s| s.to_str()).unwrap_or("out");
+            let stem = Path::new(path)
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or("out");
             format!("{stem}.tyco")
         }
     };
     let p = compile_file(path)?;
     let bytes = tyco_vm::image_to_bytes(&p.code);
     std::fs::write(&out, &bytes).map_err(|e| format!("cannot write `{out}`: {e}"))?;
-    println!("{out}: {} bytes ({} instructions)", bytes.len(), p.instr_count());
+    println!(
+        "{out}: {} bytes ({} instructions)",
+        bytes.len(),
+        p.instr_count()
+    );
     Ok(())
 }
 
@@ -129,7 +138,9 @@ fn load_program(path: &str, unchecked: bool) -> Result<tyco_vm::Program, String>
     } else if unchecked {
         // Skip the static type check: the dynamic checks at reduction time
         // take over (useful with --trace to watch them fire).
-        Ok(Program::compile_unchecked(&read(path)?).map_err(|e| format!("{path}: {e}"))?.code)
+        Ok(Program::compile_unchecked(&read(path)?)
+            .map_err(|e| format!("{path}: {e}"))?
+            .code)
     } else {
         Ok(compile_file(path)?.code)
     }
@@ -250,7 +261,11 @@ fn cmd_net(args: &[String]) -> Result<(), String> {
         report.fabric_packets,
         report.fabric_bytes,
         report.virtual_ns / 1_000,
-        if report.quiescent { "" } else { " (instruction limit hit)" }
+        if report.quiescent {
+            ""
+        } else {
+            " (instruction limit hit)"
+        }
     );
     if !report.errors.is_empty() {
         return Err(format!("{} site(s) failed", report.errors.len()));

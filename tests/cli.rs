@@ -32,7 +32,11 @@ fn check_run_compile_roundtrip() {
     let src = write(&dir, "cell.dity", CELL);
 
     let out = ditico().arg("check").arg(&src).output().unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stdout).contains("ok ("));
 
     let out = ditico().arg("run").arg(&src).output().unwrap();
@@ -40,10 +44,20 @@ fn check_run_compile_roundtrip() {
     assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "9");
 
     let img = dir.join("cell.tyco");
-    let out = ditico().args(["compile", src.to_str().unwrap(), "-o", img.to_str().unwrap()])
+    let out = ditico()
+        .args([
+            "compile",
+            src.to_str().unwrap(),
+            "-o",
+            img.to_str().unwrap(),
+        ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(img.exists());
 
     // The image runs identically.
@@ -75,15 +89,27 @@ fn asm_output_reassembles() {
 #[test]
 fn net_spec_runs_two_sites() {
     let dir = tmpdir("net");
-    write(&dir, "server.dity", "def S(p) = p?{ val(x, r) = r![x + 1] | S[p] } in export new p in S[p]");
-    write(&dir, "client.dity", "import p from server in let y = p!val[41] in print(y)");
+    write(
+        &dir,
+        "server.dity",
+        "def S(p) = p?{ val(x, r) = r![x + 1] | S[p] } in export new p in S[p]",
+    );
+    write(
+        &dir,
+        "client.dity",
+        "import p from server in let y = p!val[41] in print(y)",
+    );
     let spec = write(
         &dir,
         "demo.net",
         "# demo\ntopology nodes=2 fabric=virtual link=myrinet\nsite server server.dity\nsite client client.dity\n",
     );
     let out = ditico().arg("net").arg(&spec).output().unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("[client] 42"), "{stdout}");
     let stderr = String::from_utf8_lossy(&out.stderr);

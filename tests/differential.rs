@@ -17,7 +17,8 @@ use tyco_vm::{LoopbackPort, Machine};
 fn run_vm(p: &Proc) -> Vec<String> {
     let prog = tyco_vm::compile(p).expect("generated programs compile");
     let mut m = Machine::new(prog, LoopbackPort::new("main"));
-    m.run_to_quiescence(10_000_000).expect("generated programs run cleanly");
+    m.run_to_quiescence(10_000_000)
+        .expect("generated programs run cleanly");
     let mut out = m.io;
     out.sort();
     out
@@ -26,7 +27,9 @@ fn run_vm(p: &Proc) -> Vec<String> {
 fn run_calculus(p: &Proc) -> Vec<String> {
     let mut net = Network::new();
     net.add_site("main", p.clone());
-    let outcome = net.run(10_000_000).expect("generated programs reduce cleanly");
+    let outcome = net
+        .run(10_000_000)
+        .expect("generated programs reduce cleanly");
     assert!(outcome.quiescent, "generated programs terminate");
     outcome.line_multiset()
 }

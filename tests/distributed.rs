@@ -130,8 +130,11 @@ fn distributed_differential_against_calculus() {
         .unwrap();
         let reference = env.run_reference(1_000_000).unwrap();
         let report = env.run().unwrap();
-        let mut vm_lines: Vec<String> =
-            report.outputs.values().flat_map(|l| l.iter().cloned()).collect();
+        let mut vm_lines: Vec<String> = report
+            .outputs
+            .values()
+            .flat_map(|l| l.iter().cloned())
+            .collect();
         vm_lines.sort();
         assert_eq!(vm_lines, reference.line_multiset(), "case: {client}");
     }
@@ -146,12 +149,24 @@ fn surviving_sites_unaffected_by_dead_node() {
     let n0 = c.add_node();
     let n1 = c.add_node();
     let n2 = c.add_node();
-    c.add_site_src(n0, "srv", "def S(p) = p?{ v(x, r) = r![x] | S[p] } in export new p in S[p]")
-        .unwrap();
-    c.add_site_src(n1, "good", "import p from srv in new a (p!v[1, a] | a?(x) = print(x))")
-        .unwrap();
-    c.add_site_src(n2, "doomed", "import p from srv in new a (p!v[2, a] | a?(x) = print(x))")
-        .unwrap();
+    c.add_site_src(
+        n0,
+        "srv",
+        "def S(p) = p?{ v(x, r) = r![x] | S[p] } in export new p in S[p]",
+    )
+    .unwrap();
+    c.add_site_src(
+        n1,
+        "good",
+        "import p from srv in new a (p!v[1, a] | a?(x) = print(x))",
+    )
+    .unwrap();
+    c.add_site_src(
+        n2,
+        "doomed",
+        "import p from srv in new a (p!v[2, a] | a?(x) = print(x))",
+    )
+    .unwrap();
     c.kill_node(n2);
     let report = c.run_deterministic(RunLimits::default());
     assert_eq!(report.output("good"), ["1".to_string()]);
@@ -168,7 +183,10 @@ fn threaded_termination_detector_waits_for_work() {
         link: LinkProfile::ideal(),
         ns_replicas: 1,
     })
-    .site("server", "def S(p) = p?{ v(x, r) = r![x + 1] | S[p] } in export new p in S[p]")
+    .site(
+        "server",
+        "def S(p) = p?{ v(x, r) = r![x + 1] | S[p] } in export new p in S[p]",
+    )
     .unwrap()
     .site(
         "client",

@@ -57,7 +57,10 @@ fn seti_two_workers() {
 fn ring_small() {
     let (stdout, _) = run_example("ring", &["3", "30"]);
     assert!(stdout.contains("token died here after 30 hops"), "{stdout}");
-    assert!(stdout.contains("hops shipped over the fabric: 30"), "{stdout}");
+    assert!(
+        stdout.contains("hops shipped over the fabric: 30"),
+        "{stdout}"
+    );
 }
 
 #[test]
@@ -65,9 +68,12 @@ fn cluster_sim_orders_links() {
     let (stdout, _) = run_example("cluster_sim", &[]);
     // The table rows must appear, and Myrinet must beat Ethernet.
     let time_of = |needle: &str| -> u64 {
-        let line = stdout.lines().find(|l| l.starts_with(needle)).unwrap_or_else(|| {
-            panic!("missing row {needle} in\n{stdout}");
-        });
+        let line = stdout
+            .lines()
+            .find(|l| l.starts_with(needle))
+            .unwrap_or_else(|| {
+                panic!("missing row {needle} in\n{stdout}");
+            });
         line.split_whitespace()
             .nth(2)
             .and_then(|v| v.parse().ok())

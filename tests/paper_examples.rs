@@ -29,7 +29,11 @@ fn section2_polymorphic_cell() {
         .unwrap();
     let mut out = report.output("main").to_vec();
     out.sort();
-    assert_eq!(out, ["9", "false"].map(String::from), "int cell read 9, bool cell read false");
+    assert_eq!(
+        out,
+        ["9", "false"].map(String::from),
+        "int cell read 9, bool cell read false"
+    );
 }
 
 /// §3 — the remote procedure call, with the two-reduction-steps claim.
@@ -49,7 +53,11 @@ fn section3_rpc_two_steps() {
     // local rendez-vous at the receiving site.
     let s = &report.stats["s"];
     let r = &report.stats["r"];
-    assert_eq!(s.msgs_sent + r.msgs_sent, 2, "invocation + reply each ship once");
+    assert_eq!(
+        s.msgs_sent + r.msgs_sent,
+        2,
+        "invocation + reply each ship once"
+    );
     assert_eq!(s.msgs_recv + r.msgs_recv, 2);
     assert_eq!(s.comm + r.comm, 2, "one rendez-vous per shipped message");
 }
@@ -84,7 +92,11 @@ fn section4_applet_fetch() {
     // The three concurrent instantiations may race to fetch before the
     // code is linked, but at least one download and at most three happen,
     // and later instantiation would hit the cache.
-    assert!(client.fetches >= 1 && client.fetches <= 3, "{}", client.fetches);
+    assert!(
+        client.fetches >= 1 && client.fetches <= 3,
+        "{}",
+        client.fetches
+    );
 }
 
 /// §4 — applet server, code-shipping variant: the object migrates to the
@@ -135,14 +147,20 @@ fn section4_seti() {
         .unwrap()
         .build()
         .unwrap();
-    let report = built.run_deterministic(RunLimits { max_instrs: 100_000, fuel_per_slice: 512 });
+    let report = built.run_deterministic(RunLimits {
+        max_instrs: 100_000,
+        fuel_per_slice: 512,
+    });
     let out = report.output("client");
     assert_eq!(out.first().map(String::as_str), Some("installed"));
     // Chunks arrive in order at the single client.
     assert!(out.len() > 3, "{out:?}");
     assert_eq!(out[1], "0");
     assert_eq!(out[2], "1");
-    assert_eq!(report.stats["seti"].fetches_served, 1, "Install+Go downloaded once");
+    assert_eq!(
+        report.stats["seti"].fetches_served, 1,
+        "Install+Go downloaded once"
+    );
 }
 
 /// §5 — local (same node) interactions avoid the network entirely, remote
@@ -184,7 +202,10 @@ fn section5_local_vs_remote_paths() {
     .unwrap();
     assert_eq!(local.output("client"), ["done".to_string()]);
     assert_eq!(remote.output("client"), ["done".to_string()]);
-    assert_eq!(local.fabric_packets, 0, "same-node traffic is shared-memory only");
+    assert_eq!(
+        local.fabric_packets, 0,
+        "same-node traffic is shared-memory only"
+    );
     assert!(remote.fabric_packets >= 20, "{}", remote.fabric_packets);
     assert_eq!(local.virtual_ns, 0);
     assert!(remote.virtual_ns > 0);
@@ -213,7 +234,11 @@ fn section5_thread_granularity() {
     assert_eq!(report.output("main"), ["finished".to_string()]);
     let g = &report.stats["main"].thread_len;
     assert!(g.count > 100, "many threads: {}", g.count);
-    assert!(g.mean() < 48.0, "a few tens of instructions per thread, got {}", g.mean());
+    assert!(
+        g.mean() < 48.0,
+        "a few tens of instructions per thread, got {}",
+        g.mean()
+    );
 }
 
 /// The translation of export/import given in §4 (lexical scoping through
@@ -223,7 +248,10 @@ fn section5_thread_granularity() {
 fn section4_translation_semantics() {
     // Direct located identifiers instead of import.
     let report = Env::new(paper_topology())
-        .site("server", "def S(p) = p?{ go(n, a) = a![n * 7] | S[p] } in export new p in S[p]")
+        .site(
+            "server",
+            "def S(p) = p?{ go(n, a) = a![n * 7] | S[p] } in export new p in S[p]",
+        )
         .unwrap()
         .site("client", "new a (server.p!go[6, a] | a?(v) = print(v))")
         .unwrap()
