@@ -202,8 +202,14 @@ fn bench_dispatch_and_translation(c: &mut Criterion) {
     group.bench_function("link_obj_code", |b| {
         b.iter(|| {
             let mut dest = tyco_vm::Program::default();
-            tyco_vm::link(&mut dest, &packed.code)
+            tyco_vm::link(&mut dest, &packed.code).unwrap()
         });
+    });
+    // The static gate every fetched/shipped image pays once, before link
+    // (EXPERIMENTS.md "verify overhead" recipe compares this against the
+    // end-to-end FETCH round trip).
+    group.bench_function("verify_obj_code", |b| {
+        b.iter(|| tyco_vm::verify_wire(&packed.code).unwrap());
     });
     group.finish();
 }

@@ -23,7 +23,61 @@ fn main() {
     c6_mobility_vs_rmi();
     c7_code_size();
     c8_failover();
+    verify_overhead();
     println!("\nAll experiment tables regenerated.");
+}
+
+/// Verify-time overhead on the FETCH path (DESIGN.md §9). A fetched image
+/// is verified twice — once by the daemon's trust-boundary screen, once
+/// inside `wire::link` — so the per-fetch cost is 2× one `verify_wire`
+/// pass. That wall-clock cost is compared against (a) the wall-clock of
+/// the whole deterministic R=1 fetch run (compile, name service, fetch,
+/// link, execute) and (b) the modelled end-to-end FETCH latency per link
+/// profile.
+fn verify_overhead() {
+    use std::time::Instant;
+
+    println!("\n=== Verify overhead on the FETCH path ===");
+    // The exact image the C5 applet server serves.
+    let prog = compile(&tyco_syntax::parse_core(FETCH_SERVER).unwrap()).unwrap();
+    let roots: Vec<u32> = (0..prog.tables.len() as u32).collect();
+    let packed = tyco_vm::pack(&prog, &roots);
+    let reps = 20_000u32;
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(tyco_vm::verify_wire(std::hint::black_box(&packed.code))).unwrap();
+    }
+    let verify_ns = t0.elapsed().as_nanos() as u64 / reps as u64;
+    let per_fetch_ns = 2 * verify_ns;
+    println!("verify_wire on the shipped applet image: {verify_ns} ns (×2 per fetch = {per_fetch_ns} ns)");
+
+    let wall0 = Instant::now();
+    let rep = run_two_node(
+        LinkProfile::myrinet(),
+        FETCH_SERVER,
+        &fetch_client(1),
+        100_000_000,
+    );
+    let wall_ns = wall0.elapsed().as_nanos() as u64;
+    assert_done(&rep);
+    println!(
+        "R=1 fetch run: wall {} µs → verify share {:.2}% of wall clock",
+        wall_ns / 1_000,
+        per_fetch_ns as f64 * 100.0 / wall_ns as f64
+    );
+    for (name, link) in [
+        ("myrinet", LinkProfile::myrinet()),
+        ("ethernet", LinkProfile::fast_ethernet()),
+        ("wan", LinkProfile::wan()),
+    ] {
+        let rep = run_two_node(link, FETCH_SERVER, &fetch_client(1), 100_000_000);
+        assert_done(&rep);
+        println!(
+            "{name:>9}: modelled end-to-end {} µs → verify CPU = {:.2}% of the fetch latency",
+            rep.virtual_ns / 1_000,
+            per_fetch_ns as f64 * 100.0 / rep.virtual_ns as f64
+        );
+    }
 }
 
 fn f1_link_profiles() {

@@ -3,11 +3,12 @@
 //! for differential testing.
 
 use crate::program::{Program, ProgramError};
-use ditico_rt::{Cluster, FabricMode, LinkProfile, RunLimits, RunReport};
+use ditico_rt::{Cluster, FabricMode, LinkProfile, RunLimits, RunReport, SiteInterface};
 use std::collections::HashMap;
 use std::fmt;
 use tyco_calculus::{Network, Outcome, RtError, Scheduler};
 use tyco_types::infer::ImportKind;
+use tyco_vm::codec::TypeStamp;
 use tyco_vm::word::NodeId;
 
 /// Environment-level errors.
@@ -228,9 +229,17 @@ impl Env {
             .map(|_| cluster.add_node())
             .collect();
         let mut placements = Vec::new();
+        let check_interfaces = self.check_interfaces;
         for (i, s) in self.sites.into_iter().enumerate() {
             let node = nodes[s.pin.unwrap_or(i % nodes.len())];
-            cluster.add_site(node, &s.lexeme, s.program.code.clone());
+            // In pure-dynamic mode the sites carry no stamps and the name
+            // service has no static evidence to refuse on.
+            let iface = if check_interfaces {
+                site_interface(&s.program.types)
+            } else {
+                SiteInterface::default()
+            };
+            cluster.add_site_with_interface(node, &s.lexeme, s.program.code.clone(), iface);
             placements.push((s.lexeme.clone(), node, s.program));
         }
         Ok(BuiltEnv {
@@ -268,6 +277,29 @@ impl Env {
     pub fn lexemes(&self) -> Vec<String> {
         self.sites.iter().map(|s| s.lexeme.clone()).collect()
     }
+}
+
+/// Derive the runtime type stamps a site ships with its name-service
+/// traffic from the type checker's summary: exported channel names carry
+/// the stamp of their inferred type; `import`s of names carry the stamp of
+/// the type the importer's body requires.
+fn site_interface(types: &tyco_types::TypeSummary) -> SiteInterface {
+    fn stamp(t: &tyco_types::Type) -> TypeStamp {
+        TypeStamp {
+            fingerprint: tyco_types::fingerprint(t),
+            canonical: tyco_types::canonical(t),
+        }
+    }
+    let mut iface = SiteInterface::default();
+    for (name, ty) in &types.exported_names {
+        iface.exports.insert(name.clone(), stamp(ty));
+    }
+    for ((site, name), ty) in &types.import_expectations {
+        iface
+            .imports
+            .insert((site.clone(), name.clone()), stamp(ty));
+    }
+    iface
 }
 
 /// A materialized environment ready to run.

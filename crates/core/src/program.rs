@@ -47,6 +47,12 @@ impl Program {
             tyco_syntax::parse_core(source).map_err(|e| ProgramError::Parse(e.to_string()))?;
         let types = tyco_types::check(&ast).map_err(|e| ProgramError::Type(e.to_string()))?;
         let code = tyco_vm::compile(&ast).map_err(|e| ProgramError::Compile(e.to_string()))?;
+        // Regression oracle: well-typed source must compile to code the
+        // byte-code verifier accepts. A failure here is a compiler bug.
+        #[cfg(debug_assertions)]
+        if let Err(e) = tyco_vm::verify_program(&code) {
+            panic!("verifier rejects compiler output for well-typed source: {e}");
+        }
         Ok(Program {
             source: source.to_string(),
             ast,
@@ -82,6 +88,19 @@ impl Program {
     /// Byte-code size in instructions (compactness metric, experiment C7).
     pub fn instr_count(&self) -> usize {
         self.code.instr_count()
+    }
+
+    /// Run the static byte-code verifier over the compiled image — the
+    /// same abstract interpretation the runtime applies to fetched and
+    /// shipped code before linking it.
+    pub fn verify(&self) -> Result<(), tyco_vm::VerifyError> {
+        tyco_vm::verify_program(&self.code)
+    }
+
+    /// Run the calculus-level liveness lint: messages no object can ever
+    /// receive and objects no message ever targets (closed program).
+    pub fn lint(&self) -> Vec<tyco_calculus::Lint> {
+        tyco_calculus::lint(&self.ast)
     }
 }
 
@@ -120,6 +139,19 @@ mod tests {
             Program::compile_unchecked("x![1]"),
             Err(ProgramError::Compile(_))
         ));
+    }
+
+    #[test]
+    fn verify_and_lint_facade() {
+        let p = Program::compile("new x (x!go[1] | x?{ go(n) = print(n) })").unwrap();
+        assert!(p.verify().is_ok());
+        assert!(p.lint().is_empty());
+
+        let dead = Program::compile("new x (x!go[1] | print(0))").unwrap();
+        assert!(dead.verify().is_ok(), "dead code still verifies");
+        let findings = dead.lint();
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].kind, tyco_calculus::LintKind::OrphanMessage);
     }
 
     #[test]

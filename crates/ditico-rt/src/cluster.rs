@@ -11,7 +11,7 @@
 use crate::daemon::{Daemon, DaemonStats, TermCounters};
 use crate::fabric::{Fabric, FabricMode, LinkProfile};
 use crate::failure::FailureMonitor;
-use crate::site::{RtIncoming, RtPort, Site};
+use crate::site::{RtIncoming, RtPort, Site, SiteInterface};
 use crate::termination::{Snapshot, TerminationDetector};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::collections::HashMap;
@@ -174,6 +174,20 @@ impl Cluster {
     /// Create a site running `program` on `node`, under `lexeme`
     /// (the TyCOsh "submit a program" operation).
     pub fn add_site(&mut self, node: NodeId, lexeme: &str, program: Program) -> SiteId {
+        self.add_site_with_interface(node, lexeme, program, SiteInterface::default())
+    }
+
+    /// Like [`add_site`](Cluster::add_site), with the site's statically
+    /// inferred interface attached: its exports register with type stamps
+    /// and its imports ship expectation stamps, so protocol mismatches
+    /// between sites are refused at bind time by the name service.
+    pub fn add_site_with_interface(
+        &mut self,
+        node: NodeId,
+        lexeme: &str,
+        program: Program,
+        interface: SiteInterface,
+    ) -> SiteId {
         let site_id = SiteId(self.site_lexemes.len() as u32);
         self.site_lexemes.push(lexeme.to_string());
         let identity = Identity {
@@ -190,7 +204,7 @@ impl Cluster {
         }
         let (in_tx, in_rx): (Sender<RtIncoming>, Receiver<RtIncoming>) = unbounded();
         let cell = &mut self.nodes[node.0 as usize];
-        let port = RtPort::new(
+        let mut port = RtPort::new(
             identity,
             lexeme.to_string(),
             cell.out_tx.clone(),
@@ -198,6 +212,7 @@ impl Cluster {
             cell.daemon.waker().clone(),
             self.term.clone(),
         );
+        port.set_interface(interface);
         let site = Site::new(lexeme, identity, program, port);
         cell.daemon.attach_site(site_id, in_tx, site.waker.clone());
         cell.sites.push(site);

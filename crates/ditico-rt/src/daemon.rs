@@ -55,6 +55,9 @@ pub struct DaemonStats {
     pub remote_recvs: u64,
     /// Name-service operations handled locally.
     pub ns_ops: u64,
+    /// Fabric packets dropped at the trust boundary: undecodable bytes,
+    /// or mobile code that failed static verification before link.
+    pub rejected: u64,
 }
 
 /// An outgoing batch for one destination node: packets are encoded
@@ -178,12 +181,16 @@ impl Daemon {
             for (_, bytes) in raw.drain(..) {
                 self.stats.remote_recvs += 1;
                 match codec::decode(bytes) {
-                    Ok(packet) => self.deliver_local(packet),
-                    Err(e) => {
-                        // A corrupt packet is dropped; the paper's system
-                        // has no recovery story either (future work).
-                        debug_assert!(false, "corrupt packet: {e}");
+                    Ok(packet) => {
+                        if Self::screen(&packet).is_some() {
+                            self.reject();
+                        } else {
+                            self.deliver_local(packet);
+                        }
                     }
+                    // Undecodable bytes are dropped and counted; the
+                    // daemon (and the node's sites) stay up.
+                    Err(_) => self.reject(),
                 }
             }
         }
@@ -191,6 +198,37 @@ impl Daemon {
         self.flush_local();
         self.flush_remote();
         progress
+    }
+
+    /// Drop a fabric packet at the trust boundary. The sender already
+    /// counted it as injected, so the drop must count as consumed or the
+    /// termination detector would wait on it forever.
+    fn reject(&mut self) {
+        self.stats.rejected += 1;
+        self.term.consumed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Static screening of mobile code arriving from the fabric (§6: the
+    /// receiver cannot trust that shipped byte-code was produced by our
+    /// compiler). Returns a reason to reject, or `None` to admit. Packets
+    /// without code images pass through; their field-level validation
+    /// happened in the codec.
+    fn screen(p: &Packet) -> Option<String> {
+        let (code, table) = match p {
+            Packet::Obj { obj, .. } => (&obj.code, obj.table),
+            Packet::FetchReply { group, .. } => (&group.code, group.table),
+            _ => return None,
+        };
+        if let Err(e) = tyco_vm::verify_wire(code) {
+            return Some(e.to_string());
+        }
+        if table as usize >= code.tables.len() {
+            return Some(format!(
+                "entry table {table} out of range ({} tables shipped)",
+                code.tables.len()
+            ));
+        }
+        None
     }
 
     /// Hand each site its buffered backlog: one inbox lock and one wakeup
@@ -361,10 +399,11 @@ impl Daemon {
                 site_lexeme,
                 name,
                 value,
+                stamp,
             } => {
                 self.stats.ns_ops += 1;
                 if let Some(ns) = &mut self.ns {
-                    let replies = ns.handle_register(from_site, &site_lexeme, &name, value);
+                    let replies = ns.handle_register(from_site, &site_lexeme, &name, value, stamp);
                     for r in replies {
                         self.term.injected.fetch_add(1, Ordering::Relaxed);
                         self.route(r);
@@ -382,10 +421,12 @@ impl Daemon {
                 name,
                 kind,
                 reply_to,
+                expect,
             } => {
                 self.stats.ns_ops += 1;
                 if let Some(ns) = &mut self.ns {
-                    if let Some(reply) = ns.handle_import(req, &site, &name, kind, reply_to) {
+                    if let Some(reply) = ns.handle_import(req, &site, &name, kind, reply_to, expect)
+                    {
                         self.term.injected.fetch_add(1, Ordering::Relaxed);
                         self.route(reply);
                     }

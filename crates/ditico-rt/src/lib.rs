@@ -33,6 +33,6 @@ pub use daemon::{Daemon, DaemonStats, TermCounters};
 pub use fabric::{Fabric, FabricHandle, FabricMode, FabricStats, LinkProfile};
 pub use failure::FailureMonitor;
 pub use nameservice::NameService;
-pub use site::{RtIncoming, RtPort, Site};
+pub use site::{RtIncoming, RtPort, Site, SiteInterface};
 pub use termination::{Snapshot, TerminationDetector};
 pub use wake::Notify;

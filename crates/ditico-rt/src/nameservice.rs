@@ -18,20 +18,32 @@
 //! `import` block until the corresponding `export` executes.
 
 use std::collections::HashMap;
-use tyco_vm::codec::Packet;
+use tyco_vm::codec::{Packet, TypeStamp};
 use tyco_vm::program::ImportKind;
 use tyco_vm::wire::WireWord;
 use tyco_vm::word::{Identity, SiteId};
+
+/// A parked lookup waiting for its export to arrive.
+#[derive(Debug, Clone)]
+struct PendingImport {
+    req: u64,
+    site: String,
+    name: String,
+    kind: ImportKind,
+    reply_to: Identity,
+    expect: Option<TypeStamp>,
+}
 
 /// The name-service state.
 #[derive(Debug, Default, Clone)]
 pub struct NameService {
     /// `SiteTable`: site lexeme → (site id, node).
     site_table: HashMap<String, Identity>,
-    /// `IdTable`: (site lexeme, identifier) → exported value.
-    id_table: HashMap<(String, String), WireWord>,
-    /// Lookups waiting for an export: (req, site, name, kind, reply_to).
-    pending: Vec<(u64, String, String, ImportKind, Identity)>,
+    /// `IdTable`: (site lexeme, identifier) → exported value + its type
+    /// stamp (when the exporting site was statically checked).
+    id_table: HashMap<(String, String), (WireWord, Option<TypeStamp>)>,
+    /// Lookups waiting for an export.
+    pending: Vec<PendingImport>,
 }
 
 /// Kind-check an exported value against the requested import kind.
@@ -40,6 +52,32 @@ fn kind_ok(kind: ImportKind, w: &WireWord) -> bool {
         (kind, w),
         (ImportKind::Name, WireWord::Chan(_)) | (ImportKind::Class, WireWord::Class(_))
     )
+}
+
+/// Bind-time type compatibility: refuse the import when both sides carry a
+/// stamp and the stamps provably disagree. Fingerprint equality is the
+/// fast path; a miss falls back to the structural `compatible` check
+/// (canonical forms with *open* rows can differ textually yet unify).
+/// Either side unstamped → no static evidence → defer to dynamic checks.
+fn stamp_ok(expect: &Option<TypeStamp>, actual: &Option<TypeStamp>) -> Result<(), String> {
+    let (Some(e), Some(a)) = (expect.as_ref(), actual.as_ref()) else {
+        return Ok(());
+    };
+    if e.fingerprint == a.fingerprint {
+        return Ok(());
+    }
+    if let (Some(et), Some(at)) = (
+        tyco_types::parse_canonical(&e.canonical),
+        tyco_types::parse_canonical(&a.canonical),
+    ) {
+        if tyco_types::compatible(&et, &at) {
+            return Ok(());
+        }
+    }
+    Err(format!(
+        "type mismatch at bind time: importer expects `{}`, exporter provides `{}`",
+        e.canonical, a.canonical
+    ))
 }
 
 impl NameService {
@@ -76,25 +114,33 @@ impl NameService {
         site_lexeme: &str,
         name: &str,
         value: WireWord,
+        stamp: Option<TypeStamp>,
     ) -> Vec<Packet> {
-        self.id_table
-            .insert((site_lexeme.to_string(), name.to_string()), value.clone());
+        self.id_table.insert(
+            (site_lexeme.to_string(), name.to_string()),
+            (value.clone(), stamp.clone()),
+        );
         let mut replies = Vec::new();
         let mut keep = Vec::new();
-        for (req, s, n, kind, reply_to) in self.pending.drain(..) {
-            if s == site_lexeme && n == name {
-                let result = if kind_ok(kind, &value) {
-                    Ok(value.clone())
+        for p in self.pending.drain(..) {
+            if p.site == site_lexeme && p.name == name {
+                let result = if !kind_ok(p.kind, &value) {
+                    Err(format!(
+                        "`{}.{}` exported with the wrong kind",
+                        p.site, p.name
+                    ))
+                } else if let Err(e) = stamp_ok(&p.expect, &stamp) {
+                    Err(format!("`{}.{}`: {e}", p.site, p.name))
                 } else {
-                    Err(format!("`{s}.{n}` exported with the wrong kind"))
+                    Ok(value.clone())
                 };
                 replies.push(Packet::NsImportReply {
-                    to: reply_to,
-                    req,
+                    to: p.reply_to,
+                    req: p.req,
                     result,
                 });
             } else {
-                keep.push((req, s, n, kind, reply_to));
+                keep.push(p);
             }
         }
         self.pending = keep;
@@ -110,6 +156,7 @@ impl NameService {
         name: &str,
         kind: ImportKind,
         reply_to: Identity,
+        expect: Option<TypeStamp>,
     ) -> Option<Packet> {
         // Unknown site lexeme is a permanent error (sites are registered
         // at creation, before any program runs).
@@ -121,11 +168,13 @@ impl NameService {
             });
         }
         match self.id_table.get(&(site.to_string(), name.to_string())) {
-            Some(w) => {
-                let result = if kind_ok(kind, w) {
-                    Ok(w.clone())
-                } else {
+            Some((w, stamp)) => {
+                let result = if !kind_ok(kind, w) {
                     Err(format!("`{site}.{name}` has the wrong kind"))
+                } else if let Err(e) = stamp_ok(&expect, stamp) {
+                    Err(format!("`{site}.{name}`: {e}"))
+                } else {
+                    Ok(w.clone())
                 };
                 Some(Packet::NsImportReply {
                     to: reply_to,
@@ -134,8 +183,14 @@ impl NameService {
                 })
             }
             None => {
-                self.pending
-                    .push((req, site.to_string(), name.to_string(), kind, reply_to));
+                self.pending.push(PendingImport {
+                    req,
+                    site: site.to_string(),
+                    name: name.to_string(),
+                    kind,
+                    reply_to,
+                    expect,
+                });
                 None
             }
         }
@@ -167,10 +222,10 @@ mod tests {
         let mut ns = NameService::new();
         ns.register_site("server", ident(0, 0));
         assert!(ns
-            .handle_register(SiteId(0), "server", "p", chan(7))
+            .handle_register(SiteId(0), "server", "p", chan(7), None)
             .is_empty());
         let reply = ns
-            .handle_import(1, "server", "p", ImportKind::Name, ident(1, 1))
+            .handle_import(1, "server", "p", ImportKind::Name, ident(1, 1), None)
             .unwrap();
         match reply {
             Packet::NsImportReply {
@@ -189,10 +244,10 @@ mod tests {
         let mut ns = NameService::new();
         ns.register_site("server", ident(0, 0));
         assert!(ns
-            .handle_import(1, "server", "p", ImportKind::Name, ident(1, 1))
+            .handle_import(1, "server", "p", ImportKind::Name, ident(1, 1), None)
             .is_none());
         assert_eq!(ns.pending_count(), 1);
-        let replies = ns.handle_register(SiteId(0), "server", "p", chan(3));
+        let replies = ns.handle_register(SiteId(0), "server", "p", chan(3), None);
         assert_eq!(replies.len(), 1);
         assert_eq!(ns.pending_count(), 0);
         match &replies[0] {
@@ -211,7 +266,7 @@ mod tests {
     fn unknown_site_is_permanent_error() {
         let mut ns = NameService::new();
         let reply = ns
-            .handle_import(1, "mars", "p", ImportKind::Name, ident(1, 1))
+            .handle_import(1, "mars", "p", ImportKind::Name, ident(1, 1), None)
             .unwrap();
         assert!(matches!(
             reply,
@@ -223,9 +278,9 @@ mod tests {
     fn kind_mismatch_is_error() {
         let mut ns = NameService::new();
         ns.register_site("server", ident(0, 0));
-        ns.handle_register(SiteId(0), "server", "p", chan(0));
+        ns.handle_register(SiteId(0), "server", "p", chan(0), None);
         let reply = ns
-            .handle_import(1, "server", "p", ImportKind::Class, ident(1, 1))
+            .handle_import(1, "server", "p", ImportKind::Class, ident(1, 1), None)
             .unwrap();
         assert!(matches!(
             reply,
@@ -233,9 +288,9 @@ mod tests {
         ));
         // And the parked-then-registered path checks kinds too.
         assert!(ns
-            .handle_import(2, "server", "k", ImportKind::Class, ident(1, 1))
+            .handle_import(2, "server", "k", ImportKind::Class, ident(1, 1), None)
             .is_none());
-        let replies = ns.handle_register(SiteId(0), "server", "k", chan(1));
+        let replies = ns.handle_register(SiteId(0), "server", "k", chan(1), None);
         assert!(matches!(
             &replies[0],
             Packet::NsImportReply { result: Err(_), .. }
@@ -248,10 +303,113 @@ mod tests {
         ns.register_site("s", ident(0, 0));
         for req in 0..5 {
             assert!(ns
-                .handle_import(req, "s", "x", ImportKind::Name, ident(req as u32, 0))
+                .handle_import(req, "s", "x", ImportKind::Name, ident(req as u32, 0), None)
                 .is_none());
         }
-        let replies = ns.handle_register(SiteId(0), "s", "x", chan(9));
+        let replies = ns.handle_register(SiteId(0), "s", "x", chan(9), None);
         assert_eq!(replies.len(), 5);
+    }
+
+    fn stamp_of(src: &str) -> TypeStamp {
+        // Build a stamp the way the environment does: canonicalize + hash.
+        let t = tyco_types::parse_canonical(src).expect("canonical parses");
+        TypeStamp {
+            fingerprint: tyco_types::fingerprint(&t),
+            canonical: tyco_types::canonical(&t),
+        }
+    }
+
+    #[test]
+    fn stamp_mismatch_is_refused_at_bind_time() {
+        let mut ns = NameService::new();
+        ns.register_site("server", ident(0, 0));
+        ns.handle_register(
+            SiteId(0),
+            "server",
+            "p",
+            chan(0),
+            Some(stamp_of("^{val(int)}")),
+        );
+        // An importer expecting a bool-channel is refused with a typed
+        // error naming both protocols.
+        let reply = ns
+            .handle_import(
+                1,
+                "server",
+                "p",
+                ImportKind::Name,
+                ident(1, 1),
+                Some(stamp_of("^{val(bool)}")),
+            )
+            .unwrap();
+        match reply {
+            Packet::NsImportReply {
+                result: Err(e),
+                req: 1,
+                ..
+            } => {
+                assert!(e.contains("type mismatch at bind time"), "{e}");
+                assert!(
+                    e.contains("^{val(bool)}") && e.contains("^{val(int)}"),
+                    "{e}"
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // A matching expectation succeeds.
+        let reply = ns
+            .handle_import(
+                2,
+                "server",
+                "p",
+                ImportKind::Name,
+                ident(1, 1),
+                Some(stamp_of("^{val(int)}")),
+            )
+            .unwrap();
+        assert!(matches!(reply, Packet::NsImportReply { result: Ok(_), .. }));
+        // An unstamped importer is let through (no static evidence).
+        let reply = ns
+            .handle_import(3, "server", "p", ImportKind::Name, ident(1, 1), None)
+            .unwrap();
+        assert!(matches!(reply, Packet::NsImportReply { result: Ok(_), .. }));
+    }
+
+    #[test]
+    fn stamp_open_row_falls_back_to_structural_check() {
+        // Fingerprints differ (one row is open) but the types unify:
+        // the structural fallback must accept.
+        let e = stamp_of("^{val(int)|r0}");
+        let a = stamp_of("^{val(int)}");
+        assert_ne!(e.fingerprint, a.fingerprint);
+        assert!(stamp_ok(&Some(e), &Some(a)).is_ok());
+    }
+
+    #[test]
+    fn stamp_mismatch_on_parked_lookup() {
+        let mut ns = NameService::new();
+        ns.register_site("server", ident(0, 0));
+        assert!(ns
+            .handle_import(
+                7,
+                "server",
+                "late",
+                ImportKind::Name,
+                ident(1, 1),
+                Some(stamp_of("^{val(string)}")),
+            )
+            .is_none());
+        let replies = ns.handle_register(
+            SiteId(0),
+            "server",
+            "late",
+            chan(4),
+            Some(stamp_of("^{val(float)}")),
+        );
+        assert_eq!(replies.len(), 1);
+        assert!(matches!(
+            &replies[0],
+            Packet::NsImportReply { result: Err(_), .. }
+        ));
     }
 }

@@ -12,7 +12,7 @@ use crossbeam::channel::{Receiver, Sender};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
-use tyco_vm::codec::Packet;
+use tyco_vm::codec::{Packet, TypeStamp};
 use tyco_vm::port::{FetchReplyNow, ImportReply, Incoming, NetPort};
 use tyco_vm::program::ImportKind;
 use tyco_vm::wire::{WireGroup, WireObj, WireWord};
@@ -29,6 +29,19 @@ pub enum RtIncoming {
         req: u64,
         result: Result<WireWord, String>,
     },
+}
+
+/// The statically inferred interface of a site: type stamps for the names
+/// it exports and for the names it imports. Derived from the type
+/// checker's [`tyco_types::TypeSummary`] by the builder; empty when the
+/// program bypassed the checker (then the dynamic checks stand alone).
+#[derive(Debug, Clone, Default)]
+pub struct SiteInterface {
+    /// Exported identifier → stamp of its inferred type.
+    pub exports: HashMap<String, TypeStamp>,
+    /// `(exporter site lexeme, name)` → stamp of the type this site
+    /// expects the import to have.
+    pub imports: HashMap<(String, String), TypeStamp>,
 }
 
 /// The queue-backed [`NetPort`] of a site.
@@ -53,6 +66,8 @@ pub struct RtPort {
     pending: HashMap<u64, (String, String, ImportKind)>,
     next_req: u64,
     term: Arc<TermCounters>,
+    /// Type stamps attached to outgoing registrations and lookups.
+    interface: SiteInterface,
 }
 
 impl RtPort {
@@ -76,7 +91,14 @@ impl RtPort {
             pending: HashMap::new(),
             next_req: 0,
             term,
+            interface: SiteInterface::default(),
         }
+    }
+
+    /// Attach the site's statically inferred interface; subsequent
+    /// registrations and imports carry the matching type stamps.
+    pub fn set_interface(&mut self, interface: SiteInterface) {
+        self.interface = interface;
     }
 
     fn send(&mut self, p: Packet) {
@@ -113,12 +135,18 @@ impl RtPort {
         let pending: Vec<(u64, (String, String, ImportKind))> =
             self.pending.iter().map(|(k, v)| (*k, v.clone())).collect();
         for (req, (site, name, kind)) in pending {
+            let expect = self
+                .interface
+                .imports
+                .get(&(site.clone(), name.clone()))
+                .cloned();
             self.send(Packet::NsImport {
                 req,
                 site,
                 name,
                 kind,
                 reply_to: self.identity,
+                expect,
             });
         }
         // Failover recovery happens outside the pump loop; hand the
@@ -144,11 +172,13 @@ impl NetPort for RtPort {
     }
 
     fn register(&mut self, name: &str, value: WireWord) {
+        let stamp = self.interface.exports.get(name).cloned();
         self.send(Packet::NsRegister {
             from_site: self.identity.site,
             site_lexeme: self.lexeme.clone(),
             name: name.to_string(),
             value,
+            stamp,
         });
     }
 
@@ -160,12 +190,18 @@ impl NetPort for RtPort {
         self.next_req += 1;
         let req = self.next_req;
         self.pending.insert(req, key);
+        let expect = self
+            .interface
+            .imports
+            .get(&(site.to_string(), name.to_string()))
+            .cloned();
         self.send(Packet::NsImport {
             req,
             site: site.to_string(),
             name: name.to_string(),
             kind,
             reply_to: self.identity,
+            expect,
         });
         ImportReply::Pending(req)
     }

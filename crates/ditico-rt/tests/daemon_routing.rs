@@ -130,6 +130,7 @@ fn ns_register_then_import_answers_locally() {
                 site_lexeme: "local".into(),
                 name: "p".into(),
                 value: value.clone(),
+                stamp: None,
             },
         ))
         .unwrap();
@@ -145,6 +146,7 @@ fn ns_register_then_import_answers_locally() {
                     site: SiteId(0),
                     node: NodeId(0),
                 },
+                expect: None,
             },
         ))
         .unwrap();
@@ -178,6 +180,7 @@ fn conservation_accounting_balances() {
                     site: SiteId(0),
                     node: NodeId(0),
                 }),
+                stamp: None,
             },
         ))
         .unwrap();
@@ -193,6 +196,7 @@ fn conservation_accounting_balances() {
                     site: SiteId(0),
                     node: NodeId(0),
                 },
+                expect: None,
             },
         ))
         .unwrap();

@@ -50,13 +50,21 @@ impl Bytes {
     /// A sub-view sharing the same allocation.
     pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
         assert!(range.start <= range.end && self.start + range.end <= self.end);
-        Bytes { data: self.data.clone(), start: self.start + range.start, end: self.start + range.end }
+        Bytes {
+            data: self.data.clone(),
+            start: self.start + range.start,
+            end: self.start + range.end,
+        }
     }
 
     /// Split off the first `at` bytes into a new `Bytes`, advancing self.
     pub fn split_to(&mut self, at: usize) -> Bytes {
         assert!(at <= self.len());
-        let head = Bytes { data: self.data.clone(), start: self.start, end: self.start + at };
+        let head = Bytes {
+            data: self.data.clone(),
+            start: self.start,
+            end: self.start + at,
+        };
         self.start += at;
         head
     }
@@ -65,7 +73,11 @@ impl Bytes {
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Bytes {
         let end = v.len();
-        Bytes { data: Arc::new(v), start: 0, end }
+        Bytes {
+            data: Arc::new(v),
+            start: 0,
+            end,
+        }
     }
 }
 
@@ -143,7 +155,9 @@ impl BytesMut {
     }
 
     pub fn with_capacity(cap: usize) -> BytesMut {
-        BytesMut { vec: Vec::with_capacity(cap) }
+        BytesMut {
+            vec: Vec::with_capacity(cap),
+        }
     }
 
     pub fn len(&self) -> usize {

@@ -30,7 +30,10 @@ pub struct BenchmarkId {
 
 impl BenchmarkId {
     pub fn new<F: fmt::Display, P: fmt::Display>(function: F, parameter: P) -> BenchmarkId {
-        BenchmarkId { function: function.to_string(), parameter: parameter.to_string() }
+        BenchmarkId {
+            function: function.to_string(),
+            parameter: parameter.to_string(),
+        }
     }
 
     fn render(&self) -> String {
@@ -44,13 +47,19 @@ impl BenchmarkId {
 
 impl From<&str> for BenchmarkId {
     fn from(s: &str) -> BenchmarkId {
-        BenchmarkId { function: s.to_string(), parameter: String::new() }
+        BenchmarkId {
+            function: s.to_string(),
+            parameter: String::new(),
+        }
     }
 }
 
 impl From<String> for BenchmarkId {
     fn from(s: String) -> BenchmarkId {
-        BenchmarkId { function: s, parameter: String::new() }
+        BenchmarkId {
+            function: s,
+            parameter: String::new(),
+        }
     }
 }
 
@@ -94,7 +103,11 @@ fn fmt_time(ns: f64) -> String {
 }
 
 fn report(group: &str, name: &str, mean_ns: f64, throughput: Option<Throughput>) {
-    let label = if group.is_empty() { name.to_string() } else { format!("{group}/{name}") };
+    let label = if group.is_empty() {
+        name.to_string()
+    } else {
+        format!("{group}/{name}")
+    };
     let extra = match throughput {
         Some(Throughput::Elements(n)) => {
             let per_sec = n as f64 / (mean_ns / 1e9);
@@ -163,7 +176,11 @@ pub struct Criterion {}
 
 impl Criterion {
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { _c: self, name: name.into(), throughput: None }
+        BenchmarkGroup {
+            _c: self,
+            name: name.into(),
+            throughput: None,
+        }
     }
 
     pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self

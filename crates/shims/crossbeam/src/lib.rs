@@ -91,7 +91,12 @@ pub mod channel {
             senders: AtomicUsize::new(1),
             receivers: AtomicUsize::new(1),
         });
-        (Sender { inner: inner.clone() }, Receiver { inner })
+        (
+            Sender {
+                inner: inner.clone(),
+            },
+            Receiver { inner },
+        )
     }
 
     impl<T> Sender<T> {
@@ -110,7 +115,10 @@ pub mod channel {
         /// order) and wake a receiver once. Returns the number of items
         /// enqueued, or an error when all receivers are gone (the batch is
         /// dropped, mirroring `send`).
-        pub fn send_iter<I: IntoIterator<Item = T>>(&self, batch: I) -> Result<usize, SendError<()>> {
+        pub fn send_iter<I: IntoIterator<Item = T>>(
+            &self,
+            batch: I,
+        ) -> Result<usize, SendError<()>> {
             if self.inner.receivers.load(Ordering::Acquire) == 0 {
                 return Err(SendError(()));
             }
@@ -126,7 +134,11 @@ pub mod channel {
         }
 
         pub fn len(&self) -> usize {
-            self.inner.queue.lock().unwrap_or_else(|e| e.into_inner()).len()
+            self.inner
+                .queue
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .len()
         }
 
         pub fn is_empty(&self) -> bool {
@@ -137,7 +149,9 @@ pub mod channel {
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Sender<T> {
             self.inner.senders.fetch_add(1, Ordering::AcqRel);
-            Sender { inner: self.inner.clone() }
+            Sender {
+                inner: self.inner.clone(),
+            }
         }
     }
 
@@ -212,7 +226,11 @@ pub mod channel {
         }
 
         pub fn len(&self) -> usize {
-            self.inner.queue.lock().unwrap_or_else(|e| e.into_inner()).len()
+            self.inner
+                .queue
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .len()
         }
 
         pub fn is_empty(&self) -> bool {
@@ -233,7 +251,9 @@ pub mod channel {
     impl<T> Clone for Receiver<T> {
         fn clone(&self) -> Receiver<T> {
             self.inner.receivers.fetch_add(1, Ordering::AcqRel);
-            Receiver { inner: self.inner.clone() }
+            Receiver {
+                inner: self.inner.clone(),
+            }
         }
     }
 

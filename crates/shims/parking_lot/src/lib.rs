@@ -20,7 +20,9 @@ pub struct MutexGuard<'a, T: ?Sized> {
 
 impl<T> Mutex<T> {
     pub const fn new(v: T) -> Mutex<T> {
-        Mutex { inner: std::sync::Mutex::new(v) }
+        Mutex {
+            inner: std::sync::Mutex::new(v),
+        }
     }
 
     pub fn into_inner(self) -> T {
@@ -30,15 +32,17 @@ impl<T> Mutex<T> {
 
 impl<T: ?Sized> Mutex<T> {
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        MutexGuard { inner: Some(self.inner.lock().unwrap_or_else(|e| e.into_inner())) }
+        MutexGuard {
+            inner: Some(self.inner.lock().unwrap_or_else(|e| e.into_inner())),
+        }
     }
 
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
         match self.inner.try_lock() {
             Ok(g) => Some(MutexGuard { inner: Some(g) }),
-            Err(std::sync::TryLockError::Poisoned(e)) => {
-                Some(MutexGuard { inner: Some(e.into_inner()) })
-            }
+            Err(std::sync::TryLockError::Poisoned(e)) => Some(MutexGuard {
+                inner: Some(e.into_inner()),
+            }),
             Err(std::sync::TryLockError::WouldBlock) => None,
         }
     }
@@ -94,7 +98,9 @@ pub struct Condvar {
 
 impl Condvar {
     pub const fn new() -> Condvar {
-        Condvar { inner: std::sync::Condvar::new() }
+        Condvar {
+            inner: std::sync::Condvar::new(),
+        }
     }
 
     pub fn notify_one(&self) {
@@ -117,9 +123,14 @@ impl Condvar {
         timeout: Duration,
     ) -> WaitTimeoutResult {
         let g = guard.inner.take().expect("guard present");
-        let (g, r) = self.inner.wait_timeout(g, timeout).unwrap_or_else(|e| e.into_inner());
+        let (g, r) = self
+            .inner
+            .wait_timeout(g, timeout)
+            .unwrap_or_else(|e| e.into_inner());
         guard.inner = Some(g);
-        WaitTimeoutResult { timed_out: r.timed_out() }
+        WaitTimeoutResult {
+            timed_out: r.timed_out(),
+        }
     }
 }
 
@@ -132,7 +143,9 @@ pub struct RwLockWriteGuard<'a, T: ?Sized>(std::sync::RwLockWriteGuard<'a, T>);
 
 impl<T> RwLock<T> {
     pub const fn new(v: T) -> RwLock<T> {
-        RwLock { inner: std::sync::RwLock::new(v) }
+        RwLock {
+            inner: std::sync::RwLock::new(v),
+        }
     }
 }
 

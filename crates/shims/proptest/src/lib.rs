@@ -124,7 +124,11 @@ pub mod strategy {
             Self: Sized,
             P: Fn(&Self::Value) -> bool,
         {
-            Filter { inner: self, reason, pred }
+            Filter {
+                inner: self,
+                reason,
+                pred,
+            }
         }
 
         /// Eagerly unrolled recursion: `depth` levels, each a uniform
@@ -155,7 +159,9 @@ pub mod strategy {
         where
             Self: Sized + 'static,
         {
-            BoxedStrategy { inner: Arc::new(self) }
+            BoxedStrategy {
+                inner: Arc::new(self),
+            }
         }
     }
 
@@ -176,7 +182,9 @@ pub mod strategy {
 
     impl<T> Clone for BoxedStrategy<T> {
         fn clone(&self) -> BoxedStrategy<T> {
-            BoxedStrategy { inner: self.inner.clone() }
+            BoxedStrategy {
+                inner: self.inner.clone(),
+            }
         }
     }
 
@@ -247,14 +255,19 @@ pub mod strategy {
 
     impl<T> Union<T> {
         pub fn new(options: Vec<BoxedStrategy<T>>) -> Union<T> {
-            assert!(!options.is_empty(), "prop_oneof! needs at least one alternative");
+            assert!(
+                !options.is_empty(),
+                "prop_oneof! needs at least one alternative"
+            );
             Union { options }
         }
     }
 
     impl<T> Clone for Union<T> {
         fn clone(&self) -> Union<T> {
-            Union { options: self.options.clone() }
+            Union {
+                options: self.options.clone(),
+            }
         }
     }
 
@@ -363,7 +376,9 @@ pub mod arbitrary {
 
     impl<T> Clone for AnyStrategy<T> {
         fn clone(&self) -> AnyStrategy<T> {
-            AnyStrategy { _marker: PhantomData }
+            AnyStrategy {
+                _marker: PhantomData,
+            }
         }
     }
 
@@ -376,7 +391,9 @@ pub mod arbitrary {
 
     /// The full value domain of `T` (uniform over the representation).
     pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
-        AnyStrategy { _marker: PhantomData }
+        AnyStrategy {
+            _marker: PhantomData,
+        }
     }
 }
 
@@ -428,7 +445,10 @@ pub mod collection {
     /// Vectors whose length is drawn from `len` (half-open, as in the
     /// upstream `SizeRange` conversions the tests rely on).
     pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
-        assert!(len.start < len.end, "empty length range for collection::vec");
+        assert!(
+            len.start < len.end,
+            "empty length range for collection::vec"
+        );
         VecStrategy { elem, len }
     }
 }
@@ -605,9 +625,10 @@ macro_rules! prop_assert_ne {
         let left = $left;
         let right = $right;
         if left == right {
-            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
-                format!("assertion failed: `{:?}` != `{:?}`", left, right),
-            ));
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                left, right
+            )));
         }
     }};
 }
@@ -679,7 +700,9 @@ mod tests {
             assert!(s.chars().all(|c| c.is_ascii_lowercase()));
             let t = crate::string::generate_pattern("[ -~&&[^\"\\\\]]{0,8}", &mut rng);
             assert!(t.len() <= 8);
-            assert!(t.chars().all(|c| (' '..='~').contains(&c) && c != '"' && c != '\\'));
+            assert!(t
+                .chars()
+                .all(|c| (' '..='~').contains(&c) && c != '"' && c != '\\'));
         }
     }
 
@@ -714,9 +737,11 @@ mod tests {
                 Tree::Node(cs) => 1 + cs.iter().map(depth).max().unwrap_or(0),
             }
         }
-        let strat = (0i64..100).prop_map(Tree::Leaf).prop_recursive(3, 16, 2, |inner| {
-            crate::collection::vec(inner, 1..3).prop_map(Tree::Node)
-        });
+        let strat = (0i64..100)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 16, 2, |inner| {
+                crate::collection::vec(inner, 1..3).prop_map(Tree::Node)
+            });
         let mut rng = TestRng::from_name("recursion_terminates");
         for _ in 0..200 {
             let t = strat.generate(&mut rng);

@@ -1,0 +1,329 @@
+//! Liveness lint over the calculus: orphan detection for `new`-bound names.
+//!
+//! In a *closed* program (no free names), a `new`-bound channel whose every
+//! occurrence is a message target — and which never escapes as a value and
+//! is never the subject of an object — denotes messages that no object can
+//! ever receive (the COMM rule of §2 can never fire for them). Dually, an
+//! object on a name that is never targeted and never escapes can never be
+//! selected. Both are dead code under the reduction semantics; the lint
+//! reports them with the binder's source span.
+//!
+//! The analysis is deliberately conservative: a name that *escapes* — is
+//! passed as an argument, exported, tested in an expression — may be
+//! aliased by a method parameter somewhere else, so nothing is reported
+//! for it. Located (`site.x`) references and `import`-bound names denote
+//! remote state outside the closed program and are never linted.
+
+use std::collections::HashMap;
+use tyco_syntax::ast::{ClassDef, Expr, Method, NameRef, Proc};
+use tyco_syntax::Span;
+
+/// What a finding says about the name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LintKind {
+    /// Messages are sent on the name but no object ever listens on it and
+    /// it never escapes: the sends can never be consumed.
+    OrphanMessage,
+    /// An object waits on the name but no message ever targets it and it
+    /// never escapes: none of its methods can ever run.
+    OrphanObject,
+}
+
+/// One lint finding: a `new`-bound name with provably dead traffic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Lint {
+    pub kind: LintKind,
+    /// The binder's name.
+    pub name: String,
+    /// The span of the `new` that binds it.
+    pub span: Span,
+}
+
+impl std::fmt::Display for Lint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let at = self.span.start;
+        match self.kind {
+            LintKind::OrphanMessage => write!(
+                f,
+                "{}:{}: messages on `{}` can never be received (no object listens on it and it never escapes)",
+                at.line, at.col, self.name
+            ),
+            LintKind::OrphanObject => write!(
+                f,
+                "{}:{}: object on `{}` can never run (no message targets it and it never escapes)",
+                at.line, at.col, self.name
+            ),
+        }
+    }
+}
+
+/// Usage facts accumulated for one candidate binder.
+#[derive(Debug, Default)]
+struct Usage {
+    sent: bool,
+    received: bool,
+    escaped: bool,
+}
+
+/// The lint driver: binder name → usage slot, with save/restore shadowing.
+/// `None` marks names bound by constructs we cannot track (method and
+/// class parameters, imports, exports) — occurrences of those are ignored.
+#[derive(Default)]
+struct Linter {
+    env: HashMap<String, Option<usize>>,
+    slots: Vec<Usage>,
+    findings: Vec<Lint>,
+}
+
+impl Linter {
+    /// Bind `names` to fresh slots (or to `None` when untrackable), walk
+    /// `body`, then restore the outer bindings.
+    fn scoped(
+        &mut self,
+        names: &[String],
+        trackable: bool,
+        body: impl FnOnce(&mut Self),
+    ) -> Vec<usize> {
+        let mut saved = Vec::with_capacity(names.len());
+        let mut bound = Vec::new();
+        for n in names {
+            let slot = if trackable {
+                self.slots.push(Usage::default());
+                let i = self.slots.len() - 1;
+                bound.push(i);
+                Some(i)
+            } else {
+                None
+            };
+            saved.push((n.clone(), self.env.insert(n.clone(), slot)));
+        }
+        body(self);
+        for (n, old) in saved.into_iter().rev() {
+            match old {
+                Some(o) => {
+                    self.env.insert(n, o);
+                }
+                None => {
+                    self.env.remove(&n);
+                }
+            }
+        }
+        bound
+    }
+
+    fn mark(&mut self, name: &str, f: impl FnOnce(&mut Usage)) {
+        if let Some(Some(i)) = self.env.get(name) {
+            f(&mut self.slots[*i]);
+        }
+    }
+
+    /// Every plain name in an expression escapes as a value.
+    fn escape_expr(&mut self, e: &Expr) {
+        let mut names = std::collections::BTreeSet::new();
+        e.free_names_into(&mut names);
+        for n in names {
+            self.mark(&n, |u| u.escaped = true);
+        }
+    }
+
+    fn walk_methods(&mut self, methods: &[Method]) {
+        for m in methods {
+            self.scoped(&m.params, false, |l| l.walk(&m.body));
+        }
+    }
+
+    fn walk_defs(&mut self, defs: &[ClassDef]) {
+        // Class names live in their own namespace (ClassRef vs NameRef),
+        // so only the value parameters shadow channel bindings.
+        for d in defs {
+            self.scoped(&d.params, false, |l| l.walk(&d.body));
+        }
+    }
+
+    fn walk(&mut self, p: &Proc) {
+        match p {
+            Proc::Nil => {}
+            Proc::Par(ps) => {
+                for q in ps {
+                    self.walk(q);
+                }
+            }
+            Proc::New {
+                binders,
+                body,
+                span,
+            } => {
+                let bound = self.scoped(binders, true, |l| l.walk(body));
+                for (name, slot) in binders.iter().zip(bound) {
+                    let u = &self.slots[slot];
+                    if u.escaped {
+                        continue;
+                    }
+                    let kind = match (u.sent, u.received) {
+                        (true, false) => LintKind::OrphanMessage,
+                        (false, true) => LintKind::OrphanObject,
+                        _ => continue,
+                    };
+                    self.findings.push(Lint {
+                        kind,
+                        name: name.clone(),
+                        span: *span,
+                    });
+                }
+            }
+            Proc::Msg { target, args, .. } => {
+                if let NameRef::Plain(x) = target {
+                    self.mark(x, |u| u.sent = true);
+                }
+                for a in args {
+                    self.escape_expr(a);
+                }
+            }
+            Proc::Obj {
+                target, methods, ..
+            } => {
+                if let NameRef::Plain(x) = target {
+                    self.mark(x, |u| u.received = true);
+                }
+                self.walk_methods(methods);
+            }
+            Proc::Inst { args, .. } => {
+                for a in args {
+                    self.escape_expr(a);
+                }
+            }
+            Proc::Def { defs, body, .. } | Proc::ExportDef { defs, body, .. } => {
+                self.walk_defs(defs);
+                self.walk(body);
+            }
+            // Exported names are visible to other sites: everything about
+            // them is reachable from outside the closed program.
+            Proc::ExportNew { binders, body, .. } => {
+                self.scoped(binders, false, |l| l.walk(body));
+            }
+            Proc::ImportName { name, body, .. } => {
+                self.scoped(std::slice::from_ref(name), false, |l| l.walk(body));
+            }
+            Proc::ImportClass { body, .. } => self.walk(body),
+            Proc::If {
+                cond,
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                self.escape_expr(cond);
+                self.walk(then_branch);
+                self.walk(else_branch);
+            }
+            Proc::Print { args, .. } => {
+                for a in args {
+                    self.escape_expr(a);
+                }
+            }
+            Proc::Let {
+                binder,
+                target,
+                args,
+                body,
+                ..
+            } => {
+                // `let z = a!l[ẽ] in P` desugars to a send on `a` plus a
+                // fresh reply channel `z` that provably communicates.
+                if let NameRef::Plain(x) = target {
+                    self.mark(x, |u| u.sent = true);
+                }
+                for a in args {
+                    self.escape_expr(a);
+                }
+                self.scoped(std::slice::from_ref(binder), false, |l| l.walk(body));
+            }
+        }
+    }
+}
+
+/// Lint a closed process. Findings are ordered innermost-first (the order
+/// scopes close during the walk).
+pub fn lint(p: &Proc) -> Vec<Lint> {
+    let mut l = Linter::default();
+    l.walk(p);
+    l.findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tyco_syntax::parse_core;
+
+    fn lint_src(src: &str) -> Vec<Lint> {
+        lint(&parse_core(src).expect("parses"))
+    }
+
+    #[test]
+    fn communicating_pair_is_clean() {
+        assert!(lint_src("new x (x!go[1] | x?{ go(n) = print(n) })").is_empty());
+    }
+
+    #[test]
+    fn orphan_message_is_flagged() {
+        let l = lint_src("new x x!go[1]");
+        assert_eq!(l.len(), 1);
+        assert_eq!(l[0].kind, LintKind::OrphanMessage);
+        assert_eq!(l[0].name, "x");
+    }
+
+    #[test]
+    fn orphan_object_is_flagged() {
+        let l = lint_src("new sink (sink?{ go() = 0 } | print(1))");
+        assert_eq!(l.len(), 1);
+        assert_eq!(l[0].kind, LintKind::OrphanObject);
+        assert_eq!(l[0].name, "sink");
+    }
+
+    #[test]
+    fn escaping_name_is_not_flagged() {
+        // `r` is only ever sent on, but it escapes as an argument: the
+        // receiver may answer on it.
+        assert!(lint_src(
+            "new x new r (x!ask[r] | x?{ ask(reply) = reply![1] } | r?(v) = print(v))"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn exported_names_are_never_orphans() {
+        assert!(lint_src("export new p in p?{ go(n) = print(n) }").is_empty());
+    }
+
+    #[test]
+    fn imported_names_are_not_linted() {
+        assert!(lint_src("import p from server in p!go[1]").is_empty());
+    }
+
+    #[test]
+    fn shadowing_resolves_to_the_inner_binder() {
+        // The inner `x` communicates; the outer `x` only receives and is
+        // an orphan object.
+        let l = lint_src("new x (x?{ go() = 0 } | new x (x!go[] | x?{ go() = print(1) }))");
+        assert_eq!(l.len(), 1);
+        assert_eq!(l[0].kind, LintKind::OrphanObject);
+    }
+
+    #[test]
+    fn capture_inside_class_body_counts() {
+        // `c` is received on inside the class body and sent on outside.
+        assert!(lint_src("new c def K() = c?{ go(n) = print(n) } in (K[] | c!go[7])").is_empty());
+    }
+
+    #[test]
+    fn unused_binder_is_not_reported() {
+        assert!(lint_src("new x print(1)").is_empty());
+    }
+
+    #[test]
+    fn let_sugar_counts_as_send() {
+        let l = lint_src("new a let z = a!ask[] in print(z)");
+        assert_eq!(l.len(), 1);
+        assert_eq!(l[0].kind, LintKind::OrphanMessage);
+        assert_eq!(l[0].name, "a");
+    }
+}

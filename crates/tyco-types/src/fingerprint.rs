@@ -79,6 +79,136 @@ pub fn fingerprint(t: &Type) -> u64 {
     fnv1a(canonical(t).as_bytes())
 }
 
+/// Parse a [`canonical`] rendering back into a [`Type`].
+///
+/// Export records cross the wire as (fingerprint, canonical string) pairs;
+/// when the fast fingerprint-equality test fails, the name service
+/// re-parses both sides with this function and falls back to the
+/// structural [`compatible`] check — open rows mean two perfectly
+/// compatible protocols rarely hash equal. Returns `None` on any input
+/// `canonical` cannot have produced.
+pub fn parse_canonical(s: &str) -> Option<Type> {
+    let mut p = CanonParser { s, i: 0 };
+    let t = p.ty()?;
+    if p.i == s.len() {
+        Some(t)
+    } else {
+        None
+    }
+}
+
+struct CanonParser<'a> {
+    s: &'a str,
+    i: usize,
+}
+
+impl CanonParser<'_> {
+    fn eat(&mut self, w: &str) -> bool {
+        if self.s[self.i..].starts_with(w) {
+            self.i += w.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn number(&mut self) -> Option<u32> {
+        let start = self.i;
+        while self
+            .s
+            .as_bytes()
+            .get(self.i)
+            .is_some_and(u8::is_ascii_digit)
+        {
+            self.i += 1;
+        }
+        if self.i == start {
+            None
+        } else {
+            self.s[start..self.i].parse().ok()
+        }
+    }
+
+    /// Read the closing `|r<id>}` / `}` of a row, after its last field.
+    fn row_end(&mut self) -> Option<Option<RvId>> {
+        if self.eat("|r") {
+            let id = self.number()?;
+            if self.eat("}") {
+                Some(Some(RvId(id)))
+            } else {
+                None
+            }
+        } else if self.eat("}") {
+            Some(None)
+        } else {
+            None
+        }
+    }
+
+    fn ty(&mut self) -> Option<Type> {
+        if self.eat("unit") {
+            return Some(Type::Unit);
+        }
+        if self.eat("int") {
+            return Some(Type::Int);
+        }
+        if self.eat("bool") {
+            return Some(Type::Bool);
+        }
+        if self.eat("string") {
+            return Some(Type::Str);
+        }
+        if self.eat("float") {
+            return Some(Type::Float);
+        }
+        if self.eat("t") {
+            return Some(Type::Var(TvId(self.number()?)));
+        }
+        if !self.eat("^{") {
+            return None;
+        }
+        let mut fields = std::collections::BTreeMap::new();
+        if self.s[self.i..].starts_with('}') || self.s[self.i..].starts_with('|') {
+            let rest = self.row_end()?;
+            return Some(Type::Chan(Row { fields, rest }));
+        }
+        loop {
+            // Label: everything up to the argument list's `(`.
+            let start = self.i;
+            while self
+                .s
+                .as_bytes()
+                .get(self.i)
+                .is_some_and(|c| !matches!(c, b'(' | b')' | b',' | b'|' | b'{' | b'}'))
+            {
+                self.i += 1;
+            }
+            if self.i == start || !self.eat("(") {
+                return None;
+            }
+            let label = self.s[start..self.i - 1].to_string();
+            let mut args = Vec::new();
+            if !self.eat(")") {
+                loop {
+                    args.push(self.ty()?);
+                    if self.eat(")") {
+                        break;
+                    }
+                    if !self.eat(",") {
+                        return None;
+                    }
+                }
+            }
+            fields.insert(label, args);
+            if self.eat(",") {
+                continue;
+            }
+            let rest = self.row_end()?;
+            return Some(Type::Chan(Row { fields, rest }));
+        }
+    }
+}
+
 /// FNV-1a hash (public for reuse on other wire-level identities).
 pub fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
@@ -231,5 +361,43 @@ mod tests {
     fn fnv_known_vector() {
         // FNV-1a of empty input is the offset basis.
         assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+    }
+
+    #[test]
+    fn parse_canonical_round_trips() {
+        let cases = [
+            Type::Unit,
+            Type::Int,
+            Type::Bool,
+            Type::Str,
+            Type::Float,
+            Type::Var(TvId(3)),
+            chan(vec![], None),
+            chan(vec![], Some(RvId(0))),
+            chan(
+                vec![
+                    ("read", vec![Type::val_chan(vec![Type::Int])]),
+                    ("write", vec![Type::Int, Type::Bool]),
+                ],
+                Some(RvId(2)),
+            ),
+            chan(vec![("go", vec![Type::Var(TvId(1))])], None),
+        ];
+        for t in cases {
+            let c = canonical(&t);
+            let back = parse_canonical(&c).unwrap_or_else(|| panic!("parses: {c}"));
+            // α-renaming makes structural equality too strict; the
+            // canonical rendering itself is the identity to preserve.
+            assert_eq!(canonical(&back), c);
+        }
+    }
+
+    #[test]
+    fn parse_canonical_rejects_garbage() {
+        for s in [
+            "", "in", "intx", "^{", "^{l(}", "^{l()|r}", "^{l()}}", "t", "nope",
+        ] {
+            assert!(parse_canonical(s).is_none(), "{s:?} must not parse");
+        }
     }
 }

@@ -17,7 +17,7 @@ pub mod infer;
 pub mod types;
 pub mod unify;
 
-pub use fingerprint::{canonical, compatible, fingerprint};
+pub use fingerprint::{canonical, compatible, fingerprint, parse_canonical};
 pub use infer::{check, ImportKind, TypeSummary};
 pub use types::{Label, Row, RvId, Scheme, TvId, Type};
 pub use unify::{TypeError, Unifier};

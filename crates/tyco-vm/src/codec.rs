@@ -32,6 +32,19 @@ fn err<T>(msg: impl Into<String>) -> R<T> {
     Err(CodecError(msg.into()))
 }
 
+/// A hash of an exported identifier's canonical type, shipped alongside
+/// name-service traffic so the importer can be refused *at bind time* when
+/// the two sites disagree about a protocol (§7: static checks across
+/// sites). The canonical string rides along so that a fingerprint miss can
+/// fall back to a structural compatibility check (open rows widen).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TypeStamp {
+    /// FNV-1a hash of `canonical`.
+    pub fingerprint: u64,
+    /// The α-renamed canonical form of the type (see `tyco_types::canonical`).
+    pub canonical: String,
+}
+
 /// Everything a TyCOd daemon routes between nodes.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Packet {
@@ -62,6 +75,8 @@ pub enum Packet {
         site_lexeme: String,
         name: String,
         value: WireWord,
+        /// Type stamp of the export; `None` for untyped registrations.
+        stamp: Option<TypeStamp>,
     },
     /// Name-service lookup.
     NsImport {
@@ -70,6 +85,9 @@ pub enum Packet {
         name: String,
         kind: ImportKind,
         reply_to: Identity,
+        /// What the importer expects the name's type to be; `None` skips
+        /// the bind-time compatibility check.
+        expect: Option<TypeStamp>,
     },
     /// Name-service answer.
     NsImportReply {
@@ -111,6 +129,38 @@ fn get_str(buf: &mut Bytes) -> R<String> {
         .to_owned();
     buf.advance(n);
     Ok(s)
+}
+
+fn put_stamp(buf: &mut BytesMut, s: &Option<TypeStamp>) {
+    match s {
+        None => buf.put_u8(0),
+        Some(t) => {
+            buf.put_u8(1);
+            buf.put_u64_le(t.fingerprint);
+            put_str(buf, &t.canonical);
+        }
+    }
+}
+
+fn get_stamp(buf: &mut Bytes) -> R<Option<TypeStamp>> {
+    if !buf.has_remaining() {
+        return err("truncated stamp flag");
+    }
+    match buf.get_u8() {
+        0 => Ok(None),
+        1 => {
+            if buf.remaining() < 8 {
+                return err("truncated stamp fingerprint");
+            }
+            let fingerprint = buf.get_u64_le();
+            let canonical = get_str(buf)?;
+            Ok(Some(TypeStamp {
+                fingerprint,
+                canonical,
+            }))
+        }
+        f => err(format!("bad stamp flag {f}")),
+    }
 }
 
 fn put_netref(buf: &mut BytesMut, r: &NetRef) {
@@ -673,12 +723,14 @@ pub fn encode_into(p: &Packet, buf: &mut BytesMut) {
             site_lexeme,
             name,
             value,
+            stamp,
         } => {
             buf.put_u8(4);
             buf.put_u32_le(from_site.0);
             put_str(buf, site_lexeme);
             put_str(buf, name);
             put_word(buf, value);
+            put_stamp(buf, stamp);
         }
         Packet::NsImport {
             req,
@@ -686,6 +738,7 @@ pub fn encode_into(p: &Packet, buf: &mut BytesMut) {
             name,
             kind,
             reply_to,
+            expect,
         } => {
             buf.put_u8(5);
             buf.put_u64_le(*req);
@@ -693,6 +746,7 @@ pub fn encode_into(p: &Packet, buf: &mut BytesMut) {
             put_str(buf, name);
             buf.put_u8(matches!(kind, ImportKind::Class) as u8);
             put_identity(buf, reply_to);
+            put_stamp(buf, expect);
         }
         Packet::NsImportReply { to, req, result } => {
             buf.put_u8(6);
@@ -812,11 +866,13 @@ pub fn decode(mut buf: Bytes) -> R<Packet> {
             let site_lexeme = get_str(&mut buf)?;
             let name = get_str(&mut buf)?;
             let value = get_word(&mut buf)?;
+            let stamp = get_stamp(&mut buf)?;
             Packet::NsRegister {
                 from_site,
                 site_lexeme,
                 name,
                 value,
+                stamp,
             }
         }
         5 => {
@@ -835,12 +891,14 @@ pub fn decode(mut buf: Bytes) -> R<Packet> {
                 ImportKind::Name
             };
             let reply_to = get_identity(&mut buf)?;
+            let expect = get_stamp(&mut buf)?;
             Packet::NsImport {
                 req,
                 site,
                 name,
                 kind,
                 reply_to,
+                expect,
             }
         }
         6 => {
@@ -986,6 +1044,17 @@ mod tests {
             site_lexeme: "server".into(),
             name: "appletserver".into(),
             value: WireWord::Chan(nref(0)),
+            stamp: None,
+        });
+        roundtrip(Packet::NsRegister {
+            from_site: SiteId(2),
+            site_lexeme: "server".into(),
+            name: "appletserver".into(),
+            value: WireWord::Chan(nref(0)),
+            stamp: Some(TypeStamp {
+                fingerprint: 0xdeadbeef,
+                canonical: "^{val(int)|r0}".into(),
+            }),
         });
         roundtrip(Packet::NsImport {
             req: 5,
@@ -996,6 +1065,21 @@ mod tests {
                 site: SiteId(9),
                 node: NodeId(2),
             },
+            expect: None,
+        });
+        roundtrip(Packet::NsImport {
+            req: 5,
+            site: "server".into(),
+            name: "p".into(),
+            kind: ImportKind::Class,
+            reply_to: Identity {
+                site: SiteId(9),
+                node: NodeId(2),
+            },
+            expect: Some(TypeStamp {
+                fingerprint: 1,
+                canonical: "^{val(bool)}".into(),
+            }),
         });
         roundtrip(Packet::NsImportReply {
             to: Identity {

@@ -85,6 +85,13 @@ pub fn from_bytes(mut bytes: Bytes) -> Result<Program, CodecError> {
             prog.entry
         )));
     }
+    // Static gate: a decoded image is untrusted until the verifier has
+    // walked every block (referential integrity, stack simulation, frame
+    // windows). See `verify.rs`.
+    if !prog.blocks.is_empty() {
+        crate::verify::verify_program(&prog)
+            .map_err(|e| CodecError(format!("image failed verification: {e}")))?;
+    }
     Ok(prog)
 }
 

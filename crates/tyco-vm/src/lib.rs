@@ -25,10 +25,12 @@ pub mod machine;
 pub mod port;
 pub mod program;
 pub mod stats;
+pub mod verify;
 pub mod wire;
 pub mod word;
 
 pub use asm::{emit as emit_asm, parse as parse_asm, AsmError};
+pub use codec::TypeStamp;
 pub use compile::{compile, disassemble, CompileError};
 pub use image::{from_bytes as image_from_bytes, to_bytes as image_to_bytes};
 pub use machine::{binop, unop, Machine, QueuePolicy, SliceStatus, VmError};
@@ -37,5 +39,6 @@ pub use program::{
     Block, BlockId, ImportKind, Instr, LabelId, MethodTable, Pool, Program, StrId, TableId,
 };
 pub use stats::{ExecStats, Histogram};
+pub use verify::{verify_program, verify_wire, VerifyError};
 pub use wire::{link, pack, LinkMap, Packed, WireCode, WireGroup, WireObj, WireWord};
 pub use word::{ChanRef, ClassRefW, Identity, NetRef, NodeId, SiteId, Word};

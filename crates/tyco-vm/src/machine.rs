@@ -48,6 +48,9 @@ pub enum VmError {
     /// Frame slot 0 of a class body did not hold a class word.
     CorruptClassFrame,
     StackUnderflow,
+    /// An incoming code image failed static verification and was refused
+    /// before linking (SHIPO / FETCH receive path).
+    CodeRejected(String),
 }
 
 impl fmt::Display for VmError {
@@ -68,11 +71,18 @@ impl fmt::Display for VmError {
             VmError::BadHeapId(id) => write!(f, "unknown heap id {id}"),
             VmError::CorruptClassFrame => write!(f, "corrupt class frame"),
             VmError::StackUnderflow => write!(f, "operand stack underflow"),
+            VmError::CodeRejected(e) => write!(f, "mobile code rejected by verifier: {e}"),
         }
     }
 }
 
 impl std::error::Error for VmError {}
+
+/// Map a static-verification failure on an incoming image to the typed
+/// runtime refusal.
+fn reject_incoming_code(e: crate::verify::VerifyError) -> VmError {
+    VmError::CodeRejected(e.to_string())
+}
 
 /// A message parked in a channel.
 #[derive(Debug, Clone)]
@@ -892,8 +902,12 @@ impl<P: NetPort> Machine<P> {
     }
 
     fn link_group(&mut self, group: &WireGroup, index: u8) -> Result<ClassRefW, VmError> {
-        let lm: LinkMap = wire::link(&mut self.program, &group.code);
-        let table = lm.tables[group.table as usize];
+        let lm: LinkMap =
+            wire::link(&mut self.program, &group.code).map_err(reject_incoming_code)?;
+        let table = *lm
+            .tables
+            .get(group.table as usize)
+            .ok_or_else(|| VmError::CodeRejected(format!("group table {} dangles", group.table)))?;
         let captured: Vec<Word> = group
             .captured
             .iter()
@@ -978,8 +992,11 @@ impl<P: NetPort> Machine<P> {
                         .exports
                         .resolve_chan(dest)
                         .ok_or(VmError::BadHeapId(dest))?;
-                    let lm = wire::link(&mut self.program, &obj.code);
-                    let table = lm.tables[obj.table as usize];
+                    let lm =
+                        wire::link(&mut self.program, &obj.code).map_err(reject_incoming_code)?;
+                    let table = *lm.tables.get(obj.table as usize).ok_or_else(|| {
+                        VmError::CodeRejected(format!("object table {} dangles", obj.table))
+                    })?;
                     let captured: Vec<Word> = obj
                         .captured
                         .into_iter()

@@ -1,0 +1,998 @@
+//! Static byte-code verifier: abstract interpretation of code images
+//! *before* they are linked into a program area.
+//!
+//! DiTyCO ships emulated byte-code between sites (SHIPO / FETCH, §5 of the
+//! paper) and dynamically links it into the receiver's program area. A
+//! corrupt or adversarial packet could therefore make the emulator index
+//! out of bounds or misinterpret a heap word. This module is the static
+//! gate: every [`WireCode`] bundle (and every whole [`Program`] image) is
+//! checked once, after decode and before link, so the dispatch loop in
+//! `machine.rs` never has to re-validate ids or stack depths.
+//!
+//! The design follows the JVM-verifier shape, specialised to the TyCO
+//! instruction set:
+//!
+//! * **Referential integrity** — every block, method-table, label and
+//!   string id referenced by an instruction or a table entry indexes into
+//!   the image's own vectors.
+//! * **Register-window bounds** — every frame slot access (`pushloc`,
+//!   `store`, `newc`, `mkgroup`, `export*`, `import`) stays inside the
+//!   block's declared frame (`frame_size()`).
+//! * **Operand-stack simulation** — per block, a worklist pass computes
+//!   the stack depth and an abstract word kind (`unit`, `int`, `bool`,
+//!   `float`, `str`, `chan`, `class`/code-ref, or `⊤`) for every program
+//!   point. Underflow, depth disagreement at join points, and *provable*
+//!   kind misuse (e.g. `instof` on an integer) are rejected.
+//! * **Frame-layout consistency** — a `fork` target must expect exactly
+//!   the captured words the spawner pushes; method-table entries reached
+//!   by `trobj` must be plain method bodies with matching capture counts;
+//!   `mkgroup` tables must contain class bodies (slot 0 holds the
+//!   self-class word).
+//!
+//! Kind checking is deliberately *lenient where the emulator is already
+//! safe*: the machine raises clean `VmError`s for dynamically-detected
+//! type confusion (`NotAChannel`, `BadOperands`, …), so the verifier only
+//! rejects kind errors it can prove, and never rejects any image the
+//! compiler produces from a well-typed source (the soundness property
+//! tested in `tests/verify_props.rs`).
+
+use crate::program::{Block, Pool, Program};
+use crate::wire::WireCode;
+use crate::Instr;
+use std::fmt;
+
+/// A static well-formedness violation found in a code image.
+///
+/// Every variant carries enough context (block index, program counter) to
+/// point at the offending instruction of the *image*, i.e. packet-relative
+/// ids for [`verify_wire`] and program ids for [`verify_program`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// The program's entry block is missing or expects captures/params.
+    BadEntry(String),
+    /// An instruction references an id outside the image (`what` is one of
+    /// `"block"`, `"table"`, `"label"`, `"string"`).
+    BadRef {
+        block: u32,
+        pc: u32,
+        what: &'static str,
+        id: u32,
+        limit: u32,
+    },
+    /// A frame-slot access outside the block's register window.
+    BadSlot {
+        block: u32,
+        pc: u32,
+        slot: u32,
+        frame: u32,
+    },
+    /// The operand stack would underflow.
+    Underflow {
+        block: u32,
+        pc: u32,
+        need: u32,
+        have: u32,
+    },
+    /// Two control-flow paths reach the same point with different depths.
+    DepthMismatch { block: u32, pc: u32, a: u32, b: u32 },
+    /// A provable abstract-kind misuse (e.g. `instof` on an int).
+    KindMismatch {
+        block: u32,
+        pc: u32,
+        expected: &'static str,
+        found: &'static str,
+    },
+    /// A jump target outside the block (`target == len` is the legal
+    /// fall-off-the-end halt).
+    BadJump {
+        block: u32,
+        pc: u32,
+        target: u32,
+        len: u32,
+    },
+    /// A closure-layout disagreement between a spawn site and its target
+    /// block (fork capture count, class-body flag, …).
+    FrameLayout { block: u32, pc: u32, detail: String },
+    /// A method table entry with an out-of-range label or block id.
+    BadTable { table: u32, detail: String },
+    /// The same label (method or class id) registered twice in one table:
+    /// linking would silently shadow the earlier block.
+    DuplicateMethod { table: u32, label: String },
+    /// `pushsib` outside a class body (slot 0 holds no class word there).
+    SiblingOutsideClass { block: u32, pc: u32 },
+    /// A block declares a register window larger than [`MAX_FRAME`]: a
+    /// mobile image must not be able to demand an arbitrarily large
+    /// allocation per activation.
+    FrameTooLarge { block: u32, size: u32, limit: u32 },
+}
+
+/// Resource bound on a block's register window (`nfree + nparams +
+/// nlocals`, plus the self-class slot). The compiler emits frames of at
+/// most a few dozen slots; a fetched image declaring more is either
+/// corrupt or a memory bomb — every instantiation would allocate the
+/// declared size up front.
+pub const MAX_FRAME: u32 = 4096;
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::BadEntry(d) => write!(f, "bad entry block: {d}"),
+            VerifyError::BadRef {
+                block,
+                pc,
+                what,
+                id,
+                limit,
+            } => write!(
+                f,
+                "block {block} pc {pc}: {what} id {id} out of range (< {limit})"
+            ),
+            VerifyError::BadSlot {
+                block,
+                pc,
+                slot,
+                frame,
+            } => write!(
+                f,
+                "block {block} pc {pc}: frame slot {slot} outside window (frame size {frame})"
+            ),
+            VerifyError::Underflow {
+                block,
+                pc,
+                need,
+                have,
+            } => write!(
+                f,
+                "block {block} pc {pc}: operand stack underflow (need {need}, have {have})"
+            ),
+            VerifyError::DepthMismatch { block, pc, a, b } => write!(
+                f,
+                "block {block} pc {pc}: inconsistent stack depth at join ({a} vs {b})"
+            ),
+            VerifyError::KindMismatch {
+                block,
+                pc,
+                expected,
+                found,
+            } => write!(
+                f,
+                "block {block} pc {pc}: expected {expected} on stack, found {found}"
+            ),
+            VerifyError::BadJump {
+                block,
+                pc,
+                target,
+                len,
+            } => write!(
+                f,
+                "block {block} pc {pc}: jump target {target} outside block (len {len})"
+            ),
+            VerifyError::FrameLayout { block, pc, detail } => {
+                write!(f, "block {block} pc {pc}: frame layout mismatch: {detail}")
+            }
+            VerifyError::BadTable { table, detail } => {
+                write!(f, "method table {table}: {detail}")
+            }
+            VerifyError::DuplicateMethod { table, label } => write!(
+                f,
+                "method table {table}: duplicate registration for label `{label}`"
+            ),
+            VerifyError::SiblingOutsideClass { block, pc } => {
+                write!(f, "block {block} pc {pc}: pushsib outside a class body")
+            }
+            VerifyError::FrameTooLarge { block, size, limit } => {
+                write!(
+                    f,
+                    "block {block}: frame of {size} slots exceeds the {limit}-slot limit"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Abstract word kind — the verifier's value lattice. `Top` (⊤) is
+/// "any word"; everything else is an exactly-known kind. The paper's
+/// "code-ref" words are `Class` (a class/group reference is the only word
+/// that carries code identity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Top,
+    Unit,
+    Int,
+    Bool,
+    Float,
+    Str,
+    Chan,
+    Class,
+}
+
+impl Kind {
+    fn name(self) -> &'static str {
+        match self {
+            Kind::Top => "any",
+            Kind::Unit => "unit",
+            Kind::Int => "int",
+            Kind::Bool => "bool",
+            Kind::Float => "float",
+            Kind::Str => "string",
+            Kind::Chan => "channel",
+            Kind::Class => "class",
+        }
+    }
+
+    fn join(self, other: Kind) -> Kind {
+        if self == other {
+            self
+        } else {
+            Kind::Top
+        }
+    }
+}
+
+/// Where the image's label names live (for error messages only).
+enum Labels<'a> {
+    Pool(&'a Pool),
+    List(&'a [String]),
+}
+
+impl Labels<'_> {
+    fn name(&self, l: u32) -> String {
+        match self {
+            Labels::Pool(p) => p.get(l).to_string(),
+            Labels::List(v) => v[l as usize].clone(),
+        }
+    }
+}
+
+/// A borrowed, representation-agnostic view of a code image: whole
+/// programs and packet-relative wire bundles verify identically.
+struct View<'a> {
+    blocks: &'a [Block],
+    tables: Vec<&'a [(u32, u32)]>,
+    labels: Labels<'a>,
+    nlabels: u32,
+    nstrings: u32,
+}
+
+impl View<'_> {
+    /// Upper bound on any valid `pushsib` index. A class group's members
+    /// are the entries of one method table from the image that shipped
+    /// the group's code (`MkGroup` locally, `link_group` for fetched
+    /// code), so no sibling index can reach past the image's widest
+    /// table.
+    fn max_sibling(&self) -> u32 {
+        self.tables.iter().map(|t| t.len()).max().unwrap_or(0) as u32
+    }
+}
+
+impl View<'_> {
+    fn check(&self) -> Result<(), VerifyError> {
+        self.check_tables()?;
+        for bi in 0..self.blocks.len() as u32 {
+            self.check_block(bi)?;
+        }
+        Ok(())
+    }
+
+    /// Label-table referential integrity: every entry indexes a real
+    /// label and a real block, and no label is registered twice (method
+    /// dispatch and positional class lookup both take the *first* match,
+    /// so a duplicate would silently shadow the earlier block).
+    fn check_tables(&self) -> Result<(), VerifyError> {
+        for (ti, entries) in self.tables.iter().enumerate() {
+            let mut seen: Vec<u32> = Vec::with_capacity(entries.len());
+            for &(l, b) in entries.iter() {
+                if l >= self.nlabels {
+                    return Err(VerifyError::BadTable {
+                        table: ti as u32,
+                        detail: format!("label id {l} out of range (< {})", self.nlabels),
+                    });
+                }
+                if b as usize >= self.blocks.len() {
+                    return Err(VerifyError::BadTable {
+                        table: ti as u32,
+                        detail: format!("block id {b} out of range (< {})", self.blocks.len()),
+                    });
+                }
+                if seen.contains(&l) {
+                    return Err(VerifyError::DuplicateMethod {
+                        table: ti as u32,
+                        label: self.labels.name(l),
+                    });
+                }
+                seen.push(l);
+            }
+        }
+        Ok(())
+    }
+
+    /// Abstract interpretation of one block: a worklist fixpoint over
+    /// (stack kinds, frame kinds) states at every program point.
+    fn check_block(&self, bi: u32) -> Result<(), VerifyError> {
+        let b = &self.blocks[bi as usize];
+        if b.frame_size() as u32 > MAX_FRAME {
+            return Err(VerifyError::FrameTooLarge {
+                block: bi,
+                size: b.frame_size() as u32,
+                limit: MAX_FRAME,
+            });
+        }
+        let len = b.code.len() as u32;
+        if len == 0 {
+            return Ok(());
+        }
+        // The frame a spawner builds: the self-class word (class bodies
+        // only), then captures and parameters of unknown kind, then locals
+        // — which the machine zero-fills with `unit` words.
+        let mut frame0 = Vec::with_capacity(b.frame_size());
+        if b.is_class_body {
+            frame0.push(Kind::Class);
+        }
+        frame0.extend(std::iter::repeat_n(
+            Kind::Top,
+            b.nfree as usize + b.nparams as usize,
+        ));
+        frame0.extend(std::iter::repeat_n(Kind::Unit, b.nlocals as usize));
+        let mut states: Vec<Option<State>> = vec![None; b.code.len()];
+        states[0] = Some(State {
+            stack: Vec::new(),
+            frame: frame0,
+        });
+        let mut work: Vec<u32> = vec![0];
+        while let Some(pc) = work.pop() {
+            let mut st = states[pc as usize].clone().expect("queued pc has a state");
+            let succ = self.step(bi, b, pc, &mut st)?;
+            let mut flow = |target: u32, work: &mut Vec<u32>| -> Result<(), VerifyError> {
+                if target == len {
+                    return Ok(()); // falling off the end halts the thread
+                }
+                if merge(&mut states[target as usize], &st).map_err(|(a, c)| {
+                    VerifyError::DepthMismatch {
+                        block: bi,
+                        pc: target,
+                        a,
+                        b: c,
+                    }
+                })? {
+                    work.push(target);
+                }
+                Ok(())
+            };
+            match succ {
+                Succ::Fall => flow(pc + 1, &mut work)?,
+                Succ::Jump(t) => flow(t, &mut work)?,
+                Succ::Branch(t) => {
+                    flow(pc + 1, &mut work)?;
+                    flow(t, &mut work)?;
+                }
+                Succ::Halt => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Transfer function for a single instruction. Mutates `st` into the
+    /// out-state and reports the control-flow successors.
+    fn step(&self, bi: u32, b: &Block, pc: u32, st: &mut State) -> Result<Succ, VerifyError> {
+        let frame = b.frame_size() as u32;
+        let len = b.code.len() as u32;
+        let slot_ok = |slot: u32| -> Result<(), VerifyError> {
+            if slot >= frame {
+                Err(VerifyError::BadSlot {
+                    block: bi,
+                    pc,
+                    slot,
+                    frame,
+                })
+            } else {
+                Ok(())
+            }
+        };
+        let ref_ok = |what: &'static str, id: u32, limit: u32| -> Result<(), VerifyError> {
+            if id >= limit {
+                Err(VerifyError::BadRef {
+                    block: bi,
+                    pc,
+                    what,
+                    id,
+                    limit,
+                })
+            } else {
+                Ok(())
+            }
+        };
+        let jump_ok = |target: u32| -> Result<(), VerifyError> {
+            if target > len {
+                Err(VerifyError::BadJump {
+                    block: bi,
+                    pc,
+                    target,
+                    len,
+                })
+            } else {
+                Ok(())
+            }
+        };
+        macro_rules! pop {
+            ($n:expr) => {{
+                let n = $n as usize;
+                if st.stack.len() < n {
+                    return Err(VerifyError::Underflow {
+                        block: bi,
+                        pc,
+                        need: n as u32,
+                        have: st.stack.len() as u32,
+                    });
+                }
+                st.stack.truncate(st.stack.len() - n);
+            }};
+        }
+        /// Pop the top word, requiring a kind (Top always passes).
+        macro_rules! pop_kind {
+            ($ok:pat, $expected:expr) => {{
+                match st.stack.pop() {
+                    None => {
+                        return Err(VerifyError::Underflow {
+                            block: bi,
+                            pc,
+                            need: 1,
+                            have: 0,
+                        })
+                    }
+                    Some(Kind::Top) | Some($ok) => {}
+                    Some(found) => {
+                        return Err(VerifyError::KindMismatch {
+                            block: bi,
+                            pc,
+                            expected: $expected,
+                            found: found.name(),
+                        })
+                    }
+                }
+            }};
+        }
+        /// Require the kind held in a (bounds-checked) frame slot.
+        macro_rules! slot_kind {
+            ($slot:expr, $ok:pat, $expected:expr) => {{
+                match st.frame[$slot as usize] {
+                    Kind::Top | $ok => {}
+                    found => {
+                        return Err(VerifyError::KindMismatch {
+                            block: bi,
+                            pc,
+                            expected: $expected,
+                            found: found.name(),
+                        })
+                    }
+                }
+            }};
+        }
+
+        match b.code[pc as usize] {
+            Instr::PushLocal(s) => {
+                slot_ok(s as u32)?;
+                let k = st.frame[s as usize];
+                st.stack.push(k);
+            }
+            Instr::PushInt(_) => st.stack.push(Kind::Int),
+            Instr::PushBool(_) => st.stack.push(Kind::Bool),
+            Instr::PushFloat(_) => st.stack.push(Kind::Float),
+            Instr::PushUnit => st.stack.push(Kind::Unit),
+            Instr::PushStr(s) => {
+                ref_ok("string", s, self.nstrings)?;
+                st.stack.push(Kind::Str);
+            }
+            Instr::PushSibling(i) => {
+                if !b.is_class_body {
+                    return Err(VerifyError::SiblingOutsideClass { block: bi, pc });
+                }
+                // The group this body belongs to draws its members from
+                // one table of this same image (see `max_sibling`).
+                ref_ok("sibling", i as u32, self.max_sibling())?;
+                st.stack.push(Kind::Class);
+            }
+            Instr::Store(s) => {
+                slot_ok(s as u32)?;
+                let Some(k) = st.stack.pop() else {
+                    return Err(VerifyError::Underflow {
+                        block: bi,
+                        pc,
+                        need: 1,
+                        have: 0,
+                    });
+                };
+                st.frame[s as usize] = k;
+            }
+            Instr::Bin(_) => {
+                pop!(2);
+                st.stack.push(Kind::Top);
+            }
+            Instr::Un(_) => {
+                pop!(1);
+                st.stack.push(Kind::Top);
+            }
+            Instr::Jump(t) => {
+                jump_ok(t)?;
+                return Ok(Succ::Jump(t));
+            }
+            Instr::JumpIfFalse(t) => {
+                pop_kind!(Kind::Bool, "bool");
+                jump_ok(t)?;
+                return Ok(Succ::Branch(t));
+            }
+            Instr::Halt => return Ok(Succ::Halt),
+            Instr::NewChan(s) => {
+                slot_ok(s as u32)?;
+                st.frame[s as usize] = Kind::Chan;
+            }
+            Instr::Fork { block, nfree } => {
+                ref_ok("block", block, self.blocks.len() as u32)?;
+                pop!(nfree);
+                let tb = &self.blocks[block as usize];
+                if tb.nfree != nfree || tb.nparams != 0 || tb.is_class_body {
+                    return Err(VerifyError::FrameLayout {
+                        block: bi,
+                        pc,
+                        detail: format!(
+                            "fork of block {block} (free={} params={}{}) with {nfree} captures",
+                            tb.nfree,
+                            tb.nparams,
+                            if tb.is_class_body { " class" } else { "" },
+                        ),
+                    });
+                }
+            }
+            Instr::TrMsg { label, argc } => {
+                ref_ok("label", label, self.nlabels)?;
+                pop_kind!(Kind::Chan, "channel");
+                pop!(argc);
+            }
+            Instr::TrObj { table, nfree } => {
+                ref_ok("table", table, self.tables.len() as u32)?;
+                pop_kind!(Kind::Chan, "channel");
+                pop!(nfree);
+                for &(_, blk) in self.tables[table as usize] {
+                    let eb = &self.blocks[blk as usize];
+                    if eb.nfree != nfree || eb.is_class_body {
+                        return Err(VerifyError::FrameLayout {
+                            block: bi,
+                            pc,
+                            detail: format!(
+                                "trobj table {table} entry block {blk} (free={}{}) \
+                                 with {nfree} captures",
+                                eb.nfree,
+                                if eb.is_class_body { " class" } else { "" },
+                            ),
+                        });
+                    }
+                }
+            }
+            Instr::InstOf { argc } => {
+                pop_kind!(Kind::Class, "class");
+                pop!(argc);
+            }
+            Instr::MkGroup {
+                table,
+                dst,
+                count,
+                nfree,
+            } => {
+                ref_ok("table", table, self.tables.len() as u32)?;
+                pop!(nfree);
+                let end = dst as u32 + count as u32;
+                if end > frame {
+                    return Err(VerifyError::BadSlot {
+                        block: bi,
+                        pc,
+                        slot: end.saturating_sub(1),
+                        frame,
+                    });
+                }
+                for slot in dst..dst + count as u16 {
+                    st.frame[slot as usize] = Kind::Class;
+                }
+                for &(_, blk) in self.tables[table as usize] {
+                    let eb = &self.blocks[blk as usize];
+                    if eb.nfree != nfree || !eb.is_class_body {
+                        return Err(VerifyError::FrameLayout {
+                            block: bi,
+                            pc,
+                            detail: format!(
+                                "mkgroup table {table} entry block {blk} (free={}{}) \
+                                 with {nfree} captures",
+                                eb.nfree,
+                                if eb.is_class_body {
+                                    " class"
+                                } else {
+                                    " not-class"
+                                },
+                            ),
+                        });
+                    }
+                }
+            }
+            Instr::ExportName { slot, name } => {
+                slot_ok(slot as u32)?;
+                ref_ok("string", name, self.nstrings)?;
+                slot_kind!(slot, Kind::Chan, "channel");
+            }
+            Instr::ExportClass { slot, name } => {
+                slot_ok(slot as u32)?;
+                ref_ok("string", name, self.nstrings)?;
+                slot_kind!(slot, Kind::Class, "class");
+            }
+            Instr::Import {
+                dst, site, name, ..
+            } => {
+                slot_ok(dst as u32)?;
+                ref_ok("string", site, self.nstrings)?;
+                ref_ok("string", name, self.nstrings)?;
+                // The resolved word (channel or class) is written into
+                // `dst` asynchronously — unknown kind from here on.
+                st.frame[dst as usize] = Kind::Top;
+            }
+            Instr::Print { argc, .. } => pop!(argc),
+        }
+        Ok(Succ::Fall)
+    }
+}
+
+/// Control-flow successors of one instruction.
+enum Succ {
+    Fall,
+    Jump(u32),
+    Branch(u32),
+    Halt,
+}
+
+/// The abstract machine state at one program point: kinds for the operand
+/// stack (variable depth) and for every frame slot (fixed width).
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct State {
+    stack: Vec<Kind>,
+    frame: Vec<Kind>,
+}
+
+/// Merge `src` into the state at a program point. Returns `Ok(true)` if
+/// the state changed (the point must be re-queued), `Err((a, b))` on a
+/// stack-depth disagreement.
+fn merge(dst: &mut Option<State>, src: &State) -> Result<bool, (u32, u32)> {
+    match dst {
+        None => {
+            *dst = Some(src.clone());
+            Ok(true)
+        }
+        Some(cur) => {
+            if cur.stack.len() != src.stack.len() {
+                return Err((cur.stack.len() as u32, src.stack.len() as u32));
+            }
+            let mut changed = false;
+            let pairs = cur
+                .stack
+                .iter_mut()
+                .zip(&src.stack)
+                .chain(cur.frame.iter_mut().zip(&src.frame));
+            for (c, s) in pairs {
+                let j = c.join(*s);
+                if j != *c {
+                    *c = j;
+                    changed = true;
+                }
+            }
+            Ok(changed)
+        }
+    }
+}
+
+/// Verify a packet-relative wire bundle before linking it (the SHIPO /
+/// FETCH receive path). All ids are checked against the packet's own
+/// vectors, so a verified bundle can be linked without bounds checks.
+pub fn verify_wire(code: &WireCode) -> Result<(), VerifyError> {
+    View {
+        blocks: &code.blocks,
+        tables: code.tables.iter().map(|t| t.as_slice()).collect(),
+        labels: Labels::List(&code.labels),
+        nlabels: code.labels.len() as u32,
+        nstrings: code.strings.len() as u32,
+    }
+    .check()
+}
+
+/// Verify a whole program image (the compile / image-load path). On top
+/// of the per-block checks this validates the entry block: it must exist
+/// and take neither captures nor parameters (it is spawned with an empty
+/// frame prefix).
+pub fn verify_program(prog: &Program) -> Result<(), VerifyError> {
+    let view = View {
+        blocks: &prog.blocks,
+        tables: prog.tables.iter().map(|t| t.entries.as_slice()).collect(),
+        labels: Labels::Pool(&prog.labels),
+        nlabels: prog.labels.len() as u32,
+        nstrings: prog.strings.len() as u32,
+    };
+    view.check()?;
+    let Some(entry) = prog.blocks.get(prog.entry as usize) else {
+        return Err(VerifyError::BadEntry(format!(
+            "entry block {} out of range (< {})",
+            prog.entry,
+            prog.blocks.len()
+        )));
+    };
+    if entry.nfree != 0 || entry.nparams != 0 || entry.is_class_body {
+        return Err(VerifyError::BadEntry(format!(
+            "entry block {} expects free={} params={}{}",
+            prog.entry,
+            entry.nfree,
+            entry.nparams,
+            if entry.is_class_body { " class" } else { "" },
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile;
+    use crate::program::{Block, MethodTable};
+    use tyco_syntax::parse_core;
+
+    fn prog(src: &str) -> Program {
+        compile(&parse_core(src).unwrap()).unwrap()
+    }
+
+    fn block(code: Vec<Instr>) -> Block {
+        Block {
+            name: "t".into(),
+            nfree: 0,
+            nparams: 0,
+            nlocals: 2,
+            is_class_body: false,
+            code: code.into(),
+        }
+    }
+
+    fn one_block_prog(code: Vec<Instr>) -> Program {
+        Program {
+            blocks: vec![block(code)],
+            ..Program::default()
+        }
+    }
+
+    #[test]
+    fn accepts_compiler_output() {
+        for src in [
+            "new x x!go[1, true]",
+            "new x (x?{ read(r) = r![1], write(u) = 0 } | x!read[x])",
+            "def X(a) = Y[a] and Y(b) = print(b) in X[1]",
+            "if 1 < 2 then print(1) else print(2)",
+            "new v new x (x?{ get(r) = r![v] } | let u = x!get[] in print(u))",
+            "export new srv in import q from other in (srv?{ go() = 0 } | q![1])",
+        ] {
+            let p = prog(src);
+            verify_program(&p).unwrap_or_else(|e| panic!("{src:?}: {e}"));
+            if !p.tables.is_empty() {
+                let roots: Vec<u32> = (0..p.tables.len() as u32).collect();
+                let packed = crate::wire::pack(&p, &roots);
+                verify_wire(&packed.code).unwrap_or_else(|e| panic!("wire {src:?}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_oversized_frame() {
+        let mut p = one_block_prog(vec![Instr::Halt]);
+        p.blocks[0].nlocals = (MAX_FRAME + 1) as u16;
+        assert!(matches!(
+            verify_program(&p),
+            Err(VerifyError::FrameTooLarge { block: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_sibling_index_beyond_any_table() {
+        // `def X(a) = Y[a] and Y(b) = print(b)` compiles to a two-entry
+        // class table, so sibling indices 0 and 1 are the only ones any
+        // group built from this image can resolve.
+        let mut p = prog("def X(a) = Y[a] and Y(b) = print(b) in X[1]");
+        assert!(verify_program(&p).is_ok());
+        for b in p.blocks.iter_mut() {
+            let rewritten: Vec<Instr> = b
+                .code
+                .iter()
+                .map(|i| match i {
+                    Instr::PushSibling(_) => Instr::PushSibling(9),
+                    other => *other,
+                })
+                .collect();
+            b.code = rewritten.into();
+        }
+        assert!(matches!(
+            verify_program(&p),
+            Err(VerifyError::BadRef {
+                what: "sibling",
+                id: 9,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn rejects_stack_underflow() {
+        let p = one_block_prog(vec![Instr::Store(0)]);
+        assert!(matches!(
+            verify_program(&p),
+            Err(VerifyError::Underflow { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_out_of_window_slot() {
+        let p = one_block_prog(vec![Instr::PushLocal(99)]);
+        assert!(matches!(
+            verify_program(&p),
+            Err(VerifyError::BadSlot { slot: 99, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_wild_jump() {
+        let p = one_block_prog(vec![Instr::Jump(7)]);
+        assert!(matches!(
+            verify_program(&p),
+            Err(VerifyError::BadJump { target: 7, .. })
+        ));
+    }
+
+    #[test]
+    fn fall_off_end_target_is_legal() {
+        let p = one_block_prog(vec![Instr::Jump(1)]);
+        verify_program(&p).unwrap();
+    }
+
+    #[test]
+    fn rejects_depth_mismatch_at_join() {
+        // Branch pushes on one path only, then both paths join at pc 3.
+        let p = one_block_prog(vec![
+            Instr::PushBool(true),
+            Instr::JumpIfFalse(3),
+            Instr::PushInt(1),
+            Instr::Halt,
+        ]);
+        assert!(matches!(
+            verify_program(&p),
+            Err(VerifyError::DepthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_instof_on_int() {
+        let p = one_block_prog(vec![Instr::PushInt(3), Instr::InstOf { argc: 0 }]);
+        assert!(matches!(
+            verify_program(&p),
+            Err(VerifyError::KindMismatch {
+                expected: "class",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn rejects_sibling_outside_class_body() {
+        let p = one_block_prog(vec![
+            Instr::PushSibling(0),
+            Instr::Print {
+                argc: 1,
+                newline: false,
+            },
+        ]);
+        assert!(matches!(
+            verify_program(&p),
+            Err(VerifyError::SiblingOutsideClass { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_fork_layout_mismatch() {
+        let mut p = one_block_prog(vec![Instr::Fork { block: 1, nfree: 0 }]);
+        p.blocks.push(Block {
+            name: "kid".into(),
+            nfree: 2, // expects two captures, fork pushes none
+            nparams: 0,
+            nlocals: 0,
+            is_class_body: false,
+            code: vec![Instr::Halt].into(),
+        });
+        assert!(matches!(
+            verify_program(&p),
+            Err(VerifyError::FrameLayout { .. })
+        ));
+    }
+
+    #[test]
+    fn tracks_frame_kinds_through_slots() {
+        // newc makes slot 0 a channel; exporting it as a class is a
+        // provable kind error.
+        let p = one_block_prog(vec![
+            Instr::NewChan(0),
+            Instr::ExportClass { slot: 0, name: 0 },
+        ]);
+        let mut p = p;
+        p.strings.intern("s");
+        assert!(matches!(
+            verify_program(&p),
+            Err(VerifyError::KindMismatch {
+                expected: "class",
+                found: "channel",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn rejects_trmsg_on_provable_class_slot() {
+        // An uninitialised local is a unit word — sending on it can never
+        // fire COMM.
+        let p = one_block_prog(vec![
+            Instr::PushLocal(0),
+            Instr::TrMsg { label: 0, argc: 0 },
+        ]);
+        let mut p = p;
+        p.labels.intern("go");
+        assert!(matches!(
+            verify_program(&p),
+            Err(VerifyError::KindMismatch {
+                expected: "channel",
+                found: "unit",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn rejects_dangling_table_entry() {
+        let mut p = one_block_prog(vec![Instr::Halt]);
+        let l = p.labels.intern("go");
+        p.tables.push(MethodTable {
+            entries: vec![(l, 42)],
+        });
+        assert!(matches!(
+            verify_program(&p),
+            Err(VerifyError::BadTable { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_duplicate_table_label() {
+        let mut p = one_block_prog(vec![Instr::Halt]);
+        let l = p.labels.intern("go");
+        p.tables.push(MethodTable {
+            entries: vec![(l, 0), (l, 0)],
+        });
+        assert!(matches!(
+            verify_program(&p),
+            Err(VerifyError::DuplicateMethod { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_entry() {
+        let mut p = prog("print(1)");
+        p.entry = 99;
+        assert!(matches!(verify_program(&p), Err(VerifyError::BadEntry(_))));
+    }
+
+    #[test]
+    fn rejects_wire_bundle_with_dangling_string() {
+        let p = prog("new x x?{ go(n) = println(\"hi\", n) }");
+        let packed = crate::wire::pack(&p, &[0]);
+        let mut bad = packed.code.clone();
+        bad.strings.clear(); // every PushStr id now dangles
+        assert!(matches!(
+            verify_wire(&bad),
+            Err(VerifyError::BadRef { what: "string", .. })
+        ));
+    }
+}

@@ -209,7 +209,14 @@ pub struct LinkMap {
 
 /// Dynamically link wire code into a program area: append blocks and
 /// tables, re-intern symbols, and rewrite packet-relative ids.
-pub fn link(prog: &mut Program, code: &WireCode) -> LinkMap {
+///
+/// The bundle is first run through the static verifier
+/// ([`crate::verify::verify_wire`]): an unverifiable image — dangling
+/// packet-relative ids, stack underflows, frame-layout lies, duplicate
+/// method registrations — is refused with a typed error *before* anything
+/// is appended, so a rejected packet leaves `prog` untouched.
+pub fn link(prog: &mut Program, code: &WireCode) -> Result<LinkMap, crate::verify::VerifyError> {
+    crate::verify::verify_wire(code)?;
     let label_ids: Vec<LabelId> = code.labels.iter().map(|l| prog.labels.intern(l)).collect();
     let string_ids: Vec<StrId> = code
         .strings
@@ -294,10 +301,10 @@ pub fn link(prog: &mut Program, code: &WireCode) -> LinkMap {
         prog.tables.push(MethodTable { entries });
     }
 
-    LinkMap {
+    Ok(LinkMap {
         blocks: block_ids,
         tables: table_ids,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -327,7 +334,7 @@ mod tests {
 
         // Link into an empty destination program.
         let mut dest = Program::default();
-        let lm = link(&mut dest, &packed.code);
+        let lm = link(&mut dest, &packed.code).unwrap();
         assert_eq!(dest.blocks.len(), packed.code.blocks.len());
         assert_eq!(dest.tables.len(), 2);
         // Every table entry's block id is in range.
@@ -370,8 +377,8 @@ mod tests {
         let p = prog("new x x?{ ping() = println(\"pong\") }");
         let packed = pack(&p, &[0]);
         let mut dest = Program::default();
-        let lm1 = link(&mut dest, &packed.code);
-        let lm2 = link(&mut dest, &packed.code);
+        let lm1 = link(&mut dest, &packed.code).unwrap();
+        let lm2 = link(&mut dest, &packed.code).unwrap();
         assert_ne!(lm1.blocks, lm2.blocks);
         assert_eq!(dest.blocks.len(), 2 * packed.code.blocks.len());
         // Interned symbols are shared, not duplicated.

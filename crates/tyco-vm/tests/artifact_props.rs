@@ -51,7 +51,7 @@ proptest! {
         let roots: Vec<u32> = (0..prog.tables.len() as u32).collect();
         let packed = tyco_vm::pack(&prog, &roots);
         let mut dest = Program::default();
-        let lm = tyco_vm::link(&mut dest, &packed.code);
+        let lm = tyco_vm::link(&mut dest, &packed.code).expect("packed code verifies");
         // Every linked table entry points at a real block with a method
         // frame that can be built.
         for &t in &lm.tables {

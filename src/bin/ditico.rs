@@ -2,7 +2,10 @@
 //! programs.
 //!
 //! ```text
-//! ditico check   <file.dity>              type-check a program
+//! ditico check   <file.dity> [--verify] [--lint]
+//!                                         type-check a program; optionally
+//!                                         run the byte-code verifier and
+//!                                         the calculus liveness lint
 //! ditico compile <file.dity> -o out.tyco  compile to a byte-code image
 //! ditico asm     <file.dity>              show the VM assembly
 //! ditico disasm  <file.tyco>              disassemble an image
@@ -54,7 +57,9 @@ fn print_usage() {
         "usage: ditico <command>\n\
          \n\
          commands:\n\
-         \x20 check   <file.dity>              type-check a program\n\
+         \x20 check   <file.dity> [--verify] [--lint]\n\
+         \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 type-check; --verify runs the byte-code verifier,\n\
+         \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 --lint the calculus liveness lint\n\
          \x20 compile <file.dity> -o out.tyco  compile to a byte-code image\n\
          \x20 asm     <file.dity>              show the VM assembly\n\
          \x20 disasm  <file.tyco>              disassemble an image\n\
@@ -73,7 +78,9 @@ fn compile_file(path: &str) -> Result<Program, String> {
 }
 
 fn cmd_check(args: &[String]) -> Result<(), String> {
-    let path = args.first().ok_or("usage: ditico check <file.dity>")?;
+    let path = args
+        .first()
+        .ok_or("usage: ditico check <file.dity> [--verify] [--lint]")?;
     let p = compile_file(path)?;
     println!("{path}: ok ({} byte-code instructions)", p.instr_count());
     if !p.types.exported_names.is_empty() || !p.types.exported_classes.is_empty() {
@@ -87,6 +94,22 @@ fn cmd_check(args: &[String]) -> Result<(), String> {
     }
     for (site, name, kind) in &p.types.imports {
         println!("imports {name} ({kind:?}) from {site}");
+    }
+    if args.iter().any(|a| a == "--verify") {
+        p.verify()
+            .map_err(|e| format!("{path}: verifier rejected the image: {e}"))?;
+        println!("{path}: byte-code image verifies");
+    }
+    if args.iter().any(|a| a == "--lint") {
+        let findings = p.lint();
+        for l in &findings {
+            println!("{path}:{l}");
+        }
+        if findings.is_empty() {
+            println!("{path}: no liveness findings");
+        } else {
+            return Err(format!("{path}: {} liveness finding(s)", findings.len()));
+        }
     }
     Ok(())
 }
