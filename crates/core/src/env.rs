@@ -121,6 +121,8 @@ pub struct Env {
     /// Skip the link-time interface check (to demonstrate pure dynamic
     /// checking at reduction time).
     pub check_interfaces: bool,
+    /// Worker-pool size for threaded runs (None: available parallelism).
+    workers: Option<usize>,
 }
 
 impl Env {
@@ -129,7 +131,15 @@ impl Env {
             topology,
             sites: Vec::new(),
             check_interfaces: true,
+            workers: None,
         }
+    }
+
+    /// Set the worker-pool size used by threaded runs (the M:N site
+    /// scheduler); defaults to the machine's available parallelism.
+    pub fn workers(mut self, workers: usize) -> Env {
+        self.workers = Some(workers);
+        self
     }
 
     /// A single-node environment with an ideal fabric.
@@ -225,6 +235,9 @@ impl Env {
             self.topology.link,
             self.topology.ns_replicas,
         );
+        if let Some(w) = self.workers {
+            cluster.sched.workers = w;
+        }
         let nodes: Vec<NodeId> = (0..self.topology.nodes.max(1))
             .map(|_| cluster.add_node())
             .collect();

@@ -11,6 +11,7 @@
 use crate::daemon::{Daemon, DaemonStats, TermCounters};
 use crate::fabric::{Fabric, FabricMode, LinkProfile};
 use crate::failure::FailureMonitor;
+use crate::sched::{SchedConfig, SchedStats, Shared, SiteWake, Worker};
 use crate::site::{RtIncoming, RtPort, Site, SiteInterface};
 use crate::termination::{Snapshot, TerminationDetector};
 use crossbeam::channel::{unbounded, Receiver, Sender};
@@ -56,6 +57,8 @@ pub struct RunReport {
     pub detector_probes: u64,
     /// Total byte-code instructions executed across all sites.
     pub total_instrs: u64,
+    /// Work-stealing scheduler counters (threaded mode; zero elsewhere).
+    pub sched: SchedStats,
 }
 
 impl RunReport {
@@ -110,6 +113,8 @@ pub struct Cluster {
     pub heartbeat_every: Option<u64>,
     /// Staleness threshold for the failure monitor, in heartbeat periods.
     pub stale_periods: u64,
+    /// Worker-pool configuration for threaded runs (M:N scheduler).
+    pub sched: SchedConfig,
 }
 
 impl Cluster {
@@ -127,6 +132,7 @@ impl Cluster {
             site_lexemes: Vec::new(),
             heartbeat_every: None,
             stale_periods: 3,
+            sched: SchedConfig::default(),
         }
     }
 
@@ -214,7 +220,8 @@ impl Cluster {
         );
         port.set_interface(interface);
         let site = Site::new(lexeme, identity, program, port);
-        cell.daemon.attach_site(site_id, in_tx, site.waker.clone());
+        cell.daemon
+            .attach_site(site_id, in_tx, SiteWake::Notify(site.waker.clone()));
         cell.sites.push(site);
         site_id
     }
@@ -374,9 +381,12 @@ impl Cluster {
         self.report(0)
     }
 
-    /// Run with real threads: one per site, one per daemon, plus the
-    /// fabric delivery thread and a termination-detector loop on the
-    /// caller's thread. Consumes the cluster and returns the report.
+    /// Run with real threads: sites are multiplexed over a fixed worker
+    /// pool by the M:N work-stealing scheduler (`self.sched`; default
+    /// worker count is the available parallelism), daemons keep dedicated
+    /// threads, the fabric runs its delivery thread, and termination
+    /// detection runs on the caller's thread, woken by the scheduler's
+    /// idle transitions. Consumes the cluster and returns the report.
     pub fn run_threaded(mut self, wall_limit: std::time::Duration) -> RunReport {
         assert!(
             self.mode != FabricMode::Virtual,
@@ -384,9 +394,157 @@ impl Cluster {
         );
         self.fabric.start();
         let stop = Arc::new(AtomicBool::new(false));
+        let workers_n = self.sched.effective_workers();
+        let slice_fuel = self.sched.slice_fuel;
+
+        // Flatten nodes into daemons + a site pool, remembering which
+        // daemon owns each site so its delivery wakeup can be rebound to
+        // the scheduler's readiness protocol.
+        let mut daemons: Vec<(Daemon, bool)> = Vec::new();
+        let mut sites: Vec<Site> = Vec::new();
+        let mut owner_of_slot: Vec<usize> = Vec::new();
+        for cell in self.nodes.drain(..) {
+            let NodeCell {
+                daemon,
+                sites: node_sites,
+                dead,
+                ..
+            } = cell;
+            let di = daemons.len();
+            daemons.push((daemon, dead));
+            for site in node_sites {
+                owner_of_slot.push(di);
+                sites.push(site);
+            }
+        }
+        let slot_ids: Vec<SiteId> = sites.iter().map(|s| s.identity.site).collect();
+        let shared = Shared::new(sites, workers_n);
+        for (slot, (&di, id)) in owner_of_slot.iter().zip(&slot_ids).enumerate() {
+            daemons[di]
+                .0
+                .set_site_waker(*id, SiteWake::Sched(shared.handle(slot as u32)));
+        }
+
+        let mut daemon_threads = Vec::new();
+        for (mut daemon, dead) in daemons {
+            if dead {
+                continue;
+            }
+            let stop_d = stop.clone();
+            daemon_threads.push(std::thread::spawn(move || {
+                // Spin-then-park: while traffic flows, an empty pump
+                // yields (cheap handoff on few cores); a sustained lull
+                // parks on the daemon's waker — sites and the fabric
+                // notify it when they hand it work, so an idle daemon
+                // costs no scheduler quanta. The timeout only bounds
+                // stop-flag latency.
+                let mut lull = 0u32;
+                while !stop_d.load(Ordering::Relaxed) {
+                    if daemon.pump() {
+                        lull = 0;
+                    } else {
+                        lull += 1;
+                        if lull > 2 {
+                            daemon
+                                .waker()
+                                .wait_timeout(std::time::Duration::from_millis(1));
+                        } else {
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+                daemon
+            }));
+        }
+
+        let mut worker_threads = Vec::new();
+        for i in 0..workers_n {
+            let worker = Worker::new(shared.clone(), i, slice_fuel);
+            worker_threads.push(
+                std::thread::Builder::new()
+                    .name(format!("ditico-worker-{i}"))
+                    .spawn(move || worker.run())
+                    .expect("spawn worker"),
+            );
+        }
+
+        // Termination detection on the environment thread, probing on the
+        // scheduler's idle edges rather than a fixed poll quantum.
+        let mut detector = TerminationDetector::new();
+        let t0 = std::time::Instant::now();
+        let probes;
+        let detected;
+        loop {
+            let any_active = shared.active_sites() > 0;
+            let snap = Snapshot::take(&self.term, any_active);
+            if detector.probe(snap) {
+                probes = detector.probes;
+                detected = true;
+                break;
+            }
+            if t0.elapsed() > wall_limit {
+                probes = detector.probes;
+                detected = false;
+                break;
+            }
+            if snap.quiet() {
+                // First quiet wave. Once the system is truly terminated no
+                // further idle edge will fire, so take the confirming
+                // probe after a token wait instead of blocking on the
+                // notify.
+                shared
+                    .idle
+                    .wait_timeout(std::time::Duration::from_micros(200));
+            } else {
+                // Busy: sleep until the next idle edge; the timeout only
+                // bounds the wall-limit check.
+                shared
+                    .idle
+                    .wait_timeout(std::time::Duration::from_millis(20));
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+        shared.stop();
+
+        for h in worker_threads {
+            h.join().expect("worker thread");
+        }
+        let mut report = RunReport {
+            detector_probes: probes,
+            sched: shared.stats(),
+            ..Default::default()
+        };
+        shared.for_each_site(|site| collect_site(&mut report, site));
+        for h in daemon_threads {
+            let daemon = h.join().expect("daemon thread");
+            report.daemon_stats.push(daemon.stats);
+        }
+        report.fabric_packets = self.fabric.stats.packets.load(Ordering::Relaxed);
+        report.fabric_bytes = self.fabric.stats.bytes.load(Ordering::Relaxed);
+        // Quiescent iff the detector confirmed termination (as opposed to
+        // hitting the wall-clock limit).
+        report.quiescent = detected;
+        self.fabric.shutdown();
+        report
+    }
+
+    /// The pre-scheduler execution mode: one OS thread per site (plus one
+    /// per daemon), each spin-then-parking on its own [`crate::Notify`].
+    /// Kept only as the measured baseline for `BENCH_scheduler.json` —
+    /// it is the architecture the M:N scheduler replaces, and it falls
+    /// over beyond a few hundred sites.
+    pub fn run_threaded_thread_per_site(mut self, wall_limit: std::time::Duration) -> RunReport {
+        assert!(
+            self.mode != FabricMode::Virtual,
+            "threaded runs require Ideal or RealTime fabric"
+        );
+        self.fabric.start();
+        let stop = Arc::new(AtomicBool::new(false));
+        let t0 = std::time::Instant::now();
         let mut site_threads = Vec::new();
         let mut daemon_threads = Vec::new();
         let mut active_flags: Vec<Arc<AtomicBool>> = Vec::new();
+        let mut unbooted: Vec<Site> = Vec::new();
 
         for cell in self.nodes.drain(..) {
             let NodeCell {
@@ -399,12 +557,6 @@ impl Cluster {
                 let stop_d = stop.clone();
                 let mut daemon = daemon;
                 daemon_threads.push(std::thread::spawn(move || {
-                    // Spin-then-park: while traffic flows, an empty pump
-                    // yields (cheap handoff on few cores); a sustained
-                    // lull parks on the daemon's waker — sites and the
-                    // fabric notify it when they hand it work, so an idle
-                    // daemon costs no scheduler quanta. The timeout only
-                    // bounds stop-flag latency.
                     let mut lull = 0u32;
                     while !stop_d.load(Ordering::Relaxed) {
                         if daemon.pump() {
@@ -424,46 +576,58 @@ impl Cluster {
                 }));
             }
             for mut site in sites {
+                // Booting one thread per site is part of the strategy's
+                // measurable cost: under heavy oversubscription the spawn
+                // loop itself crawls, so it honours the wall limit instead
+                // of wedging the run before the detector loop ever starts.
+                if t0.elapsed() > wall_limit {
+                    unbooted.push(site);
+                    continue;
+                }
                 let flag = Arc::new(AtomicBool::new(true));
                 active_flags.push(flag.clone());
                 let stop_s = stop.clone();
-                site_threads.push(std::thread::spawn(move || {
-                    let waker = site.waker.clone();
-                    let mut lull = 0u32;
-                    while !stop_s.load(Ordering::Relaxed) {
-                        // Conservatively active for the whole pump: a slice
-                        // consumes messages before reacting to them, and if
-                        // this thread is descheduled in between, a stale
-                        // `false` here would let the detector see balanced
-                        // counters with no activity — a false termination.
-                        flag.store(true, Ordering::SeqCst);
-                        let ran = site.pump(8192);
-                        let active =
-                            ran || site.machine.runnable() || site.machine.port.inbox_len() > 0;
-                        flag.store(active, Ordering::Relaxed);
-                        if ran {
-                            lull = 0;
-                        } else {
-                            lull += 1;
-                            if lull > 2 && !active {
-                                // A sustained lull with nothing runnable
-                                // and an empty inbox: park until the
-                                // daemon delivers (it notifies the waker)
-                                // or the stop-latency timeout fires.
-                                waker.wait_timeout(std::time::Duration::from_millis(1));
-                            } else {
-                                std::thread::yield_now();
+                site_threads.push(
+                    std::thread::Builder::new()
+                        // Sites are shallow; small stacks keep thousands of
+                        // threads mappable for the baseline sweep.
+                        .stack_size(512 * 1024)
+                        .spawn(move || {
+                            let waker = site.waker.clone();
+                            let mut lull = 0u32;
+                            while !stop_s.load(Ordering::Relaxed) {
+                                // Conservatively active for the whole pump:
+                                // a slice consumes messages before reacting
+                                // to them, and if this thread is
+                                // descheduled in between, a stale `false`
+                                // here would let the detector see balanced
+                                // counters with no activity — a false
+                                // termination.
+                                flag.store(true, Ordering::SeqCst);
+                                let ran = site.pump(8192);
+                                let active = ran
+                                    || site.machine.runnable()
+                                    || site.machine.port.inbox_len() > 0;
+                                flag.store(active, Ordering::Relaxed);
+                                if ran {
+                                    lull = 0;
+                                } else {
+                                    lull += 1;
+                                    if lull > 2 && !active {
+                                        waker.wait_timeout(std::time::Duration::from_millis(1));
+                                    } else {
+                                        std::thread::yield_now();
+                                    }
+                                }
                             }
-                        }
-                    }
-                    site
-                }));
+                            site
+                        })
+                        .expect("spawn site thread"),
+                );
             }
         }
 
-        // Termination detection on the environment thread.
         let mut detector = TerminationDetector::new();
-        let t0 = std::time::Instant::now();
         let probes;
         let detected;
         loop {
@@ -491,14 +655,15 @@ impl Cluster {
             let site = h.join().expect("site thread");
             collect_site(&mut report, &site);
         }
+        for site in &unbooted {
+            collect_site(&mut report, site);
+        }
         for h in daemon_threads {
             let daemon = h.join().expect("daemon thread");
             report.daemon_stats.push(daemon.stats);
         }
         report.fabric_packets = self.fabric.stats.packets.load(Ordering::Relaxed);
         report.fabric_bytes = self.fabric.stats.bytes.load(Ordering::Relaxed);
-        // Quiescent iff the detector confirmed termination (as opposed to
-        // hitting the wall-clock limit).
         report.quiescent = detected;
         self.fabric.shutdown();
         report

@@ -18,6 +18,7 @@
 
 use crate::fabric::FabricHandle;
 use crate::nameservice::NameService;
+use crate::sched::SiteWake;
 use crate::site::RtIncoming;
 use crate::wake::Notify;
 use bytes::{Bytes, BytesMut};
@@ -76,8 +77,9 @@ struct OutBuf {
 /// The per-node communication daemon.
 pub struct Daemon {
     pub node: NodeId,
-    /// Inboxes of local sites, plus the waker of each site's thread.
-    sites: HashMap<SiteId, (Sender<RtIncoming>, Arc<Notify>)>,
+    /// Inboxes of local sites, plus each site's wakeup (a dedicated
+    /// thread's notify, or the scheduler's readiness handle).
+    sites: HashMap<SiteId, (Sender<RtIncoming>, SiteWake)>,
     /// Shared outgoing queue of all local sites.
     from_sites: Receiver<(SiteId, Packet)>,
     /// Inbound packets from other nodes.
@@ -145,9 +147,17 @@ impl Daemon {
         }
     }
 
-    /// Attach a local site's inbox and the waker of its thread.
-    pub fn attach_site(&mut self, site: SiteId, inbox: Sender<RtIncoming>, waker: Arc<Notify>) {
+    /// Attach a local site's inbox and its wakeup.
+    pub fn attach_site(&mut self, site: SiteId, inbox: Sender<RtIncoming>, waker: SiteWake) {
         self.sites.insert(site, (inbox, waker));
+    }
+
+    /// Swap a site's wakeup (the threaded runtime rebinds sites to the
+    /// scheduler's readiness protocol before the workers start).
+    pub fn set_site_waker(&mut self, site: SiteId, waker: SiteWake) {
+        if let Some(entry) = self.sites.get_mut(&site) {
+            entry.1 = waker;
+        }
     }
 
     /// This daemon thread's wakeup (sites and the fabric notify it when
@@ -241,7 +251,10 @@ impl Daemon {
             let n = buf.len() as u64;
             match self.sites.get(site) {
                 Some((tx, waker)) => match tx.send_iter(buf.drain(..)) {
-                    Ok(_) => waker.notify(),
+                    // Delivery first, wake second: the scheduler's
+                    // readiness protocol relies on the inbox being
+                    // populated before `mark_ready` runs.
+                    Ok(_) => waker.wake(),
                     // The site is gone (program exited); drop, like the
                     // paper's freed sites.
                     Err(_) => {

@@ -14,6 +14,9 @@
 //!   WAN link profiles; ideal, virtual-time and real-time delivery);
 //! * [`cluster`] — the environment tying it together, with deterministic
 //!   and threaded execution;
+//! * [`sched`] — the M:N work-stealing scheduler threaded execution runs
+//!   on: thousands of sites multiplexed over a fixed worker pool with
+//!   edge-triggered readiness;
 //! * [`termination`] — Mattern-style four-counter termination detection
 //!   (§7 future work);
 //! * [`failure`] — heartbeat failure detection and name-service failover
@@ -24,6 +27,7 @@ pub mod daemon;
 pub mod fabric;
 pub mod failure;
 pub mod nameservice;
+pub mod sched;
 pub mod site;
 pub mod termination;
 pub mod wake;
@@ -33,6 +37,7 @@ pub use daemon::{Daemon, DaemonStats, TermCounters};
 pub use fabric::{Fabric, FabricHandle, FabricMode, FabricStats, LinkProfile};
 pub use failure::FailureMonitor;
 pub use nameservice::NameService;
-pub use site::{RtIncoming, RtPort, Site, SiteInterface};
+pub use sched::{SchedConfig, SchedStats};
+pub use site::{RtIncoming, RtPort, Site, SiteInterface, SliceOutcome};
 pub use termination::{Snapshot, TerminationDetector};
 pub use wake::Notify;

@@ -164,6 +164,21 @@ impl RtPort {
     pub fn inbox_len(&self) -> usize {
         self.pending_in.len() + self.inbox.len()
     }
+
+    /// Drain and drop everything in the incoming queue, counting each item
+    /// as consumed. Used when the site can no longer react (runtime
+    /// error): like a dead node's sites, its traffic is absorbed so the
+    /// rest of the computation can still be detected as terminated.
+    pub fn drop_inbox(&mut self) -> usize {
+        let mut n = self.pending_in.len();
+        self.pending_in.clear();
+        let mut scratch: VecDeque<RtIncoming> = VecDeque::new();
+        n += self.inbox.drain_into(&mut scratch);
+        if n > 0 {
+            self.term.consumed.fetch_add(n as u64, Ordering::Relaxed);
+        }
+        n
+    }
 }
 
 impl NetPort for RtPort {
@@ -264,6 +279,27 @@ impl NetPort for RtPort {
     }
 }
 
+/// What one pump slice left behind — everything a scheduler worker needs
+/// to requeue or retire the site without re-locking it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SliceOutcome {
+    /// At least one byte-code instruction ran.
+    pub ran: bool,
+    /// The VM still has runnable threads.
+    pub runnable: bool,
+    /// Items were waiting in the inbox when the slice ended.
+    pub inbox_nonempty: bool,
+}
+
+impl SliceOutcome {
+    /// A site with nothing left: retire it.
+    pub const RETIRED: SliceOutcome = SliceOutcome {
+        ran: false,
+        runnable: false,
+        inbox_nonempty: false,
+    };
+}
+
 /// A site: lexeme + identity + its virtual machine.
 pub struct Site {
     pub lexeme: String,
@@ -291,18 +327,42 @@ impl Site {
     /// flush the outgoing batch to the daemon in one operation.
     /// Returns whether any instruction ran (progress).
     pub fn pump(&mut self, fuel: u64) -> bool {
+        self.pump_slice(fuel).ran
+    }
+
+    /// Re-entrant pump slice: drain incoming, run up to `fuel`
+    /// instructions, flush the outgoing batch, and report what is left.
+    /// The outcome lets a scheduler worker decide to requeue or retire
+    /// the site without taking its lock again.
+    ///
+    /// An errored site behaves like a dead node's sites: its inbox is
+    /// drained and dropped (counted consumed) and it always retires, so
+    /// messages to it cannot wedge the termination detector.
+    pub fn pump_slice(&mut self, fuel: u64) -> SliceOutcome {
         if self.error.is_some() {
-            return false;
+            self.machine.port.drop_inbox();
+            return SliceOutcome::RETIRED;
         }
-        let ran = match self.machine.run_slice(fuel) {
-            Ok(SliceStatus { instrs, .. }) => instrs > 0,
+        match self.machine.run_slice(fuel) {
+            Ok(SliceStatus {
+                instrs, runnable, ..
+            }) => {
+                self.machine.port.flush();
+                SliceOutcome {
+                    ran: instrs > 0,
+                    runnable,
+                    inbox_nonempty: self.machine.port.inbox_len() > 0,
+                }
+            }
             Err(e) => {
                 self.error = Some(e);
-                false
+                // Sends buffered before the error still count as injected;
+                // hand them over rather than stranding them.
+                self.machine.port.flush();
+                self.machine.port.drop_inbox();
+                SliceOutcome::RETIRED
             }
-        };
-        self.machine.port.flush();
-        ran
+        }
     }
 
     /// Is the site idle (nothing runnable)?

@@ -10,7 +10,11 @@
 //! ditico asm     <file.dity>              show the VM assembly
 //! ditico disasm  <file.tyco>              disassemble an image
 //! ditico run     <file.dity|file.tyco>    run a single site to quiescence
-//! ditico net     <spec.net>               run a network description
+//! ditico net     <spec.net> [--threaded] [--workers N] [--wall SECS] [--stats]
+//!                                         run a network description
+//!                                         (deterministic by default;
+//!                                         --threaded runs it on the M:N
+//!                                         worker-pool scheduler)
 //! ditico shell                            interactive TyCOsh
 //! ```
 //!
@@ -64,7 +68,10 @@ fn print_usage() {
          \x20 asm     <file.dity>              show the VM assembly\n\
          \x20 disasm  <file.tyco>              disassemble an image\n\
          \x20 run     <file.dity|file.tyco>    run a single site to quiescence\n\
-         \x20 net     <spec.net>               run a network description\n\
+         \x20 net     <spec.net> [--threaded] [--workers N] [--wall SECS] [--stats]\n\
+         \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 run a network description (--threaded uses the\n\
+         \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 M:N worker-pool scheduler; --stats prints per-site\n\
+         \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 SHIPM/SHIPO/FETCH and scheduler counters)\n\
          \x20 shell                            interactive TyCOsh"
     );
 }
@@ -198,7 +205,24 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_net(args: &[String]) -> Result<(), String> {
-    let path = args.first().ok_or("usage: ditico net <spec.net>")?;
+    const USAGE: &str =
+        "usage: ditico net <spec.net> [--threaded] [--workers N] [--wall SECS] [--stats]";
+    let path = args.first().ok_or(USAGE)?;
+    let threaded = args.iter().any(|a| a == "--threaded");
+    let show_stats = args.iter().any(|a| a == "--stats");
+    let flag_value = |name: &str| -> Result<Option<u64>, String> {
+        match args.iter().position(|a| a == name) {
+            Some(i) => args
+                .get(i + 1)
+                .ok_or_else(|| format!("{name} needs a value\n{USAGE}"))?
+                .parse()
+                .map(Some)
+                .map_err(|e| format!("{name}: {e}")),
+            None => Ok(None),
+        }
+    };
+    let workers = flag_value("--workers")?;
+    let wall = flag_value("--wall")?.unwrap_or(60);
     let spec = read(path)?;
     let dir = Path::new(path).parent().unwrap_or(Path::new("."));
     let mut topology = Topology::default();
@@ -263,11 +287,23 @@ fn cmd_net(args: &[String]) -> Result<(), String> {
             None => {}
         }
     }
+    if threaded && topology.mode == FabricMode::Virtual {
+        return Err("--threaded needs fabric=ideal or fabric=realtime in the spec".into());
+    }
     let mut env = Env::new(topology);
+    if let Some(w) = workers {
+        env = env.workers(w as usize);
+    }
     for (lexeme, src) in &sites {
         env = env.site(lexeme, src).map_err(|e| e.to_string())?;
     }
-    let report = env.run().map_err(|e| e.to_string())?;
+    let report = if threaded {
+        env.build()
+            .map_err(|e| e.to_string())?
+            .run_threaded(std::time::Duration::from_secs(wall))
+    } else {
+        env.run().map_err(|e| e.to_string())?
+    };
     let mut lexemes: Vec<&String> = report.outputs.keys().collect();
     lexemes.sort();
     for lexeme in lexemes {
@@ -290,6 +326,29 @@ fn cmd_net(args: &[String]) -> Result<(), String> {
             " (instruction limit hit)"
         }
     );
+    if show_stats {
+        let mut lexemes: Vec<&String> = report.stats.keys().collect();
+        lexemes.sort();
+        for lexeme in lexemes {
+            eprintln!("[{lexeme}]\n{}", report.stats[lexeme]);
+        }
+        let s = report.sched;
+        if s.workers > 0 {
+            eprintln!(
+                "scheduler: workers={} slices={} (max/site {}) steals={} injector={} \
+                 parks={} unparks={} max-ready-depth={} detector-probes={}",
+                s.workers,
+                s.slices,
+                s.max_site_slices,
+                s.steals,
+                s.injector_pushes,
+                s.parks,
+                s.unparks,
+                s.max_ready_depth,
+                report.detector_probes
+            );
+        }
+    }
     if !report.errors.is_empty() {
         return Err(format!("{} site(s) failed", report.errors.len()));
     }
