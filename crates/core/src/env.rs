@@ -229,6 +229,25 @@ impl Env {
 
     /// Materialize the cluster (nodes, daemons, sites).
     pub fn build(self) -> Result<BuiltEnv, EnvError> {
+        self.build_inner(None)
+    }
+
+    /// Materialize **one process's partition** of a multi-process cluster:
+    /// the full topology is built (every node gets a daemon id, every site
+    /// a deterministic [`SiteId`](tyco_vm::word::SiteId)), but only sites
+    /// placed on `local_nodes` get a VM — the rest are declared via
+    /// [`Cluster::add_remote_site`] so the name service can still resolve
+    /// them. Every process of the run must build from the *same*
+    /// environment so placements and ids agree across the wire.
+    pub fn build_partition(self, local_nodes: &[usize]) -> Result<BuiltEnv, EnvError> {
+        let local: std::collections::HashSet<usize> = local_nodes.iter().copied().collect();
+        self.build_inner(Some(local))
+    }
+
+    fn build_inner(
+        self,
+        local: Option<std::collections::HashSet<usize>>,
+    ) -> Result<BuiltEnv, EnvError> {
         self.check_links()?;
         let mut cluster = Cluster::new(
             self.topology.mode,
@@ -244,15 +263,21 @@ impl Env {
         let mut placements = Vec::new();
         let check_interfaces = self.check_interfaces;
         for (i, s) in self.sites.into_iter().enumerate() {
-            let node = nodes[s.pin.unwrap_or(i % nodes.len())];
-            // In pure-dynamic mode the sites carry no stamps and the name
-            // service has no static evidence to refuse on.
-            let iface = if check_interfaces {
-                site_interface(&s.program.types)
+            let node_idx = s.pin.unwrap_or(i % nodes.len()) % nodes.len();
+            let node = nodes[node_idx];
+            if local.as_ref().is_some_and(|set| !set.contains(&node_idx)) {
+                // Hosted by a peer process: identity only, no VM.
+                cluster.add_remote_site(&s.lexeme, node);
             } else {
-                SiteInterface::default()
-            };
-            cluster.add_site_with_interface(node, &s.lexeme, s.program.code.clone(), iface);
+                // In pure-dynamic mode the sites carry no stamps and the
+                // name service has no static evidence to refuse on.
+                let iface = if check_interfaces {
+                    site_interface(&s.program.types)
+                } else {
+                    SiteInterface::default()
+                };
+                cluster.add_site_with_interface(node, &s.lexeme, s.program.code.clone(), iface);
+            }
             placements.push((s.lexeme.clone(), node, s.program));
         }
         Ok(BuiltEnv {
@@ -329,6 +354,17 @@ impl BuiltEnv {
 
     pub fn run_threaded(self, wall: std::time::Duration) -> RunReport {
         self.cluster.run_threaded(wall)
+    }
+
+    /// Run this process's partition over the real TCP transport (built
+    /// with [`Env::build_partition`]). `cfg.local_nodes` must match the
+    /// partition the environment was built for.
+    pub fn run_distributed(
+        self,
+        cfg: ditico_rt::TransportConfig,
+        wall: std::time::Duration,
+    ) -> Result<RunReport, String> {
+        self.cluster.run_distributed(cfg, wall)
     }
 }
 

@@ -46,4 +46,7 @@ pub use tyco_syntax;
 pub use tyco_types;
 pub use tyco_vm;
 
-pub use ditico_rt::{Cluster, FabricMode, LinkProfile, RunLimits, RunReport};
+pub use ditico_rt::{
+    parse_peer_list, Cluster, FabricMode, LinkProfile, RunLimits, RunReport, TransportConfig,
+    TransportReport,
+};

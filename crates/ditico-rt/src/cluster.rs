@@ -14,8 +14,9 @@ use crate::failure::FailureMonitor;
 use crate::sched::{SchedConfig, SchedStats, Shared, SiteWake, Worker};
 use crate::site::{RtIncoming, RtPort, Site, SiteInterface};
 use crate::termination::{Snapshot, TerminationDetector};
+use crate::transport::{Transport, TransportConfig, TransportReport};
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use tyco_vm::codec::Packet;
@@ -59,6 +60,15 @@ pub struct RunReport {
     pub total_instrs: u64,
     /// Work-stealing scheduler counters (threaded mode; zero elsewhere).
     pub sched: SchedStats,
+    /// Remote nodes considered dead at the end of a distributed run
+    /// (heartbeat silence or exhausted reconnects).
+    pub suspects: Vec<NodeId>,
+    /// Wire-level counters (distributed runs only).
+    pub transport: Option<TransportReport>,
+    /// Runtime-thread failures survived during the run: a worker, site or
+    /// daemon thread that panicked. The run completes and reports instead
+    /// of aborting; each entry names what was lost.
+    pub aborts: Vec<String>,
 }
 
 impl RunReport {
@@ -236,6 +246,27 @@ impl Cluster {
         let ast = tyco_syntax::parse_core(src).map_err(|e| e.to_string())?;
         let prog = tyco_vm::compile(&ast).map_err(|e| e.to_string())?;
         Ok(self.add_site(node, lexeme, prog))
+    }
+
+    /// Declare a site that lives on `node` in *another process* of a
+    /// multi-process run. No VM is created here; the site's identity is
+    /// registered in the local name-service replicas so imports of its
+    /// exports resolve, and a [`SiteId`] is consumed so every process that
+    /// builds the same topology in the same order assigns identical ids —
+    /// the invariant the wire protocol relies on.
+    pub fn add_remote_site(&mut self, lexeme: &str, node: NodeId) -> SiteId {
+        let site_id = SiteId(self.site_lexemes.len() as u32);
+        self.site_lexemes.push(lexeme.to_string());
+        let identity = Identity {
+            site: site_id,
+            node,
+        };
+        for cell in self.nodes.iter_mut().take(self.ns_replicas) {
+            if let Some(ns) = &mut cell.daemon.ns {
+                ns.register_site(lexeme, identity);
+            }
+        }
+        site_id
     }
 
     /// Set the run-queue policy of every site (ablation A3).
@@ -506,19 +537,15 @@ impl Cluster {
         stop.store(true, Ordering::Relaxed);
         shared.stop();
 
-        for h in worker_threads {
-            h.join().expect("worker thread");
-        }
+        let worker_aborts = join_workers(&shared, worker_threads);
         let mut report = RunReport {
             detector_probes: probes,
             sched: shared.stats(),
+            aborts: worker_aborts,
             ..Default::default()
         };
         shared.for_each_site(|site| collect_site(&mut report, site));
-        for h in daemon_threads {
-            let daemon = h.join().expect("daemon thread");
-            report.daemon_stats.push(daemon.stats);
-        }
+        join_daemons(&mut report, daemon_threads);
         report.fabric_packets = self.fabric.stats.packets.load(Ordering::Relaxed);
         report.fabric_bytes = self.fabric.stats.bytes.load(Ordering::Relaxed);
         // Quiescent iff the detector confirmed termination (as opposed to
@@ -526,6 +553,206 @@ impl Cluster {
         report.quiescent = detected;
         self.fabric.shutdown();
         report
+    }
+
+    /// Run as **one process of a multi-process cluster**: local nodes'
+    /// sites execute on the M:N scheduler exactly as in
+    /// [`run_threaded`](Cluster::run_threaded), but every daemon's fabric
+    /// handle is replaced by the TCP transport's [`crate::NetHandle`] —
+    /// node-local traffic stays on the in-process fabric, traffic for
+    /// nodes hosted by peer processes is framed onto sockets, and inbound
+    /// frames are verifier-screened and injected back into the local
+    /// fabric. Every process must build the *same topology in the same
+    /// order* (remote sites via [`add_remote_site`](Cluster::add_remote_site))
+    /// so site/node ids agree across the wire.
+    ///
+    /// Termination is activity-based (Mattern counters are per-process and
+    /// do not balance across the wire): a non-serve process exits once its
+    /// scheduler is idle and the wire has been silent for
+    /// `cfg.idle_grace`, or when every known remote node is suspected,
+    /// departed or permanently unreachable; a serve process lingers until
+    /// every peer that ever connected is gone. `wall_limit` backstops
+    /// both.
+    pub fn run_distributed(
+        mut self,
+        cfg: TransportConfig,
+        wall_limit: std::time::Duration,
+    ) -> Result<RunReport, String> {
+        if self.mode != FabricMode::Ideal {
+            return Err(
+                "distributed runs require the Ideal fabric mode: link latency is supplied \
+                 by the real network, not the simulator"
+                    .to_string(),
+            );
+        }
+        if cfg.local_nodes.is_empty() {
+            return Err("distributed run with no local nodes".to_string());
+        }
+        let local: HashSet<NodeId> = cfg.local_nodes.iter().copied().collect();
+        for n in &local {
+            if n.0 as usize >= self.nodes.len() {
+                return Err(format!(
+                    "local node {} is outside the topology ({} nodes)",
+                    n.0,
+                    self.nodes.len()
+                ));
+            }
+        }
+        self.fabric.start();
+        let serve = cfg.serve;
+        let idle_grace = cfg.idle_grace;
+        let dials_out = !cfg.peers.is_empty();
+        let mut transport = Transport::start(cfg, self.fabric.handle())?;
+        let net = transport.handle();
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let workers_n = self.sched.effective_workers();
+        let slice_fuel = self.sched.slice_fuel;
+
+        // Flatten only the locally hosted nodes; cells for nodes that live
+        // in peer processes are dropped (their sites were never created
+        // here — see `add_remote_site`).
+        let mut daemons: Vec<(Daemon, bool)> = Vec::new();
+        let mut sites: Vec<Site> = Vec::new();
+        let mut owner_of_slot: Vec<usize> = Vec::new();
+        for cell in self.nodes.drain(..) {
+            let NodeCell {
+                id,
+                daemon,
+                sites: node_sites,
+                dead,
+                ..
+            } = cell;
+            if !local.contains(&id) {
+                continue;
+            }
+            let mut daemon = daemon;
+            daemon.set_fabric(Arc::new(net.clone()));
+            let di = daemons.len();
+            daemons.push((daemon, dead));
+            for site in node_sites {
+                owner_of_slot.push(di);
+                sites.push(site);
+            }
+        }
+        let slot_ids: Vec<SiteId> = sites.iter().map(|s| s.identity.site).collect();
+        let shared = Shared::new(sites, workers_n);
+        for (slot, (&di, id)) in owner_of_slot.iter().zip(&slot_ids).enumerate() {
+            daemons[di]
+                .0
+                .set_site_waker(*id, SiteWake::Sched(shared.handle(slot as u32)));
+        }
+
+        let mut daemon_threads = Vec::new();
+        for (mut daemon, dead) in daemons {
+            if dead {
+                continue;
+            }
+            let stop_d = stop.clone();
+            daemon_threads.push(std::thread::spawn(move || {
+                let mut lull = 0u32;
+                while !stop_d.load(Ordering::Relaxed) {
+                    if daemon.pump() {
+                        lull = 0;
+                    } else {
+                        lull += 1;
+                        if lull > 2 {
+                            daemon
+                                .waker()
+                                .wait_timeout(std::time::Duration::from_millis(1));
+                        } else {
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+                daemon
+            }));
+        }
+        let mut worker_threads = Vec::new();
+        for i in 0..workers_n {
+            let worker = Worker::new(shared.clone(), i, slice_fuel);
+            worker_threads.push(
+                std::thread::Builder::new()
+                    .name(format!("ditico-worker-{i}"))
+                    .spawn(move || worker.run())
+                    .expect("spawn worker"),
+            );
+        }
+
+        // The environment loop: watch local scheduler activity and the
+        // wire's data counters; exit per the policy in the doc comment.
+        let t0 = std::time::Instant::now();
+        let mut last_counters = transport.data_counters();
+        let mut stable_since = std::time::Instant::now();
+        let mut quiesced = false;
+        loop {
+            shared
+                .idle
+                .wait_timeout(std::time::Duration::from_millis(20));
+            if t0.elapsed() > wall_limit {
+                break;
+            }
+            let counters = transport.data_counters();
+            if counters != last_counters {
+                last_counters = counters;
+                stable_since = std::time::Instant::now();
+            }
+            if !serve && transport.all_remotes_down() {
+                // Every peer is dead or unreachable: whatever this process
+                // is computing or waiting for, the distributed run is
+                // over. Cut it (quiescent stays false) and report the
+                // suspects rather than spinning out the wall limit.
+                break;
+            }
+            let local_idle = shared.active_sites() == 0;
+            if !local_idle {
+                stable_since = std::time::Instant::now();
+                continue;
+            }
+            if serve {
+                // A server's work arrives over the wire: it stays up
+                // until at least one peer connected and all of them are
+                // gone again (then the usual idle+grace applies).
+                if transport.ever_connected()
+                    && transport.peers_all_gone()
+                    && stable_since.elapsed() >= idle_grace
+                {
+                    quiesced = true;
+                    break;
+                }
+            } else {
+                // Don't conclude "nothing left to do" while still dialing:
+                // the handshake itself may deliver the work.
+                if dials_out && !transport.ever_connected() {
+                    continue;
+                }
+                if stable_since.elapsed() >= idle_grace {
+                    quiesced = true;
+                    break;
+                }
+            }
+        }
+        // Capture liveness verdicts *before* tearing the wire down.
+        let suspects = transport.suspects();
+        stop.store(true, Ordering::Relaxed);
+        shared.stop();
+
+        let worker_aborts = join_workers(&shared, worker_threads);
+        let mut report = RunReport {
+            sched: shared.stats(),
+            aborts: worker_aborts,
+            suspects,
+            ..Default::default()
+        };
+        shared.for_each_site(|site| collect_site(&mut report, site));
+        join_daemons(&mut report, daemon_threads);
+        report.fabric_packets = self.fabric.stats.packets.load(Ordering::Relaxed);
+        report.fabric_bytes = self.fabric.stats.bytes.load(Ordering::Relaxed);
+        report.quiescent = quiesced;
+        transport.shutdown();
+        report.transport = Some(transport.report());
+        self.fabric.shutdown();
+        Ok(report)
     }
 
     /// The pre-scheduler execution mode: one OS thread per site (plus one
@@ -542,6 +769,7 @@ impl Cluster {
         let stop = Arc::new(AtomicBool::new(false));
         let t0 = std::time::Instant::now();
         let mut site_threads = Vec::new();
+        let mut site_thread_lexemes: Vec<String> = Vec::new();
         let mut daemon_threads = Vec::new();
         let mut active_flags: Vec<Arc<AtomicBool>> = Vec::new();
         let mut unbooted: Vec<Site> = Vec::new();
@@ -587,6 +815,7 @@ impl Cluster {
                 let flag = Arc::new(AtomicBool::new(true));
                 active_flags.push(flag.clone());
                 let stop_s = stop.clone();
+                site_thread_lexemes.push(site.lexeme.clone());
                 site_threads.push(
                     std::thread::Builder::new()
                         // Sites are shallow; small stacks keep thousands of
@@ -651,17 +880,27 @@ impl Cluster {
             detector_probes: probes,
             ..Default::default()
         };
-        for h in site_threads {
-            let site = h.join().expect("site thread");
-            collect_site(&mut report, &site);
+        for (h, lexeme) in site_threads.into_iter().zip(site_thread_lexemes) {
+            match h.join() {
+                Ok(site) => collect_site(&mut report, &site),
+                Err(_) => {
+                    // The thread unwound with the site inside it: its
+                    // output and statistics are gone, but the run still
+                    // reports — the failure is surfaced, not fatal.
+                    report.errors.push((
+                        lexeme.clone(),
+                        VmError::Internal("site thread panicked".to_string()),
+                    ));
+                    report.aborts.push(format!(
+                        "site thread `{lexeme}` panicked; its results are lost"
+                    ));
+                }
+            }
         }
         for site in &unbooted {
             collect_site(&mut report, site);
         }
-        for h in daemon_threads {
-            let daemon = h.join().expect("daemon thread");
-            report.daemon_stats.push(daemon.stats);
-        }
+        join_daemons(&mut report, daemon_threads);
         report.fabric_packets = self.fabric.stats.packets.load(Ordering::Relaxed);
         report.fabric_bytes = self.fabric.stats.bytes.load(Ordering::Relaxed);
         report.quiescent = detected;
@@ -719,6 +958,46 @@ impl Cluster {
         }
         report.quiescent = quiescent;
         report
+    }
+}
+
+/// Join the worker pool, surviving panicked workers. A worker that died
+/// mid-slice abandoned its slot in state `RUNNING`; the site it was
+/// pumping is marked errored and its inbox drained (the errored-site
+/// discipline) so the run reports instead of aborting. Sound because this
+/// runs after `Shared::stop`, when no live worker can re-enter the slot.
+fn join_workers(shared: &Arc<Shared>, workers: Vec<std::thread::JoinHandle<()>>) -> Vec<String> {
+    let mut aborts = Vec::new();
+    for (i, h) in workers.into_iter().enumerate() {
+        if h.join().is_err() {
+            match shared.take_running(i) {
+                Some(slot) => {
+                    shared.mark_errored(
+                        slot,
+                        VmError::Internal(format!("worker thread {i} panicked mid-slice")),
+                    );
+                    aborts.push(format!(
+                        "worker thread {i} panicked while pumping site slot {slot}; \
+                         the site is reported errored"
+                    ));
+                }
+                None => aborts.push(format!("worker thread {i} panicked between slices")),
+            }
+        }
+    }
+    aborts
+}
+
+/// Join daemon threads, surviving panics: a lost daemon costs its node's
+/// statistics, not the run.
+fn join_daemons(report: &mut RunReport, daemons: Vec<std::thread::JoinHandle<Daemon>>) {
+    for h in daemons {
+        match h.join() {
+            Ok(daemon) => report.daemon_stats.push(daemon.stats),
+            Err(_) => report
+                .aborts
+                .push("a daemon thread panicked; its node's statistics are lost".to_string()),
+        }
     }
 }
 

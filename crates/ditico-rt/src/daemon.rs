@@ -16,7 +16,7 @@
 //! The daemon also hosts (a replica of) the name service when configured
 //! to, and answers `export`/`import` traffic for its sites.
 
-use crate::fabric::FabricHandle;
+use crate::fabric::{FabricHandle, PacketFabric};
 use crate::nameservice::NameService;
 use crate::sched::SiteWake;
 use crate::site::RtIncoming;
@@ -84,7 +84,9 @@ pub struct Daemon {
     from_sites: Receiver<(SiteId, Packet)>,
     /// Inbound packets from other nodes.
     from_fabric: Receiver<(NodeId, Bytes)>,
-    fabric: FabricHandle,
+    /// The outbound network: the in-process fabric, or (in distributed
+    /// runs) the TCP transport's handle, swapped in via [`Daemon::set_fabric`].
+    fabric: Arc<dyn PacketFabric>,
     /// Outgoing bytes per destination node, flushed to the fabric once
     /// per pump (per-link FIFO; buffers keep their allocation).
     out_bufs: HashMap<NodeId, OutBuf>,
@@ -127,7 +129,7 @@ impl Daemon {
             sites: HashMap::new(),
             from_sites,
             from_fabric,
-            fabric,
+            fabric: Arc::new(fabric),
             out_bufs: HashMap::new(),
             site_bufs: HashMap::new(),
             scratch_pkts: Vec::new(),
@@ -164,6 +166,13 @@ impl Daemon {
     /// they hand it work).
     pub fn waker(&self) -> &Arc<Notify> {
         &self.waker
+    }
+
+    /// Replace the outbound network. Distributed runs rebind each local
+    /// daemon to the TCP transport's handle so packets addressed to
+    /// remote nodes leave the process; in-process runs never call this.
+    pub fn set_fabric(&mut self, fabric: Arc<dyn PacketFabric>) {
+        self.fabric = fabric;
     }
 
     /// The node currently acting as name-service primary.
@@ -222,8 +231,9 @@ impl Daemon {
     /// receiver cannot trust that shipped byte-code was produced by our
     /// compiler). Returns a reason to reject, or `None` to admit. Packets
     /// without code images pass through; their field-level validation
-    /// happened in the codec.
-    fn screen(p: &Packet) -> Option<String> {
+    /// happened in the codec. Also used by the TCP transport's reader,
+    /// which sits on an even less trustworthy boundary.
+    pub(crate) fn screen(p: &Packet) -> Option<String> {
         let (code, table) = match p {
             Packet::Obj { obj, .. } => (&obj.code, obj.table),
             Packet::FetchReply { group, .. } => (&group.code, group.table),
@@ -348,6 +358,9 @@ impl Daemon {
             Packet::Heartbeat { .. } | Packet::TermProbe { .. } | Packet::TermReport { .. } => {
                 self.ns_primary_node()
             }
+            // Handshakes live on the transport layer; one reaching the
+            // routing layer is consumed and ignored.
+            Packet::Hello { .. } => self.node,
         };
         if target == self.node {
             self.deliver_local(p);
@@ -451,10 +464,10 @@ impl Daemon {
                 let e = self.heartbeats.entry(node).or_insert(0);
                 *e = (*e).max(seq);
             }
-            Packet::TermProbe { .. } | Packet::TermReport { .. } => {
+            Packet::TermProbe { .. } | Packet::TermReport { .. } | Packet::Hello { .. } => {
                 // Termination detection runs at the environment level in
-                // this implementation; wire packets are accepted and
-                // ignored here.
+                // this implementation (and handshakes at the transport
+                // layer); wire packets are accepted and ignored here.
                 self.term.consumed.fetch_add(1, Ordering::Relaxed);
             }
         }

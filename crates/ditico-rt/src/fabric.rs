@@ -80,14 +80,55 @@ impl LinkProfile {
         }
     }
 
+    /// Validated constructor: rejects bandwidths that would poison the
+    /// delay math (NaN, zero, negative, subnormal). `f64::INFINITY` is
+    /// accepted and means "no serialization delay".
+    pub fn new(latency_ns: u64, bandwidth_bps: f64) -> Result<LinkProfile, String> {
+        let p = LinkProfile {
+            latency_ns,
+            bandwidth_bps,
+        };
+        p.validate()?;
+        Ok(p)
+    }
+
+    /// Check the profile's bandwidth is usable (see [`LinkProfile::new`]).
+    pub fn validate(&self) -> Result<(), String> {
+        let b = self.bandwidth_bps;
+        if b.is_nan() {
+            return Err("link bandwidth is NaN".into());
+        }
+        if b <= 0.0 {
+            return Err(format!("link bandwidth must be positive, got {b}"));
+        }
+        if b.is_finite() && !b.is_normal() {
+            return Err(format!("link bandwidth {b} is subnormal"));
+        }
+        Ok(())
+    }
+
     /// Total transfer time for a payload of `bytes`.
+    ///
+    /// Defensive even for profiles built without [`LinkProfile::new`]: a
+    /// zero/denormal bandwidth makes the division blow up to `inf` or a
+    /// huge finite value, so the serialization term is clamped and the
+    /// final sum saturates instead of overflowing (which panicked in
+    /// debug builds and wrapped the virtual clock in release).
     pub fn transfer_ns(&self, bytes: usize) -> u64 {
-        let ser = if self.bandwidth_bps.is_finite() {
+        let ser = if self.bandwidth_bps.is_nan() || self.bandwidth_bps <= 0.0 {
+            // NaN, zero or negative bandwidth: treat the link as unusable
+            // (slowest possible), never as a free one.
+            u64::MAX
+        } else if self.bandwidth_bps.is_finite() {
+            // Rust float→int casts saturate, so a huge or infinite
+            // quotient (denormal bandwidth) becomes u64::MAX rather than
+            // wrapping.
             (bytes as f64 / self.bandwidth_bps * 1e9) as u64
         } else {
+            // Infinite bandwidth: serialization is free.
             0
         };
-        self.latency_ns + ser
+        self.latency_ns.saturating_add(ser)
     }
 }
 
@@ -189,7 +230,7 @@ impl Shared {
             .get(&(from, to))
             .copied()
             .unwrap_or(self.default_link);
-        let raw = now + profile.transfer_ns(payload.len());
+        let raw = now.saturating_add(profile.transfer_ns(payload.len()));
         let last = self.link_last.get(&(from, to)).copied().unwrap_or(0);
         let due = raw.max(last.saturating_add(1));
         self.link_last.insert((from, to), due);
@@ -510,6 +551,30 @@ impl FabricHandle {
     }
 }
 
+/// The sending interface a daemon needs from "the network": single sends
+/// plus the batched per-link flush discipline. [`FabricHandle`] implements
+/// it for the three in-process modes; the TCP transport's `NetHandle`
+/// implements it for multi-process runs by routing frames for remote
+/// nodes onto sockets. Extracting the trait keeps `Daemon` agnostic — the
+/// Ideal/Virtual/RealTime paths are byte-for-byte what they were before
+/// distribution existed.
+pub trait PacketFabric: Send + Sync {
+    /// Send one encoded packet from `from` to `to`.
+    fn send(&self, from: NodeId, to: NodeId, payload: Bytes);
+    /// Send a whole per-link backlog, draining `batch` (the allocation is
+    /// kept for reuse). Must preserve `batch` order on the link.
+    fn send_batch(&self, from: NodeId, to: NodeId, batch: &mut Vec<Bytes>);
+}
+
+impl PacketFabric for FabricHandle {
+    fn send(&self, from: NodeId, to: NodeId, payload: Bytes) {
+        FabricHandle::send(self, from, to, payload);
+    }
+    fn send_batch(&self, from: NodeId, to: NodeId, batch: &mut Vec<Bytes>) {
+        FabricHandle::send_batch(self, from, to, batch);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -626,5 +691,56 @@ mod tests {
         // Bandwidth dominates large ones.
         assert!(m.transfer_ns(1_000_000) * 5 < e.transfer_ns(1_000_000));
         assert_eq!(LinkProfile::ideal().transfer_ns(1 << 20), 0);
+    }
+
+    #[test]
+    fn degenerate_bandwidth_saturates_instead_of_overflowing() {
+        // Regression: zero/denormal bandwidth is finite, so the division
+        // used to yield inf/huge, the cast saturated, and latency + ser
+        // overflowed (debug panic, release clock wrap).
+        let zero = LinkProfile {
+            latency_ns: 5,
+            bandwidth_bps: 0.0,
+        };
+        assert_eq!(zero.transfer_ns(1), u64::MAX);
+        let denormal = LinkProfile {
+            latency_ns: u64::MAX - 1,
+            bandwidth_bps: f64::MIN_POSITIVE / 4.0,
+        };
+        assert_eq!(denormal.transfer_ns(1024), u64::MAX);
+        let nan = LinkProfile {
+            latency_ns: 0,
+            bandwidth_bps: f64::NAN,
+        };
+        assert_eq!(nan.transfer_ns(1), u64::MAX);
+        let negative = LinkProfile {
+            latency_ns: 0,
+            bandwidth_bps: -1.0,
+        };
+        assert_eq!(negative.transfer_ns(1), u64::MAX);
+        // And the event scheduler survives such a profile: due times
+        // saturate rather than panicking in debug builds.
+        let f = Fabric::new(FabricMode::Virtual, zero);
+        let _rx = f.register_node(n(1));
+        f.handle().send(n(0), n(1), Bytes::from_static(b"x"));
+        assert_eq!(f.next_event_ns(), Some(u64::MAX));
+    }
+
+    #[test]
+    fn profile_construction_is_validated() {
+        assert!(LinkProfile::new(10, 1e9).is_ok());
+        assert!(LinkProfile::new(10, f64::INFINITY).is_ok());
+        assert!(LinkProfile::new(10, 0.0).is_err());
+        assert!(LinkProfile::new(10, -3.0).is_err());
+        assert!(LinkProfile::new(10, f64::NAN).is_err());
+        assert!(LinkProfile::new(10, f64::MIN_POSITIVE / 2.0).is_err());
+        for p in [
+            LinkProfile::myrinet(),
+            LinkProfile::fast_ethernet(),
+            LinkProfile::wan(),
+            LinkProfile::ideal(),
+        ] {
+            assert!(p.validate().is_ok());
+        }
     }
 }

@@ -22,6 +22,12 @@ use tyco_vm::word::NodeId;
 pub struct FailureMonitor {
     /// node → (latest sequence, round in which it first appeared).
     last: HashMap<NodeId, (u64, u64)>,
+    /// node → round in which the monitor first learned the node exists
+    /// (topology membership or transport handshake). A node that has
+    /// never produced a heartbeat gets its grace window measured from
+    /// here, not from round 0 — otherwise any node joining after round
+    /// `stale_rounds` would be suspected the instant it appears.
+    first_known: HashMap<NodeId, u64>,
     /// Rounds without progress before a node is suspected.
     pub stale_rounds: u64,
 }
@@ -30,13 +36,22 @@ impl FailureMonitor {
     pub fn new(stale_rounds: u64) -> FailureMonitor {
         FailureMonitor {
             last: HashMap::new(),
+            first_known: HashMap::new(),
             stale_rounds,
         }
+    }
+
+    /// Record that `node` exists as of `round` without having heard a
+    /// heartbeat from it yet (e.g. it completed a transport handshake or
+    /// was added to the topology). Idempotent: the earliest round wins.
+    pub fn note_known(&mut self, node: NodeId, round: u64) {
+        self.first_known.entry(node).or_insert(round);
     }
 
     /// Record the latest heartbeat sequence observed for `node` during
     /// observation round `round`.
     pub fn observe(&mut self, node: NodeId, seq: u64, round: u64) {
+        self.note_known(node, round);
         match self.last.get_mut(&node) {
             Some((s, r)) => {
                 if seq > *s {
@@ -54,8 +69,13 @@ impl FailureMonitor {
     pub fn suspected(&self, node: NodeId, round: u64) -> bool {
         match self.last.get(&node) {
             Some((_, last_round)) => round.saturating_sub(*last_round) > self.stale_rounds,
-            // Never heard from: suspected only after the grace window.
-            None => round > self.stale_rounds,
+            // Never heard from: the grace window runs from the round the
+            // node first became known, so late joiners are not suspected
+            // on arrival.
+            None => {
+                let known = self.first_known.get(&node).copied().unwrap_or(0);
+                round.saturating_sub(known) > self.stale_rounds
+            }
         }
     }
 
@@ -100,6 +120,29 @@ mod tests {
         let m = FailureMonitor::new(4);
         assert!(!m.suspected(n(2), 4));
         assert!(m.suspected(n(2), 5));
+    }
+
+    #[test]
+    fn late_joiner_gets_full_grace_window() {
+        // Regression: a node first known at round 10 used to be suspected
+        // instantly because the grace window was measured from round 0.
+        let mut m = FailureMonitor::new(4);
+        m.note_known(n(3), 10);
+        assert!(!m.suspected(n(3), 10));
+        assert!(!m.suspected(n(3), 14)); // known_round + stale_rounds
+        assert!(m.suspected(n(3), 15));
+        // A heartbeat then refreshes liveness as usual.
+        m.observe(n(3), 1, 15);
+        assert!(!m.suspected(n(3), 19));
+        assert!(m.suspected(n(3), 20));
+    }
+
+    #[test]
+    fn note_known_keeps_earliest_round() {
+        let mut m = FailureMonitor::new(2);
+        m.note_known(n(4), 5);
+        m.note_known(n(4), 50);
+        assert!(m.suspected(n(4), 8));
     }
 
     #[test]

@@ -20,7 +20,11 @@
 //! * [`termination`] — Mattern-style four-counter termination detection
 //!   (§7 future work);
 //! * [`failure`] — heartbeat failure detection and name-service failover
-//!   over replicas (§5/§7 future work).
+//!   over replicas (§5/§7 future work);
+//! * [`transport`] — the real TCP transport: length-prefixed frames over
+//!   sockets, per-peer connection actors with reconnect/backoff, wire
+//!   heartbeats feeding the failure monitor, verifier screening at the
+//!   process boundary.
 
 pub mod cluster;
 pub mod daemon;
@@ -30,14 +34,16 @@ pub mod nameservice;
 pub mod sched;
 pub mod site;
 pub mod termination;
+pub mod transport;
 pub mod wake;
 
 pub use cluster::{Cluster, RunLimits, RunReport};
 pub use daemon::{Daemon, DaemonStats, TermCounters};
-pub use fabric::{Fabric, FabricHandle, FabricMode, FabricStats, LinkProfile};
+pub use fabric::{Fabric, FabricHandle, FabricMode, FabricStats, LinkProfile, PacketFabric};
 pub use failure::FailureMonitor;
 pub use nameservice::NameService;
 pub use sched::{SchedConfig, SchedStats};
 pub use site::{RtIncoming, RtPort, Site, SiteInterface, SliceOutcome};
 pub use termination::{Snapshot, TerminationDetector};
+pub use transport::{parse_peer_list, NetHandle, Transport, TransportConfig, TransportReport};
 pub use wake::Notify;

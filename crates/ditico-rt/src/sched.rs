@@ -60,8 +60,12 @@ use crate::site::Site;
 use crate::wake::Notify;
 use parking_lot::Mutex;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
+use tyco_vm::VmError;
+
+/// Sentinel for [`Shared::running`]: the worker is not pumping any slot.
+const NO_SLOT: u32 = u32::MAX;
 
 /// Site scheduling states (stored in [`Slot::state`]).
 const IDLE: u8 = 0;
@@ -149,6 +153,10 @@ pub struct Shared {
     n_parked: AtomicUsize,
     /// One wakeup flag per worker.
     wakers: Vec<Notify>,
+    /// The slot each worker is currently pumping ([`NO_SLOT`] if none).
+    /// Consulted after a worker thread dies to identify the site it
+    /// abandoned mid-slice.
+    running: Vec<AtomicU32>,
     /// Sites in state QUEUED/RUNNING/DIRTY. The transition to zero is the
     /// pool's idle edge.
     active: AtomicUsize,
@@ -184,6 +192,7 @@ impl Shared {
             parked: Mutex::new(Vec::new()),
             n_parked: AtomicUsize::new(0),
             wakers: (0..workers).map(|_| Notify::new()).collect(),
+            running: (0..workers).map(|_| AtomicU32::new(NO_SLOT)).collect(),
             active: AtomicUsize::new(n),
             idle: Notify::new(),
             stop: AtomicBool::new(false),
@@ -276,6 +285,32 @@ impl Shared {
         for slot in &self.slots {
             f(&slot.site.lock());
         }
+    }
+
+    /// The slot `worker` was pumping when it last checked in, cleared as a
+    /// side effect. Used after joining a panicked worker thread: the slot
+    /// it abandoned never retires (its state stays `RUNNING`), so the
+    /// environment marks it errored via [`Shared::mark_errored`] instead.
+    pub fn take_running(&self, worker: usize) -> Option<u32> {
+        match self.running[worker].swap(NO_SLOT, Ordering::SeqCst) {
+            NO_SLOT => None,
+            s => Some(s),
+        }
+    }
+
+    /// Record a runtime-level failure on `slot`'s site: set its error (if
+    /// the slice didn't already record one) and drop its inbox so pending
+    /// deliveries are counted consumed (the errored-site draining
+    /// discipline). Only sound after every worker has stopped — the site
+    /// mutex may be poisoned by the panic, which our `parking_lot` shim's
+    /// `lock()` recovers from, but no live worker may still be inside it.
+    pub fn mark_errored(&self, slot: u32, err: VmError) {
+        let cell = &self.slots[slot as usize];
+        let mut site = cell.site.lock();
+        if site.error.is_none() {
+            site.error = Some(err);
+        }
+        site.machine.port.drop_inbox();
     }
 }
 
@@ -483,10 +518,12 @@ impl Worker {
         // packet (termination-safety point 2 in the module docs).
         cell.state.store(RUNNING, Ordering::SeqCst);
         cell.slices.fetch_add(1, Ordering::Relaxed);
+        self.shared.running[self.index].store(slot, Ordering::SeqCst);
         let outcome = {
             let mut site = cell.site.lock();
             site.pump_slice(self.slice_fuel)
         };
+        self.shared.running[self.index].store(NO_SLOT, Ordering::SeqCst);
         if outcome.runnable || outcome.inbox_nonempty {
             // Still work to do: back of the local queue (hot site runs
             // next). Overwrites DIRTY, which is fine — requeueing is what

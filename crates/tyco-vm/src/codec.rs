@@ -45,6 +45,21 @@ pub struct TypeStamp {
     pub canonical: String,
 }
 
+/// Version of the TCP wire protocol (frame layout + packet encodings).
+/// Each side announces it in the [`Packet::Hello`] handshake; a mismatch
+/// closes the connection instead of misinterpreting bytes.
+pub const WIRE_VERSION: u32 = 1;
+
+/// Upper bound on a frame body. A length prefix beyond this is treated as
+/// a corrupt or hostile stream and the connection is dropped — the bound
+/// exists so a single bad length cannot make a reader allocate gigabytes.
+pub const MAX_FRAME_LEN: usize = 64 << 20;
+
+/// Sentinel node id for transport-level control frames (handshake,
+/// heartbeats): they are consumed by the connection actor and never enter
+/// a node's packet queue.
+pub const CONTROL_NODE: NodeId = NodeId(u32::MAX);
+
 /// Everything a TyCOd daemon routes between nodes.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Packet {
@@ -107,6 +122,11 @@ pub enum Packet {
         recv: u64,
         active: bool,
     },
+    /// Transport handshake: the first frame on every TCP connection. It
+    /// announces the sender's wire-protocol version and the node ids the
+    /// sending process hosts, so the receiver can route outbound packets
+    /// for those nodes over this connection.
+    Hello { version: u32, nodes: Vec<NodeId> },
 }
 
 // -- primitive writers -------------------------------------------------------
@@ -786,6 +806,14 @@ pub fn encode_into(p: &Packet, buf: &mut BytesMut) {
             buf.put_u64_le(*recv);
             buf.put_u8(*active as u8);
         }
+        Packet::Hello { version, nodes } => {
+            buf.put_u8(10);
+            buf.put_u32_le(*version);
+            buf.put_u32_le(nodes.len() as u32);
+            for n in nodes {
+                buf.put_u32_le(n.0);
+            }
+        }
     }
 }
 
@@ -944,12 +972,90 @@ pub fn decode(mut buf: Bytes) -> R<Packet> {
                 active: buf.get_u8() != 0,
             }
         }
+        10 => {
+            if buf.remaining() < 8 {
+                return err("truncated hello");
+            }
+            let version = buf.get_u32_le();
+            let n = buf.get_u32_le() as usize;
+            let mut nodes = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                if buf.remaining() < 4 {
+                    return err("truncated hello node list");
+                }
+                nodes.push(NodeId(buf.get_u32_le()));
+            }
+            Packet::Hello { version, nodes }
+        }
         t => return err(format!("bad packet tag {t}")),
     };
     if buf.has_remaining() {
         return err(format!("{} trailing bytes", buf.remaining()));
     }
     Ok(p)
+}
+
+// -- TCP frames ---------------------------------------------------------------------
+
+/// One length-prefixed unit on a TCP connection between two TyCOd
+/// processes. Layout on the wire:
+///
+/// ```text
+/// u32le body_len | u32le from_node | u32le to_node | packet bytes
+/// ```
+///
+/// The `from`/`to` header exists because a packet's encoding does not
+/// always name its destination node (e.g. `NsRegister` is broadcast) and
+/// one OS process may host several nodes. Control traffic (handshake,
+/// heartbeats) uses [`CONTROL_NODE`] as `to` and is consumed by the
+/// connection actor instead of being routed to a node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    pub from: NodeId,
+    pub to: NodeId,
+    pub payload: Bytes,
+}
+
+/// Append the wire encoding of a frame carrying `payload` to `buf`.
+pub fn encode_frame_into(from: NodeId, to: NodeId, payload: &[u8], buf: &mut BytesMut) {
+    buf.put_u32_le((payload.len() + 8) as u32);
+    buf.put_u32_le(from.0);
+    buf.put_u32_le(to.0);
+    buf.put_slice(payload);
+}
+
+/// Encode a single frame to its own buffer.
+pub fn encode_frame(from: NodeId, to: NodeId, payload: &[u8]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(payload.len() + 12);
+    encode_frame_into(from, to, payload, &mut buf);
+    buf.freeze()
+}
+
+/// Try to decode one frame from the front of `buf`.
+///
+/// Returns `Ok(None)` when the buffer holds only a partial frame (read
+/// more bytes and retry), `Ok(Some((frame, consumed)))` when a complete
+/// frame was parsed (`consumed` bytes should be drained from the front),
+/// and `Err` when the stream is corrupt (undersized body or a length
+/// prefix beyond [`MAX_FRAME_LEN`]) and the connection must be dropped.
+pub fn decode_frame(buf: &[u8]) -> R<Option<(Frame, usize)>> {
+    if buf.len() < 4 {
+        return Ok(None);
+    }
+    let body_len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+    if body_len < 8 {
+        return err(format!("frame body too short: {body_len} bytes"));
+    }
+    if body_len > MAX_FRAME_LEN {
+        return err(format!("frame body too long: {body_len} bytes"));
+    }
+    if buf.len() < 4 + body_len {
+        return Ok(None);
+    }
+    let from = NodeId(u32::from_le_bytes([buf[4], buf[5], buf[6], buf[7]]));
+    let to = NodeId(u32::from_le_bytes([buf[8], buf[9], buf[10], buf[11]]));
+    let payload = Bytes::copy_from_slice(&buf[12..4 + body_len]);
+    Ok(Some((Frame { from, to, payload }, 4 + body_len)))
 }
 
 #[cfg(test)]
@@ -1177,6 +1283,62 @@ mod tests {
                 captured: vec![],
             },
         });
+    }
+
+    #[test]
+    fn hello_roundtrip() {
+        roundtrip(Packet::Hello {
+            version: WIRE_VERSION,
+            nodes: vec![NodeId(0), NodeId(3)],
+        });
+        roundtrip(Packet::Hello {
+            version: 99,
+            nodes: vec![],
+        });
+    }
+
+    #[test]
+    fn frame_roundtrip_and_partial_reads() {
+        let p = encode(&Packet::Heartbeat {
+            node: NodeId(2),
+            seq: 9,
+        });
+        let mut buf = BytesMut::new();
+        encode_frame_into(NodeId(2), CONTROL_NODE, &p, &mut buf);
+        encode_frame_into(NodeId(0), NodeId(1), b"xyz", &mut buf);
+        let bytes = buf.freeze();
+
+        // Every prefix shorter than the first frame is "incomplete",
+        // never an error.
+        let first_len = 4 + 8 + p.len();
+        for cut in 0..first_len {
+            assert_eq!(decode_frame(&bytes[..cut]).unwrap(), None, "prefix {cut}");
+        }
+        let (f1, used1) = decode_frame(&bytes).unwrap().unwrap();
+        assert_eq!(f1.from, NodeId(2));
+        assert_eq!(f1.to, CONTROL_NODE);
+        assert_eq!(
+            decode(f1.payload).unwrap(),
+            Packet::Heartbeat {
+                node: NodeId(2),
+                seq: 9
+            }
+        );
+        let (f2, used2) = decode_frame(&bytes[used1..]).unwrap().unwrap();
+        assert_eq!(f2.to, NodeId(1));
+        assert_eq!(f2.payload.as_ref(), b"xyz");
+        assert_eq!(used1 + used2, bytes.len());
+    }
+
+    #[test]
+    fn frame_rejects_bad_lengths() {
+        // Body length below the 8-byte from/to header is corrupt.
+        let short = 4u32.to_le_bytes();
+        assert!(decode_frame(&short).is_err());
+        // A length prefix beyond MAX_FRAME_LEN is rejected before any
+        // allocation of that size happens.
+        let huge = ((MAX_FRAME_LEN + 1) as u32).to_le_bytes();
+        assert!(decode_frame(&huge).is_err());
     }
 
     #[test]

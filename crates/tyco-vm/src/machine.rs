@@ -51,6 +51,10 @@ pub enum VmError {
     /// An incoming code image failed static verification and was refused
     /// before linking (SHIPO / FETCH receive path).
     CodeRejected(String),
+    /// The hosting runtime lost the site's execution context (e.g. the
+    /// worker thread pumping it panicked). Not a fault in the site's own
+    /// program.
+    Internal(String),
 }
 
 impl fmt::Display for VmError {
@@ -72,6 +76,7 @@ impl fmt::Display for VmError {
             VmError::CorruptClassFrame => write!(f, "corrupt class frame"),
             VmError::StackUnderflow => write!(f, "operand stack underflow"),
             VmError::CodeRejected(e) => write!(f, "mobile code rejected by verifier: {e}"),
+            VmError::Internal(e) => write!(f, "runtime failure: {e}"),
         }
     }
 }

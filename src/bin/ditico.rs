@@ -15,21 +15,32 @@
 //!                                         (deterministic by default;
 //!                                         --threaded runs it on the M:N
 //!                                         worker-pool scheduler)
+//! ditico net     <spec.net> --node LIST --peers ADDRS [--listen ADDR] …
+//!                                         run one process of a multi-process
+//!                                         cluster over real TCP
+//! ditico serve   <spec.net> --node LIST --listen ADDR [--wall SECS] …
+//!                                         host this process's nodes and
+//!                                         linger until every peer is gone
 //! ditico shell                            interactive TyCOsh
 //! ```
 //!
-//! A network description (for `ditico net`) is a line-oriented file:
+//! A network description (for `ditico net` / `ditico serve`) is a
+//! line-oriented file; `node=N` pins a site (multi-process runs require
+//! every process to read the same spec so placements agree):
 //!
 //! ```text
 //! topology nodes=2 fabric=virtual link=myrinet
-//! site server server.dity
-//! site client client.dity
+//! site server server.dity node=0
+//! site client client.dity node=1
 //! ```
 
-use ditico::{Env, FabricMode, LinkProfile, Program, Shell, Topology};
+use ditico::{parse_peer_list, Env, FabricMode, LinkProfile, Program, Shell, Topology};
+use ditico::{RunReport, TransportConfig};
 use std::io::BufRead as _;
+use std::net::ToSocketAddrs as _;
 use std::path::Path;
 use std::process::ExitCode;
+use tyco_vm::word::NodeId;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -40,6 +51,7 @@ fn main() -> ExitCode {
         Some("disasm") => cmd_disasm(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
         Some("net") => cmd_net(&args[1..]),
+        Some("serve") => cmd_distributed(&args[1..], true),
         Some("shell") => cmd_shell(),
         Some("help") | None => {
             print_usage();
@@ -72,6 +84,13 @@ fn print_usage() {
          \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 run a network description (--threaded uses the\n\
          \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 M:N worker-pool scheduler; --stats prints per-site\n\
          \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 SHIPM/SHIPO/FETCH and scheduler counters)\n\
+         \x20 net     <spec.net> --node LIST --peers ADDRS [--listen ADDR]\n\
+         \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 [--wall SECS] [--hb-ms N] [--retries N] [--stats]\n\
+         \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 run one process of a multi-process cluster over TCP\n\
+         \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 (LIST: comma-separated node indices this process hosts)\n\
+         \x20 serve   <spec.net> --node LIST --listen ADDR [--peers ADDRS]\n\
+         \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 [--wall SECS] [--hb-ms N] [--retries N] [--stats]\n\
+         \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 host this process's nodes; linger until peers are gone\n\
          \x20 shell                            interactive TyCOsh"
     );
 }
@@ -204,29 +223,20 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     }
 }
 
-fn cmd_net(args: &[String]) -> Result<(), String> {
-    const USAGE: &str =
-        "usage: ditico net <spec.net> [--threaded] [--workers N] [--wall SECS] [--stats]";
-    let path = args.first().ok_or(USAGE)?;
-    let threaded = args.iter().any(|a| a == "--threaded");
-    let show_stats = args.iter().any(|a| a == "--stats");
-    let flag_value = |name: &str| -> Result<Option<u64>, String> {
-        match args.iter().position(|a| a == name) {
-            Some(i) => args
-                .get(i + 1)
-                .ok_or_else(|| format!("{name} needs a value\n{USAGE}"))?
-                .parse()
-                .map(Some)
-                .map_err(|e| format!("{name}: {e}")),
-            None => Ok(None),
-        }
-    };
-    let workers = flag_value("--workers")?;
-    let wall = flag_value("--wall")?.unwrap_or(60);
+/// One parsed `site` line of a network spec.
+struct SiteSpec {
+    lexeme: String,
+    src: String,
+    /// `node=N` pin, if any.
+    pin: Option<usize>,
+}
+
+/// Parse a `.net` network description (shared by `net` and `serve`).
+fn parse_net_spec(path: &str) -> Result<(Topology, Vec<SiteSpec>), String> {
     let spec = read(path)?;
     let dir = Path::new(path).parent().unwrap_or(Path::new("."));
     let mut topology = Topology::default();
-    let mut sites: Vec<(String, String)> = Vec::new();
+    let mut sites: Vec<SiteSpec> = Vec::new();
     for (i, raw) in spec.lines().enumerate() {
         let line = raw.split('#').next().unwrap_or("").trim();
         if line.is_empty() {
@@ -280,30 +290,67 @@ fn cmd_net(args: &[String]) -> Result<(), String> {
                 let file = words
                     .next()
                     .ok_or_else(|| format!("{path}:{}: site needs a program file", i + 1))?;
+                let mut pin = None;
+                for extra in words {
+                    match extra.split_once('=') {
+                        Some(("node", v)) => {
+                            pin = Some(v.parse().map_err(|e| format!("{path}:{}: {e}", i + 1))?);
+                        }
+                        _ => {
+                            return Err(format!(
+                                "{path}:{}: unknown site attribute `{extra}`",
+                                i + 1
+                            ));
+                        }
+                    }
+                }
                 let src = read(dir.join(file).to_str().unwrap_or(file))?;
-                sites.push((lexeme.to_string(), src));
+                sites.push(SiteSpec {
+                    lexeme: lexeme.to_string(),
+                    src,
+                    pin,
+                });
             }
             Some(other) => return Err(format!("{path}:{}: unknown directive `{other}`", i + 1)),
             None => {}
         }
     }
-    if threaded && topology.mode == FabricMode::Virtual {
-        return Err("--threaded needs fabric=ideal or fabric=realtime in the spec".into());
+    for s in &sites {
+        if let Some(pin) = s.pin {
+            if pin >= topology.nodes.max(1) {
+                return Err(format!(
+                    "site `{}` is pinned to node {pin}, but the topology has {} node(s)",
+                    s.lexeme, topology.nodes
+                ));
+            }
+        }
     }
-    let mut env = Env::new(topology);
-    if let Some(w) = workers {
-        env = env.workers(w as usize);
+    Ok((topology, sites))
+}
+
+/// Optional `--flag value` string lookup.
+fn string_flag(args: &[String], name: &str) -> Result<Option<String>, String> {
+    match args.iter().position(|a| a == name) {
+        Some(i) => args
+            .get(i + 1)
+            .cloned()
+            .map(Some)
+            .ok_or_else(|| format!("{name} needs a value")),
+        None => Ok(None),
     }
-    for (lexeme, src) in &sites {
-        env = env.site(lexeme, src).map_err(|e| e.to_string())?;
+}
+
+/// Optional `--flag N` numeric lookup.
+fn num_flag(args: &[String], name: &str) -> Result<Option<u64>, String> {
+    match string_flag(args, name)? {
+        Some(v) => v.parse().map(Some).map_err(|e| format!("{name}: {e}")),
+        None => Ok(None),
     }
-    let report = if threaded {
-        env.build()
-            .map_err(|e| e.to_string())?
-            .run_threaded(std::time::Duration::from_secs(wall))
-    } else {
-        env.run().map_err(|e| e.to_string())?
-    };
+}
+
+/// Print a finished run's outputs and summary; returns an error when any
+/// site failed so the process exits non-zero.
+fn print_report(report: &RunReport, show_stats: bool) -> Result<(), String> {
     let mut lexemes: Vec<&String> = report.outputs.keys().collect();
     lexemes.sort();
     for lexeme in lexemes {
@@ -314,18 +361,36 @@ fn cmd_net(args: &[String]) -> Result<(), String> {
     for (site, err) in &report.errors {
         eprintln!("[{site}] error: {err}");
     }
+    for a in &report.aborts {
+        eprintln!("abort: {a}");
+    }
+    if !report.suspects.is_empty() {
+        let list: Vec<String> = report.suspects.iter().map(|n| n.0.to_string()).collect();
+        eprintln!("suspected dead nodes: {}", list.join(", "));
+    }
     eprintln!(
         "-- {} instrs, {} fabric packets ({} bytes), virtual {} µs{}",
         report.total_instrs,
         report.fabric_packets,
         report.fabric_bytes,
         report.virtual_ns / 1_000,
-        if report.quiescent {
-            ""
-        } else {
-            " (instruction limit hit)"
-        }
+        if report.quiescent { "" } else { " (limit hit)" }
     );
+    if let Some(t) = &report.transport {
+        eprintln!(
+            "wire: {} data out / {} data in ({} B out, {} B in), {} heartbeats in, \
+             {} rejected, {} dropped, {} reconnects, {} peers failed",
+            t.data_out,
+            t.data_in,
+            t.bytes_out,
+            t.bytes_in,
+            t.heartbeats_in,
+            t.rejected,
+            t.dropped,
+            t.reconnects,
+            t.peers_failed
+        );
+    }
     if show_stats {
         let mut lexemes: Vec<&String> = report.stats.keys().collect();
         lexemes.sort();
@@ -353,6 +418,142 @@ fn cmd_net(args: &[String]) -> Result<(), String> {
         return Err(format!("{} site(s) failed", report.errors.len()));
     }
     Ok(())
+}
+
+fn cmd_net(args: &[String]) -> Result<(), String> {
+    const USAGE: &str =
+        "usage: ditico net <spec.net> [--threaded] [--workers N] [--wall SECS] [--stats]\n\
+         \x20      ditico net <spec.net> --node LIST --peers ADDRS [--listen ADDR] …";
+    let path = args.first().ok_or(USAGE)?;
+    // Any transport flag switches to the multi-process runner.
+    if ["--peers", "--listen", "--node"]
+        .iter()
+        .any(|f| args.iter().any(|a| a == f))
+    {
+        return cmd_distributed(args, false);
+    }
+    let threaded = args.iter().any(|a| a == "--threaded");
+    let show_stats = args.iter().any(|a| a == "--stats");
+    let workers = num_flag(args, "--workers")?;
+    let wall = num_flag(args, "--wall")?.unwrap_or(60);
+    let (topology, sites) = parse_net_spec(path)?;
+    if threaded && topology.mode == FabricMode::Virtual {
+        return Err("--threaded needs fabric=ideal or fabric=realtime in the spec".into());
+    }
+    let mut env = Env::new(topology);
+    if let Some(w) = workers {
+        env = env.workers(w as usize);
+    }
+    for s in &sites {
+        env = match s.pin {
+            Some(pin) => env.site_on(pin, &s.lexeme, &s.src),
+            None => env.site(&s.lexeme, &s.src),
+        }
+        .map_err(|e| e.to_string())?;
+    }
+    let report = if threaded {
+        env.build()
+            .map_err(|e| e.to_string())?
+            .run_threaded(std::time::Duration::from_secs(wall))
+    } else {
+        env.run().map_err(|e| e.to_string())?
+    };
+    print_report(&report, show_stats)
+}
+
+/// Run one process of a multi-process cluster over the TCP transport
+/// (`ditico net --node/--peers/--listen` and `ditico serve`).
+fn cmd_distributed(args: &[String], serve: bool) -> Result<(), String> {
+    let usage = if serve {
+        "usage: ditico serve <spec.net> --node LIST --listen ADDR [--peers ADDRS]\n\
+         \x20      [--wall SECS] [--hb-ms N] [--retries N] [--workers N] [--stats]"
+    } else {
+        "usage: ditico net <spec.net> --node LIST --peers ADDRS [--listen ADDR]\n\
+         \x20      [--wall SECS] [--hb-ms N] [--retries N] [--workers N] [--stats]"
+    };
+    let path = args.first().ok_or(usage)?;
+    let show_stats = args.iter().any(|a| a == "--stats");
+    let node_list = string_flag(args, "--node")?
+        .ok_or_else(|| format!("--node LIST is required for a multi-process run\n{usage}"))?;
+    let mut local_nodes: Vec<usize> = Vec::new();
+    for part in node_list.split(',') {
+        let part = part.trim();
+        local_nodes.push(
+            part.parse()
+                .map_err(|e| format!("--node: bad node index `{part}`: {e}"))?,
+        );
+    }
+    let peers = match string_flag(args, "--peers")? {
+        Some(s) => parse_peer_list(&s)?,
+        None => Vec::new(),
+    };
+    let listen = match string_flag(args, "--listen")? {
+        Some(s) => Some(
+            s.to_socket_addrs()
+                .map_err(|e| format!("--listen: bad address `{s}`: {e}"))?
+                .next()
+                .ok_or_else(|| format!("--listen: address `{s}` resolved to nothing"))?,
+        ),
+        None => None,
+    };
+    if serve && listen.is_none() {
+        return Err(format!("serve needs --listen\n{usage}"));
+    }
+    if !serve && peers.is_empty() && listen.is_none() {
+        return Err(format!(
+            "a multi-process run needs --peers and/or --listen\n{usage}"
+        ));
+    }
+    let wall = num_flag(args, "--wall")?.unwrap_or(60);
+    let (topology, sites) = parse_net_spec(path)?;
+    if topology.mode != FabricMode::Ideal {
+        return Err(
+            "multi-process runs need fabric=ideal in the spec: link latency comes from \
+             the real network"
+                .to_string(),
+        );
+    }
+    for &n in &local_nodes {
+        if n >= topology.nodes.max(1) {
+            return Err(format!(
+                "--node: index {n} is outside the topology ({} node(s))",
+                topology.nodes
+            ));
+        }
+    }
+    let mut cfg = TransportConfig {
+        local_nodes: local_nodes.iter().map(|&n| NodeId(n as u32)).collect(),
+        listen,
+        peers,
+        serve,
+        ..TransportConfig::default()
+    };
+    if let Some(ms) = num_flag(args, "--hb-ms")? {
+        cfg.hb_period = std::time::Duration::from_millis(ms.max(1));
+        cfg.idle_grace = cfg.hb_period * 6;
+    }
+    if let Some(r) = num_flag(args, "--retries")? {
+        cfg.max_retries = r as u32;
+    }
+    let mut env = Env::new(topology);
+    if let Some(w) = num_flag(args, "--workers")? {
+        env = env.workers(w as usize);
+    }
+    for s in &sites {
+        env = match s.pin {
+            Some(pin) => env.site_on(pin, &s.lexeme, &s.src),
+            None => env.site(&s.lexeme, &s.src),
+        }
+        .map_err(|e| e.to_string())?;
+    }
+    let built = env
+        .build_partition(&local_nodes)
+        .map_err(|e| e.to_string())?;
+    if let Some(addr) = listen {
+        eprintln!("listening on {addr}, hosting node(s) {node_list}");
+    }
+    let report = built.run_distributed(cfg, std::time::Duration::from_secs(wall))?;
+    print_report(&report, show_stats)
 }
 
 fn cmd_shell() -> Result<(), String> {

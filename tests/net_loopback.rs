@@ -1,0 +1,187 @@
+//! Two-process cluster tests over loopback TCP, through the real
+//! `ditico` binary: one `ditico serve` child hosting the server node and
+//! the name service, one `ditico net --peers` client process fetching
+//! code from it — first the happy path, then with the server killed
+//! mid-run to check the survivor suspects it and terminates cleanly.
+
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::process::{Child, Command, ExitStatus, Stdio};
+use std::time::{Duration, Instant};
+
+fn ditico() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_ditico"))
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ditico-net-{name}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mk tmpdir");
+    dir
+}
+
+fn write(dir: &std::path::Path, name: &str, content: &str) -> PathBuf {
+    let p = dir.join(name);
+    std::fs::write(&p, content).expect("write");
+    p
+}
+
+/// Reserve a free loopback port by binding port 0 and dropping the
+/// listener (racy in principle, fine for tests).
+fn free_port() -> u16 {
+    TcpListener::bind("127.0.0.1:0")
+        .expect("bind")
+        .local_addr()
+        .expect("addr")
+        .port()
+}
+
+/// Wait for `child` to exit on its own, killing it (and panicking) if it
+/// outlives `secs` — a hung process must fail the test, not wedge CI.
+fn wait_bounded(child: &mut Child, secs: u64) -> ExitStatus {
+    let t0 = Instant::now();
+    loop {
+        if let Some(st) = child.try_wait().expect("try_wait") {
+            return st;
+        }
+        if t0.elapsed() > Duration::from_secs(secs) {
+            let _ = child.kill();
+            let _ = child.wait();
+            panic!("child did not exit within {secs}s");
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+const SPEC: &str = "topology nodes=2 fabric=ideal link=ideal\n\
+                    site server server.dity node=0\n\
+                    site client client.dity node=1\n";
+
+const SERVER: &str = "export def Adder(x, r) = r![x + 40] in 0";
+
+/// Both processes read the same spec; the client FETCHes `Adder`'s code
+/// over the wire and instantiates it locally.
+const CLIENT: &str = "import Adder from server in new r (Adder[2, r] | r?(y) = print(y))";
+
+/// A client that also spins forever after printing, so the process stays
+/// busy and can only exit when the failure detector declares the peer
+/// dead (used by the kill test).
+const CLIENT_SPIN: &str = "import Adder from server in \
+                           def Loop(n) = Loop[n] in \
+                           new r (Adder[2, r] | r?(y) = print(y) | Loop[0])";
+
+#[test]
+fn two_process_fetch_roundtrip() {
+    let dir = tmpdir("roundtrip");
+    write(&dir, "server.dity", SERVER);
+    write(&dir, "client.dity", CLIENT);
+    let spec = write(&dir, "cluster.net", SPEC);
+    let addr = format!("127.0.0.1:{}", free_port());
+
+    let mut server = ditico()
+        .args(["serve", spec.to_str().unwrap(), "--node", "0"])
+        .args(["--listen", &addr, "--wall", "60", "--hb-ms", "25"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn serve");
+
+    // The client dials with reconnect/backoff, so it need not wait for
+    // the server's listener to come up.
+    let client = ditico()
+        .args(["net", spec.to_str().unwrap(), "--node", "1"])
+        .args(["--peers", &addr, "--wall", "60", "--hb-ms", "25"])
+        .output()
+        .expect("run client");
+    let client_err = String::from_utf8_lossy(&client.stderr).to_string();
+    assert!(client.status.success(), "{client_err}");
+    assert_eq!(
+        String::from_utf8_lossy(&client.stdout).trim(),
+        "[client] 42",
+        "{client_err}"
+    );
+    assert!(
+        !client_err.contains("suspected dead nodes"),
+        "clean run must not suspect anyone: {client_err}"
+    );
+
+    // With its only peer gone, the server must wind down on its own.
+    let st = wait_bounded(&mut server, 30);
+    let out = server.wait_with_output().expect("server output");
+    let server_err = String::from_utf8_lossy(&out.stderr).to_string();
+    assert!(st.success(), "{server_err}");
+    assert!(
+        server_err.contains("data in"),
+        "server should report wire traffic: {server_err}"
+    );
+}
+
+#[test]
+fn killing_the_server_is_suspected_by_the_survivor() {
+    let dir = tmpdir("kill");
+    write(&dir, "server.dity", SERVER);
+    write(&dir, "client.dity", CLIENT_SPIN);
+    let spec = write(&dir, "cluster.net", SPEC);
+    let addr = format!("127.0.0.1:{}", free_port());
+
+    let mut server = ditico()
+        .args(["serve", spec.to_str().unwrap(), "--node", "0"])
+        .args(["--listen", &addr, "--wall", "60", "--hb-ms", "25"])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn serve");
+    let mut client = ditico()
+        .args(["net", spec.to_str().unwrap(), "--node", "1"])
+        .args(["--peers", &addr, "--wall", "60", "--hb-ms", "25"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn client");
+
+    // Let the FETCH complete, then pull the server out from under the
+    // still-running client.
+    std::thread::sleep(Duration::from_millis(1500));
+    server.kill().expect("kill server");
+    let _ = server.wait();
+
+    // The survivor must notice the heartbeat silence, report the
+    // suspicion and terminate cleanly well inside the wall bound.
+    wait_bounded(&mut client, 30);
+    let out = client.wait_with_output().expect("client output");
+    let stdout = String::from_utf8_lossy(&out.stdout).to_string();
+    let stderr = String::from_utf8_lossy(&out.stderr).to_string();
+    assert_eq!(stdout.trim(), "[client] 42", "{stderr}");
+    assert!(
+        stderr.contains("suspected dead nodes: 0"),
+        "survivor must suspect node 0: {stderr}"
+    );
+    assert!(out.status.success(), "{stderr}");
+}
+
+#[test]
+fn bad_peer_list_is_a_diagnostic_not_a_panic() {
+    let dir = tmpdir("badpeers");
+    write(&dir, "server.dity", SERVER);
+    write(&dir, "client.dity", CLIENT);
+    let spec = write(&dir, "cluster.net", SPEC);
+
+    let out = ditico()
+        .args(["net", spec.to_str().unwrap(), "--node", "1"])
+        .args(["--peers", "127.0.0.1:notaport"])
+        .output()
+        .expect("run");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("bad peer address"), "{stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+
+    // A node index outside the topology is caught before anything binds.
+    let out = ditico()
+        .args(["net", spec.to_str().unwrap(), "--node", "7"])
+        .args(["--peers", "127.0.0.1:1"])
+        .output()
+        .expect("run");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("outside the topology"), "{stderr}");
+}
