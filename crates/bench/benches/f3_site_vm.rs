@@ -39,7 +39,7 @@ impl tyco_vm::NetPort for BlackholePort {
         }))
     }
     fn send_msg(&mut self, _dest: NetRef, _label: &str, _args: Vec<WireWord>) {}
-    fn send_obj(&mut self, _dest: NetRef, _obj: tyco_vm::WireObj) {}
+    fn send_obj(&mut self, _dest: NetRef, _digest: tyco_vm::Digest, _obj: tyco_vm::WireObj) {}
     fn fetch(&mut self, class: NetRef) -> tyco_vm::FetchReplyNow {
         tyco_vm::FetchReplyNow::Failed(format!("blackhole cannot fetch {class}"))
     }
@@ -47,6 +47,7 @@ impl tyco_vm::NetPort for BlackholePort {
         &mut self,
         _to: tyco_vm::Identity,
         _req: u64,
+        _digest: tyco_vm::Digest,
         _group: tyco_vm::WireGroup,
         _index: u8,
     ) {
@@ -187,6 +188,7 @@ fn bench_dispatch_and_translation(c: &mut Criterion) {
             site: SiteId(1),
             node: NodeId(1),
         },
+        digest: packed.digest,
         obj: tyco_vm::WireObj {
             code: packed.code.clone(),
             table: 0,

@@ -1,0 +1,253 @@
+//! Repeated remote instantiation with and without the content-addressed
+//! code cache, recorded to `BENCH_fetch_cache.json`.
+//!
+//! ```sh
+//! cargo run --release -p ditico-bench --bin fetch_cache            # full sweep
+//! cargo run --release -p ditico-bench --bin fetch_cache -- --smoke # CI smoke
+//! ```
+//!
+//! The workload is the paper's applet pattern at its worst: one server
+//! exports a large class (a ~`TERMS`-term arithmetic body, so the packed
+//! image is kilobytes, not the usual tens of bytes), and `K` client sites
+//! on a second node fetch and instantiate it one after another — each
+//! site kicks the next only after its own import completed, so every
+//! fetch is a separate round trip and none can coalesce. Over a slow WAN
+//! link the uncached protocol pays the full image serialization `K`
+//! times; the cached protocol pays it once and ships a 16-byte digest
+//! thereafter. Time is deterministic virtual time, so the speedup is a
+//! property of the protocol, not of the host machine.
+//!
+//! A second sweep instantiates the same class from `K` sites
+//! *concurrently* to measure single-flight coalescing: the client node
+//! folds the simultaneous FetchReqs into one, so the server serves one
+//! request and the image crosses the wire once, regardless of `K`.
+
+use ditico_rt::{Cluster, FabricMode, LinkProfile, RunLimits, RunReport};
+use tyco_vm::Digest;
+
+/// Terms in the applet body; sets the shipped image size (~10 KB packed).
+const TERMS: usize = 1200;
+/// Client-site counts swept.
+const SIZES: [usize; 4] = [2, 4, 8, 16];
+/// A slow WAN-ish link: 100 µs one-way latency, 1 MB/s — code shipment
+/// cost is dominated by image serialization, exactly where dedup pays.
+fn wan() -> LinkProfile {
+    LinkProfile::new(100_000, 1_000_000.0).expect("valid link")
+}
+
+/// `export def Applet(v) = println("applet", v + 1 + 2 + ... ) in 0`
+fn server_src() -> String {
+    let mut sum = String::from("v");
+    for i in 1..=TERMS {
+        sum.push_str(&format!(" + {}", i % 7));
+    }
+    format!(r#"export def Applet(v) = println("applet", {sum}) in 0"#)
+}
+
+/// The chain: site `c0` fetches immediately; each later site waits for
+/// its predecessor's kick, which is sent from inside the predecessor's
+/// import continuation — i.e. causally after its FetchReply landed.
+fn chain_site_src(i: usize, k: usize) -> String {
+    let fetch_and_use = format!("import Applet from server in (Applet[{i}] | KICKNEXT)");
+    let next = i + 1;
+    let kick_next = if next < k {
+        format!("import kick{next} from c{next} in kick{next}![]")
+    } else {
+        "0".to_string()
+    };
+    let body = fetch_and_use.replace("KICKNEXT", &kick_next);
+    if i == 0 {
+        body
+    } else {
+        format!("export new kick{i} in kick{i}?() = {body}")
+    }
+}
+
+fn build_chain(k: usize, code_cache: usize) -> Cluster {
+    let mut c = Cluster::new(FabricMode::Virtual, wan(), 1);
+    let n0 = c.add_node();
+    let n1 = c.add_node();
+    c.set_code_cache(code_cache);
+    c.add_site_src(n0, "server", &server_src())
+        .expect("server compiles");
+    for i in 0..k {
+        c.add_site_src(n1, &format!("c{i}"), &chain_site_src(i, k))
+            .expect("chain site compiles");
+    }
+    c
+}
+
+fn build_concurrent(k: usize, code_cache: usize) -> Cluster {
+    let mut c = Cluster::new(FabricMode::Virtual, wan(), 1);
+    let n0 = c.add_node();
+    let n1 = c.add_node();
+    c.set_code_cache(code_cache);
+    c.add_site_src(n0, "server", &server_src())
+        .expect("server compiles");
+    for i in 0..k {
+        c.add_site_src(
+            n1,
+            &format!("c{i}"),
+            &format!("import Applet from server in Applet[{i}]"),
+        )
+        .expect("client compiles");
+    }
+    c
+}
+
+struct Sample {
+    virtual_ms: f64,
+    fetches_per_sec: f64,
+    fabric_bytes: u64,
+    report: RunReport,
+}
+
+fn run(mut c: Cluster, k: usize) -> Sample {
+    let report = c.run_deterministic(RunLimits::default());
+    assert!(report.errors.is_empty(), "VM errors: {:?}", report.errors);
+    assert!(report.quiescent, "run did not terminate");
+    for i in 0..k {
+        let out = report.output(&format!("c{i}"));
+        assert_eq!(out.len(), 1, "site c{i} must print once, got {out:?}");
+    }
+    let secs = report.virtual_ns as f64 / 1e9;
+    Sample {
+        virtual_ms: report.virtual_ns as f64 / 1e6,
+        fetches_per_sec: k as f64 / secs,
+        fabric_bytes: report.fabric_bytes,
+        report,
+    }
+}
+
+fn json_sample(s: &Sample) -> String {
+    let cache = s.report.cache_totals();
+    format!(
+        "{{ \"virtual_ms\": {:.3}, \"fetches_per_sec\": {:.1}, \"fabric_bytes\": {}, \
+         \"cache_hits\": {}, \"coalesced\": {}, \"dedup_sends\": {}, \"bytes_saved\": {} }}",
+        s.virtual_ms,
+        s.fetches_per_sec,
+        s.fabric_bytes,
+        cache.hits,
+        cache.coalesced,
+        cache.dedup_sends,
+        cache.bytes_saved
+    )
+}
+
+/// CI smoke: smallest chain point plus a concurrent run, both modes,
+/// asserting the protocol invariants rather than a timing threshold.
+fn smoke() {
+    let k = 4;
+    let base = run(build_chain(k, 0), k);
+    let cached = run(build_chain(k, 256), k);
+    let bc = base.report.cache_totals();
+    assert_eq!(bc.dedup_sends, 0, "disabled cache must not dedup");
+    let cc = cached.report.cache_totals();
+    assert_eq!(
+        cc.dedup_sends,
+        (k - 1) as u64,
+        "all but the first reply go digest-only"
+    );
+    assert_eq!(cc.hits, (k - 1) as u64);
+    assert!(
+        cached.fabric_bytes < base.fabric_bytes,
+        "dedup must shrink wire traffic: {} vs {}",
+        cached.fabric_bytes,
+        base.fabric_bytes
+    );
+    let speedup = base.virtual_ms / cached.virtual_ms;
+    assert!(
+        speedup > 1.5,
+        "cached chain should be clearly faster, got {speedup:.2}x"
+    );
+
+    let conc = run(build_concurrent(k, 256), k);
+    let cf = conc.report.cache_totals();
+    assert_eq!(
+        cf.coalesced,
+        (k - 1) as u64,
+        "concurrent fetches fold into one FetchReq"
+    );
+    assert_eq!(conc.report.stats["server"].fetches_served, 1);
+    println!(
+        "smoke ok: chain x{k} speedup {speedup:.2}x, {} B saved, \
+         concurrent x{k} coalesced {} -> 1 server fetch",
+        cc.bytes_saved, cf.coalesced
+    );
+}
+
+fn sweep() {
+    let mut chain_rows = Vec::new();
+    let mut conc_rows = Vec::new();
+    let mut speedup_at_8 = 0.0;
+    let mut image_wire_bytes = 0u64;
+    for &k in &SIZES {
+        eprintln!("== {k} sequential fetches ==");
+        let base = run(build_chain(k, 0), k);
+        eprintln!(
+            "   uncached: {:.1} ms virtual, {} B on the wire",
+            base.virtual_ms, base.fabric_bytes
+        );
+        let cached = run(build_chain(k, 256), k);
+        let cc = cached.report.cache_totals();
+        eprintln!(
+            "   cached:   {:.1} ms virtual, {} B on the wire ({} dedup sends, {} B saved)",
+            cached.virtual_ms, cached.fabric_bytes, cc.dedup_sends, cc.bytes_saved
+        );
+        let speedup = base.virtual_ms / cached.virtual_ms;
+        eprintln!("   speedup: {speedup:.2}x");
+        if k == 8 {
+            speedup_at_8 = speedup;
+        }
+        // bytes_saved counts (full image - digest) per dedup send.
+        if let Some(saved_per_send) = cc.bytes_saved.checked_div(cc.dedup_sends) {
+            image_wire_bytes = saved_per_send + Digest::SIZE as u64;
+        }
+        chain_rows.push(format!(
+            "    {{\n      \"k\": {k},\n      \"uncached\": {},\n      \"cached\": {},\n      \
+             \"speedup\": {speedup:.2}\n    }}",
+            json_sample(&base),
+            json_sample(&cached)
+        ));
+
+        let conc = run(build_concurrent(k, 256), k);
+        let cf = conc.report.cache_totals();
+        eprintln!(
+            "   concurrent x{k}: {} coalesced, server served {} fetch(es), {} B on the wire",
+            cf.coalesced, conc.report.stats["server"].fetches_served, conc.fabric_bytes
+        );
+        conc_rows.push(format!(
+            "    {{\n      \"k\": {k},\n      \"cached\": {},\n      \
+             \"server_fetches_served\": {}\n    }}",
+            json_sample(&conc),
+            conc.report.stats["server"].fetches_served
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"fetch_cache\",\n  \"workload\": \"K client sites on one node \
+         import a {TERMS}-term class from a second node over a 100us/1MBps link; \
+         chain = strictly sequential fetches, concurrent = simultaneous fetches\",\n  \
+         \"baseline\": \"--code-cache 0 (every reply ships the full image)\",\n  \
+         \"cached\": \"content-addressed store, single-flight coalescing, digest-only replies\",\n  \
+         \"image_wire_bytes\": {image_wire_bytes},\n  \"digest_wire_bytes\": {},\n  \
+         \"speedup_at_8\": {speedup_at_8:.2},\n  \"chain\": [\n{}\n  ],\n  \
+         \"concurrent\": [\n{}\n  ]\n}}\n",
+        Digest::SIZE,
+        chain_rows.join(",\n"),
+        conc_rows.join(",\n")
+    );
+    std::fs::write("BENCH_fetch_cache.json", &json).expect("write BENCH_fetch_cache.json");
+    println!(
+        "recorded BENCH_fetch_cache.json (speedup at 8 fetches: {speedup_at_8:.2}x, \
+         image {image_wire_bytes} B -> digest {} B)",
+        Digest::SIZE
+    );
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--smoke") {
+        smoke();
+    } else {
+        sweep();
+    }
+}

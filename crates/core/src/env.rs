@@ -123,6 +123,8 @@ pub struct Env {
     pub check_interfaces: bool,
     /// Worker-pool size for threaded runs (None: available parallelism).
     workers: Option<usize>,
+    /// Per-node code-cache capacity (None: the runtime default).
+    code_cache: Option<usize>,
 }
 
 impl Env {
@@ -132,6 +134,7 @@ impl Env {
             sites: Vec::new(),
             check_interfaces: true,
             workers: None,
+            code_cache: None,
         }
     }
 
@@ -139,6 +142,14 @@ impl Env {
     /// scheduler); defaults to the machine's available parallelism.
     pub fn workers(mut self, workers: usize) -> Env {
         self.workers = Some(workers);
+        self
+    }
+
+    /// Set every node's content-addressed code-cache capacity, in images.
+    /// Zero disables the cache along with wire-level dedup and
+    /// single-flight fetch coalescing (the uncached baseline).
+    pub fn code_cache(mut self, capacity: usize) -> Env {
+        self.code_cache = Some(capacity);
         self
     }
 
@@ -256,6 +267,9 @@ impl Env {
         );
         if let Some(w) = self.workers {
             cluster.sched.workers = w;
+        }
+        if let Some(c) = self.code_cache {
+            cluster.set_code_cache(c);
         }
         let nodes: Vec<NodeId> = (0..self.topology.nodes.max(1))
             .map(|_| cluster.add_node())

@@ -8,7 +8,7 @@
 //! ("users submit new programs for execution in a node") corresponds to
 //! [`Cluster::add_site`].
 
-use crate::daemon::{Daemon, DaemonStats, TermCounters};
+use crate::daemon::{CodeCacheStats, Daemon, DaemonStats, TermCounters, DEFAULT_CODE_CACHE};
 use crate::fabric::{Fabric, FabricMode, LinkProfile};
 use crate::failure::FailureMonitor;
 use crate::sched::{SchedConfig, SchedStats, Shared, SiteWake, Worker};
@@ -82,6 +82,27 @@ impl RunReport {
         self.stats.values().map(|s| s.comm).sum()
     }
 
+    /// Code-cache counters summed across every node's daemon.
+    pub fn cache_totals(&self) -> CodeCacheStats {
+        let mut t = CodeCacheStats::default();
+        for d in &self.daemon_stats {
+            t.hits += d.cache.hits;
+            t.misses += d.cache.misses;
+            t.coalesced += d.cache.coalesced;
+            t.dedup_sends += d.cache.dedup_sends;
+            t.bytes_saved += d.cache.bytes_saved;
+            t.insertions += d.cache.insertions;
+            t.evictions += d.cache.evictions;
+            t.digest_mismatches += d.cache.digest_mismatches;
+        }
+        t
+    }
+
+    /// Duplicate/late fetch replies dropped by sites (idempotency guard).
+    pub fn total_dup_fetch_replies(&self) -> u64 {
+        self.stats.values().map(|s| s.dup_fetch_replies).sum()
+    }
+
     pub fn total_shipped(&self) -> u64 {
         self.stats
             .values()
@@ -125,6 +146,9 @@ pub struct Cluster {
     pub stale_periods: u64,
     /// Worker-pool configuration for threaded runs (M:N scheduler).
     pub sched: SchedConfig,
+    /// Per-node code-cache capacity in images (0 disables caching,
+    /// wire-level dedup and fetch coalescing).
+    code_cache: usize,
 }
 
 impl Cluster {
@@ -143,7 +167,21 @@ impl Cluster {
             heartbeat_every: None,
             stale_periods: 3,
             sched: SchedConfig::default(),
+            code_cache: DEFAULT_CODE_CACHE,
         }
+    }
+
+    /// Set every node's code-cache capacity (existing and future nodes).
+    pub fn set_code_cache(&mut self, capacity: usize) {
+        self.code_cache = capacity;
+        for cell in &mut self.nodes {
+            cell.daemon.set_code_cache(capacity);
+        }
+    }
+
+    /// The configured per-node code-cache capacity.
+    pub fn code_cache(&self) -> usize {
+        self.code_cache
     }
 
     /// A single-node, ideal-fabric cluster (functional testing).
@@ -165,7 +203,7 @@ impl Cluster {
         let fabric_rx = self.fabric.register_node(id);
         let ns_nodes: Vec<NodeId> = (0..self.ns_replicas as u32).map(NodeId).collect();
         let hosts_ns = (id.0 as usize) < self.ns_replicas;
-        let daemon = Daemon::new(
+        let mut daemon = Daemon::new(
             id,
             out_rx,
             fabric_rx,
@@ -175,6 +213,7 @@ impl Cluster {
             hosts_ns,
             self.term.clone(),
         );
+        daemon.set_code_cache(self.code_cache);
         // Deliveries into this node's fabric inbox wake its daemon thread.
         self.fabric.set_waker(id, daemon.waker().clone());
         self.nodes.push(NodeCell {

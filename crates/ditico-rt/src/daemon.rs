@@ -15,7 +15,17 @@
 //!
 //! The daemon also hosts (a replica of) the name service when configured
 //! to, and answers `export`/`import` traffic for its sites.
+//!
+//! Code mobility rides through here too: the daemon keeps the node's
+//! content-addressed [`CodeCache`] and uses it to (a) fingerprint-check
+//! and cache every full code image that crosses the fabric, (b) downgrade
+//! repeat shipments of a cached image to digest-only packets
+//! (`ObjRef`/`FetchReplyRef`, with a `NeedCode`/`HaveCode` refill round
+//! trip as the backstop), and (c) fold concurrent `FetchReq`s for the
+//! same remote class into one in-flight request whose reply is fanned
+//! back out to every coalesced waiter (single-flight).
 
+use crate::codecache::CodeCache;
 use crate::fabric::{FabricHandle, PacketFabric};
 use crate::nameservice::NameService;
 use crate::sched::SiteWake;
@@ -28,7 +38,12 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use tyco_vm::codec::{self, Packet};
 use tyco_vm::port::Incoming;
-use tyco_vm::word::{NodeId, SiteId};
+use tyco_vm::wire::{WireCode, WireGroup, WireObj};
+use tyco_vm::word::{Identity, NetRef, NodeId, SiteId};
+use tyco_vm::Digest;
+
+/// Default capacity of the per-node code store, in images (not bytes).
+pub const DEFAULT_CODE_CACHE: usize = 256;
 
 /// Cluster-wide packet-conservation counters used by the termination
 /// detector (see [`crate::termination`]).
@@ -59,6 +74,35 @@ pub struct DaemonStats {
     /// Fabric packets dropped at the trust boundary: undecodable bytes,
     /// or mobile code that failed static verification before link.
     pub rejected: u64,
+    /// Content-addressed code-cache counters.
+    pub cache: CodeCacheStats,
+}
+
+/// Counters for the content-addressed code store and the fetch protocol
+/// built on it.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CodeCacheStats {
+    /// Digest-only packets rehydrated from the local store (including
+    /// ones completed by a `HaveCode` refill).
+    pub hits: u64,
+    /// Digest-only packets whose image was missing on arrival; each
+    /// distinct missing digest costs one `NeedCode` round trip.
+    pub misses: u64,
+    /// `FetchReq`s folded into an already-in-flight fetch of the same
+    /// class (single-flight coalescing).
+    pub coalesced: u64,
+    /// Code-carrying packets sent digest-only instead of with full bytes.
+    pub dedup_sends: u64,
+    /// Wire bytes those digest-only sends avoided (stored image size
+    /// minus the digest still carried).
+    pub bytes_saved: u64,
+    /// Images inserted into the store.
+    pub insertions: u64,
+    /// Images evicted to honor the capacity bound.
+    pub evictions: u64,
+    /// Code packets whose bytes did not hash to their carried digest
+    /// (tampered in flight; dropped before they reach the store).
+    pub digest_mismatches: u64,
 }
 
 /// An outgoing batch for one destination node: packets are encoded
@@ -110,6 +154,17 @@ pub struct Daemon {
     pub stats: DaemonStats,
     term: Arc<TermCounters>,
     hb_seq: u64,
+    /// The node's content-addressed store of verified code images.
+    store: CodeCache,
+    /// Digest-only packets parked until a `HaveCode` refill arrives (or a
+    /// tombstone reports the image gone, which drops them as consumed).
+    awaiting_code: HashMap<Digest, Vec<Packet>>,
+    /// Single-flight: remote class → the coalesced fetches waiting on the
+    /// one request in flight.
+    inflight: HashMap<NetRef, Vec<(Identity, u64)>>,
+    /// Reverse index: the in-flight leader's reply key `(to, req)` → the
+    /// class it fetched, so the reply can be fanned out to the waiters.
+    inflight_leader: HashMap<(Identity, u64), NetRef>,
 }
 
 impl Daemon {
@@ -146,7 +201,23 @@ impl Daemon {
             stats: DaemonStats::default(),
             term,
             hb_seq: 0,
+            store: CodeCache::new(DEFAULT_CODE_CACHE),
+            awaiting_code: HashMap::new(),
+            inflight: HashMap::new(),
+            inflight_leader: HashMap::new(),
         }
+    }
+
+    /// Resize the content-addressed code store (0 disables it, which also
+    /// turns off wire-level dedup and fetch coalescing on this node).
+    pub fn set_code_cache(&mut self, capacity: usize) {
+        self.store.set_capacity(capacity);
+        self.stats.cache.evictions = self.store.evictions;
+    }
+
+    /// Images currently held by the code store.
+    pub fn code_cache_len(&self) -> usize {
+        self.store.len()
     }
 
     /// Attach a local site's inbox and its wakeup.
@@ -197,14 +268,14 @@ impl Daemon {
         let mut raw = std::mem::take(&mut self.scratch_bytes);
         if self.from_fabric.drain_into(&mut raw) > 0 {
             progress = true;
-            for (_, bytes) in raw.drain(..) {
+            for (from, bytes) in raw.drain(..) {
                 self.stats.remote_recvs += 1;
                 match codec::decode(bytes) {
                     Ok(packet) => {
                         if Self::screen(&packet).is_some() {
                             self.reject();
                         } else {
-                            self.deliver_local(packet);
+                            self.ingest(from, packet);
                         }
                     }
                     // Undecodable bytes are dropped and counted; the
@@ -237,6 +308,15 @@ impl Daemon {
         let (code, table) = match p {
             Packet::Obj { obj, .. } => (&obj.code, obj.table),
             Packet::FetchReply { group, .. } => (&group.code, group.table),
+            // A cache refill ships a whole image with no entry table;
+            // verify the code alone (the entry-table bound is re-checked
+            // when a parked digest-only packet is rehydrated against it).
+            Packet::HaveCode { code, .. } => {
+                return tyco_vm::verify_wire(code).err().map(|e| e.to_string());
+            }
+            // Digest-only packets (`ObjRef`/`FetchReplyRef`) carry no code
+            // to screen: they resolve against images that were verified
+            // when the store admitted them.
             _ => return None,
         };
         if let Err(e) = tyco_vm::verify_wire(code) {
@@ -249,6 +329,203 @@ impl Daemon {
             ));
         }
         None
+    }
+
+    /// Admit a screened fabric packet. Full code images are
+    /// fingerprint-checked against their carried digest and cached;
+    /// digest-only packets are rehydrated from the store or parked behind
+    /// a `NeedCode` round trip; cache-protocol packets are handled here;
+    /// everything else goes straight to local delivery.
+    fn ingest(&mut self, from: NodeId, p: Packet) {
+        match p {
+            Packet::Obj { dest, digest, obj } => {
+                if !self.admit_code(from, digest, &obj.code) {
+                    return;
+                }
+                self.deliver_local(Packet::Obj { dest, digest, obj });
+            }
+            Packet::FetchReply {
+                to,
+                req,
+                digest,
+                group,
+                index,
+            } => {
+                if !self.admit_code(from, digest, &group.code) {
+                    return;
+                }
+                self.deliver_local(Packet::FetchReply {
+                    to,
+                    req,
+                    digest,
+                    group,
+                    index,
+                });
+            }
+            Packet::ObjRef { digest, .. } | Packet::FetchReplyRef { digest, .. } => {
+                match self.store.get(&digest).cloned() {
+                    Some(code) => self.rehydrate(code, p),
+                    None => {
+                        self.stats.cache.misses += 1;
+                        self.park(from, digest, p);
+                    }
+                }
+            }
+            Packet::NeedCode {
+                from: needy,
+                digest,
+            } => {
+                self.term.consumed.fetch_add(1, Ordering::Relaxed);
+                let code = self.store.get(&digest).cloned().unwrap_or(WireCode {
+                    // Evicted since it was advertised: answer with an
+                    // empty tombstone (its bytes cannot hash to `digest`)
+                    // so the requester releases its parked packets
+                    // instead of waiting forever.
+                    blocks: vec![],
+                    tables: vec![],
+                    labels: vec![],
+                    strings: vec![],
+                });
+                self.term.injected.fetch_add(1, Ordering::Relaxed);
+                self.send_remote(
+                    needy,
+                    &Packet::HaveCode {
+                        to: needy,
+                        digest,
+                        code,
+                    },
+                );
+            }
+            Packet::HaveCode { digest, code, .. } => {
+                self.term.consumed.fetch_add(1, Ordering::Relaxed);
+                let parked = self.awaiting_code.remove(&digest).unwrap_or_default();
+                let bytes = codec::code_bytes(&code);
+                if Digest::of(&bytes) != digest {
+                    // A tampered refill — or the sender's tombstone for an
+                    // image it no longer holds. The parked packets can
+                    // never be completed; drop them as consumed so the
+                    // termination detector stays balanced.
+                    if !code.blocks.is_empty() || !code.tables.is_empty() {
+                        self.stats.cache.digest_mismatches += 1;
+                    }
+                    for _ in &parked {
+                        self.reject();
+                    }
+                    return;
+                }
+                self.cache_insert(digest, &code, bytes.len() as u64);
+                self.store.mark_shipped(&digest, from);
+                for p in parked {
+                    self.rehydrate(code.clone(), p);
+                }
+            }
+            other => self.deliver_local(other),
+        }
+    }
+
+    /// Fingerprint-check a full code image from the fabric and cache it.
+    /// Returns `false` when the bytes do not hash to the carried digest
+    /// (the packet is dropped as tampered). With the store disabled the
+    /// image passes through unchecked, exactly as before the cache
+    /// existed — the static verifier in [`Daemon::screen`] already ran.
+    fn admit_code(&mut self, from: NodeId, digest: Digest, code: &WireCode) -> bool {
+        if self.store.capacity() == 0 {
+            return true;
+        }
+        let bytes = codec::code_bytes(code);
+        if Digest::of(&bytes) != digest {
+            self.stats.cache.digest_mismatches += 1;
+            self.reject();
+            return false;
+        }
+        self.cache_insert(digest, code, bytes.len() as u64);
+        // The sender provably holds this image (it just shipped it), so
+        // this node's own future shipments back to it can go digest-only.
+        self.store.mark_shipped(&digest, from);
+        true
+    }
+
+    /// Insert into the store and mirror its lifetime counters into the
+    /// per-daemon stats.
+    fn cache_insert(&mut self, digest: Digest, code: &WireCode, wire_len: u64) {
+        self.store.insert(digest, code, wire_len);
+        self.stats.cache.insertions = self.store.insertions;
+        self.stats.cache.evictions = self.store.evictions;
+    }
+
+    /// Park a digest-only packet whose image is not in the store; the
+    /// first miss for a digest asks the sender to refill it.
+    fn park(&mut self, from: NodeId, digest: Digest, p: Packet) {
+        let waiting = self.awaiting_code.entry(digest).or_default();
+        let first = waiting.is_empty();
+        waiting.push(p);
+        if first {
+            self.term.injected.fetch_add(1, Ordering::Relaxed);
+            self.send_remote(
+                from,
+                &Packet::NeedCode {
+                    from: self.node,
+                    digest,
+                },
+            );
+        }
+    }
+
+    /// Rebuild the full packet a digest-only ref stands for and deliver
+    /// it. Re-applies the entry-table bound check the screen performs on
+    /// full shipments (the ref's table index is attacker-controllable
+    /// even though the cached image is verified).
+    fn rehydrate(&mut self, code: WireCode, p: Packet) {
+        match p {
+            Packet::ObjRef {
+                dest,
+                digest,
+                table,
+                captured,
+            } => {
+                if table as usize >= code.tables.len() {
+                    self.reject();
+                    return;
+                }
+                self.stats.cache.hits += 1;
+                self.deliver_local(Packet::Obj {
+                    dest,
+                    digest,
+                    obj: WireObj {
+                        code,
+                        table,
+                        captured,
+                    },
+                });
+            }
+            Packet::FetchReplyRef {
+                to,
+                req,
+                digest,
+                table,
+                captured,
+                index,
+            } => {
+                if table as usize >= code.tables.len() {
+                    self.reject();
+                    return;
+                }
+                self.stats.cache.hits += 1;
+                self.deliver_local(Packet::FetchReply {
+                    to,
+                    req,
+                    digest,
+                    group: WireGroup {
+                        code,
+                        table,
+                        captured,
+                    },
+                    index,
+                });
+            }
+            // Only refs are ever parked or rehydrated.
+            other => self.deliver_local(other),
+        }
     }
 
     /// Hand each site its buffered backlog: one inbox lock and one wakeup
@@ -358,15 +635,129 @@ impl Daemon {
             Packet::Heartbeat { .. } | Packet::TermProbe { .. } | Packet::TermReport { .. } => {
                 self.ns_primary_node()
             }
-            // Handshakes live on the transport layer; one reaching the
-            // routing layer is consumed and ignored.
-            Packet::Hello { .. } => self.node,
+            // Handshakes live on the transport layer, and cache-protocol
+            // packets are daemon-generated point-to-point; any reaching
+            // the routing layer is consumed and ignored.
+            Packet::Hello { .. }
+            | Packet::ObjRef { .. }
+            | Packet::FetchReplyRef { .. }
+            | Packet::NeedCode { .. }
+            | Packet::HaveCode { .. } => self.node,
         };
         if target == self.node {
             self.deliver_local(p);
         } else {
-            self.send_remote(target, &p);
+            self.send_remote_coded(target, p);
         }
+    }
+
+    /// Remote send with the code-mobility optimizations: repeat shipments
+    /// of a cached image go out digest-only, and a fetch of a class
+    /// already being fetched is folded into the in-flight request.
+    fn send_remote_coded(&mut self, target: NodeId, p: Packet) {
+        if self.store.capacity() == 0 {
+            self.send_remote(target, &p);
+            return;
+        }
+        match p {
+            Packet::Obj { dest, digest, obj } => {
+                self.insert_outbound(digest, &obj.code);
+                if self.store.was_shipped(&digest, target) {
+                    self.count_dedup(digest);
+                    self.send_remote(
+                        target,
+                        &Packet::ObjRef {
+                            dest,
+                            digest,
+                            table: obj.table,
+                            captured: obj.captured,
+                        },
+                    );
+                } else {
+                    self.send_remote(target, &Packet::Obj { dest, digest, obj });
+                    self.store.mark_shipped(&digest, target);
+                }
+            }
+            Packet::FetchReply {
+                to,
+                req,
+                digest,
+                group,
+                index,
+            } => {
+                self.insert_outbound(digest, &group.code);
+                if self.store.was_shipped(&digest, target) {
+                    self.count_dedup(digest);
+                    self.send_remote(
+                        target,
+                        &Packet::FetchReplyRef {
+                            to,
+                            req,
+                            digest,
+                            table: group.table,
+                            captured: group.captured,
+                            index,
+                        },
+                    );
+                } else {
+                    self.send_remote(
+                        target,
+                        &Packet::FetchReply {
+                            to,
+                            req,
+                            digest,
+                            group,
+                            index,
+                        },
+                    );
+                    self.store.mark_shipped(&digest, target);
+                }
+            }
+            Packet::FetchReq {
+                class,
+                req,
+                reply_to,
+            } => {
+                if let Some(waiters) = self.inflight.get_mut(&class) {
+                    // Single-flight: this request dies here; its reply
+                    // will be synthesized from the leader's.
+                    waiters.push((reply_to, req));
+                    self.stats.cache.coalesced += 1;
+                    self.term.consumed.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+                self.inflight.insert(class, Vec::new());
+                self.inflight_leader.insert((reply_to, req), class);
+                self.send_remote(
+                    target,
+                    &Packet::FetchReq {
+                        class,
+                        req,
+                        reply_to,
+                    },
+                );
+            }
+            other => self.send_remote(target, &other),
+        }
+    }
+
+    /// Make sure the store holds an image this node is about to ship or
+    /// advertise by digest, so a later `NeedCode` from the receiver is
+    /// answerable. Outbound images come from the local packager and are
+    /// trusted; no fingerprint check is needed.
+    fn insert_outbound(&mut self, digest: Digest, code: &WireCode) {
+        if !self.store.contains(&digest) {
+            let bytes = codec::code_bytes(code);
+            self.cache_insert(digest, code, bytes.len() as u64);
+        }
+    }
+
+    fn count_dedup(&mut self, digest: Digest) {
+        self.stats.cache.dedup_sends += 1;
+        self.stats.cache.bytes_saved += self
+            .store
+            .wire_len(&digest)
+            .saturating_sub(Digest::SIZE as u64);
     }
 
     /// Deliver a packet whose destination is on this node (the
@@ -383,7 +774,7 @@ impl Daemon {
                     }),
                 );
             }
-            Packet::Obj { dest, obj } => {
+            Packet::Obj { dest, obj, .. } => {
                 self.deliver_to_site(
                     dest.site,
                     RtIncoming::Vm(Incoming::Obj {
@@ -411,7 +802,30 @@ impl Daemon {
                 req,
                 group,
                 index,
+                ..
             } => {
+                // Single-flight fan-out: if this reply answers an
+                // in-flight leader fetch, synthesize a reply for every
+                // waiter coalesced behind it (each consumed one injected
+                // request when folded, so each synthesized reply counts
+                // as injected to keep the packet balance).
+                if let Some(class) = self.inflight_leader.remove(&(to, req)) {
+                    if let Some(waiters) = self.inflight.remove(&class) {
+                        self.term
+                            .injected
+                            .fetch_add(waiters.len() as u64, Ordering::Relaxed);
+                        for (w_to, w_req) in waiters {
+                            self.deliver_to_site(
+                                w_to.site,
+                                RtIncoming::Vm(Incoming::FetchReply {
+                                    req: w_req,
+                                    group: group.clone(),
+                                    index,
+                                }),
+                            );
+                        }
+                    }
+                }
                 self.deliver_to_site(
                     to.site,
                     RtIncoming::Vm(Incoming::FetchReply { req, group, index }),
@@ -464,10 +878,17 @@ impl Daemon {
                 let e = self.heartbeats.entry(node).or_insert(0);
                 *e = (*e).max(seq);
             }
-            Packet::TermProbe { .. } | Packet::TermReport { .. } | Packet::Hello { .. } => {
+            Packet::TermProbe { .. }
+            | Packet::TermReport { .. }
+            | Packet::Hello { .. }
+            | Packet::ObjRef { .. }
+            | Packet::FetchReplyRef { .. }
+            | Packet::NeedCode { .. }
+            | Packet::HaveCode { .. } => {
                 // Termination detection runs at the environment level in
-                // this implementation (and handshakes at the transport
-                // layer); wire packets are accepted and ignored here.
+                // this implementation, handshakes at the transport layer,
+                // and cache-protocol packets are resolved at ingest; wire
+                // packets reaching here are accepted and ignored.
                 self.term.consumed.fetch_add(1, Ordering::Relaxed);
             }
         }

@@ -8,6 +8,9 @@
 //!   network port);
 //! * [`daemon`] — TyCOd, the per-node communication daemon: shared-memory
 //!   local delivery, byte-encoded remote forwarding, name-service hosting;
+//! * [`codecache`] — the node-level content-addressed store for mobile
+//!   code backing single-flight fetch coalescing, wire-level dedup and
+//!   verify-once linking;
 //! * [`nameservice`] — the Network Name Service (SiteTable + IdTable),
 //!   with blocking lookups;
 //! * [`fabric`] — the simulated interconnect (Myrinet / Fast Ethernet /
@@ -27,6 +30,7 @@
 //!   process boundary.
 
 pub mod cluster;
+pub mod codecache;
 pub mod daemon;
 pub mod fabric;
 pub mod failure;
@@ -38,7 +42,8 @@ pub mod transport;
 pub mod wake;
 
 pub use cluster::{Cluster, RunLimits, RunReport};
-pub use daemon::{Daemon, DaemonStats, TermCounters};
+pub use codecache::CodeCache;
+pub use daemon::{CodeCacheStats, Daemon, DaemonStats, TermCounters};
 pub use fabric::{Fabric, FabricHandle, FabricMode, FabricStats, LinkProfile, PacketFabric};
 pub use failure::FailureMonitor;
 pub use nameservice::NameService;

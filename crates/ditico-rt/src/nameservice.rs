@@ -23,12 +23,11 @@ use tyco_vm::program::ImportKind;
 use tyco_vm::wire::WireWord;
 use tyco_vm::word::{Identity, SiteId};
 
-/// A parked lookup waiting for its export to arrive.
+/// A parked lookup waiting for its export to arrive. The (site, name)
+/// pair it waits on is the key of the `pending` index, not a field.
 #[derive(Debug, Clone)]
 struct PendingImport {
     req: u64,
-    site: String,
-    name: String,
     kind: ImportKind,
     reply_to: Identity,
     expect: Option<TypeStamp>,
@@ -42,8 +41,10 @@ pub struct NameService {
     /// `IdTable`: (site lexeme, identifier) → exported value + its type
     /// stamp (when the exporting site was statically checked).
     id_table: HashMap<(String, String), (WireWord, Option<TypeStamp>)>,
-    /// Lookups waiting for an export.
-    pending: Vec<PendingImport>,
+    /// Lookups waiting for an export, indexed by the (site lexeme,
+    /// identifier) they wait on: a register touches exactly its own
+    /// waiters instead of scanning every parked lookup in the network.
+    pending: HashMap<(String, String), Vec<PendingImport>>,
 }
 
 /// Kind-check an exported value against the requested import kind.
@@ -103,7 +104,7 @@ impl NameService {
 
     /// Pending (blocked) lookups.
     pub fn pending_count(&self) -> usize {
-        self.pending.len()
+        self.pending.values().map(Vec::len).sum()
     }
 
     /// Handle an `export` registration. Returns reply packets for every
@@ -116,34 +117,26 @@ impl NameService {
         value: WireWord,
         stamp: Option<TypeStamp>,
     ) -> Vec<Packet> {
-        self.id_table.insert(
-            (site_lexeme.to_string(), name.to_string()),
-            (value.clone(), stamp.clone()),
-        );
+        let key = (site_lexeme.to_string(), name.to_string());
+        self.id_table
+            .insert(key.clone(), (value.clone(), stamp.clone()));
         let mut replies = Vec::new();
-        let mut keep = Vec::new();
-        for p in self.pending.drain(..) {
-            if p.site == site_lexeme && p.name == name {
-                let result = if !kind_ok(p.kind, &value) {
-                    Err(format!(
-                        "`{}.{}` exported with the wrong kind",
-                        p.site, p.name
-                    ))
-                } else if let Err(e) = stamp_ok(&p.expect, &stamp) {
-                    Err(format!("`{}.{}`: {e}", p.site, p.name))
-                } else {
-                    Ok(value.clone())
-                };
-                replies.push(Packet::NsImportReply {
-                    to: p.reply_to,
-                    req: p.req,
-                    result,
-                });
+        for p in self.pending.remove(&key).unwrap_or_default() {
+            let result = if !kind_ok(p.kind, &value) {
+                Err(format!(
+                    "`{site_lexeme}.{name}` exported with the wrong kind"
+                ))
+            } else if let Err(e) = stamp_ok(&p.expect, &stamp) {
+                Err(format!("`{site_lexeme}.{name}`: {e}"))
             } else {
-                keep.push(p);
-            }
+                Ok(value.clone())
+            };
+            replies.push(Packet::NsImportReply {
+                to: p.reply_to,
+                req: p.req,
+                result,
+            });
         }
-        self.pending = keep;
         replies
     }
 
@@ -183,14 +176,15 @@ impl NameService {
                 })
             }
             None => {
-                self.pending.push(PendingImport {
-                    req,
-                    site: site.to_string(),
-                    name: name.to_string(),
-                    kind,
-                    reply_to,
-                    expect,
-                });
+                self.pending
+                    .entry((site.to_string(), name.to_string()))
+                    .or_default()
+                    .push(PendingImport {
+                        req,
+                        kind,
+                        reply_to,
+                        expect,
+                    });
                 None
             }
         }

@@ -17,7 +17,7 @@ use tyco_vm::port::{FetchReplyNow, ImportReply, Incoming, NetPort};
 use tyco_vm::program::ImportKind;
 use tyco_vm::wire::{WireGroup, WireObj, WireWord};
 use tyco_vm::word::{Identity, NetRef, SiteId};
-use tyco_vm::{Machine, Program, SliceStatus, VmError};
+use tyco_vm::{Digest, Machine, Program, SliceStatus, VmError};
 
 /// What the daemon puts on a site's incoming queue.
 #[derive(Debug)]
@@ -229,8 +229,8 @@ impl NetPort for RtPort {
         });
     }
 
-    fn send_obj(&mut self, dest: NetRef, obj: WireObj) {
-        self.send(Packet::Obj { dest, obj });
+    fn send_obj(&mut self, dest: NetRef, digest: Digest, obj: WireObj) {
+        self.send(Packet::Obj { dest, digest, obj });
     }
 
     fn fetch(&mut self, class: NetRef) -> FetchReplyNow {
@@ -244,10 +244,11 @@ impl NetPort for RtPort {
         FetchReplyNow::Pending(req)
     }
 
-    fn fetch_reply(&mut self, to: Identity, req: u64, group: WireGroup, index: u8) {
+    fn fetch_reply(&mut self, to: Identity, req: u64, digest: Digest, group: WireGroup, index: u8) {
         self.send(Packet::FetchReply {
             to,
             req,
+            digest,
             group,
             index,
         });

@@ -1,0 +1,342 @@
+//! The content-addressed code cache, end to end: wire-level dedup of
+//! repeat shipments, single-flight coalescing of concurrent fetches,
+//! tamper detection at the fingerprint boundary, the `NeedCode`/`HaveCode`
+//! refill round trip, and the capacity bound — exercised both through
+//! whole clusters and by driving a daemon directly over the fabric.
+
+use bytes::Bytes;
+use crossbeam::channel::unbounded;
+use ditico_rt::daemon::TermCounters;
+use ditico_rt::{Cluster, Daemon, Fabric, FabricMode, LinkProfile, RtIncoming, RunLimits};
+use std::sync::atomic::AtomicUsize;
+use std::sync::Arc;
+use tyco_vm::codec::{self, Packet};
+use tyco_vm::port::Incoming;
+use tyco_vm::word::{NetRef, NodeId, SiteId};
+use tyco_vm::{Digest, WireObj};
+
+/// Server that ships an object (`Shipped`) to the requesting site, then
+/// signals completion on a caller-provided channel — so a client can
+/// sequence a *second* request causally after the first shipment landed.
+const SHIP_SERVER: &str = r#"
+    def Shipped(p, d) = p?(v) = (println("shipped", v) | d![])
+    in def Srv(c) = c?{ applet(p, d) = (Shipped[p, d] | Srv[c]) }
+    in export new s in Srv[s]
+"#;
+
+/// Requests the same object twice, strictly one after the other.
+const SHIP_TWICE_CLIENT: &str = r#"
+    import s from server in
+    new d1 (new p (s!applet[p, d1] | p![1]) |
+    d1?() = new d2 (new q (s!applet[q, d2] | q![2]) |
+    d2?() = println("done")))
+"#;
+
+fn ship_twice_cluster() -> Cluster {
+    let mut c = Cluster::new(FabricMode::Virtual, LinkProfile::fast_ethernet(), 1);
+    let n0 = c.add_node();
+    let n1 = c.add_node();
+    c.add_site_src(n0, "server", SHIP_SERVER).unwrap();
+    c.add_site_src(n1, "client", SHIP_TWICE_CLIENT).unwrap();
+    c
+}
+
+#[test]
+fn repeat_shipment_to_the_same_node_goes_digest_only() {
+    let mut c = ship_twice_cluster();
+    let report = c.run_deterministic(RunLimits::default());
+    assert!(report.errors.is_empty(), "{:?}", report.errors);
+    assert_eq!(
+        report.output("client"),
+        ["shipped 1", "shipped 2", "done"].map(String::from)
+    );
+    let cache = report.cache_totals();
+    assert_eq!(cache.dedup_sends, 1, "second shipment is digest-only");
+    assert_eq!(cache.hits, 1, "receiver rehydrates it from its store");
+    assert!(
+        cache.bytes_saved > Digest::SIZE as u64,
+        "saved more than a digest: {}",
+        cache.bytes_saved
+    );
+    assert_eq!(cache.misses, 0, "no refill round trip was needed");
+    assert_eq!(cache.digest_mismatches, 0);
+}
+
+#[test]
+fn disabling_the_cache_restores_full_shipments() {
+    let mut c = ship_twice_cluster();
+    c.set_code_cache(0);
+    let report = c.run_deterministic(RunLimits::default());
+    assert!(report.errors.is_empty(), "{:?}", report.errors);
+    assert_eq!(
+        report.output("client"),
+        ["shipped 1", "shipped 2", "done"].map(String::from)
+    );
+    let cache = report.cache_totals();
+    assert_eq!(cache.dedup_sends, 0);
+    assert_eq!(cache.hits, 0);
+    assert_eq!(cache.insertions, 0);
+}
+
+#[test]
+fn concurrent_fetches_of_one_class_are_coalesced() {
+    // Two sites on the same node race to fetch the same remote class; the
+    // node's daemon must put exactly one FetchReq on the wire and fan the
+    // reply out to both.
+    let mut c = Cluster::new(FabricMode::Virtual, LinkProfile::fast_ethernet(), 1);
+    let n0 = c.add_node();
+    let n1 = c.add_node();
+    c.add_site_src(
+        n0,
+        "server",
+        r#"export def Applet(v) = println("applet", v) in 0"#,
+    )
+    .unwrap();
+    c.add_site_src(n1, "a", "import Applet from server in Applet[1]")
+        .unwrap();
+    c.add_site_src(n1, "b", "import Applet from server in Applet[2]")
+        .unwrap();
+    let report = c.run_deterministic(RunLimits::default());
+    assert!(report.errors.is_empty(), "{:?}", report.errors);
+    assert_eq!(report.output("a"), ["applet 1".to_string()]);
+    assert_eq!(report.output("b"), ["applet 2".to_string()]);
+    let cache = report.cache_totals();
+    assert_eq!(cache.coalesced, 1, "one of the two fetches was folded");
+    assert_eq!(
+        report.stats["server"].fetches_served, 1,
+        "the server saw a single FetchReq"
+    );
+    assert_eq!(
+        report.stats["a"].fetches + report.stats["b"].fetches,
+        2,
+        "both sites issued a fetch"
+    );
+    assert!(report.quiescent, "fan-out kept the packet balance");
+}
+
+#[test]
+fn sequential_fetches_from_one_node_get_a_digest_only_reply() {
+    // Site `a` fetches, then kicks `b` (over an exported channel), which
+    // fetches the same class: the second FetchReply to node 1 must ship
+    // digest-only and rehydrate from the node's store.
+    let mut c = Cluster::new(FabricMode::Virtual, LinkProfile::fast_ethernet(), 1);
+    let n0 = c.add_node();
+    let n1 = c.add_node();
+    c.add_site_src(
+        n0,
+        "server",
+        r#"export def Applet(v) = println("applet", v) in 0"#,
+    )
+    .unwrap();
+    c.add_site_src(
+        n1,
+        "a",
+        "import Applet from server in (Applet[1] | import kick from b in kick![])",
+    )
+    .unwrap();
+    c.add_site_src(
+        n1,
+        "b",
+        "export new kick in kick?() = import Applet from server in Applet[2]",
+    )
+    .unwrap();
+    let report = c.run_deterministic(RunLimits::default());
+    assert!(report.errors.is_empty(), "{:?}", report.errors);
+    assert_eq!(report.output("a"), ["applet 1".to_string()]);
+    assert_eq!(report.output("b"), ["applet 2".to_string()]);
+    let cache = report.cache_totals();
+    assert_eq!(cache.coalesced, 0, "fetches were sequential, not folded");
+    assert_eq!(cache.dedup_sends, 1, "second reply went digest-only");
+    assert_eq!(cache.hits, 1);
+    assert_eq!(report.stats["server"].fetches_served, 2);
+}
+
+// -- daemon-level: fingerprint boundary and the refill protocol --------------
+
+/// A daemon on node 0 wired to a real (ideal) fabric, plus the receiver
+/// end of node 1 so the test can observe what the daemon sends back.
+struct Rig {
+    fabric: Fabric,
+    daemon: Daemon,
+    peer_rx: crossbeam::channel::Receiver<(NodeId, Bytes)>,
+    site_rx: crossbeam::channel::Receiver<RtIncoming>,
+}
+
+fn rig() -> Rig {
+    let fabric = Fabric::new(FabricMode::Ideal, LinkProfile::ideal());
+    let daemon_rx = fabric.register_node(NodeId(0));
+    let peer_rx = fabric.register_node(NodeId(1));
+    let (_out_tx, out_rx) = unbounded();
+    let mut daemon = Daemon::new(
+        NodeId(0),
+        out_rx,
+        daemon_rx,
+        fabric.handle(),
+        vec![NodeId(0)],
+        Arc::new(AtomicUsize::new(0)),
+        false,
+        Arc::new(TermCounters::default()),
+    );
+    let (site_tx, site_rx) = unbounded();
+    daemon.attach_site(
+        SiteId(0),
+        site_tx,
+        ditico_rt::sched::SiteWake::Notify(Arc::new(ditico_rt::Notify::new())),
+    );
+    Rig {
+        fabric,
+        daemon,
+        peer_rx,
+        site_rx,
+    }
+}
+
+/// A small verified image with its digest, shaped like a SHIPO payload.
+fn shipped_obj() -> (Digest, WireObj) {
+    let prog = tyco_vm::compile(&tyco_syntax::parse_core("new x x?{ go(n) = print(n) }").unwrap())
+        .unwrap();
+    let packed = tyco_vm::pack(&prog, &[0]);
+    (
+        packed.digest,
+        WireObj {
+            code: packed.code,
+            table: 0,
+            captured: vec![],
+        },
+    )
+}
+
+fn dest() -> NetRef {
+    NetRef {
+        heap_id: 1,
+        site: SiteId(0),
+        node: NodeId(0),
+    }
+}
+
+fn inject(rig: &Rig, p: &Packet) {
+    rig.fabric
+        .handle()
+        .send(NodeId(1), NodeId(0), codec::encode(p));
+}
+
+#[test]
+fn tampered_image_is_rejected_and_counted() {
+    let mut r = rig();
+    let (digest, obj) = shipped_obj();
+    inject(
+        &r,
+        &Packet::Obj {
+            dest: dest(),
+            digest: Digest(digest.0 ^ 1), // bytes no longer hash to this
+            obj: obj.clone(),
+        },
+    );
+    r.daemon.pump();
+    assert_eq!(r.daemon.stats.cache.digest_mismatches, 1);
+    assert_eq!(r.daemon.stats.rejected, 1);
+    assert_eq!(r.daemon.code_cache_len(), 0, "tampered code is not cached");
+    assert!(r.site_rx.try_recv().is_err(), "nothing was delivered");
+
+    // The honest shipment is admitted, cached and delivered.
+    inject(
+        &r,
+        &Packet::Obj {
+            dest: dest(),
+            digest,
+            obj,
+        },
+    );
+    r.daemon.pump();
+    assert_eq!(r.daemon.stats.cache.digest_mismatches, 1);
+    assert_eq!(r.daemon.code_cache_len(), 1);
+    assert!(matches!(
+        r.site_rx.try_recv(),
+        Ok(RtIncoming::Vm(Incoming::Obj { .. }))
+    ));
+}
+
+#[test]
+fn missing_digest_negotiates_a_refill_then_delivers() {
+    let mut r = rig();
+    let (digest, obj) = shipped_obj();
+    // A digest-only packet for an image this node never saw.
+    inject(
+        &r,
+        &Packet::ObjRef {
+            dest: dest(),
+            digest,
+            table: 0,
+            captured: vec![],
+        },
+    );
+    r.daemon.pump();
+    assert_eq!(r.daemon.stats.cache.misses, 1);
+    assert!(r.site_rx.try_recv().is_err(), "parked, not delivered");
+    // The daemon asked the sender for the bytes.
+    let (_, bytes) = r.peer_rx.try_recv().expect("a NeedCode went out");
+    match codec::decode(bytes).unwrap() {
+        Packet::NeedCode { from, digest: d } => {
+            assert_eq!(from, NodeId(0));
+            assert_eq!(d, digest);
+        }
+        other => panic!("expected NeedCode, got {other:?}"),
+    }
+    // Refill: the parked packet is rehydrated and delivered.
+    inject(
+        &r,
+        &Packet::HaveCode {
+            to: NodeId(0),
+            digest,
+            code: obj.code.clone(),
+        },
+    );
+    r.daemon.pump();
+    assert_eq!(r.daemon.stats.cache.hits, 1);
+    assert_eq!(r.daemon.code_cache_len(), 1);
+    assert!(matches!(
+        r.site_rx.try_recv(),
+        Ok(RtIncoming::Vm(Incoming::Obj { .. }))
+    ));
+}
+
+#[test]
+fn capacity_bound_is_honored_with_eviction() {
+    let mut r = rig();
+    r.daemon.set_code_cache(1);
+    let (d1, o1) = shipped_obj();
+    let prog2 = tyco_vm::compile(
+        &tyco_syntax::parse_core(r#"new y y?{ put(a, b) = println("two", a, b) }"#).unwrap(),
+    )
+    .unwrap();
+    let packed2 = tyco_vm::pack(&prog2, &[0]);
+    let (d2, o2) = (
+        packed2.digest,
+        WireObj {
+            code: packed2.code,
+            table: 0,
+            captured: vec![],
+        },
+    );
+    assert_ne!(d1, d2);
+    inject(
+        &r,
+        &Packet::Obj {
+            dest: dest(),
+            digest: d1,
+            obj: o1,
+        },
+    );
+    inject(
+        &r,
+        &Packet::Obj {
+            dest: dest(),
+            digest: d2,
+            obj: o2,
+        },
+    );
+    r.daemon.pump();
+    assert_eq!(r.daemon.code_cache_len(), 1, "capacity 1 holds one image");
+    assert_eq!(r.daemon.stats.cache.insertions, 2);
+    assert_eq!(r.daemon.stats.cache.evictions, 1);
+}

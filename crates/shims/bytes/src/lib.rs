@@ -258,6 +258,12 @@ pub trait Buf {
         u64::from_le_bytes(b)
     }
 
+    fn get_u128_le(&mut self) -> u128 {
+        let mut b = [0u8; 16];
+        self.copy_to_slice(&mut b);
+        u128::from_le_bytes(b)
+    }
+
     fn get_i64(&mut self) -> i64 {
         self.get_u64() as i64
     }
@@ -344,6 +350,10 @@ pub trait BufMut {
     }
 
     fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    fn put_u128_le(&mut self, v: u128) {
         self.put_slice(&v.to_le_bytes());
     }
 

@@ -7,6 +7,7 @@
 //! protocol. All integers are little-endian; strings are length-prefixed
 //! UTF-8; floats are IEEE-754 bit patterns.
 
+use crate::digest::Digest;
 use crate::program::{Block, ImportKind, Instr};
 use crate::wire::{WireCode, WireGroup, WireObj, WireWord};
 use crate::word::{Identity, NetRef, NodeId, SiteId};
@@ -48,7 +49,12 @@ pub struct TypeStamp {
 /// Version of the TCP wire protocol (frame layout + packet encodings).
 /// Each side announces it in the [`Packet::Hello`] handshake; a mismatch
 /// closes the connection instead of misinterpreting bytes.
-pub const WIRE_VERSION: u32 = 1;
+///
+/// v2: code-carrying packets ([`Packet::Obj`], [`Packet::FetchReply`])
+/// carry a content digest, and the digest-only dedup variants
+/// ([`Packet::ObjRef`], [`Packet::FetchReplyRef`], [`Packet::NeedCode`],
+/// [`Packet::HaveCode`]) exist.
+pub const WIRE_VERSION: u32 = 2;
 
 /// Upper bound on a frame body. A length prefix beyond this is treated as
 /// a corrupt or hostile stream and the connection is dropped — the bound
@@ -69,18 +75,26 @@ pub enum Packet {
         label: String,
         args: Vec<WireWord>,
     },
-    /// A migrating object (SHIPO).
-    Obj { dest: NetRef, obj: WireObj },
+    /// A migrating object (SHIPO). Carries the content digest of
+    /// `obj.code` so receivers can cache the image and senders can switch
+    /// to [`Packet::ObjRef`] for later shipments of the same code.
+    Obj {
+        dest: NetRef,
+        digest: Digest,
+        obj: WireObj,
+    },
     /// Request for the byte-code of an exported class (FETCH, step 1).
     FetchReq {
         class: NetRef,
         req: u64,
         reply_to: Identity,
     },
-    /// The packaged byte-code (FETCH, step 2).
+    /// The packaged byte-code (FETCH, step 2), stamped with the content
+    /// digest of `group.code`.
     FetchReply {
         to: Identity,
         req: u64,
+        digest: Digest,
         group: WireGroup,
         index: u8,
     },
@@ -127,6 +141,34 @@ pub enum Packet {
     /// sending process hosts, so the receiver can route outbound packets
     /// for those nodes over this connection.
     Hello { version: u32, nodes: Vec<NodeId> },
+    /// Deduplicated [`Packet::Obj`]: the code image is replaced by its
+    /// digest because the sender believes the receiving node already
+    /// holds it. The per-shipment state (`table`, `captured`) still
+    /// rides along in full.
+    ObjRef {
+        dest: NetRef,
+        digest: Digest,
+        table: u32,
+        captured: Vec<WireWord>,
+    },
+    /// Deduplicated [`Packet::FetchReply`]: digest instead of code.
+    FetchReplyRef {
+        to: Identity,
+        req: u64,
+        digest: Digest,
+        table: u32,
+        captured: Vec<WireWord>,
+        index: u8,
+    },
+    /// Cache-miss negotiation: a node received a digest-only packet for
+    /// code it does not hold and asks the sender to ship the bytes.
+    NeedCode { from: NodeId, digest: Digest },
+    /// Answer to [`Packet::NeedCode`]: the full code image for `digest`.
+    HaveCode {
+        to: NodeId,
+        digest: Digest,
+        code: WireCode,
+    },
 }
 
 // -- primitive writers -------------------------------------------------------
@@ -198,6 +240,17 @@ fn get_netref(buf: &mut Bytes) -> R<NetRef> {
         site: SiteId(buf.get_u32_le()),
         node: NodeId(buf.get_u32_le()),
     })
+}
+
+fn put_digest(buf: &mut BytesMut, d: &Digest) {
+    buf.put_u128_le(d.0);
+}
+
+fn get_digest(buf: &mut Bytes) -> R<Digest> {
+    if buf.remaining() < Digest::SIZE {
+        return err("truncated digest");
+    }
+    Ok(Digest(buf.get_u128_le()))
 }
 
 fn put_identity(buf: &mut BytesMut, i: &Identity) {
@@ -622,6 +675,21 @@ pub(crate) fn put_code(buf: &mut BytesMut, code: &WireCode) {
     }
 }
 
+/// The canonical byte serialization of a code bundle — exactly the bytes
+/// `put_code` emits inside [`Packet::Obj`] / [`Packet::FetchReply`] /
+/// [`Packet::HaveCode`]. This is the input to content fingerprinting: any
+/// two sites that would ship identical bytes agree on the digest.
+pub fn code_bytes(code: &WireCode) -> Bytes {
+    let mut buf = BytesMut::with_capacity(code.approx_size());
+    put_code(&mut buf, code);
+    buf.freeze()
+}
+
+/// Content digest of a code bundle over its canonical codec bytes.
+pub fn code_digest(code: &WireCode) -> Digest {
+    Digest::of(&code_bytes(code))
+}
+
 pub(crate) fn get_code(buf: &mut Bytes) -> R<WireCode> {
     macro_rules! count {
         () => {{
@@ -707,9 +775,10 @@ pub fn encode_into(p: &Packet, buf: &mut BytesMut) {
             put_str(buf, label);
             put_words(buf, args);
         }
-        Packet::Obj { dest, obj } => {
+        Packet::Obj { dest, digest, obj } => {
             buf.put_u8(1);
             put_netref(buf, dest);
+            put_digest(buf, digest);
             put_code(buf, &obj.code);
             buf.put_u32_le(obj.table);
             put_words(buf, &obj.captured);
@@ -727,12 +796,14 @@ pub fn encode_into(p: &Packet, buf: &mut BytesMut) {
         Packet::FetchReply {
             to,
             req,
+            digest,
             group,
             index,
         } => {
             buf.put_u8(3);
             put_identity(buf, to);
             buf.put_u64_le(*req);
+            put_digest(buf, digest);
             put_code(buf, &group.code);
             buf.put_u32_le(group.table);
             put_words(buf, &group.captured);
@@ -814,6 +885,45 @@ pub fn encode_into(p: &Packet, buf: &mut BytesMut) {
                 buf.put_u32_le(n.0);
             }
         }
+        Packet::ObjRef {
+            dest,
+            digest,
+            table,
+            captured,
+        } => {
+            buf.put_u8(11);
+            put_netref(buf, dest);
+            put_digest(buf, digest);
+            buf.put_u32_le(*table);
+            put_words(buf, captured);
+        }
+        Packet::FetchReplyRef {
+            to,
+            req,
+            digest,
+            table,
+            captured,
+            index,
+        } => {
+            buf.put_u8(12);
+            put_identity(buf, to);
+            buf.put_u64_le(*req);
+            put_digest(buf, digest);
+            buf.put_u32_le(*table);
+            put_words(buf, captured);
+            buf.put_u8(*index);
+        }
+        Packet::NeedCode { from, digest } => {
+            buf.put_u8(13);
+            buf.put_u32_le(from.0);
+            put_digest(buf, digest);
+        }
+        Packet::HaveCode { to, digest, code } => {
+            buf.put_u8(14);
+            buf.put_u32_le(to.0);
+            put_digest(buf, digest);
+            put_code(buf, code);
+        }
     }
 }
 
@@ -831,6 +941,7 @@ pub fn decode(mut buf: Bytes) -> R<Packet> {
         },
         1 => {
             let dest = get_netref(&mut buf)?;
+            let digest = get_digest(&mut buf)?;
             let code = get_code(&mut buf)?;
             if buf.remaining() < 4 {
                 return err("truncated obj table");
@@ -839,6 +950,7 @@ pub fn decode(mut buf: Bytes) -> R<Packet> {
             let captured = get_words(&mut buf)?;
             Packet::Obj {
                 dest,
+                digest,
                 obj: WireObj {
                     code,
                     table,
@@ -865,6 +977,7 @@ pub fn decode(mut buf: Bytes) -> R<Packet> {
                 return err("truncated req");
             }
             let req = buf.get_u64_le();
+            let digest = get_digest(&mut buf)?;
             let code = get_code(&mut buf)?;
             if buf.remaining() < 4 {
                 return err("truncated group table");
@@ -878,6 +991,7 @@ pub fn decode(mut buf: Bytes) -> R<Packet> {
             Packet::FetchReply {
                 to,
                 req,
+                digest,
                 group: WireGroup {
                     code,
                     table,
@@ -986,6 +1100,63 @@ pub fn decode(mut buf: Bytes) -> R<Packet> {
                 nodes.push(NodeId(buf.get_u32_le()));
             }
             Packet::Hello { version, nodes }
+        }
+        11 => {
+            let dest = get_netref(&mut buf)?;
+            let digest = get_digest(&mut buf)?;
+            if buf.remaining() < 4 {
+                return err("truncated objref table");
+            }
+            let table = buf.get_u32_le();
+            let captured = get_words(&mut buf)?;
+            Packet::ObjRef {
+                dest,
+                digest,
+                table,
+                captured,
+            }
+        }
+        12 => {
+            let to = get_identity(&mut buf)?;
+            if buf.remaining() < 8 {
+                return err("truncated req");
+            }
+            let req = buf.get_u64_le();
+            let digest = get_digest(&mut buf)?;
+            if buf.remaining() < 4 {
+                return err("truncated replyref table");
+            }
+            let table = buf.get_u32_le();
+            let captured = get_words(&mut buf)?;
+            if !buf.has_remaining() {
+                return err("truncated index");
+            }
+            let index = buf.get_u8();
+            Packet::FetchReplyRef {
+                to,
+                req,
+                digest,
+                table,
+                captured,
+                index,
+            }
+        }
+        13 => {
+            if buf.remaining() < 4 {
+                return err("truncated needcode node");
+            }
+            let from = NodeId(buf.get_u32_le());
+            let digest = get_digest(&mut buf)?;
+            Packet::NeedCode { from, digest }
+        }
+        14 => {
+            if buf.remaining() < 4 {
+                return err("truncated havecode node");
+            }
+            let to = NodeId(buf.get_u32_le());
+            let digest = get_digest(&mut buf)?;
+            let code = get_code(&mut buf)?;
+            Packet::HaveCode { to, digest, code }
         }
         t => return err(format!("bad packet tag {t}")),
     };
@@ -1108,6 +1279,7 @@ mod tests {
         let packed = wire::pack(&prog, &[0]);
         roundtrip(Packet::Obj {
             dest: nref(1),
+            digest: code_digest(&packed.code),
             obj: WireObj {
                 code: packed.code.clone(),
                 table: 0,
@@ -1134,6 +1306,7 @@ mod tests {
                 node: NodeId(0),
             },
             req: 77,
+            digest: code_digest(&packed.code),
             group: WireGroup {
                 code: packed.code,
                 table: 0,
@@ -1141,6 +1314,60 @@ mod tests {
             },
             index: 0,
         });
+    }
+
+    #[test]
+    fn dedup_variants_roundtrip() {
+        roundtrip(Packet::ObjRef {
+            dest: nref(1),
+            digest: Digest(0x0123456789abcdef_fedcba9876543210),
+            table: 4,
+            captured: vec![WireWord::Chan(nref(5)), WireWord::Int(12)],
+        });
+        roundtrip(Packet::FetchReplyRef {
+            to: Identity {
+                site: SiteId(1),
+                node: NodeId(0),
+            },
+            req: 78,
+            digest: Digest(u128::MAX),
+            table: 0,
+            captured: vec![],
+            index: 2,
+        });
+        roundtrip(Packet::NeedCode {
+            from: NodeId(3),
+            digest: Digest(1),
+        });
+        let prog = compile(&parse_core("def K(a) = print(a) in K[1]").unwrap()).unwrap();
+        let packed = wire::pack(&prog, &[0]);
+        roundtrip(Packet::HaveCode {
+            to: NodeId(2),
+            digest: code_digest(&packed.code),
+            code: packed.code,
+        });
+    }
+
+    #[test]
+    fn code_digest_is_stable_across_reencoding() {
+        // Encode → decode → digest must agree with the digest of the
+        // original: the digest is over canonical bytes, so a re-shipped
+        // image keeps its identity.
+        let prog = compile(&parse_core("def K(a) = print(a) in K[1]").unwrap()).unwrap();
+        let packed = wire::pack(&prog, &[0]);
+        let d = code_digest(&packed.code);
+        let p = Packet::HaveCode {
+            to: NodeId(0),
+            digest: d,
+            code: packed.code,
+        };
+        match decode(encode(&p)).unwrap() {
+            Packet::HaveCode { code, .. } => assert_eq!(code_digest(&code), d),
+            other => panic!("unexpected {other:?}"),
+        }
+        // And a different program gets a different digest.
+        let other = compile(&parse_core("def K(a) = print(a + 1) in K[2]").unwrap()).unwrap();
+        assert_ne!(code_digest(&wire::pack(&other, &[0]).code), d);
     }
 
     #[test]
@@ -1277,6 +1504,7 @@ mod tests {
         };
         roundtrip(Packet::Obj {
             dest: nref(0),
+            digest: code_digest(&code),
             obj: WireObj {
                 code,
                 table: 0,

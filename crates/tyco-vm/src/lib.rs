@@ -20,6 +20,7 @@
 pub mod asm;
 pub mod codec;
 pub mod compile;
+pub mod digest;
 pub mod image;
 pub mod machine;
 pub mod port;
@@ -32,6 +33,7 @@ pub mod word;
 pub use asm::{emit as emit_asm, parse as parse_asm, AsmError};
 pub use codec::TypeStamp;
 pub use compile::{compile, disassemble, CompileError};
+pub use digest::Digest;
 pub use image::{from_bytes as image_from_bytes, to_bytes as image_to_bytes};
 pub use machine::{binop, unop, Machine, QueuePolicy, SliceStatus, VmError};
 pub use port::{FetchReplyNow, ImportReply, Incoming, LoopbackPort, NetPort};
@@ -40,5 +42,5 @@ pub use program::{
 };
 pub use stats::{ExecStats, Histogram};
 pub use verify::{verify_program, verify_wire, VerifyError};
-pub use wire::{link, pack, LinkMap, Packed, WireCode, WireGroup, WireObj, WireWord};
+pub use wire::{link, link_trusted, pack, LinkMap, Packed, WireCode, WireGroup, WireObj, WireWord};
 pub use word::{ChanRef, ClassRefW, Identity, NetRef, NodeId, SiteId, Word};

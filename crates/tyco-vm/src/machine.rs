@@ -83,12 +83,6 @@ impl fmt::Display for VmError {
 
 impl std::error::Error for VmError {}
 
-/// Map a static-verification failure on an incoming image to the typed
-/// runtime refusal.
-fn reject_incoming_code(e: crate::verify::VerifyError) -> VmError {
-    VmError::CodeRejected(e.to_string())
-}
-
 /// A message parked in a channel.
 #[derive(Debug, Clone)]
 pub struct MsgFrame {
@@ -560,7 +554,7 @@ impl<P: NetPort> Machine<P> {
                                 table: packed.table_map[&table],
                                 captured: wire_captured,
                             };
-                            self.port.send_obj(r, obj);
+                            self.port.send_obj(r, packed.digest, obj);
                         }
                         other => return Err(VmError::NotAChannel(other.display())),
                     }
@@ -906,9 +900,12 @@ impl<P: NetPort> Machine<P> {
         packed
     }
 
+    /// Link a fetched class group into the program area. Verify-once: the
+    /// image was screened where it entered the node (daemon ingest /
+    /// transport reader), or never crossed a trust boundary (same-process
+    /// delivery), so linking skips the verifier pass.
     fn link_group(&mut self, group: &WireGroup, index: u8) -> Result<ClassRefW, VmError> {
-        let lm: LinkMap =
-            wire::link(&mut self.program, &group.code).map_err(reject_incoming_code)?;
+        let lm: LinkMap = wire::link_trusted(&mut self.program, &group.code);
         let table = *lm
             .tables
             .get(group.table as usize)
@@ -997,8 +994,9 @@ impl<P: NetPort> Machine<P> {
                         .exports
                         .resolve_chan(dest)
                         .ok_or(VmError::BadHeapId(dest))?;
-                    let lm =
-                        wire::link(&mut self.program, &obj.code).map_err(reject_incoming_code)?;
+                    // Verify-once: screened at the node boundary (see
+                    // `link_group`).
+                    let lm = wire::link_trusted(&mut self.program, &obj.code);
                     let table = *lm.tables.get(obj.table as usize).ok_or_else(|| {
                         VmError::CodeRejected(format!("object table {} dangles", obj.table))
                     })?;
@@ -1030,14 +1028,20 @@ impl<P: NetPort> Machine<P> {
                         table: packed.table_map[&table],
                         captured: wire_captured,
                     };
-                    self.port.fetch_reply(reply_to, req, group, cr.index);
+                    self.port
+                        .fetch_reply(reply_to, req, packed.digest, group, cr.index);
                 }
                 Incoming::FetchReply { req, group, index } => {
-                    let r = self.pending_fetch.remove(&req);
+                    // Idempotence: a reply for a request this machine is
+                    // not waiting on (duplicate delivery, or a late reply
+                    // after the first already resolved) must not link and
+                    // instantiate a second copy of the class.
+                    let Some(netref) = self.pending_fetch.remove(&req) else {
+                        self.stats.dup_fetch_replies += 1;
+                        continue;
+                    };
                     let cr = self.link_group(&group, index)?;
-                    if let Some(netref) = r {
-                        self.fetch_cache.insert(netref, cr);
-                    }
+                    self.fetch_cache.insert(netref, cr);
                     if let Some(t) = self.parked.remove(&req) {
                         self.run_queue.push_back(t);
                     }

@@ -6,6 +6,7 @@
 //! queue-and-daemon implementation, while [`LoopbackPort`] provides an
 //! in-process one for single-site programs and tests.
 
+use crate::digest::Digest;
 use crate::program::ImportKind;
 use crate::wire::{WireGroup, WireObj, WireWord};
 use crate::word::{Identity, NetRef};
@@ -77,14 +78,17 @@ pub trait NetPort {
     /// Ship a message to a remote channel (SHIPM).
     fn send_msg(&mut self, dest: NetRef, label: &str, args: Vec<WireWord>);
 
-    /// Migrate an object to a remote channel's site (SHIPO).
-    fn send_obj(&mut self, dest: NetRef, obj: WireObj);
+    /// Migrate an object to a remote channel's site (SHIPO). `digest` is
+    /// the content fingerprint of `obj.code` (computed once at packaging
+    /// time) — the runtime uses it for wire-level code dedup.
+    fn send_obj(&mut self, dest: NetRef, digest: Digest, obj: WireObj);
 
     /// Request the byte-code of a remote class (FETCH).
     fn fetch(&mut self, class: NetRef) -> FetchReplyNow;
 
-    /// Answer a fetch request addressed to this site.
-    fn fetch_reply(&mut self, to: Identity, req: u64, group: WireGroup, index: u8);
+    /// Answer a fetch request addressed to this site. `digest`
+    /// fingerprints `group.code`.
+    fn fetch_reply(&mut self, to: Identity, req: u64, digest: Digest, group: WireGroup, index: u8);
 
     /// Drain one item from the incoming queue.
     fn poll(&mut self) -> Option<Incoming>;
@@ -105,7 +109,7 @@ pub struct LoopbackPort {
     /// Messages that would have left the site (none should, in loopback
     /// use; retained for assertions).
     pub sent_msgs: Vec<(NetRef, String, Vec<WireWord>)>,
-    pub sent_objs: Vec<(NetRef, WireObj)>,
+    pub sent_objs: Vec<(NetRef, Digest, WireObj)>,
     queue: std::collections::VecDeque<Incoming>,
 }
 
@@ -156,15 +160,23 @@ impl NetPort for LoopbackPort {
         self.sent_msgs.push((dest, label.to_string(), args));
     }
 
-    fn send_obj(&mut self, dest: NetRef, obj: WireObj) {
-        self.sent_objs.push((dest, obj));
+    fn send_obj(&mut self, dest: NetRef, digest: Digest, obj: WireObj) {
+        self.sent_objs.push((dest, digest, obj));
     }
 
     fn fetch(&mut self, class: NetRef) -> FetchReplyNow {
         FetchReplyNow::Failed(format!("loopback cannot fetch {class}"))
     }
 
-    fn fetch_reply(&mut self, _to: Identity, _req: u64, _group: WireGroup, _index: u8) {}
+    fn fetch_reply(
+        &mut self,
+        _to: Identity,
+        _req: u64,
+        _digest: Digest,
+        _group: WireGroup,
+        _index: u8,
+    ) {
+    }
 
     fn poll(&mut self) -> Option<Incoming> {
         self.queue.pop_front()

@@ -79,6 +79,9 @@ pub struct WireGroup {
 pub struct Packed {
     pub code: WireCode,
     pub table_map: HashMap<TableId, u32>,
+    /// Content digest of `code` over its canonical codec bytes, computed
+    /// once at packaging time so every shipment of this image reuses it.
+    pub digest: crate::digest::Digest,
 }
 
 /// Package the transitive closure of `root_tables` from `prog`.
@@ -189,14 +192,17 @@ pub fn pack(prog: &Program, root_tables: &[TableId]) -> Packed {
         })
         .collect();
 
+    let code = WireCode {
+        blocks,
+        tables,
+        labels,
+        strings,
+    };
+    let digest = crate::codec::code_digest(&code);
     Packed {
-        code: WireCode {
-            blocks,
-            tables,
-            labels,
-            strings,
-        },
+        code,
         table_map,
+        digest,
     }
 }
 
@@ -217,6 +223,16 @@ pub struct LinkMap {
 /// is appended, so a rejected packet leaves `prog` untouched.
 pub fn link(prog: &mut Program, code: &WireCode) -> Result<LinkMap, crate::verify::VerifyError> {
     crate::verify::verify_wire(code)?;
+    Ok(link_trusted(prog, code))
+}
+
+/// [`link`] without the verifier pass, for images that were already
+/// screened — a daemon verifies every code-carrying packet once at its
+/// node boundary (and re-verification of a content-addressed cache hit
+/// would be pure overhead), and same-process deliveries never crossed a
+/// trust boundary at all. Callers holding bytes of unknown provenance
+/// must use [`link`].
+pub fn link_trusted(prog: &mut Program, code: &WireCode) -> LinkMap {
     let label_ids: Vec<LabelId> = code.labels.iter().map(|l| prog.labels.intern(l)).collect();
     let string_ids: Vec<StrId> = code
         .strings
@@ -301,10 +317,10 @@ pub fn link(prog: &mut Program, code: &WireCode) -> Result<LinkMap, crate::verif
         prog.tables.push(MethodTable { entries });
     }
 
-    Ok(LinkMap {
+    LinkMap {
         blocks: block_ids,
         tables: table_ids,
-    })
+    }
 }
 
 #[cfg(test)]
@@ -383,6 +399,15 @@ mod tests {
         assert_eq!(dest.blocks.len(), 2 * packed.code.blocks.len());
         // Interned symbols are shared, not duplicated.
         assert_eq!(dest.labels.len(), packed.code.labels.len());
+    }
+
+    #[test]
+    fn pack_stamps_the_canonical_digest() {
+        let p = prog("def Loop(n) = if n > 0 then Loop[n - 1] else println(\"done\") in Loop[3]");
+        let packed = pack(&p, &[0]);
+        assert_eq!(packed.digest, crate::codec::code_digest(&packed.code));
+        // Re-packing the same program yields the same identity.
+        assert_eq!(pack(&p, &[0]).digest, packed.digest);
     }
 
     #[test]

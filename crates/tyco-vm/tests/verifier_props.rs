@@ -297,6 +297,7 @@ fn shipped_packet_byte_flips_never_panic() {
             site: SiteId(1),
             node: NodeId(1),
         },
+        digest: packed.digest,
         obj: tyco_vm::WireObj {
             code: packed.code,
             table: 0,

@@ -218,7 +218,7 @@ impl NetPort for EtherPort {
             });
     }
 
-    fn send_obj(&mut self, dest: NetRef, obj: WireObj) {
+    fn send_obj(&mut self, dest: NetRef, _digest: tyco_vm::Digest, obj: WireObj) {
         self.ether
             .borrow_mut()
             .queues
@@ -245,7 +245,14 @@ impl NetPort for EtherPort {
         FetchReplyNow::Pending(req)
     }
 
-    fn fetch_reply(&mut self, to: Identity, req: u64, group: WireGroup, index: u8) {
+    fn fetch_reply(
+        &mut self,
+        to: Identity,
+        req: u64,
+        _digest: tyco_vm::Digest,
+        group: WireGroup,
+        index: u8,
+    ) {
         self.ether
             .borrow_mut()
             .queues
@@ -429,6 +436,39 @@ fn seti_pattern_install_go_loop() {
     assert_eq!(seti.stats.fetches_served, 1);
     // The chunk requests ship from client to seti.
     assert!(client.stats.msgs_sent >= 1);
+}
+
+#[test]
+fn duplicate_fetch_reply_is_dropped_not_relinked() {
+    // A FetchReply for a request the machine is not waiting on (late or
+    // duplicated delivery) must be dropped and counted — linking it again
+    // would instantiate a second disjoint copy of the class.
+    let prog =
+        tyco_vm::compile(&tyco_syntax::parse_core("def K(a) = print(a) in K[1]").expect("parses"))
+            .expect("compiles");
+    let packed = tyco_vm::pack(&prog, &[0]);
+    let group = WireGroup {
+        code: packed.code,
+        table: 0,
+        captured: vec![],
+    };
+
+    let mut m = Machine::from_source("print(0)", LoopbackPort::new("main")).unwrap();
+    m.run_to_quiescence(10_000).unwrap();
+    let blocks_before = m.program.blocks.len();
+
+    m.port.inject(Incoming::FetchReply {
+        req: 999, // never issued
+        group,
+        index: 0,
+    });
+    m.run_to_quiescence(10_000).expect("drop, not error");
+    assert_eq!(m.stats.dup_fetch_replies, 1);
+    assert_eq!(
+        m.program.blocks.len(),
+        blocks_before,
+        "nothing was linked for the orphan reply"
+    );
 }
 
 #[test]

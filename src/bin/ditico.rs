@@ -81,9 +81,12 @@ fn print_usage() {
          \x20 disasm  <file.tyco>              disassemble an image\n\
          \x20 run     <file.dity|file.tyco>    run a single site to quiescence\n\
          \x20 net     <spec.net> [--threaded] [--workers N] [--wall SECS] [--stats]\n\
+         \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 [--code-cache N]\n\
          \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 run a network description (--threaded uses the\n\
          \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 M:N worker-pool scheduler; --stats prints per-site\n\
-         \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 SHIPM/SHIPO/FETCH and scheduler counters)\n\
+         \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 SHIPM/SHIPO/FETCH and scheduler counters;\n\
+         \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 --code-cache sets the per-node code store capacity\n\
+         \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 in images, 0 disables caching/dedup/coalescing)\n\
          \x20 net     <spec.net> --node LIST --peers ADDRS [--listen ADDR]\n\
          \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 [--wall SECS] [--hb-ms N] [--retries N] [--stats]\n\
          \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 run one process of a multi-process cluster over TCP\n\
@@ -376,6 +379,23 @@ fn print_report(report: &RunReport, show_stats: bool) -> Result<(), String> {
         report.virtual_ns / 1_000,
         if report.quiescent { "" } else { " (limit hit)" }
     );
+    let cache = report.cache_totals();
+    if cache.insertions > 0 || cache.hits > 0 || cache.misses > 0 {
+        eprintln!(
+            "code cache: {} hits / {} misses, {} coalesced fetches, {} dedup sends \
+             ({} B saved), {} insertions, {} evictions, {} digest mismatches, \
+             {} dup replies dropped",
+            cache.hits,
+            cache.misses,
+            cache.coalesced,
+            cache.dedup_sends,
+            cache.bytes_saved,
+            cache.insertions,
+            cache.evictions,
+            cache.digest_mismatches,
+            report.total_dup_fetch_replies()
+        );
+    }
     if let Some(t) = &report.transport {
         eprintln!(
             "wire: {} data out / {} data in ({} B out, {} B in), {} heartbeats in, \
@@ -444,6 +464,9 @@ fn cmd_net(args: &[String]) -> Result<(), String> {
     if let Some(w) = workers {
         env = env.workers(w as usize);
     }
+    if let Some(c) = num_flag(args, "--code-cache")? {
+        env = env.code_cache(c as usize);
+    }
     for s in &sites {
         env = match s.pin {
             Some(pin) => env.site_on(pin, &s.lexeme, &s.src),
@@ -466,10 +489,10 @@ fn cmd_net(args: &[String]) -> Result<(), String> {
 fn cmd_distributed(args: &[String], serve: bool) -> Result<(), String> {
     let usage = if serve {
         "usage: ditico serve <spec.net> --node LIST --listen ADDR [--peers ADDRS]\n\
-         \x20      [--wall SECS] [--hb-ms N] [--retries N] [--workers N] [--stats]"
+         \x20      [--wall SECS] [--hb-ms N] [--retries N] [--workers N] [--code-cache N] [--stats]"
     } else {
         "usage: ditico net <spec.net> --node LIST --peers ADDRS [--listen ADDR]\n\
-         \x20      [--wall SECS] [--hb-ms N] [--retries N] [--workers N] [--stats]"
+         \x20      [--wall SECS] [--hb-ms N] [--retries N] [--workers N] [--code-cache N] [--stats]"
     };
     let path = args.first().ok_or(usage)?;
     let show_stats = args.iter().any(|a| a == "--stats");
@@ -538,6 +561,9 @@ fn cmd_distributed(args: &[String], serve: bool) -> Result<(), String> {
     let mut env = Env::new(topology);
     if let Some(w) = num_flag(args, "--workers")? {
         env = env.workers(w as usize);
+    }
+    if let Some(c) = num_flag(args, "--code-cache")? {
+        env = env.code_cache(c as usize);
     }
     for s in &sites {
         env = match s.pin {

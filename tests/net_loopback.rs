@@ -158,6 +158,70 @@ fn killing_the_server_is_suspected_by_the_survivor() {
     assert!(out.status.success(), "{stderr}");
 }
 
+/// Three sites across the two processes: `a` fetches `Adder`, uses it,
+/// then kicks `b` (same node), whose own fetch of `Adder` must arrive as
+/// a digest-only reply served from the client node's code store.
+const SPEC_DEDUP: &str = "topology nodes=2 fabric=ideal link=ideal\n\
+                          site server server.dity node=0\n\
+                          site a a.dity node=1\n\
+                          site b b.dity node=1\n";
+
+const SITE_A: &str = "import Adder from server in \
+                      new r (Adder[2, r] | r?(y) = \
+                      import kick from b in (print(y) | kick![]))";
+
+const SITE_B: &str = "export new kick in kick?() = \
+                      import Adder from server in \
+                      new s (Adder[60, s] | s?(z) = print(z))";
+
+#[test]
+fn second_fetch_from_a_node_is_served_digest_only_over_tcp() {
+    let dir = tmpdir("dedup");
+    write(&dir, "server.dity", SERVER);
+    write(&dir, "a.dity", SITE_A);
+    write(&dir, "b.dity", SITE_B);
+    let spec = write(&dir, "cluster.net", SPEC_DEDUP);
+    let addr = format!("127.0.0.1:{}", free_port());
+
+    let mut server = ditico()
+        .args(["serve", spec.to_str().unwrap(), "--node", "0"])
+        .args(["--listen", &addr, "--wall", "60", "--hb-ms", "25"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn serve");
+
+    let client = ditico()
+        .args(["net", spec.to_str().unwrap(), "--node", "1"])
+        .args(["--peers", &addr, "--wall", "60", "--hb-ms", "25"])
+        .output()
+        .expect("run client");
+    let client_err = String::from_utf8_lossy(&client.stderr).to_string();
+    assert!(client.status.success(), "{client_err}");
+    let mut lines: Vec<String> = String::from_utf8_lossy(&client.stdout)
+        .lines()
+        .map(|l| l.trim().to_string())
+        .collect();
+    lines.sort_unstable();
+    assert_eq!(lines, ["[a] 42", "[b] 100"], "{client_err}");
+    // The client node admitted the image once and rehydrated the second
+    // reply from its store.
+    assert!(
+        client_err.contains("code cache: 1 hits / 0 misses"),
+        "client should rehydrate locally: {client_err}"
+    );
+
+    let st = wait_bounded(&mut server, 30);
+    let out = server.wait_with_output().expect("server output");
+    let server_err = String::from_utf8_lossy(&out.stderr).to_string();
+    assert!(st.success(), "{server_err}");
+    // The server's daemon shipped the second FetchReply digest-only.
+    assert!(
+        server_err.contains("1 dedup sends"),
+        "second reply must be digest-only: {server_err}"
+    );
+}
+
 #[test]
 fn bad_peer_list_is_a_diagnostic_not_a_panic() {
     let dir = tmpdir("badpeers");
