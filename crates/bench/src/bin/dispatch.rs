@@ -11,12 +11,24 @@
 //! file already holds is preserved, and when both are present the speedup
 //! ratios are recomputed. The workloads are fixed-size and deterministic so
 //! baseline and current runs measure the same work.
+//!
+//! The single-site measurement is an A/B pair over *byte-identical*
+//! programs (compiled once, cloned into each machine): the default fused
+//! machine and a `Machine::new_unfused` control. The recorded
+//! `instrs_per_sec` is the fused number; the unfused control and the ratio
+//! land next to it so a fusion regression is visible in the JSON diff.
+//! Method inline-cache hit rate and the dominant opcode digrams (from an
+//! instrumented telemetry run, never from the timed runs) are recorded too.
+//!
+//! `--smoke` runs 1%-scale workloads once, skips recording, and instead
+//! checks that an existing `BENCH_dispatch.json` still parses and carries
+//! both sections — the CI guard against clobbering the A/B record.
 
 use std::time::{Duration, Instant};
 
 use ditico::{Cluster, FabricMode, LinkProfile};
-use ditico_bench::cell_churn;
-use tyco_vm::{compile, LoopbackPort, Machine};
+use ditico_bench::{cell_churn, str_churn};
+use tyco_vm::{compile, LoopbackPort, Machine, Program};
 
 /// Cell transactions for the single-site dispatch workload.
 const CHURN_ITERS: u64 = 500_000;
@@ -36,60 +48,97 @@ const WORKER_NODES: usize = 3;
 /// Hard cap on the threaded run.
 const WALL_LIMIT: Duration = Duration::from_secs(60);
 
-fn str_churn(iters: u64) -> String {
-    format!(
-        r#"
-        def Cell(self, v) =
-            self ? {{ read(r) = r![v] | Cell[self, v], write(u) = Cell[self, u] }}
-        and Driver(cell, n) =
-            if n > 0 then
-                (cell!write["the-quick-brown-fox"] |
-                 new z (cell!read[z] | z?(w) = Driver[cell, n - 1]))
-            else println("finished")
-        in new x (Cell[x, "seed"] | Driver[x, {iters}])
-        "#
-    )
+fn compile_src(src: &str) -> Program {
+    compile(&tyco_syntax::parse_core(src).expect("parses")).expect("compiles")
 }
 
-/// Best-of-`REPS` wall-clock execution of a single-site program; returns
-/// (instructions, best elapsed).
-fn time_single_site(src: &str) -> (u64, Duration) {
-    let prog = compile(&tyco_syntax::parse_core(src).expect("parses")).expect("compiles");
+/// Best-of-`reps` wall-clock execution of a pre-compiled single-site
+/// program; returns (instructions, ic hit rate, best elapsed). Both A/B
+/// arms clone the same `Program`, so they execute byte-identical inputs.
+fn time_single_site(prog: &Program, fused: bool, reps: usize) -> (u64, f64, Duration) {
     let mut best = Duration::MAX;
     let mut instrs = 0;
-    for _ in 0..REPS {
-        let mut m = Machine::new(prog.clone(), LoopbackPort::new("main"));
+    let mut ic_rate = 0.0;
+    for _ in 0..reps {
+        let port = LoopbackPort::new("main");
+        let mut m = if fused {
+            Machine::new(prog.clone(), port)
+        } else {
+            Machine::new_unfused(prog.clone(), port)
+        };
         let start = Instant::now();
         m.run_to_quiescence(u64::MAX).expect("runs");
         let elapsed = start.elapsed();
         instrs = m.stats.instrs;
+        ic_rate = m.stats.ic_hit_rate().unwrap_or(0.0);
         if elapsed < best {
             best = elapsed;
         }
     }
-    (instrs, best)
+    (instrs, ic_rate, best)
 }
 
-fn measure_instrs_per_sec() -> f64 {
-    let (i1, t1) = time_single_site(&cell_churn(CHURN_ITERS));
-    let (i2, t2) = time_single_site(&str_churn(STR_ITERS));
-    let total = (i1 + i2) as f64;
-    let secs = t1.as_secs_f64() + t2.as_secs_f64();
+struct SingleSite {
+    fused_ips: f64,
+    unfused_ips: f64,
+    ic_hit_rate: f64,
+}
+
+fn measure_instrs_per_sec(churn_iters: u64, str_iters: u64, reps: usize) -> SingleSite {
+    let cell = compile_src(&cell_churn(churn_iters));
+    let strp = compile_src(&str_churn(str_iters));
+    let mut ips = [0.0f64; 2];
+    let mut ic = 0.0;
+    for (slot, fused) in [(0, false), (1, true)] {
+        let (i1, r1, t1) = time_single_site(&cell, fused, reps);
+        let (i2, _r2, t2) = time_single_site(&strp, fused, reps);
+        let total = (i1 + i2) as f64;
+        let secs = t1.as_secs_f64() + t2.as_secs_f64();
+        ips[slot] = total / secs;
+        if fused {
+            ic = r1;
+        }
+        println!(
+            "single-site[{}]: {} instrs in {:.3}s (cell {:.3}s + str {:.3}s) -> {:.0} instrs/sec",
+            if fused { "fused" } else { "unfused" },
+            i1 + i2,
+            secs,
+            t1.as_secs_f64(),
+            t2.as_secs_f64(),
+            total / secs
+        );
+    }
     println!(
-        "single-site: {} instrs in {:.3}s (cell {:.3}s + str {:.3}s) -> {:.0} instrs/sec",
-        i1 + i2,
-        secs,
-        t1.as_secs_f64(),
-        t2.as_secs_f64(),
-        total / secs
+        "fusion speedup: {:.3}x   method-ic hit rate: {:.1}%",
+        ips[1] / ips[0],
+        ic * 100.0
     );
-    total / secs
+    SingleSite {
+        fused_ips: ips[1],
+        unfused_ips: ips[0],
+        ic_hit_rate: ic,
+    }
+}
+
+/// Dominant dynamic opcode digrams, from a dedicated `--opstats` telemetry
+/// run over unfused base opcodes (a fraction of the timed workload; the
+/// timed runs carry no instrumentation).
+fn top_digrams(n: usize) -> Vec<(String, u64)> {
+    let prog = compile_src(&cell_churn(CHURN_ITERS / 100));
+    let mut m = Machine::new_unfused(prog, LoopbackPort::new("main"));
+    m.enable_opstats();
+    m.run_to_quiescence(u64::MAX).expect("runs");
+    let ops = m.stats.ops.as_ref().expect("opstats enabled");
+    ops.top_digrams(n)
+        .into_iter()
+        .map(|(a, b, count)| (format!("{a};{b}"), count))
+        .collect()
 }
 
 /// Threaded cluster: one hub node draining a message stream, `WORKER_NODES`
-/// nodes of `CLIENTS_PER_NODE` sites each pushing `MSGS_PER_CLIENT` pings
+/// nodes of `CLIENTS_PER_NODE` sites each pushing `msgs_per_client` pings
 /// in `BURST`-sized windows closed by a sync round-trip.
-fn measure_msgs_per_sec() -> f64 {
+fn measure_msgs_per_sec(msgs_per_client: u64) -> f64 {
     let mut c = Cluster::new(FabricMode::Ideal, LinkProfile::ideal(), 1);
     let hub_node = c.add_node();
     c.add_site_src(
@@ -99,7 +148,7 @@ fn measure_msgs_per_sec() -> f64 {
          in export new hub in Hub[hub]",
     )
     .expect("hub compiles");
-    let bursts = MSGS_PER_CLIENT / BURST;
+    let bursts = (msgs_per_client / BURST).max(1);
     for n in 0..WORKER_NODES {
         let node = c.add_node();
         for s in 0..CLIENTS_PER_NODE {
@@ -127,7 +176,7 @@ fn measure_msgs_per_sec() -> f64 {
     let elapsed = start.elapsed();
     assert!(report.errors.is_empty(), "{:?}", report.errors);
     let clients = (WORKER_NODES * CLIENTS_PER_NODE) as u64;
-    let expected = clients * (MSGS_PER_CLIENT + 2 * (MSGS_PER_CLIENT / BURST));
+    let expected = clients * (bursts * BURST + 2 * bursts);
     assert!(
         report.fabric_packets >= expected,
         "run ended early: {} of {expected} packets carried",
@@ -167,17 +216,69 @@ fn extract(json: &str, section: &str, key: &str) -> Option<f64> {
     num.parse().ok()
 }
 
-fn section(label: &str, vals: Option<(f64, f64)>) -> String {
-    match vals {
-        Some((ips, mps)) => format!(
+struct Measured {
+    single: SingleSite,
+    mps: f64,
+    digrams: Vec<(String, u64)>,
+}
+
+fn section(label: &str, vals: Option<&Measured>, kept: Option<(f64, f64)>) -> String {
+    match (vals, kept) {
+        (Some(m), _) => {
+            let digrams = m
+                .digrams
+                .iter()
+                .map(|(d, c)| format!("      {{ \"digram\": \"{d}\", \"count\": {c} }}"))
+                .collect::<Vec<_>>()
+                .join(",\n");
+            format!(
+                "  \"{label}\": {{\n    \"instrs_per_sec\": {:.0},\n    \
+                 \"unfused_instrs_per_sec\": {:.0},\n    \
+                 \"fusion_speedup\": {:.3},\n    \
+                 \"ic_hit_rate\": {:.4},\n    \
+                 \"messages_per_sec\": {:.0},\n    \
+                 \"top_digrams\": [\n{digrams}\n    ]\n  }}",
+                m.single.fused_ips,
+                m.single.unfused_ips,
+                m.single.fused_ips / m.single.unfused_ips,
+                m.single.ic_hit_rate,
+                m.mps,
+            )
+        }
+        (None, Some((ips, mps))) => format!(
             "  \"{label}\": {{\n    \"instrs_per_sec\": {ips:.0},\n    \"messages_per_sec\": {mps:.0}\n  }}"
         ),
-        None => format!("  \"{label}\": null"),
+        (None, None) => format!("  \"{label}\": null"),
+    }
+}
+
+/// CI guard: the recorded file must parse and carry both sections.
+fn smoke_check_record(path: &str) {
+    let json = match std::fs::read_to_string(path) {
+        Ok(j) => j,
+        Err(_) => {
+            println!("smoke: no {path} to check (ok on fresh clones)");
+            return;
+        }
+    };
+    for sec in ["baseline", "current"] {
+        let ips = extract(&json, sec, "instrs_per_sec");
+        let mps = extract(&json, sec, "messages_per_sec");
+        assert!(
+            ips.is_some() && mps.is_some(),
+            "{path}: section '{sec}' missing instrs_per_sec/messages_per_sec"
+        );
+        println!(
+            "smoke: {path} '{sec}' ok ({:.0} instrs/sec, {:.0} msgs/sec)",
+            ips.unwrap(),
+            mps.unwrap()
+        );
     }
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
     let record = match args.iter().position(|a| a == "--record") {
         Some(i) => args.get(i + 1).cloned().unwrap_or_else(|| "current".into()),
         None => "current".into(),
@@ -188,8 +289,23 @@ fn main() {
     );
     let path = "BENCH_dispatch.json";
 
-    let ips = measure_instrs_per_sec();
-    let mps = measure_msgs_per_sec();
+    if smoke {
+        // 1%-scale everything, once, no recording: proves the harness and
+        // both machine constructions still run end to end.
+        let single = measure_instrs_per_sec(CHURN_ITERS / 100, STR_ITERS / 100, 1);
+        assert!(single.fused_ips > 0.0 && single.unfused_ips > 0.0);
+        let mps = measure_msgs_per_sec(MSGS_PER_CLIENT / 100);
+        assert!(mps > 0.0);
+        smoke_check_record(path);
+        println!("smoke ok");
+        return;
+    }
+
+    let measured = Measured {
+        single: measure_instrs_per_sec(CHURN_ITERS, STR_ITERS, REPS),
+        mps: measure_msgs_per_sec(MSGS_PER_CLIENT),
+        digrams: top_digrams(4),
+    };
 
     // Preserve the other section from an existing file.
     let existing = std::fs::read_to_string(path).unwrap_or_default();
@@ -204,24 +320,34 @@ fn main() {
         "messages_per_sec",
     ));
 
-    let (base, cur) = if record == "baseline" {
-        (Some((ips, mps)), other_vals)
+    let (base_ips, base_mps, cur_ips, cur_mps) = if record == "baseline" {
+        let (ci, cm) = other_vals.unzip();
+        (Some(measured.single.fused_ips), Some(measured.mps), ci, cm)
     } else {
-        (other_vals, Some((ips, mps)))
+        let (bi, bm) = other_vals.unzip();
+        (bi, bm, Some(measured.single.fused_ips), Some(measured.mps))
     };
-    let speedup = match (base, cur) {
-        (Some((bi, bm)), Some((ci, cm))) => format!(
+    let speedup = match (base_ips, base_mps, cur_ips, cur_mps) {
+        (Some(bi), Some(bm), Some(ci), Some(cm)) => format!(
             "  \"speedup\": {{\n    \"instrs_per_sec\": {:.2},\n    \"messages_per_sec\": {:.2}\n  }}",
             ci / bi,
             cm / bm
         ),
         _ => "  \"speedup\": null".to_string(),
     };
+    let (bsec, csec) = if record == "baseline" {
+        (
+            section("baseline", Some(&measured), None),
+            section("current", None, cur_ips.zip(cur_mps)),
+        )
+    } else {
+        (
+            section("baseline", None, base_ips.zip(base_mps)),
+            section("current", Some(&measured), None),
+        )
+    };
     let json = format!(
-        "{{\n  \"bench\": \"dispatch\",\n  \"workload\": {{\n    \"single_site\": \"cell_churn({CHURN_ITERS}) + str_churn({STR_ITERS}), best of {REPS}\",\n    \"cross_site\": \"{WORKER_NODES} nodes x {CLIENTS_PER_NODE} sites streaming {MSGS_PER_CLIENT} msgs (sync every {BURST}) to one hub, ideal fabric, threaded\"\n  }},\n{},\n{},\n{}\n}}\n",
-        section("baseline", base),
-        section("current", cur),
-        speedup
+        "{{\n  \"bench\": \"dispatch\",\n  \"workload\": {{\n    \"single_site\": \"cell_churn({CHURN_ITERS}) + str_churn({STR_ITERS}), best of {REPS}, fused vs unfused A/B on byte-identical programs\",\n    \"cross_site\": \"{WORKER_NODES} nodes x {CLIENTS_PER_NODE} sites streaming {MSGS_PER_CLIENT} msgs (sync every {BURST}) to one hub, ideal fabric, threaded\"\n  }},\n{bsec},\n{csec},\n{speedup}\n}}\n"
     );
     std::fs::write(path, &json).expect("write BENCH_dispatch.json");
     println!("recorded '{record}' in {path}");

@@ -86,6 +86,25 @@ pub fn cell_churn(iters: u64) -> String {
     )
 }
 
+/// The `cell_churn` shape shuttling string payloads instead of integers
+/// (exercises `PushStr` and `Word::Str` refcounting on the same reduction
+/// pattern). Shared so every harness that A/B-compares dispatch variants
+/// runs byte-identical programs.
+pub fn str_churn(iters: u64) -> String {
+    format!(
+        r#"
+        def Cell(self, v) =
+            self ? {{ read(r) = r![v] | Cell[self, v], write(u) = Cell[self, u] }}
+        and Driver(cell, n) =
+            if n > 0 then
+                (cell!write["the-quick-brown-fox"] |
+                 new z (cell!read[z] | z?(w) = Driver[cell, n - 1]))
+            else println("finished")
+        in new x (Cell[x, "seed"] | Driver[x, {iters}])
+        "#
+    )
+}
+
 /// The fetch-variant applet client: download once, then `reqs`
 /// *sequential* local instantiations (each applet acks completion, so the
 /// amortization of the single download is visible in virtual time).

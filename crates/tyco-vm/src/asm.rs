@@ -98,7 +98,12 @@ pub fn emit(prog: &Program) -> String {
             b.nlocals,
             if b.is_class_body { " class" } else { "" },
         );
-        for ins in b.code.iter() {
+        // Assembly is a serialization format: emit the normalized form so
+        // `parse(emit(p))` round-trips without fused mnemonics (fused
+        // superinstructions are machine-internal, see `crate::fuse`).
+        let normalized = crate::fuse::unfuse_code(&b.code);
+        let code: &[Instr] = normalized.as_deref().unwrap_or(&b.code);
+        for ins in code {
             let line = match ins {
                 Instr::PushLocal(s) => format!("pushlocal {s}"),
                 Instr::PushInt(i) => format!("pushint {i}"),
@@ -151,6 +156,18 @@ pub fn emit(prog: &Program) -> String {
                 ),
                 Instr::Print { argc, newline } => {
                     format!("print {argc} {}", if *newline { "nl" } else { "raw" })
+                }
+                // Normalized away just above.
+                Instr::PushLocal2 { .. }
+                | Instr::PushLocalInt { .. }
+                | Instr::PushIntBin { .. }
+                | Instr::BinJumpIfFalse { .. }
+                | Instr::PushLocalTrMsg { .. }
+                | Instr::PushLocalTrObj { .. }
+                | Instr::PushLocalInstOf { .. }
+                | Instr::PushSiblingInstOf { .. }
+                | Instr::PushSiblingLocal { .. } => {
+                    unreachable!("fused superinstruction survived normalization")
                 }
             };
             let _ = writeln!(out, "    {line}");

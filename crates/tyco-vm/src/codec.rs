@@ -501,6 +501,23 @@ fn put_instr(buf: &mut BytesMut, ins: &Instr) {
             buf.put_u8(*argc);
             buf.put_u8(*newline as u8);
         }
+        // Fused superinstructions are machine-internal (see `crate::fuse`):
+        // the wire opcode set is frozen at 0–22 and every serialization
+        // entry point (`wire::pack`, `image::to_bytes`, `asm::emit`)
+        // normalizes before reaching the codec, so there is deliberately no
+        // encoding — and therefore no way for untrusted bytes to decode —
+        // for these forms.
+        Instr::PushLocal2 { .. }
+        | Instr::PushLocalInt { .. }
+        | Instr::PushIntBin { .. }
+        | Instr::BinJumpIfFalse { .. }
+        | Instr::PushLocalTrMsg { .. }
+        | Instr::PushLocalTrObj { .. }
+        | Instr::PushLocalInstOf { .. }
+        | Instr::PushSiblingInstOf { .. }
+        | Instr::PushSiblingLocal { .. } => {
+            unreachable!("attempted to serialize a fused superinstruction")
+        }
     }
 }
 

@@ -19,7 +19,20 @@ pub fn to_bytes(prog: &Program) -> Bytes {
     // A Program's pools are already dense, so the conversion to the wire
     // bundle is the identity on all ids.
     let code = WireCode {
-        blocks: prog.blocks.clone(),
+        // Images always carry the normalized (unfused) form: the codec's
+        // opcode set is frozen at the base instructions, and fusion is a
+        // machine-internal rewrite (see `crate::fuse`).
+        blocks: prog
+            .blocks
+            .iter()
+            .map(|b| match crate::fuse::unfuse_code(&b.code) {
+                Some(code) => crate::program::Block {
+                    code: code.into(),
+                    ..b.clone()
+                },
+                None => b.clone(),
+            })
+            .collect(),
         tables: prog
             .tables
             .iter()

@@ -21,6 +21,7 @@ pub mod asm;
 pub mod codec;
 pub mod compile;
 pub mod digest;
+pub mod fuse;
 pub mod image;
 pub mod machine;
 pub mod port;
@@ -34,6 +35,7 @@ pub use asm::{emit as emit_asm, parse as parse_asm, AsmError};
 pub use codec::TypeStamp;
 pub use compile::{compile, disassemble, CompileError};
 pub use digest::Digest;
+pub use fuse::{fuse_code, fuse_program, unfuse_code};
 pub use image::{from_bytes as image_from_bytes, to_bytes as image_to_bytes};
 pub use machine::{binop, unop, Machine, QueuePolicy, SliceStatus, VmError};
 pub use port::{FetchReplyNow, ImportReply, Incoming, LoopbackPort, NetPort};

@@ -229,6 +229,17 @@ pub struct Machine<P: NetPort> {
     pending_fetch: HashMap<u64, NetRef>,
     fetch_cache: HashMap<NetRef, ClassRefW>,
     pack_cache: HashMap<TableId, std::sync::Arc<wire::Packed>>,
+    /// Method-lookup inline cache: 2-way set-associative `(table, label)` →
+    /// `(block, nparams)`, fronting the linear [`MethodTable::lookup`] scan
+    /// on the COMM path. Never invalidated: method tables are append-only
+    /// (dynamic linking only adds tables) and label interning is stable for
+    /// the life of the machine, so an entry can go cold but never wrong.
+    ic: Box<[IcEntry]>,
+    /// Whether dynamically linked blocks get the superinstruction pass —
+    /// tracks how the machine was constructed ([`Machine::new`] vs
+    /// [`Machine::new_unfused`]) so A/B comparisons stay honest for mobile
+    /// code too.
+    fuse_enabled: bool,
     pub exports: ExportTable,
     pub port: P,
     /// The site's I/O port: lines written by `print`/`println`.
@@ -247,6 +258,33 @@ pub struct Machine<P: NetPort> {
 
 /// Retired word-vector buffers kept for reuse beyond this count are freed.
 const VEC_POOL_CAP: usize = 1024;
+
+/// One way of the method-lookup inline cache.
+#[derive(Clone, Copy)]
+struct IcEntry {
+    /// `(table << 32) | label`, or [`IC_EMPTY`].
+    key: u64,
+    block: BlockId,
+    nparams: u16,
+}
+
+/// Sentinel key for an unfilled way. Collides with a real key only for
+/// `table == u32::MAX && label == u32::MAX`, which would need 2³² method
+/// tables — unreachable in practice (and a false miss would merely re-scan).
+const IC_EMPTY: u64 = u64::MAX;
+
+/// Sets in the inline cache (×2 ways). 256 sets cover every distinct
+/// `(table, label)` pair of realistic programs with essentially no
+/// conflict; the whole cache is 8 KiB.
+const IC_SETS: usize = 256;
+
+#[inline(always)]
+fn ic_set(table: TableId, label: LabelId) -> usize {
+    (table as usize)
+        .wrapping_mul(31)
+        .wrapping_add(label as usize)
+        & (IC_SETS - 1)
+}
 
 /// Move `src[at..]` onto the end of `dst`, leaving `src` truncated to
 /// `at`. Semantically identical to `dst.extend(src.drain(at..))` but a
@@ -271,7 +309,24 @@ fn move_tail(src: &mut Vec<Word>, at: usize, dst: &mut Vec<Word>) {
 
 impl<P: NetPort> Machine<P> {
     /// Create a machine for a compiled program and start its entry thread.
+    /// The byte-code is rewritten by superinstruction fusion on the way in
+    /// ([`crate::fuse`]) — semantics and observable `ExecStats` are
+    /// unchanged, dispatches per reduction drop.
     pub fn new(program: Program, port: P) -> Machine<P> {
+        let mut program = program;
+        crate::fuse::fuse_program(&mut program);
+        Self::boot(program, port, true)
+    }
+
+    /// Create a machine that executes the byte-code exactly as given, with
+    /// no fusion pass — the A/B baseline for the dispatch benchmarks and
+    /// the mode `--no-fuse --opstats` telemetry runs use so digram counts
+    /// reflect base opcodes.
+    pub fn new_unfused(program: Program, port: P) -> Machine<P> {
+        Self::boot(program, port, false)
+    }
+
+    fn boot(program: Program, port: P, fuse_enabled: bool) -> Machine<P> {
         let mut m = Machine {
             program,
             channels: Vec::new(),
@@ -284,6 +339,16 @@ impl<P: NetPort> Machine<P> {
             pending_fetch: HashMap::new(),
             fetch_cache: HashMap::new(),
             pack_cache: HashMap::new(),
+            ic: vec![
+                IcEntry {
+                    key: IC_EMPTY,
+                    block: 0,
+                    nparams: 0,
+                };
+                IC_SETS * 2
+            ]
+            .into_boxed_slice(),
+            fuse_enabled,
             exports: ExportTable::default(),
             port,
             io: Vec::new(),
@@ -313,6 +378,15 @@ impl<P: NetPort> Machine<P> {
         self.trace.clear();
         if cap > 0 {
             self.trace.reserve(cap);
+        }
+    }
+
+    /// Turn on per-opcode/digram telemetry (see [`crate::stats::OpStats`]).
+    /// The counters land in `stats.ops` and ride along wherever the
+    /// `ExecStats` go (CLI reports, `RunReport`).
+    pub fn enable_opstats(&mut self) {
+        if self.stats.ops.is_none() {
+            self.stats.ops = Some(Box::default());
         }
     }
 
@@ -422,17 +496,49 @@ impl<P: NetPort> Machine<P> {
         });
     }
 
-    fn exec_thread(&mut self, mut t: Thread) -> Result<ThreadExit, VmError> {
+    fn exec_thread(&mut self, t: Thread) -> Result<ThreadExit, VmError> {
+        // Monomorphize the dispatch loop: the common path carries no
+        // tracing or telemetry code at all — not even the disabled-flag
+        // branches — while `--trace` / `--opstats` runs take the
+        // instrumented copy of the same source.
+        if self.trace_cap > 0 || self.stats.ops.is_some() {
+            self.exec_thread_inner::<true>(t)
+        } else {
+            self.exec_thread_inner::<false>(t)
+        }
+    }
+
+    fn exec_thread_inner<const INSTRUMENT: bool>(
+        &mut self,
+        mut t: Thread,
+    ) -> Result<ThreadExit, VmError> {
         // A thread never leaves its block (jumps are intra-block), so pin
-        // the code slice once — one refcount bump for the whole slice
-        // instead of a bounds-checked block lookup per instruction. Linking
-        // mobile code appends *new* blocks; this one is immutable.
-        let code = self.program.blocks[t.block as usize].code.clone();
+        // the code slice once instead of a bounds-checked block lookup per
+        // instruction. The raw-slice borrow skips even the `Arc` refcount
+        // round-trip the previous version paid per thread.
+        //
+        // SAFETY: the slice stays valid for the whole loop because nothing
+        // can free its allocation while this thread runs:
+        // * blocks are never removed, and `program.blocks` growing (dynamic
+        //   linking inside this very loop) moves the `Block` structs, not
+        //   the heap data their `Arc<[Instr]>`s point to;
+        // * the only in-place rewrite of a block's code is
+        //   `fuse_blocks_from`, which exclusively touches blocks appended
+        //   by the `link_trusted` call immediately preceding it — and a
+        //   thread can only be executing a block that existed before it was
+        //   spawned, hence before that link.
+        let code: &[Instr] = {
+            let c = &self.program.blocks[t.block as usize].code;
+            unsafe { std::slice::from_raw_parts(c.as_ptr(), c.len()) }
+        };
         // `stats.instrs` is settled from the tick delta at the exits below
         // rather than bumped per instruction, keeping the counter out of
         // the dispatch loop. (A thread that errors loses its last slice's
         // ticks — the machine is dead at that point.)
         let ticks_in = t.ticks;
+        // Digram telemetry: the previous opcode index, seeded with the
+        // thread-entry pseudo-row. Pairs never span threads.
+        let mut prev_op = NUM_OPS;
         loop {
             // Single bounds check per dispatch: `get` both fetches and
             // detects falling off the end of the block.
@@ -443,11 +549,19 @@ impl<P: NetPort> Machine<P> {
                 self.recycle(t.stack);
                 return Ok(ThreadExit::Halted);
             };
-            if self.trace_cap > 0 {
-                if self.trace.len() == self.trace_cap {
-                    self.trace.pop_front();
+            if INSTRUMENT {
+                if self.trace_cap > 0 {
+                    if self.trace.len() == self.trace_cap {
+                        self.trace.pop_front();
+                    }
+                    self.trace.push_back((t.block, t.pc));
                 }
-                self.trace.push_back((t.block, t.pc));
+                if let Some(ops) = self.stats.ops.as_deref_mut() {
+                    let i = ins.op_index();
+                    ops.counts[i] += 1;
+                    ops.digrams[prev_op][i] += 1;
+                    prev_op = i;
+                }
             }
             t.ticks += 1;
             t.pc += 1;
@@ -509,55 +623,11 @@ impl<P: NetPort> Machine<P> {
                 }
                 Instr::TrMsg { label, argc } => {
                     let chan = t.stack.pop().ok_or(VmError::StackUnderflow)?;
-                    let at = t.stack.len() - argc as usize;
-                    match chan {
-                        Word::Chan(c) => self.local_msg_stack(c, label, &mut t.stack, at)?,
-                        Word::NetChan(r) if r.site == self.port.identity().site => {
-                            let c = self
-                                .exports
-                                .resolve_chan(r.heap_id)
-                                .ok_or(VmError::BadHeapId(r.heap_id))?;
-                            self.local_msg_stack(c, label, &mut t.stack, at)?;
-                        }
-                        Word::NetChan(r) => {
-                            // SHIPM: package and place on the outgoing queue.
-                            self.stats.msgs_sent += 1;
-                            let label_str = self.program.labels.get(label).to_string();
-                            let wire_args: Vec<WireWord> =
-                                t.stack.drain(at..).map(|w| self.outgoing(w)).collect();
-                            self.port.send_msg(r, &label_str, wire_args);
-                        }
-                        other => return Err(VmError::NotAChannel(other.display())),
-                    }
+                    self.do_trmsg(&mut t.stack, chan, label, argc)?;
                 }
                 Instr::TrObj { table, nfree } => {
                     let chan = t.stack.pop().ok_or(VmError::StackUnderflow)?;
-                    let at = t.stack.len() - nfree as usize;
-                    match chan {
-                        Word::Chan(c) => self.local_obj_stack(c, table, &mut t.stack, at)?,
-                        Word::NetChan(r) if r.site == self.port.identity().site => {
-                            let c = self
-                                .exports
-                                .resolve_chan(r.heap_id)
-                                .ok_or(VmError::BadHeapId(r.heap_id))?;
-                            self.local_obj_stack(c, table, &mut t.stack, at)?;
-                        }
-                        Word::NetChan(r) => {
-                            // SHIPO: the object (code + translated free
-                            // variables) migrates to the prefix's site.
-                            self.stats.objs_sent += 1;
-                            let packed = self.pack_table(table);
-                            let wire_captured: Vec<WireWord> =
-                                t.stack.drain(at..).map(|w| self.outgoing(w)).collect();
-                            let obj = WireObj {
-                                code: packed.code.clone(),
-                                table: packed.table_map[&table],
-                                captured: wire_captured,
-                            };
-                            self.port.send_obj(r, packed.digest, obj);
-                        }
-                        other => return Err(VmError::NotAChannel(other.display())),
-                    }
+                    self.do_trobj(&mut t.stack, chan, table, nfree)?;
                 }
                 Instr::InstOf { argc } => {
                     let class = t.stack.pop().ok_or(VmError::StackUnderflow)?;
@@ -686,7 +756,206 @@ impl<P: NetPort> Machine<P> {
                     let parts: Vec<String> = t.stack.drain(at..).map(|w| w.display()).collect();
                     self.io.push(parts.join(" "));
                 }
+
+                // -- fused superinstructions (see `crate::fuse`) -------------
+                // Each arm charges one extra tick so `stats.instrs` keeps
+                // counting *original* instructions: fused and unfused runs of
+                // the same program report identical ExecStats.
+                Instr::PushLocal2 { a, b } => {
+                    t.ticks += 1;
+                    t.stack.push(t.frame[a as usize].clone());
+                    t.stack.push(t.frame[b as usize].clone());
+                }
+                Instr::PushLocalInt { slot, imm } => {
+                    t.ticks += 1;
+                    t.stack.push(t.frame[slot as usize].clone());
+                    t.stack.push(Word::Int(imm as i64));
+                }
+                Instr::PushIntBin { imm, op } => {
+                    // The immediate skips the stack entirely: pop the left
+                    // operand, apply, push the result.
+                    t.ticks += 1;
+                    let a = t.stack.pop().ok_or(VmError::StackUnderflow)?;
+                    t.stack.push(binop(op, a, Word::Int(imm as i64))?);
+                }
+                Instr::BinJumpIfFalse { op, target } => {
+                    t.ticks += 1;
+                    let b = t.stack.pop().ok_or(VmError::StackUnderflow)?;
+                    let a = t.stack.pop().ok_or(VmError::StackUnderflow)?;
+                    match binop(op, a, b)? {
+                        Word::Bool(true) => {}
+                        Word::Bool(false) => t.pc = target,
+                        other => return Err(VmError::BadOperands(other.type_name().into())),
+                    }
+                }
+                Instr::PushLocalTrMsg { slot, label, argc } => {
+                    // The channel is read straight from the frame — it never
+                    // visits the operand stack.
+                    t.ticks += 1;
+                    let chan = t.frame[slot as usize].clone();
+                    self.do_trmsg(&mut t.stack, chan, label, argc)?;
+                }
+                Instr::PushLocalTrObj { slot, table, nfree } => {
+                    t.ticks += 1;
+                    let chan = t.frame[slot as usize].clone();
+                    self.do_trobj(&mut t.stack, chan, table, nfree)?;
+                }
+                Instr::PushLocalInstOf { slot, argc } => {
+                    t.ticks += 1;
+                    match t.frame[slot as usize].clone() {
+                        Word::Class(cr) => {
+                            let at = t.stack.len() - argc as usize;
+                            self.instantiate_stack(cr, &mut t.stack, at)?;
+                        }
+                        Word::NetClass(r) if r.site == self.port.identity().site => {
+                            let cr = self
+                                .exports
+                                .resolve_class(r.heap_id)
+                                .ok_or(VmError::BadHeapId(r.heap_id))?;
+                            let at = t.stack.len() - argc as usize;
+                            self.instantiate_stack(cr, &mut t.stack, at)?;
+                        }
+                        Word::NetClass(r) => {
+                            if let Some(&cr) = self.fetch_cache.get(&r) {
+                                self.stats.fetch_cache_hits += 1;
+                                let at = t.stack.len() - argc as usize;
+                                self.instantiate_stack(cr, &mut t.stack, at)?;
+                            } else {
+                                match self.port.fetch(r) {
+                                    FetchReplyNow::Ready(group, index) => {
+                                        self.stats.fetches += 1;
+                                        let cr = self.link_group(&group, index)?;
+                                        self.fetch_cache.insert(r, cr);
+                                        let at = t.stack.len() - argc as usize;
+                                        self.instantiate_stack(cr, &mut t.stack, at)?;
+                                    }
+                                    FetchReplyNow::Pending(req) => {
+                                        // Suspend and re-execute the whole
+                                        // fused form on resume: the class
+                                        // word is still in the frame (nothing
+                                        // to restore to the stack, unlike the
+                                        // base `InstOf`), and the resume run
+                                        // will hit `fetch_cache`. Give back
+                                        // this arm's extra tick so the
+                                        // re-execution charges the pair
+                                        // exactly like the unfused machine
+                                        // (PushLocal once + InstOf twice).
+                                        self.stats.fetches += 1;
+                                        t.ticks -= 1;
+                                        t.pc -= 1;
+                                        self.stats.instrs += t.ticks - ticks_in;
+                                        self.pending_fetch.insert(req, r);
+                                        self.parked.insert(req, t);
+                                        return Ok(ThreadExit::Parked);
+                                    }
+                                    FetchReplyNow::Failed(e) => {
+                                        return Err(VmError::ImportFailed(e));
+                                    }
+                                }
+                            }
+                        }
+                        other => return Err(VmError::NotAClass(other.display())),
+                    }
+                }
+                Instr::PushSiblingLocal { sib, slot } => {
+                    t.ticks += 1;
+                    match t.frame.first() {
+                        Some(Word::Class(cr)) => {
+                            let group = cr.group;
+                            t.stack.push(Word::Class(ClassRefW { group, index: sib }));
+                        }
+                        _ => return Err(VmError::CorruptClassFrame),
+                    }
+                    t.stack.push(t.frame[slot as usize].clone());
+                }
+                Instr::PushSiblingInstOf { sib, argc } => {
+                    // Sibling class words are always local (`Word::Class`),
+                    // so this form can never suspend.
+                    t.ticks += 1;
+                    let cr = match t.frame.first() {
+                        Some(Word::Class(cr)) => ClassRefW {
+                            group: cr.group,
+                            index: sib,
+                        },
+                        _ => return Err(VmError::CorruptClassFrame),
+                    };
+                    let at = t.stack.len() - argc as usize;
+                    self.instantiate_stack(cr, &mut t.stack, at)?;
+                }
             }
+        }
+    }
+
+    /// The `trmsg` dispatch on local vs. network references (§5), shared by
+    /// the base arm (channel popped from the stack) and the fused
+    /// `PushLocalTrMsg` arm (channel read from the frame).
+    #[inline(always)]
+    fn do_trmsg(
+        &mut self,
+        stack: &mut Vec<Word>,
+        chan: Word,
+        label: LabelId,
+        argc: u8,
+    ) -> Result<(), VmError> {
+        let at = stack.len() - argc as usize;
+        match chan {
+            Word::Chan(c) => self.local_msg_stack(c, label, stack, at),
+            Word::NetChan(r) if r.site == self.port.identity().site => {
+                let c = self
+                    .exports
+                    .resolve_chan(r.heap_id)
+                    .ok_or(VmError::BadHeapId(r.heap_id))?;
+                self.local_msg_stack(c, label, stack, at)
+            }
+            Word::NetChan(r) => {
+                // SHIPM: package and place on the outgoing queue.
+                self.stats.msgs_sent += 1;
+                let label_str = self.program.labels.get(label).to_string();
+                let wire_args: Vec<WireWord> =
+                    stack.drain(at..).map(|w| self.outgoing(w)).collect();
+                self.port.send_msg(r, &label_str, wire_args);
+                Ok(())
+            }
+            other => Err(VmError::NotAChannel(other.display())),
+        }
+    }
+
+    /// The `trobj` dispatch on local vs. network references (§5), shared by
+    /// the base arm and the fused `PushLocalTrObj` arm.
+    #[inline(always)]
+    fn do_trobj(
+        &mut self,
+        stack: &mut Vec<Word>,
+        chan: Word,
+        table: TableId,
+        nfree: u16,
+    ) -> Result<(), VmError> {
+        let at = stack.len() - nfree as usize;
+        match chan {
+            Word::Chan(c) => self.local_obj_stack(c, table, stack, at),
+            Word::NetChan(r) if r.site == self.port.identity().site => {
+                let c = self
+                    .exports
+                    .resolve_chan(r.heap_id)
+                    .ok_or(VmError::BadHeapId(r.heap_id))?;
+                self.local_obj_stack(c, table, stack, at)
+            }
+            Word::NetChan(r) => {
+                // SHIPO: the object (code + translated free variables)
+                // migrates to the prefix's site.
+                self.stats.objs_sent += 1;
+                let packed = self.pack_table(table);
+                let wire_captured: Vec<WireWord> =
+                    stack.drain(at..).map(|w| self.outgoing(w)).collect();
+                let obj = WireObj {
+                    code: packed.code.clone(),
+                    table: packed.table_map[&table],
+                    captured: wire_captured,
+                };
+                self.port.send_obj(r, packed.digest, obj);
+                Ok(())
+            }
+            other => Err(VmError::NotAChannel(other.display())),
         }
     }
 
@@ -822,23 +1091,62 @@ impl<P: NetPort> Machine<P> {
         Ok(())
     }
 
-    /// Resolve `label` in `table` and check the argument count.
+    /// Resolve `label` in `table` and check the argument count, through the
+    /// method-lookup inline cache. A hit answers from 16 bytes of hot cache
+    /// state (block id *and* arity — no table scan, no block deref); a miss
+    /// falls back to the linear [`MethodTable::lookup`] and fills the MRU
+    /// way. Monomorphic sends pin way 0; a second label hashing to the same
+    /// set (polymorphic send site or set collision) survives in way 1.
+    #[inline(always)]
     fn method_block(
-        &self,
+        &mut self,
         table: TableId,
         label: LabelId,
         found: usize,
     ) -> Result<BlockId, VmError> {
+        let key = ((table as u64) << 32) | label as u64;
+        let base = ic_set(table, label) * 2;
+        let e0 = self.ic[base];
+        if e0.key == key {
+            self.stats.ic_hits += 1;
+            return self.check_arity(e0.block, e0.nparams, label, found);
+        }
+        let e1 = self.ic[base + 1];
+        if e1.key == key {
+            // Promote the hit to the MRU way.
+            self.ic[base] = e1;
+            self.ic[base + 1] = e0;
+            self.stats.ic_hits += 1;
+            return self.check_arity(e1.block, e1.nparams, label, found);
+        }
+        self.stats.ic_misses += 1;
         let block = self.program.tables[table as usize]
             .lookup(label)
             .ok_or_else(|| VmError::NoMethod {
                 label: self.program.labels.get(label).to_string(),
             })?;
-        let b = &self.program.blocks[block as usize];
-        if b.nparams as usize != found {
+        let nparams = self.program.blocks[block as usize].nparams;
+        self.ic[base + 1] = e0;
+        self.ic[base] = IcEntry {
+            key,
+            block,
+            nparams,
+        };
+        self.check_arity(block, nparams, label, found)
+    }
+
+    #[inline(always)]
+    fn check_arity(
+        &self,
+        block: BlockId,
+        nparams: u16,
+        label: LabelId,
+        found: usize,
+    ) -> Result<BlockId, VmError> {
+        if nparams as usize != found {
             return Err(VmError::Arity {
                 what: format!("method `{}`", self.program.labels.get(label)),
-                expected: b.nparams as usize,
+                expected: nparams as usize,
                 found,
             });
         }
@@ -905,7 +1213,12 @@ impl<P: NetPort> Machine<P> {
     /// transport reader), or never crossed a trust boundary (same-process
     /// delivery), so linking skips the verifier pass.
     fn link_group(&mut self, group: &WireGroup, index: u8) -> Result<ClassRefW, VmError> {
+        let nb = self.program.blocks.len();
         let lm: LinkMap = wire::link_trusted(&mut self.program, &group.code);
+        if self.fuse_enabled {
+            // Mobile code gets the same superinstruction pass as boot code.
+            crate::fuse::fuse_blocks_from(&mut self.program, nb);
+        }
         let table = *lm
             .tables
             .get(group.table as usize)
@@ -996,7 +1309,11 @@ impl<P: NetPort> Machine<P> {
                         .ok_or(VmError::BadHeapId(dest))?;
                     // Verify-once: screened at the node boundary (see
                     // `link_group`).
+                    let nb = self.program.blocks.len();
                     let lm = wire::link_trusted(&mut self.program, &obj.code);
+                    if self.fuse_enabled {
+                        crate::fuse::fuse_blocks_from(&mut self.program, nb);
+                    }
                     let table = *lm.tables.get(obj.table as usize).ok_or_else(|| {
                         VmError::CodeRejected(format!("object table {} dangles", obj.table))
                     })?;

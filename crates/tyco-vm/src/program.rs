@@ -131,6 +131,155 @@ pub enum Instr {
         argc: u8,
         newline: bool,
     },
+
+    // -- fused superinstructions ---------------------------------------------
+    // Machine-internal rewrites of hot opcode digrams (see [`crate::fuse`]
+    // for the pass and the telemetry that chose them). They never appear in
+    // compiler output, on the wire, in images, or in assembly — every
+    // serialization and verification path sees the normalized (de-sugared)
+    // form, so the wire format and content digests are fusion-independent.
+    /// `PushLocal(a); PushLocal(b)`.
+    PushLocal2 {
+        a: u16,
+        b: u16,
+    },
+    /// `PushLocal(slot); PushInt(imm)` (immediate narrowed to `i32`; wider
+    /// literals stay unfused).
+    PushLocalInt {
+        slot: u16,
+        imm: i32,
+    },
+    /// `PushInt(imm); Bin(op)`: apply `op` with an immediate right operand
+    /// to the top of the stack.
+    PushIntBin {
+        imm: i32,
+        op: BinOp,
+    },
+    /// `Bin(op); JumpIfFalse(target)`: compare-and-branch.
+    BinJumpIfFalse {
+        op: BinOp,
+        target: u32,
+    },
+    /// `PushLocal(slot); TrMsg { label, argc }`: send on a channel read
+    /// straight from the frame, skipping the push/pop round trip.
+    PushLocalTrMsg {
+        slot: u16,
+        label: LabelId,
+        argc: u8,
+    },
+    /// `PushLocal(slot); TrObj { table, nfree }`.
+    PushLocalTrObj {
+        slot: u16,
+        table: TableId,
+        nfree: u16,
+    },
+    /// `PushLocal(slot); InstOf { argc }`: instantiate a class read from
+    /// the frame. A FETCH suspension re-executes the whole fused form (the
+    /// class word is still in the frame, unlike the stack-discipline of the
+    /// base `InstOf`).
+    PushLocalInstOf {
+        slot: u16,
+        argc: u8,
+    },
+    /// `PushSibling(index); InstOf { argc }`: sibling recursion — the class
+    /// word is always local, so this form can never suspend.
+    PushSiblingInstOf {
+        sib: u8,
+        argc: u8,
+    },
+    /// `PushSibling(index); PushLocal(slot)`: a sibling class word followed
+    /// by its first argument — every class-recursion site starts this way
+    /// (telemetry ranks it ~4.5% of executed instructions).
+    PushSiblingLocal {
+        sib: u8,
+        slot: u16,
+    },
+}
+
+/// Number of distinct opcodes (base instruction set plus fused
+/// superinstructions) — the dimension of [`crate::stats::OpStats`].
+pub const NUM_OPS: usize = 32;
+
+/// Opcode names, indexed by [`Instr::op_index`].
+pub const OP_NAMES: [&str; NUM_OPS] = [
+    "pushlocal",
+    "pushint",
+    "pushbool",
+    "pushfloat",
+    "pushstr",
+    "pushunit",
+    "pushsibling",
+    "store",
+    "bin",
+    "un",
+    "jump",
+    "jumpiffalse",
+    "halt",
+    "newchan",
+    "fork",
+    "trmsg",
+    "trobj",
+    "instof",
+    "mkgroup",
+    "exportname",
+    "exportclass",
+    "import",
+    "print",
+    "pushlocal2",
+    "pushlocalint",
+    "pushintbin",
+    "binjumpiffalse",
+    "pushlocaltrmsg",
+    "pushlocaltrobj",
+    "pushlocalinstof",
+    "pushsiblinginstof",
+    "pushsiblinglocal",
+];
+
+impl Instr {
+    /// Dense opcode index for telemetry tables (stable across runs; *not*
+    /// the wire opcode — see [`crate::codec`] for that).
+    pub fn op_index(&self) -> usize {
+        match self {
+            Instr::PushLocal(_) => 0,
+            Instr::PushInt(_) => 1,
+            Instr::PushBool(_) => 2,
+            Instr::PushFloat(_) => 3,
+            Instr::PushStr(_) => 4,
+            Instr::PushUnit => 5,
+            Instr::PushSibling(_) => 6,
+            Instr::Store(_) => 7,
+            Instr::Bin(_) => 8,
+            Instr::Un(_) => 9,
+            Instr::Jump(_) => 10,
+            Instr::JumpIfFalse(_) => 11,
+            Instr::Halt => 12,
+            Instr::NewChan(_) => 13,
+            Instr::Fork { .. } => 14,
+            Instr::TrMsg { .. } => 15,
+            Instr::TrObj { .. } => 16,
+            Instr::InstOf { .. } => 17,
+            Instr::MkGroup { .. } => 18,
+            Instr::ExportName { .. } => 19,
+            Instr::ExportClass { .. } => 20,
+            Instr::Import { .. } => 21,
+            Instr::Print { .. } => 22,
+            Instr::PushLocal2 { .. } => 23,
+            Instr::PushLocalInt { .. } => 24,
+            Instr::PushIntBin { .. } => 25,
+            Instr::BinJumpIfFalse { .. } => 26,
+            Instr::PushLocalTrMsg { .. } => 27,
+            Instr::PushLocalTrObj { .. } => 28,
+            Instr::PushLocalInstOf { .. } => 29,
+            Instr::PushSiblingInstOf { .. } => 30,
+            Instr::PushSiblingLocal { .. } => 31,
+        }
+    }
+
+    /// Human-readable opcode name for a telemetry index.
+    pub fn op_name(i: usize) -> &'static str {
+        OP_NAMES.get(i).copied().unwrap_or("?")
+    }
 }
 
 /// A compiled code block.
@@ -246,7 +395,9 @@ impl Program {
         for ins in self.blocks[block as usize].code.iter() {
             match ins {
                 Instr::Fork { block, .. } => blocks.push(*block),
-                Instr::TrObj { table, .. } | Instr::MkGroup { table, .. } => tables.push(*table),
+                Instr::TrObj { table, .. }
+                | Instr::MkGroup { table, .. }
+                | Instr::PushLocalTrObj { table, .. } => tables.push(*table),
                 _ => {}
             }
         }
@@ -306,6 +457,36 @@ mod tests {
             is_class_body: false,
             code: code.into(),
         }
+    }
+
+    #[test]
+    fn instr_stays_two_words() {
+        // The dispatch loop streams instructions from an `Arc<[Instr]>`;
+        // fused variants must not widen the enum past tag + 8-byte payload
+        // (`PushInt`/`PushFloat` set the floor).
+        assert_eq!(std::mem::size_of::<Instr>(), 16);
+    }
+
+    #[test]
+    fn op_index_is_dense_and_named() {
+        let samples = [
+            Instr::PushLocal(0),
+            Instr::Print {
+                argc: 0,
+                newline: false,
+            },
+            Instr::PushLocal2 { a: 0, b: 1 },
+            Instr::PushSiblingLocal { sib: 0, slot: 0 },
+        ];
+        for s in samples {
+            assert!(s.op_index() < NUM_OPS);
+            assert_ne!(Instr::op_name(s.op_index()), "?");
+        }
+        assert_eq!(Instr::op_name(NUM_OPS), "?");
+        assert_eq!(
+            Instr::PushSiblingLocal { sib: 0, slot: 0 }.op_index(),
+            NUM_OPS - 1
+        );
     }
 
     #[test]

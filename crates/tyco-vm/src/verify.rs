@@ -312,6 +312,22 @@ impl View<'_> {
     /// (stack kinds, frame kinds) states at every program point.
     fn check_block(&self, bi: u32) -> Result<(), VerifyError> {
         let b = &self.blocks[bi as usize];
+        // Fused superinstructions (machine-internal, see `crate::fuse`) are
+        // verified through their normalized two-instruction expansion, so
+        // the abstract interpreter models only the base instruction set and
+        // fusion can never change a verification verdict. (Error `pc`s for
+        // a fused block refer to the normalized code.)
+        let normalized;
+        let b = match crate::fuse::unfuse_code(&b.code) {
+            Some(code) => {
+                normalized = Block {
+                    code: code.into(),
+                    ..b.clone()
+                };
+                &normalized
+            }
+            None => b,
+        };
         if b.frame_size() as u32 > MAX_FRAME {
             return Err(VerifyError::FrameTooLarge {
                 block: bi,
@@ -634,6 +650,20 @@ impl View<'_> {
                 st.frame[dst as usize] = Kind::Top;
             }
             Instr::Print { argc, .. } => pop!(argc),
+            // Fused superinstructions cannot reach the transfer function:
+            // `check_block` normalizes the code first, and the wire decoder
+            // has no encoding that could produce them from untrusted bytes.
+            Instr::PushLocal2 { .. }
+            | Instr::PushLocalInt { .. }
+            | Instr::PushIntBin { .. }
+            | Instr::BinJumpIfFalse { .. }
+            | Instr::PushLocalTrMsg { .. }
+            | Instr::PushLocalTrObj { .. }
+            | Instr::PushLocalInstOf { .. }
+            | Instr::PushSiblingInstOf { .. }
+            | Instr::PushSiblingLocal { .. } => {
+                unreachable!("fused superinstruction survived normalization")
+            }
         }
         Ok(Succ::Fall)
     }

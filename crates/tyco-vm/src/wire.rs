@@ -118,8 +118,12 @@ pub fn pack(prog: &Program, root_tables: &[TableId]) -> Packed {
     let mut blocks = Vec::with_capacity(closure.blocks.len());
     for &bid in &closure.blocks {
         let src = &prog.blocks[bid as usize];
-        let code = src
-            .code
+        // Fused superinstructions (see `crate::fuse`) never go on the wire:
+        // ship the normalized form so the frozen opcode set and the content
+        // digests computed from these bytes stay fusion-independent.
+        let normalized = crate::fuse::unfuse_code(&src.code);
+        let src_code: &[Instr] = normalized.as_deref().unwrap_or(&src.code);
+        let code = src_code
             .iter()
             .map(|ins| match ins {
                 Instr::Fork { block, nfree } => Instr::Fork {

@@ -39,6 +39,44 @@ proptest! {
         let packed = tyco_vm::pack(&prog, &roots);
         prop_assert!(verify_wire(&packed.code).is_ok(), "{:?}", verify_wire(&packed.code));
     }
+
+    /// Superinstruction fusion is transparent: the fused machine executes
+    /// the exact same abstract instruction stream as the unfused one —
+    /// every `ExecStats` counter (instrs, threads, comm/inst reductions,
+    /// inline-cache hits, thread-length histogram) and every line of
+    /// output matches. Threads always run to completion inside one
+    /// dispatch call, so fused-pair atomicity cannot perturb scheduling.
+    #[test]
+    fn fusion_preserves_execution(p in arb_closed_program()) {
+        let prog = compile(&p).expect("compiles");
+        let mut fused = Machine::new(prog.clone(), LoopbackPort::new("probe"));
+        let mut plain = Machine::new_unfused(prog, LoopbackPort::new("probe"));
+        let rf = fused.run_to_quiescence(200_000);
+        let rp = plain.run_to_quiescence(200_000);
+        prop_assert_eq!(format!("{rf:?}"), format!("{rp:?}"));
+        prop_assert_eq!(&fused.stats, &plain.stats);
+        prop_assert_eq!(&fused.io, &plain.io);
+    }
+
+    /// Fused code never escapes the machine: a fused program still passes
+    /// the verifier (which normalizes internally), serializes to the same
+    /// image bytes as the original (digests are fusion-independent), and
+    /// `unfuse ∘ fuse` is the identity on every compiled block.
+    #[test]
+    fn fusion_roundtrips_and_verifies(p in arb_closed_program()) {
+        let prog = compile(&p).expect("compiles");
+        let mut fused = prog.clone();
+        tyco_vm::fuse_program(&mut fused);
+        prop_assert!(verify_program(&fused).is_ok(), "{:?}", verify_program(&fused));
+        prop_assert_eq!(image_to_bytes(&fused), image_to_bytes(&prog));
+        for (orig, f) in prog.blocks.iter().zip(&fused.blocks) {
+            let back = match tyco_vm::unfuse_code(&f.code) {
+                Some(code) => code,
+                None => f.code.to_vec(),
+            };
+            prop_assert_eq!(&back[..], &orig.code[..]);
+        }
+    }
 }
 
 // -- mutation testing ---------------------------------------------------------

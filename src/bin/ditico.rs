@@ -129,6 +129,12 @@ fn cmd_check(args: &[String]) -> Result<(), String> {
             .map_err(|e| format!("{path}: verifier rejected the image: {e}"))?;
         println!("{path}: byte-code image verifies");
     }
+    if args.iter().any(|a| a == "--opstats") {
+        // Static census: occurrence counts over the compiled image, a
+        // preview of fusion opportunities (run with `ditico run --opstats`
+        // for execution-weighted counts).
+        print!("{}", tyco_vm::stats::OpStats::census(&p.code).render(12));
+    }
     if args.iter().any(|a| a == "--lint") {
         let findings = p.lint();
         for l in &findings {
@@ -199,14 +205,27 @@ fn load_program(path: &str, unchecked: bool) -> Result<tyco_vm::Program, String>
 }
 
 fn cmd_run(args: &[String]) -> Result<(), String> {
-    let path = args
-        .first()
-        .ok_or("usage: ditico run <file.dity|file.tyco> [--stats] [--trace] [--unchecked]")?;
+    let path = args.first().ok_or(
+        "usage: ditico run <file.dity|file.tyco> [--stats] [--opstats] [--trace] \
+         [--no-fuse] [--unchecked]",
+    )?;
     let prog = load_program(path, args.iter().any(|a| a == "--unchecked"))?;
-    let mut m = tyco_vm::Machine::new(prog, tyco_vm::LoopbackPort::new("main"));
+    let port = tyco_vm::LoopbackPort::new("main");
+    // --no-fuse executes the byte-code exactly as compiled; the default
+    // applies superinstruction fusion. Telemetry for *choosing* fusions is
+    // read from `--no-fuse --opstats` runs (base-opcode digrams).
+    let mut m = if args.iter().any(|a| a == "--no-fuse") {
+        tyco_vm::Machine::new_unfused(prog, port)
+    } else {
+        tyco_vm::Machine::new(prog, port)
+    };
     let tracing = args.iter().any(|a| a == "--trace");
     if tracing {
         m.set_trace(64);
+    }
+    let opstats = args.iter().any(|a| a == "--opstats");
+    if opstats {
+        m.enable_opstats();
     }
     let result = m.run_to_quiescence(u64::MAX);
     for line in &m.io {
@@ -214,6 +233,10 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     }
     if args.iter().any(|a| a == "--stats") {
         eprintln!("{}", m.stats);
+    } else if opstats {
+        if let Some(ops) = &m.stats.ops {
+            eprint!("{}", ops.render(12));
+        }
     }
     match result {
         Ok(_) => Ok(()),
