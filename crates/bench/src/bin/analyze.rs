@@ -1,0 +1,239 @@
+//! Whole-program analysis and tree shaking measured, recorded to
+//! `BENCH_analyze.json`.
+//!
+//! ```sh
+//! cargo run --release -p ditico-bench --bin analyze            # full sweep
+//! cargo run --release -p ditico-bench --bin analyze -- --smoke # CI smoke
+//! ```
+//!
+//! Two questions, matching the two consumers of the analyzer:
+//!
+//! 1. **Image shrink.** For every example applet under `examples/dity/`,
+//!    how much smaller is the stored image after tree shaking, and after
+//!    the verified optimizer has folded constant branches first? Also
+//!    records the analysis wall time per example — the cost a `ditico
+//!    check --analyze` CI gate pays.
+//!
+//! 2. **FETCH latency.** A class whose body carries a constant-dead
+//!    debug harness (dozens of forked tracing blocks) is fetched over a
+//!    slow WAN link by a chain of client sites with the code cache off,
+//!    so every fetch ships the full image. With `--shake` the machine
+//!    packs against the table-rooted analysis and the dead harness never
+//!    crosses the wire: virtual completion time and fabric bytes both
+//!    drop, deterministically.
+
+use ditico_rt::{Cluster, FabricMode, LinkProfile, RunLimits, RunReport};
+use std::time::Instant;
+
+/// Forked tracing blocks in the dead debug arm of the fetch workload.
+const DEBUG_FORKS: usize = 48;
+/// Sequential fetch chain length (each fetch re-ships: cache disabled).
+const CHAIN: usize = 4;
+
+fn wan() -> LinkProfile {
+    LinkProfile::new(100_000, 1_000_000.0).expect("valid link")
+}
+
+struct Shrink {
+    name: String,
+    full_bytes: usize,
+    shaken_bytes: usize,
+    opt_shaken_bytes: usize,
+    analysis_us: f64,
+    findings: usize,
+}
+
+fn shrink_example(path: &std::path::Path) -> Option<Shrink> {
+    let name = path.file_name()?.to_string_lossy().into_owned();
+    let src = std::fs::read_to_string(path).ok()?;
+    let p = ditico::Program::compile(&src).ok()?;
+
+    let t0 = Instant::now();
+    let analysis = p.analyze();
+    let analysis_us = t0.elapsed().as_secs_f64() * 1e6;
+    let findings = analysis.findings(&p.code).len();
+
+    let full_bytes = tyco_vm::image_to_bytes(&p.code).len();
+    let shaken_bytes = tyco_vm::image_to_bytes_shaken(&p.code).len();
+    let opt_shaken_bytes = tyco_vm::image_to_bytes_shaken(&tyco_vm::optimize(&p.code)).len();
+    Some(Shrink {
+        name,
+        full_bytes,
+        shaken_bytes,
+        opt_shaken_bytes,
+        analysis_us,
+        findings,
+    })
+}
+
+fn shrink_sweep() -> Vec<Shrink> {
+    let dir = std::path::Path::new("examples/dity");
+    let mut paths: Vec<_> = std::fs::read_dir(dir)
+        .expect("run from the workspace root: examples/dity not found")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "dity"))
+        .collect();
+    paths.sort();
+    paths.iter().filter_map(|p| shrink_example(p)).collect()
+}
+
+/// `export def Applet(v) = if 1 > 2 then <forked debug harness> else … in 0`
+fn fetch_server_src(forks: usize) -> String {
+    let harness: Vec<String> = (0..forks)
+        .map(|i| format!(r#"println("debug-{i}", v + {i})"#))
+        .collect();
+    format!(
+        r#"export def Applet(v) = if 1 > 2 then ({}) else println("applet", v) in 0"#,
+        harness.join(" | ")
+    )
+}
+
+fn chain_site_src(i: usize, k: usize) -> String {
+    let next = i + 1;
+    let kick_next = if next < k {
+        format!("import kick{next} from c{next} in kick{next}![]")
+    } else {
+        "0".to_string()
+    };
+    let body = format!("import Applet from server in (Applet[{i}] | {kick_next})");
+    if i == 0 {
+        body
+    } else {
+        format!("export new kick{i} in kick{i}?() = {body}")
+    }
+}
+
+fn build_fetch_chain(k: usize, shake: bool) -> Cluster {
+    let mut c = Cluster::new(FabricMode::Virtual, wan(), 1);
+    let n0 = c.add_node();
+    let n1 = c.add_node();
+    c.set_code_cache(0); // every fetch ships the full image
+    c.set_shake(shake);
+    c.add_site_src(n0, "server", &fetch_server_src(DEBUG_FORKS))
+        .expect("server compiles");
+    for i in 0..k {
+        c.add_site_src(n1, &format!("c{i}"), &chain_site_src(i, k))
+            .expect("chain site compiles");
+    }
+    c
+}
+
+struct FetchSample {
+    virtual_ms: f64,
+    fabric_bytes: u64,
+    report: RunReport,
+}
+
+fn run_fetch(mut c: Cluster, k: usize) -> FetchSample {
+    let report = c.run_deterministic(RunLimits::default());
+    assert!(report.errors.is_empty(), "VM errors: {:?}", report.errors);
+    assert!(report.quiescent, "run did not terminate");
+    for i in 0..k {
+        let out = report.output(&format!("c{i}"));
+        assert_eq!(out, [format!("applet {i}")], "site c{i} output");
+    }
+    FetchSample {
+        virtual_ms: report.virtual_ns as f64 / 1e6,
+        fabric_bytes: report.fabric_bytes,
+        report,
+    }
+}
+
+fn json_shrink(rows: &[Shrink]) -> String {
+    rows.iter()
+        .map(|s| {
+            format!(
+                "    {{ \"example\": \"{}\", \"full_bytes\": {}, \"shaken_bytes\": {}, \
+                 \"opt_shaken_bytes\": {}, \"shrink_ratio\": {:.4}, \
+                 \"opt_shrink_ratio\": {:.4}, \"analysis_us\": {:.1}, \"findings\": {} }}",
+                s.name,
+                s.full_bytes,
+                s.shaken_bytes,
+                s.opt_shaken_bytes,
+                s.shaken_bytes as f64 / s.full_bytes as f64,
+                s.opt_shaken_bytes as f64 / s.full_bytes as f64,
+                s.analysis_us,
+                s.findings
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n")
+}
+
+fn record(rows: &[Shrink], plain: &FetchSample, shaken: &FetchSample) {
+    let (packs, saved) = shaken.report.shake_totals();
+    let best = rows
+        .iter()
+        .map(|s| s.shaken_bytes as f64 / s.full_bytes as f64)
+        .fold(1.0f64, f64::min);
+    let speedup = plain.virtual_ms / shaken.virtual_ms;
+    let json = format!(
+        "{{\n  \"bench\": \"analyze\",\n  \"workload\": \"image shrink over examples/dity \
+         plus a {CHAIN}-site sequential fetch chain of a {DEBUG_FORKS}-fork dead-harness \
+         class over a 100us/1MBps link with the code cache off\",\n  \
+         \"best_shrink_ratio\": {best:.4},\n  \"examples\": [\n{}\n  ],\n  \
+         \"fetch\": {{\n    \"plain\": {{ \"virtual_ms\": {:.3}, \"fabric_bytes\": {} }},\n    \
+         \"shaken\": {{ \"virtual_ms\": {:.3}, \"fabric_bytes\": {}, \
+         \"shaken_packs\": {packs}, \"shake_bytes_saved\": {saved} }},\n    \
+         \"speedup\": {speedup:.2}\n  }}\n}}\n",
+        json_shrink(rows),
+        plain.virtual_ms,
+        plain.fabric_bytes,
+        shaken.virtual_ms,
+        shaken.fabric_bytes,
+    );
+    std::fs::write("BENCH_analyze.json", &json).expect("write BENCH_analyze.json");
+    println!(
+        "recorded BENCH_analyze.json (best shrink ratio {best:.3}, \
+         fetch speedup {speedup:.2}x, {saved} B saved over {packs} shaken packs)"
+    );
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+
+    let rows = shrink_sweep();
+    assert!(!rows.is_empty(), "no examples compiled");
+    for s in &rows {
+        eprintln!(
+            "  {}: {} B -> {} B shaken ({} B with --optimize), analysis {:.0} us, {} finding(s)",
+            s.name, s.full_bytes, s.shaken_bytes, s.opt_shaken_bytes, s.analysis_us, s.findings
+        );
+    }
+    assert!(
+        rows.iter().any(|s| s.shaken_bytes < s.full_bytes),
+        "tree shaking must shrink at least one example image"
+    );
+
+    let k = if smoke { 2 } else { CHAIN };
+    let plain = run_fetch(build_fetch_chain(k, false), k);
+    let shaken = run_fetch(build_fetch_chain(k, true), k);
+    assert_eq!(plain.report.shake_totals().0, 0);
+    let (packs, saved) = shaken.report.shake_totals();
+    assert!(packs > 0, "shaken run recorded no shaken packs");
+    assert!(saved > 0, "shaking saved no wire bytes");
+    assert!(
+        shaken.fabric_bytes < plain.fabric_bytes,
+        "shaken fetches must shrink wire traffic: {} vs {}",
+        shaken.fabric_bytes,
+        plain.fabric_bytes
+    );
+    assert!(
+        shaken.virtual_ms < plain.virtual_ms,
+        "shaken fetches must be faster over a slow link: {:.3} vs {:.3} ms",
+        shaken.virtual_ms,
+        plain.virtual_ms
+    );
+
+    record(&rows, &plain, &shaken);
+    if smoke {
+        println!(
+            "smoke ok: {} example(s) shrink, fetch chain x{k} {:.2}x faster shaken",
+            rows.iter()
+                .filter(|s| s.shaken_bytes < s.full_bytes)
+                .count(),
+            plain.virtual_ms / shaken.virtual_ms
+        );
+    }
+}

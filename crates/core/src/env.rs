@@ -125,6 +125,8 @@ pub struct Env {
     workers: Option<usize>,
     /// Per-node code-cache capacity (None: the runtime default).
     code_cache: Option<usize>,
+    /// Tree-shake shipped code (SHIPO / served FETCH packages).
+    shake: bool,
 }
 
 impl Env {
@@ -135,6 +137,7 @@ impl Env {
             check_interfaces: true,
             workers: None,
             code_cache: None,
+            shake: false,
         }
     }
 
@@ -150,6 +153,16 @@ impl Env {
     /// single-flight fetch coalescing (the uncached baseline).
     pub fn code_cache(mut self, capacity: usize) -> Env {
         self.code_cache = Some(capacity);
+        self
+    }
+
+    /// Tree-shake every shipped code package: SHIPO payloads and served
+    /// FETCH replies carry the pruned closure (`tyco_vm::wire::pack_shaken`)
+    /// instead of the full one. The run report's
+    /// [`RunReport::shake_totals`](ditico_rt::RunReport::shake_totals)
+    /// records packages built and bytes saved.
+    pub fn shake(mut self, enabled: bool) -> Env {
+        self.shake = enabled;
         self
     }
 
@@ -270,6 +283,9 @@ impl Env {
         }
         if let Some(c) = self.code_cache {
             cluster.set_code_cache(c);
+        }
+        if self.shake {
+            cluster.set_shake(true);
         }
         let nodes: Vec<NodeId> = (0..self.topology.nodes.max(1))
             .map(|_| cluster.add_node())

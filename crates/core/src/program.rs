@@ -102,6 +102,43 @@ impl Program {
     pub fn lint(&self) -> Vec<tyco_calculus::Lint> {
         tyco_calculus::lint(&self.ast)
     }
+
+    /// Whole-program byte-code analysis rooted at the entry block
+    /// (`tyco_vm::analyze`): interprocedural reachability over the
+    /// call/instantiation graph plus per-block constant dataflow.
+    pub fn analyze(&self) -> tyco_vm::Analysis {
+        tyco_vm::analyze(&self.code, tyco_vm::Roots::Entry)
+    }
+
+    /// Static diagnostics over the byte-code — unreachable methods,
+    /// never-instantiated classes, sends no reachable table answers
+    /// (`ditico check --analyze`).
+    pub fn findings(&self) -> Vec<tyco_vm::Finding> {
+        self.analyze().findings(&self.code)
+    }
+
+    /// Verified optimization passes: constant propagation/folding, branch
+    /// simplification, dead-instruction elimination. The optimized code
+    /// replaces `self.code`; observable I/O is preserved and the result
+    /// re-verifies (or the pass backs out).
+    pub fn optimize(&mut self) -> tyco_vm::OptStats {
+        let (code, stats) = tyco_vm::optimize_with_stats(&self.code);
+        self.code = code;
+        stats
+    }
+
+    /// Tree-shake the byte-code from its entry block: prune blocks,
+    /// methods and classes that can never run. Returns what was removed.
+    pub fn shake(&mut self) -> (usize, usize, usize) {
+        let shaken = tyco_vm::shake(&self.code);
+        let out = (
+            shaken.blocks_dropped,
+            shaken.blocks_stubbed,
+            shaken.instrs_dropped,
+        );
+        self.code = shaken.program;
+        out
+    }
 }
 
 #[cfg(test)]

@@ -82,6 +82,15 @@ impl RunReport {
         self.stats.values().map(|s| s.comm).sum()
     }
 
+    /// Tree-shake counters summed across sites: `(shaken_packs,
+    /// shake_bytes_saved)`. Zero unless the run used
+    /// [`Cluster::set_shake`].
+    pub fn shake_totals(&self) -> (u64, u64) {
+        self.stats.values().fold((0, 0), |(p, b), s| {
+            (p + s.shaken_packs, b + s.shake_bytes_saved)
+        })
+    }
+
     /// Code-cache counters summed across every node's daemon.
     pub fn cache_totals(&self) -> CodeCacheStats {
         let mut t = CodeCacheStats::default();
@@ -149,6 +158,9 @@ pub struct Cluster {
     /// Per-node code-cache capacity in images (0 disables caching,
     /// wire-level dedup and fetch coalescing).
     code_cache: usize,
+    /// Whether sites package shipped code tree-shaken
+    /// (`tyco_vm::wire::pack_shaken`).
+    shake: bool,
 }
 
 impl Cluster {
@@ -168,6 +180,7 @@ impl Cluster {
             stale_periods: 3,
             sched: SchedConfig::default(),
             code_cache: DEFAULT_CODE_CACHE,
+            shake: false,
         }
     }
 
@@ -182,6 +195,23 @@ impl Cluster {
     /// The configured per-node code-cache capacity.
     pub fn code_cache(&self) -> usize {
         self.code_cache
+    }
+
+    /// Tree-shake shipped code on every site (existing and future ones).
+    /// Off by default: shaken packets carry their own digests, so mixed
+    /// fleets would split the receiving code caches.
+    pub fn set_shake(&mut self, enabled: bool) {
+        self.shake = enabled;
+        for cell in &mut self.nodes {
+            for site in &mut cell.sites {
+                site.machine.set_shake(enabled);
+            }
+        }
+    }
+
+    /// Whether shipped code is tree-shaken.
+    pub fn shake(&self) -> bool {
+        self.shake
     }
 
     /// A single-node, ideal-fabric cluster (functional testing).
@@ -268,7 +298,8 @@ impl Cluster {
             self.term.clone(),
         );
         port.set_interface(interface);
-        let site = Site::new(lexeme, identity, program, port);
+        let mut site = Site::new(lexeme, identity, program, port);
+        site.machine.set_shake(self.shake);
         cell.daemon
             .attach_site(site_id, in_tx, SiteWake::Notify(site.waker.clone()));
         cell.sites.push(site);

@@ -1,0 +1,1329 @@
+//! Whole-program byte-code analysis: interprocedural reachability over the
+//! call/instantiation graph, per-block constant dataflow, and the
+//! tree-shake transform built on top of both.
+//!
+//! The verifier ([`crate::verify`]) answers *"is this image well-formed?"*;
+//! this module answers *"which parts of it can ever run?"*. It walks the
+//! same worklist shape as the verifier's abstract interpreter, but instead
+//! of word *kinds* it tracks word *values* over a three-point lattice
+//! (unknown ⊤, an exact constant, or a statically-identified class), which
+//! buys three things the kind lattice cannot:
+//!
+//! * **Constant branch folding** — a `jmpf` whose condition is a provable
+//!   constant has exactly one successor, so the untaken arm (and everything
+//!   reachable only through it) is dead.
+//! * **Class provenance** — `mkgroup` and `pushsib` produce values tagged
+//!   with their (table, index) origin, so the analysis knows *which* class
+//!   an `instof` instantiates, and which classes are never instantiated and
+//!   never escape (sent, captured, exported) — their bodies cannot run.
+//! * **Method-label liveness** — in a closed world (no reachable `import`/
+//!   `export*`), a method whose label is never the subject of a reachable
+//!   `trmsg` can never be selected, so its body is dead weight.
+//!
+//! The interprocedural part is a fixpoint over blocks: a block's facts are
+//! computed once when it first becomes reachable, and the labels/classes it
+//! uses may retroactively enliven method bodies parked on a not-yet-sent
+//! label. Openness is monotone too: the first reachable network instruction
+//! permanently promotes every object method to live (a remote peer may send
+//! any label to an escaped channel).
+//!
+//! Soundness of the escape rule: a class value can only reach `instof` as
+//! an unknown word by first flowing through a point the analysis marks —
+//! a capture (`fork`/`trobj`/`mkgroup`), a message argument (`trmsg`),
+//! an export, or a lattice join that widened it away. Each of those points
+//! marks the class *used*, so "never used" really means "no execution can
+//! instantiate it", locally or at any receiving site.
+//!
+//! Consumers:
+//! * [`shake`] — prune a whole program down to what can run from its entry
+//!   (see also [`crate::wire::pack_shaken`] for the shipped-closure form);
+//! * [`crate::opt`] — constant folding and dead-instruction elimination
+//!   driven by the per-block facts;
+//! * [`Analysis::findings`] — `ditico check --analyze` diagnostics.
+
+use crate::machine::binop;
+use crate::program::{Block, BlockId, Instr, LabelId, MethodTable, Pool, Program, StrId, TableId};
+use crate::word::Word;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// Where reachability starts.
+#[derive(Debug, Clone, Copy)]
+pub enum Roots<'a> {
+    /// The program's entry block: whole-image analysis (`ditico check`,
+    /// [`shake`]). The world is closed unless a reachable instruction
+    /// touches the network.
+    Entry,
+    /// Shipped method tables ([`crate::wire::pack_shaken`]). The receiving
+    /// site is unknown code, so the world is open: every method of every
+    /// root table is live and every root class is instantiable.
+    Tables(&'a [TableId]),
+}
+
+/// Abstract value: the analysis lattice ⊥ < {Const, Class} < ⊤, with ⊥
+/// represented by the absence of a state (unreached program point).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum AVal {
+    /// Any word.
+    Any,
+    /// An exact base value (`Unit`/`Int`/`Bool`/`Float`/`Str` only —
+    /// channel and class references never use this arm).
+    Const(Word),
+    /// A class word of known origin: entry `index` of `table`.
+    Class { table: TableId, index: u8 },
+}
+
+/// Abstract machine state at one program point.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct AState {
+    pub stack: Vec<AVal>,
+    pub frame: Vec<AVal>,
+}
+
+/// What one block's reachable code touches (the analysis' call-graph
+/// edges), accumulated while interpreting it.
+#[derive(Debug, Default)]
+pub(crate) struct Effects {
+    pub blocks: Vec<BlockId>,
+    pub obj_tables: Vec<TableId>,
+    pub class_tables: Vec<TableId>,
+    pub sent: Vec<LabelId>,
+    /// Classes instantiated or escaped (captured, sent, exported, joined
+    /// away) — each may run.
+    pub used_classes: Vec<(TableId, u8)>,
+    /// A reachable `import`/`export*`: the program talks to the network.
+    pub open: bool,
+    /// Precision lost (a `pushsib` whose owning table is ambiguous):
+    /// every class of every reachable table must be considered used.
+    pub all_classes_used: bool,
+}
+
+/// Per-block dataflow facts, over the block's *normalized* (unfused) code.
+#[derive(Debug)]
+pub struct BlockFacts {
+    /// Per-pc reachability under constant branch folding.
+    pub live: Vec<bool>,
+    /// In-state per pc (`None` = unreached). Internal to the crate: the
+    /// optimizer reads constants out of these.
+    pub(crate) states: Vec<Option<AState>>,
+}
+
+impl BlockFacts {
+    pub fn live_count(&self) -> usize {
+        self.live.iter().filter(|l| **l).count()
+    }
+}
+
+/// The result of a whole-program analysis.
+#[derive(Debug)]
+pub struct Analysis {
+    /// True when a reachable instruction imports or exports through the
+    /// name service (or the roots were shipped tables): unknown peer code
+    /// may interact with every escaped channel and class.
+    pub open: bool,
+    /// Per block: is its code reachable (as executable code, not merely
+    /// referenced by a table entry)?
+    pub block_live: Vec<bool>,
+    /// Per table: referenced by reachable code (or a root)?
+    pub table_live: Vec<bool>,
+    /// Per table: reached through `trobj` (object dispatch)?
+    pub table_is_object: Vec<bool>,
+    /// Per table: reached through `mkgroup` (class group)?
+    pub table_is_class: Vec<bool>,
+    /// Per class table: which entries are instantiated or escape. Empty
+    /// vec until the table is reached as a class table.
+    pub class_used: Vec<Vec<bool>>,
+    /// Labels selected by reachable `trmsg` instructions.
+    pub sent_labels: HashSet<LabelId>,
+    /// Per-block facts for live blocks.
+    pub facts: Vec<Option<BlockFacts>>,
+}
+
+impl Analysis {
+    /// Reachable instructions (over normalized code), for shrink metrics.
+    pub fn live_instr_count(&self) -> usize {
+        self.facts.iter().flatten().map(|f| f.live_count()).sum()
+    }
+}
+
+/// For each class-body block, the unique `(table, index)` that lists it —
+/// the origin of the class word `pushsib` builds inside it. `None` when
+/// ambiguous (listed by several tables: hand-written assembly only).
+pub(crate) fn body_owners(prog: &Program) -> HashMap<BlockId, Option<(TableId, u8)>> {
+    let mut owners: HashMap<BlockId, Option<(TableId, u8)>> = HashMap::new();
+    for (ti, t) in prog.tables.iter().enumerate() {
+        for (i, (_, b)) in t.entries.iter().enumerate() {
+            if !prog
+                .blocks
+                .get(*b as usize)
+                .is_some_and(|blk| blk.is_class_body)
+            {
+                continue;
+            }
+            let tag = (ti as TableId, i.min(u8::MAX as usize) as u8);
+            owners
+                .entry(*b)
+                .and_modify(|o| {
+                    if *o != Some(tag) {
+                        *o = None;
+                    }
+                })
+                .or_insert(Some(tag));
+        }
+    }
+    owners
+}
+
+fn is_const_word(w: &Word) -> bool {
+    matches!(
+        w,
+        Word::Unit | Word::Int(_) | Word::Bool(_) | Word::Float(_) | Word::Str(_)
+    )
+}
+
+/// Join two abstract values. A class value widened away may later reach
+/// `instof` as ⊤, so it must be marked used at the point of the join.
+fn join(a: &AVal, b: &AVal, fx: &mut Effects) -> AVal {
+    if a == b {
+        return a.clone();
+    }
+    for v in [a, b] {
+        if let AVal::Class { table, index } = v {
+            fx.used_classes.push((*table, *index));
+        }
+    }
+    AVal::Any
+}
+
+/// Pop `n` values, routing any class value to the escape set (`why` is
+/// documentation only). Returns `false` on underflow (unverified input).
+fn pop_escaping(st: &mut AState, n: usize, fx: &mut Effects) -> bool {
+    if st.stack.len() < n {
+        return false;
+    }
+    for v in st.stack.drain(st.stack.len() - n..) {
+        if let AVal::Class { table, index } = v {
+            fx.used_classes.push((table, index));
+        }
+    }
+    true
+}
+
+enum Succ {
+    Fall,
+    Jump(u32),
+    Branch(u32),
+    Halt,
+}
+
+/// Abstractly interpret one block to a fixpoint: per-pc reachability and
+/// in-states under constant branch folding, with side effects (graph
+/// edges, sent labels, class uses) accumulated into `fx`.
+///
+/// The interpreter assumes verified code; on any structural anomaly it
+/// degrades to the conservative answer (everything live, no constants,
+/// every reference an edge) rather than erroring.
+pub(crate) fn analyze_block(
+    prog: &Program,
+    owner: Option<(TableId, u8)>,
+    block: &Block,
+    code: &[Instr],
+    fx: &mut Effects,
+) -> BlockFacts {
+    match try_analyze_block(prog, owner, block, code, fx) {
+        Some(facts) => facts,
+        None => conservative_facts(code, fx),
+    }
+}
+
+/// Everything-is-live fallback for code the interpreter could not walk.
+fn conservative_facts(code: &[Instr], fx: &mut Effects) -> BlockFacts {
+    for ins in code {
+        match ins {
+            Instr::Fork { block, .. } => fx.blocks.push(*block),
+            Instr::TrObj { table, .. } => fx.obj_tables.push(*table),
+            Instr::MkGroup { table, .. } => fx.class_tables.push(*table),
+            Instr::TrMsg { label, .. } => fx.sent.push(*label),
+            Instr::InstOf { .. } | Instr::PushSibling(_) => fx.all_classes_used = true,
+            Instr::Import { .. } | Instr::ExportName { .. } | Instr::ExportClass { .. } => {
+                fx.open = true
+            }
+            _ => {}
+        }
+    }
+    BlockFacts {
+        live: vec![true; code.len()],
+        states: vec![None; code.len()],
+    }
+}
+
+fn try_analyze_block(
+    prog: &Program,
+    owner: Option<(TableId, u8)>,
+    block: &Block,
+    code: &[Instr],
+    fx: &mut Effects,
+) -> Option<BlockFacts> {
+    let len = code.len() as u32;
+    if len == 0 {
+        return Some(BlockFacts {
+            live: Vec::new(),
+            states: Vec::new(),
+        });
+    }
+    let frame_size = block.frame_size();
+    // The frame a spawner builds: self-class word (class bodies), then
+    // captures and parameters of unknown value, then unit-filled locals.
+    let mut frame0: Vec<AVal> = Vec::with_capacity(frame_size);
+    if block.is_class_body {
+        frame0.push(match owner {
+            Some((table, index)) => AVal::Class { table, index },
+            None => AVal::Any,
+        });
+    }
+    frame0.extend(
+        std::iter::repeat_with(|| AVal::Any).take(block.nfree as usize + block.nparams as usize),
+    );
+    frame0.extend(std::iter::repeat_with(|| AVal::Const(Word::Unit)).take(block.nlocals as usize));
+
+    let mut states: Vec<Option<AState>> = vec![None; code.len()];
+    states[0] = Some(AState {
+        stack: Vec::new(),
+        frame: frame0,
+    });
+    let mut work: Vec<u32> = vec![0];
+    // Fixpoint bound: each visit either widens a lattice point or stops.
+    let mut fuel: u64 = (code.len() as u64 + 4) * (frame_size as u64 + 8) * 64;
+    while let Some(pc) = work.pop() {
+        fuel = fuel.checked_sub(1)?;
+        let mut st = states[pc as usize].clone()?;
+        let succ = step(prog, owner, block, code, pc, &mut st, fx)?;
+        let mut flow = |target: u32, work: &mut Vec<u32>, fx: &mut Effects| -> Option<()> {
+            if target == len {
+                return Some(()); // falling off the end halts the thread
+            }
+            if target > len {
+                return None;
+            }
+            if merge(&mut states[target as usize], &st, fx)? {
+                work.push(target);
+            }
+            Some(())
+        };
+        match succ {
+            Succ::Fall => flow(pc + 1, &mut work, fx)?,
+            Succ::Jump(t) => flow(t, &mut work, fx)?,
+            Succ::Branch(t) => {
+                flow(pc + 1, &mut work, fx)?;
+                flow(t, &mut work, fx)?;
+            }
+            Succ::Halt => {}
+        }
+    }
+    let live: Vec<bool> = states.iter().map(|s| s.is_some()).collect();
+    Some(BlockFacts { live, states })
+}
+
+/// Merge `src` into a program point. `Ok(true)` = changed (re-queue).
+/// `None` = depth disagreement (unverified input).
+fn merge(dst: &mut Option<AState>, src: &AState, fx: &mut Effects) -> Option<bool> {
+    match dst {
+        None => {
+            *dst = Some(src.clone());
+            Some(true)
+        }
+        Some(cur) => {
+            if cur.stack.len() != src.stack.len() || cur.frame.len() != src.frame.len() {
+                return None;
+            }
+            let mut changed = false;
+            let pairs = cur
+                .stack
+                .iter_mut()
+                .zip(&src.stack)
+                .chain(cur.frame.iter_mut().zip(&src.frame));
+            for (c, s) in pairs {
+                let j = join(c, s, fx);
+                if j != *c {
+                    *c = j;
+                    changed = true;
+                }
+            }
+            Some(changed)
+        }
+    }
+}
+
+/// Transfer function: abstract execution of one instruction. `None` means
+/// the code is not verifier-clean; the caller falls back to conservative.
+fn step(
+    prog: &Program,
+    owner: Option<(TableId, u8)>,
+    block: &Block,
+    code: &[Instr],
+    pc: u32,
+    st: &mut AState,
+    fx: &mut Effects,
+) -> Option<Succ> {
+    let frame = block.frame_size();
+    let len = code.len() as u32;
+    macro_rules! slot {
+        ($s:expr) => {{
+            let s = $s as usize;
+            if s >= frame {
+                return None;
+            }
+            s
+        }};
+    }
+    match code[pc as usize] {
+        Instr::PushLocal(s) => {
+            let s = slot!(s);
+            let v = st.frame[s].clone();
+            st.stack.push(v);
+        }
+        Instr::PushInt(i) => st.stack.push(AVal::Const(Word::Int(i))),
+        Instr::PushBool(b) => st.stack.push(AVal::Const(Word::Bool(b))),
+        Instr::PushFloat(f) => st.stack.push(AVal::Const(Word::Float(f))),
+        Instr::PushUnit => st.stack.push(AVal::Const(Word::Unit)),
+        Instr::PushStr(s) => {
+            // Out-of-pool ids appear transiently while the optimizer is
+            // interning folded strings against a newer pool: treat as ⊤.
+            if (s as usize) < prog.strings.len() {
+                st.stack
+                    .push(AVal::Const(Word::Str(prog.strings.get_arc(s))));
+            } else {
+                st.stack.push(AVal::Any);
+            }
+        }
+        Instr::PushSibling(i) => {
+            match owner {
+                // A sibling of this body's group: same table, index `i`.
+                Some((table, _)) => st.stack.push(AVal::Class { table, index: i }),
+                None => {
+                    // Ambiguous owner: any class anywhere might be meant.
+                    fx.all_classes_used = true;
+                    st.stack.push(AVal::Any);
+                }
+            }
+        }
+        Instr::Store(s) => {
+            let s = slot!(s);
+            let v = st.stack.pop()?;
+            st.frame[s] = v;
+        }
+        Instr::Bin(op) => {
+            let b = st.stack.pop()?;
+            let a = st.stack.pop()?;
+            let folded = match (&a, &b) {
+                (AVal::Const(x), AVal::Const(y)) => binop(op, x.clone(), y.clone()).ok(),
+                _ => None,
+            };
+            match folded {
+                // Never fold an operation the machine would fault on
+                // (division by zero, mixed operands): the fault is the
+                // observable behaviour and must stay.
+                Some(w) if is_const_word(&w) => st.stack.push(AVal::Const(w)),
+                _ => {
+                    // Comparing class words (`==`) consumes them without
+                    // leaking instantiation capability: no escape.
+                    st.stack.push(AVal::Any);
+                }
+            }
+        }
+        Instr::Un(op) => {
+            let a = st.stack.pop()?;
+            let folded = match &a {
+                AVal::Const(x) => crate::machine::unop(op, x.clone()).ok(),
+                _ => None,
+            };
+            match folded {
+                Some(w) if is_const_word(&w) => st.stack.push(AVal::Const(w)),
+                _ => st.stack.push(AVal::Any),
+            }
+        }
+        Instr::Jump(t) => {
+            if t > len {
+                return None;
+            }
+            return Some(Succ::Jump(t));
+        }
+        Instr::JumpIfFalse(t) => {
+            if t > len {
+                return None;
+            }
+            let c = st.stack.pop()?;
+            return Some(match c {
+                // A constant condition has exactly one successor: the
+                // untaken arm is unreachable from this point.
+                AVal::Const(Word::Bool(true)) => Succ::Fall,
+                AVal::Const(Word::Bool(false)) => Succ::Jump(t),
+                _ => Succ::Branch(t),
+            });
+        }
+        Instr::Halt => return Some(Succ::Halt),
+        Instr::NewChan(s) => {
+            let s = slot!(s);
+            st.frame[s] = AVal::Any;
+        }
+        Instr::Fork { block, nfree } => {
+            // Captures become the child's frame, where tracking ends.
+            if !pop_escaping(st, nfree as usize, fx) {
+                return None;
+            }
+            fx.blocks.push(block);
+        }
+        Instr::TrMsg { label, argc } => {
+            let _chan = st.stack.pop()?;
+            if !pop_escaping(st, argc as usize, fx) {
+                return None;
+            }
+            fx.sent.push(label);
+        }
+        Instr::TrObj { table, nfree } => {
+            let _chan = st.stack.pop()?;
+            if !pop_escaping(st, nfree as usize, fx) {
+                return None;
+            }
+            fx.obj_tables.push(table);
+        }
+        Instr::InstOf { argc } => {
+            let class = st.stack.pop()?;
+            if !pop_escaping(st, argc as usize, fx) {
+                return None;
+            }
+            if let AVal::Class { table, index } = class {
+                fx.used_classes.push((table, index));
+            }
+            // `instof` of ⊤: whatever class that word holds already passed
+            // an escape point (capture/send/export/join) which marked it.
+        }
+        Instr::MkGroup {
+            table,
+            dst,
+            count,
+            nfree,
+        } => {
+            if !pop_escaping(st, nfree as usize, fx) {
+                return None;
+            }
+            let end = dst as usize + count as usize;
+            if end > frame {
+                return None;
+            }
+            for (i, s) in (dst as usize..end).enumerate() {
+                st.frame[s] = AVal::Class {
+                    table,
+                    index: i.min(u8::MAX as usize) as u8,
+                };
+            }
+            fx.class_tables.push(table);
+        }
+        Instr::ExportName { slot, .. } => {
+            let _ = slot!(slot);
+            fx.open = true;
+        }
+        Instr::ExportClass { slot, .. } => {
+            let s = slot!(slot);
+            if let AVal::Class { table, index } = &st.frame[s] {
+                fx.used_classes.push((*table, *index));
+            }
+            fx.open = true;
+        }
+        Instr::Import { dst, .. } => {
+            let s = slot!(dst);
+            st.frame[s] = AVal::Any;
+            fx.open = true;
+        }
+        Instr::Print { argc, .. } => {
+            // Printing renders a word; it cannot leak instantiation
+            // capability, so no escape.
+            if st.stack.len() < argc as usize {
+                return None;
+            }
+            st.stack.truncate(st.stack.len() - argc as usize);
+        }
+        // Analysis runs on normalized code only (see `analyze`).
+        Instr::PushLocal2 { .. }
+        | Instr::PushLocalInt { .. }
+        | Instr::PushIntBin { .. }
+        | Instr::BinJumpIfFalse { .. }
+        | Instr::PushLocalTrMsg { .. }
+        | Instr::PushLocalTrObj { .. }
+        | Instr::PushLocalInstOf { .. }
+        | Instr::PushSiblingInstOf { .. }
+        | Instr::PushSiblingLocal { .. } => return None,
+    }
+    Some(Succ::Fall)
+}
+
+/// The interprocedural fixpoint engine.
+struct Walker<'p> {
+    prog: &'p Program,
+    owners: HashMap<BlockId, Option<(TableId, u8)>>,
+    a: Analysis,
+    queue: Vec<BlockId>,
+    /// Object-method bodies waiting for their label to be sent.
+    pending: HashMap<LabelId, Vec<BlockId>>,
+    all_classes_used: bool,
+}
+
+impl Walker<'_> {
+    fn mark_block(&mut self, b: BlockId) {
+        let Some(live) = self.a.block_live.get_mut(b as usize) else {
+            return;
+        };
+        if !*live {
+            *live = true;
+            self.queue.push(b);
+        }
+    }
+
+    fn entries(&self, t: TableId) -> &[(LabelId, BlockId)] {
+        self.prog
+            .tables
+            .get(t as usize)
+            .map(|mt| mt.entries.as_slice())
+            .unwrap_or(&[])
+    }
+
+    fn mark_obj_table(&mut self, t: TableId) {
+        let ti = t as usize;
+        if ti >= self.a.table_live.len() || self.a.table_is_object[ti] {
+            return;
+        }
+        self.a.table_live[ti] = true;
+        self.a.table_is_object[ti] = true;
+        for (l, b) in self.entries(t).to_vec() {
+            if self.a.open || self.a.sent_labels.contains(&l) {
+                self.mark_block(b);
+            } else {
+                self.pending.entry(l).or_default().push(b);
+            }
+        }
+        if self.a.table_is_class[ti] {
+            // Mixed use (object dispatch *and* class group): give up on
+            // per-entry precision for this table.
+            self.use_whole_table(t);
+        }
+    }
+
+    fn mark_class_table(&mut self, t: TableId) {
+        let ti = t as usize;
+        if ti >= self.a.table_live.len() || self.a.table_is_class[ti] {
+            return;
+        }
+        self.a.table_live[ti] = true;
+        self.a.table_is_class[ti] = true;
+        self.a.class_used[ti] = vec![false; self.entries(t).len()];
+        if self.all_classes_used || self.a.table_is_object[ti] {
+            self.use_whole_table(t);
+        }
+    }
+
+    fn use_whole_table(&mut self, t: TableId) {
+        for i in 0..self.entries(t).len() {
+            self.mark_class_used(t, i.min(u8::MAX as usize) as u8);
+        }
+        for (_, b) in self.entries(t).to_vec() {
+            self.mark_block(b);
+        }
+    }
+
+    fn mark_class_used(&mut self, t: TableId, i: u8) {
+        let ti = t as usize;
+        if ti >= self.a.table_live.len() {
+            return;
+        }
+        let entries_len = self.entries(t).len();
+        let used = &mut self.a.class_used[ti];
+        if used.len() < entries_len {
+            used.resize(entries_len, false);
+        }
+        let Some(flag) = used.get_mut(i as usize) else {
+            return; // sibling index past the table: runtime error, not code
+        };
+        if !*flag {
+            *flag = true;
+            let b = self.entries(t)[i as usize].1;
+            self.mark_block(b);
+        }
+    }
+
+    fn mark_sent(&mut self, l: LabelId) {
+        if self.a.sent_labels.insert(l) {
+            if let Some(parked) = self.pending.remove(&l) {
+                for b in parked {
+                    self.mark_block(b);
+                }
+            }
+        }
+    }
+
+    fn set_open(&mut self) {
+        if self.a.open {
+            return;
+        }
+        self.a.open = true;
+        // Unknown peers may send any label: every parked method runs.
+        let parked: Vec<BlockId> = self.pending.drain().flat_map(|(_, bs)| bs).collect();
+        for b in parked {
+            self.mark_block(b);
+        }
+    }
+
+    fn set_all_classes_used(&mut self) {
+        if self.all_classes_used {
+            return;
+        }
+        self.all_classes_used = true;
+        for t in 0..self.a.table_live.len() as TableId {
+            if self.a.table_is_class[t as usize] {
+                self.use_whole_table(t);
+            }
+        }
+    }
+
+    fn absorb(&mut self, fx: Effects) {
+        if fx.open {
+            self.set_open();
+        }
+        if fx.all_classes_used {
+            self.set_all_classes_used();
+        }
+        for l in fx.sent {
+            self.mark_sent(l);
+        }
+        for b in fx.blocks {
+            self.mark_block(b);
+        }
+        for t in fx.obj_tables {
+            self.mark_obj_table(t);
+        }
+        for t in fx.class_tables {
+            self.mark_class_table(t);
+        }
+        for (t, i) in fx.used_classes {
+            // A class use implies its group was (or will be) created by a
+            // reachable `mkgroup`; register the table either way.
+            self.mark_class_table(t);
+            self.mark_class_used(t, i);
+        }
+    }
+
+    fn run(&mut self) {
+        while let Some(b) = self.queue.pop() {
+            let block = &self.prog.blocks[b as usize];
+            let normalized = crate::fuse::unfuse_code(&block.code);
+            let code: &[Instr] = normalized.as_deref().unwrap_or(&block.code);
+            let owner = self.owners.get(&b).copied().flatten();
+            let mut fx = Effects::default();
+            let facts = analyze_block(self.prog, owner, block, code, &mut fx);
+            self.a.facts[b as usize] = Some(facts);
+            self.absorb(fx);
+        }
+    }
+}
+
+/// Analyze `prog` from `roots` to a fixpoint.
+///
+/// The program is expected to be verifier-clean (compiler output, a loaded
+/// image, or a linked packet); on malformed code the analysis degrades to
+/// "everything reachable" rather than failing.
+pub fn analyze(prog: &Program, roots: Roots) -> Analysis {
+    let nb = prog.blocks.len();
+    let nt = prog.tables.len();
+    let mut w = Walker {
+        prog,
+        owners: body_owners(prog),
+        a: Analysis {
+            open: false,
+            block_live: vec![false; nb],
+            table_live: vec![false; nt],
+            table_is_object: vec![false; nt],
+            table_is_class: vec![false; nt],
+            class_used: vec![Vec::new(); nt],
+            sent_labels: HashSet::new(),
+            facts: (0..nb).map(|_| None).collect(),
+        },
+        queue: Vec::new(),
+        pending: HashMap::new(),
+        all_classes_used: false,
+    };
+    match roots {
+        Roots::Entry => {
+            if (prog.entry as usize) < nb {
+                w.mark_block(prog.entry);
+            }
+        }
+        Roots::Tables(ts) => {
+            // Shipped roots face unknown receiver code: open world, and
+            // the root tables are fully live (any method may be selected,
+            // any root class instantiated via `link_group`).
+            w.set_open();
+            for &t in ts {
+                if (t as usize) >= nt {
+                    continue;
+                }
+                w.a.table_live[t as usize] = true;
+                w.a.table_is_object[t as usize] = true;
+                w.a.table_is_class[t as usize] = true;
+                w.a.class_used[t as usize] = vec![false; w.entries(t).len()];
+                w.use_whole_table(t);
+            }
+        }
+    }
+    w.run();
+    w.a
+}
+
+// -- diagnostics --------------------------------------------------------------------
+
+/// What a finding is about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FindingKind {
+    /// An object method whose label is never the subject of any reachable
+    /// send (closed world only).
+    UnreachableMethod,
+    /// A class that is created but never instantiated and never escapes.
+    NeverInstantiatedClass,
+    /// A label that is sent but that no reachable object table defines
+    /// (closed world only).
+    OrphanSend,
+}
+
+impl FindingKind {
+    /// Stable machine-readable tag (`--json` output, CI gating).
+    pub fn tag(self) -> &'static str {
+        match self {
+            FindingKind::UnreachableMethod => "unreachable-method",
+            FindingKind::NeverInstantiatedClass => "never-instantiated-class",
+            FindingKind::OrphanSend => "orphan-send",
+        }
+    }
+}
+
+/// One static diagnostic over the byte-code.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub kind: FindingKind,
+    /// What it is about: a block name (`Cell.write`) or a label.
+    pub subject: String,
+    pub detail: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: `{}`: {}",
+            self.kind.tag(),
+            self.subject,
+            self.detail
+        )
+    }
+}
+
+impl Analysis {
+    /// Byte-code-level liveness diagnostics. Label findings are only
+    /// reported for closed programs: once code or channels may escape to
+    /// unknown peers, any label can arrive and any method can fire.
+    pub fn findings(&self, prog: &Program) -> Vec<Finding> {
+        let mut out = Vec::new();
+        let block_name = |b: BlockId| -> String {
+            prog.blocks
+                .get(b as usize)
+                .map(|blk| blk.name.clone())
+                .unwrap_or_else(|| format!("block {b}"))
+        };
+        for t in 0..prog.tables.len() {
+            if !self.table_live[t] {
+                continue;
+            }
+            let entries = &prog.tables[t].entries;
+            let mixed = self.table_is_object[t] && self.table_is_class[t];
+            if self.table_is_object[t] && !mixed && !self.open {
+                for (l, b) in entries {
+                    if !self.sent_labels.contains(l) {
+                        out.push(Finding {
+                            kind: FindingKind::UnreachableMethod,
+                            subject: block_name(*b),
+                            detail: format!(
+                                "method label `{}` of table {t} is never sent by any \
+                                 reachable code",
+                                prog.labels.get(*l)
+                            ),
+                        });
+                    }
+                }
+            }
+            if self.table_is_class[t] && !mixed {
+                for (i, (_, b)) in entries.iter().enumerate() {
+                    if !self.class_used[t].get(i).copied().unwrap_or(true) {
+                        out.push(Finding {
+                            kind: FindingKind::NeverInstantiatedClass,
+                            subject: block_name(*b),
+                            detail: format!(
+                                "class {i} of group table {t} is never instantiated and \
+                                 never escapes"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        if !self.open {
+            let defined: HashSet<LabelId> = (0..prog.tables.len())
+                .filter(|&t| self.table_live[t] && self.table_is_object[t])
+                .flat_map(|t| prog.tables[t].entries.iter().map(|(l, _)| *l))
+                .collect();
+            let mut orphans: Vec<LabelId> = self
+                .sent_labels
+                .iter()
+                .copied()
+                .filter(|l| !defined.contains(l))
+                .collect();
+            orphans.sort_unstable();
+            for l in orphans {
+                out.push(Finding {
+                    kind: FindingKind::OrphanSend,
+                    subject: prog.labels.get(l).to_string(),
+                    detail: "label is sent but no reachable object table defines it".to_string(),
+                });
+            }
+        }
+        out.sort_by(|a, b| (a.kind.tag(), &a.subject).cmp(&(b.kind.tag(), &b.subject)));
+        out
+    }
+}
+
+// -- tree shaking -------------------------------------------------------------------
+
+/// Does this (base-set) instruction reference a block, table, label or
+/// string? Such instructions at provably-dead pcs are rewritten to `halt`
+/// so the pruned referent leaves no dangling id behind.
+fn carries_ref(ins: &Instr) -> bool {
+    matches!(
+        ins,
+        Instr::Fork { .. }
+            | Instr::TrMsg { .. }
+            | Instr::TrObj { .. }
+            | Instr::MkGroup { .. }
+            | Instr::PushStr(_)
+            | Instr::ExportName { .. }
+            | Instr::ExportClass { .. }
+            | Instr::Import { .. }
+    )
+}
+
+/// A shaken program plus what the shake removed.
+#[derive(Debug)]
+pub struct Shaken {
+    pub program: Program,
+    /// Old table id → new table id for every surviving table (consumers
+    /// that addressed the original program — e.g. a ship root — translate
+    /// through this).
+    pub table_map: HashMap<TableId, TableId>,
+    /// Blocks removed outright (unreferenced by any kept table).
+    pub blocks_dropped: usize,
+    /// Blocks kept for table shape but emptied (dead methods, dead
+    /// classes): they keep their frame metadata and lose their code.
+    pub blocks_stubbed: usize,
+    /// Instructions removed by dropping and stubbing.
+    pub instrs_dropped: usize,
+}
+
+/// Prune `prog` down to what can execute from its entry block.
+///
+/// * Blocks and tables unreachable from the entry are removed, with ids
+///   remapped and the symbol pools re-interned to the surviving uses.
+/// * Method and class bodies that are *referenced* by a live table but can
+///   never fire (label never sent in a closed world; class never
+///   instantiated and never escaping) are stubbed: their metadata stays so
+///   table shape, sibling indices and frame-layout checks are untouched,
+///   but their code is emptied.
+/// * Reference-carrying instructions at provably-dead pcs inside live
+///   blocks are rewritten to `halt` (they can never execute), so the
+///   things only they referenced can be pruned too.
+///
+/// The output is normalized (unfused — [`Machine::new`](crate::Machine)
+/// re-fuses at boot), passes [`crate::verify::verify_program`], and is a
+/// fixpoint: `shake(shake(p)) == shake(p)`.
+pub fn shake(prog: &Program) -> Shaken {
+    let a = analyze(prog, Roots::Entry);
+    shake_with(prog, &a)
+}
+
+/// [`shake`] with a precomputed entry-rooted analysis.
+pub fn shake_with(prog: &Program, a: &Analysis) -> Shaken {
+    let nb = prog.blocks.len();
+    let nt = prog.tables.len();
+    // Blocks a kept (live) table still names: they must survive, possibly
+    // as stubs, so entry counts, positional class indices and the
+    // verifier's frame-layout checks keep working.
+    let mut table_ref = vec![false; nb];
+    for t in 0..nt {
+        if a.table_live[t] {
+            for (_, b) in &prog.tables[t].entries {
+                table_ref[*b as usize] = true;
+            }
+        }
+    }
+    let mut block_map: HashMap<BlockId, BlockId> = HashMap::new();
+    let mut kept_blocks: Vec<BlockId> = Vec::new();
+    for b in 0..nb as BlockId {
+        if a.block_live[b as usize] || table_ref[b as usize] {
+            block_map.insert(b, kept_blocks.len() as BlockId);
+            kept_blocks.push(b);
+        }
+    }
+    let mut table_map: HashMap<TableId, TableId> = HashMap::new();
+    let mut kept_tables: Vec<TableId> = Vec::new();
+    for t in 0..nt as TableId {
+        if a.table_live[t as usize] {
+            table_map.insert(t, kept_tables.len() as TableId);
+            kept_tables.push(t);
+        }
+    }
+
+    let mut out = Program::default();
+    let mut blocks_stubbed = 0usize;
+    let mut instrs_dropped = 0usize;
+    for &bid in &kept_blocks {
+        let src = &prog.blocks[bid as usize];
+        let normalized = crate::fuse::unfuse_code(&src.code);
+        let code: &[Instr] = normalized.as_deref().unwrap_or(&src.code);
+        let new_code: Arc<[Instr]> = if !a.block_live[bid as usize] {
+            blocks_stubbed += 1;
+            instrs_dropped += code.len();
+            Arc::from(Vec::new())
+        } else {
+            let live = a.facts[bid as usize].as_ref().map(|f| f.live.as_slice());
+            code.iter()
+                .enumerate()
+                .map(|(pc, ins)| {
+                    let pc_live = live.and_then(|l| l.get(pc)).copied().unwrap_or(true);
+                    if !pc_live && carries_ref(ins) {
+                        return Instr::Halt;
+                    }
+                    remap_instr(ins, prog, &mut out, &block_map, &table_map)
+                })
+                .collect()
+        };
+        out.blocks.push(Block {
+            name: src.name.clone(),
+            nfree: src.nfree,
+            nparams: src.nparams,
+            nlocals: src.nlocals,
+            is_class_body: src.is_class_body,
+            code: new_code,
+        });
+    }
+    for &tid in &kept_tables {
+        let entries = prog.tables[tid as usize]
+            .entries
+            .iter()
+            .map(|(l, b)| (out.labels.intern(prog.labels.get(*l)), block_map[b]))
+            .collect();
+        out.tables.push(MethodTable { entries });
+    }
+    // Table-rooted shakes may drop the original entry block; the image
+    // still needs a well-formed entry (free=0, params=0, plain body), so
+    // synthesize an empty one rather than pointing at an arbitrary
+    // survivor.
+    out.entry = match block_map.get(&prog.entry) {
+        Some(&e) => e,
+        None => {
+            let e = out.blocks.len() as BlockId;
+            out.blocks.push(Block {
+                name: "entry".to_string(),
+                nfree: 0,
+                nparams: 0,
+                nlocals: 0,
+                is_class_body: false,
+                code: Arc::from([]),
+            });
+            e
+        }
+    };
+
+    let blocks_dropped = nb - kept_blocks.len();
+    instrs_dropped += (0..nb as BlockId)
+        .filter(|b| !block_map.contains_key(b))
+        .map(|b| prog.blocks[b as usize].code.len())
+        .sum::<usize>();
+    debug_assert!(
+        out.blocks.is_empty() || crate::verify::verify_program(&out).is_ok(),
+        "shaken program failed verification: {:?}",
+        crate::verify::verify_program(&out)
+    );
+    Shaken {
+        program: out,
+        table_map,
+        blocks_dropped,
+        blocks_stubbed,
+        instrs_dropped,
+    }
+}
+
+/// Remap one live instruction into the shaken program's id spaces,
+/// interning labels and strings on demand (deterministic first-use order,
+/// which makes the transform idempotent).
+fn remap_instr(
+    ins: &Instr,
+    prog: &Program,
+    out: &mut Program,
+    block_map: &HashMap<BlockId, BlockId>,
+    table_map: &HashMap<TableId, TableId>,
+) -> Instr {
+    let s = |pool: &mut Pool, id: StrId| -> StrId { pool.intern(prog.strings.get(id)) };
+    match ins {
+        Instr::Fork { block, nfree } => Instr::Fork {
+            block: block_map[block],
+            nfree: *nfree,
+        },
+        Instr::TrMsg { label, argc } => Instr::TrMsg {
+            label: out.labels.intern(prog.labels.get(*label)),
+            argc: *argc,
+        },
+        Instr::TrObj { table, nfree } => Instr::TrObj {
+            table: table_map[table],
+            nfree: *nfree,
+        },
+        Instr::MkGroup {
+            table,
+            dst,
+            count,
+            nfree,
+        } => Instr::MkGroup {
+            table: table_map[table],
+            dst: *dst,
+            count: *count,
+            nfree: *nfree,
+        },
+        Instr::PushStr(id) => Instr::PushStr(s(&mut out.strings, *id)),
+        Instr::ExportName { slot, name } => Instr::ExportName {
+            slot: *slot,
+            name: s(&mut out.strings, *name),
+        },
+        Instr::ExportClass { slot, name } => Instr::ExportClass {
+            slot: *slot,
+            name: s(&mut out.strings, *name),
+        },
+        Instr::Import {
+            dst,
+            site,
+            name,
+            kind,
+        } => Instr::Import {
+            dst: *dst,
+            site: s(&mut out.strings, *site),
+            name: s(&mut out.strings, *name),
+            kind: *kind,
+        },
+        other => *other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile;
+    use crate::{image, LoopbackPort, Machine};
+    use tyco_syntax::parse_core;
+
+    fn prog(src: &str) -> Program {
+        compile(&parse_core(src).unwrap()).unwrap()
+    }
+
+    fn io_of(p: Program) -> Vec<String> {
+        let mut m = Machine::new(p, LoopbackPort::new("t"));
+        m.run_to_quiescence(1_000_000).unwrap();
+        m.io
+    }
+
+    #[test]
+    fn closed_world_finds_dead_method() {
+        // `write` is never sent: its body is parked forever.
+        let p = prog(
+            r#"
+            new x (x?{ read(r) = r![1], write(u) = print(u) }
+                   | new z (x!read[z] | z?(w) = print(w)))
+            "#,
+        );
+        let a = analyze(&p, Roots::Entry);
+        assert!(!a.open);
+        let fs = a.findings(&p);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert_eq!(fs[0].kind, FindingKind::UnreachableMethod);
+        assert!(fs[0].subject.contains("write"), "{}", fs[0].subject);
+    }
+
+    #[test]
+    fn closed_world_finds_orphan_send() {
+        let p = prog("new x (x?{ go(n) = print(n) } | x!stop[])");
+        let a = analyze(&p, Roots::Entry);
+        let fs = a.findings(&p);
+        assert!(
+            fs.iter()
+                .any(|f| f.kind == FindingKind::OrphanSend && f.subject == "stop"),
+            "{fs:?}"
+        );
+        // `go` is defined but never sent: also a dead method.
+        assert!(
+            fs.iter().any(|f| f.kind == FindingKind::UnreachableMethod),
+            "{fs:?}"
+        );
+    }
+
+    #[test]
+    fn finds_never_instantiated_class() {
+        let p = prog("def Ghost(n) = print(n) in print(0)");
+        let a = analyze(&p, Roots::Entry);
+        let fs = a.findings(&p);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert_eq!(fs[0].kind, FindingKind::NeverInstantiatedClass);
+        assert!(fs[0].subject.contains("Ghost"));
+    }
+
+    #[test]
+    fn instantiated_class_is_clean() {
+        let p = prog("def L(n) = if n > 0 then L[n - 1] else print(n) in L[2]");
+        let a = analyze(&p, Roots::Entry);
+        assert!(a.findings(&p).is_empty(), "{:?}", a.findings(&p));
+    }
+
+    #[test]
+    fn open_world_suppresses_label_findings() {
+        // The channel escapes through the name service: a peer may send
+        // any label, so `write` must stay live.
+        let p = prog("export new x in x?{ read(r) = r![1], write(u) = print(u) }");
+        let a = analyze(&p, Roots::Entry);
+        assert!(a.open);
+        assert!(a.findings(&p).is_empty(), "{:?}", a.findings(&p));
+        // And the method bodies are all reachable.
+        for (ti, t) in p.tables.iter().enumerate() {
+            if a.table_is_object[ti] {
+                for (_, b) in &t.entries {
+                    assert!(a.block_live[*b as usize]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn escaping_class_counts_as_used() {
+        // The class word is exported: a peer can fetch and instantiate it.
+        let p = prog("export def Srv(r) = r![1] in print(0)");
+        let a = analyze(&p, Roots::Entry);
+        assert!(a.findings(&p).is_empty(), "{:?}", a.findings(&p));
+    }
+
+    #[test]
+    fn constant_branch_hides_untaken_arm() {
+        let p = prog(r#"if 1 < 2 then print(1) else new t (t?{ go() = print(9) } | t!go[])"#);
+        let a = analyze(&p, Roots::Entry);
+        // The `else` arm's object table is dead: never reached.
+        let entry_facts = a.facts[p.entry as usize].as_ref().unwrap();
+        assert!(entry_facts.live.iter().any(|l| !*l), "some pcs are dead");
+        assert!(
+            (0..p.tables.len()).all(|t| !a.table_live[t]),
+            "dead-branch tables must not be live"
+        );
+        // And no findings: dead code is not reported, only live-but-inert
+        // methods and classes.
+        assert!(a.findings(&p).is_empty(), "{:?}", a.findings(&p));
+    }
+
+    #[test]
+    fn shake_drops_dead_branch_and_preserves_io() {
+        let src = r#"
+            if 1 < 2 then
+                new c (c?{ go(n) = print(n) } | c!go[7])
+            else
+                new t (t?{ trace(a) = println("trace", a) } | t!trace[999])
+        "#;
+        let p = prog(src);
+        let shaken = shake(&p);
+        assert!(shaken.blocks_dropped > 0, "{shaken:?}");
+        assert!(shaken.program.blocks.len() < p.blocks.len());
+        crate::verify::verify_program(&shaken.program).unwrap();
+        let before = image::to_bytes(&p);
+        let after = image::to_bytes(&shaken.program);
+        assert!(
+            after.len() < before.len(),
+            "shaken image must be byte-smaller: {} vs {}",
+            after.len(),
+            before.len()
+        );
+        assert_eq!(io_of(p), io_of(shaken.program));
+    }
+
+    #[test]
+    fn shake_stubs_dead_methods_keeping_table_shape() {
+        let p = prog(
+            r#"
+            new x (x?{ read(r) = r![1], write(u) = print(u) }
+                   | new z (x!read[z] | z?(w) = print(w)))
+            "#,
+        );
+        let shaken = shake(&p);
+        assert!(shaken.blocks_stubbed > 0, "{shaken:?}");
+        // Table shape preserved: both entries still present.
+        let two_entry = shaken
+            .program
+            .tables
+            .iter()
+            .find(|t| t.entries.len() == 2)
+            .expect("cell table survives with both entries");
+        let stub = two_entry
+            .entries
+            .iter()
+            .map(|(_, b)| &shaken.program.blocks[*b as usize])
+            .find(|b| b.code.is_empty());
+        assert!(stub.is_some(), "one body is a stub");
+        crate::verify::verify_program(&shaken.program).unwrap();
+        assert_eq!(io_of(p), io_of(shaken.program));
+    }
+
+    #[test]
+    fn shake_is_idempotent() {
+        for src in [
+            "print(1)",
+            r#"
+            new x (x?{ read(r) = r![1], write(u) = print(u) }
+                   | new z (x!read[z] | z?(w) = print(w)))
+            "#,
+            r#"if 1 < 2 then print(1) else println("never")"#,
+            "def L(n) = if n > 0 then L[n - 1] else print(n) in L[2]",
+            "export new x in x?{ go(n) = print(n) }",
+        ] {
+            let once = shake(&prog(src)).program;
+            let twice = shake(&once).program;
+            assert_eq!(once, twice, "shake must be a fixpoint for {src}");
+        }
+    }
+
+    #[test]
+    fn shake_keeps_open_world_methods() {
+        let p = prog("export new x in x?{ read(r) = r![1], write(u) = print(u) }");
+        let shaken = shake(&p);
+        assert_eq!(shaken.blocks_stubbed, 0, "open world: nothing stubbed");
+        for b in &shaken.program.blocks {
+            if b.name.contains("read") || b.name.contains("write") {
+                assert!(!b.code.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn wire_roots_keep_every_method() {
+        // Rooted at a shipped table, the world is open: both methods live.
+        let p = prog("new x x?{ read(r) = r![1], write(u) = print(u) }");
+        let a = analyze(&p, Roots::Tables(&[0]));
+        assert!(a.open);
+        for (_, b) in &p.tables[0].entries {
+            assert!(a.block_live[*b as usize]);
+        }
+    }
+}

@@ -240,6 +240,10 @@ pub struct Machine<P: NetPort> {
     /// [`Machine::new_unfused`]) so A/B comparisons stay honest for mobile
     /// code too.
     fuse_enabled: bool,
+    /// Whether shipped code is tree-shaken ([`wire::pack_shaken`]) before
+    /// packaging. Off by default: shaken packets have their own digests,
+    /// so flipping this mid-flight would cold-start the receiving caches.
+    shake_enabled: bool,
     pub exports: ExportTable,
     pub port: P,
     /// The site's I/O port: lines written by `print`/`println`.
@@ -349,6 +353,7 @@ impl<P: NetPort> Machine<P> {
             ]
             .into_boxed_slice(),
             fuse_enabled,
+            shake_enabled: false,
             exports: ExportTable::default(),
             port,
             io: Vec::new(),
@@ -378,6 +383,17 @@ impl<P: NetPort> Machine<P> {
         self.trace.clear();
         if cap > 0 {
             self.trace.reserve(cap);
+        }
+    }
+
+    /// Tree-shake shipped code: every SHIPO / served FETCH packages the
+    /// pruned closure ([`wire::pack_shaken`]) instead of the full one, and
+    /// `stats.shaken_packs` / `stats.shake_bytes_saved` record the win.
+    /// Flushes the pack cache so already-packaged tables pick up the mode.
+    pub fn set_shake(&mut self, enabled: bool) {
+        if self.shake_enabled != enabled {
+            self.shake_enabled = enabled;
+            self.pack_cache.clear();
         }
     }
 
@@ -1203,7 +1219,17 @@ impl<P: NetPort> Machine<P> {
         if let Some(p) = self.pack_cache.get(&table) {
             return p.clone();
         }
-        let packed = std::sync::Arc::new(wire::pack(&self.program, &[table]));
+        let packed = if self.shake_enabled {
+            let full = wire::pack(&self.program, &[table]);
+            let shaken = wire::pack_shaken(&self.program, &[table]);
+            let full_len = crate::codec::code_bytes(&full.code).len() as u64;
+            let shaken_len = crate::codec::code_bytes(&shaken.code).len() as u64;
+            self.stats.shaken_packs += 1;
+            self.stats.shake_bytes_saved += full_len.saturating_sub(shaken_len);
+            std::sync::Arc::new(shaken)
+        } else {
+            std::sync::Arc::new(wire::pack(&self.program, &[table]))
+        };
         self.pack_cache.insert(table, packed.clone());
         packed
     }

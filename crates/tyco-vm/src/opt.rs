@@ -1,0 +1,424 @@
+//! Verified optimization passes over compiled byte-code: constant
+//! propagation, constant folding, branch simplification and
+//! dead-instruction elimination.
+//!
+//! Each block is rewritten to a local fixpoint using the dataflow facts of
+//! [`crate::analyze`]; the whole-program result is then re-verified, and a
+//! failure (which would be a bug here, not in the input) falls back to the
+//! original program — the optimizer can never ship code the verifier
+//! would refuse.
+//!
+//! Semantics preservation is strict observational equivalence of I/O:
+//!
+//! * folds evaluate with the *machine's own* [`crate::machine::binop`] /
+//!   [`crate::machine::unop`], so wrapping arithmetic and string concat
+//!   behave bit-for-bit;
+//! * an operation the machine would fault on (division by zero, mixed
+//!   operands) is never folded — the fault is observable behaviour;
+//! * only provably-unreachable instructions are deleted, under *plain*
+//!   reachability (both arms of every remaining conditional), so a branch
+//!   is removed only after it has first been rewritten away by a sound
+//!   fold;
+//! * spawn/send instructions are never reordered or duplicated, so the
+//!   deterministic scheduler sees the same COMM sequence.
+
+use crate::analyze::{analyze_block, body_owners, AVal, Effects};
+use crate::machine::{binop, unop};
+use crate::program::{Instr, Pool, Program};
+use crate::word::Word;
+use std::sync::Arc;
+
+/// What one [`optimize`] run did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OptStats {
+    /// `pushloc` replaced by a literal push (all-paths-constant slot).
+    pub consts_propagated: usize,
+    /// Instruction groups folded (`push push bin`, `push un`,
+    /// `pushbool jmpf`, jump-to-next).
+    pub folds: usize,
+    /// Instructions deleted as unreachable.
+    pub dead_removed: usize,
+    /// Blocks whose code changed.
+    pub blocks_changed: usize,
+}
+
+impl OptStats {
+    pub fn total(&self) -> usize {
+        self.consts_propagated + self.folds + self.dead_removed
+    }
+}
+
+/// Optimize a program. See the module docs for the guarantees.
+pub fn optimize(prog: &Program) -> Program {
+    optimize_with_stats(prog).0
+}
+
+/// [`optimize`] plus counters for `--stats` output and benches.
+pub fn optimize_with_stats(prog: &Program) -> (Program, OptStats) {
+    let owners = body_owners(prog);
+    let mut out = prog.clone();
+    let mut stats = OptStats::default();
+    // Folded string constants (`"a" ^ "b"` → `"ab"`) need a pool slot of
+    // their own; they are interned into a working copy that becomes the
+    // output pool.
+    let mut pool = prog.strings.clone();
+    for bi in 0..prog.blocks.len() {
+        let block = &prog.blocks[bi];
+        let mut code: Vec<Instr> = match crate::fuse::unfuse_code(&block.code) {
+            Some(v) => v,
+            None => block.code.to_vec(),
+        };
+        let owner = owners.get(&(bi as u32)).copied().flatten();
+        let mut changed = false;
+        // Cascades (const-prop enables a fold enables a branch rewrite
+        // enables dead-arm removal) settle in a few rounds; the cap is a
+        // guard against a rewrite oscillation bug, not a budget.
+        for _ in 0..16 {
+            let next = rewrite_block(prog, owner, block, &code, &mut pool, &mut stats);
+            if next == code {
+                break;
+            }
+            code = next;
+            changed = true;
+        }
+        if changed {
+            out.blocks[bi].code = Arc::from(code);
+            stats.blocks_changed += 1;
+        }
+    }
+    out.strings = pool;
+    if crate::verify::verify_program(&out).is_err() {
+        debug_assert!(
+            false,
+            "optimizer produced unverifiable code: {:?}",
+            crate::verify::verify_program(&out)
+        );
+        return (prog.clone(), OptStats::default());
+    }
+    (out, stats)
+}
+
+/// A literal push for `w`, when one exists (interning strings on demand).
+fn literal_push(pool: &mut Pool, w: &Word) -> Option<Instr> {
+    match w {
+        Word::Unit => Some(Instr::PushUnit),
+        Word::Int(i) => Some(Instr::PushInt(*i)),
+        Word::Bool(b) => Some(Instr::PushBool(*b)),
+        Word::Float(f) => Some(Instr::PushFloat(*f)),
+        Word::Str(s) => Some(Instr::PushStr(pool.intern(s))),
+        _ => None,
+    }
+}
+
+fn literal_value(pool: &Pool, ins: &Instr) -> Option<Word> {
+    match ins {
+        Instr::PushUnit => Some(Word::Unit),
+        Instr::PushInt(i) => Some(Word::Int(*i)),
+        Instr::PushBool(b) => Some(Word::Bool(*b)),
+        Instr::PushFloat(f) => Some(Word::Float(*f)),
+        Instr::PushStr(s) if (*s as usize) < pool.len() => Some(Word::Str(pool.get_arc(*s))),
+        _ => None,
+    }
+}
+
+#[derive(Clone, PartialEq)]
+enum Action {
+    Keep(Instr),
+    Drop,
+}
+
+/// One rewrite round over a block's (normalized) code.
+fn rewrite_block(
+    prog: &Program,
+    owner: Option<(crate::program::TableId, u8)>,
+    block: &crate::program::Block,
+    code: &[Instr],
+    pool: &mut Pool,
+    stats: &mut OptStats,
+) -> Vec<Instr> {
+    let n = code.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let facts = analyze_block(prog, owner, block, code, &mut Effects::default());
+    let mut targets = vec![false; n + 1];
+    for ins in code {
+        if let Instr::Jump(t) | Instr::JumpIfFalse(t) = ins {
+            targets[*t as usize] = true;
+        }
+    }
+
+    let mut actions: Vec<Action> = Vec::with_capacity(n);
+    // The literal pushes currently on the abstract operand stack, as
+    // (action index, value): the fold window.
+    let mut lits: Vec<(usize, Word)> = Vec::new();
+    for (pc, ins) in code.iter().enumerate() {
+        if targets[pc] {
+            // A join point: values on the stack may come from elsewhere.
+            lits.clear();
+        }
+        // Constant propagation: a slot read whose value is the same
+        // constant on every path becomes the literal itself.
+        let ins = match ins {
+            Instr::PushLocal(s) => {
+                let known = facts.states[pc]
+                    .as_ref()
+                    .and_then(|st| st.frame.get(*s as usize))
+                    .and_then(|v| match v {
+                        AVal::Const(w) => literal_push(pool, w),
+                        _ => None,
+                    });
+                match known {
+                    Some(lit) => {
+                        stats.consts_propagated += 1;
+                        lit
+                    }
+                    None => *ins,
+                }
+            }
+            other => *other,
+        };
+        let idx = actions.len();
+        match ins {
+            _ if literal_value(pool, &ins).is_some() => {
+                lits.push((idx, literal_value(pool, &ins).unwrap()));
+                actions.push(Action::Keep(ins));
+            }
+            Instr::Bin(op) => {
+                let folded = match lits.len() {
+                    l if l >= 2 => {
+                        let (ai, a) = lits[l - 2].clone();
+                        let (bi, b) = lits[l - 1].clone();
+                        // A faulting operation is observable: never fold.
+                        binop(op, a, b)
+                            .ok()
+                            .and_then(|w| literal_push(pool, &w).map(|p| (ai, bi, p, w)))
+                    }
+                    _ => None,
+                };
+                match folded {
+                    Some((ai, bi, push, w)) => {
+                        actions[ai] = Action::Drop;
+                        actions[bi] = Action::Drop;
+                        lits.truncate(lits.len() - 2);
+                        lits.push((idx, w));
+                        actions.push(Action::Keep(push));
+                        stats.folds += 1;
+                    }
+                    None => {
+                        lits.clear();
+                        actions.push(Action::Keep(ins));
+                    }
+                }
+            }
+            Instr::Un(op) => {
+                let folded = lits.last().cloned().and_then(|(ai, a)| {
+                    unop(op, a)
+                        .ok()
+                        .and_then(|w| literal_push(pool, &w).map(|p| (ai, p, w)))
+                });
+                match folded {
+                    Some((ai, push, w)) => {
+                        actions[ai] = Action::Drop;
+                        lits.pop();
+                        lits.push((idx, w));
+                        actions.push(Action::Keep(push));
+                        stats.folds += 1;
+                    }
+                    None => {
+                        lits.clear();
+                        actions.push(Action::Keep(ins));
+                    }
+                }
+            }
+            Instr::JumpIfFalse(t) => {
+                match lits.last().cloned() {
+                    Some((ai, Word::Bool(b))) => {
+                        // The condition is a literal we just emitted: the
+                        // branch decides now. Taken → plain jump; not
+                        // taken → both instructions vanish.
+                        actions[ai] = Action::Drop;
+                        lits.pop();
+                        actions.push(if b {
+                            Action::Drop
+                        } else {
+                            Action::Keep(Instr::Jump(t))
+                        });
+                        stats.folds += 1;
+                    }
+                    _ => {
+                        lits.clear();
+                        actions.push(Action::Keep(ins));
+                    }
+                }
+            }
+            // Anything else may consume or disturb the stack: close the
+            // fold window.
+            other => {
+                lits.clear();
+                actions.push(Action::Keep(other));
+            }
+        }
+    }
+
+    // Plain reachability over the rewritten actions — both arms of every
+    // *remaining* conditional are considered live, so deletion never
+    // depends on a dataflow fact the rewrite has not already cashed in.
+    let next_keep = |actions: &[Action], i: usize| -> usize {
+        (i..actions.len())
+            .find(|&j| matches!(actions[j], Action::Keep(_)))
+            .unwrap_or(actions.len())
+    };
+    let mut reach = vec![false; n];
+    let mut work = vec![next_keep(&actions, 0)];
+    while let Some(i) = work.pop() {
+        if i >= n || reach[i] {
+            continue;
+        }
+        reach[i] = true;
+        if let Action::Keep(ins) = &actions[i] {
+            match ins {
+                Instr::Jump(t) => work.push(next_keep(&actions, *t as usize)),
+                Instr::JumpIfFalse(t) => {
+                    work.push(next_keep(&actions, *t as usize));
+                    work.push(next_keep(&actions, i + 1));
+                }
+                Instr::Halt => {}
+                _ => work.push(next_keep(&actions, i + 1)),
+            }
+        }
+    }
+    for i in 0..n {
+        if !reach[i] && matches!(actions[i], Action::Keep(_)) {
+            actions[i] = Action::Drop;
+            stats.dead_removed += 1;
+        }
+    }
+
+    // Jump-to-next: an unconditional jump whose target is the instruction
+    // that would execute anyway.
+    for i in 0..n {
+        if let Action::Keep(Instr::Jump(t)) = actions[i] {
+            if next_keep(&actions, i + 1) == next_keep(&actions, t as usize) {
+                actions[i] = Action::Drop;
+                stats.folds += 1;
+            }
+        }
+    }
+
+    // Emit, remapping every target to the first kept instruction at or
+    // after it (dropped prefixes fall through to exactly that point).
+    let mut new_pc = vec![0u32; n + 1];
+    let mut k = 0u32;
+    for i in 0..n {
+        new_pc[i] = k;
+        if matches!(actions[i], Action::Keep(_)) {
+            k += 1;
+        }
+    }
+    new_pc[n] = k;
+    actions
+        .into_iter()
+        .filter_map(|a| match a {
+            Action::Keep(Instr::Jump(t)) => Some(Instr::Jump(new_pc[t as usize])),
+            Action::Keep(Instr::JumpIfFalse(t)) => Some(Instr::JumpIfFalse(new_pc[t as usize])),
+            Action::Keep(ins) => Some(ins),
+            Action::Drop => None,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile;
+    use crate::{LoopbackPort, Machine};
+    use tyco_syntax::parse_core;
+
+    fn prog(src: &str) -> Program {
+        compile(&parse_core(src).unwrap()).unwrap()
+    }
+
+    fn io_of(p: Program) -> Vec<String> {
+        let mut m = Machine::new(p, LoopbackPort::new("t"));
+        m.run_to_quiescence(1_000_000).unwrap();
+        m.io
+    }
+
+    #[test]
+    fn folds_constant_arithmetic() {
+        let p = prog("print(1 + 2 * 3)");
+        let (o, stats) = optimize_with_stats(&p);
+        assert!(stats.folds >= 2, "{stats:?}");
+        assert!(o.instr_count() < p.instr_count());
+        assert_eq!(io_of(p), io_of(o));
+    }
+
+    #[test]
+    fn removes_constant_branch_and_dead_arm() {
+        let p = prog(r#"if 1 < 2 then print(1) else println("never")"#);
+        let (o, stats) = optimize_with_stats(&p);
+        assert!(stats.dead_removed > 0, "{stats:?}");
+        // No conditional survives: the branch was decided statically.
+        let entry = &o.blocks[o.entry as usize];
+        assert!(
+            !entry
+                .code
+                .iter()
+                .any(|i| matches!(i, Instr::JumpIfFalse(_))),
+            "{entry:?}"
+        );
+        assert_eq!(io_of(p), io_of(o));
+    }
+
+    #[test]
+    fn never_folds_division_by_zero() {
+        let p = prog("print(1 / 0)");
+        let (o, stats) = optimize_with_stats(&p);
+        assert_eq!(stats.folds, 0, "{stats:?}");
+        // The fault must still happen at run time.
+        let mut m = Machine::new(o, LoopbackPort::new("t"));
+        assert!(m.run_to_quiescence(1_000_000).is_err());
+    }
+
+    #[test]
+    fn output_verifies_and_preserves_io() {
+        for src in [
+            "print(1)",
+            "print(1 + 2)",
+            r#"if true then print(1) else print(2)"#,
+            "def L(n) = if n > 0 then L[n - 1] else print(n) in L[3]",
+            r#"
+            new x (x?{ read(r) = r![10 * 10], write(u) = print(u) }
+                   | new z (x!read[z] | z?(w) = print(w)))
+            "#,
+            r#"println("a", 1 + 1, "b")"#,
+        ] {
+            let p = prog(src);
+            let o = optimize(&p);
+            crate::verify::verify_program(&o).unwrap();
+            assert_eq!(io_of(p.clone()), io_of(o), "{src}");
+        }
+    }
+
+    #[test]
+    fn string_concat_folds() {
+        let p = prog(r#"println("a" ^ "b")"#);
+        let (o, stats) = optimize_with_stats(&p);
+        assert!(stats.folds >= 1, "{stats:?}");
+        assert_eq!(io_of(p), io_of(o));
+    }
+
+    #[test]
+    fn optimize_is_idempotent() {
+        for src in [
+            "print(1 + 2 * 3)",
+            r#"if 1 < 2 then print(1) else println("never")"#,
+            "def L(n) = if n > 0 then L[n - 1] else print(n) in L[3]",
+        ] {
+            let once = optimize(&prog(src));
+            let twice = optimize(&once);
+            assert_eq!(once, twice, "{src}");
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Whole-program analysis, tree shaking and the verified optimizer as
+//! *semantic* transformations: for arbitrary generated programs the
+//! optimized and shaken forms must verify, execute without panic, and
+//! preserve every observable output — under both the fused and unfused
+//! machines. Shaking must also be idempotent (a shaken program has
+//! nothing left to shake).
+
+use proptest::prelude::*;
+use tyco_syntax::arbitrary::arb_closed_program;
+use tyco_vm::{
+    compile, image_to_bytes, optimize, shake, verify_program, verify_wire, LoopbackPort, Machine,
+    Program,
+};
+
+fn run_fused(prog: Program) -> Vec<String> {
+    let mut m = Machine::new(prog, LoopbackPort::new("main"));
+    m.run_to_quiescence(10_000_000).expect("runs");
+    let mut io = m.io;
+    io.sort();
+    io
+}
+
+fn run_unfused(prog: Program) -> Vec<String> {
+    let mut m = Machine::new_unfused(prog, LoopbackPort::new("main"));
+    m.run_to_quiescence(10_000_000).expect("runs");
+    let mut io = m.io;
+    io.sort();
+    io
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `optimize` is a refinement: the output verifies and produces the
+    /// same observable I/O as the input, fused and unfused.
+    #[test]
+    fn optimize_preserves_io(p in arb_closed_program()) {
+        let prog = compile(&p).expect("compiles");
+        let opt = optimize(&prog);
+        prop_assert!(verify_program(&opt).is_ok(), "{:?}", verify_program(&opt));
+        prop_assert_eq!(run_fused(opt.clone()), run_fused(prog.clone()));
+        prop_assert_eq!(run_unfused(opt), run_unfused(prog));
+    }
+
+    /// Optimizing an already optimized program changes nothing: the
+    /// rewrite rules reach a fixpoint in one application.
+    #[test]
+    fn optimize_is_idempotent(p in arb_closed_program()) {
+        let prog = compile(&p).expect("compiles");
+        let once = optimize(&prog);
+        let twice = optimize(&once);
+        prop_assert_eq!(&twice, &once);
+    }
+
+    /// Entry-rooted shaking preserves behaviour: the pruned program
+    /// verifies, serializes no larger than the original, and emits the
+    /// same observable I/O.
+    #[test]
+    fn shake_preserves_io(p in arb_closed_program()) {
+        let prog = compile(&p).expect("compiles");
+        let shaken = shake(&prog).program;
+        prop_assert!(verify_program(&shaken).is_ok(), "{:?}", verify_program(&shaken));
+        prop_assert!(image_to_bytes(&shaken).len() <= image_to_bytes(&prog).len());
+        prop_assert_eq!(run_fused(shaken.clone()), run_fused(prog.clone()));
+        prop_assert_eq!(run_unfused(shaken), run_unfused(prog));
+    }
+
+    /// shake ∘ shake = shake: a shaken program is a fixpoint.
+    #[test]
+    fn shake_is_idempotent(p in arb_closed_program()) {
+        let prog = compile(&p).expect("compiles");
+        let once = shake(&prog);
+        let twice = shake(&once.program);
+        prop_assert_eq!(&twice.program, &once.program);
+        prop_assert_eq!(twice.blocks_dropped, 0);
+        prop_assert_eq!(twice.instrs_dropped, 0);
+    }
+
+    /// The composition the compiler pipeline actually ships:
+    /// optimize → shake still verifies and preserves I/O (branch folding
+    /// exposes dead arms that shaking then removes).
+    #[test]
+    fn optimize_then_shake_preserves_io(p in arb_closed_program()) {
+        let prog = compile(&p).expect("compiles");
+        let slim = shake(&optimize(&prog)).program;
+        prop_assert!(verify_program(&slim).is_ok(), "{:?}", verify_program(&slim));
+        prop_assert_eq!(run_fused(slim), run_fused(prog));
+    }
+
+    /// Table-rooted shaken wire form: `pack_shaken` output passes wire
+    /// verification (the trust boundary a fetching site applies) and its
+    /// byte size never exceeds the plain pack of the same roots.
+    #[test]
+    fn pack_shaken_verifies_and_never_grows(p in arb_closed_program()) {
+        let prog = compile(&p).expect("compiles");
+        if prog.tables.is_empty() {
+            return Ok(());
+        }
+        let roots: Vec<u32> = (0..prog.tables.len() as u32).collect();
+        let full = tyco_vm::pack(&prog, &roots);
+        let shaken = tyco_vm::pack_shaken(&prog, &roots);
+        prop_assert!(verify_wire(&shaken.code).is_ok(), "{:?}", verify_wire(&shaken.code));
+        // Every root the full pack maps must be mapped by the shaken pack.
+        for t in &roots {
+            prop_assert_eq!(
+                full.table_map.contains_key(t),
+                shaken.table_map.contains_key(t)
+            );
+        }
+        let full_len = tyco_vm::codec::code_bytes(&full.code).len();
+        let shaken_len = tyco_vm::codec::code_bytes(&shaken.code).len();
+        prop_assert!(shaken_len <= full_len, "shaken {shaken_len} > full {full_len}");
+    }
+}

@@ -371,3 +371,77 @@ fn shipped_packet_byte_flips_never_panic() {
         "rejected {rejected} vs accepted {accepted}"
     );
 }
+
+/// Tree-shaken wire images face the same adversary as full ones: flip
+/// bytes in a `pack_shaken` ship packet and push it through decode +
+/// wire verification. Stubbed methods and remapped ids must not open a
+/// panic path — every mutant is either rejected or survives a brief run
+/// with clean `VmError`s only.
+#[test]
+fn shaken_packet_byte_flips_never_panic() {
+    use tyco_vm::codec::{decode, encode, Packet};
+    use tyco_vm::word::{NetRef, NodeId, SiteId};
+
+    let mut rng = Rng(0x5eed_0003);
+    let mut rejected = 0u64;
+    let mut accepted = 0u64;
+    for src in SEEDS {
+        let prog = compile(&tyco_syntax::parse_core(src).unwrap()).unwrap();
+        if prog.tables.is_empty() {
+            continue;
+        }
+        let packed = tyco_vm::pack_shaken(&prog, &[0]);
+        assert!(
+            verify_wire(&packed.code).is_ok(),
+            "unmutated shaken pack must verify"
+        );
+        let pkt = Packet::Obj {
+            dest: NetRef {
+                heap_id: 0,
+                site: SiteId(1),
+                node: NodeId(1),
+            },
+            digest: packed.digest,
+            obj: tyco_vm::WireObj {
+                code: packed.code,
+                table: packed.table_map[&0],
+                captured: vec![],
+            },
+        };
+        let bytes = encode(&pkt).to_vec();
+        for _ in 0..1500 {
+            let mut m = bytes.clone();
+            let pos = rng.below(m.len());
+            m[pos] ^= (rng.next() % 255 + 1) as u8;
+            let outcome = std::panic::catch_unwind(|| match decode(bytes_from(m)) {
+                Err(_) => false,
+                Ok(Packet::Obj { obj, .. }) => {
+                    if verify_wire(&obj.code).is_err()
+                        || (obj.table as usize) >= obj.code.tables.len()
+                    {
+                        return false;
+                    }
+                    // Link the verified mutant into a fresh area and run it:
+                    // accepted mutants must execute without a VM panic.
+                    let mut dest = Program::default();
+                    if tyco_vm::link(&mut dest, &obj.code).is_ok() {
+                        let mut mach = Machine::new(dest, LoopbackPort::new("mutant"));
+                        let _ = mach.run_to_quiescence(100_000);
+                    }
+                    true
+                }
+                Ok(_) => true, // mutated into a code-free packet
+            });
+            match outcome {
+                Ok(true) => accepted += 1,
+                Ok(false) => rejected += 1,
+                Err(_) => panic!("decode/verify/run panicked on a shaken byte flip"),
+            }
+        }
+    }
+    println!("shaken packet tally: rejected {rejected}, accepted {accepted}");
+    assert!(
+        rejected > accepted,
+        "rejected {rejected} vs accepted {accepted}"
+    );
+}

@@ -73,15 +73,21 @@ fn print_usage() {
         "usage: ditico <command>\n\
          \n\
          commands:\n\
-         \x20 check   <file.dity> [--verify] [--lint]\n\
+         \x20 check   <file.dity> [--verify] [--lint] [--analyze] [--json]\n\
          \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 type-check; --verify runs the byte-code verifier,\n\
-         \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 --lint the calculus liveness lint\n\
-         \x20 compile <file.dity> -o out.tyco  compile to a byte-code image\n\
+         \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 --lint the calculus liveness lint, --analyze the\n\
+         \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 whole-program byte-code analysis (unreachable\n\
+         \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 methods, dead classes, orphan sends; --json for CI);\n\
+         \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 any failing gate exits nonzero\n\
+         \x20 compile <file.dity> [-o out.tyco] [--optimize] [--shake]\n\
+         \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 compile to a byte-code image; --optimize runs the\n\
+         \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 verified folding passes, --shake prunes unreachable\n\
+         \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 code from the image\n\
          \x20 asm     <file.dity>              show the VM assembly\n\
          \x20 disasm  <file.tyco>              disassemble an image\n\
          \x20 run     <file.dity|file.tyco>    run a single site to quiescence\n\
          \x20 net     <spec.net> [--threaded] [--workers N] [--wall SECS] [--stats]\n\
-         \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 [--code-cache N]\n\
+         \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 [--code-cache N] [--shake]\n\
          \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 run a network description (--threaded uses the\n\
          \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 M:N worker-pool scheduler; --stats prints per-site\n\
          \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 SHIPM/SHIPO/FETCH and scheduler counters;\n\
@@ -106,30 +112,62 @@ fn compile_file(path: &str) -> Result<Program, String> {
     Program::compile(&read(path)?).map_err(|e| format!("{path}: {e}"))
 }
 
+/// Minimal JSON string escaping for `check --json` output.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 fn cmd_check(args: &[String]) -> Result<(), String> {
     let path = args
         .first()
-        .ok_or("usage: ditico check <file.dity> [--verify] [--lint]")?;
+        .ok_or("usage: ditico check <file.dity> [--verify] [--lint] [--analyze] [--json]")?;
+    let json = args.iter().any(|a| a == "--json");
     let p = compile_file(path)?;
-    println!("{path}: ok ({} byte-code instructions)", p.instr_count());
-    if !p.types.exported_names.is_empty() || !p.types.exported_classes.is_empty() {
-        println!("exported interface:");
-        for (name, t) in &p.types.exported_names {
-            println!("  {name} : {t}");
+    if !json {
+        println!("{path}: ok ({} byte-code instructions)", p.instr_count());
+        if !p.types.exported_names.is_empty() || !p.types.exported_classes.is_empty() {
+            println!("exported interface:");
+            for (name, t) in &p.types.exported_names {
+                println!("  {name} : {t}");
+            }
+            for (name, s) in &p.types.exported_classes {
+                println!("  {name} : {s}");
+            }
         }
-        for (name, s) in &p.types.exported_classes {
-            println!("  {name} : {s}");
+        for (site, name, kind) in &p.types.imports {
+            println!("imports {name} ({kind:?}) from {site}");
         }
     }
-    for (site, name, kind) in &p.types.imports {
-        println!("imports {name} ({kind:?}) from {site}");
-    }
+    // Every requested gate runs — a verifier failure must not mask the
+    // lint or analysis findings — and any failing gate fails the command,
+    // so `check` can gate a build.
+    let mut failures: Vec<String> = Vec::new();
     if args.iter().any(|a| a == "--verify") {
-        p.verify()
-            .map_err(|e| format!("{path}: verifier rejected the image: {e}"))?;
-        println!("{path}: byte-code image verifies");
+        match p.verify() {
+            Ok(()) => {
+                if !json {
+                    println!("{path}: byte-code image verifies");
+                }
+            }
+            Err(e) => {
+                eprintln!("{path}: verifier rejected the image: {e}");
+                failures.push("verify".to_string());
+            }
+        }
     }
-    if args.iter().any(|a| a == "--opstats") {
+    if args.iter().any(|a| a == "--opstats") && !json {
         // Static census: occurrence counts over the compiled image, a
         // preview of fusion opportunities (run with `ditico run --opstats`
         // for execution-weighted counts).
@@ -137,25 +175,64 @@ fn cmd_check(args: &[String]) -> Result<(), String> {
     }
     if args.iter().any(|a| a == "--lint") {
         let findings = p.lint();
-        for l in &findings {
-            println!("{path}:{l}");
+        if !json {
+            for l in &findings {
+                println!("{path}:{l}");
+            }
+            if findings.is_empty() {
+                println!("{path}: no liveness findings");
+            }
         }
-        if findings.is_empty() {
-            println!("{path}: no liveness findings");
-        } else {
-            return Err(format!("{path}: {} liveness finding(s)", findings.len()));
+        if !findings.is_empty() {
+            failures.push(format!("{} liveness finding(s)", findings.len()));
         }
     }
-    Ok(())
+    if args.iter().any(|a| a == "--analyze") {
+        let findings = p.findings();
+        if json {
+            // One JSON document on stdout for CI gating.
+            let items: Vec<String> = findings
+                .iter()
+                .map(|f| {
+                    format!(
+                        r#"{{"kind":"{}","subject":"{}","detail":"{}"}}"#,
+                        f.kind.tag(),
+                        json_escape(&f.subject),
+                        json_escape(&f.detail)
+                    )
+                })
+                .collect();
+            println!(
+                r#"{{"file":"{}","findings":[{}]}}"#,
+                json_escape(path),
+                items.join(",")
+            );
+        } else {
+            for f in &findings {
+                println!("{path}: {f}");
+            }
+            if findings.is_empty() {
+                println!("{path}: no analysis findings");
+            }
+        }
+        if !findings.is_empty() {
+            failures.push(format!("{} analysis finding(s)", findings.len()));
+        }
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("{path}: {}", failures.join(", ")))
+    }
 }
 
 fn cmd_compile(args: &[String]) -> Result<(), String> {
     let path = args
         .first()
-        .ok_or("usage: ditico compile <file.dity> [-o out.tyco]")?;
-    let out = match args.get(1).map(String::as_str) {
-        Some("-o") => args.get(2).cloned().ok_or("missing output after -o")?,
-        _ => {
+        .ok_or("usage: ditico compile <file.dity> [-o out.tyco] [--optimize] [--shake]")?;
+    let out = match args.iter().position(|a| a == "-o") {
+        Some(i) => args.get(i + 1).cloned().ok_or("missing output after -o")?,
+        None => {
             let stem = Path::new(path)
                 .file_stem()
                 .and_then(|s| s.to_str())
@@ -163,14 +240,31 @@ fn cmd_compile(args: &[String]) -> Result<(), String> {
             format!("{stem}.tyco")
         }
     };
-    let p = compile_file(path)?;
-    let bytes = tyco_vm::image_to_bytes(&p.code);
+    let mut p = compile_file(path)?;
+    let full_len = tyco_vm::image_to_bytes(&p.code).len();
+    if args.iter().any(|a| a == "--optimize") {
+        let st = p.optimize();
+        println!(
+            "{path}: optimized ({} consts propagated, {} folds, {} dead instrs removed)",
+            st.consts_propagated, st.folds, st.dead_removed
+        );
+    }
+    let shake = args.iter().any(|a| a == "--shake");
+    let bytes = if shake {
+        tyco_vm::image_to_bytes_shaken(&p.code)
+    } else {
+        tyco_vm::image_to_bytes(&p.code)
+    };
     std::fs::write(&out, &bytes).map_err(|e| format!("cannot write `{out}`: {e}"))?;
-    println!(
-        "{out}: {} bytes ({} instructions)",
-        bytes.len(),
-        p.instr_count()
-    );
+    if shake && bytes.len() < full_len {
+        println!(
+            "{path}: tree-shake saved {} bytes ({} -> {})",
+            full_len - bytes.len(),
+            full_len,
+            bytes.len()
+        );
+    }
+    println!("{out}: {} bytes", bytes.len());
     Ok(())
 }
 
@@ -207,7 +301,7 @@ fn load_program(path: &str, unchecked: bool) -> Result<tyco_vm::Program, String>
 fn cmd_run(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or(
         "usage: ditico run <file.dity|file.tyco> [--stats] [--opstats] [--trace] \
-         [--no-fuse] [--unchecked]",
+         [--no-fuse] [--shake] [--unchecked]",
     )?;
     let prog = load_program(path, args.iter().any(|a| a == "--unchecked"))?;
     let port = tyco_vm::LoopbackPort::new("main");
@@ -219,6 +313,9 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     } else {
         tyco_vm::Machine::new(prog, port)
     };
+    if args.iter().any(|a| a == "--shake") {
+        m.set_shake(true);
+    }
     let tracing = args.iter().any(|a| a == "--trace");
     if tracing {
         m.set_trace(64);
@@ -419,6 +516,10 @@ fn print_report(report: &RunReport, show_stats: bool) -> Result<(), String> {
             report.total_dup_fetch_replies()
         );
     }
+    let (shaken_packs, shake_saved) = report.shake_totals();
+    if shaken_packs > 0 {
+        eprintln!("ship shake: {shaken_packs} packs, {shake_saved} B saved");
+    }
     if let Some(t) = &report.transport {
         eprintln!(
             "wire: {} data out / {} data in ({} B out, {} B in), {} heartbeats in, \
@@ -489,6 +590,9 @@ fn cmd_net(args: &[String]) -> Result<(), String> {
     }
     if let Some(c) = num_flag(args, "--code-cache")? {
         env = env.code_cache(c as usize);
+    }
+    if args.iter().any(|a| a == "--shake") {
+        env = env.shake(true);
     }
     for s in &sites {
         env = match s.pin {
@@ -587,6 +691,9 @@ fn cmd_distributed(args: &[String], serve: bool) -> Result<(), String> {
     }
     if let Some(c) = num_flag(args, "--code-cache")? {
         env = env.code_cache(c as usize);
+    }
+    if args.iter().any(|a| a == "--shake") {
+        env = env.shake(true);
     }
     for s in &sites {
         env = match s.pin {

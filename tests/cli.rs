@@ -127,6 +127,139 @@ fn type_errors_fail_with_message() {
 }
 
 #[test]
+fn check_gates_fail_the_build() {
+    let dir = tmpdir("gates");
+
+    // A well-typed program with an orphan message: `check` alone passes,
+    // `--lint` must exit nonzero so CI can gate on it.
+    let orphan = write(&dir, "orphan.dity", "new x (x!go[1] | print(0))");
+    let out = ditico().arg("check").arg(&orphan).output().unwrap();
+    assert!(out.status.success(), "plain check passes");
+    let out = ditico()
+        .args(["check", orphan.to_str().unwrap(), "--lint"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "lint findings must exit nonzero");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("liveness"), "{stderr}");
+
+    // A dead method: `--analyze` must exit nonzero and name the finding.
+    let dead = write(
+        &dir,
+        "dead.dity",
+        "new x (x!go[1] | x?{ go(n) = print(n), dbg(n) = print(n) })",
+    );
+    let out = ditico()
+        .args(["check", dead.to_str().unwrap(), "--analyze"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "analysis findings must exit nonzero");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("unreachable-method"), "{stdout}");
+    assert!(stdout.contains("dbg"), "{stdout}");
+
+    // The same gate in --json form for CI consumption.
+    let out = ditico()
+        .args(["check", dead.to_str().unwrap(), "--analyze", "--json"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"findings\""), "{stdout}");
+    assert!(stdout.contains("\"unreachable-method\""), "{stdout}");
+
+    // A clean program passes every gate, with an empty findings array.
+    let clean = write(
+        &dir,
+        "clean.dity",
+        "new x (x!go[1] | x?{ go(n) = print(n) })",
+    );
+    let out = ditico()
+        .args([
+            "check",
+            clean.to_str().unwrap(),
+            "--verify",
+            "--lint",
+            "--analyze",
+            "--json",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"findings\":[]"), "{stdout}");
+}
+
+#[test]
+fn compile_optimize_and_shake_shrink_the_image() {
+    let dir = tmpdir("shake");
+    // The debug arm is constant-dead: folding turns the branch into a
+    // jump and shaking drops the forked tracing blocks from the image.
+    let src = write(
+        &dir,
+        "applet.dity",
+        r#"if 1 > 2
+           then (println("debug-a", 1) | println("debug-b", 2) | println("debug-c", 3))
+           else print(7)"#,
+    );
+
+    let plain = dir.join("plain.tyco");
+    let out = ditico()
+        .args([
+            "compile",
+            src.to_str().unwrap(),
+            "-o",
+            plain.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let slim = dir.join("slim.tyco");
+    let out = ditico()
+        .args([
+            "compile",
+            src.to_str().unwrap(),
+            "-o",
+            slim.to_str().unwrap(),
+            "--optimize",
+            "--shake",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("optimized"), "{stdout}");
+    assert!(stdout.contains("tree-shake saved"), "{stdout}");
+
+    let plain_len = std::fs::metadata(&plain).unwrap().len();
+    let slim_len = std::fs::metadata(&slim).unwrap().len();
+    assert!(
+        slim_len < plain_len,
+        "shaken image {slim_len} not smaller than {plain_len}"
+    );
+
+    // Both images behave identically.
+    for img in [&plain, &slim] {
+        let out = ditico().arg("run").arg(img).output().unwrap();
+        assert!(out.status.success());
+        assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "7");
+    }
+}
+
+#[test]
 fn unknown_command_and_usage() {
     let out = ditico().arg("frobnicate").output().unwrap();
     assert!(!out.status.success());
