@@ -672,6 +672,15 @@ impl Cluster {
         let serve = cfg.serve;
         let idle_grace = cfg.idle_grace;
         let dials_out = !cfg.peers.is_empty();
+        // Fallback probe period for the environment loop. The loop is
+        // event-driven — scheduler idle edges and transport topology
+        // edges both ping `shared.idle` — so this only bounds how stale
+        // the wire-counter stability check can get, and can be much
+        // coarser than the old fixed 20ms poll.
+        let env_tick = (idle_grace / 3).min(cfg.hb_period).clamp(
+            std::time::Duration::from_millis(5),
+            std::time::Duration::from_millis(100),
+        );
         let mut transport = Transport::start(cfg, self.fabric.handle())?;
         let net = transport.handle();
 
@@ -707,6 +716,11 @@ impl Cluster {
         }
         let slot_ids: Vec<SiteId> = sites.iter().map(|s| s.identity.site).collect();
         let shared = Shared::new(sites, workers_n);
+        // One parking story: the transport pings the same Notify the
+        // scheduler's idle edge does, so a route install, connection
+        // death or dialer exhaustion wakes the environment loop at once
+        // instead of being discovered a poll later.
+        transport.set_activity_notify(shared.idle.clone());
         for (slot, (&di, id)) in owner_of_slot.iter().zip(&slot_ids).enumerate() {
             daemons[di]
                 .0
@@ -756,9 +770,7 @@ impl Cluster {
         let mut stable_since = std::time::Instant::now();
         let mut quiesced = false;
         loop {
-            shared
-                .idle
-                .wait_timeout(std::time::Duration::from_millis(20));
+            shared.idle.wait_timeout(env_tick);
             if t0.elapsed() > wall_limit {
                 break;
             }
@@ -768,10 +780,17 @@ impl Cluster {
                 stable_since = std::time::Instant::now();
             }
             if !serve && transport.all_remotes_down() {
-                // Every peer is dead or unreachable: whatever this process
-                // is computing or waiting for, the distributed run is
-                // over. Cut it (quiescent stays false) and report the
-                // suspects rather than spinning out the wall limit.
+                // Every peer is dead, departed or unreachable: whatever
+                // this process is computing or waiting for, the
+                // distributed run is over. If that happened as a clean
+                // cascade — local sites idle, nobody suspected, no
+                // dialer exhausted — the peers simply finished and
+                // left, which *is* the computation quiescing, arriving
+                // over the wire instead of through the grace timer.
+                // Anything else is a cut, reported with its suspects.
+                quiesced = shared.active_sites() == 0
+                    && transport.suspects().is_empty()
+                    && transport.report().peers_failed == 0;
                 break;
             }
             let local_idle = shared.active_sites() == 0;

@@ -35,6 +35,8 @@ pub mod daemon;
 pub mod fabric;
 pub mod failure;
 pub mod nameservice;
+#[cfg(unix)]
+pub mod poller;
 pub mod sched;
 pub mod site;
 pub mod termination;
@@ -50,5 +52,7 @@ pub use nameservice::NameService;
 pub use sched::{SchedConfig, SchedStats};
 pub use site::{RtIncoming, RtPort, Site, SiteInterface, SliceOutcome};
 pub use termination::{Snapshot, TerminationDetector};
-pub use transport::{parse_peer_list, NetHandle, Transport, TransportConfig, TransportReport};
+pub use transport::{
+    parse_peer_list, IoBackend, NetHandle, Transport, TransportConfig, TransportReport,
+};
 pub use wake::Notify;

@@ -161,8 +161,11 @@ pub struct Shared {
     /// pool's idle edge.
     active: AtomicUsize,
     /// Signaled on the active-count zero edge (and on stop): drives the
-    /// environment thread's termination probes.
-    pub idle: Notify,
+    /// environment thread's termination probes. An `Arc` so the TCP
+    /// transport can share it as its activity notify — the environment
+    /// thread then parks on one primitive for both "the sites went idle"
+    /// and "the wire changed shape" (see `Transport::set_activity_notify`).
+    pub idle: Arc<Notify>,
     stop: AtomicBool,
     // Counters.
     steals: AtomicU64,
@@ -194,7 +197,7 @@ impl Shared {
             wakers: (0..workers).map(|_| Notify::new()).collect(),
             running: (0..workers).map(|_| AtomicU32::new(NO_SLOT)).collect(),
             active: AtomicUsize::new(n),
-            idle: Notify::new(),
+            idle: Arc::new(Notify::new()),
             stop: AtomicBool::new(false),
             steals: AtomicU64::new(0),
             injector_pushes: AtomicU64::new(n as u64),

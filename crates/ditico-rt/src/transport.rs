@@ -8,32 +8,46 @@
 //! length-prefixed frames (see [`tyco_vm::codec::decode_frame`] for the
 //! layout).
 //!
-//! ## Connection actors
+//! ## One event loop, not two threads per peer
 //!
-//! Each live socket gets a **writer** (drains a bounded outbound queue,
-//! keeping the fabric's batched-flush discipline: a daemon's per-link
-//! backlog arrives as one coalesced buffer and leaves in one `write`)
-//! and a **reader** (accumulates bytes, splits frames, and screens every
-//! inbound code image through the byte-code verifier *before* it can be
-//! linked — the process boundary is the least trustworthy boundary the
-//! runtime has). Admitted frames are injected into the local in-process
-//! fabric, so daemons receive remote traffic exactly the way they
-//! receive in-process traffic.
+//! The default backend ([`IoBackend::Event`], implemented in
+//! `netloop.rs`) runs **every** listener, peer socket, in-flight dial
+//! and timer on a single `tyco-net` thread parked in
+//! [`crate::poller::Poller::wait`]: sockets are nonblocking, frame
+//! decode is incremental and zero-copy (reads accumulate in a
+//! `BytesMut`; payloads reach the daemon as `Bytes` views of the read
+//! buffer), writes are vectored and gated on `writable` readiness with
+//! explicit backpressure, and heartbeats / reconnect backoff / connect
+//! timeouts are deadlines on a timer wheel instead of sleeping threads.
+//! Inbound traffic is injected into the in-process fabric, whose
+//! delivery path wakes the owning daemon's [`crate::wake::Notify`] and,
+//! through it, the M:N scheduler's ready-marking — socket readiness and
+//! site readiness share one worker pool and one parking story.
+//!
+//! The pre-event-loop architecture — a blocking reader thread plus a
+//! writer actor per peer — is kept behind [`IoBackend::Threads`] as the
+//! measured baseline for `BENCH_transport.json`, exactly like the
+//! thread-per-site scheduler baseline it rhymes with. It is fine for the
+//! paper's 4-node cluster and falls over at thousands of peers.
 //!
 //! ## Handshake, liveness, reconnect
 //!
 //! The first frame on every connection is a [`Packet::Hello`] carrying
 //! [`WIRE_VERSION`] and the node ids the sending process hosts; a
-//! version mismatch closes the connection. After the handshake a
-//! heartbeat thread beacons every `hb_period` on each live connection,
-//! and a [`FailureMonitor`] keyed to *wall-clock* rounds
+//! version mismatch closes the connection. After the handshake the
+//! transport beacons every `hb_period` on each live connection, and a
+//! [`FailureMonitor`] keyed to *wall-clock* rounds
 //! (`elapsed / hb_period`) turns silence into suspicion. Outbound
 //! connections reconnect with exponential backoff up to a retry cap;
-//! exhausting the cap marks the peer's nodes permanently down.
+//! exhausting the cap marks the peer's nodes permanently down. Inbound
+//! code images are screened by the byte-code verifier *before* they can
+//! be linked — the process boundary is the least trustworthy boundary
+//! the runtime has.
 
 use crate::daemon::Daemon;
 use crate::fabric::{FabricHandle, PacketFabric};
 use crate::failure::FailureMonitor;
+use crate::wake::{Notify, Wake};
 use bytes::{Bytes, BytesMut};
 use parking_lot::{Condvar, Mutex, RwLock};
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -44,6 +58,23 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 use tyco_vm::codec::{self, Packet, CONTROL_NODE, WIRE_VERSION};
 use tyco_vm::word::NodeId;
+
+#[cfg(unix)]
+#[path = "netloop.rs"]
+mod netloop;
+
+/// Which I/O architecture carries the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IoBackend {
+    /// One readiness-driven event loop thread owning every socket and
+    /// timer (epoll/poll via [`crate::poller`]). The default.
+    #[default]
+    Event,
+    /// The original thread-per-peer architecture (blocking reader +
+    /// writer actor per connection). Kept as the A/B baseline; expect it
+    /// to fall over at high peer counts.
+    Threads,
+}
 
 /// Everything `Transport::start` needs to know about this process's place
 /// in the topology and how patient to be with its peers.
@@ -69,6 +100,10 @@ pub struct TransportConfig {
     pub backoff_base: Duration,
     /// Ceiling on the reconnect delay.
     pub backoff_cap: Duration,
+    /// How long one connect attempt may stay in flight. Attempts to
+    /// different peers are concurrent — a dead peer consuming its full
+    /// timeout must never delay a live peer's handshake.
+    pub connect_timeout: Duration,
     /// How long a non-serve process must be idle (no runnable sites, no
     /// wire traffic) before it concludes the distributed computation is
     /// over. Must comfortably exceed `hb_period` plus one network RTT.
@@ -76,6 +111,8 @@ pub struct TransportConfig {
     /// Bounded outbound queue depth per connection (frames beyond it are
     /// dropped and counted, like an overflowing NIC ring).
     pub outbound_cap: usize,
+    /// I/O architecture; see [`IoBackend`].
+    pub backend: IoBackend,
 }
 
 impl Default for TransportConfig {
@@ -90,8 +127,10 @@ impl Default for TransportConfig {
             max_retries: 5,
             backoff_base: Duration::from_millis(50),
             backoff_cap: Duration::from_secs(2),
+            connect_timeout: Duration::from_millis(500),
             idle_grace: Duration::from_millis(600),
             outbound_cap: 4096,
+            backend: IoBackend::Event,
         }
     }
 }
@@ -149,25 +188,39 @@ pub struct TransportReport {
     pub peers_failed: u64,
     /// Connections dropped during handshake over a wire-version mismatch.
     pub version_mismatches: u64,
+    /// High-water mark of any per-connection outbound queue — how deep
+    /// backpressure ever got.
+    pub outq_hwm: u64,
+    /// Flushes parked on `writable` readiness (the socket buffer was
+    /// full and the event loop had to wait to finish writing).
+    pub flush_stalls: u64,
+    /// Outbound packets dropped because every route to the destination
+    /// was declared permanently down or departed (subset of `dropped`).
+    pub dropped_perma: u64,
 }
 
 #[derive(Debug, Default)]
-struct Stats {
-    frames_out: AtomicU64,
-    frames_in: AtomicU64,
-    bytes_out: AtomicU64,
-    bytes_in: AtomicU64,
-    data_out: AtomicU64,
-    data_in: AtomicU64,
-    heartbeats_in: AtomicU64,
-    rejected: AtomicU64,
-    dropped: AtomicU64,
-    reconnects: AtomicU64,
-    peers_failed: AtomicU64,
-    version_mismatches: AtomicU64,
+pub(crate) struct Stats {
+    pub(crate) frames_out: AtomicU64,
+    pub(crate) frames_in: AtomicU64,
+    pub(crate) bytes_out: AtomicU64,
+    pub(crate) bytes_in: AtomicU64,
+    pub(crate) data_out: AtomicU64,
+    pub(crate) data_in: AtomicU64,
+    pub(crate) heartbeats_in: AtomicU64,
+    pub(crate) rejected: AtomicU64,
+    pub(crate) dropped: AtomicU64,
+    pub(crate) reconnects: AtomicU64,
+    pub(crate) peers_failed: AtomicU64,
+    pub(crate) version_mismatches: AtomicU64,
+    pub(crate) outq_hwm: AtomicU64,
+    pub(crate) flush_stalls: AtomicU64,
+    pub(crate) dropped_perma: AtomicU64,
 }
 
-/// Bounded MPSC of ready-to-write frame buffers, feeding one writer.
+/// Bounded MPSC of ready-to-write frame buffers. The threaded backend's
+/// writer blocks on the condvar; the event loop never waits — it drains
+/// opportunistically ([`OutQueue::try_drain`]) when woken.
 struct OutQueue {
     state: Mutex<OutState>,
     cond: Condvar,
@@ -191,17 +244,19 @@ impl OutQueue {
         }
     }
 
-    /// Enqueue a buffer; returns `false` (caller counts a drop) when the
-    /// queue is full or the connection died.
-    fn push(&self, b: Bytes) -> bool {
+    /// Enqueue a buffer; `Some(depth)` is the queue length after the
+    /// push (the caller records the high-water mark), `None` (caller
+    /// counts a drop) means the queue is full or the connection died.
+    fn push(&self, b: Bytes) -> Option<usize> {
         let mut s = self.state.lock();
         if s.closed || s.items.len() >= self.cap {
-            return false;
+            return None;
         }
         s.items.push_back(b);
+        let depth = s.items.len();
         drop(s);
         self.cond.notify_one();
-        true
+        Some(depth)
     }
 
     /// Move the whole backlog into `out`, waiting up to `timeout` for the
@@ -213,6 +268,12 @@ impl OutQueue {
         }
         out.extend(s.items.drain(..));
         !(s.closed && out.is_empty())
+    }
+
+    /// Nonblocking drain for the event loop.
+    fn try_drain(&self, out: &mut Vec<Bytes>) {
+        let mut s = self.state.lock();
+        out.extend(s.items.drain(..));
     }
 
     fn close(&self) {
@@ -229,6 +290,12 @@ struct PeerConn {
     accepted: bool,
     /// Node ids the peer announced in its handshake.
     nodes: Mutex<Vec<NodeId>>,
+    /// Event-loop slot token (+2 offset; 0 = not owned by the loop).
+    token: AtomicUsize,
+    /// Dedup flag for the event loop's dirty list: raised by the first
+    /// producer to queue onto an idle connection, cleared by the loop
+    /// before it drains.
+    dirty: AtomicBool,
 }
 
 impl PeerConn {
@@ -238,6 +305,8 @@ impl PeerConn {
             alive: AtomicBool::new(true),
             accepted,
             nodes: Mutex::new(Vec::new()),
+            token: AtomicUsize::new(0),
+            dirty: AtomicBool::new(false),
         })
     }
 }
@@ -263,13 +332,25 @@ struct Inner {
     perma_down: Mutex<HashSet<NodeId>>,
     /// Remote nodes whose accepted connection closed (peer departed).
     departed: Mutex<HashSet<NodeId>>,
-    /// Outbound connector threads that have given up for good.
+    /// Outbound dialers that have given up for good.
     connectors_done: AtomicUsize,
     ever_connected: AtomicBool,
     hb_seq: AtomicU64,
     epoch: Instant,
     stop: AtomicBool,
     stats: Stats,
+    /// Wakes the event loop when a producer queues outbound work
+    /// (`None` under the threaded backend, whose writers park on the
+    /// queue condvar instead — two parking stories, one [`Wake`] trait).
+    net_wake: Option<Arc<dyn Wake>>,
+    /// Connections with freshly queued outbound frames, drained by the
+    /// event loop on its next wakeup.
+    dirty: Mutex<Vec<Arc<PeerConn>>>,
+    /// Topology-edge observer: notified when routes appear, connections
+    /// die or dialers give up, so the environment loop re-evaluates its
+    /// exit conditions event-driven instead of on a fixed poll. Shared
+    /// with the scheduler's pool-idle `Notify` in distributed runs.
+    activity: Mutex<Option<Arc<Notify>>>,
 }
 
 impl Inner {
@@ -293,23 +374,50 @@ impl Inner {
         codec::encode_frame(from, CONTROL_NODE, &codec::encode(&p))
     }
 
+    /// Tell whoever watches topology edges (the distributed env loop)
+    /// that an exit condition may have changed.
+    fn notify_activity(&self) {
+        if let Some(n) = self.activity.lock().as_ref() {
+            n.notify();
+        }
+    }
+
+    /// Record a successful push onto `conn`'s queue: track the deepest
+    /// backlog ever and hand the connection to the event loop.
+    fn note_queued(&self, conn: &Arc<PeerConn>, depth: usize) {
+        self.stats
+            .outq_hwm
+            .fetch_max(depth as u64, Ordering::Relaxed);
+        if let Some(wake) = &self.net_wake {
+            if !conn.dirty.swap(true, Ordering::AcqRel) {
+                self.dirty.lock().push(conn.clone());
+            }
+            wake.wake();
+        }
+    }
+
     /// Queue one already-framed buffer for `to`, stashing it when no
     /// route exists yet.
     fn queue_frame(&self, to: NodeId, frame: Bytes, nframes: u64) {
         let conn = self.routes.read().get(&to).cloned();
         match conn {
-            Some(c) if c.alive.load(Ordering::Acquire) => {
-                if c.out.push(frame) {
+            Some(c) if c.alive.load(Ordering::Acquire) => match c.out.push(frame) {
+                Some(depth) => {
                     self.stats.frames_out.fetch_add(nframes, Ordering::Relaxed);
-                } else {
+                    self.note_queued(&c, depth);
+                }
+                None => {
                     self.stats.dropped.fetch_add(nframes, Ordering::Relaxed);
                 }
-            }
+            },
             _ => {
                 // No live route (yet): park until a handshake provides
                 // one, unless the node is known to be gone for good.
                 if self.perma_down.lock().contains(&to) || self.departed.lock().contains(&to) {
                     self.stats.dropped.fetch_add(nframes, Ordering::Relaxed);
+                    self.stats
+                        .dropped_perma
+                        .fetch_add(nframes, Ordering::Relaxed);
                     return;
                 }
                 let mut stash = self.unrouted.lock();
@@ -348,18 +456,31 @@ impl Inner {
         }
         let mut stash = self.unrouted.lock();
         let mut keep = Vec::new();
+        let mut queued = false;
         for (to, frame) in stash.drain(..) {
             if nodes.contains(&to) {
-                if conn.out.push(frame) {
-                    self.stats.frames_out.fetch_add(1, Ordering::Relaxed);
-                } else {
-                    self.stats.dropped.fetch_add(1, Ordering::Relaxed);
+                match conn.out.push(frame) {
+                    Some(depth) => {
+                        self.stats.frames_out.fetch_add(1, Ordering::Relaxed);
+                        self.stats
+                            .outq_hwm
+                            .fetch_max(depth as u64, Ordering::Relaxed);
+                        queued = true;
+                    }
+                    None => {
+                        self.stats.dropped.fetch_add(1, Ordering::Relaxed);
+                    }
                 }
             } else {
                 keep.push((to, frame));
             }
         }
         *stash = keep;
+        drop(stash);
+        if queued {
+            self.note_queued(conn, 0);
+        }
+        self.notify_activity();
     }
 
     /// Tear down a dead connection's routes; `terminal` marks its nodes
@@ -383,6 +504,16 @@ impl Inner {
             };
             set.extend(nodes);
         }
+        self.notify_activity();
+    }
+
+    /// An outbound dialer exhausted its retry budget: its peer's nodes
+    /// are permanently down. Shared by both backends.
+    fn peer_exhausted(&self, last_nodes: &[NodeId]) {
+        self.stats.peers_failed.fetch_add(1, Ordering::Relaxed);
+        self.perma_down.lock().extend(last_nodes.iter().copied());
+        self.connectors_done.fetch_add(1, Ordering::Release);
+        self.notify_activity();
     }
 
     // Lock-ordering discipline for the node-status mutexes (deadlock
@@ -447,6 +578,9 @@ impl Inner {
             reconnects: s.reconnects.load(Ordering::Relaxed),
             peers_failed: s.peers_failed.load(Ordering::Relaxed),
             version_mismatches: s.version_mismatches.load(Ordering::Relaxed),
+            outq_hwm: s.outq_hwm.load(Ordering::Relaxed),
+            flush_stalls: s.flush_stalls.load(Ordering::Relaxed),
+            dropped_perma: s.dropped_perma.load(Ordering::Relaxed),
         }
     }
 }
@@ -480,7 +614,7 @@ impl PacketFabric for NetHandle {
         }
         // Keep the fabric's batching discipline on the wire: the whole
         // per-link backlog becomes one coalesced buffer, one queue slot,
-        // one write() — FIFO order preserved.
+        // one write — FIFO order preserved.
         let n = batch.len() as u64;
         self.inner.stats.data_out.fetch_add(n, Ordering::Relaxed);
         let total: usize = batch.iter().map(|b| b.len() + 12).sum();
@@ -492,8 +626,9 @@ impl PacketFabric for NetHandle {
     }
 }
 
-/// A running TCP transport: listener/connector/heartbeat threads plus
-/// one reader/writer pair per live connection.
+/// A running TCP transport: one `tyco-net` event-loop thread (default),
+/// or listener/connector/heartbeat threads plus a reader/writer pair per
+/// connection (baseline).
 pub struct Transport {
     inner: Arc<Inner>,
     threads: Vec<std::thread::JoinHandle<()>>,
@@ -514,6 +649,27 @@ impl Transport {
             None => None,
         };
         let local_addr = listener.as_ref().and_then(|l| l.local_addr().ok());
+        // Without poll(2) there is no event loop to run.
+        #[cfg(unix)]
+        let backend = cfg.backend;
+        #[cfg(not(unix))]
+        let backend = IoBackend::Threads;
+
+        #[cfg(unix)]
+        let wake_pipe = match backend {
+            IoBackend::Event => {
+                Some(crate::poller::wake_pipe().map_err(|e| format!("wake pipe: {e}"))?)
+            }
+            IoBackend::Threads => None,
+        };
+        #[cfg(unix)]
+        let (wake_rx, net_wake) = match wake_pipe {
+            Some((rx, tx)) => (Some(rx), Some(Arc::new(tx) as Arc<dyn Wake>)),
+            None => (None, None),
+        };
+        #[cfg(not(unix))]
+        let net_wake: Option<Arc<dyn Wake>> = None;
+
         let stale = cfg.stale_periods;
         let inner = Arc::new(Inner {
             local: cfg.local_nodes.iter().copied().collect(),
@@ -531,35 +687,55 @@ impl Transport {
             epoch: Instant::now(),
             stop: AtomicBool::new(false),
             stats: Stats::default(),
+            net_wake,
+            dirty: Mutex::new(Vec::new()),
+            activity: Mutex::new(None),
             cfg,
         });
         let mut threads = Vec::new();
-        if let Some(l) = listener {
-            let inner2 = inner.clone();
-            threads.push(
-                std::thread::Builder::new()
-                    .name("tyco-accept".into())
-                    .spawn(move || accept_loop(inner2, l))
-                    .map_err(|e| format!("spawn accept thread: {e}"))?,
-            );
-        }
-        for (i, addr) in inner.cfg.peers.clone().into_iter().enumerate() {
-            let inner2 = inner.clone();
-            threads.push(
-                std::thread::Builder::new()
-                    .name(format!("tyco-dial-{i}"))
-                    .spawn(move || connector_loop(inner2, addr))
-                    .map_err(|e| format!("spawn connector thread: {e}"))?,
-            );
-        }
-        {
-            let inner2 = inner.clone();
-            threads.push(
-                std::thread::Builder::new()
-                    .name("tyco-heartbeat".into())
-                    .spawn(move || heartbeat_loop(inner2))
-                    .map_err(|e| format!("spawn heartbeat thread: {e}"))?,
-            );
+        match backend {
+            #[cfg(unix)]
+            IoBackend::Event => {
+                let inner2 = inner.clone();
+                let wake_rx = wake_rx.expect("wake pipe built for event backend");
+                threads.push(
+                    std::thread::Builder::new()
+                        .name("tyco-net".into())
+                        .spawn(move || netloop::run(inner2, listener, wake_rx))
+                        .map_err(|e| format!("spawn net thread: {e}"))?,
+                );
+            }
+            #[cfg(not(unix))]
+            IoBackend::Event => unreachable!("event backend forced off above"),
+            IoBackend::Threads => {
+                if let Some(l) = listener {
+                    let inner2 = inner.clone();
+                    threads.push(
+                        std::thread::Builder::new()
+                            .name("tyco-accept".into())
+                            .spawn(move || accept_loop(inner2, l))
+                            .map_err(|e| format!("spawn accept thread: {e}"))?,
+                    );
+                }
+                for (i, addr) in inner.cfg.peers.clone().into_iter().enumerate() {
+                    let inner2 = inner.clone();
+                    threads.push(
+                        std::thread::Builder::new()
+                            .name(format!("tyco-dial-{i}"))
+                            .spawn(move || connector_loop(inner2, addr))
+                            .map_err(|e| format!("spawn connector thread: {e}"))?,
+                    );
+                }
+                {
+                    let inner2 = inner.clone();
+                    threads.push(
+                        std::thread::Builder::new()
+                            .name("tyco-heartbeat".into())
+                            .spawn(move || heartbeat_loop(inner2))
+                            .map_err(|e| format!("spawn heartbeat thread: {e}"))?,
+                    );
+                }
+            }
         }
         Ok(Transport {
             inner,
@@ -605,6 +781,15 @@ impl Transport {
         self.inner.all_remotes_down()
     }
 
+    /// Register the `Notify` to ping when a topology edge lands (route
+    /// installed, connection died, dialer gave up). `run_distributed`
+    /// passes the scheduler pool's idle `Notify` here, so the
+    /// environment loop has exactly one thing to park on for both "the
+    /// sites went idle" and "the wire changed shape".
+    pub fn set_activity_notify(&self, n: Arc<Notify>) {
+        *self.inner.activity.lock() = Some(n);
+    }
+
     /// Remote nodes currently considered dead (heartbeat silence or
     /// exhausted reconnects).
     pub fn suspects(&self) -> Vec<NodeId> {
@@ -620,6 +805,9 @@ impl Transport {
         self.inner.stop.store(true, Ordering::Release);
         for c in self.inner.conns.lock().iter() {
             c.out.close();
+        }
+        if let Some(w) = &self.inner.net_wake {
+            w.wake();
         }
         for h in self.threads.drain(..) {
             let _ = h.join();
@@ -644,6 +832,14 @@ fn sleep_stoppable(inner: &Inner, dur: Duration) {
         std::thread::sleep(left.min(Duration::from_millis(25)));
     }
 }
+
+// ---------------------------------------------------------------------
+// Thread-per-peer baseline ([`IoBackend::Threads`]). This is the PR 4
+// architecture, kept verbatim as the measured A/B for
+// `BENCH_transport.json`: a 20ms-sleep accept loop, one blocking
+// connector thread per peer address, a heartbeat thread, and a blocking
+// reader + condvar-parked writer per live connection.
+// ---------------------------------------------------------------------
 
 fn accept_loop(inner: Arc<Inner>, listener: TcpListener) {
     while !inner.stop.load(Ordering::Acquire) {
@@ -674,7 +870,7 @@ fn connector_loop(inner: Arc<Inner>, addr: SocketAddr) {
     // budget runs out.
     let mut last_nodes: Vec<NodeId> = Vec::new();
     while !inner.stop.load(Ordering::Acquire) {
-        match TcpStream::connect_timeout(&addr, Duration::from_millis(500)) {
+        match TcpStream::connect_timeout(&addr, inner.cfg.connect_timeout) {
             Ok(sock) => {
                 if attempts > 0 {
                     inner.stats.reconnects.fetch_add(1, Ordering::Relaxed);
@@ -688,9 +884,7 @@ fn connector_loop(inner: Arc<Inner>, addr: SocketAddr) {
             }
             Err(_) => {
                 if attempts >= inner.cfg.max_retries {
-                    inner.stats.peers_failed.fetch_add(1, Ordering::Relaxed);
-                    inner.perma_down.lock().extend(last_nodes.iter().copied());
-                    inner.connectors_done.fetch_add(1, Ordering::Release);
+                    inner.peer_exhausted(&last_nodes);
                     return;
                 }
                 let delay = backoff_delay(inner.cfg.backoff_base, inner.cfg.backoff_cap, attempts);
@@ -814,6 +1008,10 @@ fn read_loop(inner: &Arc<Inner>, conn: &Arc<PeerConn>, mut sock: TcpStream) -> s
     }
 }
 
+/// Consume one inbound frame: control frames (Hello, Heartbeat) update
+/// routing and liveness here; data frames are verifier-screened and
+/// injected into the local fabric. Shared by both backends — under the
+/// event loop the `payload` is a zero-copy view of the read buffer.
 fn handle_frame(
     inner: &Arc<Inner>,
     conn: &Arc<PeerConn>,
@@ -904,7 +1102,7 @@ fn heartbeat_loop(inner: Arc<Inner>) {
                 continue;
             }
             for f in &frames {
-                if conn.out.push(f.clone()) {
+                if conn.out.push(f.clone()).is_some() {
                     inner.stats.frames_out.fetch_add(1, Ordering::Relaxed);
                 } else {
                     inner.stats.dropped.fetch_add(1, Ordering::Relaxed);
@@ -950,20 +1148,39 @@ mod tests {
     }
 
     #[test]
-    fn out_queue_bounds_and_closes() {
+    fn out_queue_bounds_reports_depth_and_closes() {
         let q = OutQueue::new(2);
-        assert!(q.push(Bytes::from_static(b"a")));
-        assert!(q.push(Bytes::from_static(b"b")));
-        assert!(!q.push(Bytes::from_static(b"c")), "over cap is dropped");
+        assert_eq!(q.push(Bytes::from_static(b"a")), Some(1));
+        assert_eq!(
+            q.push(Bytes::from_static(b"b")),
+            Some(2),
+            "depth is hwm food"
+        );
+        assert_eq!(
+            q.push(Bytes::from_static(b"c")),
+            None,
+            "over cap is dropped"
+        );
         let mut out = Vec::new();
         assert!(q.drain_wait(&mut out, Duration::from_millis(1)));
         assert_eq!(out.len(), 2);
         q.close();
-        assert!(!q.push(Bytes::from_static(b"d")), "closed queue refuses");
+        assert!(q.push(Bytes::from_static(b"d")).is_none(), "closed refuses");
         let mut out2 = Vec::new();
         assert!(
             !q.drain_wait(&mut out2, Duration::from_millis(1)),
             "closed and drained"
         );
+    }
+
+    #[test]
+    fn out_queue_try_drain_never_blocks() {
+        let q = OutQueue::new(4);
+        let mut out = Vec::new();
+        q.try_drain(&mut out);
+        assert!(out.is_empty());
+        q.push(Bytes::from_static(b"x"));
+        q.try_drain(&mut out);
+        assert_eq!(out.len(), 1);
     }
 }

@@ -10,6 +10,22 @@
 use parking_lot::{Condvar, Mutex};
 use std::time::Duration;
 
+/// Anything a producer can kick awake. Two parking stories exist in the
+/// runtime — threads blocked on a [`Notify`] condvar (daemons, workers,
+/// the environment loop) and the transport's event loop blocked in
+/// `Poller::wait` (woken through its self-pipe
+/// [`crate::poller::PollWaker`]) — and this trait is what lets a
+/// producer hand work to either without knowing which it is waking.
+pub trait Wake: Send + Sync {
+    fn wake(&self);
+}
+
+impl Wake for Notify {
+    fn wake(&self) {
+        self.notify();
+    }
+}
+
 /// A one-shot, self-resetting wakeup flag (a minimal eventcount).
 #[derive(Default)]
 pub struct Notify {

@@ -179,6 +179,28 @@ impl BytesMut {
     pub fn clear(&mut self) {
         self.vec.clear();
     }
+
+    /// Grow (zero-filling) or shrink to `new_len`, like the real crate.
+    /// With `DerefMut` this lets readers fill the buffer in place —
+    /// `resize`, `read` into the tail, `truncate` to what arrived —
+    /// instead of staging through a scratch buffer.
+    pub fn resize(&mut self, new_len: usize, value: u8) {
+        self.vec.resize(new_len, value);
+    }
+
+    pub fn truncate(&mut self, new_len: usize) {
+        self.vec.truncate(new_len);
+    }
+
+    pub fn reserve(&mut self, additional: usize) {
+        self.vec.reserve(additional);
+    }
+}
+
+impl std::ops::DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.vec
+    }
 }
 
 impl Deref for BytesMut {

@@ -523,7 +523,8 @@ fn print_report(report: &RunReport, show_stats: bool) -> Result<(), String> {
     if let Some(t) = &report.transport {
         eprintln!(
             "wire: {} data out / {} data in ({} B out, {} B in), {} heartbeats in, \
-             {} rejected, {} dropped, {} reconnects, {} peers failed",
+             {} rejected, {} dropped, {} reconnects, {} peers failed, \
+             outq hwm {}, {} flush stalls, {} perma-down drops",
             t.data_out,
             t.data_in,
             t.bytes_out,
@@ -532,7 +533,10 @@ fn print_report(report: &RunReport, show_stats: bool) -> Result<(), String> {
             t.rejected,
             t.dropped,
             t.reconnects,
-            t.peers_failed
+            t.peers_failed,
+            t.outq_hwm,
+            t.flush_stalls,
+            t.dropped_perma
         );
     }
     if show_stats {
@@ -616,10 +620,12 @@ fn cmd_net(args: &[String]) -> Result<(), String> {
 fn cmd_distributed(args: &[String], serve: bool) -> Result<(), String> {
     let usage = if serve {
         "usage: ditico serve <spec.net> --node LIST --listen ADDR [--peers ADDRS]\n\
-         \x20      [--wall SECS] [--hb-ms N] [--retries N] [--workers N] [--code-cache N] [--stats]"
+         \x20      [--wall SECS] [--hb-ms N] [--retries N] [--workers N] [--code-cache N]\n\
+         \x20      [--io-threads] [--stats]"
     } else {
         "usage: ditico net <spec.net> --node LIST --peers ADDRS [--listen ADDR]\n\
-         \x20      [--wall SECS] [--hb-ms N] [--retries N] [--workers N] [--code-cache N] [--stats]"
+         \x20      [--wall SECS] [--hb-ms N] [--retries N] [--workers N] [--code-cache N]\n\
+         \x20      [--io-threads] [--stats]"
     };
     let path = args.first().ok_or(usage)?;
     let show_stats = args.iter().any(|a| a == "--stats");
@@ -684,6 +690,11 @@ fn cmd_distributed(args: &[String], serve: bool) -> Result<(), String> {
     }
     if let Some(r) = num_flag(args, "--retries")? {
         cfg.max_retries = r as u32;
+    }
+    if args.iter().any(|a| a == "--io-threads") {
+        // The thread-per-peer baseline, kept for A/B runs and as an
+        // escape hatch; the event loop is the default.
+        cfg.backend = ditico::IoBackend::Threads;
     }
     let mut env = Env::new(topology);
     if let Some(w) = num_flag(args, "--workers")? {
