@@ -26,7 +26,7 @@
 //! `BENCH_transport_smoke.json` so a CI run never clobbers committed
 //! sweep results.
 
-#[cfg(unix)]
+#[cfg(target_os = "linux")]
 mod unix_bench {
     use ditico_rt::poller::{connect_start, ConnectStart, Interest, PendingConnect, Poller};
     use ditico_rt::{
@@ -500,7 +500,7 @@ mod unix_bench {
     }
 }
 
-#[cfg(unix)]
+#[cfg(target_os = "linux")]
 fn point_json(p: &unix_bench::PointResult) -> String {
     format!(
         "{{ \"completed\": {}, \"echoes\": {}, \"elapsed_s\": {:.3}, \
@@ -538,7 +538,7 @@ fn assert_json_wellformed(s: &str) {
     assert!(stack.is_empty(), "unclosed {stack:?}");
 }
 
-#[cfg(unix)]
+#[cfg(target_os = "linux")]
 fn main() {
     use ditico_rt::IoBackend;
     use std::time::Duration;
@@ -690,7 +690,7 @@ fn main() {
     );
 }
 
-#[cfg(not(unix))]
+#[cfg(not(target_os = "linux"))]
 fn main() {
-    println!("transport bench requires a unix poller; skipping");
+    println!("transport bench requires the Linux poller; skipping");
 }

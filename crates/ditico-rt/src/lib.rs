@@ -35,7 +35,10 @@ pub mod daemon;
 pub mod fabric;
 pub mod failure;
 pub mod nameservice;
-#[cfg(unix)]
+// Linux-only: the module's hand-declared syscall constants and sockaddr
+// layouts are Linux's (see its module docs); other targets use the
+// thread-per-peer transport backend.
+#[cfg(target_os = "linux")]
 pub mod poller;
 pub mod sched;
 pub mod site;

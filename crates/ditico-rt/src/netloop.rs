@@ -16,7 +16,9 @@
 //!   (`codec::decode_frame_view`), so a payload crosses from kernel to
 //!   daemon with a single copy at the `read` call. The partial tail, if
 //!   any, is copied into the next accumulator — bounded by one frame,
-//!   amortized O(1) per byte.
+//!   amortized O(1) per byte. Payloads tiny relative to the accumulator
+//!   are copied out rather than handed over as views, so a retained
+//!   small payload never pins the whole read buffer ([`PIN_DENOM`]).
 //! * **Writable-gated vectored output.** Each connection keeps a deque
 //!   of ready frame buffers; flushes gather up to [`MAX_IOV`] of them
 //!   into one `write_vectored`. `EWOULDBLOCK` registers writable
@@ -56,6 +58,15 @@ const READ_CHUNK: usize = 64 * 1024;
 const READ_BUDGET: usize = 4;
 /// Buffers gathered into one `write_vectored` (well under IOV_MAX).
 const MAX_IOV: usize = 64;
+/// Pin-amplification bound for zero-copy payload views: a decoded
+/// payload smaller than `1/PIN_DENOM` of its backing read accumulator is
+/// copied out instead of handed over as a view. A retained `Bytes` then
+/// pins at most `PIN_DENOM`× its own size — never the whole multi-frame
+/// accumulator (up to `READ_BUDGET × READ_CHUNK`) on behalf of one small
+/// long-lived payload. Large payloads, where the copy would actually
+/// cost something, stay zero-copy: they already *are* most of the buffer
+/// they pin.
+const PIN_DENOM: usize = 8;
 /// Park ceiling: bounds stop-flag latency even if the wheel is empty.
 const MAX_PARK: Duration = Duration::from_millis(500);
 
@@ -120,29 +131,40 @@ struct NetLoop {
     wheel: TimerWheel<Timer>,
 }
 
-/// Entry point for the `tyco-net` thread.
-pub(super) fn run(inner: Arc<Inner>, listener: Option<TcpListener>, wake_rx: WakeReader) {
-    let mut poller = match Poller::new() {
-        Ok(p) => p,
-        Err(e) => {
-            eprintln!("tyco-net: poller unavailable: {e}");
-            return;
-        }
-    };
-    if poller
-        .register(wake_rx.raw_fd(), TOKEN_WAKE, Interest::READ)
-        .is_err()
-    {
-        return;
-    }
+/// The poller with the wake pipe and listener already registered. Built
+/// by [`prepare`] on `Transport::start`'s own thread so that a poller or
+/// registration failure becomes a start error the caller sees — never a
+/// silently dead `tyco-net` thread behind a transport that reported
+/// success and then neither accepts, dials, nor beacons.
+pub(super) struct NetIo {
+    poller: Poller,
+    listener: Option<TcpListener>,
+    wake_rx: WakeReader,
+}
+
+pub(super) fn prepare(
+    listener: Option<TcpListener>,
+    wake_rx: WakeReader,
+) -> std::io::Result<NetIo> {
+    let mut poller = Poller::new()?;
+    poller.register(wake_rx.raw_fd(), TOKEN_WAKE, Interest::READ)?;
     if let Some(l) = &listener {
-        if poller
-            .register(l.as_raw_fd(), TOKEN_LISTENER, Interest::READ)
-            .is_err()
-        {
-            return;
-        }
+        poller.register(l.as_raw_fd(), TOKEN_LISTENER, Interest::READ)?;
     }
+    Ok(NetIo {
+        poller,
+        listener,
+        wake_rx,
+    })
+}
+
+/// Entry point for the `tyco-net` thread.
+pub(super) fn run(inner: Arc<Inner>, io: NetIo) {
+    let NetIo {
+        poller,
+        listener,
+        wake_rx,
+    } = io;
     let dialers = inner
         .cfg
         .peers
@@ -478,15 +500,23 @@ impl NetLoop {
                 c.got_hello,
             )
         };
+        let acc_len = buf.len();
         let mut cur = buf;
         let mut res = Ok(());
         loop {
             match codec::decode_frame_view(&cur) {
                 Ok(None) => break,
-                Ok(Some((frame, used))) => {
+                Ok(Some((mut frame, used))) => {
                     cur.advance(used);
                     // `frame.payload` is a view into `cur`'s allocation —
-                    // this is the zero-copy handoff to the daemon.
+                    // the zero-copy handoff to the daemon — unless it is
+                    // small relative to that allocation, in which case a
+                    // daemon retaining it would pin the whole accumulator:
+                    // bound the amplification by copying it out (see
+                    // `PIN_DENOM`).
+                    if frame.payload.len() * PIN_DENOM < acc_len {
+                        frame.payload = Bytes::copy_from_slice(&frame.payload);
+                    }
                     if let Err(e) = handle_frame(&self.inner, &peer, frame, &mut got_hello) {
                         res = Err(e);
                         break;

@@ -2,8 +2,8 @@
 //!
 //! The thread-per-peer transport parked two OS threads on every socket;
 //! this module is what lets one thread own them all: a [`Poller`]
-//! (epoll(7) on Linux, portable poll(2) everywhere else — selected at
-//! runtime, both compiled and tested on Linux), a [`PollWaker`]
+//! (epoll(7) by default, with a poll(2) backend kept alive by tests so
+//! the abstraction stays honest for future ports), a [`PollWaker`]
 //! self-pipe so producer threads can interrupt a blocked wait, a
 //! [`TimerWheel`] of deadlines (heartbeats, reconnect backoff, connect
 //! timeouts) that turns every transport sleep-loop into a computed wait
@@ -13,8 +13,14 @@
 //! The workspace vendors no `libc` crate, and the build environment
 //! cannot add one; since std already links the platform libc, the tiny
 //! syscall surface needed here (a dozen symbols) is declared directly in
-//! [`sys`]. Every raw fd is wrapped in [`OwnedFd`] immediately so error
-//! paths cannot leak descriptors.
+//! [`sys`] — with **Linux** constant values and sockaddr layouts, which
+//! is why the whole module (and the event backend that rides on it) is
+//! compiled only for `target_os = "linux"`: other unixes disagree on
+//! `O_NONBLOCK`, `SOL_SOCKET`, `EINPROGRESS` and prefix sockaddrs with
+//! `sin_len`, so compiling there would fail at runtime, not loudly at
+//! build time. Non-Linux targets fall back to the thread-per-peer
+//! transport. Every raw fd is wrapped in [`OwnedFd`] immediately so
+//! error paths cannot leak descriptors.
 
 use std::collections::HashMap;
 use std::io;
@@ -23,8 +29,8 @@ use std::os::fd::{AsRawFd, FromRawFd, OwnedFd, RawFd};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// Raw libc declarations. Constants are the Linux (and where they
-/// matter, POSIX-universal) values; the epoll surface is gated to Linux.
+/// Raw libc declarations. Constant values and struct layouts are
+/// Linux's — the reason this module is gated on `target_os = "linux"`.
 #[allow(non_camel_case_types)]
 mod sys {
     pub use std::os::raw::{c_int, c_short, c_ulong, c_void};
@@ -652,7 +658,15 @@ impl<T> TimerWheel<T> {
             }
             t += 1;
         }
-        self.cursor = now_tick + 1;
+        // Stop *at* `now_tick`, not past it: only the current tick's
+        // bucket can hold entries whose deadline falls later within the
+        // tick (any earlier tick's deadlines are all ≤ now and fired
+        // above). Advancing to `now_tick + 1` would strand such an entry
+        // for a full wheel revolution while `next_deadline` keeps
+        // returning its past-due deadline — a busy-spinning wait loop.
+        // Re-walking the current bucket on the next expire is safe: fired
+        // entries were removed.
+        self.cursor = now_tick;
         // The horizon moved: rehash overflow entries that now fit (or
         // are already due — schedule_at clamps them to the cursor).
         let mut i = 0;
@@ -734,6 +748,30 @@ mod tests {
         w.schedule_at(t0, 7);
         w.expire(t0 + Duration::from_millis(21), &mut due);
         assert_eq!(due, vec![7]);
+    }
+
+    #[test]
+    fn wheel_same_tick_later_deadline_is_not_stranded() {
+        // 5ms ticks: a deadline at t0+4ms hashes into tick 0. An expire
+        // at t0+1ms (same tick, earlier instant) must keep the entry
+        // *reachable*: the next expire at t0+6ms fires it. The regression
+        // advanced the cursor past tick 0 and stranded the entry for a
+        // full wheel revolution (~1.28s) while next_deadline() kept
+        // reporting the past deadline — a zero-timeout busy spin.
+        let mut w: TimerWheel<u8> = TimerWheel::new(Duration::from_millis(5), 256);
+        let t0 = Instant::now();
+        w.schedule_at(t0 + Duration::from_millis(4), 1);
+        let mut due = Vec::new();
+        w.expire(t0 + Duration::from_millis(1), &mut due);
+        assert!(due.is_empty(), "not due yet");
+        assert_eq!(
+            w.next_deadline(),
+            Some(t0 + Duration::from_millis(4)),
+            "still armed"
+        );
+        w.expire(t0 + Duration::from_millis(6), &mut due);
+        assert_eq!(due, vec![1], "fires on the next expire, not a wheel turn later");
+        assert!(w.is_empty());
     }
 
     fn roundtrip_on(mut poller: Poller) {

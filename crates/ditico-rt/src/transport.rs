@@ -59,7 +59,7 @@ use std::time::{Duration, Instant};
 use tyco_vm::codec::{self, Packet, CONTROL_NODE, WIRE_VERSION};
 use tyco_vm::word::NodeId;
 
-#[cfg(unix)]
+#[cfg(target_os = "linux")]
 #[path = "netloop.rs"]
 mod netloop;
 
@@ -67,7 +67,9 @@ mod netloop;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum IoBackend {
     /// One readiness-driven event loop thread owning every socket and
-    /// timer (epoll/poll via [`crate::poller`]). The default.
+    /// timer (epoll/poll via `crate::poller`). The default — Linux-only,
+    /// because the poller's hand-declared syscall constants are Linux's;
+    /// `Transport::start` silently falls back to `Threads` elsewhere.
     #[default]
     Event,
     /// The original thread-per-peer architecture (blocking reader +
@@ -649,25 +651,34 @@ impl Transport {
             None => None,
         };
         let local_addr = listener.as_ref().and_then(|l| l.local_addr().ok());
-        // Without poll(2) there is no event loop to run.
-        #[cfg(unix)]
+        #[cfg(not(target_os = "linux"))]
+        let listener = listener;
+        #[cfg(target_os = "linux")]
+        let mut listener = listener;
+        // The event backend's poller hand-declares Linux syscall
+        // constants (see `crate::poller`); everywhere else the
+        // thread-per-peer architecture carries the wire.
+        #[cfg(target_os = "linux")]
         let backend = cfg.backend;
-        #[cfg(not(unix))]
+        #[cfg(not(target_os = "linux"))]
         let backend = IoBackend::Threads;
 
-        #[cfg(unix)]
-        let wake_pipe = match backend {
+        // Build the poller and register the wake pipe and listener
+        // *before* spawning anything: a failure here must surface as a
+        // start error, not as a net thread that exits at birth while the
+        // transport reports success.
+        #[cfg(target_os = "linux")]
+        let (net_io, net_wake) = match backend {
             IoBackend::Event => {
-                Some(crate::poller::wake_pipe().map_err(|e| format!("wake pipe: {e}"))?)
+                let (wake_rx, wake_tx) =
+                    crate::poller::wake_pipe().map_err(|e| format!("wake pipe: {e}"))?;
+                let io = netloop::prepare(listener.take(), wake_rx)
+                    .map_err(|e| format!("net event loop: {e}"))?;
+                (Some(io), Some(Arc::new(wake_tx) as Arc<dyn Wake>))
             }
-            IoBackend::Threads => None,
+            IoBackend::Threads => (None, None),
         };
-        #[cfg(unix)]
-        let (wake_rx, net_wake) = match wake_pipe {
-            Some((rx, tx)) => (Some(rx), Some(Arc::new(tx) as Arc<dyn Wake>)),
-            None => (None, None),
-        };
-        #[cfg(not(unix))]
+        #[cfg(not(target_os = "linux"))]
         let net_wake: Option<Arc<dyn Wake>> = None;
 
         let stale = cfg.stale_periods;
@@ -694,18 +705,18 @@ impl Transport {
         });
         let mut threads = Vec::new();
         match backend {
-            #[cfg(unix)]
+            #[cfg(target_os = "linux")]
             IoBackend::Event => {
                 let inner2 = inner.clone();
-                let wake_rx = wake_rx.expect("wake pipe built for event backend");
+                let io = net_io.expect("net io prepared for event backend");
                 threads.push(
                     std::thread::Builder::new()
                         .name("tyco-net".into())
-                        .spawn(move || netloop::run(inner2, listener, wake_rx))
+                        .spawn(move || netloop::run(inner2, io))
                         .map_err(|e| format!("spawn net thread: {e}"))?,
                 );
             }
-            #[cfg(not(unix))]
+            #[cfg(not(target_os = "linux"))]
             IoBackend::Event => unreachable!("event backend forced off above"),
             IoBackend::Threads => {
                 if let Some(l) = listener {
