@@ -30,6 +30,7 @@ fn failover_table() {
         c.run_deterministic(RunLimits {
             max_instrs: 1_000_000,
             fuel_per_slice: 256,
+            ..RunLimits::default()
         });
         let before = c.virtual_ns();
         // Kill the primary, then submit a client that needs the NS.
@@ -43,6 +44,7 @@ fn failover_table() {
         let report = c.run_deterministic(RunLimits {
             max_instrs: 10_000_000,
             fuel_per_slice: 256,
+            ..RunLimits::default()
         });
         assert_eq!(
             report.output("client"),

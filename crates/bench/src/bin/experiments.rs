@@ -370,6 +370,7 @@ fn c8_failover() {
         c.run_deterministic(RunLimits {
             max_instrs: 1_000_000,
             fuel_per_slice: 256,
+            ..RunLimits::default()
         });
         let before = c.virtual_ns();
         c.kill_node(nodes[0]);
@@ -382,6 +383,7 @@ fn c8_failover() {
         let report = c.run_deterministic(RunLimits {
             max_instrs: 10_000_000,
             fuel_per_slice: 256,
+            ..RunLimits::default()
         });
         assert_eq!(report.output("client"), ["1".to_string()]);
         println!(

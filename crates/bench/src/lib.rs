@@ -68,6 +68,7 @@ pub fn run_two_node(link: LinkProfile, server: &str, client: &str, max_instrs: u
     built.run_deterministic(RunLimits {
         max_instrs,
         fuel_per_slice: 2048,
+        ..RunLimits::default()
     })
 }
 

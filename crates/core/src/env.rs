@@ -3,7 +3,7 @@
 //! for differential testing.
 
 use crate::program::{Program, ProgramError};
-use ditico_rt::{Cluster, FabricMode, LinkProfile, RunLimits, RunReport, SiteInterface};
+use ditico_rt::{ChaosPlan, Cluster, FabricMode, LinkProfile, RunLimits, RunReport, SiteInterface};
 use std::collections::HashMap;
 use std::fmt;
 use tyco_calculus::{Network, Outcome, RtError, Scheduler};
@@ -37,6 +37,8 @@ pub enum EnvError {
         name: String,
     },
     Reference(String),
+    /// An invalid fault-injection plan (rates over budget, bad events).
+    Chaos(String),
 }
 
 impl fmt::Display for EnvError {
@@ -67,6 +69,7 @@ impl fmt::Display for EnvError {
                  (the import would block forever)"
             ),
             EnvError::Reference(e) => write!(f, "reference semantics: {e}"),
+            EnvError::Chaos(e) => write!(f, "chaos plan: {e}"),
         }
     }
 }
@@ -127,6 +130,8 @@ pub struct Env {
     code_cache: Option<usize>,
     /// Tree-shake shipped code (SHIPO / served FETCH packages).
     shake: bool,
+    /// Seeded fault-injection plan installed at build time.
+    chaos: Option<ChaosPlan>,
 }
 
 impl Env {
@@ -138,6 +143,7 @@ impl Env {
             workers: None,
             code_cache: None,
             shake: false,
+            chaos: None,
         }
     }
 
@@ -163,6 +169,15 @@ impl Env {
     /// records packages built and bytes saved.
     pub fn shake(mut self, enabled: bool) -> Env {
         self.shake = enabled;
+        self
+    }
+
+    /// Install a seeded fault-injection plan ([`ChaosPlan`]): per-packet
+    /// drop/duplicate/delay rates plus timed partition/heal/kill/restart
+    /// events. The same seed and plan replay the same injected schedule;
+    /// the run report's `chaos` field tallies every injected event.
+    pub fn chaos(mut self, plan: ChaosPlan) -> Env {
+        self.chaos = Some(plan);
         self
     }
 
@@ -286,6 +301,9 @@ impl Env {
         }
         if self.shake {
             cluster.set_shake(true);
+        }
+        if let Some(plan) = self.chaos {
+            cluster.set_chaos(plan).map_err(EnvError::Chaos)?;
         }
         let nodes: Vec<NodeId> = (0..self.topology.nodes.max(1))
             .map(|_| cluster.add_node())

@@ -8,6 +8,7 @@
 //! ("users submit new programs for execution in a node") corresponds to
 //! [`Cluster::add_site`].
 
+use crate::chaos::{ChaosEvent, ChaosPlan, ChaosReport, ChaosState};
 use crate::daemon::{CodeCacheStats, Daemon, DaemonStats, TermCounters, DEFAULT_CODE_CACHE};
 use crate::fabric::{Fabric, FabricMode, LinkProfile};
 use crate::failure::FailureMonitor;
@@ -69,6 +70,10 @@ pub struct RunReport {
     /// daemon thread that panicked. The run completes and reports instead
     /// of aborting; each entry names what was lost.
     pub aborts: Vec<String>,
+    /// Fault-injection tallies (`None` unless the run had a chaos plan
+    /// installed). Every injected event — drop, duplicate, delay,
+    /// partition block, kill, restart — is counted here.
+    pub chaos: Option<ChaosReport>,
 }
 
 impl RunReport {
@@ -128,6 +133,14 @@ pub struct RunLimits {
     /// Instructions per site slice (context-switch granularity between
     /// sites in the deterministic scheduler).
     pub fuel_per_slice: u64,
+    /// When the deterministic loop goes idle and advances virtual time
+    /// to the next due event, overshoot the target by this much so a
+    /// whole *wave* of nearby deliveries lands in one advance. 0 (the
+    /// default) advances exactly event-by-event; large fan-out scenarios
+    /// (100k+ sites) set ~1ms to avoid O(events × sites) idle rounds.
+    /// Purely a batching knob: deliveries stay FIFO per link and the
+    /// schedule stays deterministic for a given value.
+    pub idle_advance_ns: u64,
 }
 
 impl Default for RunLimits {
@@ -135,6 +148,7 @@ impl Default for RunLimits {
         RunLimits {
             max_instrs: 100_000_000,
             fuel_per_slice: 4096,
+            idle_advance_ns: 0,
         }
     }
 }
@@ -161,6 +175,8 @@ pub struct Cluster {
     /// Whether sites package shipped code tree-shaken
     /// (`tyco_vm::wire::pack_shaken`).
     shake: bool,
+    /// Installed fault-injection plan (see [`Cluster::set_chaos`]).
+    chaos: Option<Arc<ChaosState>>,
 }
 
 impl Cluster {
@@ -181,6 +197,7 @@ impl Cluster {
             sched: SchedConfig::default(),
             code_cache: DEFAULT_CODE_CACHE,
             shake: false,
+            chaos: None,
         }
     }
 
@@ -357,6 +374,50 @@ impl Cluster {
         }
     }
 
+    /// Restart a killed node, modelling a daemon process bounce: fabric
+    /// delivery resumes, sites pump again, but the node's TyCOd comes
+    /// back *empty* — code cache cleared, parked and queued traffic lost
+    /// (Mattern-compensated so termination still balances), heartbeat
+    /// history reset. In-flight shipments to the node converge again via
+    /// the daemon's bounded NeedCode refill retries.
+    pub fn restart_node(&mut self, node: NodeId) {
+        self.fabric.revive_node(node);
+        if let Some(cell) = self.nodes.get_mut(node.0 as usize) {
+            cell.dead = false;
+            cell.daemon.simulate_restart();
+        }
+    }
+
+    /// Install a seeded fault-injection plan on the cluster's fabric.
+    /// Every packet crossing a node boundary then rolls for a fate
+    /// (drop / duplicate / delay within the link's profile) from a
+    /// deterministic per-edge stream, and the plan's timed events
+    /// (partition, heal, kill, restart) fire as virtual or wall time
+    /// passes them. Same seed + same plan ⇒ same injected schedule.
+    pub fn set_chaos(&mut self, plan: ChaosPlan) -> Result<(), String> {
+        plan.validate()?;
+        let st = ChaosState::new(plan, self.term.clone());
+        self.fabric.set_chaos(Some(st.clone()));
+        self.chaos = Some(st);
+        Ok(())
+    }
+
+    /// Fire every chaos event due at `now_ns`, acting on the ones that
+    /// need the cluster (kill/restart); partitions and heals were already
+    /// applied inside the chaos state.
+    fn apply_chaos_due(&mut self, now_ns: u64) {
+        let Some(ch) = self.chaos.clone() else {
+            return;
+        };
+        for ev in ch.apply_due(now_ns) {
+            match ev {
+                ChaosEvent::KillNode(n) => self.kill_node(n),
+                ChaosEvent::RestartNode(n) => self.restart_node(n),
+                ChaosEvent::Partition { .. } | ChaosEvent::Heal => {}
+            }
+        }
+    }
+
     /// The current name-service primary node.
     pub fn ns_primary_node(&self) -> NodeId {
         NodeId(self.ns_primary.load(Ordering::Relaxed) as u32 % self.ns_replicas.max(1) as u32)
@@ -423,6 +484,10 @@ impl Cluster {
         loop {
             round += 1;
             let mut progress = false;
+            // Chaos events scheduled at or before the current virtual
+            // time fire first, so a partition cuts this round's traffic
+            // and a restart's daemon is pumpable this round.
+            self.apply_chaos_due(self.fabric.now_ns());
             // Heartbeats + failure detection (when enabled).
             if let Some(every) = self.heartbeat_every {
                 if round.is_multiple_of(every) {
@@ -449,10 +514,32 @@ impl Cluster {
                 forced_hb = 0;
             }
             if !progress {
-                // Nothing runnable: advance virtual time to the next
-                // fabric event, if any.
-                if let Some(t) = self.fabric.next_event_ns() {
-                    self.fabric.advance_to(t);
+                // Nothing runnable: advance virtual time to the next due
+                // event — a fabric delivery or a scheduled chaos event,
+                // whichever is earlier — optionally overshooting by
+                // `idle_advance_ns` to land a whole wave at once.
+                let mut next = self.fabric.next_event_ns();
+                if let Some(c) = self.chaos.as_ref().and_then(|ch| ch.next_event_ns()) {
+                    next = Some(next.map_or(c, |f| f.min(c)));
+                }
+                if let Some(t) = next {
+                    self.fabric
+                        .advance_to(t.saturating_add(limits.idle_advance_ns));
+                    continue;
+                }
+                // A daemon waiting on a code refill gets its retry clock
+                // ticked only on idle rounds like this one: each tick is
+                // a unit of "nothing else happened", so the bounded
+                // re-ask/give-up ladder runs the same way on every
+                // fabric and never races real deliveries.
+                let mut ticked = false;
+                for cell in &mut self.nodes {
+                    if !cell.dead && cell.daemon.has_pending_refills() {
+                        cell.daemon.tick_refills();
+                        ticked = true;
+                    }
+                }
+                if ticked {
                     continue;
                 }
                 // Otherwise, when failure detection is on, keep the
@@ -479,7 +566,17 @@ impl Cluster {
                 break;
             }
         }
-        self.report(0)
+        let mut report = self.report(0);
+        // Surface the failure monitor's verdict like distributed runs do:
+        // a node that stopped beaconing (killed and never restarted) is
+        // reported suspected. Only meaningful when the deterministic
+        // heartbeat protocol ran at all.
+        if self.heartbeat_every.is_some() && hb_round > 0 {
+            let known: Vec<NodeId> = (0..self.nodes.len() as u32).map(NodeId).collect();
+            report.suspects = monitor.suspects(&known, hb_round);
+            report.suspects.sort_by_key(|n| n.0);
+        }
+        report
     }
 
     /// Run with real threads: sites are multiplexed over a fixed worker
@@ -549,6 +646,13 @@ impl Cluster {
                             daemon
                                 .waker()
                                 .wait_timeout(std::time::Duration::from_millis(1));
+                            // One refill tick per parked millisecond: the
+                            // bounded NeedCode re-ask/give-up ladder for
+                            // shipments parked on a restarted (and thus
+                            // cache-empty) peer.
+                            if daemon.has_pending_refills() {
+                                daemon.tick_refills();
+                            }
                         } else {
                             std::thread::yield_now();
                         }
@@ -575,7 +679,20 @@ impl Cluster {
         let t0 = std::time::Instant::now();
         let probes;
         let detected;
+        let chaos = self.chaos.clone();
         loop {
+            // Chaos events fire against the wall clock here; kills and
+            // restarts act at the fabric (traffic blackholed/revived) —
+            // the daemons themselves are owned by their threads.
+            if let Some(ch) = &chaos {
+                for ev in ch.apply_due(t0.elapsed().as_nanos() as u64) {
+                    match ev {
+                        ChaosEvent::KillNode(n) => self.fabric.kill_node(n),
+                        ChaosEvent::RestartNode(n) => self.fabric.revive_node(n),
+                        ChaosEvent::Partition { .. } | ChaosEvent::Heal => {}
+                    }
+                }
+            }
             let any_active = shared.active_sites() > 0;
             let snap = Snapshot::take(&self.term, any_active);
             if detector.probe(snap) {
@@ -618,6 +735,7 @@ impl Cluster {
         join_daemons(&mut report, daemon_threads);
         report.fabric_packets = self.fabric.stats.packets.load(Ordering::Relaxed);
         report.fabric_bytes = self.fabric.stats.bytes.load(Ordering::Relaxed);
+        report.chaos = chaos.as_ref().map(|c| c.report());
         // Quiescent iff the detector confirmed termination (as opposed to
         // hitting the wall-clock limit).
         report.quiescent = detected;
@@ -682,6 +800,13 @@ impl Cluster {
             std::time::Duration::from_millis(100),
         );
         let mut transport = Transport::start(cfg, self.fabric.handle())?;
+        if let Some(ch) = &self.chaos {
+            // Chaos moves from the node-local fabric to the wire: an
+            // inbound frame that already survived the sender's dice must
+            // not be rolled again when the transport injects it locally.
+            transport.set_chaos(Some(ch.clone()));
+            self.fabric.set_chaos(None);
+        }
         let net = transport.handle();
 
         let stop = Arc::new(AtomicBool::new(false));
@@ -744,6 +869,13 @@ impl Cluster {
                             daemon
                                 .waker()
                                 .wait_timeout(std::time::Duration::from_millis(1));
+                            // One refill tick per parked millisecond: the
+                            // bounded NeedCode re-ask/give-up ladder for
+                            // shipments parked on a restarted (and thus
+                            // cache-empty) peer.
+                            if daemon.has_pending_refills() {
+                                daemon.tick_refills();
+                            }
                         } else {
                             std::thread::yield_now();
                         }
@@ -769,8 +901,21 @@ impl Cluster {
         let mut last_counters = transport.data_counters();
         let mut stable_since = std::time::Instant::now();
         let mut quiesced = false;
+        let chaos = self.chaos.clone();
         loop {
             shared.idle.wait_timeout(env_tick);
+            if let Some(ch) = &chaos {
+                for ev in ch.apply_due(t0.elapsed().as_nanos() as u64) {
+                    match ev {
+                        // Kills/restarts act on locally hosted nodes'
+                        // fabric endpoints; peers under chaos run their
+                        // own plan against their own clock.
+                        ChaosEvent::KillNode(n) => self.fabric.kill_node(n),
+                        ChaosEvent::RestartNode(n) => self.fabric.revive_node(n),
+                        ChaosEvent::Partition { .. } | ChaosEvent::Heal => {}
+                    }
+                }
+            }
             if t0.elapsed() > wall_limit {
                 break;
             }
@@ -838,6 +983,7 @@ impl Cluster {
         report.fabric_packets = self.fabric.stats.packets.load(Ordering::Relaxed);
         report.fabric_bytes = self.fabric.stats.bytes.load(Ordering::Relaxed);
         report.quiescent = quiesced;
+        report.chaos = chaos.as_ref().map(|c| c.report());
         transport.shutdown();
         report.transport = Some(transport.report());
         self.fabric.shutdown();
@@ -1032,6 +1178,7 @@ impl Cluster {
             virtual_ns: self.fabric.now_ns(),
             fabric_packets: self.fabric.stats.packets.load(Ordering::Relaxed),
             fabric_bytes: self.fabric.stats.bytes.load(Ordering::Relaxed),
+            chaos: self.chaos.as_ref().map(|c| c.report()),
             ..Default::default()
         };
         let mut quiescent = true;

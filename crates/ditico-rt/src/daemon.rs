@@ -45,6 +45,18 @@ use tyco_vm::Digest;
 /// Default capacity of the per-node code store, in images (not bytes).
 pub const DEFAULT_CODE_CACHE: usize = 256;
 
+/// Idle ticks of the refill clock between `NeedCode` re-asks (the
+/// embedding advances the clock only while the daemon is otherwise idle:
+/// once per idle round in deterministic runs, roughly once per parked
+/// millisecond in threaded ones).
+pub const REFILL_RETRY_TICKS: u32 = 100;
+
+/// Total `NeedCode` attempts per missing digest before the parked
+/// packets are dropped as consumed. Bounds the park/retry loop: a peer
+/// that lost the image (or a link that eats every ask) costs at most
+/// `REFILL_MAX_ASKS × REFILL_RETRY_TICKS` idle ticks, never a hang.
+pub const REFILL_MAX_ASKS: u32 = 4;
+
 /// Cluster-wide packet-conservation counters used by the termination
 /// detector (see [`crate::termination`]).
 #[derive(Debug, Default)]
@@ -105,6 +117,20 @@ pub struct CodeCacheStats {
     pub digest_mismatches: u64,
 }
 
+/// Digest-only packets parked behind one missing code image, plus the
+/// retry bookkeeping that bounds the refill protocol (see
+/// [`Daemon::tick_refills`]).
+struct ParkedCode {
+    pkts: Vec<Packet>,
+    /// Whom to (re-)ask: the most recent sender of a ref for this digest
+    /// provably holds the image (or held it moments ago).
+    from: NodeId,
+    /// Idle ticks since the last `NeedCode` went out.
+    ticks: u32,
+    /// `NeedCode` attempts so far (the first ask counts).
+    asks: u32,
+}
+
 /// An outgoing batch for one destination node: packets are encoded
 /// back-to-back into one buffer, frozen once per flush, and handed to the
 /// fabric as zero-copy slice views — one allocation per batch instead of
@@ -157,8 +183,9 @@ pub struct Daemon {
     /// The node's content-addressed store of verified code images.
     store: CodeCache,
     /// Digest-only packets parked until a `HaveCode` refill arrives (or a
-    /// tombstone reports the image gone, which drops them as consumed).
-    awaiting_code: HashMap<Digest, Vec<Packet>>,
+    /// tombstone reports the image gone, which drops them as consumed),
+    /// with bounded-retry bookkeeping per digest.
+    awaiting_code: HashMap<Digest, ParkedCode>,
     /// Single-flight: remote class → the coalesced fetches waiting on the
     /// one request in flight.
     inflight: HashMap<NetRef, Vec<(Identity, u64)>>,
@@ -398,7 +425,11 @@ impl Daemon {
             }
             Packet::HaveCode { digest, code, .. } => {
                 self.term.consumed.fetch_add(1, Ordering::Relaxed);
-                let parked = self.awaiting_code.remove(&digest).unwrap_or_default();
+                let parked = self
+                    .awaiting_code
+                    .remove(&digest)
+                    .map(|e| e.pkts)
+                    .unwrap_or_default();
                 let bytes = codec::code_bytes(&code);
                 if Digest::of(&bytes) != digest {
                     // A tampered refill — or the sender's tombstone for an
@@ -454,12 +485,22 @@ impl Daemon {
     }
 
     /// Park a digest-only packet whose image is not in the store; the
-    /// first miss for a digest asks the sender to refill it.
+    /// first miss for a digest asks the sender to refill it (later asks
+    /// are driven by the bounded retry clock, [`Daemon::tick_refills`]).
     fn park(&mut self, from: NodeId, digest: Digest, p: Packet) {
-        let waiting = self.awaiting_code.entry(digest).or_default();
-        let first = waiting.is_empty();
-        waiting.push(p);
+        let entry = self.awaiting_code.entry(digest).or_insert(ParkedCode {
+            pkts: Vec::new(),
+            from,
+            ticks: 0,
+            asks: 0,
+        });
+        entry.pkts.push(p);
+        // Refresh the refill target: the latest sender is the most likely
+        // to still hold the image.
+        entry.from = from;
+        let first = entry.asks == 0;
         if first {
+            entry.asks = 1;
             self.term.injected.fetch_add(1, Ordering::Relaxed);
             self.send_remote(
                 from,
@@ -469,6 +510,100 @@ impl Daemon {
                 },
             );
         }
+    }
+
+    /// Are any digest-only packets parked waiting for a code refill? The
+    /// embedding uses this to keep scheduling idle ticks until the refill
+    /// protocol converges (or gives up) instead of declaring the run over.
+    pub fn has_pending_refills(&self) -> bool {
+        !self.awaiting_code.is_empty()
+    }
+
+    /// One idle tick of the refill retry clock: re-ask for digests whose
+    /// `NeedCode` (or its `HaveCode` answer) was lost, and after
+    /// [`REFILL_MAX_ASKS`] fruitless attempts drop the parked packets as
+    /// consumed. The previous protocol asked exactly once per digest, so
+    /// a single lost refill packet parked its waiters forever — an
+    /// unbounded park that chaos drop plans (and restarted peers) hit
+    /// immediately. Returns whether anything was sent or dropped.
+    pub fn tick_refills(&mut self) -> bool {
+        if self.awaiting_code.is_empty() {
+            return false;
+        }
+        let mut asks: Vec<(NodeId, Digest)> = Vec::new();
+        let mut give_up: Vec<Digest> = Vec::new();
+        for (digest, e) in self.awaiting_code.iter_mut() {
+            e.ticks += 1;
+            if e.ticks < REFILL_RETRY_TICKS {
+                continue;
+            }
+            e.ticks = 0;
+            if e.asks >= REFILL_MAX_ASKS {
+                give_up.push(*digest);
+            } else {
+                e.asks += 1;
+                asks.push((e.from, *digest));
+            }
+        }
+        let acted = !asks.is_empty() || !give_up.is_empty();
+        for (to, digest) in asks {
+            self.term.injected.fetch_add(1, Ordering::Relaxed);
+            self.send_remote(
+                to,
+                &Packet::NeedCode {
+                    from: self.node,
+                    digest,
+                },
+            );
+        }
+        for digest in give_up {
+            if let Some(e) = self.awaiting_code.remove(&digest) {
+                for _ in e.pkts {
+                    self.reject();
+                }
+            }
+        }
+        if acted {
+            // Retries happen outside the pump loop; don't leave them
+            // sitting in the batch buffers.
+            self.flush_remote();
+        }
+        acted
+    }
+
+    /// Model a daemon process bounce: the in-memory code cache, parked
+    /// refills, single-flight bookkeeping, heartbeat state and any
+    /// queued-but-unprocessed inbound packets are gone; the beacon
+    /// sequence restarts from 1. Sites and the name service survive (the
+    /// chaos `RestartNode` event models a TyCOd restart, not node loss —
+    /// [`crate::fabric::Fabric::kill_node`] models that). Dropped packets
+    /// are compensated as consumed so termination accounting stays
+    /// balanced.
+    pub fn simulate_restart(&mut self) {
+        self.store = CodeCache::new(self.store.capacity());
+        let parked: u64 = self
+            .awaiting_code
+            .values()
+            .map(|e| e.pkts.len() as u64)
+            .sum();
+        self.awaiting_code.clear();
+        self.inflight.clear();
+        self.inflight_leader.clear();
+        self.heartbeats.clear();
+        self.hb_seq = 0;
+        let mut raw = std::mem::take(&mut self.scratch_bytes);
+        raw.clear();
+        let lost_fabric = self.from_fabric.drain_into(&mut raw) as u64;
+        raw.clear();
+        self.scratch_bytes = raw;
+        let mut pkts = std::mem::take(&mut self.scratch_pkts);
+        pkts.clear();
+        let lost_sites = self.from_sites.drain_into(&mut pkts) as u64;
+        pkts.clear();
+        self.scratch_pkts = pkts;
+        self.term
+            .consumed
+            .fetch_add(parked + lost_fabric + lost_sites, Ordering::Relaxed);
     }
 
     /// Rebuild the full packet a digest-only ref stands for and deliver

@@ -28,6 +28,7 @@
 //! preserving per-link FIFO order (the batch is drained in send order
 //! into a FIFO channel).
 
+use crate::chaos::{ChaosState, Fault};
 use crate::wake::Notify;
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
@@ -220,7 +221,8 @@ struct Shared {
 impl Shared {
     /// Queue one payload on the (from, to) link, keeping per-link FIFO by
     /// forcing due times to be strictly monotone along the link.
-    fn schedule(&mut self, from: NodeId, to: NodeId, payload: Bytes) {
+    /// `extra_ns` is chaos-injected delay on top of the link model.
+    fn schedule(&mut self, from: NodeId, to: NodeId, payload: Bytes, extra_ns: u64) {
         let now = match self.mode {
             FabricMode::Virtual => self.now_ns,
             _ => self.epoch.elapsed().as_nanos() as u64,
@@ -230,7 +232,9 @@ impl Shared {
             .get(&(from, to))
             .copied()
             .unwrap_or(self.default_link);
-        let raw = now.saturating_add(profile.transfer_ns(payload.len()));
+        let raw = now
+            .saturating_add(profile.transfer_ns(payload.len()))
+            .saturating_add(extra_ns);
         let last = self.link_last.get(&(from, to)).copied().unwrap_or(0);
         let due = raw.max(last.saturating_add(1));
         self.link_last.insert((from, to), due);
@@ -271,6 +275,8 @@ pub struct Fabric {
     pub stats: Arc<FabricStats>,
     stop: Arc<AtomicBool>,
     delivery_thread: Option<std::thread::JoinHandle<()>>,
+    /// Installed fault-injection plan (None on the fast path).
+    chaos: Arc<RwLock<Option<Arc<ChaosState>>>>,
 }
 
 /// A cloneable handle daemons use to send.
@@ -281,6 +287,7 @@ pub struct FabricHandle {
     routes: Routes,
     cond: Arc<Condvar>,
     stats: Arc<FabricStats>,
+    chaos: Arc<RwLock<Option<Arc<ChaosState>>>>,
 }
 
 impl Fabric {
@@ -302,7 +309,14 @@ impl Fabric {
             stats: Arc::new(FabricStats::default()),
             stop: Arc::new(AtomicBool::new(false)),
             delivery_thread: None,
+            chaos: Arc::new(RwLock::new(None)),
         }
+    }
+
+    /// Install (or clear) a fault-injection plan. Existing handles see it
+    /// immediately — the chaos slot is shared, like the routing table.
+    pub fn set_chaos(&self, chaos: Option<Arc<ChaosState>>) {
+        *self.chaos.write() = chaos;
     }
 
     /// Override the profile of one directed link.
@@ -345,6 +359,7 @@ impl Fabric {
             routes: self.routes.clone(),
             cond: self.cond.clone(),
             stats: self.stats.clone(),
+            chaos: self.chaos.clone(),
         }
     }
 
@@ -360,6 +375,20 @@ impl Fabric {
                 waker: None,
             })
             .dead = true;
+    }
+
+    /// Undo [`Fabric::kill_node`]: the node carries traffic again
+    /// (rolling-restart experiments).
+    pub fn revive_node(&self, node: NodeId) {
+        let mut routes = self.routes.write();
+        routes
+            .entry(node)
+            .or_insert(Route {
+                tx: None,
+                dead: false,
+                waker: None,
+            })
+            .dead = false;
     }
 
     /// Virtual mode: the due time of the earliest pending event.
@@ -468,8 +497,37 @@ impl FabricHandle {
         routes.get(&from).is_some_and(|r| r.dead) || routes.get(&to).is_some_and(|r| r.dead)
     }
 
-    /// Send a payload from one node to another, applying the link model.
+    /// Send a payload from one node to another, applying the link model
+    /// and, when a plan is installed, the chaos fault die.
     pub fn send(&self, from: NodeId, to: NodeId, payload: Bytes) {
+        let chaos = if from == to {
+            None // chaos models the network; a node cannot partition itself
+        } else {
+            self.chaos.read().clone()
+        };
+        match chaos {
+            None => self.send_inner(from, to, payload, 0),
+            Some(ch) => self.send_chaos(&ch, from, to, payload),
+        }
+    }
+
+    /// One packet through the fault die. Drops vanish here (already
+    /// counted and termination-compensated by `packet_fate`); duplicates
+    /// are sent twice; delays ride the event heap with extra nanoseconds
+    /// (Ideal mode cannot hold packets, so `can_delay` is false there).
+    fn send_chaos(&self, ch: &ChaosState, from: NodeId, to: NodeId, payload: Bytes) {
+        match ch.packet_fate(from, to, 1, self.mode != FabricMode::Ideal) {
+            Fault::Drop => {}
+            Fault::Deliver => self.send_inner(from, to, payload, 0),
+            Fault::Duplicate => {
+                self.send_inner(from, to, payload.clone(), 0);
+                self.send_inner(from, to, payload, 0);
+            }
+            Fault::Delay(extra) => self.send_inner(from, to, payload, extra),
+        }
+    }
+
+    fn send_inner(&self, from: NodeId, to: NodeId, payload: Bytes, extra_ns: u64) {
         // Dead-endpoint traffic is dropped BEFORE it is counted: the stats
         // must reflect traffic the fabric carried, not what dead nodes
         // attempted.
@@ -499,7 +557,7 @@ impl FabricHandle {
         }
         // Virtual/RealTime: queue on the event heap (routes lock released
         // first; the two locks are never held together).
-        self.shared.lock().schedule(from, to, payload);
+        self.shared.lock().schedule(from, to, payload, extra_ns);
         if self.mode == FabricMode::RealTime {
             self.cond.notify_all();
         }
@@ -512,6 +570,19 @@ impl FabricHandle {
     pub fn send_batch(&self, from: NodeId, to: NodeId, batch: &mut Vec<Bytes>) {
         if batch.is_empty() {
             return;
+        }
+        if from != to {
+            // With chaos installed each packet needs its own fate, so the
+            // batch falls back to single sends (order still preserved —
+            // survivors enter the link in batch order). The chaos-free
+            // fast path below is untouched.
+            let chaos = self.chaos.read().clone();
+            if let Some(ch) = chaos {
+                for payload in batch.drain(..) {
+                    self.send_chaos(&ch, from, to, payload);
+                }
+                return;
+            }
         }
         if self.endpoint_dead(from, to) {
             batch.clear();
@@ -540,7 +611,7 @@ impl FabricHandle {
             _ => {
                 let mut s = self.shared.lock();
                 for payload in batch.drain(..) {
-                    s.schedule(from, to, payload);
+                    s.schedule(from, to, payload, 0);
                 }
                 drop(s);
                 if self.mode == FabricMode::RealTime {
@@ -680,6 +751,100 @@ mod tests {
         let got = rx.recv_timeout(std::time::Duration::from_secs(2));
         assert!(got.is_ok());
         f.shutdown();
+    }
+
+    #[test]
+    fn chaos_drops_and_duplicates_on_the_fabric() {
+        use crate::chaos::{ChaosPlan, ChaosSpec, ChaosState};
+        use crate::daemon::TermCounters;
+
+        let f = Fabric::new(FabricMode::Ideal, LinkProfile::ideal());
+        let rx = f.register_node(n(1));
+        let term = Arc::new(TermCounters::default());
+        // Drop everything.
+        let all_drop = ChaosSpec {
+            seed: 1,
+            drop_per_mille: 1000,
+            dup_per_mille: 0,
+            delay_per_mille: 0,
+            delay_ns: 0,
+        };
+        f.set_chaos(Some(ChaosState::new(
+            ChaosPlan::new(all_drop),
+            term.clone(),
+        )));
+        let h = f.handle();
+        h.send(n(0), n(1), Bytes::from_static(b"gone"));
+        let mut batch = vec![Bytes::from_static(b"also"), Bytes::from_static(b"gone")];
+        h.send_batch(n(0), n(1), &mut batch);
+        assert!(batch.is_empty());
+        assert!(rx.try_recv().is_err());
+        // Chaos drops, like dead-node drops, never reach the stats.
+        assert_eq!(f.stats.packets.load(Ordering::Relaxed), 0);
+        assert_eq!(term.consumed.load(Ordering::Relaxed), 3);
+
+        // Duplicate everything.
+        let all_dup = ChaosSpec {
+            seed: 1,
+            drop_per_mille: 0,
+            dup_per_mille: 1000,
+            delay_per_mille: 0,
+            delay_ns: 0,
+        };
+        let term2 = Arc::new(TermCounters::default());
+        f.set_chaos(Some(ChaosState::new(
+            ChaosPlan::new(all_dup),
+            term2.clone(),
+        )));
+        h.send(n(0), n(1), Bytes::from_static(b"twice"));
+        let got: Vec<_> = rx.try_iter().collect();
+        assert_eq!(got.len(), 2);
+        assert_eq!(term2.injected.load(Ordering::Relaxed), 1);
+
+        // Clearing the plan restores the fast path.
+        f.set_chaos(None);
+        h.send(n(0), n(1), Bytes::from_static(b"clean"));
+        assert_eq!(rx.try_iter().count(), 1);
+    }
+
+    #[test]
+    fn chaos_partition_blocks_edges_until_heal() {
+        use crate::chaos::{ChaosEvent, ChaosPlan, ChaosState};
+        use crate::daemon::TermCounters;
+
+        let f = Fabric::new(FabricMode::Ideal, LinkProfile::ideal());
+        let rx = f.register_node(n(1));
+        let term = Arc::new(TermCounters::default());
+        let plan = ChaosPlan::default()
+            .at(
+                0,
+                ChaosEvent::Partition {
+                    a: vec![n(0)],
+                    b: vec![n(1)],
+                },
+            )
+            .at(100, ChaosEvent::Heal);
+        let state = ChaosState::new(plan, term);
+        f.set_chaos(Some(state.clone()));
+        state.apply_due(0);
+        f.handle().send(n(0), n(1), Bytes::from_static(b"cut"));
+        assert!(rx.try_recv().is_err());
+        state.apply_due(100);
+        f.handle().send(n(0), n(1), Bytes::from_static(b"healed"));
+        assert!(rx.try_recv().is_ok());
+        assert_eq!(state.report().partition_drops, 1);
+    }
+
+    #[test]
+    fn revive_node_restores_traffic() {
+        let f = Fabric::new(FabricMode::Ideal, LinkProfile::ideal());
+        let rx = f.register_node(n(1));
+        f.kill_node(n(1));
+        f.handle().send(n(0), n(1), Bytes::from_static(b"lost"));
+        assert!(rx.try_recv().is_err());
+        f.revive_node(n(1));
+        f.handle().send(n(0), n(1), Bytes::from_static(b"back"));
+        assert!(rx.try_recv().is_ok(), "revived node receives again");
     }
 
     #[test]

@@ -54,7 +54,13 @@ impl FailureMonitor {
         self.note_known(node, round);
         match self.last.get_mut(&node) {
             Some((s, r)) => {
-                if seq > *s {
+                // An advancing sequence is the node making progress. A
+                // *regressed* sequence means the node restarted (its
+                // beacon counter re-starts from 1) — that is also proof
+                // of life, and without treating it as such a restarted
+                // node could never shed suspicion. Only an *equal*
+                // sequence is stale (same beacon re-observed).
+                if seq != *s {
                     *s = seq;
                     *r = round;
                 }
@@ -63,6 +69,17 @@ impl FailureMonitor {
                 self.last.insert(node, (seq, round));
             }
         }
+    }
+
+    /// The transport re-established a connection to `node` at `round`:
+    /// forget its heartbeat history and restart the grace window. Without
+    /// this, a restarted peer whose beacon sequence re-starts below the
+    /// recorded one stays suspected forever — which leaves the
+    /// all-remotes-down termination cut satisfiable while a live peer is
+    /// attached, so runs could terminate under the reconnecting peer.
+    pub fn reconnected(&mut self, node: NodeId, round: u64) {
+        self.last.remove(&node);
+        self.first_known.insert(node, round);
     }
 
     /// Is `node` suspected dead as of `round`?
@@ -143,6 +160,38 @@ mod tests {
         m.note_known(n(4), 5);
         m.note_known(n(4), 50);
         assert!(m.suspected(n(4), 8));
+    }
+
+    #[test]
+    fn heal_after_suspect_clears_on_reconnect() {
+        // Regression: a suspected peer that reconnects (transport
+        // handshake) must not stay suspected because its restarted
+        // heartbeat sequence (1, 2, …) is below the recorded one.
+        let mut m = FailureMonitor::new(2);
+        m.observe(n(0), 9, 0);
+        assert!(m.suspected(n(0), 5), "silent node becomes suspect");
+        m.reconnected(n(0), 5);
+        assert!(!m.suspected(n(0), 5), "reconnect clears suspicion");
+        assert!(!m.suspected(n(0), 7), "grace window re-runs from reconnect");
+        // The restarted peer's low sequence counts as progress.
+        m.observe(n(0), 1, 7);
+        m.observe(n(0), 2, 9);
+        assert!(!m.suspected(n(0), 11));
+        // But a *stuck* restarted peer is still caught.
+        assert!(m.suspected(n(0), 12));
+    }
+
+    #[test]
+    fn sequence_regression_counts_as_progress() {
+        let mut m = FailureMonitor::new(2);
+        m.observe(n(1), 100, 0);
+        // Restarted node re-beacons from 1 without a reconnect call
+        // (e.g. in-process restart on the virtual fabric).
+        m.observe(n(1), 1, 10);
+        assert!(!m.suspected(n(1), 12), "regressed seq refreshed liveness");
+        // Equal sequence still does not refresh.
+        m.observe(n(1), 1, 20);
+        assert!(m.suspected(n(1), 20));
     }
 
     #[test]

@@ -29,6 +29,7 @@
 //!   heartbeats feeding the failure monitor, verifier screening at the
 //!   process boundary.
 
+pub mod chaos;
 pub mod cluster;
 pub mod codecache;
 pub mod daemon;
@@ -46,6 +47,7 @@ pub mod termination;
 pub mod transport;
 pub mod wake;
 
+pub use chaos::{ChaosEvent, ChaosPlan, ChaosReport, ChaosSpec, ChaosState};
 pub use cluster::{Cluster, RunLimits, RunReport};
 pub use codecache::CodeCache;
 pub use daemon::{CodeCacheStats, Daemon, DaemonStats, TermCounters};

@@ -647,15 +647,18 @@ impl NetLoop {
     // --- heartbeats ---------------------------------------------------
 
     fn emit_heartbeats(&mut self) {
+        // The beacon tick doubles as the clock for chaos-delayed frames.
+        self.inner.flush_due_delayed();
+        let chaos = self.inner.chaos.read().clone();
         let seq = self.inner.hb_seq.fetch_add(1, Ordering::Relaxed) + 1;
-        let frames: Vec<Bytes> = self
+        let frames: Vec<(NodeId, Bytes)> = self
             .inner
             .cfg
             .local_nodes
             .iter()
             .map(|&n| {
                 let p = Packet::Heartbeat { node: n, seq };
-                codec::encode_frame(n, CONTROL_NODE, &codec::encode(&p))
+                (n, codec::encode_frame(n, CONTROL_NODE, &codec::encode(&p)))
             })
             .collect();
         for idx in 0..self.slots.len() {
@@ -666,7 +669,19 @@ impl NetLoop {
                 let Some(Some(Slot::Conn(c))) = self.slots.get_mut(idx) else {
                     continue;
                 };
-                for f in &frames {
+                let peer_nodes = match &chaos {
+                    Some(_) => c.peer.nodes.lock().clone(),
+                    None => Vec::new(),
+                };
+                for (n, f) in &frames {
+                    // A partition that cuts every announced peer node
+                    // silences the beacon too — that is what drives the
+                    // failure monitor during a partition soak.
+                    if let Some(ch) = &chaos {
+                        if ch.hb_blocked(*n, &peer_nodes) {
+                            continue;
+                        }
+                    }
                     // Same cap as the queue: a wedged connection drops
                     // beacons rather than growing without bound.
                     if c.wbufs.len() >= self.inner.cfg.outbound_cap {

@@ -770,7 +770,11 @@ mod tests {
             "still armed"
         );
         w.expire(t0 + Duration::from_millis(6), &mut due);
-        assert_eq!(due, vec![1], "fires on the next expire, not a wheel turn later");
+        assert_eq!(
+            due,
+            vec![1],
+            "fires on the next expire, not a wheel turn later"
+        );
         assert!(w.is_empty());
     }
 

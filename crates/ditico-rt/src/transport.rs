@@ -44,6 +44,7 @@
 //! be linked — the process boundary is the least trustworthy boundary
 //! the runtime has.
 
+use crate::chaos::{ChaosState, Fault};
 use crate::daemon::Daemon;
 use crate::fabric::{FabricHandle, PacketFabric};
 use crate::failure::FailureMonitor;
@@ -353,6 +354,13 @@ struct Inner {
     /// exit conditions event-driven instead of on a fixed poll. Shared
     /// with the scheduler's pool-idle `Notify` in distributed runs.
     activity: Mutex<Option<Arc<Notify>>>,
+    /// Fault-injection hook for outbound traffic (the chaos harness).
+    /// Distributed runs install chaos here, at the wire, and leave the
+    /// node-local fabric clean — one jeopardy per packet.
+    chaos: RwLock<Option<Arc<ChaosState>>>,
+    /// Chaos-delayed frames waiting out their extra latency; flushed by
+    /// the heartbeat paths, so delay resolution is one `hb_period`.
+    delayed: Mutex<Vec<(Instant, NodeId, Bytes, u64)>>,
 }
 
 impl Inner {
@@ -398,9 +406,51 @@ impl Inner {
         }
     }
 
+    /// Queue one already-framed buffer for `to`, running it through the
+    /// chaos hook first (when installed). `nframes` is the packet count
+    /// the buffer coalesces — fault bookkeeping and termination-counter
+    /// compensation must scale by it, or a dropped batch of k packets
+    /// would unbalance Mattern's counters by k−1.
+    fn queue_frame(&self, from: NodeId, to: NodeId, frame: Bytes, nframes: u64) {
+        let chaos = self.chaos.read().clone();
+        match chaos {
+            None => self.queue_frame_raw(to, frame, nframes),
+            Some(ch) => match ch.packet_fate(from, to, nframes, true) {
+                Fault::Drop => {}
+                Fault::Deliver => self.queue_frame_raw(to, frame, nframes),
+                Fault::Duplicate => {
+                    self.queue_frame_raw(to, frame.clone(), nframes);
+                    self.queue_frame_raw(to, frame, nframes);
+                }
+                Fault::Delay(extra_ns) => {
+                    let due = Instant::now() + Duration::from_nanos(extra_ns);
+                    self.delayed.lock().push((due, to, frame, nframes));
+                }
+            },
+        }
+    }
+
+    /// Flush chaos-delayed frames whose extra latency has elapsed.
+    /// Driven from both backends' heartbeat paths.
+    fn flush_due_delayed(&self) {
+        let now = Instant::now();
+        let due: Vec<(Instant, NodeId, Bytes, u64)> = {
+            let mut d = self.delayed.lock();
+            if d.is_empty() {
+                return;
+            }
+            let (due, keep) = d.drain(..).partition(|(at, ..)| *at <= now);
+            *d = keep;
+            due
+        };
+        for (_, to, frame, nframes) in due {
+            self.queue_frame_raw(to, frame, nframes);
+        }
+    }
+
     /// Queue one already-framed buffer for `to`, stashing it when no
     /// route exists yet.
-    fn queue_frame(&self, to: NodeId, frame: Bytes, nframes: u64) {
+    fn queue_frame_raw(&self, to: NodeId, frame: Bytes, nframes: u64) {
         let conn = self.routes.read().get(&to).cloned();
         match conn {
             Some(c) if c.alive.load(Ordering::Acquire) => match c.out.push(frame) {
@@ -448,10 +498,14 @@ impl Inner {
                 }
                 routes.insert(n, conn.clone());
                 known.insert(n);
-                // The grace window starts now, not at round 0 — this is
-                // exactly the late-joiner case the failure monitor's
-                // first-known tracking exists for.
-                monitor.note_known(n, round);
+                // A handshake is proof of life: restart the grace window
+                // *now* and forget any recorded heartbeat history. This
+                // covers both the late joiner (first-known tracking) and
+                // the suspected peer that reconnects — whose restarted
+                // beacon sequence would otherwise never shed suspicion,
+                // leaving the all-remotes-down termination cut
+                // satisfiable under a live peer.
+                monitor.reconnected(n, round);
                 perma.remove(&n);
                 departed.remove(&n);
             }
@@ -603,7 +657,7 @@ impl PacketFabric for NetHandle {
         }
         self.inner.stats.data_out.fetch_add(1, Ordering::Relaxed);
         let frame = codec::encode_frame(from, to, &payload);
-        self.inner.queue_frame(to, frame, 1);
+        self.inner.queue_frame(from, to, frame, 1);
     }
 
     fn send_batch(&self, from: NodeId, to: NodeId, batch: &mut Vec<Bytes>) {
@@ -624,8 +678,57 @@ impl PacketFabric for NetHandle {
         for p in batch.drain(..) {
             codec::encode_frame_into(from, to, &p, &mut buf);
         }
-        self.inner.queue_frame(to, buf.freeze(), n);
+        self.inner.queue_frame(from, to, buf.freeze(), n);
     }
+}
+
+/// The I/O a backend choice resolved to, built before any thread is
+/// spawned. Holding the prepared state in one value means the spawn step
+/// can only consume what preparation produced — the historical
+/// prepare/spawn mismatch (an `Event` spawn reaching for I/O that was
+/// never prepared) is unrepresentable rather than a runtime abort.
+enum Prepared {
+    #[cfg(target_os = "linux")]
+    Event {
+        io: netloop::NetIo,
+        wake: Arc<dyn Wake>,
+    },
+    Threads(Option<TcpListener>),
+}
+
+/// Spawn the thread-per-peer baseline's service threads: the accept
+/// loop, one connector per peer address, and the heartbeat beacon.
+fn spawn_thread_backend(
+    inner: &Arc<Inner>,
+    listener: Option<TcpListener>,
+    threads: &mut Vec<std::thread::JoinHandle<()>>,
+) -> Result<(), String> {
+    if let Some(l) = listener {
+        let inner2 = inner.clone();
+        threads.push(
+            std::thread::Builder::new()
+                .name("tyco-accept".into())
+                .spawn(move || accept_loop(inner2, l))
+                .map_err(|e| format!("spawn accept thread: {e}"))?,
+        );
+    }
+    for (i, addr) in inner.cfg.peers.clone().into_iter().enumerate() {
+        let inner2 = inner.clone();
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("tyco-dial-{i}"))
+                .spawn(move || connector_loop(inner2, addr))
+                .map_err(|e| format!("spawn connector thread: {e}"))?,
+        );
+    }
+    let inner2 = inner.clone();
+    threads.push(
+        std::thread::Builder::new()
+            .name("tyco-heartbeat".into())
+            .spawn(move || heartbeat_loop(inner2))
+            .map_err(|e| format!("spawn heartbeat thread: {e}"))?,
+    );
+    Ok(())
 }
 
 /// A running TCP transport: one `tyco-net` event-loop thread (default),
@@ -651,35 +754,39 @@ impl Transport {
             None => None,
         };
         let local_addr = listener.as_ref().and_then(|l| l.local_addr().ok());
-        #[cfg(not(target_os = "linux"))]
-        let listener = listener;
-        #[cfg(target_os = "linux")]
-        let mut listener = listener;
+
+        // Resolve the backend choice into prepared I/O *before* spawning
+        // anything, so that (a) a poller or wake-pipe failure surfaces as
+        // a start error — never a net thread that exits at birth while
+        // the transport reports success — and (b) the spawn step below
+        // consumes exactly what was prepared: there is no second
+        // backend-match whose arms could disagree with this one.
+        //
         // The event backend's poller hand-declares Linux syscall
         // constants (see `crate::poller`); everywhere else the
         // thread-per-peer architecture carries the wire.
         #[cfg(target_os = "linux")]
-        let backend = cfg.backend;
-        #[cfg(not(target_os = "linux"))]
-        let backend = IoBackend::Threads;
-
-        // Build the poller and register the wake pipe and listener
-        // *before* spawning anything: a failure here must surface as a
-        // start error, not as a net thread that exits at birth while the
-        // transport reports success.
-        #[cfg(target_os = "linux")]
-        let (net_io, net_wake) = match backend {
+        let prepared = match cfg.backend {
             IoBackend::Event => {
                 let (wake_rx, wake_tx) =
                     crate::poller::wake_pipe().map_err(|e| format!("wake pipe: {e}"))?;
-                let io = netloop::prepare(listener.take(), wake_rx)
+                let io = netloop::prepare(listener, wake_rx)
                     .map_err(|e| format!("net event loop: {e}"))?;
-                (Some(io), Some(Arc::new(wake_tx) as Arc<dyn Wake>))
+                Prepared::Event {
+                    io,
+                    wake: Arc::new(wake_tx) as Arc<dyn Wake>,
+                }
             }
-            IoBackend::Threads => (None, None),
+            IoBackend::Threads => Prepared::Threads(listener),
         };
         #[cfg(not(target_os = "linux"))]
-        let net_wake: Option<Arc<dyn Wake>> = None;
+        let prepared = Prepared::Threads(listener);
+
+        let net_wake: Option<Arc<dyn Wake>> = match &prepared {
+            #[cfg(target_os = "linux")]
+            Prepared::Event { wake, .. } => Some(wake.clone()),
+            Prepared::Threads(_) => None,
+        };
 
         let stale = cfg.stale_periods;
         let inner = Arc::new(Inner {
@@ -701,14 +808,15 @@ impl Transport {
             net_wake,
             dirty: Mutex::new(Vec::new()),
             activity: Mutex::new(None),
+            chaos: RwLock::new(None),
+            delayed: Mutex::new(Vec::new()),
             cfg,
         });
         let mut threads = Vec::new();
-        match backend {
+        match prepared {
             #[cfg(target_os = "linux")]
-            IoBackend::Event => {
+            Prepared::Event { io, .. } => {
                 let inner2 = inner.clone();
-                let io = net_io.expect("net io prepared for event backend");
                 threads.push(
                     std::thread::Builder::new()
                         .name("tyco-net".into())
@@ -716,37 +824,7 @@ impl Transport {
                         .map_err(|e| format!("spawn net thread: {e}"))?,
                 );
             }
-            #[cfg(not(target_os = "linux"))]
-            IoBackend::Event => unreachable!("event backend forced off above"),
-            IoBackend::Threads => {
-                if let Some(l) = listener {
-                    let inner2 = inner.clone();
-                    threads.push(
-                        std::thread::Builder::new()
-                            .name("tyco-accept".into())
-                            .spawn(move || accept_loop(inner2, l))
-                            .map_err(|e| format!("spawn accept thread: {e}"))?,
-                    );
-                }
-                for (i, addr) in inner.cfg.peers.clone().into_iter().enumerate() {
-                    let inner2 = inner.clone();
-                    threads.push(
-                        std::thread::Builder::new()
-                            .name(format!("tyco-dial-{i}"))
-                            .spawn(move || connector_loop(inner2, addr))
-                            .map_err(|e| format!("spawn connector thread: {e}"))?,
-                    );
-                }
-                {
-                    let inner2 = inner.clone();
-                    threads.push(
-                        std::thread::Builder::new()
-                            .name("tyco-heartbeat".into())
-                            .spawn(move || heartbeat_loop(inner2))
-                            .map_err(|e| format!("spawn heartbeat thread: {e}"))?,
-                    );
-                }
-            }
+            Prepared::Threads(listener) => spawn_thread_backend(&inner, listener, &mut threads)?,
         }
         Ok(Transport {
             inner,
@@ -805,6 +883,14 @@ impl Transport {
     /// exhausted reconnects).
     pub fn suspects(&self) -> Vec<NodeId> {
         self.inner.suspects()
+    }
+
+    /// Install (or clear) the chaos fault-injection hook on outbound
+    /// traffic. In distributed runs chaos lives here, at the wire, and
+    /// the node-local fabric stays clean — a packet faces one roll of
+    /// the dice, not one per hop.
+    pub fn set_chaos(&self, chaos: Option<Arc<ChaosState>>) {
+        *self.inner.chaos.write() = chaos;
     }
 
     pub fn report(&self) -> TransportReport {
@@ -1102,17 +1188,31 @@ fn heartbeat_loop(inner: Arc<Inner>) {
         if inner.stop.load(Ordering::Acquire) {
             return;
         }
+        inner.flush_due_delayed();
+        let chaos = inner.chaos.read().clone();
         let seq = inner.hb_seq.fetch_add(1, Ordering::Relaxed) + 1;
         let mut frames = Vec::with_capacity(inner.cfg.local_nodes.len());
         for &n in &inner.cfg.local_nodes {
             let p = Packet::Heartbeat { node: n, seq };
-            frames.push(codec::encode_frame(n, CONTROL_NODE, &codec::encode(&p)));
+            frames.push((n, codec::encode_frame(n, CONTROL_NODE, &codec::encode(&p))));
         }
         for conn in inner.conns.lock().iter() {
             if !conn.alive.load(Ordering::Acquire) {
                 continue;
             }
-            for f in &frames {
+            let peer_nodes = match &chaos {
+                Some(_) => conn.nodes.lock().clone(),
+                None => Vec::new(),
+            };
+            for (n, f) in &frames {
+                if let Some(ch) = &chaos {
+                    // A partition that cuts every announced peer node
+                    // silences the beacon too — that is what drives the
+                    // failure monitor during a partition soak.
+                    if ch.hb_blocked(*n, &peer_nodes) {
+                        continue;
+                    }
+                }
                 if conn.out.push(f.clone()).is_some() {
                     inner.stats.frames_out.fetch_add(1, Ordering::Relaxed);
                 } else {

@@ -294,6 +294,7 @@ fn nameservice_failover_with_replicas() {
     c.run_deterministic(RunLimits {
         max_instrs: 10_000_000,
         fuel_per_slice: 256,
+        ..RunLimits::default()
     });
     // Kill the primary; its daemon stops and traffic to it is dropped.
     c.kill_node(n0);
@@ -308,6 +309,7 @@ fn nameservice_failover_with_replicas() {
     let report = c.run_deterministic(RunLimits {
         max_instrs: 50_000_000,
         fuel_per_slice: 256,
+        ..RunLimits::default()
     });
     assert_ne!(c.ns_primary_node(), n0, "failover must have happened");
     assert_eq!(report.output("client"), ["42".to_string()]);
@@ -386,6 +388,7 @@ fn seti_runs_distributed() {
     let report = c.run_deterministic(RunLimits {
         max_instrs: 200_000,
         fuel_per_slice: 512,
+        ..RunLimits::default()
     });
     let client = report.output("client");
     assert_eq!(client.first().map(String::as_str), Some("installed"));

@@ -340,3 +340,188 @@ fn capacity_bound_is_honored_with_eviction() {
     assert_eq!(r.daemon.stats.cache.insertions, 2);
     assert_eq!(r.daemon.stats.cache.evictions, 1);
 }
+
+// -- refill retries and the restart hole -------------------------------------
+
+use ditico_rt::daemon::{REFILL_MAX_ASKS, REFILL_RETRY_TICKS};
+use ditico_rt::{ChaosEvent, ChaosPlan, ChaosSpec};
+
+/// Drain every frame the rig's peer has received, decoded.
+fn drain_peer(r: &Rig) -> Vec<Packet> {
+    let mut out = Vec::new();
+    while let Ok((_, bytes)) = r.peer_rx.try_recv() {
+        out.push(codec::decode(bytes).unwrap());
+    }
+    out
+}
+
+#[test]
+fn lost_refill_is_retried_on_idle_ticks() {
+    let mut r = rig();
+    let (digest, obj) = shipped_obj();
+    inject(
+        &r,
+        &Packet::ObjRef {
+            dest: dest(),
+            digest,
+            table: 0,
+            captured: vec![],
+        },
+    );
+    r.daemon.pump();
+    assert_eq!(drain_peer(&r).len(), 1, "first NeedCode goes out eagerly");
+    // The answer is lost. The old protocol never asked again; the retry
+    // clock must re-ask after REFILL_RETRY_TICKS idle ticks — not before.
+    for _ in 0..REFILL_RETRY_TICKS - 1 {
+        r.daemon.tick_refills();
+    }
+    assert!(drain_peer(&r).is_empty(), "no premature re-ask");
+    assert!(r.daemon.tick_refills(), "the retry fires on tick N");
+    let resent = drain_peer(&r);
+    assert_eq!(resent.len(), 1);
+    assert!(matches!(resent[0], Packet::NeedCode { .. }));
+    // The second ask is answered; the parked packet is delivered.
+    inject(
+        &r,
+        &Packet::HaveCode {
+            to: NodeId(0),
+            digest,
+            code: obj.code.clone(),
+        },
+    );
+    r.daemon.pump();
+    assert!(!r.daemon.has_pending_refills());
+    assert!(matches!(
+        r.site_rx.try_recv(),
+        Ok(RtIncoming::Vm(Incoming::Obj { .. }))
+    ));
+}
+
+#[test]
+fn refill_gives_up_after_bounded_asks_and_compensates() {
+    let mut r = rig();
+    let (digest, _) = shipped_obj();
+    inject(
+        &r,
+        &Packet::ObjRef {
+            dest: dest(),
+            digest,
+            table: 0,
+            captured: vec![],
+        },
+    );
+    r.daemon.pump();
+    drain_peer(&r);
+    // Nobody ever answers. After REFILL_MAX_ASKS fruitless asks the
+    // parked packet must be rejected, not parked forever.
+    let mut reasks = 0;
+    for _ in 0..REFILL_MAX_ASKS * REFILL_RETRY_TICKS + REFILL_RETRY_TICKS {
+        r.daemon.tick_refills();
+        reasks += drain_peer(&r).len();
+        if !r.daemon.has_pending_refills() {
+            break;
+        }
+    }
+    assert_eq!(
+        reasks as u32,
+        REFILL_MAX_ASKS - 1,
+        "bounded re-asks on top of the eager first one"
+    );
+    assert!(!r.daemon.has_pending_refills(), "gave up, nothing parked");
+    assert_eq!(r.daemon.stats.rejected, 1, "the parked packet was dropped");
+    assert!(r.site_rx.try_recv().is_err(), "nothing was delivered");
+}
+
+#[test]
+fn restarted_daemon_reconverges_on_digest_only_shipment() {
+    let mut r = rig();
+    let (digest, obj) = shipped_obj();
+    // First shipment lands in full and is cached.
+    inject(
+        &r,
+        &Packet::Obj {
+            dest: dest(),
+            digest,
+            obj: obj.clone(),
+        },
+    );
+    r.daemon.pump();
+    assert_eq!(r.daemon.code_cache_len(), 1);
+    r.site_rx.try_recv().expect("first delivery");
+
+    // The daemon process bounces: cache gone, but the sender's dedup
+    // bookkeeping still believes this node holds the digest.
+    r.daemon.simulate_restart();
+    assert_eq!(r.daemon.code_cache_len(), 0, "restart empties the store");
+
+    // The stale sender ships digest-only. Pre-fix this was rejected or
+    // parked forever; now it must negotiate a refill and converge.
+    inject(
+        &r,
+        &Packet::ObjRef {
+            dest: dest(),
+            digest,
+            table: 0,
+            captured: vec![],
+        },
+    );
+    r.daemon.pump();
+    assert_eq!(r.daemon.stats.cache.misses, 1, "restart hole detected");
+    let asks = drain_peer(&r);
+    assert!(
+        asks.iter().any(|p| matches!(p, Packet::NeedCode { .. })),
+        "the restarted node asks for the bytes back: {asks:?}"
+    );
+    inject(
+        &r,
+        &Packet::HaveCode {
+            to: NodeId(0),
+            digest,
+            code: obj.code,
+        },
+    );
+    r.daemon.pump();
+    assert_eq!(r.daemon.code_cache_len(), 1, "cache repopulated");
+    assert!(matches!(
+        r.site_rx.try_recv(),
+        Ok(RtIncoming::Vm(Incoming::Obj { .. }))
+    ));
+}
+
+#[test]
+fn restart_between_shipments_converges_at_cluster_level() {
+    // Baseline: how long does the undisturbed SHIP_TWICE run take?
+    let baseline = ship_twice_cluster().run_deterministic(RunLimits::default());
+    assert!(baseline.quiescent);
+    let v = baseline.virtual_ns;
+    assert!(v > 0);
+
+    // Bounce the client's daemon at some point mid-run. The exact
+    // fraction that lands between the two shipments depends on link
+    // timing, so probe a few; the regression holds if at least one
+    // placement yields a complete run that needed a refill (misses > 0 ⇒
+    // the restart emptied the cache between the dedup'd shipments).
+    let mut converged_with_refill = false;
+    for num in [3u64, 4, 5, 6] {
+        let mut c = ship_twice_cluster();
+        let plan =
+            ChaosPlan::new(ChaosSpec::quiet(1)).at(v * num / 8, ChaosEvent::RestartNode(NodeId(1)));
+        c.set_chaos(plan).unwrap();
+        let report = c.run_deterministic(RunLimits::default());
+        let chaos = report.chaos.expect("chaos report present");
+        assert_eq!(chaos.restarts, 1, "the restart fired");
+        assert!(
+            report.errors.is_empty(),
+            "restart must never crash a site: {:?}",
+            report.errors
+        );
+        let done = report.output("client").last().map(String::as_str) == Some("done");
+        if done && report.cache_totals().misses > 0 {
+            converged_with_refill = true;
+        }
+    }
+    assert!(
+        converged_with_refill,
+        "no restart placement reconverged via a NeedCode refill"
+    );
+}

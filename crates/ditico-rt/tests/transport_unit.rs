@@ -177,3 +177,133 @@ fn unreachable_peer_exhausts_retries_and_terminates() {
     assert_eq!(wire.peers_failed, 1, "{wire:?}");
     assert!(!report.quiescent);
 }
+
+/// Spawn a fake peer that serves `node` on `listener`: accepts once, does
+/// the Hello handshake, then runs `script` with the socket.
+fn fake_peer(
+    listener: TcpListener,
+    node: NodeId,
+    script: impl FnOnce(std::net::TcpStream) + Send + 'static,
+) -> std::thread::JoinHandle<()> {
+    std::thread::spawn(move || {
+        let (mut sock, _) = listener.accept().expect("accept");
+        drop(listener);
+        let hello = Packet::Hello {
+            version: WIRE_VERSION,
+            nodes: vec![node],
+        };
+        let frame = codec::encode_frame(node, CONTROL_NODE, &codec::encode(&hello));
+        sock.write_all(&frame).expect("write hello");
+        script(sock);
+    })
+}
+
+fn heartbeat_frame(node: NodeId, seq: u64) -> bytes::Bytes {
+    let hb = Packet::Heartbeat { node, seq };
+    codec::encode_frame(node, CONTROL_NODE, &codec::encode(&hb))
+}
+
+/// Keep a socket readable (so the local writer never blocks) while
+/// sending `n` heartbeats at `every`, then return the socket.
+fn beat(
+    mut sock: std::net::TcpStream,
+    node: NodeId,
+    from_seq: u64,
+    n: u64,
+    every: Duration,
+) -> std::net::TcpStream {
+    sock.set_nonblocking(true).expect("nonblocking");
+    let mut sink = [0u8; 4096];
+    for seq in from_seq..from_seq + n {
+        sock.write_all(&heartbeat_frame(node, seq))
+            .expect("write hb");
+        let deadline = std::time::Instant::now() + every;
+        while std::time::Instant::now() < deadline {
+            match sock.read(&mut sink) {
+                Ok(0) => return sock,
+                _ => std::thread::sleep(Duration::from_millis(2)),
+            }
+        }
+    }
+    sock
+}
+
+/// The heal-after-suspect regression: a peer that goes silent long enough
+/// to be suspected, then *reconnects* (fresh socket, heartbeat sequence
+/// restarting from 1) must have its suspicion cleared — the final report
+/// carries no suspects. Before the fix the monitor kept the stale
+/// last-seen sequence across the reconnect, so the healed peer stayed
+/// suspected forever and a healed cluster reported phantom failures.
+#[test]
+fn suspected_peer_that_reconnects_is_healed() {
+    // Node 0: the bouncing peer. Node 1: a steady peer whose liveness
+    // keeps the run from terminating early via all-remotes-down while
+    // node 0 is in its silent window.
+    let bounce_l = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let bounce_addr = bounce_l.local_addr().expect("addr");
+    let steady_l = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let steady_addr = steady_l.local_addr().expect("addr");
+
+    let bounce = fake_peer(bounce_l, NodeId(0), move |sock| {
+        // Heartbeat briefly, then go silent past the stale threshold
+        // (3 × 20 ms) while holding the socket open, then hang up.
+        let sock = beat(sock, NodeId(0), 1, 5, Duration::from_millis(20));
+        std::thread::sleep(Duration::from_millis(400));
+        drop(sock);
+        // Stay down briefly so the transport's immediate redial fails and
+        // the comeback is a *counted* reconnect, not a same-instant
+        // re-dial (the event loop only counts retried dials).
+        std::thread::sleep(Duration::from_millis(150));
+        // The transport redials; this is the reconnect under test. The
+        // heartbeat sequence starts over, as a restarted daemon's would.
+        let l = TcpListener::bind(bounce_addr).expect("rebind");
+        let (mut sock, _) = l.accept().expect("re-accept");
+        let hello = Packet::Hello {
+            version: WIRE_VERSION,
+            nodes: vec![NodeId(0)],
+        };
+        let frame = codec::encode_frame(NodeId(0), CONTROL_NODE, &codec::encode(&hello));
+        sock.write_all(&frame).expect("write hello");
+        beat(sock, NodeId(0), 1, 300, Duration::from_millis(20));
+    });
+    let steady = fake_peer(steady_l, NodeId(1), |sock| {
+        beat(sock, NodeId(1), 1, 300, Duration::from_millis(20));
+    });
+
+    let mut c = Cluster::new(FabricMode::Ideal, LinkProfile::ideal(), 1);
+    c.add_node();
+    c.add_node();
+    c.add_node();
+    c.add_remote_site("a", NodeId(0));
+    c.add_remote_site("b", NodeId(1));
+    c.add_site_src(NodeId(2), "client", "print(1)").unwrap();
+    let report = c
+        .run_distributed(
+            TransportConfig {
+                local_nodes: vec![NodeId(2)],
+                peers: vec![bounce_addr, steady_addr],
+                hb_period: Duration::from_millis(20),
+                stale_periods: 3,
+                max_retries: 50,
+                backoff_base: Duration::from_millis(10),
+                backoff_cap: Duration::from_millis(50),
+                // Long enough for the whole bounce to play out before the
+                // idle exit; short enough to keep the test quick.
+                idle_grace: Duration::from_secs(2),
+                ..TransportConfig::default()
+            },
+            Duration::from_secs(30),
+        )
+        .expect("client run");
+
+    assert_eq!(report.output("client"), ["1".to_string()]);
+    let wire = report.transport.expect("wire counters");
+    assert!(wire.reconnects >= 1, "the bounce really dropped: {wire:?}");
+    assert!(
+        report.suspects.is_empty(),
+        "reconnected peer must not stay suspected: {:?}",
+        report.suspects
+    );
+    bounce.join().expect("bounce peer");
+    steady.join().expect("steady peer");
+}

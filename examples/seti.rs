@@ -56,6 +56,7 @@ fn main() {
     let report = built.run_deterministic(RunLimits {
         max_instrs: 400_000,
         fuel_per_slice: 512,
+        ..RunLimits::default()
     });
 
     for w in 0..workers {

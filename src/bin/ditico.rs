@@ -87,12 +87,15 @@ fn print_usage() {
          \x20 disasm  <file.tyco>              disassemble an image\n\
          \x20 run     <file.dity|file.tyco>    run a single site to quiescence\n\
          \x20 net     <spec.net> [--threaded] [--workers N] [--wall SECS] [--stats]\n\
-         \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 [--code-cache N] [--shake]\n\
+         \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 [--code-cache N] [--shake] [--chaos-seed N]\n\
+         \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 [--chaos-drop N] [--chaos-dup N] [--chaos-delay N]\n\
          \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 run a network description (--threaded uses the\n\
          \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 M:N worker-pool scheduler; --stats prints per-site\n\
          \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 SHIPM/SHIPO/FETCH and scheduler counters;\n\
          \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 --code-cache sets the per-node code store capacity\n\
-         \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 in images, 0 disables caching/dedup/coalescing)\n\
+         \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 in images, 0 disables caching/dedup/coalescing;\n\
+         \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 --chaos-* injects seeded packet faults, rates in\n\
+         \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 per-mille, extra latency via --chaos-delay-ns)\n\
          \x20 net     <spec.net> --node LIST --peers ADDRS [--listen ADDR]\n\
          \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 [--wall SECS] [--hb-ms N] [--retries N] [--stats]\n\
          \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 run one process of a multi-process cluster over TCP\n\
@@ -471,6 +474,26 @@ fn num_flag(args: &[String], name: &str) -> Result<Option<u64>, String> {
     }
 }
 
+/// Parse the `--chaos-*` fault-injection flags into a plan, or `None` when
+/// no chaos flag was given. Rates are per-mille of packets; structural
+/// events (partitions, kills) are only reachable from the library API.
+fn chaos_from_args(args: &[String]) -> Result<Option<ditico::ChaosPlan>, String> {
+    let seed = num_flag(args, "--chaos-seed")?;
+    let drop = num_flag(args, "--chaos-drop")?;
+    let dup = num_flag(args, "--chaos-dup")?;
+    let delay = num_flag(args, "--chaos-delay")?;
+    let delay_ns = num_flag(args, "--chaos-delay-ns")?;
+    if seed.is_none() && drop.is_none() && dup.is_none() && delay.is_none() && delay_ns.is_none() {
+        return Ok(None);
+    }
+    let mut spec = ditico::ChaosSpec::quiet(seed.unwrap_or(0));
+    spec.drop_per_mille = drop.unwrap_or(0) as u32;
+    spec.dup_per_mille = dup.unwrap_or(0) as u32;
+    spec.delay_per_mille = delay.unwrap_or(0) as u32;
+    spec.delay_ns = delay_ns.unwrap_or(1_000_000);
+    Ok(Some(ditico::ChaosPlan::new(spec)))
+}
+
 /// Print a finished run's outputs and summary; returns an error when any
 /// site failed so the process exits non-zero.
 fn print_report(report: &RunReport, show_stats: bool) -> Result<(), String> {
@@ -539,6 +562,20 @@ fn print_report(report: &RunReport, show_stats: bool) -> Result<(), String> {
             t.dropped_perma
         );
     }
+    if let Some(c) = &report.chaos {
+        eprintln!(
+            "chaos: {} dropped, {} duplicated, {} delayed, {} partition drops; \
+             {} partitions / {} heals, {} kills / {} restarts",
+            c.dropped,
+            c.duplicated,
+            c.delayed,
+            c.partition_drops,
+            c.partitions,
+            c.heals,
+            c.kills,
+            c.restarts
+        );
+    }
     if show_stats {
         let mut lexemes: Vec<&String> = report.stats.keys().collect();
         lexemes.sort();
@@ -571,6 +608,7 @@ fn print_report(report: &RunReport, show_stats: bool) -> Result<(), String> {
 fn cmd_net(args: &[String]) -> Result<(), String> {
     const USAGE: &str =
         "usage: ditico net <spec.net> [--threaded] [--workers N] [--wall SECS] [--stats]\n\
+         \x20      [--chaos-seed N] [--chaos-drop N] [--chaos-dup N] [--chaos-delay N]\n\
          \x20      ditico net <spec.net> --node LIST --peers ADDRS [--listen ADDR] …";
     let path = args.first().ok_or(USAGE)?;
     // Any transport flag switches to the multi-process runner.
@@ -597,6 +635,9 @@ fn cmd_net(args: &[String]) -> Result<(), String> {
     }
     if args.iter().any(|a| a == "--shake") {
         env = env.shake(true);
+    }
+    if let Some(plan) = chaos_from_args(args)? {
+        env = env.chaos(plan);
     }
     for s in &sites {
         env = match s.pin {
@@ -705,6 +746,9 @@ fn cmd_distributed(args: &[String], serve: bool) -> Result<(), String> {
     }
     if args.iter().any(|a| a == "--shake") {
         env = env.shake(true);
+    }
+    if let Some(plan) = chaos_from_args(args)? {
+        env = env.chaos(plan);
     }
     for s in &sites {
         env = match s.pin {

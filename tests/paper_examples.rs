@@ -150,6 +150,7 @@ fn section4_seti() {
     let report = built.run_deterministic(RunLimits {
         max_instrs: 100_000,
         fuel_per_slice: 512,
+        ..RunLimits::default()
     });
     let out = report.output("client");
     assert_eq!(out.first().map(String::as_str), Some("installed"));
