@@ -132,6 +132,8 @@ pub struct Env {
     shake: bool,
     /// Seeded fault-injection plan installed at build time.
     chaos: Option<ChaosPlan>,
+    /// Sharded name service: ring size and lease TTL (None: centralized).
+    ns_shards: Option<(usize, u64)>,
 }
 
 impl Env {
@@ -144,7 +146,18 @@ impl Env {
             code_cache: None,
             shake: false,
             chaos: None,
+            ns_shards: None,
         }
+    }
+
+    /// Shard the name service over the first `shards` nodes by consistent
+    /// hashing, with each shard replicated to its ring successor and
+    /// resolved bindings lease-cached at importing nodes for `lease_ms`
+    /// milliseconds (0 keeps sharding but disables the cache). The
+    /// default — no call — is the paper's centralized service.
+    pub fn ns_shards(mut self, shards: usize, lease_ms: u64) -> Env {
+        self.ns_shards = Some((shards, lease_ms.saturating_mul(1_000_000)));
+        self
     }
 
     /// Set the worker-pool size used by threaded runs (the M:N site
@@ -304,6 +317,11 @@ impl Env {
         }
         if let Some(plan) = self.chaos {
             cluster.set_chaos(plan).map_err(EnvError::Chaos)?;
+        }
+        if let Some((shards, lease_ns)) = self.ns_shards {
+            // Before add_node/add_site: new nodes then self-configure and
+            // site registrations reach every shard's site table.
+            cluster.set_ns_sharding(shards.min(self.topology.nodes.max(1)), lease_ns);
         }
         let nodes: Vec<NodeId> = (0..self.topology.nodes.max(1))
             .map(|_| cluster.add_node())

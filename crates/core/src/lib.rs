@@ -48,5 +48,5 @@ pub use tyco_vm;
 
 pub use ditico_rt::{
     parse_peer_list, ChaosEvent, ChaosPlan, ChaosReport, ChaosSpec, Cluster, FabricMode, IoBackend,
-    LinkProfile, RunLimits, RunReport, TransportConfig, TransportReport,
+    LinkProfile, NsStats, RunLimits, RunReport, TransportConfig, TransportReport,
 };

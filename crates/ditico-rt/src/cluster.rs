@@ -12,6 +12,7 @@ use crate::chaos::{ChaosEvent, ChaosPlan, ChaosReport, ChaosState};
 use crate::daemon::{CodeCacheStats, Daemon, DaemonStats, TermCounters, DEFAULT_CODE_CACHE};
 use crate::fabric::{Fabric, FabricMode, LinkProfile};
 use crate::failure::FailureMonitor;
+use crate::nameservice::{NsShardMap, NsStats};
 use crate::sched::{SchedConfig, SchedStats, Shared, SiteWake, Worker};
 use crate::site::{RtIncoming, RtPort, Site, SiteInterface};
 use crate::termination::{Snapshot, TerminationDetector};
@@ -74,6 +75,9 @@ pub struct RunReport {
     /// installed). Every injected event — drop, duplicate, delay,
     /// partition block, kill, restart — is counted here.
     pub chaos: Option<ChaosReport>,
+    /// Shard-map read failovers: lookups routed to a follower because the
+    /// owning shard was suspected down (sharded name service only).
+    pub ns_failovers: u64,
 }
 
 impl RunReport {
@@ -108,6 +112,16 @@ impl RunReport {
             t.insertions += d.cache.insertions;
             t.evictions += d.cache.evictions;
             t.digest_mismatches += d.cache.digest_mismatches;
+        }
+        t
+    }
+
+    /// Name-service counters summed across every node's daemon: shard
+    /// routing, lease-cache traffic, invalidations and replication.
+    pub fn ns_totals(&self) -> NsStats {
+        let mut t = NsStats::default();
+        for d in &self.daemon_stats {
+            t.add(&d.ns);
         }
         t
     }
@@ -177,6 +191,14 @@ pub struct Cluster {
     shake: bool,
     /// Installed fault-injection plan (see [`Cluster::set_chaos`]).
     chaos: Option<Arc<ChaosState>>,
+    /// Ring size of the sharded name service (0 = centralized).
+    ns_shards: usize,
+    /// The shared shard map when sharding is on: consistent-hash
+    /// ownership plus the live down-set routing reads to followers.
+    shard_map: Option<Arc<NsShardMap>>,
+    /// Modeled per-request resolver cost at name-service hosts (clock
+    /// ns; 0 = instantaneous). See [`Cluster::set_ns_service`].
+    ns_service_ns: u64,
 }
 
 impl Cluster {
@@ -198,6 +220,43 @@ impl Cluster {
             code_cache: DEFAULT_CODE_CACHE,
             shake: false,
             chaos: None,
+            ns_shards: 0,
+            shard_map: None,
+            ns_service_ns: 0,
+        }
+    }
+
+    /// Switch the cluster to the **sharded** name service: the first
+    /// `shards` nodes each own a consistent-hash partition of the export
+    /// table, replicate it to their ring successor, and grant importing
+    /// nodes `lease_ns`-TTL cached bindings (0 disables caching). Call
+    /// before adding sites so registrations land in every shard's site
+    /// table; existing nodes are retrofitted.
+    pub fn set_ns_sharding(&mut self, shards: usize, lease_ns: u64) {
+        let shards = shards.max(1);
+        let map = Arc::new(NsShardMap::new(shards, lease_ns));
+        self.ns_shards = shards;
+        for cell in &mut self.nodes {
+            cell.daemon.enable_ns_sharding(map.clone());
+        }
+        self.shard_map = Some(map);
+    }
+
+    /// The shard map when the sharded name service is on.
+    pub fn shard_map(&self) -> Option<Arc<NsShardMap>> {
+        self.shard_map.clone()
+    }
+
+    /// Model a per-request resolver cost at every name-service host:
+    /// each `NsRegister`/`NsImport` occupies the serving daemon for
+    /// `service_ns` of virtual time (0, the default, serves instantly).
+    /// Meaningful in deterministic virtual-time runs, where it makes the
+    /// centralized server's serial bind cost — the paper's bottleneck —
+    /// visible in the makespan. Applies to existing and future nodes.
+    pub fn set_ns_service(&mut self, service_ns: u64) {
+        self.ns_service_ns = service_ns;
+        for cell in &mut self.nodes {
+            cell.daemon.set_ns_service_ns(service_ns);
         }
     }
 
@@ -261,6 +320,10 @@ impl Cluster {
             self.term.clone(),
         );
         daemon.set_code_cache(self.code_cache);
+        if let Some(map) = &self.shard_map {
+            daemon.enable_ns_sharding(map.clone());
+        }
+        daemon.set_ns_service_ns(self.ns_service_ns);
         // Deliveries into this node's fabric inbox wake its daemon thread.
         self.fabric.set_waker(id, daemon.waker().clone());
         self.nodes.push(NodeCell {
@@ -296,10 +359,12 @@ impl Cluster {
             site: site_id,
             node,
         };
-        // Register the site in every name-service replica up front — the
+        // Register the site in every name-service host up front — the
         // paper: "site names are registered in a Network Name Service"
-        // and "all sites know its location in advance".
-        for cell in self.nodes.iter_mut().take(self.ns_replicas) {
+        // and "all sites know its location in advance". Centralized mode
+        // hosts on the first `ns_replicas` nodes; sharded mode on every
+        // ring node.
+        for cell in self.nodes.iter_mut() {
             if let Some(ns) = &mut cell.daemon.ns {
                 ns.register_site(lexeme, identity);
             }
@@ -348,7 +413,7 @@ impl Cluster {
             site: site_id,
             node,
         };
-        for cell in self.nodes.iter_mut().take(self.ns_replicas) {
+        for cell in self.nodes.iter_mut() {
             if let Some(ns) = &mut cell.daemon.ns {
                 ns.register_site(lexeme, identity);
             }
@@ -372,6 +437,13 @@ impl Cluster {
         if let Some(cell) = self.nodes.get_mut(node.0 as usize) {
             cell.dead = true;
         }
+        // Sharded name service: route the dead owner's keys to its
+        // follower at once, and re-issue imports parked at the corpse.
+        if let Some(map) = self.shard_map.clone() {
+            if map.mark_down(node) {
+                self.resend_all_pending_imports();
+            }
+        }
     }
 
     /// Restart a killed node, modelling a daemon process bounce: fabric
@@ -385,6 +457,24 @@ impl Cluster {
         if let Some(cell) = self.nodes.get_mut(node.0 as usize) {
             cell.dead = false;
             cell.daemon.simulate_restart();
+        }
+        // A healed owner serves its shard again. Writes it missed arrive
+        // via the follower's symmetric replication stream.
+        if let Some(map) = &self.shard_map {
+            map.mark_up(node);
+        }
+    }
+
+    /// Re-issue every live site's unresolved imports: they may be parked
+    /// at a node that just died or changed shard role.
+    fn resend_all_pending_imports(&mut self) {
+        for cell in &mut self.nodes {
+            if cell.dead {
+                continue;
+            }
+            for site in &mut cell.sites {
+                site.machine.port.resend_pending_imports();
+            }
         }
     }
 
@@ -431,7 +521,8 @@ impl Cluster {
                 cell.daemon.send_heartbeat();
             }
         }
-        if let Some(obs) = self.nodes.iter().take(self.ns_replicas).find(|c| !c.dead) {
+        let ns_hosts = self.ns_replicas.max(self.ns_shards);
+        if let Some(obs) = self.nodes.iter().take(ns_hosts).find(|c| !c.dead) {
             let beats: Vec<(NodeId, u64)> = obs
                 .daemon
                 .heartbeats
@@ -441,6 +532,27 @@ impl Cluster {
             for (n, s) in beats {
                 monitor.observe(n, s, hb_round);
             }
+        }
+        if self.shard_map.is_some() {
+            // Sharded mode: the shard map reacts to the monitor's
+            // verdicts — a suspected owner's keys fail over to its ring
+            // successor, a healed owner takes them back.
+            for i in 0..self.ns_shards {
+                let n = NodeId(i as u32);
+                let dead = self.nodes.get(i).is_none_or(|c| c.dead);
+                let down = dead || monitor.suspected(n, hb_round);
+                let map = self.shard_map.clone().expect("sharded");
+                if down {
+                    if map.mark_down(n) {
+                        // Imports parked at the suspect re-issue and
+                        // route to the follower.
+                        self.resend_all_pending_imports();
+                    }
+                } else {
+                    map.mark_up(n);
+                }
+            }
+            return;
         }
         let primary = self.ns_primary_node();
         if monitor.suspected(primary, hb_round) || self.nodes[primary.0 as usize].dead {
@@ -456,14 +568,7 @@ impl Cluster {
                 self.ns_primary.store(cand, Ordering::Relaxed);
                 // Lost requests were parked at the dead primary; sites
                 // re-issue them against the new primary.
-                for cell in &mut self.nodes {
-                    if cell.dead {
-                        continue;
-                    }
-                    for site in &mut cell.sites {
-                        site.machine.port.resend_pending_imports();
-                    }
-                }
+                self.resend_all_pending_imports();
                 return true;
             }
         }
@@ -495,6 +600,14 @@ impl Cluster {
                     self.heartbeat_cycle(&mut monitor, hb_round);
                 }
             }
+            // Lease TTLs and the modeled resolver run on the fabric's
+            // virtual clock here.
+            if self.shard_map.is_some() || self.ns_service_ns > 0 {
+                let now = self.fabric.now_ns();
+                for cell in &mut self.nodes {
+                    cell.daemon.set_now_ns(now);
+                }
+            }
             for cell in &mut self.nodes {
                 if !cell.dead {
                     progress |= cell.daemon.pump();
@@ -522,6 +635,17 @@ impl Cluster {
                 if let Some(c) = self.chaos.as_ref().and_then(|ch| ch.next_event_ns()) {
                     next = Some(next.map_or(c, |f| f.min(c)));
                 }
+                // A modeled resolver with a backlog finishes its current
+                // request at a known clock time; jump there so queued
+                // binds are always served.
+                for cell in &self.nodes {
+                    if cell.dead {
+                        continue;
+                    }
+                    if let Some(d) = cell.daemon.ns_backlog_next_due() {
+                        next = Some(next.map_or(d, |f| f.min(d)));
+                    }
+                }
                 if let Some(t) = next {
                     self.fabric
                         .advance_to(t.saturating_add(limits.idle_advance_ns));
@@ -547,7 +671,8 @@ impl Cluster {
                 // cycles so a dead name-service primary is noticed and
                 // failover (which re-injects imports) can happen.
                 if self.heartbeat_every.is_some()
-                    && forced_hb < self.stale_periods + self.ns_replicas as u64 + 2
+                    && forced_hb
+                        < self.stale_periods + self.ns_replicas.max(self.ns_shards) as u64 + 2
                 {
                     forced_hb += 1;
                     hb_round += 1;
@@ -636,8 +761,14 @@ impl Cluster {
                 // notify it when they hand it work, so an idle daemon
                 // costs no scheduler quanta. The timeout only bounds
                 // stop-flag latency.
+                let t0d = std::time::Instant::now();
+                let clocked = daemon.needs_clock();
                 let mut lull = 0u32;
                 while !stop_d.load(Ordering::Relaxed) {
+                    // Lease TTLs run on the wall clock under threads.
+                    if clocked {
+                        daemon.set_now_ns(t0d.elapsed().as_nanos() as u64);
+                    }
                     if daemon.pump() {
                         lull = 0;
                     } else {
@@ -687,8 +818,18 @@ impl Cluster {
             if let Some(ch) = &chaos {
                 for ev in ch.apply_due(t0.elapsed().as_nanos() as u64) {
                     match ev {
-                        ChaosEvent::KillNode(n) => self.fabric.kill_node(n),
-                        ChaosEvent::RestartNode(n) => self.fabric.revive_node(n),
+                        ChaosEvent::KillNode(n) => {
+                            self.fabric.kill_node(n);
+                            if let Some(m) = &self.shard_map {
+                                m.mark_down(n);
+                            }
+                        }
+                        ChaosEvent::RestartNode(n) => {
+                            self.fabric.revive_node(n);
+                            if let Some(m) = &self.shard_map {
+                                m.mark_up(n);
+                            }
+                        }
                         ChaosEvent::Partition { .. } | ChaosEvent::Heal => {}
                     }
                 }
@@ -736,6 +877,7 @@ impl Cluster {
         report.fabric_packets = self.fabric.stats.packets.load(Ordering::Relaxed);
         report.fabric_bytes = self.fabric.stats.bytes.load(Ordering::Relaxed);
         report.chaos = chaos.as_ref().map(|c| c.report());
+        report.ns_failovers = self.shard_map.as_ref().map_or(0, |m| m.failovers());
         // Quiescent iff the detector confirmed termination (as opposed to
         // hitting the wall-clock limit).
         report.quiescent = detected;
@@ -859,8 +1001,14 @@ impl Cluster {
             }
             let stop_d = stop.clone();
             daemon_threads.push(std::thread::spawn(move || {
+                let t0d = std::time::Instant::now();
+                let clocked = daemon.needs_clock();
                 let mut lull = 0u32;
                 while !stop_d.load(Ordering::Relaxed) {
+                    // Lease TTLs run on the wall clock under threads.
+                    if clocked {
+                        daemon.set_now_ns(t0d.elapsed().as_nanos() as u64);
+                    }
                     if daemon.pump() {
                         lull = 0;
                     } else {
@@ -910,14 +1058,31 @@ impl Cluster {
                         // Kills/restarts act on locally hosted nodes'
                         // fabric endpoints; peers under chaos run their
                         // own plan against their own clock.
-                        ChaosEvent::KillNode(n) => self.fabric.kill_node(n),
-                        ChaosEvent::RestartNode(n) => self.fabric.revive_node(n),
+                        ChaosEvent::KillNode(n) => {
+                            self.fabric.kill_node(n);
+                            if let Some(m) = &self.shard_map {
+                                m.mark_down(n);
+                            }
+                        }
+                        ChaosEvent::RestartNode(n) => {
+                            self.fabric.revive_node(n);
+                            if let Some(m) = &self.shard_map {
+                                m.mark_up(n);
+                            }
+                        }
                         ChaosEvent::Partition { .. } | ChaosEvent::Heal => {}
                     }
                 }
             }
             if t0.elapsed() > wall_limit {
                 break;
+            }
+            // The wire's failure verdicts steer shard-read failover the
+            // same way the in-process monitor does.
+            if let Some(m) = &self.shard_map {
+                for n in transport.suspects() {
+                    m.mark_down(n);
+                }
             }
             let counters = transport.data_counters();
             if counters != last_counters {
@@ -984,6 +1149,7 @@ impl Cluster {
         report.fabric_bytes = self.fabric.stats.bytes.load(Ordering::Relaxed);
         report.quiescent = quiesced;
         report.chaos = chaos.as_ref().map(|c| c.report());
+        report.ns_failovers = self.shard_map.as_ref().map_or(0, |m| m.failovers());
         transport.shutdown();
         report.transport = Some(transport.report());
         self.fabric.shutdown();
@@ -1179,6 +1345,7 @@ impl Cluster {
             fabric_packets: self.fabric.stats.packets.load(Ordering::Relaxed),
             fabric_bytes: self.fabric.stats.bytes.load(Ordering::Relaxed),
             chaos: self.chaos.as_ref().map(|c| c.report()),
+            ns_failovers: self.shard_map.as_ref().map_or(0, |m| m.failovers()),
             ..Default::default()
         };
         let mut quiescent = true;

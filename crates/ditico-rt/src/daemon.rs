@@ -27,7 +27,8 @@
 
 use crate::codecache::CodeCache;
 use crate::fabric::{FabricHandle, PacketFabric};
-use crate::nameservice::NameService;
+use crate::namecache::NameCache;
+use crate::nameservice::{kind_ok, stamp_ok, NameService, NsShardMap, NsStats};
 use crate::sched::SiteWake;
 use crate::site::RtIncoming;
 use crate::wake::Notify;
@@ -88,6 +89,9 @@ pub struct DaemonStats {
     pub rejected: u64,
     /// Content-addressed code-cache counters.
     pub cache: CodeCacheStats,
+    /// Name-service counters: shard routing, lease cache, failure
+    /// reasons by kind (see [`NsStats`]).
+    pub ns: NsStats,
 }
 
 /// Counters for the content-addressed code store and the fetch protocol
@@ -175,6 +179,30 @@ pub struct Daemon {
     ns_primary: Arc<AtomicUsize>,
     /// The local replica, when this node hosts one.
     pub ns: Option<NameService>,
+    /// Sharded name service: the cluster-shared shard map. `None` keeps
+    /// the paper's centralized routing.
+    shard: Option<Arc<NsShardMap>>,
+    /// Leased bindings held by this node (sharded mode).
+    name_cache: NameCache,
+    /// Daemon-side name-service counters: shard hops plus imports this
+    /// daemon answered from its lease cache (the name service and the
+    /// cache keep their own; [`Daemon::sync_ns_stats`] folds all three
+    /// into `stats.ns`).
+    ns_local: NsStats,
+    /// Lease clock: virtual fabric time in deterministic runs, wall
+    /// clock in threaded/distributed ones. Fed by the embedding.
+    now_ns: u64,
+    /// Modeled per-request service time of the hosted name service, in
+    /// clock ns. 0 (the default) serves requests instantaneously; a
+    /// positive value queues `NsRegister`/`NsImport` behind a single
+    /// modeled resolver — the discrete-event analogue of the serial CPU
+    /// cost the paper's central server pays per bind, which is what the
+    /// sharded service divides across owners.
+    ns_service_ns: u64,
+    /// Completion time of the request the modeled resolver is serving.
+    ns_busy_until: u64,
+    /// Requests waiting for the modeled resolver, FIFO with arrival time.
+    ns_backlog: std::collections::VecDeque<(u64, Packet)>,
     /// Liveness info gathered from heartbeats: node → latest sequence.
     pub heartbeats: HashMap<NodeId, u64>,
     pub stats: DaemonStats,
@@ -224,6 +252,13 @@ impl Daemon {
             } else {
                 None
             },
+            shard: None,
+            name_cache: NameCache::new(0),
+            ns_local: NsStats::default(),
+            now_ns: 0,
+            ns_service_ns: 0,
+            ns_busy_until: 0,
+            ns_backlog: std::collections::VecDeque::new(),
             heartbeats: HashMap::new(),
             stats: DaemonStats::default(),
             term,
@@ -279,11 +314,101 @@ impl Daemon {
         *self.ns_nodes.get(i).unwrap_or(&self.node)
     }
 
+    /// Switch this daemon to the sharded name service: install the
+    /// cluster-shared shard map, size the lease cache to the map's TTL,
+    /// and — when this node owns a shard — host a lease-granting name
+    /// service (the cluster replays site registrations into it).
+    pub fn enable_ns_sharding(&mut self, map: Arc<NsShardMap>) {
+        self.name_cache = NameCache::new(map.lease_ns());
+        if (self.node.0 as usize) < map.ring() {
+            let ns = self.ns.get_or_insert_with(NameService::new);
+            ns.set_lease_mode(true);
+        }
+        // Heartbeats beacon to the name-service hosts; in sharded mode
+        // that audience is every ring node, so any live shard can act as
+        // the failure monitor's observation point.
+        self.ns_nodes = (0..map.ring() as u32).map(NodeId).collect();
+        self.shard = Some(map);
+    }
+
+    /// Is the sharded name service active?
+    pub fn ns_sharded(&self) -> bool {
+        self.shard.is_some()
+    }
+
+    /// Leased bindings currently held (diagnostics).
+    pub fn name_cache_len(&self) -> usize {
+        self.name_cache.len()
+    }
+
+    /// Advance the lease clock (virtual ns under the deterministic
+    /// fabric, wall-clock ns under threads).
+    pub fn set_now_ns(&mut self, now_ns: u64) {
+        self.now_ns = now_ns;
+    }
+
+    /// Does this daemon need `set_now_ns` fed each round? True when the
+    /// sharded service (lease TTLs) or the modeled resolver is active.
+    pub fn needs_clock(&self) -> bool {
+        self.shard.is_some() || self.ns_service_ns > 0
+    }
+
+    /// Set the modeled name-service resolver cost (see `ns_service_ns`).
+    pub fn set_ns_service_ns(&mut self, service_ns: u64) {
+        self.ns_service_ns = service_ns;
+    }
+
+    /// When the modeled resolver holds queued requests, the clock time at
+    /// which the next one finishes service — the deterministic runner
+    /// folds this into its idle advance so a backlog is always drained.
+    pub fn ns_backlog_next_due(&self) -> Option<u64> {
+        self.ns_backlog.front().map(|&(arrival, _)| {
+            self.ns_busy_until
+                .max(arrival)
+                .saturating_add(self.ns_service_ns)
+        })
+    }
+
+    /// Serve backlogged requests the modeled resolver has had time to
+    /// finish: each occupies it for `ns_service_ns`, so a burst drains
+    /// one service quantum at a time as the clock passes completions.
+    fn drain_ns_backlog(&mut self) -> bool {
+        let mut progress = false;
+        while let Some(&(arrival, _)) = self.ns_backlog.front() {
+            let done = self
+                .ns_busy_until
+                .max(arrival)
+                .saturating_add(self.ns_service_ns);
+            if done > self.now_ns {
+                break;
+            }
+            self.ns_busy_until = done;
+            let (_, p) = self.ns_backlog.pop_front().expect("peeked");
+            self.serve_ns_request(p);
+            progress = true;
+        }
+        progress
+    }
+
+    /// Fold the three name-service counter sources — the hosted shard's
+    /// service, the node's lease cache, and the daemon's own routing
+    /// counters — into the reportable `stats.ns`.
+    fn sync_ns_stats(&mut self) {
+        let mut total = self.ns_local;
+        if let Some(ns) = &self.ns {
+            total.add(&ns.stats);
+        }
+        total.lease_hits += self.name_cache.stats.hits;
+        total.lease_misses += self.name_cache.stats.misses;
+        total.lease_expired += self.name_cache.stats.expired;
+        self.stats.ns = total;
+    }
+
     /// Drain both queues once (each backlog moves under a single queue
     /// lock), then flush the per-site and per-destination outgoing
     /// batches. Returns whether anything was processed.
     pub fn pump(&mut self) -> bool {
-        let mut progress = false;
+        let mut progress = self.drain_ns_backlog();
         let mut pkts = std::mem::take(&mut self.scratch_pkts);
         if self.from_sites.drain_into(&mut pkts) > 0 {
             progress = true;
@@ -314,6 +439,9 @@ impl Daemon {
         self.scratch_bytes = raw;
         self.flush_local();
         self.flush_remote();
+        if progress {
+            self.sync_ns_stats();
+        }
         progress
     }
 
@@ -450,6 +578,39 @@ impl Daemon {
                     self.rehydrate(code.clone(), p);
                 }
             }
+            // Replication needs the sender for its per-shipper watermark,
+            // so it is applied here where the fabric still knows `from`.
+            Packet::NsRepl {
+                to: _,
+                seq,
+                from_site,
+                site_lexeme,
+                name,
+                value,
+                stamp,
+                epoch,
+            } => {
+                self.stats.ns_ops += 1;
+                if let Some(ns) = &mut self.ns {
+                    let replies = ns.apply_repl(
+                        from,
+                        seq,
+                        from_site,
+                        &site_lexeme,
+                        &name,
+                        value,
+                        stamp,
+                        epoch,
+                    );
+                    for r in replies {
+                        self.term.injected.fetch_add(1, Ordering::Relaxed);
+                        self.route(r);
+                    }
+                }
+                // Consume only after the replies it unparked are injected
+                // (same ordering rule as NsRegister below).
+                self.term.consumed.fetch_add(1, Ordering::Relaxed);
+            }
             other => self.deliver_local(other),
         }
     }
@@ -581,6 +742,9 @@ impl Daemon {
     /// balanced.
     pub fn simulate_restart(&mut self) {
         self.store = CodeCache::new(self.store.capacity());
+        // Leases do not survive a daemon bounce (counters do: they are
+        // lifetime totals).
+        self.name_cache.clear();
         let parked: u64 = self
             .awaiting_code
             .values()
@@ -747,14 +911,20 @@ impl Daemon {
 
     /// Route a packet by its destination, local or remote.
     pub fn route(&mut self, p: Packet) {
+        let Some(p) = self.pre_route_sharded(p) else {
+            return;
+        };
         let target: NodeId = match &p {
             Packet::Msg { dest, .. } | Packet::Obj { dest, .. } => dest.node,
             Packet::FetchReq { class, .. } => class.node,
             Packet::FetchReply { to, .. } | Packet::NsImportReply { to, .. } => to.node,
+            Packet::NsLease { to, .. } => to.node,
+            Packet::NsInvalidate { to, .. } | Packet::NsRepl { to, .. } => *to,
             Packet::NsRegister { .. } => {
-                // Registrations go to every replica so failover loses no
-                // exports. The broadcast fans one injected packet out into
-                // N consumed ones; account for the extra copies.
+                // Centralized mode: registrations go to every replica so
+                // failover loses no exports. The broadcast fans one
+                // injected packet out into N consumed ones; account for
+                // the extra copies.
                 let extra = self.ns_nodes.len().saturating_sub(1) as u64;
                 self.term.injected.fetch_add(extra, Ordering::Relaxed);
                 for ns_node in self.ns_nodes.clone() {
@@ -783,6 +953,84 @@ impl Daemon {
             self.deliver_local(p);
         } else {
             self.send_remote_coded(target, p);
+        }
+    }
+
+    /// Sharded-mode routing of name-service requests. Registrations go to
+    /// the key's shard (owner, or its follower while the owner is
+    /// suspected) — one copy, not a broadcast; replication covers the
+    /// redundancy. Imports consult the node's lease cache first: a live
+    /// lease answers locally with zero wire traffic, re-running the kind
+    /// and type-stamp checks against the cached stamp. Returns the packet
+    /// when centralized routing should proceed, `None` when handled.
+    fn pre_route_sharded(&mut self, p: Packet) -> Option<Packet> {
+        let Some(shard) = self.shard.clone() else {
+            return Some(p);
+        };
+        match p {
+            Packet::NsRegister {
+                ref site_lexeme,
+                ref name,
+                ..
+            } => {
+                let (target, _) = shard.route(site_lexeme, name);
+                if target == self.node {
+                    self.deliver_local(p);
+                } else {
+                    self.send_remote(target, &p);
+                }
+                None
+            }
+            Packet::NsImport {
+                req,
+                site,
+                name,
+                kind,
+                reply_to,
+                expect,
+            } => {
+                if let Some((w, stamp, _epoch)) = self.name_cache.get(&site, &name, self.now_ns) {
+                    self.ns_local.imports += 1;
+                    let result = if !kind_ok(kind, &w) {
+                        self.ns_local.kind_mismatch += 1;
+                        Err(format!("`{site}.{name}` has the wrong kind"))
+                    } else if let Err(e) = stamp_ok(&expect, &stamp) {
+                        self.ns_local.stamp_mismatch += 1;
+                        Err(format!("`{site}.{name}`: {e}"))
+                    } else {
+                        self.ns_local.resolved += 1;
+                        Ok(w)
+                    };
+                    // The import dies here and its reply is synthesized
+                    // locally: one injected for one consumed, so the
+                    // Mattern balance holds with no wire round trip.
+                    self.term.injected.fetch_add(1, Ordering::Relaxed);
+                    self.deliver_local(Packet::NsImportReply {
+                        to: reply_to,
+                        req,
+                        result,
+                    });
+                    self.term.consumed.fetch_add(1, Ordering::Relaxed);
+                    return None;
+                }
+                let (target, _) = shard.route(&site, &name);
+                let p = Packet::NsImport {
+                    req,
+                    site,
+                    name,
+                    kind,
+                    reply_to,
+                    expect,
+                };
+                if target == self.node {
+                    self.deliver_local(p);
+                } else {
+                    self.ns_local.shard_hops += 1;
+                    self.send_remote(target, &p);
+                }
+                None
+            }
+            other => Some(other),
         }
     }
 
@@ -897,6 +1145,62 @@ impl Daemon {
 
     /// Deliver a packet whose destination is on this node (the
     /// shared-memory path) or handle it in the local name service.
+    /// Handle one name-service request at this node's hosted service —
+    /// the shard-owner (or centralized-primary) side of a bind or lookup.
+    fn serve_ns_request(&mut self, p: Packet) {
+        match p {
+            Packet::NsRegister {
+                from_site,
+                site_lexeme,
+                name,
+                value,
+                stamp,
+            } => {
+                self.stats.ns_ops += 1;
+                // Sharded mode: this registration replicates to the ring
+                // partner for its key — the successor when this node owns
+                // the key, the owner itself when this node is the
+                // follower acting for a suspected owner.
+                let partner = self
+                    .shard
+                    .as_ref()
+                    .and_then(|s| s.partner_of(self.node, &site_lexeme, &name));
+                if let Some(ns) = &mut self.ns {
+                    ns.set_repl_partner(partner);
+                    let replies = ns.handle_register(from_site, &site_lexeme, &name, value, stamp);
+                    for r in replies {
+                        self.term.injected.fetch_add(1, Ordering::Relaxed);
+                        self.route(r);
+                    }
+                }
+                // Consume the request only after its replies are injected:
+                // the opposite order has a window where the counters look
+                // balanced while a reply is still pending, which could
+                // falsely satisfy the termination detector.
+                self.term.consumed.fetch_add(1, Ordering::Relaxed);
+            }
+            Packet::NsImport {
+                req,
+                site,
+                name,
+                kind,
+                reply_to,
+                expect,
+            } => {
+                self.stats.ns_ops += 1;
+                if let Some(ns) = &mut self.ns {
+                    if let Some(reply) = ns.handle_import(req, &site, &name, kind, reply_to, expect)
+                    {
+                        self.term.injected.fetch_add(1, Ordering::Relaxed);
+                        self.route(reply);
+                    }
+                }
+                self.term.consumed.fetch_add(1, Ordering::Relaxed);
+            }
+            other => unreachable!("not a name-service request: {other:?}"),
+        }
+    }
+
     fn deliver_local(&mut self, p: Packet) {
         match p {
             Packet::Msg { dest, label, args } => {
@@ -969,42 +1273,63 @@ impl Daemon {
             Packet::NsImportReply { to, req, result } => {
                 self.deliver_to_site(to.site, RtIncoming::ImportResolved { req, result });
             }
-            Packet::NsRegister {
-                from_site,
-                site_lexeme,
-                name,
-                value,
-                stamp,
-            } => {
-                self.stats.ns_ops += 1;
-                if let Some(ns) = &mut self.ns {
-                    let replies = ns.handle_register(from_site, &site_lexeme, &name, value, stamp);
-                    for r in replies {
-                        self.term.injected.fetch_add(1, Ordering::Relaxed);
-                        self.route(r);
-                    }
+            Packet::NsRegister { .. } | Packet::NsImport { .. } => {
+                if self.ns_service_ns > 0 {
+                    // Modeled resolver cost: the request queues behind
+                    // the shard's single server; `drain_ns_backlog`
+                    // serves it once the clock passes its completion.
+                    self.ns_backlog.push_back((self.now_ns, p));
+                } else {
+                    self.serve_ns_request(p);
                 }
-                // Consume the request only after its replies are injected:
-                // the opposite order has a window where the counters look
-                // balanced while a reply is still pending, which could
-                // falsely satisfy the termination detector.
-                self.term.consumed.fetch_add(1, Ordering::Relaxed);
             }
-            Packet::NsImport {
+            Packet::NsLease {
+                to,
                 req,
                 site,
                 name,
-                kind,
-                reply_to,
-                expect,
+                value,
+                stamp,
+                epoch,
             } => {
-                self.stats.ns_ops += 1;
-                if let Some(ns) = &mut self.ns {
-                    if let Some(reply) = ns.handle_import(req, &site, &name, kind, reply_to, expect)
-                    {
-                        self.term.injected.fetch_add(1, Ordering::Relaxed);
-                        self.route(reply);
-                    }
+                // A lease grant: cache the binding for the whole node,
+                // then resolve the waiting site's import. The packet is
+                // consumed when the site polls the resolution, exactly
+                // like a plain NsImportReply.
+                self.name_cache
+                    .insert(&site, &name, value.clone(), stamp, epoch, self.now_ns);
+                self.deliver_to_site(
+                    to.site,
+                    RtIncoming::ImportResolved {
+                        req,
+                        result: Ok(value),
+                    },
+                );
+            }
+            Packet::NsInvalidate {
+                to: _,
+                site,
+                name,
+                epoch,
+            } => {
+                self.name_cache.invalidate(&site, &name, epoch);
+                // Sites hold their own resolved-binding caches; tell each
+                // one to forget the key so its next import re-resolves.
+                // Every forwarded notice is a fresh injection, consumed
+                // when the site polls it — the balance holds even if the
+                // invalidation itself was chaos-dropped upstream.
+                let locals: Vec<SiteId> = self.sites.keys().copied().collect();
+                self.term
+                    .injected
+                    .fetch_add(locals.len() as u64, Ordering::Relaxed);
+                for s in locals {
+                    self.deliver_to_site(
+                        s,
+                        RtIncoming::NsInvalidated {
+                            site: site.clone(),
+                            name: name.clone(),
+                        },
+                    );
                 }
                 self.term.consumed.fetch_add(1, Ordering::Relaxed);
             }
@@ -1019,11 +1344,13 @@ impl Daemon {
             | Packet::ObjRef { .. }
             | Packet::FetchReplyRef { .. }
             | Packet::NeedCode { .. }
-            | Packet::HaveCode { .. } => {
+            | Packet::HaveCode { .. }
+            | Packet::NsRepl { .. } => {
                 // Termination detection runs at the environment level in
                 // this implementation, handshakes at the transport layer,
-                // and cache-protocol packets are resolved at ingest; wire
-                // packets reaching here are accepted and ignored.
+                // and cache-protocol packets are resolved at ingest (as is
+                // replication, which needs the sender's id); wire packets
+                // reaching here are accepted and ignored.
                 self.term.consumed.fetch_add(1, Ordering::Relaxed);
             }
         }

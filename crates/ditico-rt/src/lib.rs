@@ -12,7 +12,11 @@
 //!   code backing single-flight fetch coalescing, wire-level dedup and
 //!   verify-once linking;
 //! * [`nameservice`] — the Network Name Service (SiteTable + IdTable),
-//!   with blocking lookups;
+//!   with blocking lookups; centralized as in the paper, or sharded by
+//!   consistent hashing with per-shard follower replication;
+//! * [`namecache`] — the node-level lease cache of resolved bindings
+//!   granted by the sharded name service (warm repeat imports are
+//!   zero-wire);
 //! * [`fabric`] — the simulated interconnect (Myrinet / Fast Ethernet /
 //!   WAN link profiles; ideal, virtual-time and real-time delivery);
 //! * [`cluster`] — the environment tying it together, with deterministic
@@ -35,6 +39,7 @@ pub mod codecache;
 pub mod daemon;
 pub mod fabric;
 pub mod failure;
+pub mod namecache;
 pub mod nameservice;
 // Linux-only: the module's hand-declared syscall constants and sockaddr
 // layouts are Linux's (see its module docs); other targets use the
@@ -53,7 +58,8 @@ pub use codecache::CodeCache;
 pub use daemon::{CodeCacheStats, Daemon, DaemonStats, TermCounters};
 pub use fabric::{Fabric, FabricHandle, FabricMode, FabricStats, LinkProfile, PacketFabric};
 pub use failure::FailureMonitor;
-pub use nameservice::NameService;
+pub use namecache::{NameCache, NameCacheStats};
+pub use nameservice::{NameService, NsShardMap, NsStats};
 pub use sched::{SchedConfig, SchedStats};
 pub use site::{RtIncoming, RtPort, Site, SiteInterface, SliceOutcome};
 pub use termination::{Snapshot, TerminationDetector};

@@ -29,6 +29,10 @@ pub enum RtIncoming {
         req: u64,
         result: Result<WireWord, String>,
     },
+    /// The owning shard re-exported `(site, name)`: forget the resolved
+    /// binding so the next `import` misses the cache and re-resolves
+    /// instead of using the stale value.
+    NsInvalidated { site: String, name: String },
 }
 
 /// The statically inferred interface of a site: type stamps for the names
@@ -255,25 +259,37 @@ impl NetPort for RtPort {
     }
 
     fn poll(&mut self) -> Option<Incoming> {
-        if self.pending_in.is_empty() && self.inbox.drain_into(&mut self.pending_in) == 0 {
-            return None;
-        }
-        match self.pending_in.pop_front()? {
-            RtIncoming::Vm(i) => {
-                self.term.consumed.fetch_add(1, Ordering::Relaxed);
-                Some(i)
+        loop {
+            if self.pending_in.is_empty() && self.inbox.drain_into(&mut self.pending_in) == 0 {
+                return None;
             }
-            RtIncoming::ImportResolved { req, result } => {
-                self.term.consumed.fetch_add(1, Ordering::Relaxed);
-                let key = self.pending.remove(&req);
-                match result {
-                    Ok(w) => {
-                        if let Some(key) = key {
-                            self.cache.insert(key, w);
+            match self.pending_in.pop_front()? {
+                RtIncoming::Vm(i) => {
+                    self.term.consumed.fetch_add(1, Ordering::Relaxed);
+                    return Some(i);
+                }
+                RtIncoming::ImportResolved { req, result } => {
+                    self.term.consumed.fetch_add(1, Ordering::Relaxed);
+                    let key = self.pending.remove(&req);
+                    return match result {
+                        Ok(w) => {
+                            if let Some(key) = key {
+                                self.cache.insert(key, w);
+                            }
+                            Some(Incoming::ImportReady { req })
                         }
-                        Some(Incoming::ImportReady { req })
-                    }
-                    Err(reason) => Some(Incoming::ImportFailed { req, reason }),
+                        Err(reason) => Some(Incoming::ImportFailed { req, reason }),
+                    };
+                }
+                RtIncoming::NsInvalidated { site, name } => {
+                    // Handled entirely inside the port: drop the resolved
+                    // binding (both kinds — the notice doesn't say which)
+                    // and keep polling for something the VM can act on.
+                    self.term.consumed.fetch_add(1, Ordering::Relaxed);
+                    self.cache
+                        .remove(&(site.clone(), name.clone(), ImportKind::Name));
+                    self.cache
+                        .remove(&(site.clone(), name.clone(), ImportKind::Class));
                 }
             }
         }

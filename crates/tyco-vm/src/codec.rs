@@ -54,7 +54,12 @@ pub struct TypeStamp {
 /// carry a content digest, and the digest-only dedup variants
 /// ([`Packet::ObjRef`], [`Packet::FetchReplyRef`], [`Packet::NeedCode`],
 /// [`Packet::HaveCode`]) exist.
-pub const WIRE_VERSION: u32 = 2;
+///
+/// v3: sharded name service — the lease-granting answer
+/// ([`Packet::NsLease`]), the re-export epoch invalidation
+/// ([`Packet::NsInvalidate`]), and the shard replication record
+/// ([`Packet::NsRepl`]) exist.
+pub const WIRE_VERSION: u32 = 3;
 
 /// Upper bound on a frame body. A length prefix beyond this is treated as
 /// a corrupt or hostile stream and the connection is dropped — the bound
@@ -168,6 +173,47 @@ pub enum Packet {
         to: NodeId,
         digest: Digest,
         code: WireCode,
+    },
+    /// Name-service answer that also grants the importing *node* a lease
+    /// on the binding (sharded mode). The receiving daemon caches
+    /// `(site, name) → (value, stamp, epoch)` in its `NameCache` until
+    /// the lease TTL runs out or a [`Packet::NsInvalidate`] arrives, then
+    /// hands the resolved value to the waiting site exactly like a
+    /// [`Packet::NsImportReply`]. Errors never grant leases and keep
+    /// using `NsImportReply`.
+    NsLease {
+        to: Identity,
+        req: u64,
+        site: String,
+        name: String,
+        value: WireWord,
+        stamp: Option<TypeStamp>,
+        /// Re-export epoch of the binding at the owning shard. A later
+        /// invalidation only applies if it carries a higher epoch.
+        epoch: u64,
+    },
+    /// Re-export notification: the owning shard bumped the binding's
+    /// epoch, so every lessee node must drop its cached entry (and tell
+    /// its sites to forget the resolved binding) before the next import.
+    NsInvalidate {
+        to: NodeId,
+        site: String,
+        name: String,
+        epoch: u64,
+    },
+    /// Asynchronous shard replication: a registration applied by the
+    /// shard that accepted it, shipped to its replica partner. `seq` is
+    /// the shipper's log position; links are FIFO so the partner applies
+    /// records in order and drops stale re-deliveries.
+    NsRepl {
+        to: NodeId,
+        seq: u64,
+        from_site: SiteId,
+        site_lexeme: String,
+        name: String,
+        value: WireWord,
+        stamp: Option<TypeStamp>,
+        epoch: u64,
     },
 }
 
@@ -941,6 +987,56 @@ pub fn encode_into(p: &Packet, buf: &mut BytesMut) {
             put_digest(buf, digest);
             put_code(buf, code);
         }
+        Packet::NsLease {
+            to,
+            req,
+            site,
+            name,
+            value,
+            stamp,
+            epoch,
+        } => {
+            buf.put_u8(15);
+            put_identity(buf, to);
+            buf.put_u64_le(*req);
+            put_str(buf, site);
+            put_str(buf, name);
+            put_word(buf, value);
+            put_stamp(buf, stamp);
+            buf.put_u64_le(*epoch);
+        }
+        Packet::NsInvalidate {
+            to,
+            site,
+            name,
+            epoch,
+        } => {
+            buf.put_u8(16);
+            buf.put_u32_le(to.0);
+            put_str(buf, site);
+            put_str(buf, name);
+            buf.put_u64_le(*epoch);
+        }
+        Packet::NsRepl {
+            to,
+            seq,
+            from_site,
+            site_lexeme,
+            name,
+            value,
+            stamp,
+            epoch,
+        } => {
+            buf.put_u8(17);
+            buf.put_u32_le(to.0);
+            buf.put_u64_le(*seq);
+            buf.put_u32_le(from_site.0);
+            put_str(buf, site_lexeme);
+            put_str(buf, name);
+            put_word(buf, value);
+            put_stamp(buf, stamp);
+            buf.put_u64_le(*epoch);
+        }
     }
 }
 
@@ -1174,6 +1270,74 @@ pub fn decode(mut buf: Bytes) -> R<Packet> {
             let digest = get_digest(&mut buf)?;
             let code = get_code(&mut buf)?;
             Packet::HaveCode { to, digest, code }
+        }
+        15 => {
+            let to = get_identity(&mut buf)?;
+            if buf.remaining() < 8 {
+                return err("truncated lease req");
+            }
+            let req = buf.get_u64_le();
+            let site = get_str(&mut buf)?;
+            let name = get_str(&mut buf)?;
+            let value = get_word(&mut buf)?;
+            let stamp = get_stamp(&mut buf)?;
+            if buf.remaining() < 8 {
+                return err("truncated lease epoch");
+            }
+            let epoch = buf.get_u64_le();
+            Packet::NsLease {
+                to,
+                req,
+                site,
+                name,
+                value,
+                stamp,
+                epoch,
+            }
+        }
+        16 => {
+            if buf.remaining() < 4 {
+                return err("truncated invalidate node");
+            }
+            let to = NodeId(buf.get_u32_le());
+            let site = get_str(&mut buf)?;
+            let name = get_str(&mut buf)?;
+            if buf.remaining() < 8 {
+                return err("truncated invalidate epoch");
+            }
+            let epoch = buf.get_u64_le();
+            Packet::NsInvalidate {
+                to,
+                site,
+                name,
+                epoch,
+            }
+        }
+        17 => {
+            if buf.remaining() < 16 {
+                return err("truncated repl header");
+            }
+            let to = NodeId(buf.get_u32_le());
+            let seq = buf.get_u64_le();
+            let from_site = SiteId(buf.get_u32_le());
+            let site_lexeme = get_str(&mut buf)?;
+            let name = get_str(&mut buf)?;
+            let value = get_word(&mut buf)?;
+            let stamp = get_stamp(&mut buf)?;
+            if buf.remaining() < 8 {
+                return err("truncated repl epoch");
+            }
+            let epoch = buf.get_u64_le();
+            Packet::NsRepl {
+                to,
+                seq,
+                from_site,
+                site_lexeme,
+                name,
+                value,
+                stamp,
+                epoch,
+            }
         }
         t => return err(format!("bad packet tag {t}")),
     };
@@ -1472,6 +1636,56 @@ mod tests {
             },
             req: 6,
             result: Err("no such identifier".into()),
+        });
+    }
+
+    #[test]
+    fn sharded_nameservice_roundtrips() {
+        roundtrip(Packet::NsLease {
+            to: Identity {
+                site: SiteId(9),
+                node: NodeId(2),
+            },
+            req: 5,
+            site: "server".into(),
+            name: "p".into(),
+            value: WireWord::Chan(nref(3)),
+            stamp: Some(TypeStamp {
+                fingerprint: 0xfeed,
+                canonical: "^{val(int)|r0}".into(),
+            }),
+            epoch: 7,
+        });
+        roundtrip(Packet::NsLease {
+            to: Identity {
+                site: SiteId(0),
+                node: NodeId(0),
+            },
+            req: 0,
+            site: "s".into(),
+            name: "n".into(),
+            value: WireWord::Class(nref(1)),
+            stamp: None,
+            epoch: 1,
+        });
+        roundtrip(Packet::NsInvalidate {
+            to: NodeId(3),
+            site: "server".into(),
+            name: "p".into(),
+            epoch: 8,
+        });
+        roundtrip(Packet::NsRepl {
+            to: NodeId(1),
+            seq: 42,
+            from_site: SiteId(2),
+            site_lexeme: "server".into(),
+            name: "p".into(),
+            value: WireWord::Chan(nref(9)),
+            stamp: Some(TypeStamp {
+                fingerprint: 1,
+                canonical: "^{val(bool)}".into(),
+            }),
+            epoch: 3,
         });
     }
 

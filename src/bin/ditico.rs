@@ -95,7 +95,11 @@ fn print_usage() {
          \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 --code-cache sets the per-node code store capacity\n\
          \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 in images, 0 disables caching/dedup/coalescing;\n\
          \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 --chaos-* injects seeded packet faults, rates in\n\
-         \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 per-mille, extra latency via --chaos-delay-ns)\n\
+         \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 per-mille, extra latency via --chaos-delay-ns;\n\
+         \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 --ns-shards N partitions the name service over N\n\
+         \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 shard owners with lease caching, --ns-lease-ms sets\n\
+         \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 the lease TTL, --ns-central forces the centralized\n\
+         \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 baseline for A/B runs)\n\
          \x20 net     <spec.net> --node LIST --peers ADDRS [--listen ADDR]\n\
          \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 [--wall SECS] [--hb-ms N] [--retries N] [--stats]\n\
          \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 run one process of a multi-process cluster over TCP\n\
@@ -474,6 +478,23 @@ fn num_flag(args: &[String], name: &str) -> Result<Option<u64>, String> {
     }
 }
 
+/// Apply the name-service flags: `--ns-shards N` switches the run to the
+/// sharded, lease-cached service (lease TTL from `--ns-lease-ms`, default
+/// 50 ms); `--ns-central` forces the centralized baseline even when shards
+/// were requested — the A/B knob for benchmarks.
+fn ns_from_args(args: &[String], env: Env) -> Result<Env, String> {
+    if args.iter().any(|a| a == "--ns-central") {
+        return Ok(env);
+    }
+    match num_flag(args, "--ns-shards")? {
+        Some(s) if s > 0 => {
+            let lease_ms = num_flag(args, "--ns-lease-ms")?.unwrap_or(50);
+            Ok(env.ns_shards(s as usize, lease_ms))
+        }
+        _ => Ok(env),
+    }
+}
+
 /// Parse the `--chaos-*` fault-injection flags into a plan, or `None` when
 /// no chaos flag was given. Rates are per-mille of packets; structural
 /// events (partitions, kills) are only reachable from the library API.
@@ -543,6 +564,30 @@ fn print_report(report: &RunReport, show_stats: bool) -> Result<(), String> {
     if shaken_packs > 0 {
         eprintln!("ship shake: {shaken_packs} packs, {shake_saved} B saved");
     }
+    let ns = report.ns_totals();
+    if ns.any() {
+        eprintln!(
+            "name service: {} registers, {} imports ({} resolved, {} parked), \
+             {} lease hits / {} misses / {} expired, {} invalidations, \
+             {} shard hops, repl {} shipped / {} applied, {} failovers; \
+             refusals: {} unknown site, {} kind, {} stamp",
+            ns.registers,
+            ns.imports,
+            ns.resolved,
+            ns.parked,
+            ns.lease_hits,
+            ns.lease_misses,
+            ns.lease_expired,
+            ns.invalidations,
+            ns.shard_hops,
+            ns.repl_shipped,
+            ns.repl_applied,
+            report.ns_failovers,
+            ns.unknown_site,
+            ns.kind_mismatch,
+            ns.stamp_mismatch
+        );
+    }
     if let Some(t) = &report.transport {
         eprintln!(
             "wire: {} data out / {} data in ({} B out, {} B in), {} heartbeats in, \
@@ -608,6 +653,7 @@ fn print_report(report: &RunReport, show_stats: bool) -> Result<(), String> {
 fn cmd_net(args: &[String]) -> Result<(), String> {
     const USAGE: &str =
         "usage: ditico net <spec.net> [--threaded] [--workers N] [--wall SECS] [--stats]\n\
+         \x20      [--ns-shards N] [--ns-lease-ms N] [--ns-central]\n\
          \x20      [--chaos-seed N] [--chaos-drop N] [--chaos-dup N] [--chaos-delay N]\n\
          \x20      ditico net <spec.net> --node LIST --peers ADDRS [--listen ADDR] …";
     let path = args.first().ok_or(USAGE)?;
@@ -636,6 +682,7 @@ fn cmd_net(args: &[String]) -> Result<(), String> {
     if args.iter().any(|a| a == "--shake") {
         env = env.shake(true);
     }
+    env = ns_from_args(args, env)?;
     if let Some(plan) = chaos_from_args(args)? {
         env = env.chaos(plan);
     }
@@ -662,11 +709,11 @@ fn cmd_distributed(args: &[String], serve: bool) -> Result<(), String> {
     let usage = if serve {
         "usage: ditico serve <spec.net> --node LIST --listen ADDR [--peers ADDRS]\n\
          \x20      [--wall SECS] [--hb-ms N] [--retries N] [--workers N] [--code-cache N]\n\
-         \x20      [--io-threads] [--stats]"
+         \x20      [--ns-shards N] [--ns-lease-ms N] [--ns-central] [--io-threads] [--stats]"
     } else {
         "usage: ditico net <spec.net> --node LIST --peers ADDRS [--listen ADDR]\n\
          \x20      [--wall SECS] [--hb-ms N] [--retries N] [--workers N] [--code-cache N]\n\
-         \x20      [--io-threads] [--stats]"
+         \x20      [--ns-shards N] [--ns-lease-ms N] [--ns-central] [--io-threads] [--stats]"
     };
     let path = args.first().ok_or(usage)?;
     let show_stats = args.iter().any(|a| a == "--stats");
@@ -747,6 +794,7 @@ fn cmd_distributed(args: &[String], serve: bool) -> Result<(), String> {
     if args.iter().any(|a| a == "--shake") {
         env = env.shake(true);
     }
+    env = ns_from_args(args, env)?;
     if let Some(plan) = chaos_from_args(args)? {
         env = env.chaos(plan);
     }

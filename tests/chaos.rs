@@ -121,6 +121,84 @@ fn quiet_plan_is_a_no_op() {
     );
 }
 
+/// Sharded-name-service programs for the drop regression below: the
+/// server re-exports `p` after the client's kick, so a single run
+/// exercises every name-service control packet — registers, imports,
+/// lease grants, the epoch-bump invalidation, and follower replication.
+const NS_SRV: &str = r#"
+    import ack from nsclient in
+    export new kick in
+    export new q in (
+        (q?(r) = r![1])
+        | (kick?() = export new q in (ack![] | (q?(r2) = r2![2])))
+    )
+"#;
+const NS_CLIENT: &str = r#"
+    export new ack in
+    import q from nsserver in
+    import kick from nsserver in
+    new a (q![a] | a?(x) = (
+        print(x)
+        | kick![]
+        | ack?() = import q from nsserver in new b (q![b] | b?(y) = print(y))
+    ))
+"#;
+
+/// Satellite regression: lease grants, invalidations, and replication
+/// records ride the same chaotic fabric as application packets, so each
+/// chaos-dropped (or duplicated) control packet must be
+/// Mattern-compensated at the injection point — otherwise the
+/// termination wave never balances and a run under drop rates hangs
+/// instead of winding down. Every seed is also replayed once, keeping
+/// the sharded path inside the determinism gate.
+#[test]
+fn sharded_name_service_drops_are_termination_compensated() {
+    let run = |seed: u64| {
+        let report = Env::new(Topology {
+            nodes: 4,
+            mode: FabricMode::Virtual,
+            link: LinkProfile::fast_ethernet(),
+            ns_replicas: 1,
+        })
+        .ns_shards(4, 50)
+        .site_on(0, "nsserver", NS_SRV)
+        .expect("server compiles")
+        .site_on(3, "nsclient", NS_CLIENT)
+        .expect("client compiles")
+        .chaos(ChaosPlan::new(faulty_spec(seed)))
+        .run()
+        .expect("run starts");
+        if let Some((site, err)) = report.errors.first() {
+            panic!("seed {seed}: chaos must degrade, not crash: [{site}] {err}");
+        }
+        let ns = report.ns_totals();
+        let c = report.chaos.expect("chaos report recorded");
+        let faults = c.dropped + c.duplicated;
+        let fp = format!(
+            "out={:?} pkts={} vns={} dropped={} dup={} delayed={} ns={ns:?}",
+            report.output("nsclient"),
+            report.fabric_packets,
+            report.virtual_ns,
+            c.dropped,
+            c.duplicated,
+            c.delayed,
+        );
+        (fp, faults, ns)
+    };
+    let (mut faults, mut registers, mut misses) = (0, 0, 0);
+    for seed in 0..10u64 {
+        let (first, f, ns) = run(seed);
+        let (second, _, _) = run(seed);
+        assert_eq!(first, second, "seed {seed} did not replay");
+        faults += f;
+        registers += ns.registers;
+        misses += ns.lease_misses;
+    }
+    assert!(faults > 0, "the fault die never fired across ten seeds");
+    assert!(registers >= 30, "the sharded path was engaged: {registers}");
+    assert!(misses > 0, "imports crossed the wire under chaos");
+}
+
 /// Seeded churn soak: partition, heal, and a daemon restart in every run,
 /// across many seeds, each replayed once. No panics, no hangs, no site
 /// crashes, and every replay is byte-identical. (The larger 100+ round

@@ -222,6 +222,85 @@ fn second_fetch_from_a_node_is_served_digest_only_over_tcp() {
     );
 }
 
+/// Re-export invalidation across real TCP, sharded name service: site
+/// `a` resolves `p` (its node caches the binding under a lease), pokes
+/// the server to re-export `p` (epoch bump), and only then kicks `b` —
+/// whose import of the same name must miss the invalidated caches and
+/// resolve the *new* binding. FIFO TCP delivers the invalidation ahead
+/// of the ack that unblocks the chain, so `b` can never see epoch 1.
+const SPEC_NS: &str = "topology nodes=2 fabric=ideal link=ideal\n\
+                       site server server.dity node=0\n\
+                       site a a.dity node=1\n\
+                       site b b.dity node=1\n";
+
+const NS_SERVER: &str = "import ack from a in \
+                         export new kick in \
+                         export new p in (\
+                             (p?(r) = r![1]) \
+                             | (kick?() = export new p in (ack![] | (p?(r2) = r2![2])))\
+                         )";
+
+const NS_SITE_A: &str = "export new ack in \
+                         import p from server in \
+                         import kick from server in \
+                         import go from b in \
+                         new r (p![r] | r?(x) = (print(x) | kick![] | ack?() = go![]))";
+
+const NS_SITE_B: &str = "export new go in \
+                         go?() = import p from server in \
+                                 new s (p![s] | s?(y) = print(y))";
+
+#[test]
+fn reexport_invalidation_crosses_tcp_between_processes() {
+    let dir = tmpdir("nsinval");
+    write(&dir, "server.dity", NS_SERVER);
+    write(&dir, "a.dity", NS_SITE_A);
+    write(&dir, "b.dity", NS_SITE_B);
+    let spec = write(&dir, "cluster.net", SPEC_NS);
+    let addr = format!("127.0.0.1:{}", free_port());
+    let ns_flags = ["--ns-shards", "2", "--ns-lease-ms", "60000"];
+
+    let mut server = ditico()
+        .args(["serve", spec.to_str().unwrap(), "--node", "0"])
+        .args(["--listen", &addr, "--wall", "60", "--hb-ms", "25"])
+        .args(ns_flags)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn serve");
+
+    let client = ditico()
+        .args(["net", spec.to_str().unwrap(), "--node", "1"])
+        .args(["--peers", &addr, "--wall", "60", "--hb-ms", "25"])
+        .args(ns_flags)
+        .output()
+        .expect("run client");
+    let client_err = String::from_utf8_lossy(&client.stderr).to_string();
+    assert!(client.status.success(), "{client_err}");
+    let mut lines: Vec<String> = String::from_utf8_lossy(&client.stdout)
+        .lines()
+        .map(|l| l.trim().to_string())
+        .collect();
+    lines.sort_unstable();
+    assert_eq!(
+        lines,
+        ["[a] 1", "[b] 2"],
+        "b resolved the re-exported binding: {client_err}"
+    );
+
+    let st = wait_bounded(&mut server, 30);
+    let out = server.wait_with_output().expect("server output");
+    let server_err = String::from_utf8_lossy(&out.stderr).to_string();
+    assert!(st.success(), "{server_err}");
+    // The epoch bump was observed by exactly one shard owner; which
+    // process hosts it is fixed by the hash, so check both reports.
+    let both = format!("{client_err}\n{server_err}");
+    assert!(
+        both.contains("1 invalidations"),
+        "the re-export invalidated the lessee: {both}"
+    );
+}
+
 #[test]
 fn bad_peer_list_is_a_diagnostic_not_a_panic() {
     let dir = tmpdir("badpeers");
